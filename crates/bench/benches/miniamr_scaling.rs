@@ -1,0 +1,55 @@
+//! Strong scaling of the miniAMR-like kernel across rayon thread counts
+//! (the Fig. 13 workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use thirstyflops_workload::miniamr::{run_with_threads, MiniAmrConfig};
+
+fn config() -> MiniAmrConfig {
+    MiniAmrConfig {
+        base_grid: 4,
+        block_cells: 8,
+        max_level: 2,
+        steps: 10,
+        regrid_every: 5,
+        sphere_radius: 0.18,
+        sphere_orbits: 0.5,
+        alpha: 0.1,
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miniamr_strong_scaling");
+    group.sample_size(10);
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for threads in [1usize, 2, 4, 8] {
+        if threads > max * 2 {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(run_with_threads(config(), threads).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_refinement_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miniamr_refinement_depth");
+    group.sample_size(10);
+    for level in [0u32, 1, 2] {
+        let mut cfg = config();
+        cfg.max_level = level;
+        cfg.steps = 5;
+        group.bench_with_input(BenchmarkId::from_parameter(level), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_with_threads(cfg.clone(), 0).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(miniamr, bench_scaling, bench_refinement_depth);
+criterion_main!(miniamr);

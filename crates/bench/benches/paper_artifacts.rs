@@ -1,0 +1,49 @@
+//! One bench per paper artifact: regenerating every table and figure.
+//!
+//! The shared simulation context (four system-years) is built once on
+//! first touch; the per-artifact numbers then measure the analysis cost
+//! itself. Run `cargo bench -p thirstyflops-bench --bench paper_artifacts`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use thirstyflops_experiments as exp;
+
+macro_rules! artifact_bench {
+    ($fn_name:ident, $exp:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            // Warm the shared context so the first sample isn't an outlier.
+            exp::context::paper_years();
+            c.bench_function(stringify!($exp), |b| {
+                b.iter(|| black_box(exp::$exp()))
+            });
+        }
+    };
+}
+
+artifact_bench!(bench_fig01, fig01);
+artifact_bench!(bench_table01, table01);
+artifact_bench!(bench_table02, table02);
+artifact_bench!(bench_fig03, fig03);
+artifact_bench!(bench_fig04, fig04);
+artifact_bench!(bench_fig05, fig05);
+artifact_bench!(bench_fig06, fig06);
+artifact_bench!(bench_fig07, fig07);
+artifact_bench!(bench_fig08, fig08);
+artifact_bench!(bench_fig09, fig09);
+artifact_bench!(bench_fig10, fig10);
+artifact_bench!(bench_fig11, fig11);
+artifact_bench!(bench_fig12, fig12);
+artifact_bench!(bench_fig13, fig13);
+artifact_bench!(bench_fig14, fig14);
+artifact_bench!(bench_table03, table03);
+
+criterion_group! {
+    name = artifacts;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig01, bench_table01, bench_table02, bench_fig03, bench_fig04,
+        bench_fig05, bench_fig06, bench_fig07, bench_fig08, bench_fig09,
+        bench_fig10, bench_fig11, bench_fig12, bench_fig13, bench_fig14,
+        bench_table03
+}
+criterion_main!(artifacts);

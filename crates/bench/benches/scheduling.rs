@@ -1,0 +1,106 @@
+//! Water-aware scheduling layer benches: start-time ranking, geo
+//! balancing over a year, water-cap dispatch, plus the workload
+//! substrate's trace + cluster simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use thirstyflops_bench::small_system_year;
+use thirstyflops_grid::EnergySource;
+use thirstyflops_scheduler::{
+    GeoBalancer, MultiObjective, Policy, SiteSeries, StartTimeOptimizer, WaterCapPlanner,
+};
+use thirstyflops_scheduler::capping::SourceOffer;
+use thirstyflops_units::{KilowattHours, Liters, LitersPerKilowattHour, Pue};
+use thirstyflops_workload::{ClusterSim, TraceConfig, TraceGenerator};
+
+fn bench_starttime(c: &mut Criterion) {
+    let year = small_system_year();
+    let opt = StartTimeOptimizer::new(year.water_intensity(), year.carbon.clone(), year.spec.pue);
+    let candidates: Vec<usize> = (0..24).map(|i| 4200 + i).collect();
+    c.bench_function("starttime_rank_24_candidates", |b| {
+        b.iter(|| {
+            black_box(
+                opt.evaluate(&candidates, 3, KilowattHours::new(1000.0))
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let year = small_system_year();
+    // Clone the same site with perturbed intensities to get three sites
+    // without paying three cluster simulations.
+    let base = SiteSeries::from_year(&year);
+    let mut b2 = base.clone();
+    b2.wi = b2.wi.scale(0.6);
+    b2.effective_ci = b2.effective_ci.scale(1.8);
+    let mut b3 = base.clone();
+    b3.wi = b3.wi.scale(1.4);
+    b3.effective_ci = b3.effective_ci.scale(0.5);
+    let balancer = GeoBalancer::new(vec![base, b2, b3]).unwrap();
+    let mut group = c.benchmark_group("geo_balancer_year");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("water_only", Policy::WaterOnly),
+        ("carbon_only", Policy::CarbonOnly),
+        (
+            "co_optimize",
+            Policy::CoOptimize(MultiObjective::new(0.0, 0.5, 0.5).unwrap()),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(balancer.run_year(100.0, policy)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_capping(c: &mut Criterion) {
+    let planner = WaterCapPlanner::new(Pue::new(1.2).unwrap());
+    let offers = vec![
+        SourceOffer { source: EnergySource::Hydro, capacity_kwh: 1000.0 },
+        SourceOffer { source: EnergySource::Nuclear, capacity_kwh: 1000.0 },
+        SourceOffer { source: EnergySource::Gas, capacity_kwh: 1000.0 },
+        SourceOffer { source: EnergySource::Wind, capacity_kwh: 200.0 },
+        SourceOffer { source: EnergySource::Coal, capacity_kwh: 800.0 },
+        SourceOffer { source: EnergySource::Solar, capacity_kwh: 300.0 },
+    ];
+    c.bench_function("water_cap_dispatch", |b| {
+        b.iter(|| {
+            black_box(
+                planner
+                    .dispatch(
+                        KilowattHours::new(1500.0),
+                        LitersPerKilowattHour::new(2.5),
+                        &offers,
+                        Liters::new(7000.0),
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_trace_and_cluster(c: &mut Criterion) {
+    let cfg = TraceConfig {
+        cluster_nodes: 560,
+        target_utilization: 0.7,
+        mean_duration_hours: 5.0,
+        mean_width_fraction: 0.03,
+        seed: 9,
+    };
+    let jobs = TraceGenerator::new(cfg.clone()).unwrap().generate_year();
+    let mut group = c.benchmark_group("workload_substrate");
+    group.sample_size(10);
+    group.bench_function("trace_generate_year", |b| {
+        b.iter(|| black_box(TraceGenerator::new(cfg.clone()).unwrap().generate_year()))
+    });
+    group.bench_function("cluster_sim_year", |b| {
+        b.iter(|| black_box(ClusterSim::new(560).unwrap().simulate_year(&jobs)))
+    });
+    group.finish();
+}
+
+criterion_group!(sched, bench_starttime, bench_geo, bench_capping, bench_trace_and_cluster);
+criterion_main!(sched);

@@ -1,0 +1,64 @@
+//! Kernels of the timeseries/dataframe substrate over full 8760-hour
+//! years.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use thirstyflops_timeseries::{stats, HourlySeries};
+
+fn series() -> (HourlySeries, HourlySeries) {
+    let a = HourlySeries::from_fn(|h| (h as f64 * 0.37).sin() * 3.0 + 5.0);
+    let b = HourlySeries::from_fn(|h| (h as f64 * 0.11).cos() * 2.0 + 4.0);
+    (a, b)
+}
+
+fn bench_pointwise(c: &mut Criterion) {
+    let (a, b) = series();
+    c.bench_function("hourly_zip_mul_year", |bch| {
+        bch.iter(|| black_box(a.mul(&b)))
+    });
+    c.bench_function("hourly_add_scale_year", |bch| {
+        bch.iter(|| black_box(a.add(&b.scale(1.65))))
+    });
+}
+
+fn bench_resample(c: &mut Criterion) {
+    let (a, _) = series();
+    c.bench_function("monthly_mean_resample", |bch| {
+        bch.iter(|| black_box(a.monthly_mean()))
+    });
+    c.bench_function("monthly_sum_resample", |bch| {
+        bch.iter(|| black_box(a.monthly_sum()))
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let (a, b) = series();
+    c.bench_function("minmax_normalize_year", |bch| {
+        bch.iter(|| black_box(a.normalized()))
+    });
+    c.bench_function("pearson_year", |bch| {
+        bch.iter(|| black_box(stats::pearson(a.values(), b.values()).unwrap()))
+    });
+    c.bench_function("spearman_year", |bch| {
+        bch.iter(|| black_box(stats::spearman(a.values(), b.values()).unwrap()))
+    });
+    c.bench_function("distribution_summary_year", |bch| {
+        bch.iter(|| black_box(a.summary()))
+    });
+}
+
+fn bench_window(c: &mut Criterion) {
+    let (a, _) = series();
+    c.bench_function("wrapping_window_mean_24h_x365", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0;
+            for day in 0..365 {
+                acc += a.wrapping_window_mean(day * 24, 24);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(ts, bench_pointwise, bench_resample, bench_stats, bench_window);
+criterion_main!(ts);

@@ -1,0 +1,175 @@
+//! Embodied carbon: ACT-style per-area factors for logic plus per-GB
+//! factors for memory and storage.
+//!
+//! The per-GB factors encode Takeaway 1's inversion: **SSD embodied
+//! carbon per GB far exceeds HDD's** (Tannu & Nair, "The dirty secret of
+//! SSDs") even though SSD embodied *water* per GB is lower than HDD's.
+
+use thirstyflops_catalog::hardware::{Medium, ProcessorSpec};
+use thirstyflops_catalog::SystemSpec;
+use thirstyflops_units::{Gigabytes, KilogramsCo2, Petabytes, SquareCentimeters};
+
+/// Embodied carbon per GB of DRAM, kgCO₂-eq (ACT-style).
+pub const KG_CO2_PER_GB_DRAM: f64 = 0.30;
+
+/// Embodied carbon per GB of SSD, kgCO₂-eq — the "dirty secret":
+/// NAND fabrication is carbon-heavy.
+pub const KG_CO2_PER_GB_SSD: f64 = 0.16;
+
+/// Embodied carbon per GB of HDD, kgCO₂-eq — mechanically complex but
+/// fab-light (Seagate Exos LCA manufacturing share).
+pub const KG_CO2_PER_GB_HDD: f64 = 0.002;
+
+/// Carbon per die area at a process node, kgCO₂/cm² (ACT CPA trend:
+/// finer nodes burn more fab energy per area).
+pub fn cpa_kg_per_cm2(process_node_nm: u32) -> f64 {
+    match process_node_nm {
+        0..=3 => 2.5,
+        4 => 2.3,
+        5 => 2.2,
+        6 => 2.0,
+        7 => 1.8,
+        8..=10 => 1.4,
+        11..=12 => 1.2,
+        13..=14 => 1.1,
+        15..=16 => 1.0,
+        17..=22 => 0.85,
+        _ => 0.75,
+    }
+}
+
+/// Embodied carbon of one processor package (yield-inflated die area ×
+/// CPA).
+pub fn processor_carbon(spec: &ProcessorSpec) -> KilogramsCo2 {
+    let area: SquareCentimeters = spec.die.into();
+    KilogramsCo2::new(
+        area.value() * spec.yield_rate.inflation() * cpa_kg_per_cm2(spec.process_node_nm),
+    )
+}
+
+/// Embodied carbon of a capacity on a medium.
+pub fn capacity_carbon(medium: Medium, capacity: Gigabytes) -> KilogramsCo2 {
+    let per_gb = match medium {
+        Medium::Dram => KG_CO2_PER_GB_DRAM,
+        Medium::Hdd => KG_CO2_PER_GB_HDD,
+        Medium::Ssd => KG_CO2_PER_GB_SSD,
+    };
+    KilogramsCo2::new(per_gb * capacity.value())
+}
+
+/// Per-component embodied carbon for a whole system (the carbon mirror
+/// of `EmbodiedBreakdown`).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EmbodiedCarbonBreakdown {
+    /// All CPU packages.
+    pub cpu: KilogramsCo2,
+    /// All GPU packages.
+    pub gpu: KilogramsCo2,
+    /// All DRAM.
+    pub dram: KilogramsCo2,
+    /// HDD tier.
+    pub hdd: KilogramsCo2,
+    /// SSD tier.
+    pub ssd: KilogramsCo2,
+}
+
+impl EmbodiedCarbonBreakdown {
+    /// Computes the breakdown for a cataloged system.
+    pub fn for_system(spec: &SystemSpec) -> Self {
+        let nodes = spec.nodes as f64;
+        let cpu = processor_carbon(&spec.node.cpu) * (spec.node.cpus_per_node as f64) * nodes;
+        let gpu = spec.node.gpu.as_ref().map_or(KilogramsCo2::ZERO, |g| {
+            processor_carbon(g) * (spec.node.gpus_per_node as f64) * nodes
+        });
+        let dram = capacity_carbon(Medium::Dram, Gigabytes::new(spec.node.dram_gb * nodes));
+        let hdd = capacity_carbon(Medium::Hdd, Petabytes::new(spec.storage.hdd_pb).into());
+        let ssd = capacity_carbon(Medium::Ssd, Petabytes::new(spec.storage.ssd_pb).into());
+        Self {
+            cpu,
+            gpu,
+            dram,
+            hdd,
+            ssd,
+        }
+    }
+
+    /// Total embodied carbon.
+    pub fn total(&self) -> KilogramsCo2 {
+        self.cpu + self.gpu + self.dram + self.hdd + self.ssd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thirstyflops_catalog::hardware::{self, FabSite};
+    use thirstyflops_catalog::SystemId;
+    use thirstyflops_core::embodied::capacity_water;
+
+    #[test]
+    fn takeaway1_water_and_carbon_rank_ssd_vs_hdd_oppositely() {
+        let cap: Gigabytes = Petabytes::new(50.0).into();
+        // Water: SSD < HDD.
+        assert!(
+            capacity_water(Medium::Ssd, cap).value() < capacity_water(Medium::Hdd, cap).value()
+        );
+        // Carbon: SSD > HDD.
+        assert!(
+            capacity_carbon(Medium::Ssd, cap).value()
+                > capacity_carbon(Medium::Hdd, cap).value()
+        );
+    }
+
+    #[test]
+    fn cpa_monotone_and_positive() {
+        let mut prev = f64::INFINITY;
+        for node in [3u32, 5, 7, 10, 14, 22, 28] {
+            let v = cpa_kg_per_cm2(node);
+            assert!(v > 0.0 && v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn processor_carbon_hand_check() {
+        let spec = ProcessorSpec::new("A100", 826.0, 7, FabSite::TsmcTaiwan, 250.0);
+        let c = processor_carbon(&spec).value();
+        let expected = 8.26 / 0.875 * 1.8;
+        assert!((c - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frontier_storage_carbon_does_not_dominate_like_water_does() {
+        // The 679 PB HDD tier dominates Frontier's embodied *water* but
+        // not its embodied *carbon* (HDD carbon/GB is tiny) — the
+        // Takeaway 1 system-level consequence.
+        let spec = thirstyflops_catalog::SystemSpec::reference(SystemId::Frontier);
+        let carbon = EmbodiedCarbonBreakdown::for_system(&spec);
+        let water = thirstyflops_core::EmbodiedBreakdown::for_system(&spec);
+        let carbon_hdd_share = carbon.hdd.value() / carbon.total().value();
+        let water_hdd_share = water.hdd.value() / water.total().value();
+        assert!(
+            water_hdd_share > 2.0 * carbon_hdd_share,
+            "water HDD share {water_hdd_share} vs carbon {carbon_hdd_share}"
+        );
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn wpc_constants_consistency() {
+        // The water/carbon per-GB tables must keep their opposite
+        // orderings (guards against accidental constant swaps).
+        assert!(hardware::WPC_SSD < hardware::WPC_HDD);
+        assert!(KG_CO2_PER_GB_SSD > KG_CO2_PER_GB_HDD);
+    }
+
+    #[test]
+    fn system_breakdowns_are_positive() {
+        for id in SystemId::ALL {
+            let spec = thirstyflops_catalog::SystemSpec::reference(id);
+            let b = EmbodiedCarbonBreakdown::for_system(&spec);
+            assert!(b.total().value() > 0.0, "{id}");
+            assert!(b.cpu.value() > 0.0);
+        }
+    }
+}

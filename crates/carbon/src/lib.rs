@@ -1,0 +1,23 @@
+//! ACT-style carbon comparator.
+//!
+//! The paper repeatedly contrasts water with carbon: Fig. 5 (per-source
+//! EWF vs carbon intensity), Fig. 12 (monthly water vs carbon intensity),
+//! Fig. 13 (start-time ranking under each metric), Fig. 14 (scenario
+//! savings), and Takeaway 1 (SSD vs HDD rank *opposite* on embodied
+//! carbon vs embodied water). This crate supplies the carbon side:
+//! embodied carbon per die area and per GB (ACT / "Dirty secret of SSDs"
+//! style factors) and operational carbon `E · PUE · CI`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod embodied;
+mod operational;
+
+pub use embodied::{
+    capacity_carbon, cpa_kg_per_cm2, processor_carbon, EmbodiedCarbonBreakdown, KG_CO2_PER_GB_DRAM,
+    KG_CO2_PER_GB_HDD, KG_CO2_PER_GB_SSD,
+};
+pub use operational::{
+    monthly_operational_carbon, operational_carbon, system_year_carbon, OperationalCarbon,
+};

@@ -1,0 +1,84 @@
+//! Operational carbon: `C = E · PUE · CI`, the carbon mirror of Eq. 7.
+
+use thirstyflops_core::SystemYear;
+use thirstyflops_timeseries::{HourlySeries, MonthlySeries};
+use thirstyflops_units::{GramsCo2, KilowattHours, Pue};
+
+/// Operational carbon for a period.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OperationalCarbon {
+    /// Total CO₂-eq emissions.
+    pub total: GramsCo2,
+    /// Facility energy (IT × PUE) that produced them.
+    pub facility_energy: KilowattHours,
+}
+
+/// Evaluates operational carbon from hourly IT energy and hourly carbon
+/// intensity.
+pub fn operational_carbon(
+    energy: &HourlySeries,
+    pue: Pue,
+    carbon_intensity: &HourlySeries,
+) -> OperationalCarbon {
+    let grams = energy.mul(carbon_intensity).total() * pue.value();
+    OperationalCarbon {
+        total: GramsCo2::new(grams),
+        facility_energy: KilowattHours::new(energy.total() * pue.value()),
+    }
+}
+
+/// Monthly operational carbon series, grams per month.
+pub fn monthly_operational_carbon(
+    energy: &HourlySeries,
+    pue: Pue,
+    carbon_intensity: &HourlySeries,
+) -> MonthlySeries {
+    energy
+        .mul(carbon_intensity)
+        .scale(pue.value())
+        .monthly_sum()
+}
+
+/// Convenience: operational carbon of a simulated system-year.
+pub fn system_year_carbon(year: &SystemYear) -> OperationalCarbon {
+    operational_carbon(&year.energy, year.spec.pue, &year.carbon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thirstyflops_catalog::SystemId;
+
+    #[test]
+    fn constant_series_hand_check() {
+        let energy = HourlySeries::constant(100.0);
+        let ci = HourlySeries::constant(400.0);
+        let c = operational_carbon(&energy, Pue::new(1.25).unwrap(), &ci);
+        let hours = 8760.0;
+        assert!((c.total.value() - 100.0 * 400.0 * 1.25 * hours).abs() < 1.0);
+        assert!((c.facility_energy.value() - 100.0 * 1.25 * hours).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monthly_sums_to_total() {
+        let energy = HourlySeries::from_fn(|h| 50.0 + (h % 7) as f64);
+        let ci = HourlySeries::from_fn(|h| 300.0 + (h % 11) as f64 * 10.0);
+        let pue = Pue::new(1.4).unwrap();
+        let monthly = monthly_operational_carbon(&energy, pue, &ci);
+        let total = operational_carbon(&energy, pue, &ci).total.value();
+        assert!((monthly.total() - total).abs() < 1e-6 * total);
+    }
+
+    #[test]
+    fn system_year_magnitudes() {
+        let year = SystemYear::simulate(SystemId::Marconi, 3);
+        let c = system_year_carbon(&year);
+        // Marconi: a few GWh-scale months × hundreds of g/kWh ⇒ thousands
+        // of tonnes per year.
+        let tonnes = c.total.value() / 1e6;
+        assert!(
+            (1_000.0..50_000.0).contains(&tonnes),
+            "Marconi {tonnes} tCO2"
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! Hardware specifications and manufacturing water factors.
+//!
+//! Eq. 4 prices a processor's manufacturing water as
+//! `A_die / Yield · (UPW + PCW + WPA)`:
+//!
+//! * **UPW** — ultrapure water for wafer production, lithography and
+//!   etching, rising as process nodes shrink (more layers, more cleaning
+//!   steps). The paper's Table 2 range is 5.9–14.2 L (per cm² of die)
+//!   across 28 nm down to 3 nm;
+//! * **PCW** — process cooling water for chemical-mechanical polishing,
+//!   proportional to UPW with a fab-site-specific factor;
+//! * **WPA** — water embedded in the electricity that powers the fab:
+//!   energy-per-area at the node times the fab region's grid EWF.
+//!
+//! Eq. 5 prices memory and storage at **WPC** liters per GB: DRAM 0.8,
+//! HDD 0.033, SSD 0.022 (SK hynix / Seagate sustainability sheets, as
+//! cited in Table 2). Note HDD > SSD *per drive fleet* because HDD
+//! capacities dominate; per GB the factors already encode the paper's
+//! Takeaway 1 (SSD is the water-friendlier medium per GB... see
+//! `wpc` tests).
+
+use thirstyflops_units::{
+    FabYield, LitersPerGigabyte, LitersPerSquareCm, SquareMillimeters, WaterScarcityIndex,
+};
+
+/// Packaging water overhead per integrated circuit (Eq. 3), liters.
+/// Table 2: `W_IC = 0.6 L` (SPIL sustainability report).
+pub const W_IC_LITERS: f64 = 0.6;
+
+/// Water footprint per GB of DRAM (SK hynix sustainability report).
+pub const WPC_DRAM: f64 = 0.8;
+
+/// Water footprint per GB of HDD capacity (Seagate Exos sustainability
+/// report).
+pub const WPC_HDD: f64 = 0.033;
+
+/// Water footprint per GB of SSD capacity (Seagate Nytro sustainability
+/// report).
+pub const WPC_SSD: f64 = 0.022;
+
+/// Memory/storage medium for WPC lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum Medium {
+    Dram,
+    Hdd,
+    Ssd,
+}
+
+/// WPC for a medium as a typed factor.
+pub fn wpc(medium: Medium) -> LitersPerGigabyte {
+    LitersPerGigabyte::new(match medium {
+        Medium::Dram => WPC_DRAM,
+        Medium::Hdd => WPC_HDD,
+        Medium::Ssd => WPC_SSD,
+    })
+}
+
+/// A semiconductor fabrication site (Table 2's "Location" row: "TSMC or
+/// GlobalFoundries", extended with the fabs of the systems' other parts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FabSite {
+    /// TSMC, Hsinchu / Tainan, Taiwan.
+    TsmcTaiwan,
+    /// GlobalFoundries, Malta, New York, US.
+    GlobalFoundriesUs,
+    /// Samsung, Hwaseong, South Korea.
+    SamsungKorea,
+    /// Intel, Hillsboro, Oregon, US.
+    IntelOregon,
+}
+
+impl FabSite {
+    /// All fab sites.
+    pub const ALL: [FabSite; 4] = [
+        FabSite::TsmcTaiwan,
+        FabSite::GlobalFoundriesUs,
+        FabSite::SamsungKorea,
+        FabSite::IntelOregon,
+    ];
+
+    /// Process-cooling-water factor relative to UPW (site water-recycling
+    /// practice; PCW ≈ factor × UPW).
+    pub fn pcw_factor(self) -> f64 {
+        match self {
+            FabSite::TsmcTaiwan => 1.15,
+            FabSite::GlobalFoundriesUs => 1.05,
+            FabSite::SamsungKorea => 1.10,
+            FabSite::IntelOregon => 1.00,
+        }
+    }
+
+    /// Grid EWF at the fab's location, L/kWh — converts fab energy into
+    /// WPA water.
+    pub fn grid_ewf(self) -> f64 {
+        match self {
+            FabSite::TsmcTaiwan => 1.8,
+            FabSite::GlobalFoundriesUs => 1.9,
+            FabSite::SamsungKorea => 1.5,
+            FabSite::IntelOregon => 2.1,
+        }
+    }
+
+    /// Water scarcity index of the fab's watershed (manufacturing-side WSI
+    /// for the Fig. 4 analysis). Taiwan's 2021 drought is why TSMC's WSI
+    /// is the highest here.
+    pub fn wsi(self) -> WaterScarcityIndex {
+        let v = match self {
+            FabSite::TsmcTaiwan => 0.65,
+            FabSite::GlobalFoundriesUs => 0.15,
+            FabSite::SamsungKorea => 0.30,
+            FabSite::IntelOregon => 0.25,
+        };
+        WaterScarcityIndex::new(v).expect("static WSIs are non-negative")
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FabSite::TsmcTaiwan => "TSMC (Taiwan)",
+            FabSite::GlobalFoundriesUs => "GlobalFoundries (US)",
+            FabSite::SamsungKorea => "Samsung (Korea)",
+            FabSite::IntelOregon => "Intel (Oregon, US)",
+        }
+    }
+}
+
+/// Ultrapure water per cm² of die at a process node, L/cm².
+///
+/// Interpolates the Table 2 range (5.9 L at 28 nm up to 14.2 L at 3 nm)
+/// over the IEDM DTCO (PPACE) trend: finer nodes need more masks and
+/// cleaning cycles.
+pub fn upw_per_cm2(process_node_nm: u32) -> LitersPerSquareCm {
+    let v = match process_node_nm {
+        0..=3 => 14.2,
+        4 => 13.6,
+        5 => 13.0,
+        6 => 12.2,
+        7 => 11.5,
+        8..=10 => 9.8,
+        11..=12 => 8.9,
+        13..=14 => 8.2,
+        15..=16 => 7.7,
+        17..=22 => 6.6,
+        _ => 5.9,
+    };
+    LitersPerSquareCm::new(v)
+}
+
+/// Fab energy per cm² of die at a process node, kWh/cm² (ACT-style EPA
+/// trend) — multiplied by the fab grid's EWF to obtain WPA.
+pub fn fab_energy_kwh_per_cm2(process_node_nm: u32) -> f64 {
+    match process_node_nm {
+        0..=3 => 3.0,
+        4 => 2.8,
+        5 => 2.6,
+        6 => 2.3,
+        7 => 2.1,
+        8..=10 => 1.6,
+        11..=12 => 1.4,
+        13..=14 => 1.25,
+        15..=16 => 1.1,
+        17..=22 => 0.9,
+        _ => 0.8,
+    }
+}
+
+/// A CPU or GPU specification (the Eq. 4 inputs plus power for the
+/// workload simulator).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProcessorSpec {
+    /// Marketing name (e.g. "NVIDIA A100 PCIe").
+    pub name: String,
+    /// Total silicon die area per package.
+    pub die: SquareMillimeters,
+    /// Process node in nm.
+    pub process_node_nm: u32,
+    /// Manufacturing site.
+    pub fab: FabSite,
+    /// Fab yield for this product.
+    pub yield_rate: FabYield,
+    /// Thermal design power per package, watts.
+    pub tdp_watts: f64,
+}
+
+impl ProcessorSpec {
+    /// Convenience constructor with the paper's default yield.
+    pub fn new(
+        name: impl Into<String>,
+        die_mm2: f64,
+        process_node_nm: u32,
+        fab: FabSite,
+        tdp_watts: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            die: SquareMillimeters::new(die_mm2),
+            process_node_nm,
+            fab,
+            yield_rate: FabYield::DEFAULT,
+            tdp_watts,
+        }
+    }
+
+    /// Same, but with an explicit yield — large monolithic dies (V100,
+    /// A100, MI250X GCDs) yield substantially worse than the 0.875
+    /// default, which matters for Eq. 4's `1/Yield` factor.
+    pub fn with_yield(
+        name: impl Into<String>,
+        die_mm2: f64,
+        process_node_nm: u32,
+        fab: FabSite,
+        tdp_watts: f64,
+        yield_rate: f64,
+    ) -> Self {
+        let mut spec = Self::new(name, die_mm2, process_node_nm, fab, tdp_watts);
+        spec.yield_rate = FabYield::new(yield_rate).expect("catalog yields are in (0,1]");
+        spec
+    }
+
+    /// UPW + PCW + WPA for this processor, L/cm².
+    pub fn water_per_cm2(&self) -> LitersPerSquareCm {
+        let upw = upw_per_cm2(self.process_node_nm).value();
+        let pcw = upw * self.fab.pcw_factor();
+        let wpa = fab_energy_kwh_per_cm2(self.process_node_nm) * self.fab.grid_ewf();
+        LitersPerSquareCm::new(upw + pcw + wpa)
+    }
+}
+
+/// Per-node hardware configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NodeConfig {
+    /// CPU spec.
+    pub cpu: ProcessorSpec,
+    /// CPU packages per node.
+    pub cpus_per_node: u32,
+    /// GPU spec, if the system has accelerators.
+    pub gpu: Option<ProcessorSpec>,
+    /// GPU packages per node.
+    pub gpus_per_node: u32,
+    /// DRAM (DDR + HBM) per node, GB.
+    pub dram_gb: f64,
+    /// Integrated circuits per node needing packaging (Eq. 3's N_IC;
+    /// Table 2 range 9–26).
+    pub ics_per_node: u32,
+    /// Non-processor node power (NICs, fans, board), watts.
+    pub misc_power_watts: f64,
+    /// Fraction of peak power drawn when idle.
+    pub idle_fraction: f64,
+}
+
+impl NodeConfig {
+    /// Peak node power, watts (TDP sum + misc).
+    pub fn peak_power_watts(&self) -> f64 {
+        let cpu = self.cpu.tdp_watts * self.cpus_per_node as f64;
+        let gpu = self
+            .gpu
+            .as_ref()
+            .map_or(0.0, |g| g.tdp_watts * self.gpus_per_node as f64);
+        cpu + gpu + self.misc_power_watts
+    }
+
+    /// Node power at a given utilization in `[0, 1]`: idle floor plus
+    /// linear scaling — the estimation path the paper uses when only job
+    /// logs (not power logs) are available.
+    pub fn power_at_utilization_watts(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        let peak = self.peak_power_watts();
+        peak * (self.idle_fraction + (1.0 - self.idle_fraction) * u)
+    }
+}
+
+/// System-level storage configuration (file-system scale).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StorageConfig {
+    /// HDD tier capacity, PB.
+    pub hdd_pb: f64,
+    /// SSD/flash tier capacity, PB.
+    pub ssd_pb: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upw_matches_table2_range_and_is_monotone() {
+        assert_eq!(upw_per_cm2(3).value(), 14.2);
+        assert_eq!(upw_per_cm2(28).value(), 5.9);
+        let mut prev = f64::INFINITY;
+        for node in [3u32, 5, 6, 7, 10, 12, 14, 16, 22, 28] {
+            let v = upw_per_cm2(node).value();
+            assert!(v <= prev, "UPW should shrink with coarser nodes");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn fab_energy_monotone() {
+        let mut prev = f64::INFINITY;
+        for node in [3u32, 5, 7, 10, 14, 22, 28] {
+            let v = fab_energy_kwh_per_cm2(node);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn wpc_ssd_below_hdd_below_dram() {
+        // Takeaway 1's per-GB ordering: SSD < HDD << DRAM.
+        assert!(WPC_SSD < WPC_HDD);
+        assert!(WPC_HDD < WPC_DRAM);
+        assert_eq!(wpc(Medium::Dram).value(), 0.8);
+        assert_eq!(wpc(Medium::Hdd).value(), 0.033);
+        assert_eq!(wpc(Medium::Ssd).value(), 0.022);
+    }
+
+    #[test]
+    fn processor_water_per_cm2_is_plausible() {
+        let a100 = ProcessorSpec::new("A100", 826.0, 7, FabSite::TsmcTaiwan, 250.0);
+        let w = a100.water_per_cm2().value();
+        // 7 nm TSMC: 11.5 + 11.5*1.15 + 2.1*1.8 ≈ 28.5 L/cm².
+        assert!((w - 28.505).abs() < 0.01, "got {w}");
+    }
+
+    #[test]
+    fn finer_nodes_cost_more_water_per_cm2() {
+        let at = |node| {
+            ProcessorSpec::new("X", 100.0, node, FabSite::TsmcTaiwan, 100.0)
+                .water_per_cm2()
+                .value()
+        };
+        assert!(at(3) > at(7));
+        assert!(at(7) > at(14));
+        assert!(at(14) > at(28));
+    }
+
+    #[test]
+    fn node_power_model() {
+        let cpu = ProcessorSpec::new("CPU", 700.0, 14, FabSite::GlobalFoundriesUs, 200.0);
+        let gpu = ProcessorSpec::new("GPU", 800.0, 7, FabSite::TsmcTaiwan, 300.0);
+        let node = NodeConfig {
+            cpu,
+            cpus_per_node: 2,
+            gpu: Some(gpu),
+            gpus_per_node: 4,
+            dram_gb: 512.0,
+            ics_per_node: 20,
+            misc_power_watts: 400.0,
+            idle_fraction: 0.3,
+        };
+        assert_eq!(node.peak_power_watts(), 2.0 * 200.0 + 4.0 * 300.0 + 400.0);
+        let peak = node.peak_power_watts();
+        assert_eq!(node.power_at_utilization_watts(1.0), peak);
+        assert_eq!(node.power_at_utilization_watts(0.0), 0.3 * peak);
+        // Out-of-range utilization clamps.
+        assert_eq!(node.power_at_utilization_watts(2.0), peak);
+        let half = node.power_at_utilization_watts(0.5);
+        assert!((half - peak * 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fab_metadata() {
+        for fab in FabSite::ALL {
+            assert!(fab.pcw_factor() > 0.9 && fab.pcw_factor() < 1.3);
+            assert!(fab.grid_ewf() > 1.0 && fab.grid_ewf() < 3.0);
+            assert!(fab.wsi().value() >= 0.0);
+            assert!(!fab.name().is_empty());
+        }
+        // Taiwan (drought-prone) is the scarcest fab watershed here.
+        for fab in FabSite::ALL {
+            assert!(FabSite::TsmcTaiwan.wsi().value() >= fab.wsi().value());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The hardware and system catalog: everything Table 1 and Table 2 of the
+//! paper encode as data.
+//!
+//! * [`hardware`] — processor/memory/storage specs, semiconductor fab
+//!   sites, and the per-process-node manufacturing water factors
+//!   (UPW/PCW/WPA of Eq. 4, WPC of Eq. 5);
+//! * [`systems`] — the four paper systems (Marconi100, Fugaku, Polaris,
+//!   Frontier) plus the §6 extension systems (Aurora, El Capitan) with
+//!   full bills of materials, PUE, grid region, climate, and plant fleet;
+//! * [`wsi`] — AWARE-style water scarcity indices at country, state, and
+//!   (synthetic) county granularity;
+//! * [`usmap`] — the Fig. 1 state-level panorama: carbon intensity, WSI,
+//!   and a synthetic US TOP500 power snapshot;
+//! * [`fleet`] — synthetic system generation around the cataloged
+//!   archetypes (§6(b): applying the tool beyond the evaluated systems).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod hardware;
+pub mod systems;
+pub mod usmap;
+pub mod wsi;
+
+pub use fleet::synthesize_fleet;
+pub use hardware::{FabSite, NodeConfig, ProcessorSpec, StorageConfig};
+pub use systems::{SystemId, SystemSpec};

@@ -1,0 +1,479 @@
+//! The supercomputer catalog: Table 1's four systems plus the §6
+//! extension systems (Aurora, El Capitan).
+//!
+//! Hardware figures come from vendor sheets / WikiChip / TechPowerUp as
+//! the paper's Table 2 prescribes; PUE values are the paper's (Marconi
+//! 1.25, Fugaku 1.4, Polaris 1.65, Frontier 1.05). Each system also
+//! carries its grid region, climate preset, site WSI, supplying plant
+//! fleet (Fig. 9), and a mean utilization for the trace generator.
+
+use thirstyflops_grid::{PlantFleet, PowerPlant, RegionId};
+use thirstyflops_units::{Megawatts, Pue, WaterScarcityIndex};
+use thirstyflops_weather::ClimatePreset;
+
+use crate::hardware::{FabSite, NodeConfig, ProcessorSpec, StorageConfig};
+use thirstyflops_grid::EnergySource;
+
+/// Identifier of a cataloged system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum SystemId {
+    Marconi,
+    Fugaku,
+    Polaris,
+    Frontier,
+    Aurora,
+    ElCapitan,
+}
+
+impl SystemId {
+    /// The paper's four evaluated systems, Table 1 order.
+    pub const PAPER: [SystemId; 4] = [
+        SystemId::Marconi,
+        SystemId::Fugaku,
+        SystemId::Polaris,
+        SystemId::Frontier,
+    ];
+
+    /// All cataloged systems including §6 extensions.
+    pub const ALL: [SystemId; 6] = [
+        SystemId::Marconi,
+        SystemId::Fugaku,
+        SystemId::Polaris,
+        SystemId::Frontier,
+        SystemId::Aurora,
+        SystemId::ElCapitan,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemId::Marconi => "Marconi100",
+            SystemId::Fugaku => "Fugaku",
+            SystemId::Polaris => "Polaris",
+            SystemId::Frontier => "Frontier",
+            SystemId::Aurora => "Aurora",
+            SystemId::ElCapitan => "El Capitan",
+        }
+    }
+}
+
+impl core::fmt::Display for SystemId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full specification of a cataloged system.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SystemSpec {
+    /// Identifier.
+    pub id: SystemId,
+    /// Facility / operator.
+    pub operator: String,
+    /// City, country.
+    pub location: String,
+    /// Year of first operation (Table 1's "Start Year").
+    pub start_year: u32,
+    /// Compute node count.
+    pub nodes: u32,
+    /// Per-node hardware.
+    pub node: NodeConfig,
+    /// File-system storage tiers.
+    pub storage: StorageConfig,
+    /// Facility PUE.
+    pub pue: Pue,
+    /// Electricity grid region.
+    pub region: RegionId,
+    /// Site climate preset.
+    pub climate: ClimatePreset,
+    /// Direct (datacenter-site) water scarcity index.
+    pub site_wsi: WaterScarcityIndex,
+    /// Plants supplying the facility (for the indirect WSI of Fig. 9).
+    pub fleet: PlantFleet,
+    /// Long-run mean machine utilization for the trace generator.
+    pub mean_utilization: f64,
+}
+
+impl SystemSpec {
+    /// The reference specification for a cataloged system.
+    pub fn reference(id: SystemId) -> SystemSpec {
+        match id {
+            SystemId::Marconi => marconi(),
+            SystemId::Fugaku => fugaku(),
+            SystemId::Polaris => polaris(),
+            SystemId::Frontier => frontier(),
+            SystemId::Aurora => aurora(),
+            SystemId::ElCapitan => el_capitan(),
+        }
+    }
+
+    /// Peak facility IT power.
+    pub fn peak_power(&self) -> Megawatts {
+        Megawatts::new(self.node.peak_power_watts() * self.nodes as f64 / 1.0e6)
+    }
+
+    /// True if the system has GPU accelerators.
+    pub fn has_gpus(&self) -> bool {
+        self.node.gpu.is_some() && self.node.gpus_per_node > 0
+    }
+}
+
+fn wsi(v: f64) -> WaterScarcityIndex {
+    WaterScarcityIndex::new(v).expect("static WSI is non-negative")
+}
+
+fn plant(name: &str, source: EnergySource, share: f64, wsi: f64) -> PowerPlant {
+    PowerPlant::new(name, source, share, wsi).expect("static plant data is valid")
+}
+
+fn marconi() -> SystemSpec {
+    SystemSpec {
+        id: SystemId::Marconi,
+        operator: "CINECA".into(),
+        location: "Bologna, Italy".into(),
+        start_year: 2019,
+        nodes: 980,
+        node: NodeConfig {
+            // IBM POWER9 (AC922): 695 mm², GlobalFoundries 14 nm.
+            cpu: ProcessorSpec::new("IBM POWER9 AC922", 695.0, 14, FabSite::GlobalFoundriesUs, 190.0),
+            cpus_per_node: 2,
+            // NVIDIA V100 SXM2: 815 mm², TSMC 12 nm.
+            gpu: Some(ProcessorSpec::with_yield(
+                "NVIDIA V100 SXM2",
+                815.0,
+                12,
+                FabSite::TsmcTaiwan,
+                300.0,
+                0.70,
+            )),
+            gpus_per_node: 4,
+            dram_gb: 256.0,
+            ics_per_node: 26,
+            misc_power_watts: 300.0,
+            idle_fraction: 0.35,
+        },
+        storage: StorageConfig {
+            hdd_pb: 8.0,
+            ssd_pb: 1.0,
+        },
+        pue: Pue::new(1.25).expect("paper PUE"),
+        region: RegionId::EmiliaRomagna,
+        climate: ClimatePreset::Bologna,
+        site_wsi: wsi(0.35),
+        fleet: PlantFleet::new(vec![
+            plant("Alpine Hydro Cascade", EnergySource::Hydro, 0.25, 0.20),
+            plant("Po Valley CCGT", EnergySource::Gas, 0.50, 0.42),
+            plant("Adriatic Wind", EnergySource::Wind, 0.10, 0.30),
+            plant("Emilia Solar Parks", EnergySource::Solar, 0.15, 0.38),
+        ])
+        .expect("static fleet sums to 1"),
+        mean_utilization: 0.80,
+    }
+}
+
+fn fugaku() -> SystemSpec {
+    SystemSpec {
+        id: SystemId::Fugaku,
+        operator: "RIKEN R-CCS".into(),
+        location: "Kobe, Japan".into(),
+        start_year: 2020,
+        nodes: 158_976,
+        node: NodeConfig {
+            // Fujitsu A64FX 48C: ~400 mm², TSMC 7 nm, ~140 W with HBM.
+            cpu: ProcessorSpec::new("Fujitsu A64FX 48C", 400.0, 7, FabSite::TsmcTaiwan, 140.0),
+            cpus_per_node: 1,
+            gpu: None,
+            gpus_per_node: 0,
+            dram_gb: 32.0, // HBM2 on package
+            ics_per_node: 9,
+            misc_power_watts: 30.0,
+            idle_fraction: 0.30,
+        },
+        storage: StorageConfig {
+            hdd_pb: 150.0,
+            ssd_pb: 16.0,
+        },
+        pue: Pue::new(1.4).expect("paper PUE"),
+        region: RegionId::Kansai,
+        climate: ClimatePreset::Kobe,
+        site_wsi: wsi(0.13),
+        fleet: PlantFleet::new(vec![
+            plant("Kansai Nuclear Units", EnergySource::Nuclear, 0.25, 0.12),
+            plant("Kobe Bay LNG", EnergySource::Gas, 0.45, 0.14),
+            plant("Harima Coal", EnergySource::Coal, 0.25, 0.13),
+            plant("Rooftop Solar Aggregation", EnergySource::Solar, 0.05, 0.13),
+        ])
+        .expect("static fleet sums to 1"),
+        mean_utilization: 0.75,
+    }
+}
+
+fn polaris() -> SystemSpec {
+    SystemSpec {
+        id: SystemId::Polaris,
+        operator: "Argonne National Laboratory".into(),
+        location: "Lemont, Illinois, US".into(),
+        start_year: 2021,
+        nodes: 560,
+        node: NodeConfig {
+            // AMD EPYC 7532 (Rome MCM): ~712 mm² silicon, TSMC 7 nm
+            // (IOD on GF 14 nm folded into the aggregate area).
+            cpu: ProcessorSpec::new("AMD EPYC 7532", 712.0, 7, FabSite::TsmcTaiwan, 200.0),
+            cpus_per_node: 1,
+            // NVIDIA A100 PCIe 40 GB: 826 mm², TSMC 7 nm.
+            gpu: Some(ProcessorSpec::with_yield(
+                "NVIDIA A100 PCIe",
+                826.0,
+                7,
+                FabSite::TsmcTaiwan,
+                250.0,
+                0.70,
+            )),
+            gpus_per_node: 4,
+            dram_gb: 512.0,
+            ics_per_node: 21,
+            misc_power_watts: 250.0,
+            idle_fraction: 0.30,
+        },
+        // Paper: "Polaris employs an all-flash storage".
+        storage: StorageConfig {
+            hdd_pb: 0.0,
+            ssd_pb: 4.0,
+        },
+        pue: Pue::new(1.65).expect("paper PUE"),
+        region: RegionId::NorthernIllinois,
+        climate: ClimatePreset::Lemont,
+        site_wsi: wsi(0.55),
+        fleet: PlantFleet::new(vec![
+            plant("Byron Nuclear", EnergySource::Nuclear, 0.35, 0.55),
+            plant("Braidwood Nuclear", EnergySource::Nuclear, 0.25, 0.65),
+            plant("Joliet Gas Peakers", EnergySource::Gas, 0.25, 0.60),
+            plant("Iowa Wind Imports", EnergySource::Wind, 0.15, 0.35),
+        ])
+        .expect("static fleet sums to 1"),
+        mean_utilization: 0.70,
+    }
+}
+
+fn frontier() -> SystemSpec {
+    SystemSpec {
+        id: SystemId::Frontier,
+        operator: "Oak Ridge National Laboratory".into(),
+        location: "Oak Ridge, Tennessee, US".into(),
+        start_year: 2021,
+        nodes: 9_408,
+        node: NodeConfig {
+            // AMD EPYC 7A53 (Trento): 8×CCD + IOD ≈ 1008 mm².
+            cpu: ProcessorSpec::new("AMD EPYC 7A53", 1008.0, 7, FabSite::TsmcTaiwan, 225.0),
+            cpus_per_node: 1,
+            // AMD Instinct MI250X: dual GCD, 2×724 mm², TSMC 6 nm.
+            gpu: Some(ProcessorSpec::with_yield(
+                "AMD Instinct MI250X",
+                1448.0,
+                6,
+                FabSite::TsmcTaiwan,
+                560.0,
+                0.70,
+            )),
+            gpus_per_node: 4,
+            dram_gb: 1024.0, // 512 GB DDR4 + 512 GB HBM2e
+            ics_per_node: 25,
+            misc_power_watts: 350.0,
+            idle_fraction: 0.30,
+        },
+        // Orion: 679 PB HDD tier (the paper's headline), ~11 PB flash.
+        storage: StorageConfig {
+            hdd_pb: 679.0,
+            ssd_pb: 11.0,
+        },
+        pue: Pue::new(1.05).expect("paper PUE"),
+        region: RegionId::Tennessee,
+        climate: ClimatePreset::OakRidge,
+        site_wsi: wsi(0.10),
+        fleet: PlantFleet::new(vec![
+            plant("Watts Bar Nuclear", EnergySource::Nuclear, 0.40, 0.12),
+            plant("TVA Hydro Dams", EnergySource::Hydro, 0.15, 0.08),
+            plant("Cumberland Gas", EnergySource::Gas, 0.30, 0.11),
+            plant("Kingston Coal", EnergySource::Coal, 0.15, 0.14),
+        ])
+        .expect("static fleet sums to 1"),
+        mean_utilization: 0.85,
+    }
+}
+
+fn aurora() -> SystemSpec {
+    SystemSpec {
+        id: SystemId::Aurora,
+        operator: "Argonne National Laboratory".into(),
+        location: "Lemont, Illinois, US".into(),
+        start_year: 2023,
+        nodes: 10_624,
+        node: NodeConfig {
+            // Intel Xeon Max 9470 (Sapphire Rapids HBM): 4 tiles ≈ 1600 mm².
+            cpu: ProcessorSpec::new("Intel Xeon Max 9470", 1600.0, 10, FabSite::IntelOregon, 350.0),
+            cpus_per_node: 2,
+            // Intel Data Center GPU Max 1550 (Ponte Vecchio): compute
+            // tiles on TSMC N5, ~1280 mm² aggregate.
+            gpu: Some(ProcessorSpec::with_yield(
+                "Intel Max 1550",
+                1280.0,
+                5,
+                FabSite::TsmcTaiwan,
+                600.0,
+                0.70,
+            )),
+            gpus_per_node: 6,
+            dram_gb: 1792.0, // 1024 DDR5 + 768 HBM2e
+            ics_per_node: 26,
+            misc_power_watts: 500.0,
+            idle_fraction: 0.30,
+        },
+        storage: StorageConfig {
+            hdd_pb: 0.0,
+            ssd_pb: 220.0, // DAOS all-flash
+        },
+        pue: Pue::new(1.30).expect("static PUE"),
+        region: RegionId::NorthernIllinois,
+        climate: ClimatePreset::Lemont,
+        site_wsi: wsi(0.55),
+        fleet: PlantFleet::new(vec![
+            plant("Byron Nuclear", EnergySource::Nuclear, 0.40, 0.50),
+            plant("Braidwood Nuclear", EnergySource::Nuclear, 0.25, 0.60),
+            plant("Joliet Gas Peakers", EnergySource::Gas, 0.20, 0.55),
+            plant("Iowa Wind Imports", EnergySource::Wind, 0.15, 0.30),
+        ])
+        .expect("static fleet sums to 1"),
+        mean_utilization: 0.65,
+    }
+}
+
+fn el_capitan() -> SystemSpec {
+    SystemSpec {
+        id: SystemId::ElCapitan,
+        operator: "Lawrence Livermore National Laboratory".into(),
+        location: "Livermore, California, US".into(),
+        start_year: 2024,
+        nodes: 11_136,
+        node: NodeConfig {
+            // MI300A APU split for modeling: the Zen4 CCD complex is
+            // booked as "CPU" silicon, the XCD/IOD stack as "GPU".
+            cpu: ProcessorSpec::new("MI300A Zen4 CCDs", 220.0, 5, FabSite::TsmcTaiwan, 100.0),
+            cpus_per_node: 4,
+            gpu: Some(ProcessorSpec::new(
+                "MI300A XCD stack",
+                800.0,
+                5,
+                FabSite::TsmcTaiwan,
+                450.0,
+            )),
+            gpus_per_node: 4,
+            dram_gb: 512.0, // HBM3
+            ics_per_node: 16,
+            misc_power_watts: 400.0,
+            idle_fraction: 0.30,
+        },
+        storage: StorageConfig {
+            hdd_pb: 0.0,
+            ssd_pb: 90.0, // Rabbit near-node flash
+        },
+        pue: Pue::new(1.10).expect("static PUE"),
+        region: RegionId::California,
+        climate: ClimatePreset::Livermore,
+        site_wsi: wsi(0.70),
+        fleet: PlantFleet::new(vec![
+            plant("Diablo Canyon Nuclear", EnergySource::Nuclear, 0.20, 0.65),
+            plant("Central Valley Solar", EnergySource::Solar, 0.30, 0.75),
+            plant("Sierra Hydro", EnergySource::Hydro, 0.15, 0.55),
+            plant("Bay Area CCGT", EnergySource::Gas, 0.35, 0.70),
+        ])
+        .expect("static fleet sums to 1"),
+        mean_utilization: 0.70,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_metadata_matches_paper() {
+        let m = SystemSpec::reference(SystemId::Marconi);
+        assert_eq!(m.start_year, 2019);
+        assert!(m.location.contains("Bologna"));
+        assert_eq!(m.pue.value(), 1.25);
+
+        let f = SystemSpec::reference(SystemId::Fugaku);
+        assert_eq!(f.start_year, 2020);
+        assert!(!f.has_gpus());
+        assert_eq!(f.pue.value(), 1.4);
+
+        let p = SystemSpec::reference(SystemId::Polaris);
+        assert_eq!(p.start_year, 2021);
+        assert_eq!(p.pue.value(), 1.65);
+        assert_eq!(p.storage.hdd_pb, 0.0, "Polaris is all-flash");
+
+        let fr = SystemSpec::reference(SystemId::Frontier);
+        assert_eq!(fr.start_year, 2021);
+        assert_eq!(fr.pue.value(), 1.05);
+        assert_eq!(fr.storage.hdd_pb, 679.0, "679 PB HDD file system");
+    }
+
+    #[test]
+    fn peak_power_scales_are_realistic() {
+        // Fugaku and Frontier are tens of MW; Polaris and Marconi are
+        // single-digit MW.
+        let fugaku = SystemSpec::reference(SystemId::Fugaku).peak_power().value();
+        assert!((15.0..40.0).contains(&fugaku), "Fugaku {fugaku} MW");
+        let frontier = SystemSpec::reference(SystemId::Frontier)
+            .peak_power()
+            .value();
+        assert!((15.0..40.0).contains(&frontier), "Frontier {frontier} MW");
+        let polaris = SystemSpec::reference(SystemId::Polaris).peak_power().value();
+        assert!((0.5..4.0).contains(&polaris), "Polaris {polaris} MW");
+        let marconi = SystemSpec::reference(SystemId::Marconi).peak_power().value();
+        assert!((1.0..4.0).contains(&marconi), "Marconi {marconi} MW");
+    }
+
+    #[test]
+    fn ic_counts_in_table2_range() {
+        for id in SystemId::ALL {
+            let s = SystemSpec::reference(id);
+            assert!(
+                (9..=26).contains(&s.node.ics_per_node),
+                "{id}: {}",
+                s.node.ics_per_node
+            );
+        }
+    }
+
+    #[test]
+    fn fleets_are_consistent_with_regions() {
+        for id in SystemId::ALL {
+            let s = SystemSpec::reference(id);
+            // Indirect WSI is in the hull of the plant WSIs and finite.
+            let ind = s.fleet.indirect_wsi().value();
+            assert!(ind > 0.0 && ind < 1.0, "{id}: {ind}");
+            assert!(s.mean_utilization > 0.3 && s.mean_utilization <= 0.95);
+        }
+    }
+
+    #[test]
+    fn polaris_site_is_scarcest_of_the_four() {
+        // Fig. 8(b): Chicago-area WSI is the highest among the four sites.
+        let polaris = SystemSpec::reference(SystemId::Polaris).site_wsi.value();
+        for id in SystemId::PAPER {
+            if id != SystemId::Polaris {
+                let other = SystemSpec::reference(id).site_wsi.value();
+                assert!(polaris > other, "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SystemId::Marconi.to_string(), "Marconi100");
+        assert_eq!(SystemId::ALL.len(), 6);
+        assert_eq!(SystemId::PAPER.len(), 4);
+    }
+}

@@ -1,0 +1,224 @@
+//! The Fig. 1 US panorama: state-level carbon intensity, water scarcity,
+//! and aggregate HPC power.
+//!
+//! Carbon intensities approximate Electricity Maps' major-agency values
+//! per state (coastal grids lean cleaner, inland/coal grids dirtier — the
+//! Fig. 1(a) pattern). The HPC power snapshot is a synthetic TOP500-US
+//! subset: real site names with public peak-power figures where known,
+//! rounded; it only needs to reproduce where US HPC power concentrates
+//! (Fig. 1(c)).
+
+use thirstyflops_units::{GramsCo2PerKwh, Megawatts};
+
+use crate::wsi::{state_wsi, STATE_ABBRS};
+
+/// State-level grid carbon intensity, gCO₂/kWh.
+pub fn state_carbon_intensity(abbr: &str) -> Option<GramsCo2PerKwh> {
+    let v = match abbr {
+        "AL" => 330.0,
+        "AK" => 450.0,
+        "AZ" => 400.0,
+        "AR" => 420.0,
+        "CA" => 230.0,
+        "CO" => 560.0,
+        "CT" => 250.0,
+        "DC" => 350.0,
+        "DE" => 430.0,
+        "FL" => 400.0,
+        "GA" => 360.0,
+        "HI" => 600.0,
+        "ID" => 120.0,
+        "IL" => 270.0,
+        "IN" => 680.0,
+        "IA" => 350.0,
+        "KS" => 420.0,
+        "KY" => 720.0,
+        "LA" => 400.0,
+        "ME" => 180.0,
+        "MD" => 320.0,
+        "MA" => 290.0,
+        "MI" => 460.0,
+        "MN" => 380.0,
+        "MS" => 410.0,
+        "MO" => 650.0,
+        "MT" => 480.0,
+        "NE" => 540.0,
+        "NV" => 350.0,
+        "NH" => 150.0,
+        "NJ" => 270.0,
+        "NM" => 520.0,
+        "NY" => 210.0,
+        "NC" => 330.0,
+        "ND" => 700.0,
+        "OH" => 560.0,
+        "OK" => 430.0,
+        "OR" => 160.0,
+        "PA" => 360.0,
+        "RI" => 390.0,
+        "SC" => 260.0,
+        "SD" => 250.0,
+        "TN" => 300.0,
+        "TX" => 420.0,
+        "UT" => 640.0,
+        "VT" => 30.0,
+        "VA" => 300.0,
+        "WA" => 110.0,
+        "WV" => 850.0,
+        "WI" => 550.0,
+        "WY" => 790.0,
+        _ => return None,
+    };
+    Some(GramsCo2PerKwh::new(v))
+}
+
+/// One US HPC installation in the synthetic TOP500 snapshot.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HpcSite {
+    /// System name.
+    pub name: &'static str,
+    /// State abbreviation.
+    pub state: &'static str,
+    /// Approximate peak system power, MW.
+    pub power_mw: f64,
+}
+
+/// The synthetic US TOP500 snapshot used for Fig. 1(c).
+pub fn hpc_snapshot() -> Vec<HpcSite> {
+    vec![
+        HpcSite { name: "Frontier", state: "TN", power_mw: 21.1 },
+        HpcSite { name: "Summit", state: "TN", power_mw: 13.0 },
+        HpcSite { name: "Aurora", state: "IL", power_mw: 38.7 },
+        HpcSite { name: "Polaris", state: "IL", power_mw: 1.8 },
+        HpcSite { name: "Theta-legacy", state: "IL", power_mw: 1.7 },
+        HpcSite { name: "El Capitan", state: "CA", power_mw: 29.6 },
+        HpcSite { name: "Sierra", state: "CA", power_mw: 11.0 },
+        HpcSite { name: "Perlmutter", state: "CA", power_mw: 6.0 },
+        HpcSite { name: "Expanse", state: "CA", power_mw: 1.3 },
+        HpcSite { name: "Lassen", state: "CA", power_mw: 2.2 },
+        HpcSite { name: "Frontera", state: "TX", power_mw: 6.0 },
+        HpcSite { name: "Stampede3", state: "TX", power_mw: 4.0 },
+        HpcSite { name: "Vista", state: "TX", power_mw: 1.5 },
+        HpcSite { name: "Trinity-legacy", state: "NM", power_mw: 8.5 },
+        HpcSite { name: "Crossroads", state: "NM", power_mw: 6.0 },
+        HpcSite { name: "Eagle", state: "CO", power_mw: 2.5 },
+        HpcSite { name: "Kestrel", state: "CO", power_mw: 4.0 },
+        HpcSite { name: "Derecho", state: "WY", power_mw: 4.0 },
+        HpcSite { name: "Anvil", state: "IN", power_mw: 1.0 },
+        HpcSite { name: "Bridges-2", state: "PA", power_mw: 1.6 },
+        HpcSite { name: "Sapphire-ARL", state: "MD", power_mw: 2.0 },
+        HpcSite { name: "Narwhal", state: "MS", power_mw: 3.0 },
+        HpcSite { name: "Cascade-lab", state: "WA", power_mw: 1.5 },
+        HpcSite { name: "Delta", state: "IL", power_mw: 1.0 },
+        HpcSite { name: "Hive", state: "GA", power_mw: 0.8 },
+        HpcSite { name: "Osprey", state: "FL", power_mw: 0.7 },
+    ]
+}
+
+/// One Fig. 1 row: a state with its three overlays.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StateOverview {
+    /// State abbreviation.
+    pub state: String,
+    /// Grid carbon intensity, gCO₂/kWh (Fig. 1(a)).
+    pub carbon_intensity: f64,
+    /// Water scarcity index (Fig. 1(b)).
+    pub wsi: f64,
+    /// Aggregate HPC power, MW (Fig. 1(c)); zero for states without
+    /// snapshot systems.
+    pub hpc_power_mw: f64,
+}
+
+/// Builds the full Fig. 1 table over all states.
+pub fn state_overview() -> Vec<StateOverview> {
+    let snapshot = hpc_snapshot();
+    STATE_ABBRS
+        .iter()
+        .map(|&abbr| {
+            let hpc: f64 = snapshot
+                .iter()
+                .filter(|s| s.state == abbr)
+                .map(|s| s.power_mw)
+                .sum();
+            StateOverview {
+                state: abbr.to_string(),
+                carbon_intensity: state_carbon_intensity(abbr)
+                    .expect("all states covered")
+                    .value(),
+                wsi: state_wsi(abbr).expect("all states covered").value(),
+                hpc_power_mw: hpc,
+            }
+        })
+        .collect()
+}
+
+/// Total snapshot HPC power, MW.
+pub fn total_hpc_power() -> Megawatts {
+    Megawatts::new(hpc_snapshot().iter().map(|s| s.power_mw).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_state_has_carbon_intensity() {
+        for abbr in STATE_ABBRS {
+            let ci = state_carbon_intensity(abbr).unwrap().value();
+            assert!((20.0..900.0).contains(&ci), "{abbr}: {ci}");
+        }
+        assert!(state_carbon_intensity("ZZ").is_none());
+    }
+
+    #[test]
+    fn coastal_cleaner_than_coal_belt() {
+        // The Fig. 1(a) pattern: coastal states (CA, NY, WA, OR) cleaner
+        // than the coal belt (WV, KY, WY, IN).
+        for coast in ["CA", "NY", "WA", "OR"] {
+            for inland in ["WV", "KY", "WY", "IN"] {
+                assert!(
+                    state_carbon_intensity(coast).unwrap().value()
+                        < state_carbon_intensity(inland).unwrap().value(),
+                    "{coast} vs {inland}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_states_exist_and_power_positive() {
+        for site in hpc_snapshot() {
+            assert!(state_wsi(site.state).is_some(), "{}", site.name);
+            assert!(site.power_mw > 0.0);
+        }
+        assert!(total_hpc_power().value() > 100.0);
+    }
+
+    #[test]
+    fn some_hpc_power_sits_in_water_stressed_states() {
+        // The paper's motivation: HPC centers are not all in water-rich
+        // places. At least 25 % of snapshot power is in states with
+        // WSI ≥ 0.5.
+        let total = total_hpc_power().value();
+        let stressed: f64 = hpc_snapshot()
+            .iter()
+            .filter(|s| state_wsi(s.state).unwrap().value() >= 0.5)
+            .map(|s| s.power_mw)
+            .sum();
+        assert!(
+            stressed / total > 0.25,
+            "stressed share {}",
+            stressed / total
+        );
+    }
+
+    #[test]
+    fn overview_covers_all_states_and_aggregates() {
+        let rows = state_overview();
+        assert_eq!(rows.len(), 51);
+        let il = rows.iter().find(|r| r.state == "IL").unwrap();
+        // Aurora + Polaris + Theta + Delta.
+        assert!((il.hpc_power_mw - 43.2).abs() < 1e-9);
+        let vt = rows.iter().find(|r| r.state == "VT").unwrap();
+        assert_eq!(vt.hpc_power_mw, 0.0);
+    }
+}

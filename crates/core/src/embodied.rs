@@ -1,0 +1,202 @@
+//! Embodied water footprint: Eq. 2–5.
+//!
+//! `W_embodied = W_pkg + W_mfg` where packaging is `Σ W_IC · N_IC`
+//! (Eq. 3), processor manufacturing is `A_die/Yield · (UPW + PCW + WPA)`
+//! (Eq. 4), and memory/storage is `WPC · Capacity` (Eq. 5).
+
+use thirstyflops_catalog::hardware::{self, Medium, ProcessorSpec};
+use thirstyflops_catalog::SystemSpec;
+use thirstyflops_units::{Fraction, Gigabytes, Liters, Petabytes, SquareCentimeters};
+
+/// Per-component embodied water for a whole system.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EmbodiedBreakdown {
+    /// All CPU packages (Eq. 4).
+    pub cpu: Liters,
+    /// All GPU packages (Eq. 4); zero for CPU-only systems.
+    pub gpu: Liters,
+    /// All DRAM/HBM (Eq. 5).
+    pub dram: Liters,
+    /// HDD storage tier (Eq. 5).
+    pub hdd: Liters,
+    /// SSD/flash storage tier (Eq. 5).
+    pub ssd: Liters,
+    /// IC packaging overhead (Eq. 3).
+    pub packaging: Liters,
+}
+
+/// Eq. 4 for a single processor package.
+///
+/// ```
+/// use thirstyflops_catalog::hardware::{FabSite, ProcessorSpec};
+/// use thirstyflops_core::embodied::processor_water;
+///
+/// // NVIDIA A100: 826 mm² at TSMC 7 nm, default 0.875 yield.
+/// let a100 = ProcessorSpec::new("A100", 826.0, 7, FabSite::TsmcTaiwan, 250.0);
+/// let water = processor_water(&a100);
+/// // A_die/Yield × (UPW + PCW + WPA) ≈ 9.44 cm² × 28.5 L/cm² ≈ 269 L.
+/// assert!((water.value() - 269.1).abs() < 1.0);
+/// ```
+pub fn processor_water(spec: &ProcessorSpec) -> Liters {
+    let area: SquareCentimeters = spec.die.into();
+    let effective_area = area * spec.yield_rate.inflation();
+    spec.water_per_cm2() * effective_area
+}
+
+/// Eq. 5 for a capacity on a medium.
+pub fn capacity_water(medium: Medium, capacity: Gigabytes) -> Liters {
+    hardware::wpc(medium) * capacity
+}
+
+impl EmbodiedBreakdown {
+    /// Computes the full breakdown for a cataloged system (Eq. 2–5).
+    pub fn for_system(spec: &SystemSpec) -> Self {
+        let nodes = spec.nodes as f64;
+        let cpu = processor_water(&spec.node.cpu) * (spec.node.cpus_per_node as f64) * nodes;
+        let gpu = spec.node.gpu.as_ref().map_or(Liters::ZERO, |g| {
+            processor_water(g) * (spec.node.gpus_per_node as f64) * nodes
+        });
+        let dram = capacity_water(Medium::Dram, Gigabytes::new(spec.node.dram_gb * nodes));
+        let hdd = capacity_water(Medium::Hdd, Petabytes::new(spec.storage.hdd_pb).into());
+        let ssd = capacity_water(Medium::Ssd, Petabytes::new(spec.storage.ssd_pb).into());
+        let packaging =
+            Liters::new(hardware::W_IC_LITERS * spec.node.ics_per_node as f64 * nodes);
+        Self {
+            cpu,
+            gpu,
+            dram,
+            hdd,
+            ssd,
+            packaging,
+        }
+    }
+
+    /// Total embodied water (Eq. 2).
+    pub fn total(&self) -> Liters {
+        self.cpu + self.gpu + self.dram + self.hdd + self.ssd + self.packaging
+    }
+
+    /// Processor share of the total (CPU + GPU, packaging excluded).
+    pub fn processors(&self) -> Liters {
+        self.cpu + self.gpu
+    }
+
+    /// Memory + storage share of the total.
+    pub fn memory_and_storage(&self) -> Liters {
+        self.dram + self.hdd + self.ssd
+    }
+
+    /// Fig. 3's five-component shares `(cpu, gpu, dram, hdd, ssd)` as
+    /// fractions of their own sum (packaging excluded, as in the figure).
+    pub fn five_component_shares(&self) -> [(&'static str, Fraction); 5] {
+        let five = self.processors() + self.memory_and_storage();
+        let denom = five.value().max(f64::MIN_POSITIVE);
+        let f = |v: Liters| Fraction::clamped(v.value() / denom);
+        [
+            ("CPU", f(self.cpu)),
+            ("GPU", f(self.gpu)),
+            ("DRAM", f(self.dram)),
+            ("HDD", f(self.hdd)),
+            ("SSD", f(self.ssd)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thirstyflops_catalog::hardware::FabSite;
+    use thirstyflops_catalog::SystemId;
+    use thirstyflops_units::FabYield;
+
+    #[test]
+    fn eq4_matches_hand_computation() {
+        let mut spec = ProcessorSpec::new("A100", 826.0, 7, FabSite::TsmcTaiwan, 250.0);
+        spec.yield_rate = FabYield::new(0.875).unwrap();
+        let w = processor_water(&spec).value();
+        // (8.26 cm² / 0.875) × 28.505 L/cm².
+        let expected = 8.26 / 0.875 * 28.505;
+        assert!((w - expected).abs() < 0.01, "got {w}, want {expected}");
+    }
+
+    #[test]
+    fn lower_yield_costs_more_water() {
+        let mut a = ProcessorSpec::new("X", 800.0, 7, FabSite::TsmcTaiwan, 100.0);
+        a.yield_rate = FabYield::new(0.9).unwrap();
+        let mut b = a.clone();
+        b.yield_rate = FabYield::new(0.5).unwrap();
+        assert!(processor_water(&b).value() > processor_water(&a).value());
+    }
+
+    #[test]
+    fn eq5_frontier_hdd_tier() {
+        // 679 PB × 0.033 L/GB ≈ 22.4 ML — the paper's headline HDD figure.
+        let w = capacity_water(Medium::Hdd, Petabytes::new(679.0).into());
+        assert!((w.value() - 22.407e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn fig3_polaris_gpu_dominant() {
+        let b = EmbodiedBreakdown::for_system(&SystemSpec::reference(SystemId::Polaris));
+        let shares = b.five_component_shares();
+        let gpu_share = shares[1].1.value();
+        assert!(gpu_share > 0.5, "Polaris GPU share {gpu_share}");
+        // GPU is the single largest component.
+        for (name, s) in shares {
+            if name != "GPU" {
+                assert!(gpu_share > s.value(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_frontier_storage_and_memory_exceed_processors() {
+        // Paper: Frontier's storage+memory embodied water is 24.8 pp above
+        // its processors', thanks to the 679 PB HDD file system.
+        let b = EmbodiedBreakdown::for_system(&SystemSpec::reference(SystemId::Frontier));
+        assert!(
+            b.memory_and_storage().value() > b.processors().value(),
+            "mem+storage {} vs processors {}",
+            b.memory_and_storage(),
+            b.processors()
+        );
+        // HDD is the dominant single storage component.
+        assert!(b.hdd.value() > b.ssd.value() * 10.0);
+    }
+
+    #[test]
+    fn fig3_fugaku_memory_storage_share_near_27_percent() {
+        let b = EmbodiedBreakdown::for_system(&SystemSpec::reference(SystemId::Fugaku));
+        let five = b.processors() + b.memory_and_storage();
+        let share = b.memory_and_storage().value() / five.value();
+        assert!((0.18..0.40).contains(&share), "Fugaku mem+storage {share}");
+        // No GPU water at all.
+        assert_eq!(b.gpu, Liters::ZERO);
+    }
+
+    #[test]
+    fn all_flash_polaris_has_no_hdd_water() {
+        let b = EmbodiedBreakdown::for_system(&SystemSpec::reference(SystemId::Polaris));
+        assert_eq!(b.hdd, Liters::ZERO);
+        assert!(b.ssd.value() > 0.0);
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_total_adds_packaging() {
+        for id in SystemId::ALL {
+            let b = EmbodiedBreakdown::for_system(&SystemSpec::reference(id));
+            let sum: f64 = b.five_component_shares().iter().map(|(_, f)| f.value()).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{id}");
+            assert!(b.total().value() >= (b.processors() + b.memory_and_storage()).value());
+            assert!(b.packaging.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn takeaway1_same_capacity_ssd_beats_hdd_on_water() {
+        let cap: Gigabytes = Petabytes::new(100.0).into();
+        let ssd = capacity_water(Medium::Ssd, cap);
+        let hdd = capacity_water(Medium::Hdd, cap);
+        assert!(ssd.value() < hdd.value());
+    }
+}

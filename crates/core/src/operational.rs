@@ -1,0 +1,157 @@
+//! Operational water footprint: Eq. 6–7.
+//!
+//! `W_direct = E · WUE` (cooling water at the facility) and
+//! `W_indirect = E · PUE · EWF` (water consumed generating the
+//! facility's electricity). Both are pointwise in time, so hourly energy
+//! and intensity series multiply elementwise and sum.
+
+use thirstyflops_timeseries::{HourlySeries, MonthlySeries};
+use thirstyflops_units::{Fraction, KilowattHours, Liters, Pue};
+
+/// Direct/indirect operational water for a period.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OperationalBreakdown {
+    /// Cooling water at the facility (Eq. 6).
+    pub direct: Liters,
+    /// Generation water upstream (Eq. 7).
+    pub indirect: Liters,
+}
+
+impl OperationalBreakdown {
+    /// Point-in-time evaluation from totals (Eq. 6 + Eq. 7 with scalar
+    /// annual means).
+    pub fn from_totals(
+        energy: KilowattHours,
+        wue: thirstyflops_units::LitersPerKilowattHour,
+        pue: Pue,
+        ewf: thirstyflops_units::LitersPerKilowattHour,
+    ) -> Self {
+        Self {
+            direct: energy * wue,
+            indirect: energy * pue * ewf,
+        }
+    }
+
+    /// Series evaluation: hourly IT energy (kWh per hour) against hourly
+    /// WUE and EWF. This is the faithful path — the paper stresses that
+    /// WUE and EWF move hour by hour.
+    pub fn from_series(
+        energy: &HourlySeries,
+        wue: &HourlySeries,
+        pue: Pue,
+        ewf: &HourlySeries,
+    ) -> Self {
+        let direct = energy.mul(wue).total();
+        let indirect = energy.mul(ewf).total() * pue.value();
+        Self {
+            direct: Liters::new(direct),
+            indirect: Liters::new(indirect),
+        }
+    }
+
+    /// Total operational water.
+    pub fn total(&self) -> Liters {
+        self.direct + self.indirect
+    }
+
+    /// Direct share of the operational total (Fig. 7's pie slices).
+    pub fn direct_share(&self) -> Fraction {
+        let t = self.total().value();
+        if t <= 0.0 {
+            return Fraction::ZERO;
+        }
+        Fraction::clamped(self.direct.value() / t)
+    }
+
+    /// Indirect share of the operational total.
+    pub fn indirect_share(&self) -> Fraction {
+        self.direct_share().complement()
+    }
+}
+
+/// Monthly operational water series: `(energy · (wue + pue·ewf))` summed
+/// per month — the bottom panels of Fig. 11.
+pub fn monthly_operational_water(
+    energy: &HourlySeries,
+    wue: &HourlySeries,
+    pue: Pue,
+    ewf: &HourlySeries,
+) -> MonthlySeries {
+    let hourly = energy.zip_with(&wue.add(&ewf.scale(pue.value())), |e, wi| e * wi);
+    hourly.monthly_sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thirstyflops_units::LitersPerKilowattHour;
+
+    #[test]
+    fn totals_match_eq6_eq7() {
+        let b = OperationalBreakdown::from_totals(
+            KilowattHours::new(1000.0),
+            LitersPerKilowattHour::new(3.0),
+            Pue::new(1.5).unwrap(),
+            LitersPerKilowattHour::new(2.0),
+        );
+        assert_eq!(b.direct, Liters::new(3000.0));
+        assert_eq!(b.indirect, Liters::new(3000.0));
+        assert_eq!(b.total(), Liters::new(6000.0));
+        assert!((b.direct_share().value() - 0.5).abs() < 1e-12);
+        assert!((b.indirect_share().value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_and_scalar_agree_for_constant_inputs() {
+        let energy = HourlySeries::constant(10.0);
+        let wue = HourlySeries::constant(2.5);
+        let ewf = HourlySeries::constant(1.2);
+        let pue = Pue::new(1.25).unwrap();
+        let series = OperationalBreakdown::from_series(&energy, &wue, pue, &ewf);
+        let scalar = OperationalBreakdown::from_totals(
+            KilowattHours::new(energy.total()),
+            LitersPerKilowattHour::new(2.5),
+            pue,
+            LitersPerKilowattHour::new(1.2),
+        );
+        assert!((series.direct.value() - scalar.direct.value()).abs() < 1e-6);
+        assert!((series.indirect.value() - scalar.indirect.value()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn covariance_matters_for_varying_series() {
+        // Energy concentrated in high-WUE hours must cost more water than
+        // the means-product suggests — the reason the paper insists on
+        // hourly accounting.
+        let energy = HourlySeries::from_fn(|h| if h % 2 == 0 { 2.0 } else { 0.0 });
+        let wue = HourlySeries::from_fn(|h| if h % 2 == 0 { 4.0 } else { 0.0 });
+        let ewf = HourlySeries::constant(0.0);
+        let pue = Pue::new(1.0).unwrap();
+        let b = OperationalBreakdown::from_series(&energy, &wue, pue, &ewf);
+        let naive = energy.total() * wue.mean();
+        assert!(b.direct.value() > naive * 1.5);
+    }
+
+    #[test]
+    fn monthly_series_sums_to_annual_total() {
+        let energy = HourlySeries::from_fn(|h| 1.0 + (h % 5) as f64);
+        let wue = HourlySeries::from_fn(|h| 0.5 + (h % 3) as f64 * 0.3);
+        let ewf = HourlySeries::constant(1.1);
+        let pue = Pue::new(1.4).unwrap();
+        let monthly = monthly_operational_water(&energy, &wue, pue, &ewf);
+        let b = OperationalBreakdown::from_series(&energy, &wue, pue, &ewf);
+        assert!(
+            (monthly.total() - b.total().value()).abs() < 1e-6 * b.total().value()
+        );
+    }
+
+    #[test]
+    fn zero_energy_zero_water() {
+        let zero = HourlySeries::constant(0.0);
+        let wue = HourlySeries::constant(3.0);
+        let ewf = HourlySeries::constant(2.0);
+        let b = OperationalBreakdown::from_series(&zero, &wue, Pue::new(1.2).unwrap(), &ewf);
+        assert_eq!(b.total(), Liters::ZERO);
+        assert_eq!(b.direct_share(), Fraction::ZERO);
+    }
+}

@@ -1,0 +1,114 @@
+//! The Table 2 parameter checklist as data: every input the framework
+//! needs, whether it is a raw input or derived, its expected range, data
+//! source, and unit. HPC practitioners use this as the "what do I need to
+//! collect" checklist the paper describes.
+
+/// Whether a parameter is provided by the user or derived by the tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ParamKind {
+    /// Provided as input (Table 2's ❍).
+    Input,
+    /// Derived from other parameters (Table 2's ▲).
+    Derived,
+}
+
+/// Which footprint component the parameter feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ParamGroup {
+    /// Embodied water footprint (Eq. 2–5).
+    Embodied,
+    /// Operational water footprint (Eq. 6–9).
+    Operational,
+    /// Water withdrawal (Table 3).
+    Withdrawal,
+}
+
+/// One row of the parameter checklist.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ParamRow {
+    /// Symbol used in the equations.
+    pub symbol: &'static str,
+    /// Human description.
+    pub description: &'static str,
+    /// Input or derived.
+    pub kind: ParamKind,
+    /// Component group.
+    pub group: ParamGroup,
+    /// Expected data range (free text, mirroring the paper).
+    pub range: &'static str,
+    /// Where to obtain it.
+    pub source: &'static str,
+    /// Unit.
+    pub unit: &'static str,
+}
+
+/// The full Table 2 (+ Table 3) parameter checklist.
+pub fn parameter_table() -> Vec<ParamRow> {
+    use ParamGroup::*;
+    use ParamKind::*;
+    vec![
+        ParamRow { symbol: "N_IC", description: "Number of ICs (CPU/GPU/memory/storage)", kind: Input, group: Embodied, range: "9-26 (vary across hardware)", source: "hardware design", unit: "-" },
+        ParamRow { symbol: "W_IC", description: "Packaging water overhead per IC", kind: Derived, group: Embodied, range: "0.6", source: "manufacturer (SPIL)", unit: "L" },
+        ParamRow { symbol: "A_die", description: "Die size of processors (CPU/GPU)", kind: Input, group: Embodied, range: "vary across hardware", source: "CPU/GPU design (WikiChip/TechPowerUp)", unit: "mm^2" },
+        ParamRow { symbol: "Yield", description: "Fab yield rate", kind: Input, group: Embodied, range: "0-1 (0.875 default)", source: "manufacturer", unit: "-" },
+        ParamRow { symbol: "Location", description: "Manufacturing location of hardware", kind: Input, group: Embodied, range: "TSMC or GlobalFoundries", source: "manufacturer", unit: "-" },
+        ParamRow { symbol: "Process Node", description: "Semiconductor process of CPU/GPU", kind: Input, group: Embodied, range: "3-28 (vary across hardware)", source: "CPU/GPU design", unit: "nm" },
+        ParamRow { symbol: "UPW", description: "Ultrapure water during manufacturing", kind: Derived, group: Embodied, range: "5.9-14.2 (vary across process node)", source: "manufacturer (IEDM DTCO)", unit: "L" },
+        ParamRow { symbol: "PCW", description: "Process cooling water during manufacturing", kind: Derived, group: Embodied, range: "vary across location and node", source: "manufacturer", unit: "L" },
+        ParamRow { symbol: "WPA", description: "Water for fab power generation", kind: Derived, group: Embodied, range: "vary across location and node", source: "manufacturer", unit: "L" },
+        ParamRow { symbol: "WPC", description: "Water per capacity of DRAM/HDD/SSD", kind: Derived, group: Embodied, range: "0.8 (DRAM), 0.033 (HDD), 0.022 (SSD)", source: "manufacturer (SK hynix, Seagate)", unit: "L/GB" },
+        ParamRow { symbol: "Capacity", description: "Capacity of DRAM/HDD/SSD", kind: Input, group: Embodied, range: "vary across hardware", source: "manufacturer", unit: "GB" },
+        ParamRow { symbol: "E", description: "Energy consumption", kind: Input, group: Operational, range: "vary across applications/hardware", source: "hardware profiling / job logs", unit: "kWh" },
+        ParamRow { symbol: "T_wb", description: "Site wet-bulb temperature", kind: Input, group: Operational, range: "vary across HPC locations", source: "weather report", unit: "degC" },
+        ParamRow { symbol: "WUE", description: "Water usage effectiveness", kind: Derived, group: Operational, range: ">0.05", source: "wet-bulb temperature", unit: "L/kWh" },
+        ParamRow { symbol: "PUE", description: "Power usage effectiveness", kind: Input, group: Operational, range: ">=1 (Marconi 1.25, Fugaku 1.4, Polaris 1.65, Frontier 1.05)", source: "HPC report", unit: "-" },
+        ParamRow { symbol: "mix%", description: "Percentage energy mix usage", kind: Input, group: Operational, range: "0-100", source: "power grid (Electricity Maps)", unit: "%" },
+        ParamRow { symbol: "EWF_energy", description: "Energy water factor of sources", kind: Derived, group: Operational, range: "1-17", source: "environment report (NREL/WRI)", unit: "L/kWh" },
+        ParamRow { symbol: "EWF", description: "Energy water factor of the HPC system", kind: Derived, group: Operational, range: "vary across locations", source: "mix% and EWF_energy", unit: "L/kWh" },
+        ParamRow { symbol: "WSI_direct", description: "Direct water scarcity index", kind: Input, group: Operational, range: "0.1-100", source: "WSI report (AWARE)", unit: "-" },
+        ParamRow { symbol: "WSI_indirect", description: "Indirect water scarcity index", kind: Input, group: Operational, range: "0.1-100", source: "WSI report and plant locations", unit: "-" },
+        ParamRow { symbol: "W_discharge", description: "Reported discharge water", kind: Input, group: Withdrawal, range: "vary across systems", source: "facility report", unit: "L" },
+        ParamRow { symbol: "L_k", description: "Outfall location factor", kind: Input, group: Withdrawal, range: "vary across HPC locations", source: "facility report", unit: "-" },
+        ParamRow { symbol: "P_j", description: "Pollutant hazard factor", kind: Input, group: Withdrawal, range: "vary across pollutants", source: "discharge assay", unit: "-" },
+        ParamRow { symbol: "rho", description: "Water reuse rate", kind: Input, group: Withdrawal, range: "0%-100%", source: "facility report", unit: "%" },
+        ParamRow { symbol: "beta", description: "Potable/non-potable split", kind: Input, group: Withdrawal, range: "0%-100%", source: "facility report", unit: "%" },
+        ParamRow { symbol: "S", description: "Source scarcity factor (potable/non-potable)", kind: Input, group: Withdrawal, range: "vary across water sources", source: "WSI report", unit: "-" },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_all_groups() {
+        let rows = parameter_table();
+        assert!(rows.len() >= 20);
+        for group in [ParamGroup::Embodied, ParamGroup::Operational, ParamGroup::Withdrawal] {
+            assert!(rows.iter().any(|r| r.group == group), "{group:?}");
+        }
+        // Both kinds present.
+        assert!(rows.iter().any(|r| r.kind == ParamKind::Input));
+        assert!(rows.iter().any(|r| r.kind == ParamKind::Derived));
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let rows = parameter_table();
+        let mut seen = std::collections::HashSet::new();
+        for r in &rows {
+            assert!(seen.insert(r.symbol), "duplicate symbol {}", r.symbol);
+            assert!(!r.description.is_empty());
+            assert!(!r.unit.is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_pue_values_recorded() {
+        let rows = parameter_table();
+        let pue = rows.iter().find(|r| r.symbol == "PUE").unwrap();
+        for needle in ["1.25", "1.4", "1.65", "1.05"] {
+            assert!(pue.range.contains(needle), "{needle}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Water-scarcity adjustment: Eq. 9 and the Fig. 9 direct/indirect split.
+//!
+//! `WI_WSI = WI · WSI` converts volumetric intensity into a
+//! scarcity-weighted ("effective") intensity. An HPC center actually has
+//! *two* scarcity contexts: the datacenter's own watershed (direct WSI)
+//! and the watersheds of its supplying power plants (indirect WSI,
+//! aggregated over the fleet). The split form applies each to its own
+//! component:
+//!
+//! `WI_adjusted = WUE·WSI_direct + PUE·EWF·WSI_indirect`
+
+use thirstyflops_grid::PlantFleet;
+use thirstyflops_units::{LitersPerKilowattHour, WaterScarcityIndex};
+
+use crate::intensity::WaterIntensity;
+
+/// Scarcity indices applied to a water intensity.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScarcityAdjustment {
+    /// WSI at the datacenter site.
+    pub direct_wsi: WaterScarcityIndex,
+    /// Aggregated WSI over the supplying plants (Fig. 9).
+    pub indirect_wsi: WaterScarcityIndex,
+}
+
+impl ScarcityAdjustment {
+    /// Uses one WSI for both components — the paper's default Eq. 9 form.
+    pub fn uniform(wsi: WaterScarcityIndex) -> Self {
+        Self {
+            direct_wsi: wsi,
+            indirect_wsi: wsi,
+        }
+    }
+
+    /// Derives the indirect WSI from a plant fleet.
+    pub fn from_fleet(direct_wsi: WaterScarcityIndex, fleet: &PlantFleet) -> Self {
+        Self {
+            direct_wsi,
+            indirect_wsi: fleet.indirect_wsi(),
+        }
+    }
+
+    /// The adjusted ("effective") water intensity.
+    pub fn adjust(&self, wi: WaterIntensity) -> LitersPerKilowattHour {
+        wi.direct * self.direct_wsi + wi.indirect * self.indirect_wsi
+    }
+
+    /// Adjusted intensity under the uniform Eq. 9 form (for comparison
+    /// against the split form).
+    pub fn adjust_uniform(
+        wi: WaterIntensity,
+        wsi: WaterScarcityIndex,
+    ) -> LitersPerKilowattHour {
+        wi.total() * wsi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thirstyflops_grid::{EnergySource, PowerPlant};
+    use thirstyflops_units::Pue;
+
+    fn wi() -> WaterIntensity {
+        WaterIntensity::new(
+            LitersPerKilowattHour::new(3.0),
+            Pue::new(1.5).unwrap(),
+            LitersPerKilowattHour::new(2.0),
+        )
+    }
+
+    #[test]
+    fn uniform_matches_eq9() {
+        let wsi = WaterScarcityIndex::new(0.5).unwrap();
+        let adj = ScarcityAdjustment::uniform(wsi).adjust(wi());
+        assert!((adj.value() - 3.0).abs() < 1e-12); // (3+3)*0.5
+        assert_eq!(
+            ScarcityAdjustment::adjust_uniform(wi(), wsi).value(),
+            adj.value()
+        );
+    }
+
+    #[test]
+    fn split_wsi_weights_components_differently() {
+        let adj = ScarcityAdjustment {
+            direct_wsi: WaterScarcityIndex::new(0.1).unwrap(),
+            indirect_wsi: WaterScarcityIndex::new(0.9).unwrap(),
+        };
+        let v = adj.adjust(wi()).value();
+        // 3·0.1 + 3·0.9 = 3.0, vs uniform with either index: 0.6 or 5.4.
+        assert!((v - 3.0).abs() < 1e-12);
+        assert!(
+            v > ScarcityAdjustment::adjust_uniform(wi(), adj.direct_wsi).value()
+        );
+        assert!(
+            v < ScarcityAdjustment::adjust_uniform(wi(), adj.indirect_wsi).value()
+        );
+    }
+
+    #[test]
+    fn fleet_derived_indirect_wsi() {
+        let fleet = PlantFleet::new(vec![
+            PowerPlant::new("A", EnergySource::Nuclear, 0.5, 0.8).unwrap(),
+            PowerPlant::new("B", EnergySource::Hydro, 0.5, 0.2).unwrap(),
+        ])
+        .unwrap();
+        let adj = ScarcityAdjustment::from_fleet(WaterScarcityIndex::new(0.4).unwrap(), &fleet);
+        assert!((adj.indirect_wsi.value() - 0.5).abs() < 1e-12);
+        assert!((adj.direct_wsi.value() - 0.4).abs() < 1e-12);
+        let v = adj.adjust(wi()).value();
+        assert!((v - (3.0 * 0.4 + 3.0 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_wsi_zeroes_the_footprint() {
+        let adj = ScarcityAdjustment::uniform(WaterScarcityIndex::new(0.0).unwrap());
+        assert_eq!(adj.adjust(wi()).value(), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Parameter sensitivity: which Table 2 inputs actually move the answer.
+//!
+//! The paper's Table 2 is a checklist of ~20 parameters; practitioners
+//! need to know which ones deserve measurement effort. For the
+//! multiplicative model structure here the **elasticities** (d log output
+//! / d log input) are exact and cheap:
+//!
+//! * operational water `E·(WUE + PUE·EWF)`: elasticity 1 in `E`, the
+//!   *direct share* in WUE, the *indirect share* in both PUE and EWF;
+//! * embodied water: each component's share is its elasticity with
+//!   respect to its own factor (WPC, die area) and `−share` w.r.t. yield.
+//!
+//! Ranked elasticities tell a facility which single measurement narrows
+//! the estimate most.
+
+use crate::embodied::EmbodiedBreakdown;
+use crate::simulate::AnnualReport;
+
+/// One parameter's leverage on an output.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Elasticity {
+    /// Parameter symbol (Table 2 naming).
+    pub parameter: &'static str,
+    /// d log(output) / d log(parameter): a 1 % change in the parameter
+    /// moves the output by `elasticity` percent.
+    pub elasticity: f64,
+}
+
+/// Elasticities of the **operational** water total, sorted by descending
+/// magnitude.
+pub fn operational_elasticities(report: &AnnualReport) -> Vec<Elasticity> {
+    let direct = report.direct_share.value();
+    let indirect = 1.0 - direct;
+    let mut rows = vec![
+        Elasticity { parameter: "E", elasticity: 1.0 },
+        Elasticity { parameter: "WUE", elasticity: direct },
+        Elasticity { parameter: "PUE", elasticity: indirect },
+        Elasticity { parameter: "EWF", elasticity: indirect },
+    ];
+    rows.sort_by(|a, b| b.elasticity.abs().partial_cmp(&a.elasticity.abs()).unwrap());
+    rows
+}
+
+/// Elasticities of the **embodied** water total with respect to each
+/// component's driving factor, plus yield (negative: better yield, less
+/// water), sorted by descending magnitude.
+pub fn embodied_elasticities(breakdown: &EmbodiedBreakdown) -> Vec<Elasticity> {
+    let total = breakdown.total().value().max(f64::MIN_POSITIVE);
+    let share = |v: thirstyflops_units::Liters| v.value() / total;
+    let processor_share = share(breakdown.processors());
+    let mut rows = vec![
+        Elasticity { parameter: "A_die (UPW+PCW+WPA)", elasticity: processor_share },
+        Elasticity { parameter: "Yield", elasticity: -processor_share },
+        Elasticity { parameter: "WPC_DRAM x Capacity", elasticity: share(breakdown.dram) },
+        Elasticity { parameter: "WPC_HDD x Capacity", elasticity: share(breakdown.hdd) },
+        Elasticity { parameter: "WPC_SSD x Capacity", elasticity: share(breakdown.ssd) },
+        Elasticity { parameter: "W_IC x N_IC", elasticity: share(breakdown.packaging) },
+    ];
+    rows.sort_by(|a, b| b.elasticity.abs().partial_cmp(&a.elasticity.abs()).unwrap());
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operational::OperationalBreakdown;
+    use crate::simulate::FootprintModel;
+    use thirstyflops_catalog::{SystemId, SystemSpec};
+    use thirstyflops_units::{KilowattHours, LitersPerKilowattHour, Pue};
+
+    #[test]
+    fn operational_elasticities_sum_to_two() {
+        // E contributes 1; WUE + (PUE or EWF) partition the second unit
+        // (PUE and EWF each carry the full indirect share, so the sum is
+        // 1 + direct + 2·indirect = 2 + indirect).
+        let report = FootprintModel::reference(SystemId::Polaris).annual_report(5);
+        let rows = operational_elasticities(&report);
+        let sum: f64 = rows.iter().map(|r| r.elasticity).sum();
+        let indirect = 1.0 - report.direct_share.value();
+        assert!((sum - (2.0 + indirect)).abs() < 1e-9);
+        // Sorted descending by magnitude, E first.
+        assert_eq!(rows[0].parameter, "E");
+        assert!(rows.windows(2).all(|w| w[0].elasticity.abs() >= w[1].elasticity.abs()));
+    }
+
+    #[test]
+    fn analytic_elasticity_matches_numerical_perturbation() {
+        // Perturb WUE by 1 % and compare against the analytic direct-share
+        // elasticity.
+        let e = KilowattHours::new(1e6);
+        let wue = LitersPerKilowattHour::new(3.0);
+        let pue = Pue::new(1.4).unwrap();
+        let ewf = LitersPerKilowattHour::new(2.5);
+        let base = OperationalBreakdown::from_totals(e, wue, pue, ewf);
+        let bumped = OperationalBreakdown::from_totals(
+            e,
+            LitersPerKilowattHour::new(3.0 * 1.01),
+            pue,
+            ewf,
+        );
+        let numerical = (bumped.total().value() / base.total().value() - 1.0) / 0.01;
+        let analytic = base.direct_share().value();
+        assert!(
+            (numerical - analytic).abs() < 1e-6,
+            "numerical {numerical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn frontier_embodied_is_hdd_and_die_driven() {
+        let b = EmbodiedBreakdown::for_system(&SystemSpec::reference(SystemId::Frontier));
+        let rows = embodied_elasticities(&b);
+        // The top levers are the processors' die factor (and its mirror,
+        // yield) followed by the HDD capacity term.
+        let top3: Vec<&str> = rows.iter().take(3).map(|r| r.parameter).collect();
+        assert!(top3.contains(&"A_die (UPW+PCW+WPA)"), "{top3:?}");
+        assert!(top3.contains(&"WPC_HDD x Capacity"), "{top3:?}");
+        // Yield is the mirror of the die term.
+        let die = rows.iter().find(|r| r.parameter.starts_with("A_die")).unwrap();
+        let yld = rows.iter().find(|r| r.parameter == "Yield").unwrap();
+        assert!((die.elasticity + yld.elasticity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embodied_positive_elasticities_sum_to_one() {
+        for id in SystemId::PAPER {
+            let b = EmbodiedBreakdown::for_system(&SystemSpec::reference(id));
+            let rows = embodied_elasticities(&b);
+            let sum: f64 = rows
+                .iter()
+                .filter(|r| r.elasticity > 0.0)
+                .map(|r| r.elasticity)
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{id}: {sum}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The Fig. 4 embodied-vs-operational ratio analysis.
+//!
+//! For a system with embodied water `W_emb` (priced at the manufacturing
+//! site's WSI) and annual operational water `W_op` (priced at the
+//! operating site's WSI), the scarcity-weighted ratio over a service life
+//! of `T` years is
+//!
+//! `ratio = (W_emb · WSI_mfg) / (T · W_op · WSI_op)`
+//!
+//! Fig. 4 sweeps the two WSIs: the region where `ratio ≥ 1` ("below the
+//! blue line") is where embodied water dominates. High EWF/WUE (case a)
+//! shrinks it; low EWF/WUE (case b) expands it.
+
+use thirstyflops_units::Liters;
+
+/// A 2-D grid of embodied/operational ratios over (mfg WSI, op WSI).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RatioGrid {
+    /// Manufacturing-site WSI axis values.
+    pub mfg_wsi: Vec<f64>,
+    /// Operating-site WSI axis values.
+    pub op_wsi: Vec<f64>,
+    /// `ratios[i][j]` for `mfg_wsi[i]` × `op_wsi[j]`.
+    pub ratios: Vec<Vec<f64>>,
+}
+
+impl RatioGrid {
+    /// Sweeps the ratio over log-spaced WSI axes.
+    ///
+    /// `embodied` is the one-time embodied water; `annual_operational`
+    /// the per-year operational water; `lifetime_years` the service life
+    /// that amortizes the comparison.
+    pub fn sweep(
+        embodied: Liters,
+        annual_operational: Liters,
+        lifetime_years: f64,
+        axis_points: usize,
+    ) -> Result<RatioGrid, String> {
+        if annual_operational.value() <= 0.0 || lifetime_years <= 0.0 {
+            return Err("operational water and lifetime must be positive".into());
+        }
+        if axis_points < 2 {
+            return Err("need at least two axis points".into());
+        }
+        // WSI from 0.1 to 100 (Table 2's data range), log-spaced.
+        let axis: Vec<f64> = (0..axis_points)
+            .map(|i| {
+                let t = i as f64 / (axis_points - 1) as f64;
+                10f64.powf(-1.0 + 3.0 * t)
+            })
+            .collect();
+        let op_total = annual_operational.value() * lifetime_years;
+        let ratios = axis
+            .iter()
+            .map(|&mfg| {
+                axis.iter()
+                    .map(|&op| embodied.value() * mfg / (op_total * op))
+                    .collect()
+            })
+            .collect();
+        Ok(RatioGrid {
+            mfg_wsi: axis.clone(),
+            op_wsi: axis,
+            ratios,
+        })
+    }
+
+    /// Fraction of grid cells where the embodied component dominates
+    /// (ratio ≥ 1) — the "area below the blue line".
+    pub fn embodied_dominant_fraction(&self) -> f64 {
+        let total = self.mfg_wsi.len() * self.op_wsi.len();
+        let dominant = self
+            .ratios
+            .iter()
+            .flatten()
+            .filter(|&&r| r >= 1.0)
+            .count();
+        dominant as f64 / total as f64
+    }
+
+    /// Ratio at specific axis indices.
+    pub fn at(&self, mfg_idx: usize, op_idx: usize) -> f64 {
+        self.ratios[mfg_idx][op_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_monotone_in_the_right_directions() {
+        let g = RatioGrid::sweep(Liters::new(1e6), Liters::new(1e6), 5.0, 16).unwrap();
+        // Increasing mfg WSI raises the ratio; increasing op WSI lowers it.
+        for j in 0..16 {
+            for i in 1..16 {
+                assert!(g.at(i, j) > g.at(i - 1, j));
+            }
+        }
+        for i in 0..16 {
+            for j in 1..16 {
+                assert!(g.at(i, j) < g.at(i, j - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_low_operational_water_expands_embodied_region() {
+        // Case (a): high EWF/WUE → large operational water.
+        let high_op = RatioGrid::sweep(Liters::new(1e7), Liters::new(5e7), 5.0, 32).unwrap();
+        // Case (b): low EWF/WUE → small operational water.
+        let low_op = RatioGrid::sweep(Liters::new(1e7), Liters::new(5e6), 5.0, 32).unwrap();
+        assert!(
+            low_op.embodied_dominant_fraction() > high_op.embodied_dominant_fraction(),
+            "case b {} vs case a {}",
+            low_op.embodied_dominant_fraction(),
+            high_op.embodied_dominant_fraction()
+        );
+    }
+
+    #[test]
+    fn scarce_mfg_site_with_wet_op_site_flips_dominance() {
+        // Takeaway 2: fab in a water-scarce region + datacenter in a
+        // water-secure region → embodied can exceed operational even when
+        // raw volumes say otherwise.
+        let g = RatioGrid::sweep(Liters::new(1e6), Liters::new(2e6), 1.0, 16).unwrap();
+        // Raw ratio is 0.5 (< 1) at equal WSIs…
+        let mid = 8;
+        assert!(g.at(mid, mid) < 1.0);
+        // …but mfg WSI at the top of the axis and op WSI at the bottom
+        // dominates.
+        assert!(g.at(15, 0) > 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RatioGrid::sweep(Liters::new(1.0), Liters::ZERO, 5.0, 8).is_err());
+        assert!(RatioGrid::sweep(Liters::new(1.0), Liters::new(1.0), 0.0, 8).is_err());
+        assert!(RatioGrid::sweep(Liters::new(1.0), Liters::new(1.0), 5.0, 1).is_err());
+    }
+
+    #[test]
+    fn axis_spans_table2_wsi_range() {
+        let g = RatioGrid::sweep(Liters::new(1.0), Liters::new(1.0), 1.0, 8).unwrap();
+        assert!((g.mfg_wsi[0] - 0.1).abs() < 1e-9);
+        assert!((g.mfg_wsi[7] - 100.0).abs() < 1e-6);
+    }
+}

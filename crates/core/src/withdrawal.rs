@@ -1,0 +1,206 @@
+//! Water withdrawal modeling: §6 / Table 3.
+//!
+//! Consumption (the paper's default metric) is withdrawal minus
+//! discharge. Going the other way, withdrawal decomposes as
+//!
+//! `W_withdrawal = W_consumption + W_discharge − W_reuse`
+//!
+//! with the discharge normalized for environmental context — outfall
+//! location factor `L_k` and pollutant hazard factors `P_j` — and reuse
+//! as a fraction `ρ` of discharge. Withdrawn water further splits into
+//! potable/non-potable streams with their own scarcity factors
+//! `S_potable` / `S_non-potable`.
+
+use thirstyflops_units::{Fraction, Liters};
+
+/// Inputs of the Table 3 withdrawal model.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WithdrawalParams {
+    /// Reported discharge volume (`W_actual_discharge`).
+    pub actual_discharge: Liters,
+    /// Outfall location factor `L_k` (wetlands purify < 1, rivers = 1,
+    /// sensitive basins > 1).
+    pub outfall_factor: f64,
+    /// Pollutant hazard factors `P_j` (BOD, COD, heavy metals, …),
+    /// multiplied together.
+    pub pollutant_factors: Vec<f64>,
+    /// Water reuse rate `ρ` applied to discharge.
+    pub reuse_rate: Fraction,
+    /// Potable fraction `β_potable` of withdrawal.
+    pub potable_fraction: Fraction,
+    /// Scarcity factor of the potable source, `[0, 1]`.
+    pub s_potable: f64,
+    /// Scarcity factor of the non-potable source, `[0, 1]`.
+    pub s_non_potable: f64,
+}
+
+impl WithdrawalParams {
+    /// Validates factor ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.actual_discharge.value() < 0.0 {
+            return Err("discharge must be non-negative".into());
+        }
+        if self.outfall_factor <= 0.0 {
+            return Err(format!("outfall factor must be positive: {}", self.outfall_factor));
+        }
+        if self.pollutant_factors.iter().any(|&p| p <= 0.0) {
+            return Err("pollutant factors must be positive".into());
+        }
+        for (name, s) in [("S_potable", self.s_potable), ("S_non_potable", self.s_non_potable)] {
+            if !(0.0..=1.0).contains(&s) {
+                return Err(format!("{name} must be in [0, 1]: {s}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Environmental-context-adjusted discharge:
+    /// `W_discharge = W_actual · L_k · Π P_j`.
+    pub fn adjusted_discharge(&self) -> Liters {
+        let p: f64 = self.pollutant_factors.iter().product();
+        self.actual_discharge * (self.outfall_factor * p)
+    }
+}
+
+/// Outputs of the withdrawal model.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WithdrawalReport {
+    /// Context-adjusted discharge.
+    pub adjusted_discharge: Liters,
+    /// Recycled water (`ρ ·` discharge).
+    pub reuse: Liters,
+    /// Total withdrawal.
+    pub withdrawal: Liters,
+    /// Potable part of withdrawal.
+    pub potable: Liters,
+    /// Non-potable part of withdrawal.
+    pub non_potable: Liters,
+    /// Scarcity-weighted withdrawal (potable/non-potable scaled by their
+    /// source scarcity factors).
+    pub scarcity_weighted: Liters,
+}
+
+/// Evaluates the Table 3 model for a known consumption volume.
+///
+/// ```
+/// use thirstyflops_core::withdrawal::{withdrawal_report, WithdrawalParams};
+/// use thirstyflops_units::{Fraction, Liters};
+///
+/// let params = WithdrawalParams {
+///     actual_discharge: Liters::new(1000.0),
+///     outfall_factor: 1.0,          // river outfall
+///     pollutant_factors: vec![1.1], // mild BOD load
+///     reuse_rate: Fraction::new(0.5).unwrap(),
+///     potable_fraction: Fraction::new(0.6).unwrap(),
+///     s_potable: 0.8,
+///     s_non_potable: 0.3,
+/// };
+/// let r = withdrawal_report(Liters::new(500.0), &params).unwrap();
+/// // withdrawal = consumption + adjusted discharge − reuse
+/// assert!((r.withdrawal.value() - (500.0 + 1100.0 - 550.0)).abs() < 1e-9);
+/// ```
+pub fn withdrawal_report(
+    consumption: Liters,
+    params: &WithdrawalParams,
+) -> Result<WithdrawalReport, String> {
+    params.validate()?;
+    if consumption.value() < 0.0 {
+        return Err("consumption must be non-negative".into());
+    }
+    let adjusted_discharge = params.adjusted_discharge();
+    let reuse = adjusted_discharge * params.reuse_rate.value();
+    let withdrawal = (consumption + adjusted_discharge - reuse).max(Liters::ZERO);
+    let potable = withdrawal * params.potable_fraction.value();
+    let non_potable = withdrawal - potable;
+    let scarcity_weighted =
+        potable * params.s_potable + non_potable * params.s_non_potable;
+    Ok(WithdrawalReport {
+        adjusted_discharge,
+        reuse,
+        withdrawal,
+        potable,
+        non_potable,
+        scarcity_weighted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WithdrawalParams {
+        WithdrawalParams {
+            actual_discharge: Liters::new(1000.0),
+            outfall_factor: 1.0,
+            pollutant_factors: vec![1.1, 1.05],
+            reuse_rate: Fraction::new(0.2).unwrap(),
+            potable_fraction: Fraction::new(0.6).unwrap(),
+            s_potable: 0.8,
+            s_non_potable: 0.3,
+        }
+    }
+
+    #[test]
+    fn withdrawal_identity() {
+        let r = withdrawal_report(Liters::new(500.0), &params()).unwrap();
+        let disc = 1000.0 * 1.1 * 1.05;
+        assert!((r.adjusted_discharge.value() - disc).abs() < 1e-9);
+        assert!((r.reuse.value() - 0.2 * disc).abs() < 1e-9);
+        assert!((r.withdrawal.value() - (500.0 + disc - 0.2 * disc)).abs() < 1e-9);
+        // Potable split.
+        assert!((r.potable.value() - 0.6 * r.withdrawal.value()).abs() < 1e-9);
+        assert!((r.potable.value() + r.non_potable.value() - r.withdrawal.value()).abs() < 1e-9);
+        // Scarcity weighting.
+        let expected = r.potable.value() * 0.8 + r.non_potable.value() * 0.3;
+        assert!((r.scarcity_weighted.value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_reuse_means_withdrawal_equals_consumption() {
+        let mut p = params();
+        p.reuse_rate = Fraction::ONE;
+        let r = withdrawal_report(Liters::new(500.0), &p).unwrap();
+        assert!((r.withdrawal.value() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wetland_outfall_discounts_discharge() {
+        let mut wetland = params();
+        wetland.outfall_factor = 0.7; // purification credit
+        let base = withdrawal_report(Liters::new(500.0), &params()).unwrap();
+        let better = withdrawal_report(Liters::new(500.0), &wetland).unwrap();
+        assert!(better.withdrawal.value() < base.withdrawal.value());
+    }
+
+    #[test]
+    fn hazardous_pollutants_scale_up() {
+        let mut dirty = params();
+        dirty.pollutant_factors = vec![1.5, 1.4, 1.2];
+        let base = withdrawal_report(Liters::new(500.0), &params()).unwrap();
+        let worse = withdrawal_report(Liters::new(500.0), &dirty).unwrap();
+        assert!(worse.adjusted_discharge.value() > base.adjusted_discharge.value());
+    }
+
+    #[test]
+    fn validation_failures() {
+        let mut p = params();
+        p.outfall_factor = 0.0;
+        assert!(withdrawal_report(Liters::new(1.0), &p).is_err());
+        let mut p = params();
+        p.pollutant_factors = vec![1.0, -0.5];
+        assert!(withdrawal_report(Liters::new(1.0), &p).is_err());
+        let mut p = params();
+        p.s_potable = 1.5;
+        assert!(withdrawal_report(Liters::new(1.0), &p).is_err());
+        assert!(withdrawal_report(Liters::new(-1.0), &params()).is_err());
+    }
+
+    #[test]
+    fn withdrawal_never_negative() {
+        // Degenerate: zero consumption, total reuse.
+        let mut p = params();
+        p.reuse_rate = Fraction::ONE;
+        let r = withdrawal_report(Liters::ZERO, &p).unwrap();
+        assert!(r.withdrawal.value() >= 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Prints every regenerated paper table and figure as markdown, and
+//! (with `--json`) dumps the raw frames as JSON for downstream plotting.
+//!
+//! Usage:
+//!   report            # all experiments, markdown
+//!   report fig07      # one experiment
+//!   report --json     # all experiments, JSON
+//!   report --csv      # all experiments, CSV blocks
+
+use thirstyflops_experiments as experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let csv = args.iter().any(|a| a == "--csv");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let all = experiments::all();
+    let selected: Vec<_> = if filter.is_empty() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|e| filter.iter().any(|f| e.id == f.as_str()))
+            .collect()
+    };
+
+    if selected.is_empty() {
+        eprintln!("no matching experiment; known ids:");
+        for e in experiments::all() {
+            eprintln!("  {}", e.id);
+        }
+        std::process::exit(1);
+    }
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&selected).expect("experiments serialize")
+        );
+        return;
+    }
+
+    for e in &selected {
+        println!("## {} — {}\n", e.id, e.title);
+        if csv {
+            println!("```csv\n{}```", e.frame.to_csv());
+        } else {
+            println!("{}", e.frame.to_markdown());
+        }
+        for note in &e.notes {
+            println!("> {note}");
+        }
+        println!();
+    }
+}

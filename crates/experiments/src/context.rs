@@ -1,0 +1,45 @@
+//! Shared, lazily computed simulation context: the four paper systems'
+//! telemetry years are expensive enough (trace + cluster + grid + weather
+//! simulation) that the experiments share one copy.
+
+use std::sync::OnceLock;
+
+use thirstyflops_catalog::SystemId;
+use thirstyflops_core::SystemYear;
+
+use crate::SEED;
+
+static YEARS: OnceLock<Vec<SystemYear>> = OnceLock::new();
+
+/// The simulated telemetry year for each of the paper's four systems,
+/// Table 1 order, computed once per process.
+pub fn paper_years() -> &'static [SystemYear] {
+    YEARS.get_or_init(|| {
+        SystemId::PAPER
+            .iter()
+            .map(|&id| SystemYear::simulate(id, SEED))
+            .collect()
+    })
+}
+
+/// The year for one of the paper systems.
+pub fn year_of(id: SystemId) -> &'static SystemYear {
+    paper_years()
+        .iter()
+        .find(|y| y.spec.id == id)
+        .expect("paper systems are precomputed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_is_cached_and_complete() {
+        let a = paper_years().as_ptr();
+        let b = paper_years().as_ptr();
+        assert_eq!(a, b, "OnceLock must cache");
+        assert_eq!(paper_years().len(), 4);
+        assert_eq!(year_of(SystemId::Fugaku).spec.id, SystemId::Fugaku);
+    }
+}

@@ -1,0 +1,161 @@
+//! Fig. 11 (monthly energy vs water footprint) and Fig. 12 (water vs
+//! carbon intensity trends).
+
+use thirstyflops_core::intensity;
+use thirstyflops_timeseries::{Frame, Month};
+
+use crate::context::paper_years;
+use crate::Experiment;
+
+/// Fig. 11: normalized monthly power consumption (top) and water
+/// footprint (bottom) for the four systems.
+pub fn fig11() -> Experiment {
+    let years = paper_years();
+    let mut systems = Vec::new();
+    let mut months = Vec::new();
+    let mut power_norm = Vec::new();
+    let mut water_norm = Vec::new();
+    let mut notes = Vec::new();
+
+    for y in years {
+        let monthly_energy = y.energy.monthly_sum();
+        let monthly_water = y.hourly_water().monthly_sum();
+        let pn = monthly_energy.normalized();
+        let wn = monthly_water.normalized();
+        for m in Month::ALL {
+            systems.push(y.spec.id.to_string());
+            months.push(m.number() as f64);
+            power_norm.push(pn.get(m));
+            water_norm.push(wn.get(m));
+        }
+        let corr = monthly_energy.pearson(&monthly_water);
+        notes.push(format!(
+            "{}: power/water monthly correlation {:.2} — correlated but not aligned",
+            y.spec.id, corr
+        ));
+    }
+
+    let mut frame = Frame::new();
+    frame.push_text("system", systems).unwrap();
+    frame.push_number("month", months).unwrap();
+    frame.push_number("power_normalized", power_norm).unwrap();
+    frame.push_number("water_normalized", water_norm).unwrap();
+    notes.push(
+        "water tracks energy only loosely: WUE/EWF/mix seasonality decouples them (Takeaway 7)"
+            .into(),
+    );
+    Experiment {
+        id: "fig11",
+        title: "Temporal energy consumption and water footprint variations over one year",
+        frame,
+        notes,
+    }
+}
+
+/// Fig. 12: monthly normalized water intensity (total, indirect, direct)
+/// against carbon intensity for the four systems.
+pub fn fig12() -> Experiment {
+    let years = paper_years();
+    let mut systems = Vec::new();
+    let mut months = Vec::new();
+    let mut wi_norm = Vec::new();
+    let mut wi_ind_norm = Vec::new();
+    let mut wi_dir_norm = Vec::new();
+    let mut ci_norm = Vec::new();
+    let mut notes = Vec::new();
+
+    for y in years {
+        let wi = intensity::hourly_water_intensity(&y.wue, y.spec.pue, &y.ewf).monthly_mean();
+        let wi_ind = intensity::hourly_indirect_intensity(y.spec.pue, &y.ewf).monthly_mean();
+        let wi_dir = y.wue.monthly_mean();
+        let ci = y.carbon.monthly_mean();
+        let (win, wiin, widn, cin) = (
+            wi.normalized(),
+            wi_ind.normalized(),
+            wi_dir.normalized(),
+            ci.normalized(),
+        );
+        for m in Month::ALL {
+            systems.push(y.spec.id.to_string());
+            months.push(m.number() as f64);
+            wi_norm.push(win.get(m));
+            wi_ind_norm.push(wiin.get(m));
+            wi_dir_norm.push(widn.get(m));
+            ci_norm.push(cin.get(m));
+        }
+        let corr = wi.pearson(&ci);
+        notes.push(format!(
+            "{}: monthly WI-vs-CI correlation {:.2}",
+            y.spec.id, corr
+        ));
+    }
+
+    let mut frame = Frame::new();
+    frame.push_text("system", systems).unwrap();
+    frame.push_number("month", months).unwrap();
+    frame.push_number("water_intensity_normalized", wi_norm).unwrap();
+    frame
+        .push_number("indirect_wi_normalized", wi_ind_norm)
+        .unwrap();
+    frame.push_number("direct_wi_normalized", wi_dir_norm).unwrap();
+    frame
+        .push_number("carbon_intensity_normalized", ci_norm)
+        .unwrap();
+    notes.push(
+        "Marconi: summer hydro lowers carbon but raises indirect water — the metrics compete (Takeaway 8)"
+            .into(),
+    );
+    Experiment {
+        id: "fig12",
+        title: "Carbon intensity can compete with water intensity via the indirect component",
+        frame,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thirstyflops_timeseries::stats;
+
+    #[test]
+    fn fig11_correlated_but_not_identical() {
+        let e = fig11();
+        let p = e.frame.numbers("power_normalized").unwrap();
+        let w = e.frame.numbers("water_normalized").unwrap();
+        for sys in 0..4 {
+            let ps = &p[sys * 12..(sys + 1) * 12];
+            let ws = &w[sys * 12..(sys + 1) * 12];
+            let corr = stats::pearson(ps, ws).unwrap();
+            assert!(corr < 0.999, "system {sys}: suspiciously perfect alignment");
+        }
+    }
+
+    #[test]
+    fn fig12_direct_wi_peaks_in_summer() {
+        let e = fig12();
+        let months = e.frame.numbers("month").unwrap();
+        let dir = e.frame.numbers("direct_wi_normalized").unwrap();
+        // All systems: the direct (WUE) component's max lands Jun-Sep.
+        for sys in 0..4 {
+            let window = sys * 12..(sys + 1) * 12;
+            let (mut best_m, mut best_v) = (0.0, f64::NEG_INFINITY);
+            for i in window {
+                if dir[i] > best_v {
+                    best_v = dir[i];
+                    best_m = months[i];
+                }
+            }
+            assert!((6.0..=9.0).contains(&best_m), "system {sys} peak month {best_m}");
+        }
+    }
+
+    #[test]
+    fn fig12_marconi_water_carbon_compete() {
+        let e = fig12();
+        let wi = &e.frame.numbers("water_intensity_normalized").unwrap()[..12];
+        let ci = &e.frame.numbers("carbon_intensity_normalized").unwrap()[..12];
+        let corr = stats::pearson(wi, ci).unwrap();
+        assert!(corr < 0.0, "Marconi WI/CI correlation {corr} should be negative");
+    }
+}

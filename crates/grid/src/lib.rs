@@ -1,0 +1,33 @@
+//! Electricity-grid simulation for ThirstyFLOPS.
+//!
+//! The indirect water footprint (Eq. 7) is `W_indirect = E · PUE · EWF`
+//! where the **energy water factor** `EWF = Σ mix_i · EWF_i` depends on the
+//! region's time-varying energy-source mix. The paper reads the mix from
+//! Electricity Maps; this crate simulates it:
+//!
+//! * [`EnergySource`] — the nine sources of the paper's Fig. 5 with EWF
+//!   (Macknick/NREL operational water factors) and carbon-intensity
+//!   (IPCC-style life-cycle medians) ranges;
+//! * [`EnergyMix`] — a validated share vector with weighted EWF/CI;
+//! * [`GridRegion`] — seasonal + diurnal mix profiles per region producing
+//!   hourly EWF and carbon-intensity series (with reservoir-evaporation
+//!   seasonality for hydro);
+//! * [`PlantFleet`] — named plants with per-plant water scarcity indices
+//!   for the Fig. 9 indirect-WSI aggregation;
+//! * [`Scenario`] — the Fig. 14 what-ifs (100 % coal / nuclear /
+//!   non-water-intensive renewables / water-intensive renewables).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mix;
+mod plants;
+mod region;
+mod scenario;
+mod sources;
+
+pub use mix::{EnergyMix, MixError};
+pub use plants::{PlantFleet, PowerPlant};
+pub use region::{GridRegion, RegionId};
+pub use scenario::Scenario;
+pub use sources::EnergySource;

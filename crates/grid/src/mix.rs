@@ -1,0 +1,261 @@
+//! A validated energy-source share vector and its weighted factors.
+//!
+//! Eq. 7: `EWF = f(mix%, EWF_energy)` — the regional EWF is the
+//! share-weighted sum of per-source EWFs; carbon intensity aggregates the
+//! same way.
+
+use std::collections::BTreeMap;
+
+use thirstyflops_units::{Fraction, GramsCo2PerKwh, LitersPerKilowattHour};
+
+use crate::sources::EnergySource;
+
+/// Errors constructing an [`EnergyMix`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MixError {
+    /// Shares must sum to 1 (±1e-6); carries the actual sum.
+    DoesNotSumToOne(f64),
+    /// A source appeared twice in the builder input.
+    DuplicateSource(EnergySource),
+    /// The mix had no sources at all.
+    Empty,
+}
+
+impl core::fmt::Display for MixError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MixError::DoesNotSumToOne(sum) => {
+                write!(f, "energy mix shares sum to {sum}, expected 1")
+            }
+            MixError::DuplicateSource(s) => write!(f, "duplicate source {s} in mix"),
+            MixError::Empty => write!(f, "energy mix has no sources"),
+        }
+    }
+}
+
+impl std::error::Error for MixError {}
+
+/// An energy-source mix: shares over [`EnergySource`]s summing to one.
+///
+/// ```
+/// use thirstyflops_grid::{EnergyMix, EnergySource};
+///
+/// // Eq. 7: regional EWF is the share-weighted sum of per-source EWFs.
+/// let mix = EnergyMix::new(&[
+///     (EnergySource::Hydro, 0.2),   // 17 L/kWh — thirsty but low-carbon
+///     (EnergySource::Gas, 0.8),     // 0.85 L/kWh
+/// ]).unwrap();
+/// assert!((mix.ewf().value() - (0.2 * 17.0 + 0.8 * 0.85)).abs() < 1e-12);
+/// assert!(mix.carbon_intensity().value() < EnergySource::Gas.carbon_intensity().value());
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnergyMix {
+    shares: BTreeMap<EnergySource, Fraction>,
+}
+
+impl EnergyMix {
+    /// Tolerance on the share sum.
+    pub const SUM_TOLERANCE: f64 = 1e-6;
+
+    /// Builds a mix from `(source, share)` pairs.
+    pub fn new(pairs: &[(EnergySource, f64)]) -> Result<Self, MixError> {
+        if pairs.is_empty() {
+            return Err(MixError::Empty);
+        }
+        let mut shares = BTreeMap::new();
+        let mut sum = 0.0;
+        for &(source, share) in pairs {
+            let frac = Fraction::new(share).map_err(|_| MixError::DoesNotSumToOne(share))?;
+            if shares.insert(source, frac).is_some() {
+                return Err(MixError::DuplicateSource(source));
+            }
+            sum += share;
+        }
+        if (sum - 1.0).abs() > Self::SUM_TOLERANCE {
+            return Err(MixError::DoesNotSumToOne(sum));
+        }
+        Ok(Self { shares })
+    }
+
+    /// Builds a mix from possibly-unnormalized non-negative weights,
+    /// normalizing them to sum to one. Used by the hourly simulator after
+    /// applying diurnal/noise modulation.
+    pub fn normalized(pairs: &[(EnergySource, f64)]) -> Result<Self, MixError> {
+        if pairs.is_empty() {
+            return Err(MixError::Empty);
+        }
+        let total: f64 = pairs.iter().map(|&(_, w)| w.max(0.0)).sum();
+        if total <= 0.0 {
+            return Err(MixError::DoesNotSumToOne(0.0));
+        }
+        let scaled: Vec<(EnergySource, f64)> = pairs
+            .iter()
+            .map(|&(s, w)| (s, w.max(0.0) / total))
+            .collect();
+        Self::new(&scaled)
+    }
+
+    /// A single-source mix (the Fig. 14 "100 % X" scenarios).
+    pub fn single(source: EnergySource) -> Self {
+        Self::new(&[(source, 1.0)]).expect("single-source mix always sums to 1")
+    }
+
+    /// Share of `source` (zero if absent).
+    pub fn share(&self, source: EnergySource) -> Fraction {
+        self.shares.get(&source).copied().unwrap_or(Fraction::ZERO)
+    }
+
+    /// Iterator over `(source, share)` with non-zero shares.
+    pub fn iter(&self) -> impl Iterator<Item = (EnergySource, Fraction)> + '_ {
+        self.shares.iter().map(|(&s, &f)| (s, f))
+    }
+
+    /// Share-weighted EWF using per-source medians (Eq. 7).
+    pub fn ewf(&self) -> LitersPerKilowattHour {
+        let v: f64 = self
+            .iter()
+            .map(|(s, f)| f.value() * s.ewf().value())
+            .sum();
+        LitersPerKilowattHour::new(v)
+    }
+
+    /// Share-weighted EWF with a per-source multiplier (e.g. seasonal
+    /// reservoir evaporation scaling for hydro).
+    pub fn ewf_with(&self, mut factor: impl FnMut(EnergySource) -> f64) -> LitersPerKilowattHour {
+        let v: f64 = self
+            .iter()
+            .map(|(s, f)| f.value() * s.ewf().value() * factor(s))
+            .sum();
+        LitersPerKilowattHour::new(v)
+    }
+
+    /// Share-weighted water **withdrawal** factor (median), L/kWh — far
+    /// above [`EnergyMix::ewf`] for thermal-heavy grids (§2: withdrawal
+    /// vs consumption).
+    pub fn withdrawal(&self) -> LitersPerKilowattHour {
+        let v: f64 = self
+            .iter()
+            .map(|(s, f)| f.value() * s.withdrawal_range().median)
+            .sum();
+        LitersPerKilowattHour::new(v)
+    }
+
+    /// Share-weighted carbon intensity.
+    pub fn carbon_intensity(&self) -> GramsCo2PerKwh {
+        let v: f64 = self
+            .iter()
+            .map(|(s, f)| f.value() * s.carbon_intensity().value())
+            .sum();
+        GramsCo2PerKwh::new(v)
+    }
+
+    /// Total share from renewable sources.
+    pub fn renewable_share(&self) -> Fraction {
+        Fraction::clamped(
+            self.iter()
+                .filter(|(s, _)| s.is_renewable())
+                .map(|(_, f)| f.value())
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_mix_aggregates() {
+        let mix = EnergyMix::new(&[
+            (EnergySource::Gas, 0.5),
+            (EnergySource::Hydro, 0.2),
+            (EnergySource::Solar, 0.3),
+        ])
+        .unwrap();
+        let ewf = mix.ewf().value();
+        let expected = 0.5 * 0.85 + 0.2 * 17.0 + 0.3 * 0.15;
+        assert!((ewf - expected).abs() < 1e-12);
+        let ci = mix.carbon_intensity().value();
+        let expected_ci = 0.5 * 490.0 + 0.2 * 24.0 + 0.3 * 45.0;
+        assert!((ci - expected_ci).abs() < 1e-12);
+        assert!((mix.renewable_share().value() - 0.5).abs() < 1e-12);
+        assert_eq!(mix.share(EnergySource::Coal), Fraction::ZERO);
+    }
+
+    #[test]
+    fn rejects_bad_sums_and_duplicates() {
+        assert!(matches!(
+            EnergyMix::new(&[(EnergySource::Gas, 0.7)]),
+            Err(MixError::DoesNotSumToOne(_))
+        ));
+        assert!(matches!(
+            EnergyMix::new(&[(EnergySource::Gas, 0.5), (EnergySource::Gas, 0.5)]),
+            Err(MixError::DuplicateSource(EnergySource::Gas))
+        ));
+        assert!(matches!(EnergyMix::new(&[]), Err(MixError::Empty)));
+        // Negative shares are rejected via Fraction validation.
+        assert!(EnergyMix::new(&[(EnergySource::Gas, 1.2), (EnergySource::Coal, -0.2)]).is_err());
+    }
+
+    #[test]
+    fn normalized_rescales_weights() {
+        let mix = EnergyMix::normalized(&[
+            (EnergySource::Nuclear, 2.0),
+            (EnergySource::Gas, 1.0),
+            (EnergySource::Wind, 1.0),
+        ])
+        .unwrap();
+        assert!((mix.share(EnergySource::Nuclear).value() - 0.5).abs() < 1e-12);
+        assert!((mix.share(EnergySource::Gas).value() - 0.25).abs() < 1e-12);
+        assert!(matches!(
+            EnergyMix::normalized(&[(EnergySource::Gas, 0.0)]),
+            Err(MixError::DoesNotSumToOne(_))
+        ));
+    }
+
+    #[test]
+    fn single_source_mix() {
+        let mix = EnergyMix::single(EnergySource::Coal);
+        assert_eq!(mix.share(EnergySource::Coal), Fraction::ONE);
+        assert!((mix.ewf().value() - 2.2).abs() < 1e-12);
+        assert!((mix.carbon_intensity().value() - 820.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewf_with_source_multiplier() {
+        let mix = EnergyMix::new(&[(EnergySource::Hydro, 0.5), (EnergySource::Gas, 0.5)]).unwrap();
+        // Double hydro's EWF (hot-summer reservoir evaporation).
+        let boosted = mix.ewf_with(|s| if s == EnergySource::Hydro { 2.0 } else { 1.0 });
+        let expected = 0.5 * 17.0 * 2.0 + 0.5 * 0.85;
+        assert!((boosted.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_withdrawal_exceeds_consumption_for_thermal_grids() {
+        let thermal = EnergyMix::new(&[
+            (EnergySource::Nuclear, 0.5),
+            (EnergySource::Gas, 0.3),
+            (EnergySource::Coal, 0.2),
+        ])
+        .unwrap();
+        assert!(thermal.withdrawal().value() > 10.0 * thermal.ewf().value());
+        // A wind/solar grid withdraws almost nothing.
+        let renewables =
+            EnergyMix::new(&[(EnergySource::Wind, 0.6), (EnergySource::Solar, 0.4)]).unwrap();
+        assert!(renewables.withdrawal().value() < 0.1);
+    }
+
+    #[test]
+    fn ewf_is_within_component_hull() {
+        let mix = EnergyMix::new(&[
+            (EnergySource::Nuclear, 0.4),
+            (EnergySource::Coal, 0.3),
+            (EnergySource::Wind, 0.3),
+        ])
+        .unwrap();
+        let lo = EnergySource::Wind.ewf().value();
+        let hi = EnergySource::Nuclear.ewf().value();
+        let e = mix.ewf().value();
+        assert!(e >= lo && e <= hi);
+    }
+}

@@ -1,0 +1,169 @@
+//! Power-plant fleets and the indirect water scarcity index.
+//!
+//! Fig. 9: an HPC center draws electricity from several plants, each
+//! sitting in its own watershed with its own WSI. The **indirect WSI** is
+//! the energy-share-weighted aggregate of the plant-site WSIs, distinct
+//! from the **direct WSI** at the datacenter itself. Fig. 10 shows WSI can
+//! vary at kilometer scale, so this distinction materially changes the
+//! scarcity-adjusted footprint.
+
+use thirstyflops_units::{Fraction, WaterScarcityIndex};
+
+use crate::sources::EnergySource;
+
+/// A generating plant supplying part of an HPC center's electricity.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerPlant {
+    /// Plant name.
+    pub name: String,
+    /// Generation technology.
+    pub source: EnergySource,
+    /// Share of the HPC center's supply from this plant.
+    pub supply_share: Fraction,
+    /// Water scarcity index of the plant's watershed.
+    pub wsi: WaterScarcityIndex,
+}
+
+impl PowerPlant {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        source: EnergySource,
+        supply_share: f64,
+        wsi: f64,
+    ) -> Result<Self, String> {
+        Ok(Self {
+            name: name.into(),
+            source,
+            supply_share: Fraction::new(supply_share).map_err(|e| e.to_string())?,
+            wsi: WaterScarcityIndex::new(wsi).map_err(|e| e.to_string())?,
+        })
+    }
+}
+
+/// Errors constructing a [`PlantFleet`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// Supply shares must sum to 1 (±1e-6).
+    SharesDoNotSumToOne(f64),
+    /// The fleet was empty.
+    Empty,
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::SharesDoNotSumToOne(s) => {
+                write!(f, "plant supply shares sum to {s}, expected 1")
+            }
+            FleetError::Empty => write!(f, "plant fleet is empty"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// The set of plants supplying one HPC center.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlantFleet {
+    plants: Vec<PowerPlant>,
+}
+
+impl PlantFleet {
+    /// Builds a fleet, validating that supply shares sum to one.
+    pub fn new(plants: Vec<PowerPlant>) -> Result<Self, FleetError> {
+        if plants.is_empty() {
+            return Err(FleetError::Empty);
+        }
+        let total: f64 = plants.iter().map(|p| p.supply_share.value()).sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(FleetError::SharesDoNotSumToOne(total));
+        }
+        Ok(Self { plants })
+    }
+
+    /// The plants.
+    pub fn plants(&self) -> &[PowerPlant] {
+        &self.plants
+    }
+
+    /// Fig. 9: `WSI_indirect = f(WSI_1 … WSI_n)` — the supply-share-weighted
+    /// mean of plant-site WSIs.
+    pub fn indirect_wsi(&self) -> WaterScarcityIndex {
+        let v: f64 = self
+            .plants
+            .iter()
+            .map(|p| p.supply_share.value() * p.wsi.value())
+            .sum();
+        WaterScarcityIndex::new(v).expect("weighted mean of non-negative WSIs is non-negative")
+    }
+
+    /// The spread (max − min) of plant WSIs — how much the indirect WSI
+    /// depends on *which* nearby grid supplies the energy (Takeaway 6).
+    pub fn wsi_spread(&self) -> f64 {
+        let min = self
+            .plants
+            .iter()
+            .map(|p| p.wsi.value())
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .plants
+            .iter()
+            .map(|p| p.wsi.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> PlantFleet {
+        PlantFleet::new(vec![
+            PowerPlant::new("Riverbend Nuclear", EnergySource::Nuclear, 0.4, 0.2).unwrap(),
+            PowerPlant::new("Dryland Gas", EnergySource::Gas, 0.3, 0.9).unwrap(),
+            PowerPlant::new("Highlake Hydro", EnergySource::Hydro, 0.2, 0.1).unwrap(),
+            PowerPlant::new("Prairie Wind", EnergySource::Wind, 0.1, 0.5).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn weighted_indirect_wsi() {
+        let f = fleet();
+        let expected = 0.4 * 0.2 + 0.3 * 0.9 + 0.2 * 0.1 + 0.1 * 0.5;
+        assert!((f.indirect_wsi().value() - expected).abs() < 1e-12);
+        assert!((f.wsi_spread() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indirect_wsi_within_plant_hull() {
+        let f = fleet();
+        let v = f.indirect_wsi().value();
+        assert!((0.1..=0.9).contains(&v));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(PlantFleet::new(vec![]), Err(FleetError::Empty)));
+        let bad = PlantFleet::new(vec![
+            PowerPlant::new("A", EnergySource::Gas, 0.5, 0.5).unwrap(),
+            PowerPlant::new("B", EnergySource::Coal, 0.3, 0.5).unwrap(),
+        ]);
+        assert!(matches!(bad, Err(FleetError::SharesDoNotSumToOne(_))));
+        assert!(PowerPlant::new("C", EnergySource::Gas, 1.2, 0.5).is_err());
+        assert!(PowerPlant::new("D", EnergySource::Gas, 0.5, -1.0).is_err());
+    }
+
+    #[test]
+    fn single_plant_fleet_wsi_is_its_wsi() {
+        let f = PlantFleet::new(vec![
+            PowerPlant::new("Solo", EnergySource::Nuclear, 1.0, 0.42).unwrap()
+        ])
+        .unwrap();
+        assert!((f.indirect_wsi().value() - 0.42).abs() < 1e-12);
+        assert_eq!(f.wsi_spread(), 0.0);
+        assert_eq!(f.plants().len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! The Fig. 14 what-if energy scenarios: replacing a region's current mix
+//! with a single class of generation and comparing carbon and water.
+
+use thirstyflops_units::{GramsCo2PerKwh, LitersPerKilowattHour};
+
+use crate::mix::EnergyMix;
+use crate::sources::EnergySource;
+
+/// An energy-supply scenario for an HPC center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Scenario {
+    /// The region's current (simulated) energy mix — the normalization
+    /// point of Fig. 14.
+    CurrentMix,
+    /// 100 % coal: the non-carbon-friendly anchor.
+    AllCoal,
+    /// 100 % nuclear: the §5 small-modular-reactor scenario.
+    AllNuclear,
+    /// 100 % non-water-intensive renewables (solar + wind).
+    OtherRenewable,
+    /// 100 % water-intensive renewables (hydro).
+    WaterIntensiveRenewable,
+}
+
+impl Scenario {
+    /// All scenarios in Fig. 14 legend order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::CurrentMix,
+        Scenario::AllCoal,
+        Scenario::AllNuclear,
+        Scenario::OtherRenewable,
+        Scenario::WaterIntensiveRenewable,
+    ];
+
+    /// The scenario's replacement mix; `None` for the current mix.
+    pub fn replacement_mix(self) -> Option<EnergyMix> {
+        match self {
+            Scenario::CurrentMix => None,
+            Scenario::AllCoal => Some(EnergyMix::single(EnergySource::Coal)),
+            Scenario::AllNuclear => Some(EnergyMix::single(EnergySource::Nuclear)),
+            Scenario::OtherRenewable => Some(
+                EnergyMix::new(&[(EnergySource::Solar, 0.5), (EnergySource::Wind, 0.5)])
+                    .expect("static mix sums to 1"),
+            ),
+            Scenario::WaterIntensiveRenewable => Some(EnergyMix::single(EnergySource::Hydro)),
+        }
+    }
+
+    /// EWF under this scenario, falling back to `current_ewf` for
+    /// [`Scenario::CurrentMix`].
+    pub fn ewf(self, current_ewf: LitersPerKilowattHour) -> LitersPerKilowattHour {
+        self.replacement_mix().map_or(current_ewf, |m| m.ewf())
+    }
+
+    /// Carbon intensity under this scenario.
+    pub fn carbon_intensity(self, current_ci: GramsCo2PerKwh) -> GramsCo2PerKwh {
+        self.replacement_mix()
+            .map_or(current_ci, |m| m.carbon_intensity())
+    }
+
+    /// Display label matching the Fig. 14 legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::CurrentMix => "Current Energy Mix",
+            Scenario::AllCoal => "100% Coal Usage",
+            Scenario::AllNuclear => "100% Nuclear Usage",
+            Scenario::OtherRenewable => "Other Renewable Energy Mix",
+            Scenario::WaterIntensiveRenewable => "Water-Intensive Renewable Energy Mix",
+        }
+    }
+}
+
+impl core::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_mix_passes_through() {
+        let ewf = LitersPerKilowattHour::new(3.3);
+        let ci = GramsCo2PerKwh::new(300.0);
+        assert_eq!(Scenario::CurrentMix.ewf(ewf), ewf);
+        assert_eq!(Scenario::CurrentMix.carbon_intensity(ci), ci);
+        assert!(Scenario::CurrentMix.replacement_mix().is_none());
+    }
+
+    #[test]
+    fn coal_maximizes_carbon_hydro_maximizes_water() {
+        let ewf = LitersPerKilowattHour::new(3.3);
+        let ci = GramsCo2PerKwh::new(300.0);
+        let carbon: Vec<f64> = Scenario::ALL
+            .iter()
+            .map(|s| s.carbon_intensity(ci).value())
+            .collect();
+        let water: Vec<f64> = Scenario::ALL.iter().map(|s| s.ewf(ewf).value()).collect();
+        // AllCoal (index 1) has the highest carbon.
+        assert!(carbon[1] >= *carbon.iter().fold(&0.0, |a, b| if b > a { b } else { a }) - 1e-9);
+        // WaterIntensiveRenewable (index 4) has the highest water.
+        let max_water = water.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!((water[4] - max_water).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nuclear_is_low_carbon_moderate_water() {
+        let s = Scenario::AllNuclear;
+        assert!(s.carbon_intensity(GramsCo2PerKwh::new(300.0)).value() < 20.0);
+        let w = s.ewf(LitersPerKilowattHour::new(1.0)).value();
+        assert!(w > 2.0 && w < 3.5); // wet-tower median
+    }
+
+    #[test]
+    fn other_renewable_is_low_on_both() {
+        let s = Scenario::OtherRenewable;
+        assert!(s.ewf(LitersPerKilowattHour::new(5.0)).value() < 0.2);
+        assert!(s.carbon_intensity(GramsCo2PerKwh::new(300.0)).value() < 50.0);
+    }
+
+    #[test]
+    fn labels_match_figure_legend() {
+        assert_eq!(Scenario::AllNuclear.label(), "100% Nuclear Usage");
+        assert_eq!(Scenario::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,315 @@
+//! The nine energy sources of Fig. 5 with their energy water factors and
+//! carbon intensities.
+//!
+//! EWF values (L of water consumed per kWh generated) follow the
+//! operational consumption factors surveyed by Macknick et al. (NREL
+//! TP-6A20-50900) and the WRI guidance the paper cites; carbon intensities
+//! are life-cycle medians in gCO₂-eq/kWh. The paper's headline
+//! observation — "greener" sources like hydro and geothermal can be highly
+//! water-intensive — is encoded in the data: hydro's median EWF (17 L/kWh,
+//! reservoir evaporation) is the largest of all sources while its carbon
+//! intensity is among the smallest.
+
+use thirstyflops_units::{GramsCo2PerKwh, LitersPerKilowattHour};
+
+/// An electricity generation technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum EnergySource {
+    Solar,
+    Biomass,
+    Nuclear,
+    Coal,
+    Wind,
+    Hydro,
+    Gas,
+    Oil,
+    Geothermal,
+}
+
+/// `(min, median, max)` range of a per-source factor.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FactorRange {
+    /// Lower bound.
+    pub min: f64,
+    /// Median / typical value used in mix arithmetic.
+    pub median: f64,
+    /// Upper bound.
+    pub max: f64,
+}
+
+impl EnergySource {
+    /// All nine sources, in the paper's Fig. 5 x-axis order.
+    pub const ALL: [EnergySource; 9] = [
+        EnergySource::Solar,
+        EnergySource::Biomass,
+        EnergySource::Nuclear,
+        EnergySource::Coal,
+        EnergySource::Wind,
+        EnergySource::Hydro,
+        EnergySource::Gas,
+        EnergySource::Oil,
+        EnergySource::Geothermal,
+    ];
+
+    /// Energy water factor range, L/kWh consumed during generation.
+    ///
+    /// Nuclear spans once-through cooling (0.5–1.5 L/kWh, river-return) up
+    /// to wet cooling towers (2.2–3.2 L/kWh) — the §5 discussion.
+    pub fn ewf_range(self) -> FactorRange {
+        match self {
+            EnergySource::Solar => FactorRange {
+                min: 0.02,
+                median: 0.15,
+                max: 0.33,
+            },
+            EnergySource::Biomass => FactorRange {
+                min: 1.9,
+                median: 2.5,
+                max: 3.3,
+            },
+            EnergySource::Nuclear => FactorRange {
+                min: 0.5,
+                median: 2.7,
+                max: 3.2,
+            },
+            EnergySource::Coal => FactorRange {
+                min: 1.2,
+                median: 2.2,
+                max: 2.6,
+            },
+            EnergySource::Wind => FactorRange {
+                min: 0.0,
+                median: 0.004,
+                max: 0.01,
+            },
+            EnergySource::Hydro => FactorRange {
+                min: 1.0,
+                median: 17.0,
+                max: 26.0,
+            },
+            EnergySource::Gas => FactorRange {
+                min: 0.5,
+                median: 0.85,
+                max: 1.1,
+            },
+            EnergySource::Oil => FactorRange {
+                min: 1.2,
+                median: 1.8,
+                max: 2.4,
+            },
+            EnergySource::Geothermal => FactorRange {
+                min: 1.0,
+                median: 5.3,
+                max: 14.0,
+            },
+        }
+    }
+
+    /// Median EWF as a typed intensity.
+    pub fn ewf(self) -> LitersPerKilowattHour {
+        LitersPerKilowattHour::new(self.ewf_range().median)
+    }
+
+    /// Water **withdrawal** factor range, L/kWh — the volume removed from
+    /// the source, most of which once-through plants return (§2: consumption
+    /// = withdrawal − discharge). Once-through thermal plants withdraw two
+    /// orders of magnitude more than they consume; wind/solar withdraw
+    /// almost nothing. Values follow the Macknick et al. withdrawal survey.
+    pub fn withdrawal_range(self) -> FactorRange {
+        match self {
+            EnergySource::Solar => FactorRange { min: 0.02, median: 0.15, max: 0.4 },
+            EnergySource::Biomass => FactorRange { min: 2.0, median: 40.0, max: 140.0 },
+            // Nuclear once-through: up to ~230 L/kWh withdrawn.
+            EnergySource::Nuclear => FactorRange { min: 3.0, median: 90.0, max: 230.0 },
+            EnergySource::Coal => FactorRange { min: 2.0, median: 70.0, max: 140.0 },
+            EnergySource::Wind => FactorRange { min: 0.0, median: 0.004, max: 0.01 },
+            // Hydro "withdrawal" is the turbined flow; conventions vary, so
+            // we follow the consumptive-only accounting (≈ EWF).
+            EnergySource::Hydro => FactorRange { min: 1.0, median: 17.0, max: 26.0 },
+            EnergySource::Gas => FactorRange { min: 1.0, median: 35.0, max: 80.0 },
+            EnergySource::Oil => FactorRange { min: 2.0, median: 60.0, max: 120.0 },
+            EnergySource::Geothermal => FactorRange { min: 1.0, median: 7.0, max: 15.0 },
+        }
+    }
+
+    /// Life-cycle carbon intensity range, gCO₂-eq/kWh.
+    pub fn carbon_range(self) -> FactorRange {
+        match self {
+            EnergySource::Solar => FactorRange {
+                min: 41.0,
+                median: 45.0,
+                max: 48.0,
+            },
+            EnergySource::Biomass => FactorRange {
+                min: 130.0,
+                median: 230.0,
+                max: 420.0,
+            },
+            EnergySource::Nuclear => FactorRange {
+                min: 4.0,
+                median: 12.0,
+                max: 110.0,
+            },
+            EnergySource::Coal => FactorRange {
+                min: 740.0,
+                median: 820.0,
+                max: 910.0,
+            },
+            EnergySource::Wind => FactorRange {
+                min: 7.0,
+                median: 11.0,
+                max: 56.0,
+            },
+            EnergySource::Hydro => FactorRange {
+                min: 1.0,
+                median: 24.0,
+                max: 150.0,
+            },
+            EnergySource::Gas => FactorRange {
+                min: 410.0,
+                median: 490.0,
+                max: 650.0,
+            },
+            EnergySource::Oil => FactorRange {
+                min: 650.0,
+                median: 740.0,
+                max: 890.0,
+            },
+            EnergySource::Geothermal => FactorRange {
+                min: 6.0,
+                median: 38.0,
+                max: 79.0,
+            },
+        }
+    }
+
+    /// Median carbon intensity as a typed quantity.
+    pub fn carbon_intensity(self) -> GramsCo2PerKwh {
+        GramsCo2PerKwh::new(self.carbon_range().median)
+    }
+
+    /// Renewable (low-carbon, non-fossil, non-nuclear) sources.
+    pub fn is_renewable(self) -> bool {
+        matches!(
+            self,
+            EnergySource::Solar
+                | EnergySource::Wind
+                | EnergySource::Hydro
+                | EnergySource::Biomass
+                | EnergySource::Geothermal
+        )
+    }
+
+    /// Sources the paper flags as water-intensive despite low carbon
+    /// (Takeaway 3).
+    pub fn is_water_intensive(self) -> bool {
+        self.ewf_range().median >= 2.5
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnergySource::Solar => "Solar",
+            EnergySource::Biomass => "Biomass",
+            EnergySource::Nuclear => "Nuclear",
+            EnergySource::Coal => "Coal",
+            EnergySource::Wind => "Wind",
+            EnergySource::Hydro => "Hydro",
+            EnergySource::Gas => "Gas",
+            EnergySource::Oil => "Oil",
+            EnergySource::Geothermal => "Geothermal",
+        }
+    }
+}
+
+impl core::fmt::Display for EnergySource {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_ordered() {
+        for s in EnergySource::ALL {
+            let e = s.ewf_range();
+            assert!(e.min <= e.median && e.median <= e.max, "{s} EWF range");
+            let c = s.carbon_range();
+            assert!(c.min <= c.median && c.median <= c.max, "{s} CI range");
+            assert!(e.min >= 0.0 && c.min >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hydro_is_thirstiest_but_low_carbon() {
+        // Fig. 5 / Takeaway 3: green ≠ water-friendly.
+        let hydro = EnergySource::Hydro;
+        for s in EnergySource::ALL {
+            assert!(hydro.ewf().value() >= s.ewf().value(), "{s}");
+        }
+        assert!(hydro.carbon_intensity().value() < 50.0);
+        assert!(hydro.is_water_intensive());
+        assert!(hydro.is_renewable());
+    }
+
+    #[test]
+    fn coal_is_highest_carbon() {
+        let coal = EnergySource::Coal;
+        for s in EnergySource::ALL {
+            assert!(coal.carbon_intensity().value() >= s.carbon_intensity().value());
+        }
+        assert!(!coal.is_renewable());
+    }
+
+    #[test]
+    fn wind_and_solar_are_water_light() {
+        assert!(!EnergySource::Wind.is_water_intensive());
+        assert!(!EnergySource::Solar.is_water_intensive());
+        assert!(EnergySource::Wind.ewf().value() < 0.01);
+    }
+
+    #[test]
+    fn nuclear_wet_tower_range_matches_paper() {
+        // §5: "2.2–3.2 L/kWh" wet tower; "0.5–1.5" once-through. The full
+        // range spans both regimes.
+        let r = EnergySource::Nuclear.ewf_range();
+        assert_eq!(r.min, 0.5);
+        assert_eq!(r.max, 3.2);
+        assert!(r.median >= 2.2 && r.median <= 3.2);
+        // Nuclear is carbon-friendly.
+        assert!(EnergySource::Nuclear.carbon_intensity().value() < 20.0);
+    }
+
+    #[test]
+    fn table2_ewf_envelope() {
+        // Table 2: EWF_energy data range 1–17 L/kWh for the dominant
+        // sources; medians fall within [0, 17].
+        for s in EnergySource::ALL {
+            assert!(s.ewf().value() <= 17.0);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EnergySource::Gas.to_string(), "Gas");
+        assert_eq!(EnergySource::ALL.len(), 9);
+    }
+
+    #[test]
+    fn withdrawal_dwarfs_consumption_for_thermal_sources() {
+        // §2's distinction: once-through thermal plants withdraw orders of
+        // magnitude more than they consume.
+        for s in [EnergySource::Nuclear, EnergySource::Coal, EnergySource::Gas] {
+            let w = s.withdrawal_range();
+            let c = s.ewf_range();
+            assert!(w.median > 10.0 * c.median, "{s}: {} vs {}", w.median, c.median);
+            assert!(w.min <= w.median && w.median <= w.max);
+        }
+        // Wind withdraws essentially nothing either way.
+        assert!(EnergySource::Wind.withdrawal_range().median < 0.01);
+    }
+}

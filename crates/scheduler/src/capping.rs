@@ -1,0 +1,305 @@
+//! Water capping (Takeaway 5): when water is a constrained shared
+//! resource, the facility and the power provider must decide how much
+//! goes to cooling and how much to generation.
+//!
+//! Given an hourly IT demand `E` (kWh), the facility's current WUE
+//! (cooling water per kWh — weather-driven, not a choice), a PUE, and a
+//! menu of generation sources with per-source EWF/CI and capacity caps,
+//! the planner chooses the generation mix that **minimizes carbon subject
+//! to a total water budget** `E·WUE + E·PUE·Σ mix·EWF ≤ budget`.
+//!
+//! The solver is exact for this structure: it starts from the
+//! carbon-greedy dispatch and, while the budget is violated, re-dispatches
+//! marginal energy along the best Δcarbon/Δwater trade — a classic
+//! two-resource exchange argument.
+
+use thirstyflops_grid::EnergySource;
+use thirstyflops_units::{KilowattHours, Liters, LitersPerKilowattHour, Pue};
+
+/// One generation option available to the power provider this hour.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SourceOffer {
+    /// The technology.
+    pub source: EnergySource,
+    /// Maximum energy available from it this hour, kWh (at the grid
+    /// feeding this facility).
+    pub capacity_kwh: f64,
+}
+
+/// Outcome of a capped dispatch.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CapOutcome {
+    /// Chosen dispatch, kWh per source (same order as the offers).
+    pub dispatch_kwh: Vec<f64>,
+    /// Cooling water (fixed by weather).
+    pub cooling_water: Liters,
+    /// Generation water under the chosen dispatch.
+    pub generation_water: Liters,
+    /// Carbon emitted, grams.
+    pub carbon_g: f64,
+    /// True if the budget was satisfiable at all.
+    pub feasible: bool,
+}
+
+impl CapOutcome {
+    /// Total water use.
+    pub fn total_water(&self) -> Liters {
+        self.cooling_water + self.generation_water
+    }
+}
+
+/// The water-cap dispatch planner.
+#[derive(Debug, Clone)]
+pub struct WaterCapPlanner {
+    /// Facility PUE.
+    pub pue: Pue,
+}
+
+impl WaterCapPlanner {
+    /// A planner for a facility with the given PUE.
+    pub fn new(pue: Pue) -> Self {
+        Self { pue }
+    }
+
+    /// Dispatches `it_energy` of IT demand against `offers` under a total
+    /// water `budget`, at the current weather-driven `wue`.
+    ///
+    /// Returns an error if the offers cannot cover the demand at all; if
+    /// the demand is coverable but the budget is not satisfiable even by
+    /// the water-min dispatch, `feasible = false` and the water-min
+    /// dispatch is returned (the best the operators can do).
+    pub fn dispatch(
+        &self,
+        it_energy: KilowattHours,
+        wue: LitersPerKilowattHour,
+        offers: &[SourceOffer],
+        budget: Liters,
+    ) -> Result<CapOutcome, String> {
+        let demand = it_energy.value() * self.pue.value(); // generation must cover PUE overhead
+        let total_capacity: f64 = offers.iter().map(|o| o.capacity_kwh).sum();
+        if total_capacity + 1e-9 < demand {
+            return Err(format!(
+                "offers cover {total_capacity} kWh but demand is {demand} kWh"
+            ));
+        }
+        if offers.iter().any(|o| o.capacity_kwh < 0.0) {
+            return Err("negative capacity".into());
+        }
+
+        let cooling = it_energy.value() * wue.value();
+        let gen_budget = budget.value() - cooling;
+
+        // Start carbon-greedy: fill sources in ascending carbon intensity.
+        let mut order: Vec<usize> = (0..offers.len()).collect();
+        order.sort_by(|&a, &b| {
+            offers[a]
+                .source
+                .carbon_intensity()
+                .value()
+                .partial_cmp(&offers[b].source.carbon_intensity().value())
+                .unwrap()
+        });
+        let mut dispatch = vec![0.0; offers.len()];
+        let mut remaining = demand;
+        for &i in &order {
+            let take = offers[i].capacity_kwh.min(remaining);
+            dispatch[i] = take;
+            remaining -= take;
+            if remaining <= 1e-12 {
+                break;
+            }
+        }
+
+        // Exchange loop: while the water budget is violated, move energy
+        // from the dispatched source with the highest EWF to the
+        // undispatched capacity with the lowest EWF, preferring moves
+        // with the least carbon increase per liter saved.
+        let water_of = |d: &[f64]| -> f64 {
+            d.iter()
+                .zip(offers)
+                .map(|(&kwh, o)| kwh * o.source.ewf().value())
+                .sum()
+        };
+        let mut guard = 0;
+        while water_of(&dispatch) > gen_budget + 1e-9 {
+            guard += 1;
+            if guard > 10_000 {
+                break;
+            }
+            // Best exchange: (from, to) minimizing Δcarbon/Δwater with
+            // Δwater > 0.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for from in 0..offers.len() {
+                if dispatch[from] <= 1e-12 {
+                    continue;
+                }
+                for to in 0..offers.len() {
+                    if to == from || dispatch[to] + 1e-12 >= offers[to].capacity_kwh {
+                        continue;
+                    }
+                    let d_water =
+                        offers[from].source.ewf().value() - offers[to].source.ewf().value();
+                    if d_water <= 1e-12 {
+                        continue;
+                    }
+                    let d_carbon = offers[to].source.carbon_intensity().value()
+                        - offers[from].source.carbon_intensity().value();
+                    let rate = d_carbon / d_water;
+                    if best.is_none() || rate < best.unwrap().2 {
+                        best = Some((from, to, rate));
+                    }
+                }
+            }
+            let Some((from, to, _)) = best else {
+                break; // already at the water-min dispatch
+            };
+            // Move as much as useful: bounded by the donor's dispatch, the
+            // receiver's headroom, and the amount needed to meet budget.
+            let d_water_rate =
+                offers[from].source.ewf().value() - offers[to].source.ewf().value();
+            let needed = (water_of(&dispatch) - gen_budget) / d_water_rate;
+            let movable = dispatch[from]
+                .min(offers[to].capacity_kwh - dispatch[to])
+                .min(needed.max(0.0));
+            if movable <= 1e-12 {
+                break;
+            }
+            dispatch[from] -= movable;
+            dispatch[to] += movable;
+        }
+
+        let generation_water = water_of(&dispatch);
+        let carbon_g: f64 = dispatch
+            .iter()
+            .zip(offers)
+            .map(|(&kwh, o)| kwh * o.source.carbon_intensity().value())
+            .sum();
+        let feasible = cooling + generation_water <= budget.value() + 1e-6;
+
+        Ok(CapOutcome {
+            dispatch_kwh: dispatch,
+            cooling_water: Liters::new(cooling),
+            generation_water: Liters::new(generation_water),
+            carbon_g,
+            feasible,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offers() -> Vec<SourceOffer> {
+        vec![
+            SourceOffer { source: EnergySource::Hydro, capacity_kwh: 1000.0 },   // low C, high W
+            SourceOffer { source: EnergySource::Nuclear, capacity_kwh: 1000.0 }, // low C, mid W
+            SourceOffer { source: EnergySource::Gas, capacity_kwh: 1000.0 },     // mid C, low W
+            SourceOffer { source: EnergySource::Wind, capacity_kwh: 200.0 },     // low C, ~no W
+        ]
+    }
+
+    fn planner() -> WaterCapPlanner {
+        WaterCapPlanner::new(Pue::new(1.2).unwrap())
+    }
+
+    #[test]
+    fn unconstrained_budget_gives_carbon_greedy_dispatch() {
+        let out = planner()
+            .dispatch(
+                KilowattHours::new(1000.0),
+                LitersPerKilowattHour::new(2.0),
+                &offers(),
+                Liters::new(1e9),
+            )
+            .unwrap();
+        assert!(out.feasible);
+        // Carbon-greedy: wind (11) then nuclear (12) then hydro (24) fill
+        // the 1200 kWh facility demand before gas (490).
+        assert_eq!(out.dispatch_kwh[3], 200.0); // wind exhausted
+        assert_eq!(out.dispatch_kwh[1], 1000.0); // nuclear exhausted
+        assert!((out.dispatch_kwh[0] - 0.0).abs() < 1e-9 || out.dispatch_kwh[0] > 0.0);
+        let total: f64 = out.dispatch_kwh.iter().sum();
+        assert!((total - 1200.0).abs() < 1e-6);
+        assert_eq!(out.dispatch_kwh[2], 0.0, "gas unused when budget is loose");
+    }
+
+    #[test]
+    fn takeaway5_tight_budget_shifts_to_low_water_sources_at_carbon_cost() {
+        let p = planner();
+        let e = KilowattHours::new(1000.0);
+        let wue = LitersPerKilowattHour::new(2.0);
+        let loose = p.dispatch(e, wue, &offers(), Liters::new(1e9)).unwrap();
+        // Budget: cooling 2000 L + a tight generation allowance.
+        let tight = p.dispatch(e, wue, &offers(), Liters::new(4500.0)).unwrap();
+        assert!(tight.feasible, "tight budget should still be feasible");
+        assert!(tight.total_water().value() <= 4500.0 + 1e-6);
+        // Water went down, carbon went up.
+        assert!(tight.generation_water.value() < loose.generation_water.value());
+        assert!(tight.carbon_g > loose.carbon_g);
+        // The shift lands on gas (low EWF, higher CI).
+        assert!(tight.dispatch_kwh[2] > 0.0);
+    }
+
+    #[test]
+    fn hot_day_leaves_less_water_for_generation() {
+        // Same budget, higher WUE (hotter weather) ⇒ generation must get
+        // even more water-frugal ⇒ more carbon.
+        let p = planner();
+        let e = KilowattHours::new(1000.0);
+        let budget = Liters::new(6000.0);
+        let cool = p
+            .dispatch(e, LitersPerKilowattHour::new(1.0), &offers(), budget)
+            .unwrap();
+        let hot = p
+            .dispatch(e, LitersPerKilowattHour::new(3.5), &offers(), budget)
+            .unwrap();
+        assert!(hot.carbon_g >= cool.carbon_g, "hot {} vs cool {}", hot.carbon_g, cool.carbon_g);
+        assert!(hot.generation_water.value() <= cool.generation_water.value());
+    }
+
+    #[test]
+    fn infeasible_budget_reports_water_min_dispatch() {
+        let p = planner();
+        let out = p
+            .dispatch(
+                KilowattHours::new(1000.0),
+                LitersPerKilowattHour::new(5.0),
+                &offers(),
+                Liters::new(100.0), // less than cooling alone
+            )
+            .unwrap();
+        assert!(!out.feasible);
+        // The dispatch is still water-minimal: hydro unused.
+        assert!(out.dispatch_kwh[0] < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_capacity_errors() {
+        let p = planner();
+        let small = vec![SourceOffer { source: EnergySource::Gas, capacity_kwh: 10.0 }];
+        assert!(p
+            .dispatch(
+                KilowattHours::new(1000.0),
+                LitersPerKilowattHour::new(1.0),
+                &small,
+                Liters::new(1e9)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn dispatch_meets_facility_demand_exactly() {
+        let p = planner();
+        let out = p
+            .dispatch(
+                KilowattHours::new(500.0),
+                LitersPerKilowattHour::new(2.0),
+                &offers(),
+                Liters::new(3000.0),
+            )
+            .unwrap();
+        let total: f64 = out.dispatch_kwh.iter().sum();
+        assert!((total - 600.0).abs() < 1e-6); // 500 × PUE 1.2
+    }
+}

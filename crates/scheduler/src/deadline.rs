@@ -1,0 +1,238 @@
+//! Deadline-constrained water-aware scheduling: the WACE-style question —
+//! how much water does a little start-time slack buy?
+//!
+//! A job submitted at hour `t` with `slack` hours of acceptable delay may
+//! start anywhere in `[t, t + slack]`. The scheduler picks the start
+//! minimizing water (or carbon) inside the window; the saving relative to
+//! starting immediately grows with slack until the full diurnal cycle is
+//! reachable (~24 h), after which returns flatten — exactly the shape the
+//! WACE paper reports ("minor increases in job delays" buy most of the
+//! benefit).
+
+use thirstyflops_timeseries::{HourlySeries, HOURS_PER_YEAR};
+use thirstyflops_units::{KilowattHours, Pue};
+
+use crate::starttime::{StartTimeImpact, StartTimeOptimizer};
+
+/// Which metric the deadline scheduler minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DeadlineObjective {
+    /// Minimize water.
+    Water,
+    /// Minimize carbon.
+    Carbon,
+}
+
+/// Result of a slack-window scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeadlineDecision {
+    /// Chosen start hour.
+    pub start_hour: usize,
+    /// Delay versus immediate start, hours.
+    pub delay_hours: usize,
+    /// Impact of the chosen start.
+    pub chosen: StartTimeImpact,
+    /// Impact of starting immediately (the baseline).
+    pub immediate: StartTimeImpact,
+}
+
+impl DeadlineDecision {
+    /// Relative water saving vs starting immediately, in `[0, 1)`.
+    pub fn water_saving(&self) -> f64 {
+        let base = self.immediate.water.value();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.chosen.water.value() / base
+    }
+
+    /// Relative carbon saving vs starting immediately.
+    pub fn carbon_saving(&self) -> f64 {
+        let base = self.immediate.carbon.value();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.chosen.carbon.value() / base
+    }
+}
+
+/// Deadline-window scheduler over WI/CI forecasts.
+#[derive(Debug, Clone)]
+pub struct DeadlineScheduler {
+    optimizer: StartTimeOptimizer,
+}
+
+impl DeadlineScheduler {
+    /// Builds from hourly WI (L/kWh) and CI (g/kWh) series plus PUE.
+    pub fn new(wi: HourlySeries, ci: HourlySeries, pue: Pue) -> Self {
+        Self {
+            optimizer: StartTimeOptimizer::new(wi, ci, pue),
+        }
+    }
+
+    /// Chooses a start in `[submit, submit + slack]` minimizing the
+    /// objective for a job of `duration_hours` consuming `energy`.
+    pub fn schedule(
+        &self,
+        submit_hour: usize,
+        slack_hours: usize,
+        duration_hours: usize,
+        energy: KilowattHours,
+        objective: DeadlineObjective,
+    ) -> Result<DeadlineDecision, String> {
+        if submit_hour >= HOURS_PER_YEAR {
+            return Err(format!("submit hour {submit_hour} outside the year"));
+        }
+        let candidates: Vec<usize> = (0..=slack_hours)
+            .map(|d| (submit_hour + d) % HOURS_PER_YEAR)
+            .collect();
+        let impacts = self
+            .optimizer
+            .evaluate(&candidates, duration_hours, energy)?;
+        let immediate = impacts[0];
+        let chosen = match objective {
+            DeadlineObjective::Water => StartTimeOptimizer::best_for_water(&impacts),
+            DeadlineObjective::Carbon => StartTimeOptimizer::best_for_carbon(&impacts),
+        };
+        let delay = (chosen.start_hour + HOURS_PER_YEAR - submit_hour) % HOURS_PER_YEAR;
+        Ok(DeadlineDecision {
+            start_hour: chosen.start_hour,
+            delay_hours: delay,
+            chosen,
+            immediate,
+        })
+    }
+
+    /// The slack-vs-saving curve: mean water saving over many submit
+    /// hours, per slack value. This is the WACE-style figure.
+    pub fn saving_curve(
+        &self,
+        slacks: &[usize],
+        duration_hours: usize,
+        energy: KilowattHours,
+        submit_stride: usize,
+    ) -> Result<Vec<(usize, f64)>, String> {
+        if submit_stride == 0 {
+            return Err("submit stride must be positive".into());
+        }
+        let mut curve = Vec::with_capacity(slacks.len());
+        for &slack in slacks {
+            let mut total = 0.0;
+            let mut n = 0.0;
+            let mut submit = 0usize;
+            while submit < HOURS_PER_YEAR {
+                let d = self.schedule(
+                    submit,
+                    slack,
+                    duration_hours,
+                    energy,
+                    DeadlineObjective::Water,
+                )?;
+                total += d.water_saving();
+                n += 1.0;
+                submit += submit_stride;
+            }
+            curve.push((slack, total / n));
+        }
+        Ok(curve)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler() -> DeadlineScheduler {
+        // Diurnal WI peaking at 15:00, CI peaking at 21:00.
+        let wi = HourlySeries::from_fn(|h| {
+            let hod = (h % 24) as f64;
+            5.0 + 3.0 * ((hod - 15.0) / 24.0 * core::f64::consts::TAU).cos()
+        });
+        let ci = HourlySeries::from_fn(|h| {
+            let hod = (h % 24) as f64;
+            400.0 + 150.0 * ((hod - 21.0) / 24.0 * core::f64::consts::TAU).cos()
+        });
+        DeadlineScheduler::new(wi, ci, Pue::new(1.1).unwrap())
+    }
+
+    #[test]
+    fn zero_slack_means_immediate_start() {
+        let s = scheduler();
+        let d = s
+            .schedule(1000, 0, 2, KilowattHours::new(10.0), DeadlineObjective::Water)
+            .unwrap();
+        assert_eq!(d.delay_hours, 0);
+        assert_eq!(d.start_hour, 1000);
+        assert_eq!(d.water_saving(), 0.0);
+    }
+
+    #[test]
+    fn saving_grows_with_slack_then_saturates() {
+        let s = scheduler();
+        let curve = s
+            .saving_curve(&[0, 3, 6, 12, 24, 48], 2, KilowattHours::new(10.0), 97)
+            .unwrap();
+        // Monotone non-decreasing.
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "{curve:?}");
+        }
+        // Zero slack saves nothing; full-day slack saves substantially.
+        assert_eq!(curve[0].1, 0.0);
+        let day = curve.iter().find(|(s, _)| *s == 24).unwrap().1;
+        assert!(day > 0.15, "24h slack saves {day}");
+        // Beyond one day the diurnal cycle is already covered: marginal
+        // gain is small.
+        let two_day = curve.iter().find(|(s, _)| *s == 48).unwrap().1;
+        assert!(two_day - day < 0.05, "returns should flatten: {curve:?}");
+    }
+
+    #[test]
+    fn chosen_start_respects_deadline() {
+        let s = scheduler();
+        for slack in [1usize, 5, 13] {
+            let d = s
+                .schedule(500, slack, 3, KilowattHours::new(5.0), DeadlineObjective::Water)
+                .unwrap();
+            assert!(d.delay_hours <= slack);
+            // Chosen is never worse than immediate.
+            assert!(d.chosen.water.value() <= d.immediate.water.value() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn carbon_objective_optimizes_carbon() {
+        let s = scheduler();
+        // Submit near the CI peak (21:00) so delaying pays.
+        let d = s
+            .schedule(2012, 23, 2, KilowattHours::new(10.0), DeadlineObjective::Carbon)
+            .unwrap();
+        assert!(d.carbon_saving() > 0.0);
+        assert!(d.chosen.carbon.value() <= d.immediate.carbon.value());
+    }
+
+    #[test]
+    fn validation() {
+        let s = scheduler();
+        assert!(s
+            .schedule(9000, 1, 1, KilowattHours::new(1.0), DeadlineObjective::Water)
+            .is_err());
+        assert!(s
+            .saving_curve(&[0, 1], 1, KilowattHours::new(1.0), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn window_wraps_the_year_boundary() {
+        let s = scheduler();
+        let d = s
+            .schedule(
+                HOURS_PER_YEAR - 2,
+                10,
+                2,
+                KilowattHours::new(5.0),
+                DeadlineObjective::Water,
+            )
+            .unwrap();
+        assert!(d.delay_hours <= 10);
+    }
+}

@@ -1,0 +1,158 @@
+//! Intensity forecasting for schedulers.
+//!
+//! A real scheduler cannot see tomorrow's WI/CI; it forecasts them. This
+//! module provides the standard cheap baselines (persistence,
+//! seasonal-naive, smoothed seasonal-naive), an accuracy metric, and a
+//! check the paper's Takeaway 9 implies: a start-time decision made from
+//! a decent forecast should land close to the oracle decision.
+
+use thirstyflops_timeseries::HourlySeries;
+
+/// A forecasting method producing a full-year forecast series: entry `h`
+/// is the forecast *for* hour `h`, made from information before `h`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Forecaster {
+    /// Forecast = value one hour earlier.
+    Persistence,
+    /// Forecast = value 24 h earlier (same hour yesterday) — captures the
+    /// diurnal cycle that dominates WI/CI.
+    SeasonalNaive,
+    /// Forecast = mean of the same hour over the previous `days` days.
+    SmoothedSeasonal {
+        /// How many previous days to average.
+        days: usize,
+    },
+}
+
+impl Forecaster {
+    /// Produces the forecast series for `actual`.
+    pub fn forecast(self, actual: &HourlySeries) -> HourlySeries {
+        match self {
+            Forecaster::Persistence => actual.lagged(1),
+            Forecaster::SeasonalNaive => actual.lagged(24),
+            Forecaster::SmoothedSeasonal { days } => {
+                let days = days.max(1);
+                // Mean of the lags {24, 48, …, 24·days}.
+                let mut acc = actual.lagged(24);
+                for d in 2..=days {
+                    acc = acc.add(&actual.lagged(24 * d));
+                }
+                acc.scale(1.0 / days as f64)
+            }
+        }
+    }
+
+    /// Mean absolute forecast error against the actual series.
+    pub fn mae(self, actual: &HourlySeries) -> f64 {
+        self.forecast(actual).mae(actual)
+    }
+
+    /// Forecast skill relative to persistence: `1 − MAE/MAE_persistence`
+    /// (positive = better than persistence).
+    pub fn skill(self, actual: &HourlySeries) -> f64 {
+        let base = Forecaster::Persistence.mae(actual);
+        if base == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.mae(actual) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::starttime::StartTimeOptimizer;
+    use thirstyflops_units::{KilowattHours, Pue};
+
+    /// Strongly diurnal signal plus slow drift and noise-ish texture —
+    /// the shape of real WI series.
+    fn diurnal_series() -> HourlySeries {
+        HourlySeries::from_fn(|h| {
+            let hod = (h % 24) as f64;
+            let day = (h / 24) as f64;
+            5.0 + 3.0 * ((hod - 15.0) / 24.0 * core::f64::consts::TAU).cos()
+                + 0.5 * (day / 30.0).sin()
+                + 0.2 * (((h * 2654435761) % 97) as f64 / 97.0)
+        })
+    }
+
+    #[test]
+    fn seasonal_naive_beats_persistence_on_diurnal_signals() {
+        let s = diurnal_series();
+        let p = Forecaster::Persistence.mae(&s);
+        let sn = Forecaster::SeasonalNaive.mae(&s);
+        assert!(sn < p, "seasonal-naive {sn} vs persistence {p}");
+        assert!(Forecaster::SeasonalNaive.skill(&s) > 0.0);
+    }
+
+    #[test]
+    fn smoothing_helps_when_noise_dominates_drift() {
+        // Diurnal cycle + heavy uncorrelated noise, negligible drift: a
+        // week of same-hour averaging filters the noise.
+        fn hash_noise(h: usize) -> f64 {
+            // Full splitmix64 finalizer: decorrelates at every lag.
+            let mut x = (h as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+            (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        }
+        let s = HourlySeries::from_fn(|h| {
+            let hod = (h % 24) as f64;
+            5.0 + 2.0 * ((hod - 15.0) / 24.0 * core::f64::consts::TAU).cos()
+                + 2.0 * hash_noise(h)
+        });
+        let one = Forecaster::SeasonalNaive.mae(&s);
+        let smooth = Forecaster::SmoothedSeasonal { days: 7 }.mae(&s);
+        assert!(smooth < one, "smoothed {smooth} vs naive {one}");
+    }
+
+    #[test]
+    fn perfect_forecast_of_pure_diurnal_signal() {
+        // A signal with an exact 24 h period is forecast perfectly by
+        // seasonal-naive.
+        let s = HourlySeries::from_fn(|h| ((h % 24) as f64).sin());
+        assert!(Forecaster::SeasonalNaive.mae(&s) < 1e-12);
+    }
+
+    #[test]
+    fn forecast_driven_start_time_is_near_oracle() {
+        let wi = diurnal_series();
+        let ci = HourlySeries::constant(300.0);
+        let pue = Pue::new(1.1).unwrap();
+        let energy = KilowattHours::new(100.0);
+        let candidates: Vec<usize> = (0..8).map(|i| 200 * 24 + i * 3).collect();
+
+        let oracle = StartTimeOptimizer::new(wi.clone(), ci.clone(), pue);
+        let oracle_impacts = oracle.evaluate(&candidates, 3, energy).unwrap();
+        let oracle_best = StartTimeOptimizer::best_for_water(&oracle_impacts);
+
+        let forecast_wi = Forecaster::SmoothedSeasonal { days: 7 }.forecast(&wi);
+        let forecaster = StartTimeOptimizer::new(forecast_wi, ci, pue);
+        let forecast_impacts = forecaster.evaluate(&candidates, 3, energy).unwrap();
+        let forecast_best = StartTimeOptimizer::best_for_water(&forecast_impacts);
+
+        // The forecast-chosen slot's *actual* water is within 10 % of the
+        // oracle optimum.
+        let actual_of = |start: usize| {
+            oracle_impacts
+                .iter()
+                .find(|i| i.start_hour == start)
+                .unwrap()
+                .water
+                .value()
+        };
+        let regret = actual_of(forecast_best.start_hour) / actual_of(oracle_best.start_hour);
+        assert!(regret < 1.10, "forecast regret {regret}");
+    }
+
+    #[test]
+    fn smoothed_seasonal_clamps_zero_days() {
+        let s = diurnal_series();
+        let a = Forecaster::SmoothedSeasonal { days: 0 }.forecast(&s);
+        let b = Forecaster::SeasonalNaive.forecast(&s);
+        assert_eq!(a.values(), b.values());
+    }
+}

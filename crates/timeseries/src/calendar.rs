@@ -1,0 +1,231 @@
+//! The simulation calendar: a fixed 365-day, 8760-hour year.
+//!
+//! All of the paper's temporal analyses are at most month-granular over a
+//! single year of telemetry, so the calendar deliberately ignores leap
+//! years and time zones: hour `0` is 00:00 on January 1st local time, hour
+//! `8759` is 23:00 on December 31st.
+
+/// Hours in one simulated day.
+pub const HOURS_PER_DAY: usize = 24;
+
+/// Hours in one simulated (non-leap) year.
+pub const HOURS_PER_YEAR: usize = 365 * HOURS_PER_DAY;
+
+/// Months in a year.
+pub const MONTHS_PER_YEAR: usize = 12;
+
+/// Days in each month of the simulated year (non-leap).
+const DAYS_IN_MONTH: [usize; MONTHS_PER_YEAR] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// A calendar month, numbered 1–12 like the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum Month {
+    January,
+    February,
+    March,
+    April,
+    May,
+    June,
+    July,
+    August,
+    September,
+    October,
+    November,
+    December,
+}
+
+impl Month {
+    /// All twelve months, January first.
+    pub const ALL: [Month; MONTHS_PER_YEAR] = [
+        Month::January,
+        Month::February,
+        Month::March,
+        Month::April,
+        Month::May,
+        Month::June,
+        Month::July,
+        Month::August,
+        Month::September,
+        Month::October,
+        Month::November,
+        Month::December,
+    ];
+
+    /// 0-based index (January = 0).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// 1-based month number (January = 1), as used in figure axes.
+    #[inline]
+    pub fn number(self) -> usize {
+        self as usize + 1
+    }
+
+    /// Constructs from a 0-based index.
+    pub fn from_index(idx: usize) -> Option<Month> {
+        Month::ALL.get(idx).copied()
+    }
+
+    /// Days in this month of the simulated (non-leap) year.
+    #[inline]
+    pub fn days(self) -> usize {
+        DAYS_IN_MONTH[self.index()]
+    }
+
+    /// Hours in this month.
+    #[inline]
+    pub fn hours(self) -> usize {
+        self.days() * HOURS_PER_DAY
+    }
+
+    /// True for June–August, the Northern-hemisphere summer the paper's
+    /// Fig. 12 discussion keys on.
+    #[inline]
+    pub fn is_summer(self) -> bool {
+        matches!(self, Month::June | Month::July | Month::August)
+    }
+
+    /// English month name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Month::January => "January",
+            Month::February => "February",
+            Month::March => "March",
+            Month::April => "April",
+            Month::May => "May",
+            Month::June => "June",
+            Month::July => "July",
+            Month::August => "August",
+            Month::September => "September",
+            Month::October => "October",
+            Month::November => "November",
+            Month::December => "December",
+        }
+    }
+}
+
+impl core::fmt::Display for Month {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The fixed simulation calendar: hour-of-year ↔ (month, day, hour-of-day)
+/// conversions and month boundaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimCalendar;
+
+impl SimCalendar {
+    /// First hour-of-year of `month`.
+    pub fn month_start_hour(self, month: Month) -> usize {
+        DAYS_IN_MONTH[..month.index()].iter().sum::<usize>() * HOURS_PER_DAY
+    }
+
+    /// Exclusive end hour-of-year of `month`.
+    pub fn month_end_hour(self, month: Month) -> usize {
+        self.month_start_hour(month) + month.hours()
+    }
+
+    /// The month containing hour-of-year `hour`.
+    ///
+    /// # Panics
+    /// Panics if `hour >= HOURS_PER_YEAR`.
+    pub fn month_of_hour(self, hour: usize) -> Month {
+        assert!(hour < HOURS_PER_YEAR, "hour {hour} outside simulated year");
+        let mut remaining = hour / HOURS_PER_DAY;
+        for month in Month::ALL {
+            if remaining < month.days() {
+                return month;
+            }
+            remaining -= month.days();
+        }
+        unreachable!("hour bounds checked above")
+    }
+
+    /// Hour of day (0–23) for hour-of-year `hour`.
+    #[inline]
+    pub fn hour_of_day(self, hour: usize) -> usize {
+        hour % HOURS_PER_DAY
+    }
+
+    /// 0-based day of year (0–364) for hour-of-year `hour`.
+    #[inline]
+    pub fn day_of_year(self, hour: usize) -> usize {
+        hour / HOURS_PER_DAY
+    }
+
+    /// Fraction of the year elapsed at `hour`, in `[0, 1)`.
+    #[inline]
+    pub fn year_fraction(self, hour: usize) -> f64 {
+        hour as f64 / HOURS_PER_YEAR as f64
+    }
+
+    /// Iterator over the hour range of a month.
+    pub fn month_hours(self, month: Month) -> core::ops::Range<usize> {
+        self.month_start_hour(month)..self.month_end_hour(month)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_lengths_sum_to_a_year() {
+        let total: usize = Month::ALL.iter().map(|m| m.hours()).sum();
+        assert_eq!(total, HOURS_PER_YEAR);
+        assert_eq!(Month::February.days(), 28);
+        assert_eq!(Month::December.days(), 31);
+    }
+
+    #[test]
+    fn month_boundaries_are_contiguous() {
+        let cal = SimCalendar;
+        let mut expected_start = 0;
+        for month in Month::ALL {
+            assert_eq!(cal.month_start_hour(month), expected_start);
+            expected_start = cal.month_end_hour(month);
+        }
+        assert_eq!(expected_start, HOURS_PER_YEAR);
+    }
+
+    #[test]
+    fn month_of_hour_round_trips_boundaries() {
+        let cal = SimCalendar;
+        for month in Month::ALL {
+            assert_eq!(cal.month_of_hour(cal.month_start_hour(month)), month);
+            assert_eq!(cal.month_of_hour(cal.month_end_hour(month) - 1), month);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside simulated year")]
+    fn month_of_hour_rejects_out_of_range() {
+        SimCalendar.month_of_hour(HOURS_PER_YEAR);
+    }
+
+    #[test]
+    fn hour_decomposition() {
+        let cal = SimCalendar;
+        // 00:00 Feb 1 = hour 31*24.
+        let h = 31 * 24;
+        assert_eq!(cal.month_of_hour(h), Month::February);
+        assert_eq!(cal.hour_of_day(h), 0);
+        assert_eq!(cal.day_of_year(h), 31);
+        assert!(cal.year_fraction(h) > 0.08 && cal.year_fraction(h) < 0.09);
+    }
+
+    #[test]
+    fn month_metadata() {
+        assert_eq!(Month::January.number(), 1);
+        assert_eq!(Month::December.number(), 12);
+        assert_eq!(Month::from_index(6), Some(Month::July));
+        assert_eq!(Month::from_index(12), None);
+        assert!(Month::July.is_summer());
+        assert!(!Month::October.is_summer());
+        assert_eq!(Month::March.to_string(), "March");
+    }
+}

@@ -1,0 +1,196 @@
+//! One value per month — the granularity of the paper's Fig. 11/12 panels.
+
+use crate::calendar::{Month, MONTHS_PER_YEAR};
+use crate::stats;
+
+/// A series with one `f64` value per calendar month.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MonthlySeries {
+    values: [f64; MONTHS_PER_YEAR],
+}
+
+impl MonthlySeries {
+    /// Builds from an explicit 12-value array (January first).
+    pub fn from_array(values: [f64; MONTHS_PER_YEAR]) -> Self {
+        Self { values }
+    }
+
+    /// Builds by evaluating `f` for each month.
+    pub fn from_fn(mut f: impl FnMut(Month) -> f64) -> Self {
+        let mut values = [0.0; MONTHS_PER_YEAR];
+        for month in Month::ALL {
+            values[month.index()] = f(month);
+        }
+        Self { values }
+    }
+
+    /// A constant monthly series.
+    pub fn constant(v: f64) -> Self {
+        Self {
+            values: [v; MONTHS_PER_YEAR],
+        }
+    }
+
+    /// Value for `month`.
+    #[inline]
+    pub fn get(&self, month: Month) -> f64 {
+        self.values[month.index()]
+    }
+
+    /// Raw values, January first.
+    #[inline]
+    pub fn values(&self) -> &[f64; MONTHS_PER_YEAR] {
+        &self.values
+    }
+
+    /// Iterator over `(month, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Month, f64)> + '_ {
+        Month::ALL.iter().map(move |&m| (m, self.values[m.index()]))
+    }
+
+    /// Pointwise transform.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Self {
+        let mut values = self.values;
+        for v in &mut values {
+            *v = f(*v);
+        }
+        Self { values }
+    }
+
+    /// Pointwise combination.
+    pub fn zip_with(&self, other: &Self, mut f: impl FnMut(f64, f64) -> f64) -> Self {
+        Self::from_fn(|m| f(self.get(m), other.get(m)))
+    }
+
+    /// Sum over all months.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Mean over months (unweighted, as the paper's annual averages are).
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.values)
+    }
+
+    /// Minimum month value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum month value.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The month holding the maximum value (first on ties).
+    pub fn argmax(&self) -> Month {
+        let mut best = Month::January;
+        for month in Month::ALL {
+            if self.get(month) > self.get(best) {
+                best = month;
+            }
+        }
+        best
+    }
+
+    /// The month holding the minimum value (first on ties).
+    pub fn argmin(&self) -> Month {
+        let mut best = Month::January;
+        for month in Month::ALL {
+            if self.get(month) < self.get(best) {
+                best = month;
+            }
+        }
+        best
+    }
+
+    /// Min-max normalization into `[0, 1]`; constant series → all zeros.
+    pub fn normalized(&self) -> Self {
+        let normalized = stats::min_max_normalize(&self.values);
+        let mut values = [0.0; MONTHS_PER_YEAR];
+        values.copy_from_slice(&normalized);
+        Self { values }
+    }
+
+    /// Pearson correlation with another monthly series.
+    pub fn pearson(&self, other: &Self) -> f64 {
+        stats::pearson(&self.values, other.values()).expect("monthly series have equal length")
+    }
+
+    /// Mean over the Northern-hemisphere summer (June–August).
+    pub fn summer_mean(&self) -> f64 {
+        let vals: Vec<f64> = Month::ALL
+            .iter()
+            .filter(|m| m.is_summer())
+            .map(|&m| self.get(m))
+            .collect();
+        stats::mean(&vals)
+    }
+
+    /// Mean over the non-summer months.
+    pub fn non_summer_mean(&self) -> f64 {
+        let vals: Vec<f64> = Month::ALL
+            .iter()
+            .filter(|m| !m.is_summer())
+            .map(|&m| self.get(m))
+            .collect();
+        stats::mean(&vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let s = MonthlySeries::from_fn(|m| m.number() as f64);
+        assert_eq!(s.get(Month::January), 1.0);
+        assert_eq!(s.get(Month::December), 12.0);
+        assert_eq!(s.total(), 78.0);
+        assert_eq!(s.mean(), 6.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 12.0);
+        assert_eq!(s.argmax(), Month::December);
+        assert_eq!(s.argmin(), Month::January);
+    }
+
+    #[test]
+    fn normalization() {
+        let s = MonthlySeries::from_fn(|m| m.number() as f64 * 2.0);
+        let n = s.normalized();
+        assert_eq!(n.get(Month::January), 0.0);
+        assert_eq!(n.get(Month::December), 1.0);
+        assert_eq!(MonthlySeries::constant(7.0).normalized().max(), 0.0);
+    }
+
+    #[test]
+    fn correlation_of_identical_series_is_one() {
+        let s = MonthlySeries::from_fn(|m| (m.number() as f64).sin());
+        assert!((s.pearson(&s) - 1.0).abs() < 1e-12);
+        let inv = s.map(|v| -v);
+        assert!((s.pearson(&inv) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summer_split() {
+        let s = MonthlySeries::from_fn(|m| if m.is_summer() { 10.0 } else { 2.0 });
+        assert_eq!(s.summer_mean(), 10.0);
+        assert_eq!(s.non_summer_mean(), 2.0);
+    }
+
+    #[test]
+    fn zip_and_iter() {
+        let a = MonthlySeries::constant(2.0);
+        let b = MonthlySeries::constant(5.0);
+        let c = a.zip_with(&b, |x, y| x * y);
+        assert_eq!(c.get(Month::June), 10.0);
+        assert_eq!(c.iter().count(), 12);
+        let (first_month, v) = c.iter().next().unwrap();
+        assert_eq!(first_month, Month::January);
+        assert_eq!(v, 10.0);
+    }
+}

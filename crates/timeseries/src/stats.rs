@@ -1,0 +1,265 @@
+//! Descriptive statistics used by the analysis: means, quantiles,
+//! normalization, and correlation.
+//!
+//! Quantiles use linear interpolation between order statistics (the same
+//! convention as numpy's default), so medians of even-length samples are
+//! midpoints.
+
+/// Error for statistics over unusable inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input slice was empty.
+    Empty,
+    /// Two paired inputs had different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+}
+
+impl core::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StatsError::Empty => write!(f, "empty sample"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired samples differ in length: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Arithmetic mean; 0 for an empty slice (callers that care use
+/// [`DistributionSummary::from_samples`] which errors instead).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Quantile `q ∈ [0, 1]` with linear interpolation.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (0.5-quantile).
+pub fn median(xs: &[f64]) -> Result<f64, StatsError> {
+    quantile(xs, 0.5)
+}
+
+/// Min-max normalization into `[0, 1]`. A constant (or empty) input maps to
+/// all zeros rather than dividing by zero — matching how a flat panel is
+/// rendered in the paper's normalized figures.
+pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    if span <= 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|&x| (x - min) / span).collect()
+}
+
+/// Pearson linear correlation coefficient of paired samples.
+///
+/// Returns 0 when either side has zero variance (a flat series is
+/// uncorrelated with everything by convention here).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Spearman rank correlation: Pearson over the rank transforms, with mean
+/// ranks for ties. Used for the Fig. 13 ranking comparisons.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Mean ranks (1-based) with ties averaged.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("samples must not contain NaN"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Mean of the 1-based ranks i+1 ..= j+1.
+        let mean_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            out[idx] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Five-number-style summary of a sample distribution: the min / quartiles /
+/// max plus mean, matching what the paper's bar-and-whisker figures report
+/// (bar = median, whiskers = min–max).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DistributionSummary {
+    /// Smallest sample.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl DistributionSummary {
+    /// Computes the summary, erroring on empty input.
+    pub fn from_samples(xs: &[f64]) -> Result<Self, StatsError> {
+        if xs.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        Ok(Self {
+            min: quantile(xs, 0.0)?,
+            q1: quantile(xs, 0.25)?,
+            median: quantile(xs, 0.5)?,
+            q3: quantile(xs, 0.75)?,
+            max: quantile(xs, 1.0)?,
+            mean: mean(xs),
+        })
+    }
+
+    /// Whisker span (max − min), the "variation range" the paper discusses
+    /// for Fig. 6.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(median(&xs).unwrap(), 2.5);
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.25).unwrap(), 1.75);
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn normalization_handles_flat_input() {
+        assert_eq!(min_max_normalize(&[3.0, 3.0, 3.0]), vec![0.0, 0.0, 0.0]);
+        assert_eq!(min_max_normalize(&[]), Vec::<f64>::new());
+        let n = min_max_normalize(&[1.0, 3.0, 2.0]);
+        assert_eq!(n, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]).unwrap(), 0.0);
+        assert!(matches!(
+            pearson(&xs, &ys[..3]),
+            Err(StatsError::LengthMismatch { left: 4, right: 3 })
+        ));
+    }
+
+    #[test]
+    fn spearman_is_rank_invariant_to_monotone_maps() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| x * x * x).collect(); // monotone, nonlinear
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn distribution_summary() {
+        let xs: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let s = DistributionSummary::from_samples(&xs).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 51.0);
+        assert_eq!(s.max, 101.0);
+        assert_eq!(s.q1, 26.0);
+        assert_eq!(s.q3, 76.0);
+        assert_eq!(s.mean, 51.0);
+        assert_eq!(s.range(), 100.0);
+        assert!(DistributionSummary::from_samples(&[]).is_err());
+    }
+}

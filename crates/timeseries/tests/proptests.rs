@@ -1,0 +1,104 @@
+//! Property-based tests for the timeseries substrate invariants.
+
+use proptest::prelude::*;
+use thirstyflops_timeseries::{stats, HourlySeries, Month, MonthlySeries, SimCalendar, HOURS_PER_YEAR};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Monthly-sum resampling never loses or invents mass.
+    #[test]
+    fn monthly_sum_preserves_total(seed in any::<u64>(), amp in 0.1f64..100.0) {
+        let s = HourlySeries::from_fn(|h| {
+            let x = (h as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            amp * ((x >> 33) as f64 / u32::MAX as f64)
+        });
+        let monthly = s.monthly_sum();
+        prop_assert!((monthly.total() - s.total()).abs() < 1e-6 * s.total().abs().max(1.0));
+    }
+
+    /// Normalization output always lies in [0, 1] and attains both bounds
+    /// for non-constant input.
+    #[test]
+    fn normalize_bounds(mut xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let n = stats::min_max_normalize(&xs);
+        for &v in &n {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if xs[0] < xs[xs.len() - 1] {
+            let max = n.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = n.iter().copied().fold(f64::INFINITY, f64::min);
+            prop_assert!((max - 1.0).abs() < 1e-9);
+            prop_assert!(min.abs() < 1e-9);
+        }
+    }
+
+    /// Pearson is symmetric, bounded by 1 in magnitude, and exactly 1 on
+    /// positively scaled copies.
+    #[test]
+    fn pearson_properties(xs in proptest::collection::vec(-1e3f64..1e3, 3..50), k in 0.1f64..10.0) {
+        let ys: Vec<f64> = xs.iter().map(|&x| k * x + 1.0).collect();
+        let r_xy = stats::pearson(&xs, &ys).unwrap();
+        let r_yx = stats::pearson(&ys, &xs).unwrap();
+        prop_assert!((r_xy - r_yx).abs() < 1e-9);
+        prop_assert!(r_xy.abs() <= 1.0 + 1e-9);
+        // Degenerate (constant) xs yield 0 by convention; otherwise exactly 1.
+        let constant = xs.iter().all(|&x| x == xs[0]);
+        if !constant {
+            prop_assert!((r_xy - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantile_monotone(xs in proptest::collection::vec(-1e4f64..1e4, 1..100),
+                         q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let v_lo = stats::quantile(&xs, lo).unwrap();
+        let v_hi = stats::quantile(&xs, hi).unwrap();
+        prop_assert!(v_lo <= v_hi + 1e-12);
+        let min = stats::quantile(&xs, 0.0).unwrap();
+        let max = stats::quantile(&xs, 1.0).unwrap();
+        prop_assert!(v_lo >= min - 1e-12 && v_hi <= max + 1e-12);
+    }
+
+    /// Spearman equals 1 for any strictly increasing transform.
+    #[test]
+    fn spearman_monotone_invariance(mut xs in proptest::collection::vec(-1e3f64..1e3, 3..50)) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+        prop_assume!(xs.len() >= 3);
+        let ys: Vec<f64> = xs.iter().map(|&x| x.atan() + x * x * x).collect();
+        let rho = stats::spearman(&xs, &ys).unwrap();
+        prop_assert!((rho - 1.0).abs() < 1e-9);
+    }
+
+    /// Wrapping window mean is bounded by the series extremes.
+    #[test]
+    fn window_mean_bounded(start in 0usize..HOURS_PER_YEAR, len in 1usize..200) {
+        let s = HourlySeries::from_fn(|h| ((h * 37) % 101) as f64);
+        let m = s.wrapping_window_mean(start, len);
+        prop_assert!(m >= s.min() - 1e-12 && m <= s.max() + 1e-12);
+    }
+
+    /// Calendar decomposition is consistent: every hour falls inside its
+    /// month's range.
+    #[test]
+    fn calendar_consistency(hour in 0usize..HOURS_PER_YEAR) {
+        let cal = SimCalendar;
+        let month = cal.month_of_hour(hour);
+        prop_assert!(cal.month_hours(month).contains(&hour));
+    }
+
+    /// Monthly normalization bounds hold for arbitrary month values.
+    #[test]
+    fn monthly_normalized_bounds(vals in proptest::collection::vec(-1e5f64..1e5, 12)) {
+        let arr: [f64; 12] = vals.try_into().unwrap();
+        let s = MonthlySeries::from_array(arr);
+        let n = s.normalized();
+        for m in Month::ALL {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&n.get(m)));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Carbon quantities, used by the carbon-comparator crate for the paper's
+//! water-vs-carbon analyses (Figs. 5, 12, 13, 14).
+
+use crate::energy::KilowattHours;
+
+quantity!(
+    /// Mass of CO₂-equivalent emissions in grams.
+    GramsCo2,
+    "gCO2"
+);
+
+quantity!(
+    /// Mass of CO₂-equivalent emissions in kilograms.
+    KilogramsCo2,
+    "kgCO2"
+);
+
+quantity!(
+    /// Carbon intensity in grams CO₂-eq per kilowatt-hour.
+    GramsCo2PerKwh,
+    "gCO2/kWh"
+);
+
+impl From<KilogramsCo2> for GramsCo2 {
+    #[inline]
+    fn from(k: KilogramsCo2) -> Self {
+        GramsCo2::new(k.value() * 1000.0)
+    }
+}
+
+impl From<GramsCo2> for KilogramsCo2 {
+    #[inline]
+    fn from(g: GramsCo2) -> Self {
+        KilogramsCo2::new(g.value() / 1000.0)
+    }
+}
+
+impl core::ops::Mul<GramsCo2PerKwh> for KilowattHours {
+    type Output = GramsCo2;
+    #[inline]
+    fn mul(self, rhs: GramsCo2PerKwh) -> GramsCo2 {
+        GramsCo2::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<KilowattHours> for GramsCo2PerKwh {
+    type Output = GramsCo2;
+    #[inline]
+    fn mul(self, rhs: KilowattHours) -> GramsCo2 {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<KilowattHours> for GramsCo2 {
+    type Output = GramsCo2PerKwh;
+    #[inline]
+    fn div(self, rhs: KilowattHours) -> GramsCo2PerKwh {
+        GramsCo2PerKwh::new(self.value() / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carbon_triangle() {
+        let ci = GramsCo2PerKwh::new(420.0);
+        let e = KilowattHours::new(10.0);
+        assert_eq!(e * ci, GramsCo2::new(4200.0));
+        let kg: KilogramsCo2 = GramsCo2::new(4200.0).into();
+        assert_eq!(kg, KilogramsCo2::new(4.2));
+        let back: GramsCo2 = kg.into();
+        assert_eq!(back, GramsCo2::new(4200.0));
+        let derived = GramsCo2::new(4200.0) / e;
+        assert!((derived.value() - 420.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Climate quantities feeding the WUE model: dry-bulb temperature and
+//! relative humidity (inputs to the Stull wet-bulb formula, Eq. 6).
+
+quantity!(
+    /// Temperature in degrees Celsius (dry-bulb or wet-bulb).
+    Celsius,
+    "°C"
+);
+
+/// Relative humidity in percent, validated to `[0, 100]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct RelativeHumidity(f64);
+
+impl RelativeHumidity {
+    /// Constructs a relative humidity, clamping into `[0, 100]`.
+    ///
+    /// Clamping (rather than erroring) matches how noisy synthetic weather
+    /// is consumed: a generator overshooting 100 % RH means "saturated",
+    /// not "invalid input".
+    #[inline]
+    pub fn clamped(percent: f64) -> Self {
+        debug_assert!(!percent.is_nan(), "RelativeHumidity must not be NaN");
+        Self(percent.clamp(0.0, 100.0))
+    }
+
+    /// Constructs from an exact percentage, returning `None` outside
+    /// `[0, 100]`.
+    #[inline]
+    pub fn new(percent: f64) -> Option<Self> {
+        if (0.0..=100.0).contains(&percent) {
+            Some(Self(percent))
+        } else {
+            None
+        }
+    }
+
+    /// The humidity in percent.
+    #[inline]
+    pub fn percent(self) -> f64 {
+        self.0
+    }
+
+    /// The humidity as a fraction in `[0, 1]`.
+    #[inline]
+    pub fn fraction(self) -> f64 {
+        self.0 / 100.0
+    }
+}
+
+impl core::fmt::Display for RelativeHumidity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} %RH", prec, self.0)
+        } else {
+            write!(f, "{} %RH", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn humidity_validation_and_clamping() {
+        assert_eq!(RelativeHumidity::new(55.0).unwrap().percent(), 55.0);
+        assert!(RelativeHumidity::new(-1.0).is_none());
+        assert!(RelativeHumidity::new(100.1).is_none());
+        assert_eq!(RelativeHumidity::clamped(130.0).percent(), 100.0);
+        assert_eq!(RelativeHumidity::clamped(-5.0).percent(), 0.0);
+        assert!((RelativeHumidity::clamped(42.0).fraction() - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn celsius_is_a_plain_quantity() {
+        let t = Celsius::new(23.5);
+        assert_eq!(t + Celsius::new(0.5), Celsius::new(24.0));
+        assert_eq!(format!("{:.1}", t), "23.5 °C");
+    }
+}

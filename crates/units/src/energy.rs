@@ -1,0 +1,41 @@
+//! Energy quantities. Canonical unit: **kilowatt-hour**, matching the
+//! paper's Table 2 (`E` in kWh) and the L/kWh intensities.
+
+quantity!(
+    /// Energy in kilowatt-hours — the canonical energy unit.
+    KilowattHours,
+    "kWh"
+);
+
+quantity!(
+    /// Energy in megawatt-hours, for facility-scale reporting.
+    MegawattHours,
+    "MWh"
+);
+
+impl From<MegawattHours> for KilowattHours {
+    #[inline]
+    fn from(m: MegawattHours) -> Self {
+        KilowattHours::new(m.value() * 1000.0)
+    }
+}
+
+impl From<KilowattHours> for MegawattHours {
+    #[inline]
+    fn from(k: KilowattHours) -> Self {
+        MegawattHours::new(k.value() / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let k: KilowattHours = MegawattHours::new(1.5).into();
+        assert_eq!(k, KilowattHours::new(1500.0));
+        let m: MegawattHours = KilowattHours::new(250.0).into();
+        assert_eq!(m, MegawattHours::new(0.25));
+    }
+}

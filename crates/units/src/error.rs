@@ -1,0 +1,63 @@
+//! Validation errors for constrained quantities.
+
+/// Error returned when constructing a constrained quantity from an
+/// out-of-range magnitude (e.g. a PUE below 1, a fab yield outside `(0, 1]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitError {
+    quantity: &'static str,
+    constraint: &'static str,
+    value: f64,
+}
+
+impl UnitError {
+    pub(crate) fn new(quantity: &'static str, constraint: &'static str, value: f64) -> Self {
+        Self {
+            quantity,
+            constraint,
+            value,
+        }
+    }
+
+    /// Name of the offending quantity type.
+    pub fn quantity(&self) -> &'static str {
+        self.quantity
+    }
+
+    /// Human-readable constraint that was violated.
+    pub fn constraint(&self) -> &'static str {
+        self.constraint
+    }
+
+    /// The rejected magnitude.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl core::fmt::Display for UnitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invalid {}: {} (got {})",
+            self.quantity, self.constraint, self.value
+        )
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_all_parts() {
+        let e = UnitError::new("Pue", "must be >= 1", 0.5);
+        let s = e.to_string();
+        assert!(s.contains("Pue"));
+        assert!(s.contains(">= 1"));
+        assert!(s.contains("0.5"));
+        assert_eq!(e.quantity(), "Pue");
+        assert_eq!(e.value(), 0.5);
+    }
+}

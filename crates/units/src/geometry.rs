@@ -1,0 +1,76 @@
+//! Die-area quantities and the per-area manufacturing water factors
+//! (UPW/PCW/WPA of Eq. 4 are expressed in liters per cm² of die).
+
+use crate::water::Liters;
+
+quantity!(
+    /// Silicon die area in square millimeters (vendor sheets quote mm²).
+    SquareMillimeters,
+    "mm²"
+);
+
+quantity!(
+    /// Silicon die area in square centimeters (manufacturing water factors
+    /// are per cm²).
+    SquareCentimeters,
+    "cm²"
+);
+
+quantity!(
+    /// Manufacturing water per unit die area (UPW, PCW, or WPA of Eq. 4).
+    LitersPerSquareCm,
+    "L/cm²"
+);
+
+impl From<SquareMillimeters> for SquareCentimeters {
+    #[inline]
+    fn from(a: SquareMillimeters) -> Self {
+        SquareCentimeters::new(a.value() / 100.0)
+    }
+}
+
+impl From<SquareCentimeters> for SquareMillimeters {
+    #[inline]
+    fn from(a: SquareCentimeters) -> Self {
+        SquareMillimeters::new(a.value() * 100.0)
+    }
+}
+
+impl core::ops::Mul<SquareCentimeters> for LitersPerSquareCm {
+    type Output = Liters;
+    #[inline]
+    fn mul(self, rhs: SquareCentimeters) -> Liters {
+        Liters::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<LitersPerSquareCm> for SquareCentimeters {
+    type Output = Liters;
+    #[inline]
+    fn mul(self, rhs: LitersPerSquareCm) -> Liters {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_conversion() {
+        // NVIDIA A100: 826 mm² = 8.26 cm².
+        let a: SquareCentimeters = SquareMillimeters::new(826.0).into();
+        assert!((a.value() - 8.26).abs() < 1e-12);
+        let back: SquareMillimeters = a.into();
+        assert!((back.value() - 826.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_area_water() {
+        let upw = LitersPerSquareCm::new(14.2);
+        let area = SquareCentimeters::new(8.26);
+        let w = upw * area;
+        assert!((w.value() - 117.292).abs() < 1e-9);
+        assert_eq!(area * upw, w);
+    }
+}

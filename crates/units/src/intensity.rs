@@ -1,0 +1,59 @@
+//! Water intensity: **liters per kilowatt-hour**.
+//!
+//! This single unit carries three of the paper's central metrics:
+//!
+//! * **WUE** — water usage effectiveness (Eq. 6), cooling water per IT kWh;
+//! * **EWF** — energy water factor (Eq. 7), generation water per grid kWh;
+//! * **WI**  — water intensity (Eq. 8), `WUE + PUE·EWF`.
+//!
+//! The product `KilowattHours × LitersPerKilowattHour = Liters` realizes
+//! Eq. 6/7; `Pue × LitersPerKilowattHour` scales EWF into the indirect
+//! intensity term of Eq. 8.
+
+use crate::energy::KilowattHours;
+use crate::water::Liters;
+
+quantity!(
+    /// Water intensity in liters per kilowatt-hour (WUE, EWF, or WI).
+    LitersPerKilowattHour,
+    "L/kWh"
+);
+
+impl core::ops::Mul<LitersPerKilowattHour> for KilowattHours {
+    type Output = Liters;
+    #[inline]
+    fn mul(self, rhs: LitersPerKilowattHour) -> Liters {
+        Liters::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<KilowattHours> for LitersPerKilowattHour {
+    type Output = Liters;
+    #[inline]
+    fn mul(self, rhs: KilowattHours) -> Liters {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<KilowattHours> for Liters {
+    type Output = LitersPerKilowattHour;
+    #[inline]
+    fn div(self, rhs: KilowattHours) -> LitersPerKilowattHour {
+        LitersPerKilowattHour::new(self.value() / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_energy_volume_triangle() {
+        let wi = LitersPerKilowattHour::new(6.3);
+        let e = KilowattHours::new(100.0);
+        assert_eq!(e * wi, Liters::new(630.0));
+        assert_eq!(wi * e, Liters::new(630.0));
+        let derived = Liters::new(630.0) / e;
+        assert!((derived.value() - 6.3).abs() < 1e-12);
+    }
+}

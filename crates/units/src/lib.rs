@@ -1,0 +1,92 @@
+//! Typed physical quantities for the ThirstyFLOPS water-footprint framework.
+//!
+//! Every model equation in the paper mixes several unit systems — liters of
+//! water, kilowatt-hours of energy, liters-per-kilowatt-hour intensities,
+//! grams of CO₂, die areas in mm², storage capacities in GB. Carrying these
+//! around as bare `f64` invites silent unit bugs (L vs gal, kWh vs MWh), so
+//! each quantity gets a thin newtype with only the physically meaningful
+//! arithmetic implemented. Cross-unit products (e.g. `KilowattHours ×
+//! LitersPerKilowattHour = Liters`, the heart of Eq. 6–8) are explicit
+//! `Mul`/`Div` impls.
+//!
+//! All quantities are `f64`-backed, `Copy`, totally ordered via
+//! [`f64::total_cmp`]-free `PartialOrd` (NaN is considered a construction
+//! bug), and serialize transparently with serde.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod scalar;
+
+mod carbon;
+mod climate;
+mod energy;
+mod error;
+mod geometry;
+mod intensity;
+mod power;
+mod ratio;
+mod storage;
+mod water;
+
+pub use carbon::{GramsCo2, GramsCo2PerKwh, KilogramsCo2};
+pub use climate::{Celsius, RelativeHumidity};
+pub use energy::{KilowattHours, MegawattHours};
+pub use error::UnitError;
+pub use geometry::{LitersPerSquareCm, SquareCentimeters, SquareMillimeters};
+pub use intensity::LitersPerKilowattHour;
+pub use power::{Hours, Kilowatts, Megawatts};
+pub use ratio::{FabYield, Fraction, Pue, WaterScarcityIndex};
+pub use storage::{Gigabytes, LitersPerGigabyte, Petabytes, Terabytes};
+pub use water::{Gallons, Liters, MegaLiters};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_unit_products_compose_like_the_paper_equations() {
+        // Eq. 6: W_direct = E * WUE
+        let e = KilowattHours::new(1000.0);
+        let wue = LitersPerKilowattHour::new(2.5);
+        assert_eq!(e * wue, Liters::new(2500.0));
+
+        // Eq. 7: W_indirect = E * PUE * EWF
+        let pue = Pue::new(1.25).unwrap();
+        let ewf = LitersPerKilowattHour::new(4.0);
+        let w_ind = e * pue * ewf;
+        assert_eq!(w_ind, Liters::new(5000.0));
+
+        // Eq. 8: WI = WUE + PUE * EWF
+        let wi = wue + pue * ewf;
+        assert_eq!(wi, LitersPerKilowattHour::new(7.5));
+    }
+
+    #[test]
+    fn energy_conversions_round_trip() {
+        let mwh = MegawattHours::new(3.0);
+        let kwh: KilowattHours = mwh.into();
+        assert_eq!(kwh, KilowattHours::new(3000.0));
+        let back: MegawattHours = kwh.into();
+        assert!((back.value() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let p = Kilowatts::new(500.0);
+        let t = Hours::new(2.0);
+        assert_eq!(p * t, KilowattHours::new(1000.0));
+        let mw = Megawatts::new(0.5);
+        let as_kw: Kilowatts = mw.into();
+        assert_eq!(as_kw, p);
+    }
+
+    #[test]
+    fn water_gallons_conversion_matches_frontier_anecdote() {
+        // Frontier: ~60 gal/min ≈ 30M gal/year ≈ 114M liters/year.
+        let per_year = Gallons::new(60.0 * 60.0 * 24.0 * 365.0);
+        let liters: Liters = per_year.into();
+        assert!(liters.value() > 1.1e8 && liters.value() < 1.3e8);
+    }
+}

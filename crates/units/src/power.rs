@@ -1,0 +1,111 @@
+//! Power and duration quantities, and the `power × time = energy` product
+//! used by the workload simulator (utilization × TDP → kWh, the paper's
+//! fallback estimation when power logs are unavailable).
+
+use crate::energy::KilowattHours;
+
+quantity!(
+    /// Power draw in kilowatts.
+    Kilowatts,
+    "kW"
+);
+
+quantity!(
+    /// Power draw in megawatts (facility scale, as in Fig. 1(c)).
+    Megawatts,
+    "MW"
+);
+
+quantity!(
+    /// Duration in hours — the simulation's native time step.
+    Hours,
+    "h"
+);
+
+impl From<Megawatts> for Kilowatts {
+    #[inline]
+    fn from(m: Megawatts) -> Self {
+        Kilowatts::new(m.value() * 1000.0)
+    }
+}
+
+impl From<Kilowatts> for Megawatts {
+    #[inline]
+    fn from(k: Kilowatts) -> Self {
+        Megawatts::new(k.value() / 1000.0)
+    }
+}
+
+impl core::ops::Mul<Hours> for Kilowatts {
+    type Output = KilowattHours;
+    #[inline]
+    fn mul(self, rhs: Hours) -> KilowattHours {
+        KilowattHours::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Kilowatts> for Hours {
+    type Output = KilowattHours;
+    #[inline]
+    fn mul(self, rhs: Kilowatts) -> KilowattHours {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<Hours> for KilowattHours {
+    type Output = Kilowatts;
+    #[inline]
+    fn div(self, rhs: Hours) -> Kilowatts {
+        Kilowatts::new(self.value() / rhs.value())
+    }
+}
+
+impl Hours {
+    /// Duration expressed in whole simulation hours, rounded toward zero.
+    #[inline]
+    pub fn whole_hours(self) -> u64 {
+        self.value().max(0.0) as u64
+    }
+
+    /// Constructs from minutes.
+    #[inline]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Hours::new(minutes / 60.0)
+    }
+
+    /// Constructs from seconds.
+    #[inline]
+    pub fn from_seconds(seconds: f64) -> Self {
+        Hours::new(seconds / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_time_energy_triangle() {
+        let p = Kilowatts::new(250.0);
+        let t = Hours::new(4.0);
+        let e = p * t;
+        assert_eq!(e, KilowattHours::new(1000.0));
+        assert_eq!(t * p, e);
+        assert_eq!(e / t, p);
+    }
+
+    #[test]
+    fn mw_kw_conversion() {
+        let kw: Kilowatts = Megawatts::new(21.0).into(); // Frontier-ish
+        assert_eq!(kw, Kilowatts::new(21_000.0));
+        let mw: Megawatts = kw.into();
+        assert_eq!(mw, Megawatts::new(21.0));
+    }
+
+    #[test]
+    fn duration_helpers() {
+        assert_eq!(Hours::from_minutes(90.0), Hours::new(1.5));
+        assert_eq!(Hours::from_seconds(7200.0), Hours::new(2.0));
+        assert_eq!(Hours::new(2.9).whole_hours(), 2);
+    }
+}

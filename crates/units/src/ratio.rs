@@ -1,0 +1,269 @@
+//! Dimensionless, constrained ratios: PUE, fab yield, generic fractions,
+//! and the water scarcity index (WSI).
+
+use crate::error::UnitError;
+use crate::intensity::LitersPerKilowattHour;
+
+/// Power usage effectiveness: total facility energy over IT energy.
+///
+/// Physically `PUE ≥ 1` (1 would mean every joule goes to IT equipment).
+/// The paper's systems: Marconi 1.25, Fugaku 1.4, Polaris 1.65,
+/// Frontier 1.05.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Pue(f64);
+
+impl Pue {
+    /// Constructs a PUE, rejecting values below 1 or non-finite.
+    pub fn new(v: f64) -> Result<Self, UnitError> {
+        if v.is_finite() && v >= 1.0 {
+            Ok(Self(v))
+        } else {
+            Err(UnitError::new("Pue", "must be finite and >= 1", v))
+        }
+    }
+
+    /// The raw ratio.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for Pue {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "PUE {}", self.0)
+    }
+}
+
+/// `E × PUE` — effective facility energy (Eq. 7's first product).
+impl core::ops::Mul<Pue> for crate::energy::KilowattHours {
+    type Output = crate::energy::KilowattHours;
+    #[inline]
+    fn mul(self, rhs: Pue) -> crate::energy::KilowattHours {
+        crate::energy::KilowattHours::new(self.value() * rhs.0)
+    }
+}
+
+/// `PUE × EWF` — the indirect water-intensity term of Eq. 8.
+impl core::ops::Mul<LitersPerKilowattHour> for Pue {
+    type Output = LitersPerKilowattHour;
+    #[inline]
+    fn mul(self, rhs: LitersPerKilowattHour) -> LitersPerKilowattHour {
+        LitersPerKilowattHour::new(self.0 * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Pue> for LitersPerKilowattHour {
+    type Output = LitersPerKilowattHour;
+    #[inline]
+    fn mul(self, rhs: Pue) -> LitersPerKilowattHour {
+        rhs * self
+    }
+}
+
+/// Semiconductor fab yield rate in `(0, 1]` (paper default 0.875).
+///
+/// Eq. 4 divides by the yield, so zero must be unrepresentable.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct FabYield(f64);
+
+impl FabYield {
+    /// The paper's default yield rate.
+    pub const DEFAULT: FabYield = FabYield(0.875);
+
+    /// Constructs a yield, rejecting values outside `(0, 1]`.
+    pub fn new(v: f64) -> Result<Self, UnitError> {
+        if v.is_finite() && v > 0.0 && v <= 1.0 {
+            Ok(Self(v))
+        } else {
+            Err(UnitError::new("FabYield", "must be in (0, 1]", v))
+        }
+    }
+
+    /// The raw yield rate.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `1 / yield`, the die-area inflation factor of Eq. 4.
+    #[inline]
+    pub fn inflation(self) -> f64 {
+        1.0 / self.0
+    }
+}
+
+impl core::fmt::Display for FabYield {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "yield {}", self.0)
+    }
+}
+
+/// A generic fraction in `[0, 1]` (energy-mix shares, reuse rates ρ,
+/// potable splits β, plant energy shares).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Fraction(f64);
+
+impl Fraction {
+    /// Zero.
+    pub const ZERO: Fraction = Fraction(0.0);
+    /// One.
+    pub const ONE: Fraction = Fraction(1.0);
+
+    /// Constructs a fraction, rejecting values outside `[0, 1]`.
+    pub fn new(v: f64) -> Result<Self, UnitError> {
+        if v.is_finite() && (0.0..=1.0).contains(&v) {
+            Ok(Self(v))
+        } else {
+            Err(UnitError::new("Fraction", "must be in [0, 1]", v))
+        }
+    }
+
+    /// Constructs from a percentage in `[0, 100]`.
+    pub fn from_percent(pct: f64) -> Result<Self, UnitError> {
+        Self::new(pct / 100.0)
+    }
+
+    /// Clamps an arbitrary finite value into `[0, 1]`.
+    #[inline]
+    pub fn clamped(v: f64) -> Self {
+        debug_assert!(!v.is_nan(), "Fraction must not be NaN");
+        Self(v.clamp(0.0, 1.0))
+    }
+
+    /// The raw value in `[0, 1]`.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The value as a percentage.
+    #[inline]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// The complement `1 - self`.
+    #[inline]
+    pub fn complement(self) -> Self {
+        Self(1.0 - self.0)
+    }
+}
+
+impl core::fmt::Display for Fraction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} %", prec, self.percent())
+        } else {
+            write!(f, "{} %", self.percent())
+        }
+    }
+}
+
+/// Regional water scarcity index (AWARE-style), `≥ 0`.
+///
+/// The paper's Table 2 quotes a 0.1–100 data range; Fig. 8(b) uses
+/// AWARE-global values in `[0, 0.7]`. Both fit a non-negative index whose
+/// only algebra is scaling a water intensity (Eq. 9).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct WaterScarcityIndex(f64);
+
+impl WaterScarcityIndex {
+    /// Constructs a WSI, rejecting negative or non-finite values.
+    pub fn new(v: f64) -> Result<Self, UnitError> {
+        if v.is_finite() && v >= 0.0 {
+            Ok(Self(v))
+        } else {
+            Err(UnitError::new(
+                "WaterScarcityIndex",
+                "must be finite and >= 0",
+                v,
+            ))
+        }
+    }
+
+    /// The raw index.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for WaterScarcityIndex {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "WSI {}", self.0)
+    }
+}
+
+/// Eq. 9: `WI_WSI = WI · WSI`.
+impl core::ops::Mul<WaterScarcityIndex> for LitersPerKilowattHour {
+    type Output = LitersPerKilowattHour;
+    #[inline]
+    fn mul(self, rhs: WaterScarcityIndex) -> LitersPerKilowattHour {
+        LitersPerKilowattHour::new(self.value() * rhs.0)
+    }
+}
+
+impl core::ops::Mul<LitersPerKilowattHour> for WaterScarcityIndex {
+    type Output = LitersPerKilowattHour;
+    #[inline]
+    fn mul(self, rhs: LitersPerKilowattHour) -> LitersPerKilowattHour {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pue_validation() {
+        assert!(Pue::new(1.0).is_ok());
+        assert!(Pue::new(1.65).is_ok());
+        assert!(Pue::new(0.99).is_err());
+        assert!(Pue::new(f64::NAN).is_err());
+        assert!(Pue::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pue_scales_ewf() {
+        let pue = Pue::new(1.25).unwrap();
+        let ewf = LitersPerKilowattHour::new(4.0);
+        assert_eq!(pue * ewf, LitersPerKilowattHour::new(5.0));
+        assert_eq!(ewf * pue, LitersPerKilowattHour::new(5.0));
+    }
+
+    #[test]
+    fn yield_validation_and_inflation() {
+        let y = FabYield::new(0.875).unwrap();
+        assert!((y.inflation() - 1.142_857_142_857).abs() < 1e-9);
+        assert!(FabYield::new(0.0).is_err());
+        assert!(FabYield::new(1.01).is_err());
+        assert!(FabYield::new(-0.5).is_err());
+        assert_eq!(FabYield::DEFAULT.value(), 0.875);
+    }
+
+    #[test]
+    fn fraction_behaviour() {
+        let f = Fraction::from_percent(37.0).unwrap();
+        assert!((f.value() - 0.37).abs() < 1e-12);
+        assert!((f.complement().value() - 0.63).abs() < 1e-12);
+        assert!(Fraction::new(1.5).is_err());
+        assert_eq!(Fraction::clamped(2.0), Fraction::ONE);
+        assert_eq!(Fraction::clamped(-1.0), Fraction::ZERO);
+        assert_eq!(format!("{:.0}", f), "37 %");
+    }
+
+    #[test]
+    fn wsi_scales_intensity() {
+        let wsi = WaterScarcityIndex::new(0.55).unwrap();
+        let wi = LitersPerKilowattHour::new(6.0);
+        assert!(((wi * wsi).value() - 3.3).abs() < 1e-12);
+        assert!(((wsi * wi).value() - 3.3).abs() < 1e-12);
+        assert!(WaterScarcityIndex::new(-0.1).is_err());
+    }
+}

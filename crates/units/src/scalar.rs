@@ -1,0 +1,206 @@
+//! The `quantity!` macro: declares an `f64`-backed unit newtype with the
+//! arithmetic that is physically meaningful for *any* quantity — addition and
+//! subtraction of like values, scaling by a dimensionless `f64`, ratios of
+//! like values, comparison, summation, and display with a unit suffix.
+//!
+//! Cross-unit products (energy × intensity = volume, …) are *not* generated
+//! here; they live next to the involved types so the set of legal unit
+//! combinations is easy to audit.
+
+/// Declares a unit quantity newtype.
+///
+/// `quantity!(Name, "suffix", "doc string")` expands to a `pub struct
+/// Name(f64)` with constructors, accessors, arithmetic, ordering, `Sum`,
+/// `Display`, and transparent serde.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw magnitude.
+            ///
+            /// Panics in debug builds if `v` is NaN — a NaN quantity is
+            /// always a modeling bug upstream.
+            #[inline]
+            pub fn new(v: f64) -> Self {
+                debug_assert!(!v.is_nan(), concat!(stringify!($name), " must not be NaN"));
+                Self(v)
+            }
+
+            /// The raw magnitude in this quantity's canonical unit.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Elementwise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Elementwise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// True if the magnitude is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two like quantities is dimensionless.
+        impl core::ops::Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    quantity!(
+        /// Test-only quantity.
+        Widgets,
+        "wg"
+    );
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Widgets::new(2.0);
+        let b = Widgets::new(3.0);
+        assert_eq!(a + b, Widgets::new(5.0));
+        assert_eq!(b - a, Widgets::new(1.0));
+        assert_eq!(a * 2.0, Widgets::new(4.0));
+        assert_eq!(2.0 * a, Widgets::new(4.0));
+        assert_eq!(b / a, 1.5);
+        assert!(a < b);
+        assert_eq!(-a, Widgets::new(-2.0));
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: Widgets = [1.0, 2.0, 3.5].iter().map(|&v| Widgets::new(v)).sum();
+        assert_eq!(total, Widgets::new(6.5));
+        assert_eq!(format!("{:.1}", total), "6.5 wg");
+        assert_eq!(format!("{}", Widgets::new(2.0)), "2 wg");
+    }
+
+    #[test]
+    fn clamp_and_finite() {
+        let x = Widgets::new(10.0);
+        assert_eq!(x.clamp(Widgets::ZERO, Widgets::new(5.0)), Widgets::new(5.0));
+        assert!(x.is_finite());
+        assert!(!Widgets::new(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,100 @@
+//! Memory/storage capacity quantities and the per-capacity water factor
+//! (WPC of Eq. 5: DRAM 0.8, HDD 0.033, SSD 0.022 L/GB in the paper's
+//! Table 2).
+
+use crate::water::Liters;
+
+quantity!(
+    /// Capacity in gigabytes — the canonical capacity unit (WPC is L/GB).
+    Gigabytes,
+    "GB"
+);
+
+quantity!(
+    /// Capacity in terabytes.
+    Terabytes,
+    "TB"
+);
+
+quantity!(
+    /// Capacity in petabytes (file-system scale, e.g. Frontier's 679 PB).
+    Petabytes,
+    "PB"
+);
+
+quantity!(
+    /// Embodied water per unit capacity (WPC of Eq. 5).
+    LitersPerGigabyte,
+    "L/GB"
+);
+
+impl From<Terabytes> for Gigabytes {
+    #[inline]
+    fn from(t: Terabytes) -> Self {
+        Gigabytes::new(t.value() * 1000.0)
+    }
+}
+
+impl From<Petabytes> for Gigabytes {
+    #[inline]
+    fn from(p: Petabytes) -> Self {
+        Gigabytes::new(p.value() * 1.0e6)
+    }
+}
+
+impl From<Gigabytes> for Terabytes {
+    #[inline]
+    fn from(g: Gigabytes) -> Self {
+        Terabytes::new(g.value() / 1000.0)
+    }
+}
+
+impl From<Gigabytes> for Petabytes {
+    #[inline]
+    fn from(g: Gigabytes) -> Self {
+        Petabytes::new(g.value() / 1.0e6)
+    }
+}
+
+impl core::ops::Mul<Gigabytes> for LitersPerGigabyte {
+    type Output = Liters;
+    #[inline]
+    fn mul(self, rhs: Gigabytes) -> Liters {
+        Liters::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<LitersPerGigabyte> for Gigabytes {
+    type Output = Liters;
+    #[inline]
+    fn mul(self, rhs: LitersPerGigabyte) -> Liters {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_conversions() {
+        let g: Gigabytes = Petabytes::new(679.0).into(); // Frontier Orion HDD tier
+        assert_eq!(g, Gigabytes::new(679.0e6));
+        let g2: Gigabytes = Terabytes::new(1.5).into();
+        assert_eq!(g2, Gigabytes::new(1500.0));
+        let t: Terabytes = Gigabytes::new(2500.0).into();
+        assert_eq!(t, Terabytes::new(2.5));
+        let p: Petabytes = Gigabytes::new(3.0e6).into();
+        assert_eq!(p, Petabytes::new(3.0));
+    }
+
+    #[test]
+    fn wpc_times_capacity_is_water() {
+        // Paper Eq. 5 with HDD WPC: 679 PB * 0.033 L/GB ≈ 22.4 ML.
+        let wpc = LitersPerGigabyte::new(0.033);
+        let cap: Gigabytes = Petabytes::new(679.0).into();
+        let w = wpc * cap;
+        assert!((w.value() - 22.407e6).abs() < 1e3);
+        assert_eq!(cap * wpc, w);
+    }
+}

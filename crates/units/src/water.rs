@@ -1,0 +1,101 @@
+//! Water-volume quantities.
+//!
+//! The canonical unit throughout the framework is the **liter**, matching
+//! the paper's L/kWh intensity metrics. US-style gallons and megaliters are
+//! provided for reporting (the paper's anecdotes — "60 gallons per minute",
+//! "30 million gallons per year" — are gallon-denominated).
+
+quantity!(
+    /// Volume of water in liters — the canonical water unit.
+    Liters,
+    "L"
+);
+
+quantity!(
+    /// Volume of water in US gallons (reporting convenience).
+    Gallons,
+    "gal"
+);
+
+quantity!(
+    /// Volume of water in megaliters (10⁶ L), for facility-scale reporting.
+    MegaLiters,
+    "ML"
+);
+
+/// Liters per US gallon.
+pub const LITERS_PER_GALLON: f64 = 3.785_411_784;
+
+/// Average US household water use, gallons per day (EPA WaterSense: "an
+/// average American family uses more than 300 gallons of water per day at
+/// home" — the paper's §1 comparison unit).
+pub const US_HOUSEHOLD_GALLONS_PER_DAY: f64 = 300.0;
+
+impl Liters {
+    /// This volume expressed in **US household-years**: how many average
+    /// American households this much water would supply for a year. The
+    /// paper's intuition pump — "Frontier's yearly water consumption …
+    /// enough water to supply a city of 300 households".
+    pub fn us_household_years(self) -> f64 {
+        self.value() / (US_HOUSEHOLD_GALLONS_PER_DAY * LITERS_PER_GALLON * 365.0)
+    }
+}
+
+impl From<Gallons> for Liters {
+    #[inline]
+    fn from(g: Gallons) -> Self {
+        Liters::new(g.value() * LITERS_PER_GALLON)
+    }
+}
+
+impl From<Liters> for Gallons {
+    #[inline]
+    fn from(l: Liters) -> Self {
+        Gallons::new(l.value() / LITERS_PER_GALLON)
+    }
+}
+
+impl From<MegaLiters> for Liters {
+    #[inline]
+    fn from(m: MegaLiters) -> Self {
+        Liters::new(m.value() * 1.0e6)
+    }
+}
+
+impl From<Liters> for MegaLiters {
+    #[inline]
+    fn from(l: Liters) -> Self {
+        MegaLiters::new(l.value() / 1.0e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gallon_round_trip() {
+        let g = Gallons::new(100.0);
+        let l: Liters = g.into();
+        assert!((l.value() - 378.541_178_4).abs() < 1e-9);
+        let back: Gallons = l.into();
+        assert!((back.value() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frontier_anecdote_in_household_years() {
+        // Paper §1: 30 million gallons/year ≈ a city of 300 US households.
+        let frontier_direct: Liters = Gallons::new(30.0e6).into();
+        let households = frontier_direct.us_household_years();
+        assert!((households - 274.0).abs() < 30.0, "{households}");
+    }
+
+    #[test]
+    fn megaliter_round_trip() {
+        let m = MegaLiters::new(2.5);
+        let l: Liters = m.into();
+        assert_eq!(l, Liters::new(2.5e6));
+        let back: MegaLiters = l.into();
+        assert_eq!(back, m);
+    }
+}

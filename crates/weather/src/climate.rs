@@ -1,0 +1,352 @@
+//! Seeded synthetic climate: hourly temperature and humidity for a site.
+//!
+//! The generator layers three signals the real feeds exhibit:
+//!
+//! 1. a **seasonal** cosine peaking at the site's hottest day;
+//! 2. a **diurnal** cosine peaking mid-afternoon (humidity runs inverted —
+//!    nights are more humid);
+//! 3. **weather noise** — a slow AR(1) process (fronts last days, not
+//!    hours) plus small hourly jitter.
+//!
+//! The process is fully deterministic given the seed, so every experiment
+//! and test regenerates identical telemetry.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use thirstyflops_timeseries::{HourlySeries, SimCalendar, HOURS_PER_DAY, HOURS_PER_YEAR};
+use thirstyflops_units::{Celsius, RelativeHumidity};
+
+use crate::stull;
+
+/// Configuration of a site's synthetic climate.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SiteClimateConfig {
+    /// Site label (e.g. "Bologna, Italy").
+    pub name: String,
+    /// Annual mean dry-bulb temperature, °C.
+    pub mean_temp_c: f64,
+    /// Amplitude of the seasonal temperature cycle, °C (half peak-to-peak).
+    pub seasonal_amp_c: f64,
+    /// Amplitude of the diurnal temperature cycle, °C.
+    pub diurnal_amp_c: f64,
+    /// Day of year (0–364) with the hottest seasonal mean.
+    pub hottest_day: usize,
+    /// Annual mean relative humidity, percent.
+    pub mean_rh: f64,
+    /// Seasonal humidity amplitude, percent (positive = more humid summer).
+    pub seasonal_rh_amp: f64,
+    /// Diurnal humidity amplitude, percent (applied inverted: humid nights).
+    pub diurnal_rh_amp: f64,
+    /// Standard deviation of the slow (multi-day) temperature noise, °C.
+    pub noise_std_c: f64,
+    /// RNG seed; same seed → identical year of weather.
+    pub seed: u64,
+}
+
+impl SiteClimateConfig {
+    /// Validates the configuration, returning a reason string on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.mean_temp_c.is_finite() && (-30.0..=45.0).contains(&self.mean_temp_c)) {
+            return Err(format!("mean_temp_c out of range: {}", self.mean_temp_c));
+        }
+        if self.seasonal_amp_c < 0.0 || self.diurnal_amp_c < 0.0 {
+            return Err("temperature amplitudes must be non-negative".into());
+        }
+        if !(0.0..=100.0).contains(&self.mean_rh) {
+            return Err(format!("mean_rh out of range: {}", self.mean_rh));
+        }
+        if self.hottest_day >= 365 {
+            return Err(format!("hottest_day out of range: {}", self.hottest_day));
+        }
+        if self.noise_std_c < 0.0 {
+            return Err("noise_std_c must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// One hour of weather.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HourlyWeather {
+    /// Dry-bulb air temperature.
+    pub temperature: Celsius,
+    /// Relative humidity.
+    pub humidity: RelativeHumidity,
+    /// Stull wet-bulb temperature.
+    pub wet_bulb: Celsius,
+}
+
+/// A simulated year of weather for one site.
+#[derive(Debug, Clone)]
+pub struct SiteClimate {
+    config: SiteClimateConfig,
+    temperature: HourlySeries,
+    humidity: HourlySeries,
+    wet_bulb: HourlySeries,
+}
+
+impl SiteClimate {
+    /// Simulates a full year of hourly weather from the configuration.
+    pub fn generate(config: SiteClimateConfig) -> Result<Self, String> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let cal = SimCalendar;
+
+        // Slow AR(1) weather-front noise: correlation time ~3 days.
+        let alpha = 1.0 - 1.0 / (3.0 * HOURS_PER_DAY as f64);
+        let innovation_std = config.noise_std_c * (1.0 - alpha * alpha).sqrt();
+        let mut front = 0.0f64;
+
+        let mut temp = Vec::with_capacity(HOURS_PER_YEAR);
+        let mut rh = Vec::with_capacity(HOURS_PER_YEAR);
+        let mut twb = Vec::with_capacity(HOURS_PER_YEAR);
+
+        for hour in 0..HOURS_PER_YEAR {
+            let day = cal.day_of_year(hour) as f64;
+            let hod = cal.hour_of_day(hour) as f64;
+
+            let seasonal_phase =
+                (day - config.hottest_day as f64) / 365.0 * core::f64::consts::TAU;
+            let seasonal = config.seasonal_amp_c * seasonal_phase.cos();
+            // Diurnal peak at 15:00 local.
+            let diurnal_phase = (hod - 15.0) / 24.0 * core::f64::consts::TAU;
+            let diurnal = config.diurnal_amp_c * diurnal_phase.cos();
+
+            front = alpha * front + gaussian(&mut rng) * innovation_std;
+            let jitter = gaussian(&mut rng) * 0.3;
+
+            let t = config.mean_temp_c + seasonal + diurnal + front + jitter;
+
+            let rh_seasonal = config.seasonal_rh_amp * seasonal_phase.cos();
+            // Humidity runs opposite to the diurnal temperature cycle.
+            let rh_diurnal = -config.diurnal_rh_amp * diurnal_phase.cos();
+            let rh_noise = gaussian(&mut rng) * 4.0 - front * 1.5;
+            let h = (config.mean_rh + rh_seasonal + rh_diurnal + rh_noise).clamp(15.0, 100.0);
+
+            let tc = Celsius::new(t);
+            let hc = RelativeHumidity::clamped(h);
+            temp.push(t);
+            rh.push(hc.percent());
+            twb.push(stull::wet_bulb(tc, hc).value());
+        }
+
+        Ok(Self {
+            config,
+            temperature: HourlySeries::from_vec(temp),
+            humidity: HourlySeries::from_vec(rh),
+            wet_bulb: HourlySeries::from_vec(twb),
+        })
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &SiteClimateConfig {
+        &self.config
+    }
+
+    /// Hourly dry-bulb temperature, °C.
+    pub fn temperature(&self) -> &HourlySeries {
+        &self.temperature
+    }
+
+    /// Hourly relative humidity, percent.
+    pub fn humidity(&self) -> &HourlySeries {
+        &self.humidity
+    }
+
+    /// Hourly Stull wet-bulb temperature, °C.
+    pub fn wet_bulb(&self) -> &HourlySeries {
+        &self.wet_bulb
+    }
+
+    /// The weather at a specific hour of the year.
+    pub fn at(&self, hour: usize) -> HourlyWeather {
+        HourlyWeather {
+            temperature: Celsius::new(self.temperature.get(hour)),
+            humidity: RelativeHumidity::clamped(self.humidity.get(hour)),
+            wet_bulb: Celsius::new(self.wet_bulb.get(hour)),
+        }
+    }
+
+    /// Failure/stress injection: returns a copy of this year with a heat
+    /// wave — `delta_c` added to the dry-bulb temperature over
+    /// `[start_day, start_day + days)` — and the wet-bulb series
+    /// recomputed. Used to stress-test WUE, water budgets, and schedulers
+    /// under the extreme events that increasingly hit real facilities.
+    pub fn with_heat_wave(
+        &self,
+        start_day: usize,
+        days: usize,
+        delta_c: f64,
+    ) -> Result<SiteClimate, String> {
+        if start_day >= 365 || days == 0 || start_day + days > 365 {
+            return Err(format!(
+                "heat wave [{start_day}, {}) outside the simulated year",
+                start_day + days
+            ));
+        }
+        if !(0.0..=25.0).contains(&delta_c) {
+            return Err(format!("implausible heat wave amplitude {delta_c} °C"));
+        }
+        let lo = start_day * 24;
+        let hi = (start_day + days) * 24;
+        let temperature = HourlySeries::from_fn(|h| {
+            let t = self.temperature.get(h);
+            if (lo..hi).contains(&h) {
+                t + delta_c
+            } else {
+                t
+            }
+        });
+        let wet_bulb = HourlySeries::from_fn(|h| {
+            stull::wet_bulb(
+                Celsius::new(temperature.get(h)),
+                RelativeHumidity::clamped(self.humidity.get(h)),
+            )
+            .value()
+        });
+        Ok(SiteClimate {
+            config: self.config.clone(),
+            temperature,
+            humidity: self.humidity.clone(),
+            wet_bulb,
+        })
+    }
+}
+
+/// Standard normal sample via Box–Muller (rand's normal distribution lives
+/// in `rand_distr`, which we avoid pulling in for one function).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thirstyflops_timeseries::Month;
+
+    fn test_config() -> SiteClimateConfig {
+        SiteClimateConfig {
+            name: "Testville".into(),
+            mean_temp_c: 14.0,
+            seasonal_amp_c: 10.0,
+            diurnal_amp_c: 4.0,
+            hottest_day: 200,
+            mean_rh: 70.0,
+            seasonal_rh_amp: 5.0,
+            diurnal_rh_amp: 10.0,
+            noise_std_c: 2.5,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SiteClimate::generate(test_config()).unwrap();
+        let b = SiteClimate::generate(test_config()).unwrap();
+        assert_eq!(a.temperature().values(), b.temperature().values());
+        let mut other = test_config();
+        other.seed = 43;
+        let c = SiteClimate::generate(other).unwrap();
+        assert_ne!(a.temperature().values(), c.temperature().values());
+    }
+
+    #[test]
+    fn seasonal_cycle_visible_in_monthly_means() {
+        let climate = SiteClimate::generate(test_config()).unwrap();
+        let monthly = climate.temperature().monthly_mean();
+        // Hottest day 200 falls in July.
+        let hottest = monthly.argmax();
+        assert!(
+            matches!(hottest, Month::June | Month::July | Month::August),
+            "hottest month was {hottest}"
+        );
+        let coldest = monthly.argmin();
+        assert!(
+            matches!(coldest, Month::December | Month::January | Month::February),
+            "coldest month was {coldest}"
+        );
+        // Annual mean close to configured mean.
+        assert!((climate.temperature().mean() - 14.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn humidity_stays_in_percent_range() {
+        let climate = SiteClimate::generate(test_config()).unwrap();
+        assert!(climate.humidity().min() >= 15.0);
+        assert!(climate.humidity().max() <= 100.0);
+    }
+
+    #[test]
+    fn wet_bulb_below_dry_bulb_on_average() {
+        let climate = SiteClimate::generate(test_config()).unwrap();
+        assert!(climate.wet_bulb().mean() < climate.temperature().mean());
+        // Pointwise (allowing the regression's small error near saturation).
+        for h in (0..HOURS_PER_YEAR).step_by(97) {
+            let w = climate.at(h);
+            assert!(w.wet_bulb.value() <= w.temperature.value() + 1.2);
+        }
+    }
+
+    #[test]
+    fn diurnal_cycle_peaks_afternoon() {
+        let climate = SiteClimate::generate(test_config()).unwrap();
+        // Average temperature by hour-of-day over the year.
+        let mut by_hod = [0.0f64; 24];
+        for (h, v) in climate.temperature().iter() {
+            by_hod[h % 24] += v;
+        }
+        let hottest_hod = by_hod
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((13..=17).contains(&hottest_hod), "peak at {hottest_hod}:00");
+    }
+
+    #[test]
+    fn heat_wave_raises_wet_bulb_only_inside_the_window() {
+        let base = SiteClimate::generate(test_config()).unwrap();
+        let hot = base.with_heat_wave(180, 7, 8.0).unwrap();
+        // Inside the window: strictly hotter dry-bulb and wet-bulb.
+        for h in (180 * 24..187 * 24).step_by(13) {
+            assert!((hot.temperature().get(h) - base.temperature().get(h) - 8.0).abs() < 1e-9);
+            assert!(hot.wet_bulb().get(h) > base.wet_bulb().get(h));
+        }
+        // Outside: identical.
+        assert_eq!(hot.temperature().get(100), base.temperature().get(100));
+        assert_eq!(hot.wet_bulb().get(8000), base.wet_bulb().get(8000));
+        // Humidity untouched.
+        assert_eq!(hot.humidity().values(), base.humidity().values());
+    }
+
+    #[test]
+    fn heat_wave_validation() {
+        let base = SiteClimate::generate(test_config()).unwrap();
+        assert!(base.with_heat_wave(364, 2, 5.0).is_err()); // spills past year end
+        assert!(base.with_heat_wave(400, 1, 5.0).is_err());
+        assert!(base.with_heat_wave(10, 0, 5.0).is_err());
+        assert!(base.with_heat_wave(10, 5, 40.0).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut bad = test_config();
+        bad.mean_rh = 130.0;
+        assert!(SiteClimate::generate(bad).is_err());
+        let mut bad = test_config();
+        bad.hottest_day = 400;
+        assert!(bad.validate().is_err());
+        let mut bad = test_config();
+        bad.noise_std_c = -1.0;
+        assert!(bad.validate().is_err());
+        let mut bad = test_config();
+        bad.seasonal_amp_c = -3.0;
+        assert!(bad.validate().is_err());
+        let mut bad = test_config();
+        bad.mean_temp_c = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+}

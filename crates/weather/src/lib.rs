@@ -1,0 +1,29 @@
+//! Site climate simulation and the water-usage-effectiveness (WUE) model.
+//!
+//! The paper's direct water footprint (Eq. 6) is `W_direct = E · WUE` with
+//! `WUE = f(air temperature, humidity)` via the outside **wet-bulb
+//! temperature**. The original study consumes live weather feeds
+//! (meteologix); this crate substitutes a calibrated synthetic climate per
+//! site — seasonal and diurnal temperature/humidity cycles plus weather
+//! noise — and implements:
+//!
+//! * [`stull::wet_bulb`] — the exact Stull (2011) wet-bulb regression the
+//!   paper cites;
+//! * [`SiteClimate`] — a seeded hourly climate generator for a site;
+//! * [`WueModel`] — wet-bulb → WUE with a free-cooling cutoff (favorable
+//!   climates cool with outside air and consume almost no water) and a
+//!   tower-capacity ceiling;
+//! * [`ClimatePreset`] — calibrated presets for the paper's four sites
+//!   (Bologna, Kobe, Lemont, Oak Ridge).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod climate;
+mod presets;
+pub mod stull;
+mod wue;
+
+pub use climate::{HourlyWeather, SiteClimate, SiteClimateConfig};
+pub use presets::ClimatePreset;
+pub use wue::WueModel;

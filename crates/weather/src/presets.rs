@@ -1,0 +1,214 @@
+//! Calibrated climate presets for the paper's four HPC sites.
+//!
+//! Climate normals are approximated from public station data for each
+//! city; the WUE slope scale is the calibration knob used to land each
+//! system's direct/indirect split near the paper's Fig. 7 values.
+
+use crate::climate::{SiteClimate, SiteClimateConfig};
+use crate::wue::WueModel;
+
+/// A named, calibrated site climate + WUE model pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ClimatePreset {
+    /// Bologna, Italy (Marconi100 / CINECA). Humid subtropical–continental
+    /// transition: hot summers, foggy mild winters.
+    Bologna,
+    /// Kobe, Japan (Fugaku / R-CCS). Humid subtropical: very humid, hot
+    /// summers — high wet-bulb.
+    Kobe,
+    /// Lemont, Illinois, US (Polaris / Argonne). Continental: cold winters
+    /// (long free-cooling season), warm humid summers.
+    Lemont,
+    /// Oak Ridge, Tennessee, US (Frontier / ORNL). Humid subtropical:
+    /// long warm season.
+    OakRidge,
+    /// Livermore, California, US (§6 extension: El Capitan / LLNL).
+    /// Mediterranean: dry summers, low wet-bulb despite heat.
+    Livermore,
+}
+
+impl ClimatePreset {
+    /// The paper's four sites, in Table 1 order.
+    pub const ALL: [ClimatePreset; 4] = [
+        ClimatePreset::Bologna,
+        ClimatePreset::Kobe,
+        ClimatePreset::Lemont,
+        ClimatePreset::OakRidge,
+    ];
+
+    /// All presets including §6 extension sites.
+    pub const ALL_WITH_EXTENSIONS: [ClimatePreset; 5] = [
+        ClimatePreset::Bologna,
+        ClimatePreset::Kobe,
+        ClimatePreset::Lemont,
+        ClimatePreset::OakRidge,
+        ClimatePreset::Livermore,
+    ];
+
+    /// The site's climate configuration.
+    pub fn climate_config(self) -> SiteClimateConfig {
+        match self {
+            ClimatePreset::Bologna => SiteClimateConfig {
+                name: "Bologna, Italy".into(),
+                mean_temp_c: 14.5,
+                seasonal_amp_c: 10.5,
+                diurnal_amp_c: 4.5,
+                hottest_day: 203, // late July
+                mean_rh: 72.0,
+                seasonal_rh_amp: -6.0, // drier summers
+                diurnal_rh_amp: 12.0,
+                noise_std_c: 2.4,
+                seed: 0x0b01_0001,
+            },
+            ClimatePreset::Kobe => SiteClimateConfig {
+                name: "Kobe, Japan".into(),
+                mean_temp_c: 16.8,
+                seasonal_amp_c: 10.8,
+                diurnal_amp_c: 3.2,
+                hottest_day: 215, // early August
+                mean_rh: 68.0,
+                seasonal_rh_amp: 8.0, // monsoon-wet summers
+                diurnal_rh_amp: 9.0,
+                noise_std_c: 2.0,
+                seed: 0x0b01_0002,
+            },
+            ClimatePreset::Lemont => SiteClimateConfig {
+                name: "Lemont, Illinois, US".into(),
+                mean_temp_c: 10.2,
+                seasonal_amp_c: 14.0,
+                diurnal_amp_c: 5.0,
+                hottest_day: 199, // mid July
+                mean_rh: 70.0,
+                seasonal_rh_amp: 2.0,
+                diurnal_rh_amp: 13.0,
+                noise_std_c: 3.2,
+                seed: 0x0b01_0003,
+            },
+            ClimatePreset::OakRidge => SiteClimateConfig {
+                name: "Oak Ridge, Tennessee, US".into(),
+                mean_temp_c: 14.8,
+                seasonal_amp_c: 10.3,
+                diurnal_amp_c: 5.8,
+                hottest_day: 201,
+                mean_rh: 74.0,
+                seasonal_rh_amp: 3.0,
+                diurnal_rh_amp: 13.0,
+                noise_std_c: 2.6,
+                seed: 0x0b01_0004,
+            },
+            ClimatePreset::Livermore => SiteClimateConfig {
+                name: "Livermore, California, US".into(),
+                mean_temp_c: 15.2,
+                seasonal_amp_c: 8.0,
+                diurnal_amp_c: 7.5,
+                hottest_day: 205,
+                mean_rh: 62.0,
+                seasonal_rh_amp: -14.0, // very dry summers
+                diurnal_rh_amp: 14.0,
+                noise_std_c: 2.0,
+                seed: 0x0b01_0005,
+            },
+        }
+    }
+
+    /// The site's calibrated WUE model.
+    ///
+    /// Slope scales are the Fig. 7 calibration: they set each site's
+    /// annual-mean WUE so the direct/indirect split lands near the paper's
+    /// reported shares (Marconi 37/63, Fugaku 58/42, Polaris 53/47,
+    /// Frontier 54/46) given the site's grid EWF and PUE.
+    pub fn wue_model(self) -> WueModel {
+        match self {
+            ClimatePreset::Bologna => WueModel::scaled(1.35),
+            ClimatePreset::Kobe => WueModel::scaled(1.46),
+            ClimatePreset::Lemont => WueModel::scaled(1.75),
+            ClimatePreset::OakRidge => WueModel::scaled(1.72),
+            ClimatePreset::Livermore => WueModel::scaled(1.20),
+        }
+    }
+
+    /// Generates the simulated year for this preset.
+    pub fn generate(self) -> SiteClimate {
+        SiteClimate::generate(self.climate_config())
+            .expect("presets are valid by construction")
+    }
+
+    /// Short site name.
+    pub fn city(self) -> &'static str {
+        match self {
+            ClimatePreset::Bologna => "Bologna",
+            ClimatePreset::Kobe => "Kobe",
+            ClimatePreset::Lemont => "Lemont",
+            ClimatePreset::OakRidge => "Oak Ridge",
+            ClimatePreset::Livermore => "Livermore",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_generate_valid_years() {
+        for preset in ClimatePreset::ALL {
+            let climate = preset.generate();
+            assert_eq!(climate.temperature().len(), 8760);
+            assert!(climate.humidity().min() >= 0.0);
+            assert!(climate.humidity().max() <= 100.0);
+            preset.wue_model().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn lemont_has_coldest_winter() {
+        // Continental Chicago-area winters are colder than the other three
+        // sites — the long free-cooling season the paper's WUE discussion
+        // implies.
+        let january_means: Vec<(ClimatePreset, f64)> = ClimatePreset::ALL
+            .iter()
+            .map(|&p| {
+                let c = p.generate();
+                let m = c.temperature().monthly_mean();
+                (p, m.get(thirstyflops_timeseries::Month::January))
+            })
+            .collect();
+        let lemont = january_means
+            .iter()
+            .find(|(p, _)| *p == ClimatePreset::Lemont)
+            .unwrap()
+            .1;
+        for (p, t) in &january_means {
+            if *p != ClimatePreset::Lemont {
+                assert!(lemont < *t, "Lemont January {lemont} vs {p:?} {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn kobe_summer_wet_bulb_is_highest() {
+        let summer_twb: Vec<(ClimatePreset, f64)> = ClimatePreset::ALL
+            .iter()
+            .map(|&p| {
+                let c = p.generate();
+                (p, c.wet_bulb().monthly_mean().summer_mean())
+            })
+            .collect();
+        let kobe = summer_twb
+            .iter()
+            .find(|(p, _)| *p == ClimatePreset::Kobe)
+            .unwrap()
+            .1;
+        for (p, t) in &summer_twb {
+            if *p != ClimatePreset::Kobe {
+                assert!(kobe >= *t - 1.0, "Kobe {kobe} vs {p:?} {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn city_names() {
+        assert_eq!(ClimatePreset::Bologna.city(), "Bologna");
+        assert_eq!(ClimatePreset::OakRidge.city(), "Oak Ridge");
+    }
+}

@@ -1,0 +1,117 @@
+//! Stull (2011) wet-bulb temperature from relative humidity and air
+//! temperature.
+//!
+//! Roland Stull, *"Wet-bulb temperature from relative humidity and air
+//! temperature"*, J. Appl. Meteor. Climatol. 50(11), 2267–2269 — the
+//! formula the paper cites for Eq. 6's `f(air temperature, humidity)`.
+//!
+//! The regression is valid for relative humidities between about 5 % and
+//! 99 % and air temperatures between −20 °C and 50 °C (at standard sea
+//! level pressure); [`wet_bulb`] clamps its inputs into that envelope, and
+//! [`wet_bulb_unchecked`] evaluates the raw polynomial.
+
+use thirstyflops_units::{Celsius, RelativeHumidity};
+
+/// Valid dry-bulb temperature range of the Stull regression, °C.
+pub const VALID_TEMP_RANGE: (f64, f64) = (-20.0, 50.0);
+
+/// Valid relative-humidity range of the Stull regression, percent.
+pub const VALID_RH_RANGE: (f64, f64) = (5.0, 99.0);
+
+/// Wet-bulb temperature via Stull's regression, with inputs clamped into
+/// the formula's validity envelope.
+///
+/// ```
+/// use thirstyflops_units::{Celsius, RelativeHumidity};
+/// use thirstyflops_weather::stull::wet_bulb;
+///
+/// // Stull's published example: 20 °C at 50 % RH → ≈ 13.7 °C.
+/// let tw = wet_bulb(Celsius::new(20.0), RelativeHumidity::new(50.0).unwrap());
+/// assert!((tw.value() - 13.7).abs() < 0.1);
+/// ```
+pub fn wet_bulb(temperature: Celsius, humidity: RelativeHumidity) -> Celsius {
+    let t = temperature
+        .value()
+        .clamp(VALID_TEMP_RANGE.0, VALID_TEMP_RANGE.1);
+    let rh = humidity.percent().clamp(VALID_RH_RANGE.0, VALID_RH_RANGE.1);
+    wet_bulb_unchecked(t, rh)
+}
+
+/// The raw Stull (2011) regression. `t` in °C, `rh` in percent.
+///
+/// T_w = T·atan(0.151977·√(RH + 8.313659)) + atan(T + RH)
+///       − atan(RH − 1.676331) + 0.00391838·RH^{3/2}·atan(0.023101·RH)
+///       − 4.686035
+pub fn wet_bulb_unchecked(t: f64, rh: f64) -> Celsius {
+    let tw = t * (0.151_977 * (rh + 8.313_659).sqrt()).atan() + (t + rh).atan()
+        - (rh - 1.676_331).atan()
+        + 0.003_918_38 * rh.powf(1.5) * (0.023_101 * rh).atan()
+        - 4.686_035;
+    Celsius::new(tw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn twb(t: f64, rh: f64) -> f64 {
+        wet_bulb(Celsius::new(t), RelativeHumidity::clamped(rh)).value()
+    }
+
+    #[test]
+    fn matches_published_example() {
+        // Stull's paper gives T = 20 °C, RH = 50 % → T_w ≈ 13.7 °C.
+        let tw = twb(20.0, 50.0);
+        assert!((tw - 13.7).abs() < 0.1, "got {tw}");
+    }
+
+    #[test]
+    fn saturated_air_wet_bulb_approaches_dry_bulb() {
+        // At ~99 % RH the wet-bulb temperature is within ~1 °C of dry-bulb.
+        for t in [0.0, 10.0, 25.0, 35.0] {
+            let tw = twb(t, 99.0);
+            assert!((t - tw).abs() < 1.2, "t={t} tw={tw}");
+        }
+    }
+
+    #[test]
+    fn wet_bulb_below_dry_bulb() {
+        for t in [5.0, 15.0, 25.0, 35.0, 45.0] {
+            for rh in [10.0, 30.0, 50.0, 70.0, 90.0] {
+                let tw = twb(t, rh);
+                assert!(tw <= t + 0.6, "t={t} rh={rh} tw={tw}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_humidity() {
+        for t in [10.0, 20.0, 30.0] {
+            let mut prev = twb(t, 5.0);
+            for rh in [20.0, 40.0, 60.0, 80.0, 99.0] {
+                let cur = twb(t, rh);
+                assert!(cur >= prev, "t={t} rh={rh}: {cur} < {prev}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_temperature() {
+        for rh in [20.0, 50.0, 80.0] {
+            let mut prev = twb(-20.0, rh);
+            for t in [-10.0, 0.0, 10.0, 20.0, 30.0, 40.0, 50.0] {
+                let cur = twb(t, rh);
+                assert!(cur > prev, "rh={rh} t={t}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_outside_envelope_are_clamped() {
+        assert_eq!(twb(60.0, 50.0), twb(50.0, 50.0));
+        assert_eq!(twb(20.0, 2.0), twb(20.0, 5.0));
+        assert_eq!(twb(20.0, 100.0), twb(20.0, 99.0));
+    }
+}

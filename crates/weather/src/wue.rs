@@ -1,0 +1,285 @@
+//! Water usage effectiveness (WUE) from wet-bulb temperature.
+//!
+//! WUE (L/kWh) is the cooling water consumed per unit of IT energy
+//! (Eq. 6). Physically it is driven by the outside wet-bulb temperature:
+//!
+//! * below a **free-cooling threshold** the facility cools with outside
+//!   air and evaporates almost nothing (the paper: "if the HPC facility is
+//!   located in a favorable geographical location or time of the year, the
+//!   outside air can be used for cooling");
+//! * above it, evaporative cooling water rises roughly linearly with
+//!   wet-bulb temperature (hotter, more humid air means more evaporation
+//!   per unit heat rejected);
+//! * a **ceiling** reflects tower capacity.
+//!
+//! The paper's Table 2 lists WUE "> 0.05" derived from wet-bulb reports;
+//! Fig. 6(b) shows site WUE distributions spanning roughly 0–12 L/kWh over
+//! a year. The default model reproduces that envelope; per-site calibration
+//! multiplies the slope.
+
+use thirstyflops_timeseries::HourlySeries;
+use thirstyflops_units::{Celsius, LitersPerKilowattHour};
+
+use crate::climate::SiteClimate;
+
+/// Piecewise-linear WUE model over wet-bulb temperature.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WueModel {
+    /// Wet-bulb temperature below which outside-air (free) cooling covers
+    /// the load, °C.
+    pub free_cooling_twb_c: f64,
+    /// WUE floor during free cooling, L/kWh (paper: > 0.05).
+    pub floor: f64,
+    /// Slope above the threshold, L/kWh per °C of wet-bulb.
+    pub slope_per_c: f64,
+    /// Tower-capacity ceiling, L/kWh.
+    pub ceiling: f64,
+}
+
+impl Default for WueModel {
+    fn default() -> Self {
+        Self {
+            free_cooling_twb_c: 4.0,
+            floor: 0.05,
+            slope_per_c: 0.33,
+            ceiling: 12.0,
+        }
+    }
+}
+
+impl WueModel {
+    /// A default model with the slope scaled by `k` — the per-site
+    /// calibration knob (different tower designs and setpoints).
+    pub fn scaled(k: f64) -> Self {
+        let mut m = Self::default();
+        m.slope_per_c *= k;
+        m
+    }
+
+    /// Validates the model parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.floor < 0.0 {
+            return Err(format!("WUE floor must be non-negative: {}", self.floor));
+        }
+        if self.slope_per_c < 0.0 {
+            return Err(format!("WUE slope must be non-negative: {}", self.slope_per_c));
+        }
+        if self.ceiling < self.floor {
+            return Err(format!(
+                "WUE ceiling {} below floor {}",
+                self.ceiling, self.floor
+            ));
+        }
+        Ok(())
+    }
+
+    /// WUE at a given wet-bulb temperature.
+    pub fn wue(&self, wet_bulb: Celsius) -> LitersPerKilowattHour {
+        let excess = (wet_bulb.value() - self.free_cooling_twb_c).max(0.0);
+        let raw = self.floor + self.slope_per_c * excess;
+        LitersPerKilowattHour::new(raw.clamp(self.floor, self.ceiling))
+    }
+
+    /// Hourly WUE series for a simulated site climate.
+    pub fn hourly_series(&self, climate: &SiteClimate) -> HourlySeries {
+        climate
+            .wet_bulb()
+            .map(|twb| self.wue(Celsius::new(twb)).value())
+    }
+
+    /// Fits the piecewise model to observed `(wet bulb °C, WUE L/kWh)`
+    /// pairs — the calibration path a facility with a metered WUE feed
+    /// (e.g. the Gupta et al. 2024 water-sustainability dataset the paper
+    /// cites) would use instead of the synthetic defaults.
+    ///
+    /// The floor is taken from the coldest observations, the free-cooling
+    /// threshold is grid-searched, and the slope is the least-squares
+    /// solution above the threshold. Returns the fitted model and its R².
+    pub fn fit(samples: &[(f64, f64)]) -> Result<(WueModel, f64), String> {
+        if samples.len() < 8 {
+            return Err(format!("need at least 8 samples, got {}", samples.len()));
+        }
+        if samples.iter().any(|&(t, w)| !t.is_finite() || !w.is_finite() || w < 0.0) {
+            return Err("samples must be finite with non-negative WUE".into());
+        }
+        // Floor: median WUE of the coldest decile.
+        let mut by_temp: Vec<(f64, f64)> = samples.to_vec();
+        by_temp.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let decile = (by_temp.len() / 10).max(2);
+        let mut cold: Vec<f64> = by_temp[..decile].iter().map(|&(_, w)| w).collect();
+        cold.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let floor = cold[cold.len() / 2].max(0.0);
+
+        let ceiling = samples.iter().map(|&(_, w)| w).fold(0.0, f64::max).max(floor);
+
+        // Grid-search the threshold; least-squares slope at each.
+        let t_min = by_temp.first().expect("non-empty").0;
+        let t_max = by_temp.last().expect("non-empty").0;
+        let mut best: Option<(f64, f64, f64)> = None; // (t0, slope, sse)
+        let steps = 60;
+        for i in 0..=steps {
+            let t0 = t_min + (t_max - t_min) * i as f64 / steps as f64;
+            let mut sxx = 0.0;
+            let mut sxy = 0.0;
+            for &(t, w) in samples {
+                let x = (t - t0).max(0.0);
+                sxx += x * x;
+                sxy += x * (w - floor);
+            }
+            if sxx <= 0.0 {
+                continue;
+            }
+            let slope = (sxy / sxx).max(0.0);
+            let sse: f64 = samples
+                .iter()
+                .map(|&(t, w)| {
+                    let pred = (floor + slope * (t - t0).max(0.0)).clamp(floor, ceiling);
+                    (w - pred) * (w - pred)
+                })
+                .sum();
+            if best.is_none() || sse < best.expect("checked").2 {
+                best = Some((t0, slope, sse));
+            }
+        }
+        let (t0, slope, sse) = best.ok_or("degenerate samples: no temperature spread")?;
+
+        let mean_w: f64 = samples.iter().map(|&(_, w)| w).sum::<f64>() / samples.len() as f64;
+        let sst: f64 = samples
+            .iter()
+            .map(|&(_, w)| (w - mean_w) * (w - mean_w))
+            .sum();
+        let r2 = if sst > 0.0 { 1.0 - sse / sst } else { 1.0 };
+
+        let model = WueModel {
+            free_cooling_twb_c: t0,
+            floor,
+            slope_per_c: slope,
+            ceiling,
+        };
+        model.validate()?;
+        Ok((model, r2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::climate::{SiteClimate, SiteClimateConfig};
+
+    #[test]
+    fn free_cooling_region_is_flat_at_floor() {
+        let m = WueModel::default();
+        assert_eq!(m.wue(Celsius::new(-10.0)).value(), 0.05);
+        assert_eq!(m.wue(Celsius::new(4.0)).value(), 0.05);
+    }
+
+    #[test]
+    fn linear_above_threshold_then_capped() {
+        let m = WueModel::default();
+        let w10 = m.wue(Celsius::new(10.0)).value();
+        assert!((w10 - (0.05 + 0.33 * 6.0)).abs() < 1e-12);
+        // Very hot & humid saturates at the ceiling.
+        assert_eq!(m.wue(Celsius::new(60.0)).value(), 12.0);
+    }
+
+    #[test]
+    fn monotone_in_wet_bulb() {
+        let m = WueModel::default();
+        let mut prev = 0.0;
+        for t in -20..50 {
+            let w = m.wue(Celsius::new(t as f64)).value();
+            assert!(w >= prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn scaled_changes_only_slope() {
+        let m = WueModel::scaled(2.0);
+        assert_eq!(m.floor, 0.05);
+        assert!((m.slope_per_c - 0.66).abs() < 1e-12);
+        assert_eq!(m.ceiling, 12.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(WueModel::default().validate().is_ok());
+        let low_ceiling = WueModel { ceiling: 0.01, ..WueModel::default() };
+        assert!(low_ceiling.validate().is_err());
+        let negative_slope = WueModel { slope_per_c: -1.0, ..WueModel::default() };
+        assert!(negative_slope.validate().is_err());
+        let negative_floor = WueModel { floor: -0.1, ..WueModel::default() };
+        assert!(negative_floor.validate().is_err());
+    }
+
+    #[test]
+    fn fit_recovers_a_known_model() {
+        let truth = WueModel {
+            free_cooling_twb_c: 5.0,
+            floor: 0.1,
+            slope_per_c: 0.4,
+            ceiling: 12.0,
+        };
+        // Deterministic pseudo-noise ±0.05.
+        let samples: Vec<(f64, f64)> = (0..400)
+            .map(|i| {
+                let t = -5.0 + 30.0 * (i as f64 / 400.0);
+                let noise = (((i as u64 * 2654435761) % 1000) as f64 / 1000.0 - 0.5) * 0.1;
+                (t, (truth.wue(Celsius::new(t)).value() + noise).max(0.0))
+            })
+            .collect();
+        let (fitted, r2) = WueModel::fit(&samples).unwrap();
+        assert!(r2 > 0.98, "R² {r2}");
+        assert!((fitted.slope_per_c - 0.4).abs() < 0.05, "slope {}", fitted.slope_per_c);
+        assert!((fitted.free_cooling_twb_c - 5.0).abs() < 2.0, "t0 {}", fitted.free_cooling_twb_c);
+        assert!(fitted.floor < 0.3, "floor {}", fitted.floor);
+    }
+
+    #[test]
+    fn fit_validation() {
+        assert!(WueModel::fit(&[(1.0, 1.0); 4]).is_err()); // too few
+        let bad = vec![(1.0, -1.0); 20];
+        assert!(WueModel::fit(&bad).is_err()); // negative WUE
+        let nan = vec![(f64::NAN, 1.0); 20];
+        assert!(WueModel::fit(&nan).is_err());
+    }
+
+    #[test]
+    fn fit_round_trips_through_simulated_climate() {
+        // Fit against samples generated by a preset's own climate+model —
+        // the fitted model should predict close to the original.
+        let preset = crate::presets::ClimatePreset::OakRidge;
+        let climate = preset.generate();
+        let model = preset.wue_model();
+        let samples: Vec<(f64, f64)> = (0..8760)
+            .step_by(7)
+            .map(|h| (climate.wet_bulb().get(h), model.wue(Celsius::new(climate.wet_bulb().get(h))).value()))
+            .collect();
+        let (fitted, r2) = WueModel::fit(&samples).unwrap();
+        assert!(r2 > 0.99, "noise-free fit R² {r2}");
+        assert!((fitted.slope_per_c - model.slope_per_c).abs() < 0.05);
+    }
+
+    #[test]
+    fn summer_wue_exceeds_winter_wue() {
+        let climate = SiteClimate::generate(SiteClimateConfig {
+            name: "Seasonal".into(),
+            mean_temp_c: 14.0,
+            seasonal_amp_c: 10.0,
+            diurnal_amp_c: 4.0,
+            hottest_day: 200,
+            mean_rh: 70.0,
+            seasonal_rh_amp: 5.0,
+            diurnal_rh_amp: 10.0,
+            noise_std_c: 2.0,
+            seed: 7,
+        })
+        .unwrap();
+        let wue = WueModel::default().hourly_series(&climate);
+        let monthly = wue.monthly_mean();
+        assert!(monthly.summer_mean() > 2.0 * monthly.non_summer_mean());
+        // Floor respected everywhere.
+        assert!(wue.min() >= 0.05);
+        assert!(wue.max() <= 12.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Utilization → power → energy, the paper's TDP-based estimation path.
+
+use thirstyflops_catalog::SystemSpec;
+use thirstyflops_timeseries::{HourlySeries, MonthlySeries};
+use thirstyflops_units::{KilowattHours, Kilowatts};
+
+/// Converts a machine-utilization series into IT power and energy for a
+/// cataloged system.
+#[derive(Debug, Clone)]
+pub struct PowerModel<'a> {
+    spec: &'a SystemSpec,
+}
+
+impl<'a> PowerModel<'a> {
+    /// A power model for one system.
+    pub fn new(spec: &'a SystemSpec) -> Self {
+        Self { spec }
+    }
+
+    /// IT power at a utilization level, kW (whole machine).
+    pub fn power_at(&self, utilization: f64) -> Kilowatts {
+        let per_node_w = self.spec.node.power_at_utilization_watts(utilization);
+        Kilowatts::new(per_node_w * self.spec.nodes as f64 / 1000.0)
+    }
+
+    /// Hourly IT power series, kW, from a utilization series.
+    pub fn power_series(&self, utilization: &HourlySeries) -> HourlySeries {
+        utilization.map(|u| self.power_at(u).value())
+    }
+
+    /// Hourly IT energy series, kWh (numerically equal to power over
+    /// 1-hour steps).
+    pub fn energy_series(&self, utilization: &HourlySeries) -> HourlySeries {
+        self.power_series(utilization)
+    }
+
+    /// Monthly IT energy, kWh.
+    pub fn monthly_energy(&self, utilization: &HourlySeries) -> MonthlySeries {
+        self.energy_series(utilization).monthly_sum()
+    }
+
+    /// Annual IT energy, kWh.
+    pub fn annual_energy(&self, utilization: &HourlySeries) -> KilowattHours {
+        KilowattHours::new(self.energy_series(utilization).total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thirstyflops_catalog::SystemId;
+    use thirstyflops_timeseries::HOURS_PER_YEAR;
+
+    #[test]
+    fn power_scales_with_utilization() {
+        let spec = SystemSpec::reference(SystemId::Frontier);
+        let m = PowerModel::new(&spec);
+        let idle = m.power_at(0.0).value();
+        let full = m.power_at(1.0).value();
+        assert!(full > idle);
+        assert!((idle / full - spec.node.idle_fraction).abs() < 1e-9);
+        // Frontier at full tilt is tens of MW.
+        assert!(full > 15_000.0 && full < 40_000.0, "{full} kW");
+    }
+
+    #[test]
+    fn energy_series_totals_match() {
+        let spec = SystemSpec::reference(SystemId::Polaris);
+        let m = PowerModel::new(&spec);
+        let util = HourlySeries::constant(0.7);
+        let annual = m.annual_energy(&util).value();
+        let expected = m.power_at(0.7).value() * HOURS_PER_YEAR as f64;
+        assert!((annual - expected).abs() < 1e-6 * expected);
+        // Monthly sums add back to the annual total.
+        let monthly = m.monthly_energy(&util);
+        assert!((monthly.total() - annual).abs() < 1e-6 * annual);
+    }
+
+    #[test]
+    fn fugaku_annual_energy_magnitude() {
+        // ~25 MW-scale machine at 75 % utilization ⇒ hundreds of GWh/year.
+        let spec = SystemSpec::reference(SystemId::Fugaku);
+        let m = PowerModel::new(&spec);
+        let util = HourlySeries::constant(spec.mean_utilization);
+        let gwh = m.annual_energy(&util).value() / 1e6;
+        assert!((100.0..300.0).contains(&gwh), "Fugaku {gwh} GWh");
+    }
+}

@@ -1,0 +1,184 @@
+//! Standard Workload Format (SWF) interchange.
+//!
+//! The paper's pipeline starts from production job logs (M100 exadata,
+//! ALCF public data, Fugaku logs). Sites that *do* hold such logs usually
+//! have them in the Parallel Workloads Archive's SWF: one job per line,
+//! 18 whitespace-separated fields, `;` comment headers. This module
+//! imports the fields the footprint pipeline needs (submit time, runtime,
+//! processors) and exports our synthetic traces in the same shape, so
+//! real logs and synthetic traces are interchangeable everywhere a
+//! [`Job`] slice is accepted.
+//!
+//! Field mapping (SWF index → meaning):
+//! `0` job id, `1` submit time (s), `3` run time (s), `4` allocated
+//! processors. Jobs with non-positive runtime or processor counts
+//! (cancelled/failed entries) are skipped, as is conventional.
+
+use crate::trace::Job;
+
+/// Result of an SWF import.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SwfImport {
+    /// Parsed, usable jobs (hour-granular, year-clipped).
+    pub jobs: Vec<Job>,
+    /// Lines skipped (comments, malformed, cancelled).
+    pub skipped: usize,
+}
+
+/// Parses SWF text into jobs.
+///
+/// * `processors_per_node` converts SWF processor counts into node counts
+///   (SWF logs allocation in CPUs; the cluster simulator thinks in
+///   nodes). Use 1 if the log is already node-granular.
+/// * Submit times are seconds from the log's start; jobs submitted past
+///   the simulated year are dropped (counted as skipped).
+pub fn parse_swf(text: &str, processors_per_node: u32) -> Result<SwfImport, String> {
+    if processors_per_node == 0 {
+        return Err("processors_per_node must be positive".into());
+    }
+    let mut jobs = Vec::new();
+    let mut skipped = 0usize;
+    let mut id = 0u64;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            skipped += 1;
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 5 {
+            skipped += 1;
+            continue;
+        }
+        let submit_s: f64 = match fields[1].parse() {
+            Ok(v) => v,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let run_s: f64 = match fields[3].parse() {
+            Ok(v) => v,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let procs: f64 = match fields[4].parse() {
+            Ok(v) => v,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        if run_s <= 0.0 || procs <= 0.0 || submit_s < 0.0 {
+            skipped += 1;
+            continue;
+        }
+        let submit_hour = (submit_s / 3600.0) as usize;
+        if submit_hour >= thirstyflops_timeseries::HOURS_PER_YEAR {
+            skipped += 1;
+            continue;
+        }
+        let nodes = ((procs / processors_per_node as f64).ceil() as u32).max(1);
+        let duration_hours = ((run_s / 3600.0).ceil() as u32).max(1);
+        jobs.push(Job {
+            id,
+            submit_hour,
+            nodes,
+            duration_hours,
+        });
+        id += 1;
+    }
+    Ok(SwfImport { jobs, skipped })
+}
+
+/// Renders jobs as SWF text (the fields we model; unknown fields are
+/// `-1`, per SWF convention).
+pub fn to_swf(jobs: &[Job], processors_per_node: u32) -> String {
+    let mut out = String::from(
+        "; SWF export from thirstyflops-workload\n; fields: id submit wait run procs -1×13\n",
+    );
+    for j in jobs {
+        let submit_s = j.submit_hour as u64 * 3600;
+        let run_s = j.duration_hours as u64 * 3600;
+        let procs = j.nodes as u64 * processors_per_node as u64;
+        out.push_str(&format!(
+            "{} {} -1 {} {} -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n",
+            j.id, submit_s, run_s, procs
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceConfig, TraceGenerator};
+
+    const SAMPLE: &str = "\
+; Parallel Workloads Archive style header
+; Computer: Testcluster
+1 0 10 7200 128 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1
+2 3600 5 1800 64 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1
+3 7200 0 -1 32 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1
+4 10800 0 600 0 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1
+garbage line
+";
+
+    #[test]
+    fn parses_valid_jobs_and_skips_the_rest() {
+        let import = parse_swf(SAMPLE, 64).unwrap();
+        assert_eq!(import.jobs.len(), 2);
+        // Comments(2) + cancelled(1) + zero-procs(1) + garbage(1).
+        assert_eq!(import.skipped, 5);
+        let j0 = import.jobs[0];
+        assert_eq!(j0.submit_hour, 0);
+        assert_eq!(j0.duration_hours, 2); // 7200 s
+        assert_eq!(j0.nodes, 2); // 128 procs / 64 per node
+        let j1 = import.jobs[1];
+        assert_eq!(j1.submit_hour, 1);
+        assert_eq!(j1.duration_hours, 1); // 1800 s rounds up
+        assert_eq!(j1.nodes, 1);
+    }
+
+    #[test]
+    fn round_trip_through_swf() {
+        let cfg = TraceConfig {
+            cluster_nodes: 256,
+            target_utilization: 0.5,
+            mean_duration_hours: 4.0,
+            mean_width_fraction: 0.05,
+            seed: 3,
+        };
+        let jobs = TraceGenerator::new(cfg).unwrap().generate_year();
+        let text = to_swf(&jobs[..200.min(jobs.len())], 32);
+        let back = parse_swf(&text, 32).unwrap();
+        assert_eq!(back.jobs.len(), 200.min(jobs.len()));
+        for (a, b) in jobs.iter().zip(&back.jobs) {
+            assert_eq!(a.submit_hour, b.submit_hour);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.duration_hours, b.duration_hours);
+        }
+    }
+
+    #[test]
+    fn imported_jobs_drive_the_cluster_sim() {
+        let import = parse_swf(SAMPLE, 64).unwrap();
+        let (util, stats) = crate::cluster::ClusterSim::new(4)
+            .unwrap()
+            .simulate_year(&import.jobs);
+        assert_eq!(stats.started_jobs, 2);
+        assert!(util.max() > 0.0);
+    }
+
+    #[test]
+    fn validation_and_year_clipping() {
+        assert!(parse_swf(SAMPLE, 0).is_err());
+        // A job submitted after the simulated year is skipped.
+        let late = "9 999999999 0 3600 64 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n";
+        let import = parse_swf(late, 64).unwrap();
+        assert!(import.jobs.is_empty());
+        assert_eq!(import.skipped, 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Nuclear-powered HPC what-if analysis (§5, Fig. 14) plus the
+//! water-capping coordination of Takeaway 5.
+//!
+//! ```sh
+//! cargo run --release --example nuclear_whatif
+//! ```
+
+use thirstyflops::catalog::SystemId;
+use thirstyflops::core::SystemYear;
+use thirstyflops::grid::{EnergySource, Scenario};
+use thirstyflops::scheduler::capping::SourceOffer;
+use thirstyflops::scheduler::WaterCapPlanner;
+use thirstyflops::units::{GramsCo2PerKwh, KilowattHours, Liters, LitersPerKilowattHour};
+
+fn main() {
+    println!("=== Nuclear-powered HPC: carbon vs water (Fig. 14) ===\n");
+    for id in SystemId::PAPER {
+        let year = SystemYear::simulate(id, 2023);
+        let ci_mix = GramsCo2PerKwh::new(year.carbon.mean());
+        let ewf_mix = LitersPerKilowattHour::new(year.ewf.mean());
+        let wue = year.wue.mean();
+        let pue = year.spec.pue.value();
+        let wi_mix = wue + pue * ewf_mix.value();
+
+        println!("{id} ({}):", year.spec.location);
+        for s in [
+            Scenario::AllCoal,
+            Scenario::AllNuclear,
+            Scenario::OtherRenewable,
+            Scenario::WaterIntensiveRenewable,
+        ] {
+            let d_carbon =
+                100.0 * (ci_mix.value() - s.carbon_intensity(ci_mix).value()) / ci_mix.value();
+            let wi_s = wue + pue * s.ewf(ewf_mix).value();
+            let d_water = 100.0 * (wi_mix - wi_s) / wi_mix;
+            println!(
+                "  {:<40} carbon {:>+7.0}%   water {:>+7.0}%",
+                s.label(),
+                d_carbon,
+                d_water
+            );
+        }
+        println!();
+    }
+    println!("Nuclear saves carbon everywhere, but its *water* effect flips sign by location (Takeaway 10).\n");
+
+    // Takeaway 5: on a hot day, a shared water budget forces the grid to
+    // back off water-hungry generation.
+    println!("=== Water capping: cooling vs generation (Takeaway 5) ===\n");
+    let planner = WaterCapPlanner::new(
+        thirstyflops::units::Pue::new(1.2).expect("static PUE"),
+    );
+    let offers = vec![
+        SourceOffer { source: EnergySource::Hydro, capacity_kwh: 800.0 },
+        SourceOffer { source: EnergySource::Nuclear, capacity_kwh: 800.0 },
+        SourceOffer { source: EnergySource::Gas, capacity_kwh: 800.0 },
+        SourceOffer { source: EnergySource::Wind, capacity_kwh: 150.0 },
+    ];
+    let demand = KilowattHours::new(1000.0);
+    let budget = Liters::new(6000.0);
+    for (day, wue) in [("mild day (WUE 1.0)", 1.0), ("hot day (WUE 3.5)", 3.5)] {
+        let out = planner
+            .dispatch(demand, LitersPerKilowattHour::new(wue), &offers, budget)
+            .expect("offers cover demand");
+        println!("{day}: budget {budget}");
+        println!(
+            "  cooling {:>8.0} L | generation {:>8.0} L | carbon {:>8.1} kg | feasible: {}",
+            out.cooling_water.value(),
+            out.generation_water.value(),
+            out.carbon_g / 1000.0,
+            out.feasible
+        );
+        for (o, kwh) in offers.iter().zip(&out.dispatch_kwh) {
+            if *kwh > 0.0 {
+                println!("    {:<10} {:>7.0} kWh", o.source.name(), kwh);
+            }
+        }
+    }
+    println!("\nHotter weather eats the water budget, pushing generation toward low-EWF sources at a carbon cost.");
+}

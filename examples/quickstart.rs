@@ -1,0 +1,72 @@
+//! Quickstart: estimate a supercomputer's full water footprint.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the whole pipeline for one system: embodied breakdown (Eq. 2–5),
+//! a simulated telemetry year, operational footprint (Eq. 6–7), water
+//! intensity (Eq. 8), and the scarcity-adjusted view (Eq. 9).
+
+use thirstyflops::catalog::SystemId;
+use thirstyflops::core::FootprintModel;
+use thirstyflops::units::{Gallons, Liters};
+
+fn ml(l: Liters) -> f64 {
+    l.value() / 1e6
+}
+
+fn main() {
+    let id = SystemId::Frontier;
+    let model = FootprintModel::reference(id);
+    let report = model.annual_report(2023);
+
+    println!("=== ThirstyFLOPS quickstart: {id} ===\n");
+    println!("Facility: {}", model.spec().location);
+    println!(
+        "Nodes: {}  |  PUE {}  |  peak IT power {:.1}",
+        model.spec().nodes,
+        model.spec().pue.value(),
+        model.spec().peak_power()
+    );
+
+    println!("\n-- Embodied water (one-time, Eq. 2-5) --");
+    let e = &report.embodied;
+    println!("  CPU        {:>10.2} ML", ml(e.cpu));
+    println!("  GPU        {:>10.2} ML", ml(e.gpu));
+    println!("  DRAM       {:>10.2} ML", ml(e.dram));
+    println!("  HDD        {:>10.2} ML", ml(e.hdd));
+    println!("  SSD        {:>10.2} ML", ml(e.ssd));
+    println!("  packaging  {:>10.2} ML", ml(e.packaging));
+    println!("  TOTAL      {:>10.2} ML", ml(e.total()));
+
+    println!("\n-- Operational water (simulated year, Eq. 6-7) --");
+    println!("  IT energy        {:>12.1} GWh", report.energy.value() / 1e6);
+    println!(
+        "  direct (cooling) {:>12.2} ML  ({:.0}%)",
+        ml(report.operational.direct),
+        report.direct_share.percent()
+    );
+    println!(
+        "  indirect (grid)  {:>12.2} ML  ({:.0}%)",
+        ml(report.operational.indirect),
+        100.0 - report.direct_share.percent()
+    );
+    let gallons: Gallons = report.operational.total().into();
+    println!(
+        "  TOTAL            {:>12.2} ML  (≈ {:.0} million gallons)",
+        ml(report.operational.total()),
+        gallons.value() / 1e6
+    );
+
+    println!("\n-- Intensities (Eq. 8-9) --");
+    println!("  mean WUE        {:>8.2}", report.mean_wue);
+    println!("  mean EWF        {:>8.2}", report.mean_ewf);
+    println!("  mean WI         {:>8.2}", report.mean_wi);
+    println!("  WSI-adjusted WI {:>8.2}", report.adjusted_wi);
+
+    println!(
+        "\nEmbodied water equals {:.1}% of one year of operational water at this load.",
+        100.0 * e.total().value() / report.operational.total().value()
+    );
+}

@@ -1,0 +1,84 @@
+//! Water-aware site selection (Takeaways 2 and 6).
+//!
+//! ```sh
+//! cargo run --release --example site_selection
+//! ```
+//!
+//! Sweeps candidate (climate × grid × scarcity) combinations for a
+//! Frontier-class machine and ranks them by raw and scarcity-adjusted
+//! water intensity — showing that the "cheapest water" site is not the
+//! best site once regional scarcity is priced in.
+
+use thirstyflops::core::intensity;
+use thirstyflops::core::{ScarcityAdjustment, WaterIntensity};
+use thirstyflops::grid::{GridRegion, RegionId};
+use thirstyflops::units::{LitersPerKilowattHour, Pue, WaterScarcityIndex};
+use thirstyflops::weather::ClimatePreset;
+
+struct Candidate {
+    label: &'static str,
+    climate: ClimatePreset,
+    region: RegionId,
+    wsi: f64,
+}
+
+fn main() {
+    let pue = Pue::new(1.1).expect("modern facility PUE");
+    let candidates = [
+        Candidate { label: "Bologna (IT grid)", climate: ClimatePreset::Bologna, region: RegionId::EmiliaRomagna, wsi: 0.35 },
+        Candidate { label: "Kobe (Kansai grid)", climate: ClimatePreset::Kobe, region: RegionId::Kansai, wsi: 0.13 },
+        Candidate { label: "Lemont (N-IL grid)", climate: ClimatePreset::Lemont, region: RegionId::NorthernIllinois, wsi: 0.55 },
+        Candidate { label: "Oak Ridge (TVA grid)", climate: ClimatePreset::OakRidge, region: RegionId::Tennessee, wsi: 0.10 },
+        Candidate { label: "Livermore (CA grid)", climate: ClimatePreset::Livermore, region: RegionId::California, wsi: 0.70 },
+    ];
+
+    println!("=== Water-aware site selection for a new HPC center ===\n");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>7} {:>13}",
+        "site", "WUE", "EWF", "WI", "WSI", "adjusted WI"
+    );
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for c in &candidates {
+        let climate = c.climate.generate();
+        let wue_series = c.climate.wue_model().hourly_series(&climate);
+        let grid = GridRegion::preset(c.region).simulate_year();
+        let wi_series = intensity::hourly_water_intensity(&wue_series, pue, grid.ewf());
+        let wi_mean = wi_series.mean();
+
+        let wi = WaterIntensity::new(
+            LitersPerKilowattHour::new(wue_series.mean()),
+            pue,
+            LitersPerKilowattHour::new(grid.ewf().mean()),
+        );
+        let wsi = WaterScarcityIndex::new(c.wsi).expect("static WSI");
+        let adjusted = ScarcityAdjustment::uniform(wsi).adjust(wi).value();
+
+        println!(
+            "{:<22} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>13.2}",
+            c.label,
+            wue_series.mean(),
+            grid.ewf().mean(),
+            wi_mean,
+            c.wsi,
+            adjusted
+        );
+        rows.push((c.label.to_string(), wi_mean, adjusted));
+    }
+
+    let best_raw = rows
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    let best_adj = rows
+        .iter()
+        .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        .unwrap();
+    println!("\nLowest raw water intensity     : {}", best_raw.0);
+    println!("Lowest scarcity-adjusted WI    : {}", best_adj.0);
+    if best_raw.0 != best_adj.0 {
+        println!("\nThe rankings differ — volumetric water alone misleads site selection (Takeaway 2/6).");
+    } else {
+        println!("\nFor these candidates the two rankings agree — but only because the scarcity spread is small.");
+    }
+}

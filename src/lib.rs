@@ -1,0 +1,49 @@
+//! # ThirstyFLOPS
+//!
+//! A comprehensive water-footprint modeling and analysis framework for HPC
+//! systems — a Rust reproduction of *"ThirstyFLOPS: Water Footprint Modeling
+//! and Analysis Toward Sustainable HPC Systems"* (SC '25).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`units`] — typed physical quantities (L, kWh, L/kWh, gCO₂/kWh, …);
+//! * [`timeseries`] — hourly/monthly series, resampling, stats, correlation;
+//! * [`weather`] — synthetic site climates, Stull wet-bulb, WUE model;
+//! * [`grid`] — energy sources, regional mixes, EWF/carbon-intensity series,
+//!   power-plant fleets, what-if scenarios;
+//! * [`catalog`] — the hardware and system catalog (Marconi100, Fugaku,
+//!   Polaris, Frontier, and extension systems) plus WSI data;
+//! * [`workload`] — job-trace generation, cluster/power simulation, and a
+//!   miniAMR-like adaptive-mesh stencil kernel;
+//! * [`core`] — the ThirstyFLOPS models themselves: embodied (Eq. 2–5),
+//!   operational (Eq. 6–7), water intensity (Eq. 8), scarcity adjustment
+//!   (Eq. 9), and water withdrawal (Table 3);
+//! * [`carbon`] — the ACT-style carbon comparator;
+//! * [`scheduler`] — water-aware operations: start-time ranking,
+//!   multi-objective scheduling, geo load balancing, water capping;
+//! * [`experiments`] — one regenerator per paper figure/table.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use thirstyflops::catalog::SystemId;
+//! use thirstyflops::core::FootprintModel;
+//!
+//! let model = FootprintModel::reference(SystemId::Polaris);
+//! let report = model.annual_report(2023);
+//! assert!(report.operational_total().value() > 0.0);
+//! assert!(report.embodied_total().value() > 0.0);
+//! // Eq. 8: water intensity decomposes into direct + indirect parts.
+//! assert!(report.mean_wi.value() > report.mean_wue.value());
+//! ```
+
+pub use thirstyflops_carbon as carbon;
+pub use thirstyflops_catalog as catalog;
+pub use thirstyflops_core as core;
+pub use thirstyflops_experiments as experiments;
+pub use thirstyflops_grid as grid;
+pub use thirstyflops_scheduler as scheduler;
+pub use thirstyflops_timeseries as timeseries;
+pub use thirstyflops_units as units;
+pub use thirstyflops_weather as weather;
+pub use thirstyflops_workload as workload;

@@ -1,0 +1,349 @@
+//! `thirstyflops` — the command-line water-footprint estimation tool.
+//!
+//! ```text
+//! thirstyflops footprint <system> [--seed N]    full annual footprint report
+//! thirstyflops compare <a> <b> [--seed N]       two systems side by side (+ uncertainty overlap)
+//! thirstyflops rank [--adjusted] [--seed N]     Water500-style ranking of all systems
+//! thirstyflops scenario <system> [--seed N]     Fig. 14 energy-source what-ifs
+//! thirstyflops sensitivity <system> [--seed N]  which parameters move the answer
+//! thirstyflops lifecycle <system> --years N     break-even & amortized intensity
+//! thirstyflops experiments [id ...]             regenerate paper tables/figures
+//! thirstyflops systems                          list cataloged systems
+//! ```
+
+use thirstyflops::catalog::{SystemId, SystemSpec};
+use thirstyflops::core::sensitivity::{embodied_elasticities, operational_elasticities};
+use thirstyflops::core::uncertainty::{mix_ewf_interval, operational_interval, Interval};
+use thirstyflops::core::{AnnualReport, FootprintModel, LifecycleModel, SystemYear};
+use thirstyflops::grid::{GridRegion, Scenario};
+use thirstyflops::units::{GramsCo2PerKwh, LitersPerKilowattHour};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&args);
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> i32 {
+    let Some(cmd) = args.first() else {
+        usage();
+        return 2;
+    };
+    match cmd.as_str() {
+        "footprint" => cmd_footprint(args),
+        "compare" => cmd_compare(args),
+        "rank" => cmd_rank(args),
+        "scenario" => cmd_scenario(args),
+        "sensitivity" => cmd_sensitivity(args),
+        "lifecycle" => cmd_lifecycle(args),
+        "experiments" => cmd_experiments(args),
+        "systems" => cmd_systems(),
+        "help" | "--help" | "-h" => {
+            usage();
+            0
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            usage();
+            2
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "thirstyflops — water footprint modeling for HPC systems (SC'25 reproduction)\n\n\
+         USAGE:\n  \
+         thirstyflops footprint <system> [--seed N]\n  \
+         thirstyflops compare <a> <b> [--seed N]\n  \
+         thirstyflops rank [--adjusted] [--seed N]\n  \
+         thirstyflops scenario <system> [--seed N]\n  \
+         thirstyflops sensitivity <system> [--seed N]\n  \
+         thirstyflops lifecycle <system> --years N [--seed N]\n  \
+         thirstyflops experiments [id ...]\n  \
+         thirstyflops systems\n\n\
+         Systems: marconi, fugaku, polaris, frontier, aurora, elcapitan"
+    );
+}
+
+fn parse_system(name: &str) -> Option<SystemId> {
+    match name.to_ascii_lowercase().as_str() {
+        "marconi" | "marconi100" => Some(SystemId::Marconi),
+        "fugaku" => Some(SystemId::Fugaku),
+        "polaris" => Some(SystemId::Polaris),
+        "frontier" => Some(SystemId::Frontier),
+        "aurora" => Some(SystemId::Aurora),
+        "elcapitan" | "el-capitan" | "el_capitan" => Some(SystemId::ElCapitan),
+        _ => None,
+    }
+}
+
+fn require_system(args: &[String], idx: usize) -> Result<SystemId, i32> {
+    let Some(name) = args.get(idx) else {
+        eprintln!("missing <system> argument");
+        return Err(2);
+    };
+    parse_system(name).ok_or_else(|| {
+        eprintln!("unknown system {name:?} — try `thirstyflops systems`");
+        2
+    })
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn seed_of(args: &[String]) -> u64 {
+    flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2023)
+}
+
+fn ml(l: thirstyflops::units::Liters) -> f64 {
+    l.value() / 1e6
+}
+
+fn cmd_footprint(args: &[String]) -> i32 {
+    let id = match require_system(args, 1) {
+        Ok(id) => id,
+        Err(c) => return c,
+    };
+    let seed = seed_of(args);
+    let report = FootprintModel::reference(id).annual_report(seed);
+    print_report(&report);
+    0
+}
+
+fn print_report(r: &AnnualReport) {
+    let spec = SystemSpec::reference(r.id);
+    println!("{} — {} ({})", r.id, spec.location, spec.operator);
+    println!("  embodied water      {:>12.2} ML", ml(r.embodied_total()));
+    println!(
+        "    processors {:.2} ML | memory+storage {:.2} ML | packaging {:.2} ML",
+        ml(r.embodied.processors()),
+        ml(r.embodied.memory_and_storage()),
+        ml(r.embodied.packaging)
+    );
+    println!("  annual IT energy    {:>12.1} GWh", r.energy.value() / 1e6);
+    println!(
+        "  operational water   {:>12.2} ML  (direct {:.0}% / indirect {:.0}%)",
+        ml(r.operational.total()),
+        r.direct_share.percent(),
+        100.0 - r.direct_share.percent()
+    );
+    println!(
+        "  intensities          WUE {:.2} | EWF {:.2} | WI {:.2} | adjusted {:.2} L/kWh",
+        r.mean_wue.value(),
+        r.mean_ewf.value(),
+        r.mean_wi.value(),
+        r.adjusted_wi.value()
+    );
+}
+
+fn cmd_compare(args: &[String]) -> i32 {
+    let a = match require_system(args, 1) {
+        Ok(id) => id,
+        Err(c) => return c,
+    };
+    let b = match require_system(args, 2) {
+        Ok(id) => id,
+        Err(c) => return c,
+    };
+    let seed = seed_of(args);
+    let ra = FootprintModel::reference(a).annual_report(seed);
+    let rb = FootprintModel::reference(b).annual_report(seed);
+    print_report(&ra);
+    println!();
+    print_report(&rb);
+
+    // Uncertainty overlap: can we actually rank these two on operational
+    // water, given the per-source EWF bands?
+    let band = |id: SystemId, r: &AnnualReport| -> Interval {
+        let spec = SystemSpec::reference(id);
+        let mix = GridRegion::preset(spec.region).annual_mix();
+        let ewf = mix_ewf_interval(&mix);
+        let wue = Interval::with_tolerance(r.mean_wue.value(), 0.15).expect("static tolerance");
+        let energy = Interval::exact(r.energy.value());
+        operational_interval(energy, wue, spec.pue, ewf)
+    };
+    let ia = band(a, &ra);
+    let ib = band(b, &rb);
+    println!();
+    println!(
+        "operational bands: {a} [{:.0}, {:.0}, {:.0}] ML vs {b} [{:.0}, {:.0}, {:.0}] ML",
+        ia.lo / 1e6,
+        ia.mid / 1e6,
+        ia.hi / 1e6,
+        ib.lo / 1e6,
+        ib.mid / 1e6,
+        ib.hi / 1e6
+    );
+    if ia.overlaps(&ib) {
+        println!("bands OVERLAP — the ranking is not robust to EWF/WUE uncertainty");
+    } else {
+        println!("bands are disjoint — the ranking survives the factor uncertainty");
+    }
+    0
+}
+
+fn cmd_rank(args: &[String]) -> i32 {
+    let adjusted = args.iter().any(|a| a == "--adjusted");
+    let seed = seed_of(args);
+    let mut reports: Vec<AnnualReport> = SystemId::ALL
+        .iter()
+        .map(|&id| FootprintModel::reference(id).annual_report(seed))
+        .collect();
+    if adjusted {
+        reports.sort_by(|x, y| y.adjusted_wi.value().partial_cmp(&x.adjusted_wi.value()).unwrap());
+        println!("rank by scarcity-adjusted water intensity:");
+        for (i, r) in reports.iter().enumerate() {
+            println!(
+                "  {}. {:<12} adjusted WI {:>6.2} (raw {:.2}) L/kWh",
+                i + 1,
+                r.id.to_string(),
+                r.adjusted_wi.value(),
+                r.mean_wi.value()
+            );
+        }
+    } else {
+        reports.sort_by(|x, y| {
+            y.operational_total()
+                .value()
+                .partial_cmp(&x.operational_total().value())
+                .unwrap()
+        });
+        println!("rank by annual operational water:");
+        for (i, r) in reports.iter().enumerate() {
+            println!(
+                "  {}. {:<12} {:>9.1} ML  ({:.1} GWh, WI {:.2})",
+                i + 1,
+                r.id.to_string(),
+                ml(r.operational_total()),
+                r.energy.value() / 1e6,
+                r.mean_wi.value()
+            );
+        }
+    }
+    0
+}
+
+fn cmd_scenario(args: &[String]) -> i32 {
+    let id = match require_system(args, 1) {
+        Ok(id) => id,
+        Err(c) => return c,
+    };
+    let seed = seed_of(args);
+    let year = SystemYear::simulate(id, seed);
+    let ci_mix = GramsCo2PerKwh::new(year.carbon.mean());
+    let ewf_mix = LitersPerKilowattHour::new(year.ewf.mean());
+    let wue = year.wue.mean();
+    let pue = year.spec.pue.value();
+    let wi_mix = wue + pue * ewf_mix.value();
+    println!("{id}: energy-source what-ifs vs current mix");
+    for s in [
+        Scenario::AllCoal,
+        Scenario::AllNuclear,
+        Scenario::OtherRenewable,
+        Scenario::WaterIntensiveRenewable,
+    ] {
+        let d_c = 100.0 * (ci_mix.value() - s.carbon_intensity(ci_mix).value()) / ci_mix.value();
+        let wi_s = wue + pue * s.ewf(ewf_mix).value();
+        let d_w = 100.0 * (wi_mix - wi_s) / wi_mix;
+        println!("  {:<40} carbon {:>+7.0}%  water {:>+7.0}%", s.label(), d_c, d_w);
+    }
+    0
+}
+
+fn cmd_sensitivity(args: &[String]) -> i32 {
+    let id = match require_system(args, 1) {
+        Ok(id) => id,
+        Err(c) => return c,
+    };
+    let seed = seed_of(args);
+    let report = FootprintModel::reference(id).annual_report(seed);
+    println!("{id}: a 1% change in each parameter moves the total by…");
+    println!("  operational water:");
+    for e in operational_elasticities(&report) {
+        println!("    {:<22} {:>+6.2}%", e.parameter, e.elasticity);
+    }
+    println!("  embodied water:");
+    for e in embodied_elasticities(&report.embodied) {
+        println!("    {:<22} {:>+6.2}%", e.parameter, e.elasticity);
+    }
+    0
+}
+
+fn cmd_lifecycle(args: &[String]) -> i32 {
+    let id = match require_system(args, 1) {
+        Ok(id) => id,
+        Err(c) => return c,
+    };
+    let years: f64 = flag_value(args, "--years")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5.0);
+    let seed = seed_of(args);
+    let model = LifecycleModel::new(FootprintModel::reference(id).annual_report(seed));
+    let report = match model.project(years) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    println!("{id}: {years}-year lifecycle");
+    println!("  embodied            {:>10.2} ML", ml(report.embodied));
+    println!("  operational (total) {:>10.2} ML", ml(report.operational));
+    println!("  embodied share      {:>10.1} %", 100.0 * report.embodied_share());
+    println!(
+        "  amortized intensity {:>10.3} L/kWh",
+        report.amortized_intensity().value()
+    );
+    println!(
+        "  break-even          {:>10.2} years of operation",
+        model.break_even_years()
+    );
+    0
+}
+
+fn cmd_experiments(args: &[String]) -> i32 {
+    let filter: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+    let all = thirstyflops::experiments::all();
+    let selected: Vec<_> = if filter.is_empty() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|e| filter.iter().any(|f| e.id == f.as_str()))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no matching experiment id");
+        return 2;
+    }
+    for e in &selected {
+        println!("## {} — {}\n", e.id, e.title);
+        println!("{}", e.frame.to_markdown());
+        for note in &e.notes {
+            println!("> {note}");
+        }
+        println!();
+    }
+    0
+}
+
+fn cmd_systems() -> i32 {
+    println!("cataloged systems:");
+    for id in SystemId::ALL {
+        let s = SystemSpec::reference(id);
+        println!(
+            "  {:<12} {:<28} {:>6} nodes  PUE {:<5} {}",
+            id.to_string(),
+            s.location,
+            s.nodes,
+            s.pue.value(),
+            if s.has_gpus() { "GPU" } else { "CPU-only" }
+        );
+    }
+    0
+}

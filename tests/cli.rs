@@ -1,0 +1,104 @@
+//! End-to-end tests of the `thirstyflops` CLI binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_thirstyflops"))
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = cli().args(args).output().expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (code, _out, err) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn systems_lists_all_six() {
+    let (code, out, _) = run(&["systems"]);
+    assert_eq!(code, 0);
+    for name in ["Marconi100", "Fugaku", "Polaris", "Frontier", "Aurora", "El Capitan"] {
+        assert!(out.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn footprint_reports_all_sections() {
+    let (code, out, _) = run(&["footprint", "polaris", "--seed", "7"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("embodied water"));
+    assert!(out.contains("operational water"));
+    assert!(out.contains("intensities"));
+    assert!(out.contains("Lemont"));
+}
+
+#[test]
+fn footprint_rejects_unknown_system() {
+    let (code, _, err) = run(&["footprint", "colossus"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown system"));
+}
+
+#[test]
+fn rank_orders_by_water() {
+    let (code, out, _) = run(&["rank"]);
+    assert_eq!(code, 0);
+    // Aurora (largest power × high PUE region) outranks Polaris.
+    let aurora = out.find("Aurora").expect("Aurora listed");
+    let polaris = out.find("Polaris").expect("Polaris listed");
+    assert!(aurora < polaris);
+}
+
+#[test]
+fn scenario_prints_four_whatifs() {
+    let (code, out, _) = run(&["scenario", "fugaku"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("100% Coal Usage"));
+    assert!(out.contains("100% Nuclear Usage"));
+    assert!(out.matches('%').count() >= 8);
+}
+
+#[test]
+fn sensitivity_prints_elasticities() {
+    let (code, out, _) = run(&["sensitivity", "frontier"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("WUE"));
+    assert!(out.contains("A_die"));
+    assert!(out.contains("Yield"));
+}
+
+#[test]
+fn lifecycle_reports_break_even() {
+    let (code, out, _) = run(&["lifecycle", "marconi", "--years", "4"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("break-even"));
+    assert!(out.contains("amortized intensity"));
+}
+
+#[test]
+fn experiments_filter_works() {
+    let (code, out, _) = run(&["experiments", "table01"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("## table01"));
+    assert!(!out.contains("## fig03"));
+    let (code, _, err) = run(&["experiments", "fig99"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("no matching"));
+}
+
+#[test]
+fn compare_emits_uncertainty_verdict() {
+    let (code, out, _) = run(&["compare", "polaris", "frontier"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("operational bands"));
+    assert!(out.contains("bands are disjoint") || out.contains("bands OVERLAP"));
+}

@@ -1,0 +1,76 @@
+//! Golden-value regression tests: the calibrated headline numbers for the
+//! deterministic evaluation seed (2023). These pin the calibration — if a
+//! refactor or data edit moves any of them, the diff should be a
+//! deliberate recalibration, not an accident.
+//!
+//! Values are asserted to 3–4 significant figures (the printed precision
+//! of the experiment report), not bit-exactness, so legitimate
+//! floating-point reassociation doesn't trip them.
+
+use thirstyflops::experiments as exp;
+
+fn assert_close(actual: f64, golden: f64, tol: f64, what: &str) {
+    assert!(
+        (actual - golden).abs() <= tol,
+        "{what}: got {actual}, golden {golden} (±{tol})"
+    );
+}
+
+#[test]
+fn golden_fig07_direct_shares() {
+    // Paper: 37/58/53/54. Calibrated reproduction:
+    let golden = [36.684, 58.025, 52.847, 53.944];
+    let e = exp::fig07();
+    let direct = e.frame.numbers("direct_pct").unwrap();
+    for (i, (&actual, &g)) in direct.iter().zip(&golden).enumerate() {
+        assert_close(actual, g, 0.01, &format!("fig07 direct_pct[{i}]"));
+    }
+}
+
+#[test]
+fn golden_fig08_intensities() {
+    let e = exp::fig08();
+    let wi = e.frame.numbers("water_intensity_l_per_kwh").unwrap();
+    let adj = e.frame.numbers("adjusted_water_intensity_l_per_kwh").unwrap();
+    let golden_wi = [9.9466, 8.1164, 6.6330, 9.0420];
+    let golden_adj = [3.4624, 1.0620, 3.6718, 0.9628];
+    for i in 0..4 {
+        assert_close(wi[i], golden_wi[i], 0.001, &format!("fig08 wi[{i}]"));
+        assert_close(adj[i], golden_adj[i], 0.001, &format!("fig08 adjusted[{i}]"));
+    }
+}
+
+#[test]
+fn golden_fig03_embodied_totals() {
+    let e = exp::fig03();
+    let totals = e.frame.numbers("total_megaliters").unwrap();
+    // Marconi, Fugaku, Polaris, Frontier — megaliters.
+    let golden = [1.789, 30.946, 1.208, 57.228];
+    for i in 0..4 {
+        assert_close(totals[i], golden[i], 0.002, &format!("fig03 total[{i}]"));
+    }
+    // Polaris GPU share.
+    assert_close(
+        e.frame.numbers("gpu_pct").unwrap()[2],
+        62.750,
+        0.01,
+        "fig03 Polaris GPU %",
+    );
+}
+
+#[test]
+fn golden_fig06_ewf_envelope() {
+    let e = exp::fig06();
+    assert_close(
+        e.frame.numbers("ewf_max").unwrap()[0],
+        10.99,
+        0.02,
+        "Marconi EWF max (paper: 10.59)",
+    );
+    assert_close(
+        e.frame.numbers("ewf_min").unwrap()[2],
+        1.81,
+        0.02,
+        "Polaris EWF min (paper: 1.52)",
+    );
+}

@@ -1,0 +1,165 @@
+//! Cross-crate property-based tests on the paper's model identities.
+
+use proptest::prelude::*;
+use thirstyflops::core::withdrawal::{withdrawal_report, WithdrawalParams};
+use thirstyflops::core::{OperationalBreakdown, RatioGrid, ScarcityAdjustment, WaterIntensity};
+use thirstyflops::grid::{EnergyMix, EnergySource, Scenario};
+use thirstyflops::scheduler::StartTimeOptimizer;
+use thirstyflops::timeseries::HourlySeries;
+use thirstyflops::units::{
+    Fraction, KilowattHours, Liters, LitersPerKilowattHour, Pue, WaterScarcityIndex,
+};
+use thirstyflops::weather::stull;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eq. 1/6/7: totals decompose additively and scale linearly in energy.
+    #[test]
+    fn operational_linear_in_energy(e in 1.0f64..1e7, wue in 0.0f64..10.0,
+                                    pue in 1.0f64..2.0, ewf in 0.0f64..20.0, k in 1.0f64..10.0) {
+        let b1 = OperationalBreakdown::from_totals(
+            KilowattHours::new(e), LitersPerKilowattHour::new(wue),
+            Pue::new(pue).unwrap(), LitersPerKilowattHour::new(ewf));
+        let b2 = OperationalBreakdown::from_totals(
+            KilowattHours::new(e * k), LitersPerKilowattHour::new(wue),
+            Pue::new(pue).unwrap(), LitersPerKilowattHour::new(ewf));
+        prop_assert!((b2.total().value() - k * b1.total().value()).abs() < 1e-6 * b2.total().value().max(1.0));
+        prop_assert!((b1.direct + b1.indirect - b1.total()).value().abs() < 1e-9);
+    }
+
+    /// Eq. 8: WI decomposition matches the direct/indirect split of Eq. 6/7.
+    #[test]
+    fn intensity_consistent_with_operational(e in 1.0f64..1e6, wue in 0.01f64..10.0,
+                                             pue in 1.0f64..2.0, ewf in 0.01f64..20.0) {
+        let wi = WaterIntensity::new(
+            LitersPerKilowattHour::new(wue), Pue::new(pue).unwrap(),
+            LitersPerKilowattHour::new(ewf));
+        let b = OperationalBreakdown::from_totals(
+            KilowattHours::new(e), LitersPerKilowattHour::new(wue),
+            Pue::new(pue).unwrap(), LitersPerKilowattHour::new(ewf));
+        let via_wi = e * wi.total().value();
+        prop_assert!((via_wi - b.total().value()).abs() < 1e-6 * via_wi.max(1.0));
+        // Share identity.
+        let direct_share = wi.direct.value() / wi.total().value();
+        prop_assert!((b.direct_share().value() - direct_share).abs() < 1e-9);
+    }
+
+    /// Eq. 9 with equal indices reduces the split form to the uniform form.
+    #[test]
+    fn split_wsi_reduces_to_uniform(wue in 0.0f64..10.0, pue in 1.0f64..2.0,
+                                    ewf in 0.0f64..20.0, wsi in 0.0f64..100.0) {
+        let wi = WaterIntensity::new(
+            LitersPerKilowattHour::new(wue), Pue::new(pue).unwrap(),
+            LitersPerKilowattHour::new(ewf));
+        let w = WaterScarcityIndex::new(wsi).unwrap();
+        let split = ScarcityAdjustment::uniform(w).adjust(wi).value();
+        let uniform = ScarcityAdjustment::adjust_uniform(wi, w).value();
+        prop_assert!((split - uniform).abs() < 1e-9 * split.max(1.0));
+    }
+
+    /// Mix EWF and CI always lie within the convex hull of the component
+    /// medians.
+    #[test]
+    fn mix_factors_in_hull(a in 0.01f64..1.0, b in 0.01f64..1.0, c in 0.01f64..1.0) {
+        let total = a + b + c;
+        let mix = EnergyMix::new(&[
+            (EnergySource::Hydro, a / total),
+            (EnergySource::Gas, b / total),
+            (EnergySource::Nuclear, c / total),
+        ]).unwrap();
+        let ewfs = [EnergySource::Hydro.ewf().value(), EnergySource::Gas.ewf().value(),
+                    EnergySource::Nuclear.ewf().value()];
+        let lo = ewfs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ewfs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(mix.ewf().value() >= lo - 1e-9 && mix.ewf().value() <= hi + 1e-9);
+        let cis = [EnergySource::Hydro.carbon_intensity().value(),
+                   EnergySource::Gas.carbon_intensity().value(),
+                   EnergySource::Nuclear.carbon_intensity().value()];
+        let clo = cis.iter().cloned().fold(f64::INFINITY, f64::min);
+        let chi = cis.iter().cloned().fold(0.0, f64::max);
+        let ci = mix.carbon_intensity().value();
+        prop_assert!(ci >= clo - 1e-9 && ci <= chi + 1e-9);
+    }
+
+    /// Scenario savings have the right sign structure for any current mix:
+    /// coal never beats nuclear on carbon; hydro never beats nuclear on
+    /// water.
+    #[test]
+    fn scenario_orderings(ewf in 0.1f64..12.0, ci in 50.0f64..800.0) {
+        let cur_e = LitersPerKilowattHour::new(ewf);
+        let cur_c = thirstyflops::units::GramsCo2PerKwh::new(ci);
+        prop_assert!(Scenario::AllCoal.carbon_intensity(cur_c).value()
+            > Scenario::AllNuclear.carbon_intensity(cur_c).value());
+        prop_assert!(Scenario::WaterIntensiveRenewable.ewf(cur_e).value()
+            > Scenario::AllNuclear.ewf(cur_e).value());
+        prop_assert!(Scenario::OtherRenewable.ewf(cur_e).value()
+            < Scenario::AllNuclear.ewf(cur_e).value());
+    }
+
+    /// Stull wet bulb never exceeds dry bulb by more than the regression
+    /// error. The published fit degrades toward the cold/dry corner of
+    /// its envelope (Stull 2011 Fig. 3 shows the valid region shrinking
+    /// below 0 °C), so the tolerance widens there.
+    #[test]
+    fn wet_bulb_bounded(t in -20.0f64..50.0, rh in 5.0f64..99.0) {
+        let tw = stull::wet_bulb_unchecked(t, rh).value();
+        let tolerance = if t < 5.0 { 2.5 } else { 1.2 };
+        prop_assert!(tw <= t + tolerance, "t={t} rh={rh} tw={tw}");
+        prop_assert!(tw >= t - 30.0);
+        prop_assert!(tw.is_finite());
+    }
+
+    /// The start-time optimizer's best-for-water really is the candidate
+    /// with the minimal scanned water impact.
+    #[test]
+    fn starttime_optimality(seed in 0u64..1000, duration in 1usize..48) {
+        let wi = HourlySeries::from_fn(|h| {
+            let x = (h as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(seed);
+            2.0 + ((x >> 40) as f64 / 16_777_216.0) * 6.0
+        });
+        let ci = HourlySeries::constant(300.0);
+        let opt = StartTimeOptimizer::new(wi, ci, Pue::new(1.1).unwrap());
+        let candidates: Vec<usize> = (0..12).map(|i| (seed as usize * 31 + i * 700) % 8000).collect();
+        let impacts = opt.evaluate(&candidates, duration, KilowattHours::new(100.0)).unwrap();
+        let best = StartTimeOptimizer::best_for_water(&impacts);
+        for i in &impacts {
+            prop_assert!(best.water.value() <= i.water.value() + 1e-9);
+        }
+    }
+
+    /// Withdrawal is always ≥ 0, ≥ consumption when reuse is zero, and
+    /// monotone in the reuse rate.
+    #[test]
+    fn withdrawal_monotone_in_reuse(cons in 0.0f64..1e9, disc in 0.0f64..1e9,
+                                    rho1 in 0.0f64..1.0, rho2 in 0.0f64..1.0) {
+        let (lo, hi) = if rho1 <= rho2 { (rho1, rho2) } else { (rho2, rho1) };
+        let base = WithdrawalParams {
+            actual_discharge: Liters::new(disc),
+            outfall_factor: 1.0,
+            pollutant_factors: vec![1.0],
+            reuse_rate: Fraction::new(lo).unwrap(),
+            potable_fraction: Fraction::new(0.5).unwrap(),
+            s_potable: 0.5,
+            s_non_potable: 0.5,
+        };
+        let mut more_reuse = base.clone();
+        more_reuse.reuse_rate = Fraction::new(hi).unwrap();
+        let a = withdrawal_report(Liters::new(cons), &base).unwrap();
+        let b = withdrawal_report(Liters::new(cons), &more_reuse).unwrap();
+        prop_assert!(a.withdrawal.value() >= b.withdrawal.value() - 1e-9);
+        prop_assert!(b.withdrawal.value() >= 0.0);
+        let no_reuse = WithdrawalParams { reuse_rate: Fraction::ZERO, ..base };
+        let c = withdrawal_report(Liters::new(cons), &no_reuse).unwrap();
+        prop_assert!(c.withdrawal.value() >= cons - 1e-9);
+    }
+
+    /// Fig. 4 ratio grids: smaller operational water never shrinks the
+    /// embodied-dominant region.
+    #[test]
+    fn ratio_grid_monotone_in_operational(emb in 1e5f64..1e8, op1 in 1e5f64..1e9, k in 1.1f64..10.0) {
+        let big = RatioGrid::sweep(Liters::new(emb), Liters::new(op1 * k), 5.0, 12).unwrap();
+        let small = RatioGrid::sweep(Liters::new(emb), Liters::new(op1), 5.0, 12).unwrap();
+        prop_assert!(small.embodied_dominant_fraction() >= big.embodied_dominant_fraction());
+    }
+}

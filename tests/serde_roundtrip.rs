@@ -1,0 +1,98 @@
+//! Serde round-trip tests: every public data type that claims
+//! `Serialize + Deserialize` must survive JSON round-trips bit-exactly —
+//! these types are the tool's interchange surface (reports, specs,
+//! frames, experiment dumps).
+
+use thirstyflops::catalog::{SystemId, SystemSpec};
+use thirstyflops::core::{AnnualReport, FootprintModel};
+use thirstyflops::grid::{EnergyMix, EnergySource, PlantFleet, PowerPlant};
+use thirstyflops::timeseries::{Frame, HourlySeries, MonthlySeries};
+use thirstyflops::units::{Fraction, Liters, Pue};
+use thirstyflops::workload::{Job, TraceConfig};
+
+fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(
+    value: &T,
+) {
+    let json = serde_json::to_string(value).expect("serializes");
+    let back: T = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn units_round_trip_transparently() {
+    roundtrip(&Liters::new(123.456));
+    roundtrip(&Pue::new(1.25).unwrap());
+    roundtrip(&Fraction::new(0.37).unwrap());
+    // Transparent repr: a bare number, not an object.
+    assert_eq!(serde_json::to_string(&Liters::new(2.0)).unwrap(), "2.0");
+}
+
+#[test]
+fn system_specs_round_trip() {
+    for id in SystemId::ALL {
+        roundtrip(&SystemSpec::reference(id));
+    }
+}
+
+#[test]
+fn energy_mix_and_fleet_round_trip() {
+    let mix = EnergyMix::new(&[
+        (EnergySource::Hydro, 0.25),
+        (EnergySource::Gas, 0.5),
+        (EnergySource::Nuclear, 0.25),
+    ])
+    .unwrap();
+    roundtrip(&mix);
+    let fleet = PlantFleet::new(vec![
+        PowerPlant::new("A", EnergySource::Nuclear, 0.6, 0.2).unwrap(),
+        PowerPlant::new("B", EnergySource::Gas, 0.4, 0.5).unwrap(),
+    ])
+    .unwrap();
+    roundtrip(&fleet);
+}
+
+#[test]
+fn annual_report_round_trips() {
+    let report: AnnualReport = FootprintModel::reference(SystemId::Polaris).annual_report(1);
+    roundtrip(&report);
+}
+
+#[test]
+fn series_and_frames_round_trip() {
+    let hourly = HourlySeries::from_fn(|h| (h % 13) as f64 * 0.5);
+    roundtrip(&hourly);
+    let monthly = MonthlySeries::from_fn(|m| m.number() as f64);
+    roundtrip(&monthly);
+    let mut frame = Frame::new();
+    frame
+        .push_text("k", vec!["a".into(), "b".into()])
+        .unwrap();
+    frame.push_number("v", vec![1.0, 2.5]).unwrap();
+    roundtrip(&frame);
+}
+
+#[test]
+fn workload_types_round_trip() {
+    roundtrip(&Job {
+        id: 7,
+        submit_hour: 100,
+        nodes: 32,
+        duration_hours: 6,
+    });
+    roundtrip(&TraceConfig {
+        cluster_nodes: 512,
+        target_utilization: 0.8,
+        mean_duration_hours: 6.0,
+        mean_width_fraction: 0.02,
+        seed: 42,
+    });
+}
+
+#[test]
+fn experiment_json_is_stable_within_a_run() {
+    // The JSON dump of an experiment is deterministic (drives --json).
+    let a = serde_json::to_string(&thirstyflops::experiments::table01()).unwrap();
+    let b = serde_json::to_string(&thirstyflops::experiments::table01()).unwrap();
+    assert_eq!(a, b);
+    assert!(a.contains("Marconi100"));
+}
