@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI gate for the ThirstyFLOPS workspace. Run from the repo root.
+#
+#   ./ci.sh          # full gate: fmt, clippy, release build, tests, docs
+#   ./ci.sh quick    # skip the release build (fastest signal)
+#
+# The same commands gate merges; keep them green.
+set -euo pipefail
+
+quick="${1:-}"
+
+step() { printf '\n== %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$quick" != "quick" ]]; then
+  step "cargo build --release"
+  cargo build --release
+fi
+
+step "cargo test -q --workspace"
+cargo test -q --workspace
+
+step "cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+step "OK"

@@ -96,7 +96,9 @@ fn bench_scarcity_form(c: &mut Criterion) {
     };
     let uniform = WaterScarcityIndex::new(0.55).unwrap();
     let mut group = c.benchmark_group("scarcity_form");
-    group.bench_function("split_wsi", |b| b.iter(|| black_box(split.adjust(black_box(wi)))));
+    group.bench_function("split_wsi", |b| {
+        b.iter(|| black_box(split.adjust(black_box(wi))))
+    });
     group.bench_function("uniform_wsi", |b| {
         b.iter(|| black_box(ScarcityAdjustment::adjust_uniform(black_box(wi), uniform)))
     });

@@ -64,11 +64,7 @@ fn bench_annual_report(c: &mut Criterion) {
 
 fn bench_ratio_grid(c: &mut Criterion) {
     c.bench_function("fig04_ratio_grid_64x64", |b| {
-        b.iter(|| {
-            black_box(
-                RatioGrid::sweep(Liters::new(5e7), Liters::new(1e9), 5.0, 64).unwrap(),
-            )
-        })
+        b.iter(|| black_box(RatioGrid::sweep(Liters::new(5e7), Liters::new(1e9), 5.0, 64).unwrap()))
     });
 }
 

@@ -13,9 +13,7 @@ macro_rules! artifact_bench {
         fn $fn_name(c: &mut Criterion) {
             // Warm the shared context so the first sample isn't an outlier.
             exp::context::paper_years();
-            c.bench_function(stringify!($exp), |b| {
-                b.iter(|| black_box(exp::$exp()))
-            });
+            c.bench_function(stringify!($exp), |b| b.iter(|| black_box(exp::$exp())));
         }
     };
 }

@@ -6,10 +6,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use thirstyflops_bench::small_system_year;
 use thirstyflops_grid::EnergySource;
+use thirstyflops_scheduler::capping::SourceOffer;
 use thirstyflops_scheduler::{
     GeoBalancer, MultiObjective, Policy, SiteSeries, StartTimeOptimizer, WaterCapPlanner,
 };
-use thirstyflops_scheduler::capping::SourceOffer;
 use thirstyflops_units::{KilowattHours, Liters, LitersPerKilowattHour, Pue};
 use thirstyflops_workload::{ClusterSim, TraceConfig, TraceGenerator};
 
@@ -59,12 +59,30 @@ fn bench_geo(c: &mut Criterion) {
 fn bench_capping(c: &mut Criterion) {
     let planner = WaterCapPlanner::new(Pue::new(1.2).unwrap());
     let offers = vec![
-        SourceOffer { source: EnergySource::Hydro, capacity_kwh: 1000.0 },
-        SourceOffer { source: EnergySource::Nuclear, capacity_kwh: 1000.0 },
-        SourceOffer { source: EnergySource::Gas, capacity_kwh: 1000.0 },
-        SourceOffer { source: EnergySource::Wind, capacity_kwh: 200.0 },
-        SourceOffer { source: EnergySource::Coal, capacity_kwh: 800.0 },
-        SourceOffer { source: EnergySource::Solar, capacity_kwh: 300.0 },
+        SourceOffer {
+            source: EnergySource::Hydro,
+            capacity_kwh: 1000.0,
+        },
+        SourceOffer {
+            source: EnergySource::Nuclear,
+            capacity_kwh: 1000.0,
+        },
+        SourceOffer {
+            source: EnergySource::Gas,
+            capacity_kwh: 1000.0,
+        },
+        SourceOffer {
+            source: EnergySource::Wind,
+            capacity_kwh: 200.0,
+        },
+        SourceOffer {
+            source: EnergySource::Coal,
+            capacity_kwh: 800.0,
+        },
+        SourceOffer {
+            source: EnergySource::Solar,
+            capacity_kwh: 300.0,
+        },
     ];
     c.bench_function("water_cap_dispatch", |b| {
         b.iter(|| {
@@ -102,5 +120,11 @@ fn bench_trace_and_cluster(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(sched, bench_starttime, bench_geo, bench_capping, bench_trace_and_cluster);
+criterion_group!(
+    sched,
+    bench_starttime,
+    bench_geo,
+    bench_capping,
+    bench_trace_and_cluster
+);
 criterion_main!(sched);

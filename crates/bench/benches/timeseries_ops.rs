@@ -60,5 +60,11 @@ fn bench_window(c: &mut Criterion) {
     });
 }
 
-criterion_group!(ts, bench_pointwise, bench_resample, bench_stats, bench_window);
+criterion_group!(
+    ts,
+    bench_pointwise,
+    bench_resample,
+    bench_stats,
+    bench_window
+);
 criterion_main!(ts);

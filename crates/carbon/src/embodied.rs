@@ -115,8 +115,7 @@ mod tests {
         );
         // Carbon: SSD > HDD.
         assert!(
-            capacity_carbon(Medium::Ssd, cap).value()
-                > capacity_carbon(Medium::Hdd, cap).value()
+            capacity_carbon(Medium::Ssd, cap).value() > capacity_carbon(Medium::Hdd, cap).value()
         );
     }
 

@@ -15,7 +15,9 @@ use crate::hardware::{FabSite, NodeConfig, ProcessorSpec, StorageConfig};
 use thirstyflops_grid::EnergySource;
 
 /// Identifier of a cataloged system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 #[allow(missing_docs)]
 pub enum SystemId {
     Marconi,
@@ -136,7 +138,13 @@ fn marconi() -> SystemSpec {
         nodes: 980,
         node: NodeConfig {
             // IBM POWER9 (AC922): 695 mm², GlobalFoundries 14 nm.
-            cpu: ProcessorSpec::new("IBM POWER9 AC922", 695.0, 14, FabSite::GlobalFoundriesUs, 190.0),
+            cpu: ProcessorSpec::new(
+                "IBM POWER9 AC922",
+                695.0,
+                14,
+                FabSite::GlobalFoundriesUs,
+                190.0,
+            ),
             cpus_per_node: 2,
             // NVIDIA V100 SXM2: 815 mm², TSMC 12 nm.
             gpu: Some(ProcessorSpec::with_yield(
@@ -311,7 +319,13 @@ fn aurora() -> SystemSpec {
         nodes: 10_624,
         node: NodeConfig {
             // Intel Xeon Max 9470 (Sapphire Rapids HBM): 4 tiles ≈ 1600 mm².
-            cpu: ProcessorSpec::new("Intel Xeon Max 9470", 1600.0, 10, FabSite::IntelOregon, 350.0),
+            cpu: ProcessorSpec::new(
+                "Intel Xeon Max 9470",
+                1600.0,
+                10,
+                FabSite::IntelOregon,
+                350.0,
+            ),
             cpus_per_node: 2,
             // Intel Data Center GPU Max 1550 (Ponte Vecchio): compute
             // tiles on TSMC N5, ~1280 mm² aggregate.
@@ -429,9 +443,13 @@ mod tests {
             .peak_power()
             .value();
         assert!((15.0..40.0).contains(&frontier), "Frontier {frontier} MW");
-        let polaris = SystemSpec::reference(SystemId::Polaris).peak_power().value();
+        let polaris = SystemSpec::reference(SystemId::Polaris)
+            .peak_power()
+            .value();
         assert!((0.5..4.0).contains(&polaris), "Polaris {polaris} MW");
-        let marconi = SystemSpec::reference(SystemId::Marconi).peak_power().value();
+        let marconi = SystemSpec::reference(SystemId::Marconi)
+            .peak_power()
+            .value();
         assert!((1.0..4.0).contains(&marconi), "Marconi {marconi} MW");
     }
 

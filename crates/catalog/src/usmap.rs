@@ -85,32 +85,136 @@ pub struct HpcSite {
 /// The synthetic US TOP500 snapshot used for Fig. 1(c).
 pub fn hpc_snapshot() -> Vec<HpcSite> {
     vec![
-        HpcSite { name: "Frontier", state: "TN", power_mw: 21.1 },
-        HpcSite { name: "Summit", state: "TN", power_mw: 13.0 },
-        HpcSite { name: "Aurora", state: "IL", power_mw: 38.7 },
-        HpcSite { name: "Polaris", state: "IL", power_mw: 1.8 },
-        HpcSite { name: "Theta-legacy", state: "IL", power_mw: 1.7 },
-        HpcSite { name: "El Capitan", state: "CA", power_mw: 29.6 },
-        HpcSite { name: "Sierra", state: "CA", power_mw: 11.0 },
-        HpcSite { name: "Perlmutter", state: "CA", power_mw: 6.0 },
-        HpcSite { name: "Expanse", state: "CA", power_mw: 1.3 },
-        HpcSite { name: "Lassen", state: "CA", power_mw: 2.2 },
-        HpcSite { name: "Frontera", state: "TX", power_mw: 6.0 },
-        HpcSite { name: "Stampede3", state: "TX", power_mw: 4.0 },
-        HpcSite { name: "Vista", state: "TX", power_mw: 1.5 },
-        HpcSite { name: "Trinity-legacy", state: "NM", power_mw: 8.5 },
-        HpcSite { name: "Crossroads", state: "NM", power_mw: 6.0 },
-        HpcSite { name: "Eagle", state: "CO", power_mw: 2.5 },
-        HpcSite { name: "Kestrel", state: "CO", power_mw: 4.0 },
-        HpcSite { name: "Derecho", state: "WY", power_mw: 4.0 },
-        HpcSite { name: "Anvil", state: "IN", power_mw: 1.0 },
-        HpcSite { name: "Bridges-2", state: "PA", power_mw: 1.6 },
-        HpcSite { name: "Sapphire-ARL", state: "MD", power_mw: 2.0 },
-        HpcSite { name: "Narwhal", state: "MS", power_mw: 3.0 },
-        HpcSite { name: "Cascade-lab", state: "WA", power_mw: 1.5 },
-        HpcSite { name: "Delta", state: "IL", power_mw: 1.0 },
-        HpcSite { name: "Hive", state: "GA", power_mw: 0.8 },
-        HpcSite { name: "Osprey", state: "FL", power_mw: 0.7 },
+        HpcSite {
+            name: "Frontier",
+            state: "TN",
+            power_mw: 21.1,
+        },
+        HpcSite {
+            name: "Summit",
+            state: "TN",
+            power_mw: 13.0,
+        },
+        HpcSite {
+            name: "Aurora",
+            state: "IL",
+            power_mw: 38.7,
+        },
+        HpcSite {
+            name: "Polaris",
+            state: "IL",
+            power_mw: 1.8,
+        },
+        HpcSite {
+            name: "Theta-legacy",
+            state: "IL",
+            power_mw: 1.7,
+        },
+        HpcSite {
+            name: "El Capitan",
+            state: "CA",
+            power_mw: 29.6,
+        },
+        HpcSite {
+            name: "Sierra",
+            state: "CA",
+            power_mw: 11.0,
+        },
+        HpcSite {
+            name: "Perlmutter",
+            state: "CA",
+            power_mw: 6.0,
+        },
+        HpcSite {
+            name: "Expanse",
+            state: "CA",
+            power_mw: 1.3,
+        },
+        HpcSite {
+            name: "Lassen",
+            state: "CA",
+            power_mw: 2.2,
+        },
+        HpcSite {
+            name: "Frontera",
+            state: "TX",
+            power_mw: 6.0,
+        },
+        HpcSite {
+            name: "Stampede3",
+            state: "TX",
+            power_mw: 4.0,
+        },
+        HpcSite {
+            name: "Vista",
+            state: "TX",
+            power_mw: 1.5,
+        },
+        HpcSite {
+            name: "Trinity-legacy",
+            state: "NM",
+            power_mw: 8.5,
+        },
+        HpcSite {
+            name: "Crossroads",
+            state: "NM",
+            power_mw: 6.0,
+        },
+        HpcSite {
+            name: "Eagle",
+            state: "CO",
+            power_mw: 2.5,
+        },
+        HpcSite {
+            name: "Kestrel",
+            state: "CO",
+            power_mw: 4.0,
+        },
+        HpcSite {
+            name: "Derecho",
+            state: "WY",
+            power_mw: 4.0,
+        },
+        HpcSite {
+            name: "Anvil",
+            state: "IN",
+            power_mw: 1.0,
+        },
+        HpcSite {
+            name: "Bridges-2",
+            state: "PA",
+            power_mw: 1.6,
+        },
+        HpcSite {
+            name: "Sapphire-ARL",
+            state: "MD",
+            power_mw: 2.0,
+        },
+        HpcSite {
+            name: "Narwhal",
+            state: "MS",
+            power_mw: 3.0,
+        },
+        HpcSite {
+            name: "Cascade-lab",
+            state: "WA",
+            power_mw: 1.5,
+        },
+        HpcSite {
+            name: "Delta",
+            state: "IL",
+            power_mw: 1.0,
+        },
+        HpcSite {
+            name: "Hive",
+            state: "GA",
+            power_mw: 0.8,
+        },
+        HpcSite {
+            name: "Osprey",
+            state: "FL",
+            power_mw: 0.7,
+        },
     ]
 }
 

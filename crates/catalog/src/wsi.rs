@@ -98,10 +98,10 @@ pub fn state_wsi(abbr: &str) -> Option<WaterScarcityIndex> {
 
 /// All 50 state abbreviations + DC.
 pub const STATE_ABBRS: [&str; 51] = [
-    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DC", "DE", "FL", "GA", "HI", "ID", "IL", "IN",
-    "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH",
-    "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT",
-    "VT", "VA", "WA", "WV", "WI", "WY",
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DC", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
+    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM",
+    "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA",
+    "WV", "WI", "WY",
 ];
 
 /// A synthetic county-level WSI field for one state (Fig. 10).
@@ -229,8 +229,16 @@ mod tests {
         let tn = CountyWsiField::generate("TN", 95, 7).unwrap();
         assert!((tn.mean() - 0.28).abs() < 1e-9);
         // Fig. 10: both states show significant internal variation.
-        assert!(il.relative_spread() > 0.3, "IL spread {}", il.relative_spread());
-        assert!(tn.relative_spread() > 0.3, "TN spread {}", tn.relative_spread());
+        assert!(
+            il.relative_spread() > 0.3,
+            "IL spread {}",
+            il.relative_spread()
+        );
+        assert!(
+            tn.relative_spread() > 0.3,
+            "TN spread {}",
+            tn.relative_spread()
+        );
         // All values positive.
         assert!(il.min() > 0.0 && tn.min() > 0.0);
     }

@@ -85,10 +85,7 @@ pub fn attribute_job(year: &SystemYear, claim: &JobClaim) -> Result<JobFootprint
 /// Attributes a batch of jobs; the sum of attributions equals the
 /// footprint of their combined load (attribution is conservative — no
 /// water is created or lost by splitting it across jobs).
-pub fn attribute_jobs(
-    year: &SystemYear,
-    claims: &[JobClaim],
-) -> Result<Vec<JobFootprint>, String> {
+pub fn attribute_jobs(year: &SystemYear, claims: &[JobClaim]) -> Result<Vec<JobFootprint>, String> {
     claims.iter().map(|c| attribute_job(year, c)).collect()
 }
 
@@ -125,8 +122,16 @@ mod tests {
         // Two half-power jobs over the same hours attribute exactly the
         // same water as one full-power job.
         let y = year();
-        let whole = JobClaim { start_hour: 100, duration_hours: 5, mean_power_kw: 200.0 };
-        let half = JobClaim { start_hour: 100, duration_hours: 5, mean_power_kw: 100.0 };
+        let whole = JobClaim {
+            start_hour: 100,
+            duration_hours: 5,
+            mean_power_kw: 200.0,
+        };
+        let half = JobClaim {
+            start_hour: 100,
+            duration_hours: 5,
+            mean_power_kw: 100.0,
+        };
         let w = attribute_job(&y, &whole).unwrap();
         let parts = attribute_jobs(&y, &[half, half]).unwrap();
         let parts_water: f64 = parts.iter().map(|p| p.total_water().value()).sum();
@@ -140,8 +145,16 @@ mod tests {
         // The Fig. 13 effect at attribution granularity: a summer-noon job
         // and a winter-night job with identical energy get different bills.
         let y = year();
-        let summer_noon = JobClaim { start_hour: 190 * 24 + 12, duration_hours: 4, mean_power_kw: 50.0 };
-        let winter_night = JobClaim { start_hour: 20 * 24 + 2, duration_hours: 4, mean_power_kw: 50.0 };
+        let summer_noon = JobClaim {
+            start_hour: 190 * 24 + 12,
+            duration_hours: 4,
+            mean_power_kw: 50.0,
+        };
+        let winter_night = JobClaim {
+            start_hour: 20 * 24 + 2,
+            duration_hours: 4,
+            mean_power_kw: 50.0,
+        };
         let a = attribute_job(&y, &summer_noon).unwrap();
         let b = attribute_job(&y, &winter_night).unwrap();
         assert_eq!(a.energy, b.energy);
@@ -162,8 +175,32 @@ mod tests {
             mean_power_kw: 10.0,
         };
         assert!(attribute_job(&y, &wrap).is_ok());
-        assert!(attribute_job(&y, &JobClaim { start_hour: 0, duration_hours: 0, mean_power_kw: 1.0 }).is_err());
-        assert!(attribute_job(&y, &JobClaim { start_hour: HOURS_PER_YEAR, duration_hours: 1, mean_power_kw: 1.0 }).is_err());
-        assert!(attribute_job(&y, &JobClaim { start_hour: 0, duration_hours: 1, mean_power_kw: -5.0 }).is_err());
+        assert!(attribute_job(
+            &y,
+            &JobClaim {
+                start_hour: 0,
+                duration_hours: 0,
+                mean_power_kw: 1.0
+            }
+        )
+        .is_err());
+        assert!(attribute_job(
+            &y,
+            &JobClaim {
+                start_hour: HOURS_PER_YEAR,
+                duration_hours: 1,
+                mean_power_kw: 1.0
+            }
+        )
+        .is_err());
+        assert!(attribute_job(
+            &y,
+            &JobClaim {
+                start_hour: 0,
+                duration_hours: 1,
+                mean_power_kw: -5.0
+            }
+        )
+        .is_err());
     }
 }

@@ -59,8 +59,7 @@ impl EmbodiedBreakdown {
         let dram = capacity_water(Medium::Dram, Gigabytes::new(spec.node.dram_gb * nodes));
         let hdd = capacity_water(Medium::Hdd, Petabytes::new(spec.storage.hdd_pb).into());
         let ssd = capacity_water(Medium::Ssd, Petabytes::new(spec.storage.ssd_pb).into());
-        let packaging =
-            Liters::new(hardware::W_IC_LITERS * spec.node.ics_per_node as f64 * nodes);
+        let packaging = Liters::new(hardware::W_IC_LITERS * spec.node.ics_per_node as f64 * nodes);
         Self {
             cpu,
             gpu,
@@ -185,7 +184,11 @@ mod tests {
     fn shares_sum_to_one_and_total_adds_packaging() {
         for id in SystemId::ALL {
             let b = EmbodiedBreakdown::for_system(&SystemSpec::reference(id));
-            let sum: f64 = b.five_component_shares().iter().map(|(_, f)| f.value()).sum();
+            let sum: f64 = b
+                .five_component_shares()
+                .iter()
+                .map(|(_, f)| f.value())
+                .sum();
             assert!((sum - 1.0).abs() < 1e-9, "{id}");
             assert!(b.total().value() >= (b.processors() + b.memory_and_storage()).value());
             assert!(b.packaging.value() > 0.0);

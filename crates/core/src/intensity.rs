@@ -32,11 +32,7 @@ impl WaterIntensity {
 }
 
 /// Hourly WI series from hourly WUE/EWF and a facility PUE.
-pub fn hourly_water_intensity(
-    wue: &HourlySeries,
-    pue: Pue,
-    ewf: &HourlySeries,
-) -> HourlySeries {
+pub fn hourly_water_intensity(wue: &HourlySeries, pue: Pue, ewf: &HourlySeries) -> HourlySeries {
     wue.add(&ewf.scale(pue.value()))
 }
 
@@ -46,11 +42,7 @@ pub fn hourly_indirect_intensity(pue: Pue, ewf: &HourlySeries) -> HourlySeries {
 }
 
 /// Monthly mean WI — the Fig. 12 left column.
-pub fn monthly_water_intensity(
-    wue: &HourlySeries,
-    pue: Pue,
-    ewf: &HourlySeries,
-) -> MonthlySeries {
+pub fn monthly_water_intensity(wue: &HourlySeries, pue: Pue, ewf: &HourlySeries) -> MonthlySeries {
     hourly_water_intensity(wue, pue, ewf).monthly_mean()
 }
 

@@ -140,10 +140,10 @@ mod tests {
     fn projection_identities() {
         let m = model();
         let r = m.project(5.0).unwrap();
-        assert!((r.operational.value()
-            - 5.0 * m.annual().operational_total().value())
-        .abs()
-            < 1e-6 * r.operational.value());
+        assert!(
+            (r.operational.value() - 5.0 * m.annual().operational_total().value()).abs()
+                < 1e-6 * r.operational.value()
+        );
         assert_eq!(r.upgrade_embodied, Liters::ZERO);
         assert!((r.total() - (r.embodied + r.operational)).value().abs() < 1e-9);
         // Amortized intensity exceeds the operational-only intensity.
@@ -165,7 +165,8 @@ mod tests {
     fn upgrades_add_water() {
         let m = model();
         let spec = FootprintModel::reference(SystemId::Polaris).spec().clone();
-        let h100ish = ProcessorSpec::with_yield("Next-gen GPU", 814.0, 4, FabSite::TsmcTaiwan, 350.0, 0.7);
+        let h100ish =
+            ProcessorSpec::with_yield("Next-gen GPU", 814.0, 4, FabSite::TsmcTaiwan, 350.0, 0.7);
         let upgrade = gpu_upgrade_water(&spec, &h100ish);
         assert!(upgrade.value() > 1e5, "upgrade water {upgrade}");
         let with = m.project_with_upgrade(5.0, upgrade).unwrap();

@@ -140,9 +140,7 @@ mod tests {
         let pue = Pue::new(1.4).unwrap();
         let monthly = monthly_operational_water(&energy, &wue, pue, &ewf);
         let b = OperationalBreakdown::from_series(&energy, &wue, pue, &ewf);
-        assert!(
-            (monthly.total() - b.total().value()).abs() < 1e-6 * b.total().value()
-        );
+        assert!((monthly.total() - b.total().value()).abs() < 1e-6 * b.total().value());
     }
 
     #[test]

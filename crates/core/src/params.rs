@@ -47,32 +47,240 @@ pub fn parameter_table() -> Vec<ParamRow> {
     use ParamGroup::*;
     use ParamKind::*;
     vec![
-        ParamRow { symbol: "N_IC", description: "Number of ICs (CPU/GPU/memory/storage)", kind: Input, group: Embodied, range: "9-26 (vary across hardware)", source: "hardware design", unit: "-" },
-        ParamRow { symbol: "W_IC", description: "Packaging water overhead per IC", kind: Derived, group: Embodied, range: "0.6", source: "manufacturer (SPIL)", unit: "L" },
-        ParamRow { symbol: "A_die", description: "Die size of processors (CPU/GPU)", kind: Input, group: Embodied, range: "vary across hardware", source: "CPU/GPU design (WikiChip/TechPowerUp)", unit: "mm^2" },
-        ParamRow { symbol: "Yield", description: "Fab yield rate", kind: Input, group: Embodied, range: "0-1 (0.875 default)", source: "manufacturer", unit: "-" },
-        ParamRow { symbol: "Location", description: "Manufacturing location of hardware", kind: Input, group: Embodied, range: "TSMC or GlobalFoundries", source: "manufacturer", unit: "-" },
-        ParamRow { symbol: "Process Node", description: "Semiconductor process of CPU/GPU", kind: Input, group: Embodied, range: "3-28 (vary across hardware)", source: "CPU/GPU design", unit: "nm" },
-        ParamRow { symbol: "UPW", description: "Ultrapure water during manufacturing", kind: Derived, group: Embodied, range: "5.9-14.2 (vary across process node)", source: "manufacturer (IEDM DTCO)", unit: "L" },
-        ParamRow { symbol: "PCW", description: "Process cooling water during manufacturing", kind: Derived, group: Embodied, range: "vary across location and node", source: "manufacturer", unit: "L" },
-        ParamRow { symbol: "WPA", description: "Water for fab power generation", kind: Derived, group: Embodied, range: "vary across location and node", source: "manufacturer", unit: "L" },
-        ParamRow { symbol: "WPC", description: "Water per capacity of DRAM/HDD/SSD", kind: Derived, group: Embodied, range: "0.8 (DRAM), 0.033 (HDD), 0.022 (SSD)", source: "manufacturer (SK hynix, Seagate)", unit: "L/GB" },
-        ParamRow { symbol: "Capacity", description: "Capacity of DRAM/HDD/SSD", kind: Input, group: Embodied, range: "vary across hardware", source: "manufacturer", unit: "GB" },
-        ParamRow { symbol: "E", description: "Energy consumption", kind: Input, group: Operational, range: "vary across applications/hardware", source: "hardware profiling / job logs", unit: "kWh" },
-        ParamRow { symbol: "T_wb", description: "Site wet-bulb temperature", kind: Input, group: Operational, range: "vary across HPC locations", source: "weather report", unit: "degC" },
-        ParamRow { symbol: "WUE", description: "Water usage effectiveness", kind: Derived, group: Operational, range: ">0.05", source: "wet-bulb temperature", unit: "L/kWh" },
-        ParamRow { symbol: "PUE", description: "Power usage effectiveness", kind: Input, group: Operational, range: ">=1 (Marconi 1.25, Fugaku 1.4, Polaris 1.65, Frontier 1.05)", source: "HPC report", unit: "-" },
-        ParamRow { symbol: "mix%", description: "Percentage energy mix usage", kind: Input, group: Operational, range: "0-100", source: "power grid (Electricity Maps)", unit: "%" },
-        ParamRow { symbol: "EWF_energy", description: "Energy water factor of sources", kind: Derived, group: Operational, range: "1-17", source: "environment report (NREL/WRI)", unit: "L/kWh" },
-        ParamRow { symbol: "EWF", description: "Energy water factor of the HPC system", kind: Derived, group: Operational, range: "vary across locations", source: "mix% and EWF_energy", unit: "L/kWh" },
-        ParamRow { symbol: "WSI_direct", description: "Direct water scarcity index", kind: Input, group: Operational, range: "0.1-100", source: "WSI report (AWARE)", unit: "-" },
-        ParamRow { symbol: "WSI_indirect", description: "Indirect water scarcity index", kind: Input, group: Operational, range: "0.1-100", source: "WSI report and plant locations", unit: "-" },
-        ParamRow { symbol: "W_discharge", description: "Reported discharge water", kind: Input, group: Withdrawal, range: "vary across systems", source: "facility report", unit: "L" },
-        ParamRow { symbol: "L_k", description: "Outfall location factor", kind: Input, group: Withdrawal, range: "vary across HPC locations", source: "facility report", unit: "-" },
-        ParamRow { symbol: "P_j", description: "Pollutant hazard factor", kind: Input, group: Withdrawal, range: "vary across pollutants", source: "discharge assay", unit: "-" },
-        ParamRow { symbol: "rho", description: "Water reuse rate", kind: Input, group: Withdrawal, range: "0%-100%", source: "facility report", unit: "%" },
-        ParamRow { symbol: "beta", description: "Potable/non-potable split", kind: Input, group: Withdrawal, range: "0%-100%", source: "facility report", unit: "%" },
-        ParamRow { symbol: "S", description: "Source scarcity factor (potable/non-potable)", kind: Input, group: Withdrawal, range: "vary across water sources", source: "WSI report", unit: "-" },
+        ParamRow {
+            symbol: "N_IC",
+            description: "Number of ICs (CPU/GPU/memory/storage)",
+            kind: Input,
+            group: Embodied,
+            range: "9-26 (vary across hardware)",
+            source: "hardware design",
+            unit: "-",
+        },
+        ParamRow {
+            symbol: "W_IC",
+            description: "Packaging water overhead per IC",
+            kind: Derived,
+            group: Embodied,
+            range: "0.6",
+            source: "manufacturer (SPIL)",
+            unit: "L",
+        },
+        ParamRow {
+            symbol: "A_die",
+            description: "Die size of processors (CPU/GPU)",
+            kind: Input,
+            group: Embodied,
+            range: "vary across hardware",
+            source: "CPU/GPU design (WikiChip/TechPowerUp)",
+            unit: "mm^2",
+        },
+        ParamRow {
+            symbol: "Yield",
+            description: "Fab yield rate",
+            kind: Input,
+            group: Embodied,
+            range: "0-1 (0.875 default)",
+            source: "manufacturer",
+            unit: "-",
+        },
+        ParamRow {
+            symbol: "Location",
+            description: "Manufacturing location of hardware",
+            kind: Input,
+            group: Embodied,
+            range: "TSMC or GlobalFoundries",
+            source: "manufacturer",
+            unit: "-",
+        },
+        ParamRow {
+            symbol: "Process Node",
+            description: "Semiconductor process of CPU/GPU",
+            kind: Input,
+            group: Embodied,
+            range: "3-28 (vary across hardware)",
+            source: "CPU/GPU design",
+            unit: "nm",
+        },
+        ParamRow {
+            symbol: "UPW",
+            description: "Ultrapure water during manufacturing",
+            kind: Derived,
+            group: Embodied,
+            range: "5.9-14.2 (vary across process node)",
+            source: "manufacturer (IEDM DTCO)",
+            unit: "L",
+        },
+        ParamRow {
+            symbol: "PCW",
+            description: "Process cooling water during manufacturing",
+            kind: Derived,
+            group: Embodied,
+            range: "vary across location and node",
+            source: "manufacturer",
+            unit: "L",
+        },
+        ParamRow {
+            symbol: "WPA",
+            description: "Water for fab power generation",
+            kind: Derived,
+            group: Embodied,
+            range: "vary across location and node",
+            source: "manufacturer",
+            unit: "L",
+        },
+        ParamRow {
+            symbol: "WPC",
+            description: "Water per capacity of DRAM/HDD/SSD",
+            kind: Derived,
+            group: Embodied,
+            range: "0.8 (DRAM), 0.033 (HDD), 0.022 (SSD)",
+            source: "manufacturer (SK hynix, Seagate)",
+            unit: "L/GB",
+        },
+        ParamRow {
+            symbol: "Capacity",
+            description: "Capacity of DRAM/HDD/SSD",
+            kind: Input,
+            group: Embodied,
+            range: "vary across hardware",
+            source: "manufacturer",
+            unit: "GB",
+        },
+        ParamRow {
+            symbol: "E",
+            description: "Energy consumption",
+            kind: Input,
+            group: Operational,
+            range: "vary across applications/hardware",
+            source: "hardware profiling / job logs",
+            unit: "kWh",
+        },
+        ParamRow {
+            symbol: "T_wb",
+            description: "Site wet-bulb temperature",
+            kind: Input,
+            group: Operational,
+            range: "vary across HPC locations",
+            source: "weather report",
+            unit: "degC",
+        },
+        ParamRow {
+            symbol: "WUE",
+            description: "Water usage effectiveness",
+            kind: Derived,
+            group: Operational,
+            range: ">0.05",
+            source: "wet-bulb temperature",
+            unit: "L/kWh",
+        },
+        ParamRow {
+            symbol: "PUE",
+            description: "Power usage effectiveness",
+            kind: Input,
+            group: Operational,
+            range: ">=1 (Marconi 1.25, Fugaku 1.4, Polaris 1.65, Frontier 1.05)",
+            source: "HPC report",
+            unit: "-",
+        },
+        ParamRow {
+            symbol: "mix%",
+            description: "Percentage energy mix usage",
+            kind: Input,
+            group: Operational,
+            range: "0-100",
+            source: "power grid (Electricity Maps)",
+            unit: "%",
+        },
+        ParamRow {
+            symbol: "EWF_energy",
+            description: "Energy water factor of sources",
+            kind: Derived,
+            group: Operational,
+            range: "1-17",
+            source: "environment report (NREL/WRI)",
+            unit: "L/kWh",
+        },
+        ParamRow {
+            symbol: "EWF",
+            description: "Energy water factor of the HPC system",
+            kind: Derived,
+            group: Operational,
+            range: "vary across locations",
+            source: "mix% and EWF_energy",
+            unit: "L/kWh",
+        },
+        ParamRow {
+            symbol: "WSI_direct",
+            description: "Direct water scarcity index",
+            kind: Input,
+            group: Operational,
+            range: "0.1-100",
+            source: "WSI report (AWARE)",
+            unit: "-",
+        },
+        ParamRow {
+            symbol: "WSI_indirect",
+            description: "Indirect water scarcity index",
+            kind: Input,
+            group: Operational,
+            range: "0.1-100",
+            source: "WSI report and plant locations",
+            unit: "-",
+        },
+        ParamRow {
+            symbol: "W_discharge",
+            description: "Reported discharge water",
+            kind: Input,
+            group: Withdrawal,
+            range: "vary across systems",
+            source: "facility report",
+            unit: "L",
+        },
+        ParamRow {
+            symbol: "L_k",
+            description: "Outfall location factor",
+            kind: Input,
+            group: Withdrawal,
+            range: "vary across HPC locations",
+            source: "facility report",
+            unit: "-",
+        },
+        ParamRow {
+            symbol: "P_j",
+            description: "Pollutant hazard factor",
+            kind: Input,
+            group: Withdrawal,
+            range: "vary across pollutants",
+            source: "discharge assay",
+            unit: "-",
+        },
+        ParamRow {
+            symbol: "rho",
+            description: "Water reuse rate",
+            kind: Input,
+            group: Withdrawal,
+            range: "0%-100%",
+            source: "facility report",
+            unit: "%",
+        },
+        ParamRow {
+            symbol: "beta",
+            description: "Potable/non-potable split",
+            kind: Input,
+            group: Withdrawal,
+            range: "0%-100%",
+            source: "facility report",
+            unit: "%",
+        },
+        ParamRow {
+            symbol: "S",
+            description: "Source scarcity factor (potable/non-potable)",
+            kind: Input,
+            group: Withdrawal,
+            range: "vary across water sources",
+            source: "WSI report",
+            unit: "-",
+        },
     ]
 }
 
@@ -84,7 +292,11 @@ mod tests {
     fn table_covers_all_groups() {
         let rows = parameter_table();
         assert!(rows.len() >= 20);
-        for group in [ParamGroup::Embodied, ParamGroup::Operational, ParamGroup::Withdrawal] {
+        for group in [
+            ParamGroup::Embodied,
+            ParamGroup::Operational,
+            ParamGroup::Withdrawal,
+        ] {
             assert!(rows.iter().any(|r| r.group == group), "{group:?}");
         }
         // Both kinds present.

@@ -47,10 +47,7 @@ impl ScarcityAdjustment {
 
     /// Adjusted intensity under the uniform Eq. 9 form (for comparison
     /// against the split form).
-    pub fn adjust_uniform(
-        wi: WaterIntensity,
-        wsi: WaterScarcityIndex,
-    ) -> LitersPerKilowattHour {
+    pub fn adjust_uniform(wi: WaterIntensity, wsi: WaterScarcityIndex) -> LitersPerKilowattHour {
         wi.total() * wsi
     }
 }
@@ -89,12 +86,8 @@ mod tests {
         let v = adj.adjust(wi()).value();
         // 3·0.1 + 3·0.9 = 3.0, vs uniform with either index: 0.6 or 5.4.
         assert!((v - 3.0).abs() < 1e-12);
-        assert!(
-            v > ScarcityAdjustment::adjust_uniform(wi(), adj.direct_wsi).value()
-        );
-        assert!(
-            v < ScarcityAdjustment::adjust_uniform(wi(), adj.indirect_wsi).value()
-        );
+        assert!(v > ScarcityAdjustment::adjust_uniform(wi(), adj.direct_wsi).value());
+        assert!(v < ScarcityAdjustment::adjust_uniform(wi(), adj.indirect_wsi).value());
     }
 
     #[test]

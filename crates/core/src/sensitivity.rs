@@ -32,10 +32,22 @@ pub fn operational_elasticities(report: &AnnualReport) -> Vec<Elasticity> {
     let direct = report.direct_share.value();
     let indirect = 1.0 - direct;
     let mut rows = vec![
-        Elasticity { parameter: "E", elasticity: 1.0 },
-        Elasticity { parameter: "WUE", elasticity: direct },
-        Elasticity { parameter: "PUE", elasticity: indirect },
-        Elasticity { parameter: "EWF", elasticity: indirect },
+        Elasticity {
+            parameter: "E",
+            elasticity: 1.0,
+        },
+        Elasticity {
+            parameter: "WUE",
+            elasticity: direct,
+        },
+        Elasticity {
+            parameter: "PUE",
+            elasticity: indirect,
+        },
+        Elasticity {
+            parameter: "EWF",
+            elasticity: indirect,
+        },
     ];
     rows.sort_by(|a, b| b.elasticity.abs().partial_cmp(&a.elasticity.abs()).unwrap());
     rows
@@ -49,12 +61,30 @@ pub fn embodied_elasticities(breakdown: &EmbodiedBreakdown) -> Vec<Elasticity> {
     let share = |v: thirstyflops_units::Liters| v.value() / total;
     let processor_share = share(breakdown.processors());
     let mut rows = vec![
-        Elasticity { parameter: "A_die (UPW+PCW+WPA)", elasticity: processor_share },
-        Elasticity { parameter: "Yield", elasticity: -processor_share },
-        Elasticity { parameter: "WPC_DRAM x Capacity", elasticity: share(breakdown.dram) },
-        Elasticity { parameter: "WPC_HDD x Capacity", elasticity: share(breakdown.hdd) },
-        Elasticity { parameter: "WPC_SSD x Capacity", elasticity: share(breakdown.ssd) },
-        Elasticity { parameter: "W_IC x N_IC", elasticity: share(breakdown.packaging) },
+        Elasticity {
+            parameter: "A_die (UPW+PCW+WPA)",
+            elasticity: processor_share,
+        },
+        Elasticity {
+            parameter: "Yield",
+            elasticity: -processor_share,
+        },
+        Elasticity {
+            parameter: "WPC_DRAM x Capacity",
+            elasticity: share(breakdown.dram),
+        },
+        Elasticity {
+            parameter: "WPC_HDD x Capacity",
+            elasticity: share(breakdown.hdd),
+        },
+        Elasticity {
+            parameter: "WPC_SSD x Capacity",
+            elasticity: share(breakdown.ssd),
+        },
+        Elasticity {
+            parameter: "W_IC x N_IC",
+            elasticity: share(breakdown.packaging),
+        },
     ];
     rows.sort_by(|a, b| b.elasticity.abs().partial_cmp(&a.elasticity.abs()).unwrap());
     rows
@@ -80,7 +110,9 @@ mod tests {
         assert!((sum - (2.0 + indirect)).abs() < 1e-9);
         // Sorted descending by magnitude, E first.
         assert_eq!(rows[0].parameter, "E");
-        assert!(rows.windows(2).all(|w| w[0].elasticity.abs() >= w[1].elasticity.abs()));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].elasticity.abs() >= w[1].elasticity.abs()));
     }
 
     #[test]
@@ -92,12 +124,8 @@ mod tests {
         let pue = Pue::new(1.4).unwrap();
         let ewf = LitersPerKilowattHour::new(2.5);
         let base = OperationalBreakdown::from_totals(e, wue, pue, ewf);
-        let bumped = OperationalBreakdown::from_totals(
-            e,
-            LitersPerKilowattHour::new(3.0 * 1.01),
-            pue,
-            ewf,
-        );
+        let bumped =
+            OperationalBreakdown::from_totals(e, LitersPerKilowattHour::new(3.0 * 1.01), pue, ewf);
         let numerical = (bumped.total().value() / base.total().value() - 1.0) / 0.01;
         let analytic = base.direct_share().value();
         assert!(
@@ -116,7 +144,10 @@ mod tests {
         assert!(top3.contains(&"A_die (UPW+PCW+WPA)"), "{top3:?}");
         assert!(top3.contains(&"WPC_HDD x Capacity"), "{top3:?}");
         // Yield is the mirror of the die term.
-        let die = rows.iter().find(|r| r.parameter.starts_with("A_die")).unwrap();
+        let die = rows
+            .iter()
+            .find(|r| r.parameter.starts_with("A_die"))
+            .unwrap();
         let yld = rows.iter().find(|r| r.parameter == "Yield").unwrap();
         assert!((die.elasticity + yld.elasticity).abs() < 1e-12);
     }

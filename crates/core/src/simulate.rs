@@ -114,7 +114,7 @@ impl SystemYear {
         OperationalBreakdown::from_series(&self.energy, &self.wue, self.spec.pue, &self.ewf)
     }
 
-    /// Exports the hourly telemetry as a [`Frame`] (hour, utilization,
+    /// Exports the hourly telemetry as a [`Frame`](thirstyflops_timeseries::Frame) (hour, utilization,
     /// energy, WUE, EWF, WI, carbon) — the dump downstream plotting
     /// pipelines consume via `Frame::to_csv`.
     pub fn hourly_frame(&self) -> thirstyflops_timeseries::Frame {
@@ -142,7 +142,7 @@ impl SystemYear {
         frame
     }
 
-    /// Exports monthly aggregates as a [`Frame`] (month, energy, water,
+    /// Exports monthly aggregates as a [`Frame`](thirstyflops_timeseries::Frame) (month, energy, water,
     /// mean WUE/EWF/WI/CI) — the Fig. 11/12 input table.
     pub fn monthly_frame(&self) -> thirstyflops_timeseries::Frame {
         use thirstyflops_timeseries::Month;
@@ -162,7 +162,9 @@ impl SystemYear {
         let col = |s: &thirstyflops_timeseries::MonthlySeries| -> Vec<f64> {
             Month::ALL.iter().map(|&m| s.get(m)).collect()
         };
-        frame.push_number("energy_kwh", col(&energy)).expect("12 rows");
+        frame
+            .push_number("energy_kwh", col(&energy))
+            .expect("12 rows");
         frame.push_number("water_l", col(&water)).expect("12 rows");
         frame.push_number("mean_wue", col(&wue)).expect("12 rows");
         frame.push_number("mean_ewf", col(&ewf)).expect("12 rows");
@@ -286,8 +288,7 @@ mod tests {
         // Hourly water sums to the operational total.
         let op = year.operational();
         assert!(
-            (year.hourly_water().total() - op.total().value()).abs()
-                < 1e-6 * op.total().value()
+            (year.hourly_water().total() - op.total().value()).abs() < 1e-6 * op.total().value()
         );
     }
 

@@ -69,12 +69,7 @@ impl RatioGrid {
     /// (ratio ≥ 1) — the "area below the blue line".
     pub fn embodied_dominant_fraction(&self) -> f64 {
         let total = self.mfg_wsi.len() * self.op_wsi.len();
-        let dominant = self
-            .ratios
-            .iter()
-            .flatten()
-            .filter(|&&r| r >= 1.0)
-            .count();
+        let dominant = self.ratios.iter().flatten().filter(|&&r| r >= 1.0).count();
         dominant as f64 / total as f64
     }
 

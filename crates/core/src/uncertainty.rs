@@ -45,7 +45,11 @@ impl Interval {
 
     /// A degenerate (certain) value.
     pub fn exact(v: f64) -> Interval {
-        Interval { lo: v, mid: v, hi: v }
+        Interval {
+            lo: v,
+            mid: v,
+            hi: v,
+        }
     }
 
     /// A band from a relative tolerance: `mid · (1 ± tol)`.
@@ -199,8 +203,10 @@ mod tests {
     fn hydro_heavy_mix_has_huge_ewf_band() {
         // Hydro's (1, 17, 26) range dominates the uncertainty — the paper's
         // observation about reservoir-shape variance made quantitative.
-        let hydro = EnergyMix::new(&[(EnergySource::Hydro, 0.5), (EnergySource::Gas, 0.5)]).unwrap();
-        let nuke = EnergyMix::new(&[(EnergySource::Nuclear, 0.5), (EnergySource::Gas, 0.5)]).unwrap();
+        let hydro =
+            EnergyMix::new(&[(EnergySource::Hydro, 0.5), (EnergySource::Gas, 0.5)]).unwrap();
+        let nuke =
+            EnergyMix::new(&[(EnergySource::Nuclear, 0.5), (EnergySource::Gas, 0.5)]).unwrap();
         let h = mix_ewf_interval(&hydro);
         let n = mix_ewf_interval(&nuke);
         assert!(h.relative_uncertainty() > n.relative_uncertainty());

@@ -41,12 +41,18 @@ impl WithdrawalParams {
             return Err("discharge must be non-negative".into());
         }
         if self.outfall_factor <= 0.0 {
-            return Err(format!("outfall factor must be positive: {}", self.outfall_factor));
+            return Err(format!(
+                "outfall factor must be positive: {}",
+                self.outfall_factor
+            ));
         }
         if self.pollutant_factors.iter().any(|&p| p <= 0.0) {
             return Err("pollutant factors must be positive".into());
         }
-        for (name, s) in [("S_potable", self.s_potable), ("S_non_potable", self.s_non_potable)] {
+        for (name, s) in [
+            ("S_potable", self.s_potable),
+            ("S_non_potable", self.s_non_potable),
+        ] {
             if !(0.0..=1.0).contains(&s) {
                 return Err(format!("{name} must be in [0, 1]: {s}"));
             }
@@ -112,8 +118,7 @@ pub fn withdrawal_report(
     let withdrawal = (consumption + adjusted_discharge - reuse).max(Liters::ZERO);
     let potable = withdrawal * params.potable_fraction.value();
     let non_potable = withdrawal - potable;
-    let scarcity_weighted =
-        potable * params.s_potable + non_potable * params.s_non_potable;
+    let scarcity_weighted = potable * params.s_potable + non_potable * params.s_non_potable;
     Ok(WithdrawalReport {
         adjusted_discharge,
         reuse,

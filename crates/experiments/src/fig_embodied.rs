@@ -45,7 +45,9 @@ pub fn table01() -> Experiment {
         id: "table01",
         title: "Supercomputers used in water footprint analysis",
         frame,
-        notes: vec!["matches the paper's Table 1 systems, locations, processors, and start years".into()],
+        notes: vec![
+            "matches the paper's Table 1 systems, locations, processors, and start years".into(),
+        ],
     }
 }
 
@@ -55,7 +57,10 @@ pub fn table02() -> Experiment {
     let rows = parameter_table();
     let mut frame = Frame::new();
     frame
-        .push_text("parameter", rows.iter().map(|r| r.symbol.to_string()).collect())
+        .push_text(
+            "parameter",
+            rows.iter().map(|r| r.symbol.to_string()).collect(),
+        )
         .unwrap();
     frame
         .push_text(
@@ -81,7 +86,10 @@ pub fn table02() -> Experiment {
         .push_text("range", rows.iter().map(|r| r.range.to_string()).collect())
         .unwrap();
     frame
-        .push_text("source", rows.iter().map(|r| r.source.to_string()).collect())
+        .push_text(
+            "source",
+            rows.iter().map(|r| r.source.to_string()).collect(),
+        )
         .unwrap();
     frame
         .push_text("unit", rows.iter().map(|r| r.unit.to_string()).collect())
@@ -142,13 +150,17 @@ pub fn fig03() -> Experiment {
 /// (mfg WSI × op WSI) sweep.
 pub fn fig04() -> Experiment {
     // Representative embodied footprint: Frontier's.
-    let embodied = EmbodiedBreakdown::for_system(&SystemSpec::reference(SystemId::Frontier)).total();
+    let embodied =
+        EmbodiedBreakdown::for_system(&SystemSpec::reference(SystemId::Frontier)).total();
     // Annual IT energy at a nominal 20 MW average draw.
     let annual_energy_kwh = 20_000.0 * HOURS_PER_YEAR as f64;
     let lifetime_years = 5.0;
 
     // Case (a): high EWF and high WUE; case (b): low EWF and low WUE.
-    let cases = [("a: high EWF+WUE", 4.0, 4.5, 1.05), ("b: low EWF+WUE", 0.8, 0.5, 1.05)];
+    let cases = [
+        ("a: high EWF+WUE", 4.0, 4.5, 1.05),
+        ("b: low EWF+WUE", 0.8, 0.5, 1.05),
+    ];
     let mut labels = Vec::new();
     let mut op_water_ml = Vec::new();
     let mut dominant_frac = Vec::new();

@@ -171,7 +171,10 @@ pub fn ext04_slack_curve() -> Experiment {
 
     let mut frame = Frame::new();
     frame
-        .push_number("slack_hours", curve.iter().map(|&(s, _)| s as f64).collect())
+        .push_number(
+            "slack_hours",
+            curve.iter().map(|&(s, _)| s as f64).collect(),
+        )
         .unwrap();
     frame
         .push_number(
@@ -179,7 +182,11 @@ pub fn ext04_slack_curve() -> Experiment {
             curve.iter().map(|&(_, v)| 100.0 * v).collect(),
         )
         .unwrap();
-    let day = curve.iter().find(|(s, _)| *s == 24).map(|&(_, v)| v).unwrap_or(0.0);
+    let day = curve
+        .iter()
+        .find(|(s, _)| *s == 24)
+        .map(|&(_, v)| v)
+        .unwrap_or(0.0);
     Experiment {
         id: "ext04",
         title: "Water saving vs start-time slack (WACE-style delay tolerance)",
@@ -330,7 +337,10 @@ mod tests {
         let sys = e.frame.texts("system").unwrap();
         let marconi = sys.iter().position(|s| s == "Marconi100").unwrap();
         let polaris = sys.iter().position(|s| s == "Polaris").unwrap();
-        assert!(rel[marconi] > rel[polaris], "hydro-heavy grid must be more uncertain");
+        assert!(
+            rel[marconi] > rel[polaris],
+            "hydro-heavy grid must be more uncertain"
+        );
     }
 
     #[test]

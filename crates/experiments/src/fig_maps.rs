@@ -24,7 +24,10 @@ pub fn fig01() -> Experiment {
         .push_number("water_scarcity_index", rows.iter().map(|r| r.wsi).collect())
         .unwrap();
     frame
-        .push_number("hpc_power_mw", rows.iter().map(|r| r.hpc_power_mw).collect())
+        .push_number(
+            "hpc_power_mw",
+            rows.iter().map(|r| r.hpc_power_mw).collect(),
+        )
         .unwrap();
 
     let stressed_power: f64 = rows
@@ -66,7 +69,11 @@ pub fn fig10() -> Experiment {
     frame
         .push_text(
             "region",
-            vec!["Illinois (county)".into(), "Tennessee (county)".into(), "USA (state)".into()],
+            vec![
+                "Illinois (county)".into(),
+                "Tennessee (county)".into(),
+                "USA (state)".into(),
+            ],
         )
         .unwrap();
     frame
@@ -76,7 +83,10 @@ pub fn fig10() -> Experiment {
         .push_number("wsi_min", vec![il.min(), tn.min(), us_min])
         .unwrap();
     frame
-        .push_number("wsi_mean", vec![il.mean(), tn.mean(), (us_min + us_max) / 2.0])
+        .push_number(
+            "wsi_mean",
+            vec![il.mean(), tn.mean(), (us_min + us_max) / 2.0],
+        )
         .unwrap();
     frame
         .push_number("wsi_max", vec![il.max(), tn.max(), us_max])

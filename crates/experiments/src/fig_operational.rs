@@ -17,7 +17,10 @@ pub fn fig05() -> Experiment {
         .push_text("source", sources.iter().map(|s| s.to_string()).collect())
         .unwrap();
     frame
-        .push_number("ewf_min", sources.iter().map(|s| s.ewf_range().min).collect())
+        .push_number(
+            "ewf_min",
+            sources.iter().map(|s| s.ewf_range().min).collect(),
+        )
         .unwrap();
     frame
         .push_number(
@@ -26,7 +29,10 @@ pub fn fig05() -> Experiment {
         )
         .unwrap();
     frame
-        .push_number("ewf_max", sources.iter().map(|s| s.ewf_range().max).collect())
+        .push_number(
+            "ewf_max",
+            sources.iter().map(|s| s.ewf_range().max).collect(),
+        )
         .unwrap();
     frame
         .push_number(
@@ -70,10 +76,19 @@ pub fn fig06() -> Experiment {
     for (name, series) in [("ewf", true), ("wue", false)] {
         let summaries: Vec<_> = years
             .iter()
-            .map(|y| if series { y.ewf.summary() } else { y.wue.summary() })
+            .map(|y| {
+                if series {
+                    y.ewf.summary()
+                } else {
+                    y.wue.summary()
+                }
+            })
             .collect();
         frame
-            .push_number(format!("{name}_min"), summaries.iter().map(|s| s.min).collect())
+            .push_number(
+                format!("{name}_min"),
+                summaries.iter().map(|s| s.min).collect(),
+            )
             .unwrap();
         frame
             .push_number(
@@ -82,7 +97,10 @@ pub fn fig06() -> Experiment {
             )
             .unwrap();
         frame
-            .push_number(format!("{name}_max"), summaries.iter().map(|s| s.max).collect())
+            .push_number(
+                format!("{name}_max"),
+                summaries.iter().map(|s| s.max).collect(),
+            )
             .unwrap();
     }
     let marconi_max = frame.numbers("ewf_max").unwrap()[0];
@@ -159,7 +177,9 @@ pub fn fig08() -> Experiment {
                 .value()
         })
         .collect();
-    frame.push_number("water_intensity_l_per_kwh", wis.clone()).unwrap();
+    frame
+        .push_number("water_intensity_l_per_kwh", wis.clone())
+        .unwrap();
     frame.push_number("site_wsi", wsis).unwrap();
     frame
         .push_number("adjusted_water_intensity_l_per_kwh", adjusted.clone())
@@ -182,10 +202,7 @@ pub fn fig08() -> Experiment {
 
 /// 1-based rank of element `idx` (ascending: 1 = smallest).
 fn rank_of(values: &[f64], idx: usize) -> usize {
-    1 + values
-        .iter()
-        .filter(|&&v| v < values[idx])
-        .count()
+    1 + values.iter().filter(|&&v| v < values[idx]).count()
 }
 
 /// Fig. 9: direct vs indirect WSI when energy comes from multiple plants.
@@ -207,7 +224,10 @@ pub fn fig09() -> Experiment {
     frame
         .push_number(
             "indirect_wsi",
-            years.iter().map(|y| y.spec.fleet.indirect_wsi().value()).collect(),
+            years
+                .iter()
+                .map(|y| y.spec.fleet.indirect_wsi().value())
+                .collect(),
         )
         .unwrap();
     frame
@@ -219,7 +239,10 @@ pub fn fig09() -> Experiment {
     frame
         .push_number(
             "n_plants",
-            years.iter().map(|y| y.spec.fleet.plants().len() as f64).collect(),
+            years
+                .iter()
+                .map(|y| y.spec.fleet.plants().len() as f64)
+                .collect(),
         )
         .unwrap();
     Experiment {
@@ -242,7 +265,9 @@ mod tests {
         let e = fig05();
         let meds = e.frame.numbers("ewf_median").unwrap();
         let hydro_idx = 5; // Fig. 5 order: Solar, Biomass, Nuclear, Coal, Wind, Hydro, ...
-        assert!(meds[hydro_idx] >= *meds.iter().fold(&0.0, |a, b| if b > a { b } else { a }) - 1e-9);
+        assert!(
+            meds[hydro_idx] >= *meds.iter().fold(&0.0, |a, b| if b > a { b } else { a }) - 1e-9
+        );
     }
 
     #[test]
@@ -257,7 +282,10 @@ mod tests {
     fn fig08_ranking_flip() {
         let e = fig08();
         let raw = e.frame.numbers("water_intensity_l_per_kwh").unwrap();
-        let adj = e.frame.numbers("adjusted_water_intensity_l_per_kwh").unwrap();
+        let adj = e
+            .frame
+            .numbers("adjusted_water_intensity_l_per_kwh")
+            .unwrap();
         // Polaris (index 2): lowest raw, highest adjusted.
         assert_eq!(rank_of(raw, 2), 1, "raw {raw:?}");
         assert_eq!(rank_of(adj, 2), 4, "adjusted {adj:?}");

@@ -94,7 +94,10 @@ pub fn table03() -> Experiment {
     ];
     let mut frame = Frame::new();
     frame
-        .push_text("quantity", rows.iter().map(|(n, _)| n.to_string()).collect())
+        .push_text(
+            "quantity",
+            rows.iter().map(|(n, _)| n.to_string()).collect(),
+        )
         .unwrap();
     frame
         .push_number(

@@ -21,9 +21,8 @@ pub fn fig13() -> Experiment {
     let energy = report.simulated_energy(&frontier.spec.node);
     // Scale to a meaningful allocation: the paper ran on a full dual-CPU
     // server; we schedule a 512-node slice for a 3-hour window.
-    let job_energy = thirstyflops_units::KilowattHours::new(
-        (energy.value()).max(0.01) * 512.0 * 100.0,
-    );
+    let job_energy =
+        thirstyflops_units::KilowattHours::new((energy.value()).max(0.01) * 512.0 * 100.0);
 
     let optimizer = StartTimeOptimizer::new(
         frontier.water_intensity(),
@@ -48,7 +47,10 @@ pub fn fig13() -> Experiment {
         )
         .unwrap();
     frame
-        .push_number("water_liters", impacts.iter().map(|i| i.water.value()).collect())
+        .push_number(
+            "water_liters",
+            impacts.iter().map(|i| i.water.value()).collect(),
+        )
         .unwrap();
     frame
         .push_number(

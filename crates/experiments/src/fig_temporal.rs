@@ -93,11 +93,15 @@ pub fn fig12() -> Experiment {
     let mut frame = Frame::new();
     frame.push_text("system", systems).unwrap();
     frame.push_number("month", months).unwrap();
-    frame.push_number("water_intensity_normalized", wi_norm).unwrap();
+    frame
+        .push_number("water_intensity_normalized", wi_norm)
+        .unwrap();
     frame
         .push_number("indirect_wi_normalized", wi_ind_norm)
         .unwrap();
-    frame.push_number("direct_wi_normalized", wi_dir_norm).unwrap();
+    frame
+        .push_number("direct_wi_normalized", wi_dir_norm)
+        .unwrap();
     frame
         .push_number("carbon_intensity_normalized", ci_norm)
         .unwrap();
@@ -146,7 +150,10 @@ mod tests {
                     best_m = months[i];
                 }
             }
-            assert!((6.0..=9.0).contains(&best_m), "system {sys} peak month {best_m}");
+            assert!(
+                (6.0..=9.0).contains(&best_m),
+                "system {sys} peak month {best_m}"
+            );
         }
     }
 
@@ -156,6 +163,9 @@ mod tests {
         let wi = &e.frame.numbers("water_intensity_normalized").unwrap()[..12];
         let ci = &e.frame.numbers("carbon_intensity_normalized").unwrap()[..12];
         let corr = stats::pearson(wi, ci).unwrap();
-        assert!(corr < 0.0, "Marconi WI/CI correlation {corr} should be negative");
+        assert!(
+            corr < 0.0,
+            "Marconi WI/CI correlation {corr} should be negative"
+        );
     }
 }

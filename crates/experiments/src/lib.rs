@@ -25,7 +25,9 @@ mod fig_temporal;
 use thirstyflops_timeseries::Frame;
 
 pub use fig_embodied::{fig03, fig04, table01, table02};
-pub use fig_extensions::{ext01_water500, ext02_uncertainty, ext03_lifecycle, ext04_slack_curve, ext05_policy_frontier};
+pub use fig_extensions::{
+    ext01_water500, ext02_uncertainty, ext03_lifecycle, ext04_slack_curve, ext05_policy_frontier,
+};
 pub use fig_maps::{fig01, fig10};
 pub use fig_operational::{fig05, fig06, fig07, fig08, fig09};
 pub use fig_scenarios::{fig14, table03};
@@ -97,8 +99,8 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len());
         for required in [
-            "fig01", "table01", "table02", "fig03", "fig04", "fig05", "fig06", "fig07",
-            "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "table03",
+            "fig01", "table01", "table02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+            "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "table03",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }

@@ -112,10 +112,7 @@ impl EnergyMix {
 
     /// Share-weighted EWF using per-source medians (Eq. 7).
     pub fn ewf(&self) -> LitersPerKilowattHour {
-        let v: f64 = self
-            .iter()
-            .map(|(s, f)| f.value() * s.ewf().value())
-            .sum();
+        let v: f64 = self.iter().map(|(s, f)| f.value() * s.ewf().value()).sum();
         LitersPerKilowattHour::new(v)
     }
 

@@ -158,9 +158,13 @@ mod tests {
 
     #[test]
     fn single_plant_fleet_wsi_is_its_wsi() {
-        let f = PlantFleet::new(vec![
-            PowerPlant::new("Solo", EnergySource::Nuclear, 1.0, 0.42).unwrap()
-        ])
+        let f = PlantFleet::new(vec![PowerPlant::new(
+            "Solo",
+            EnergySource::Nuclear,
+            1.0,
+            0.42,
+        )
+        .unwrap()])
         .unwrap();
         assert!((f.indirect_wsi().value() - 0.42).abs() < 1e-12);
         assert_eq!(f.wsi_spread(), 0.0);

@@ -245,10 +245,7 @@ impl GridRegion {
     /// Weights need not sum to one — they are normalized per hour — but
     /// every month must have a positive total and no weight may be
     /// negative.
-    pub fn custom(
-        profile: Vec<(EnergySource, MonthlyShares)>,
-        seed: u64,
-    ) -> Result<Self, String> {
+    pub fn custom(profile: Vec<(EnergySource, MonthlyShares)>, seed: u64) -> Result<Self, String> {
         if profile.is_empty() {
             return Err("custom region needs at least one source".into());
         }
@@ -445,7 +442,10 @@ mod tests {
             .iter()
             .map(|&id| GridRegion::preset(id).simulate_year())
             .collect();
-        let ranges: Vec<f64> = years.iter().map(|y| y.ewf().max() - y.ewf().min()).collect();
+        let ranges: Vec<f64> = years
+            .iter()
+            .map(|y| y.ewf().max() - y.ewf().min())
+            .collect();
         let means: Vec<f64> = years.iter().map(|y| y.ewf().mean()).collect();
         // Index 0 = EmiliaRomagna, 2 = NorthernIllinois.
         for i in 1..4 {
@@ -455,14 +455,22 @@ mod tests {
         for i in [0usize, 1, 3] {
             assert!(means[2] < means[i], "Polaris lowest: {:?}", means);
         }
-        assert!(years[0].ewf().max() > 8.0, "Marconi peak {}", years[0].ewf().max());
+        assert!(
+            years[0].ewf().max() > 8.0,
+            "Marconi peak {}",
+            years[0].ewf().max()
+        );
     }
 
     #[test]
     fn polaris_region_min_ewf_near_paper_value() {
         let year = GridRegion::preset(RegionId::NorthernIllinois).simulate_year();
         // Paper: Polaris EWF can reach 1.52 L/kWh. Loose band.
-        assert!(year.ewf().min() > 1.0 && year.ewf().min() < 2.2, "{}", year.ewf().min());
+        assert!(
+            year.ewf().min() > 1.0 && year.ewf().min() < 2.2,
+            "{}",
+            year.ewf().min()
+        );
     }
 
     #[test]
@@ -537,9 +545,17 @@ mod tests {
         assert_eq!(region.id(), RegionId::Custom);
         let year = region.simulate_year();
         // Geothermal's 5.3 L/kWh share keeps EWF in a predictable band.
-        assert!(year.ewf().mean() > 1.5 && year.ewf().mean() < 3.0, "{}", year.ewf().mean());
+        assert!(
+            year.ewf().mean() > 1.5 && year.ewf().mean() < 3.0,
+            "{}",
+            year.ewf().mean()
+        );
         // Weighted carbon around 0.3·38 + 0.2·11 + 0.5·490 ≈ 259.
-        assert!((year.carbon().mean() - 259.0).abs() < 40.0, "{}", year.carbon().mean());
+        assert!(
+            (year.carbon().mean() - 259.0).abs() < 40.0,
+            "{}",
+            year.carbon().mean()
+        );
     }
 
     #[test]
@@ -550,7 +566,10 @@ mod tests {
         zero_month[5] = 0.0;
         assert!(GridRegion::custom(vec![(EnergySource::Gas, zero_month)], 0).is_err());
         assert!(GridRegion::custom(
-            vec![(EnergySource::Gas, [0.5; 12]), (EnergySource::Gas, [0.5; 12])],
+            vec![
+                (EnergySource::Gas, [0.5; 12]),
+                (EnergySource::Gas, [0.5; 12])
+            ],
             0
         )
         .is_err());
@@ -593,7 +612,9 @@ mod tests {
 
     #[test]
     fn evaporation_multiplier_peaks_in_summer() {
-        assert!(hydro_evaporation_multiplier(Month::July) > hydro_evaporation_multiplier(Month::April));
+        assert!(
+            hydro_evaporation_multiplier(Month::July) > hydro_evaporation_multiplier(Month::April)
+        );
         assert!(hydro_evaporation_multiplier(Month::January) < 1.0);
     }
 }

@@ -13,7 +13,9 @@
 use thirstyflops_units::{GramsCo2PerKwh, LitersPerKilowattHour};
 
 /// An electricity generation technology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 #[allow(missing_docs)]
 pub enum EnergySource {
     Solar,
@@ -118,18 +120,54 @@ impl EnergySource {
     /// almost nothing. Values follow the Macknick et al. withdrawal survey.
     pub fn withdrawal_range(self) -> FactorRange {
         match self {
-            EnergySource::Solar => FactorRange { min: 0.02, median: 0.15, max: 0.4 },
-            EnergySource::Biomass => FactorRange { min: 2.0, median: 40.0, max: 140.0 },
+            EnergySource::Solar => FactorRange {
+                min: 0.02,
+                median: 0.15,
+                max: 0.4,
+            },
+            EnergySource::Biomass => FactorRange {
+                min: 2.0,
+                median: 40.0,
+                max: 140.0,
+            },
             // Nuclear once-through: up to ~230 L/kWh withdrawn.
-            EnergySource::Nuclear => FactorRange { min: 3.0, median: 90.0, max: 230.0 },
-            EnergySource::Coal => FactorRange { min: 2.0, median: 70.0, max: 140.0 },
-            EnergySource::Wind => FactorRange { min: 0.0, median: 0.004, max: 0.01 },
+            EnergySource::Nuclear => FactorRange {
+                min: 3.0,
+                median: 90.0,
+                max: 230.0,
+            },
+            EnergySource::Coal => FactorRange {
+                min: 2.0,
+                median: 70.0,
+                max: 140.0,
+            },
+            EnergySource::Wind => FactorRange {
+                min: 0.0,
+                median: 0.004,
+                max: 0.01,
+            },
             // Hydro "withdrawal" is the turbined flow; conventions vary, so
             // we follow the consumptive-only accounting (≈ EWF).
-            EnergySource::Hydro => FactorRange { min: 1.0, median: 17.0, max: 26.0 },
-            EnergySource::Gas => FactorRange { min: 1.0, median: 35.0, max: 80.0 },
-            EnergySource::Oil => FactorRange { min: 2.0, median: 60.0, max: 120.0 },
-            EnergySource::Geothermal => FactorRange { min: 1.0, median: 7.0, max: 15.0 },
+            EnergySource::Hydro => FactorRange {
+                min: 1.0,
+                median: 17.0,
+                max: 26.0,
+            },
+            EnergySource::Gas => FactorRange {
+                min: 1.0,
+                median: 35.0,
+                max: 80.0,
+            },
+            EnergySource::Oil => FactorRange {
+                min: 2.0,
+                median: 60.0,
+                max: 120.0,
+            },
+            EnergySource::Geothermal => FactorRange {
+                min: 1.0,
+                median: 7.0,
+                max: 15.0,
+            },
         }
     }
 
@@ -306,7 +344,12 @@ mod tests {
         for s in [EnergySource::Nuclear, EnergySource::Coal, EnergySource::Gas] {
             let w = s.withdrawal_range();
             let c = s.ewf_range();
-            assert!(w.median > 10.0 * c.median, "{s}: {} vs {}", w.median, c.median);
+            assert!(
+                w.median > 10.0 * c.median,
+                "{s}: {} vs {}",
+                w.median,
+                c.median
+            );
             assert!(w.min <= w.median && w.median <= w.max);
         }
         // Wind withdraws essentially nothing either way.

@@ -155,8 +155,7 @@ impl WaterCapPlanner {
             };
             // Move as much as useful: bounded by the donor's dispatch, the
             // receiver's headroom, and the amount needed to meet budget.
-            let d_water_rate =
-                offers[from].source.ewf().value() - offers[to].source.ewf().value();
+            let d_water_rate = offers[from].source.ewf().value() - offers[to].source.ewf().value();
             let needed = (water_of(&dispatch) - gen_budget) / d_water_rate;
             let movable = dispatch[from]
                 .min(offers[to].capacity_kwh - dispatch[to])
@@ -192,10 +191,22 @@ mod tests {
 
     fn offers() -> Vec<SourceOffer> {
         vec![
-            SourceOffer { source: EnergySource::Hydro, capacity_kwh: 1000.0 },   // low C, high W
-            SourceOffer { source: EnergySource::Nuclear, capacity_kwh: 1000.0 }, // low C, mid W
-            SourceOffer { source: EnergySource::Gas, capacity_kwh: 1000.0 },     // mid C, low W
-            SourceOffer { source: EnergySource::Wind, capacity_kwh: 200.0 },     // low C, ~no W
+            SourceOffer {
+                source: EnergySource::Hydro,
+                capacity_kwh: 1000.0,
+            }, // low C, high W
+            SourceOffer {
+                source: EnergySource::Nuclear,
+                capacity_kwh: 1000.0,
+            }, // low C, mid W
+            SourceOffer {
+                source: EnergySource::Gas,
+                capacity_kwh: 1000.0,
+            }, // mid C, low W
+            SourceOffer {
+                source: EnergySource::Wind,
+                capacity_kwh: 200.0,
+            }, // low C, ~no W
         ]
     }
 
@@ -254,7 +265,12 @@ mod tests {
         let hot = p
             .dispatch(e, LitersPerKilowattHour::new(3.5), &offers(), budget)
             .unwrap();
-        assert!(hot.carbon_g >= cool.carbon_g, "hot {} vs cool {}", hot.carbon_g, cool.carbon_g);
+        assert!(
+            hot.carbon_g >= cool.carbon_g,
+            "hot {} vs cool {}",
+            hot.carbon_g,
+            cool.carbon_g
+        );
         assert!(hot.generation_water.value() <= cool.generation_water.value());
     }
 
@@ -277,7 +293,10 @@ mod tests {
     #[test]
     fn insufficient_capacity_errors() {
         let p = planner();
-        let small = vec![SourceOffer { source: EnergySource::Gas, capacity_kwh: 10.0 }];
+        let small = vec![SourceOffer {
+            source: EnergySource::Gas,
+            capacity_kwh: 10.0,
+        }];
         assert!(p
             .dispatch(
                 KilowattHours::new(1000.0),

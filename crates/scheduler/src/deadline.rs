@@ -159,7 +159,13 @@ mod tests {
     fn zero_slack_means_immediate_start() {
         let s = scheduler();
         let d = s
-            .schedule(1000, 0, 2, KilowattHours::new(10.0), DeadlineObjective::Water)
+            .schedule(
+                1000,
+                0,
+                2,
+                KilowattHours::new(10.0),
+                DeadlineObjective::Water,
+            )
             .unwrap();
         assert_eq!(d.delay_hours, 0);
         assert_eq!(d.start_hour, 1000);
@@ -191,7 +197,13 @@ mod tests {
         let s = scheduler();
         for slack in [1usize, 5, 13] {
             let d = s
-                .schedule(500, slack, 3, KilowattHours::new(5.0), DeadlineObjective::Water)
+                .schedule(
+                    500,
+                    slack,
+                    3,
+                    KilowattHours::new(5.0),
+                    DeadlineObjective::Water,
+                )
                 .unwrap();
             assert!(d.delay_hours <= slack);
             // Chosen is never worse than immediate.
@@ -204,7 +216,13 @@ mod tests {
         let s = scheduler();
         // Submit near the CI peak (21:00) so delaying pays.
         let d = s
-            .schedule(2012, 23, 2, KilowattHours::new(10.0), DeadlineObjective::Carbon)
+            .schedule(
+                2012,
+                23,
+                2,
+                KilowattHours::new(10.0),
+                DeadlineObjective::Carbon,
+            )
             .unwrap();
         assert!(d.carbon_saving() > 0.0);
         assert!(d.chosen.carbon.value() <= d.immediate.carbon.value());
@@ -214,7 +232,13 @@ mod tests {
     fn validation() {
         let s = scheduler();
         assert!(s
-            .schedule(9000, 1, 1, KilowattHours::new(1.0), DeadlineObjective::Water)
+            .schedule(
+                9000,
+                1,
+                1,
+                KilowattHours::new(1.0),
+                DeadlineObjective::Water
+            )
             .is_err());
         assert!(s
             .saving_curve(&[0, 1], 1, KilowattHours::new(1.0), 0)

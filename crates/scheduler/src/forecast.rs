@@ -101,8 +101,7 @@ mod tests {
         }
         let s = HourlySeries::from_fn(|h| {
             let hod = (h % 24) as f64;
-            5.0 + 2.0 * ((hod - 15.0) / 24.0 * core::f64::consts::TAU).cos()
-                + 2.0 * hash_noise(h)
+            5.0 + 2.0 * ((hod - 15.0) / 24.0 * core::f64::consts::TAU).cos() + 2.0 * hash_noise(h)
         });
         let one = Forecaster::SeasonalNaive.mae(&s);
         let smooth = Forecaster::SmoothedSeasonal { days: 7 }.mae(&s);

@@ -95,8 +95,8 @@ impl GeoBalancer {
     pub fn run_year(&self, load_kwh: f64, policy: Policy) -> Placement {
         // Normalization constants for the co-optimizer: annual mean WI
         // and effective CI across sites.
-        let mean_wi: f64 = self.sites.iter().map(|s| s.wi.mean()).sum::<f64>()
-            / self.sites.len() as f64;
+        let mean_wi: f64 =
+            self.sites.iter().map(|s| s.wi.mean()).sum::<f64>() / self.sites.len() as f64;
         let mean_ci: f64 = self
             .sites
             .iter()
@@ -155,8 +155,8 @@ impl GeoBalancer {
             ));
         }
 
-        let mean_wi: f64 = self.sites.iter().map(|s| s.wi.mean()).sum::<f64>()
-            / self.sites.len() as f64;
+        let mean_wi: f64 =
+            self.sites.iter().map(|s| s.wi.mean()).sum::<f64>() / self.sites.len() as f64;
         let mean_ci: f64 = self
             .sites
             .iter()
@@ -249,7 +249,9 @@ mod tests {
         let a = SiteSeries {
             name: "A".into(),
             pue: Pue::new(1.1).unwrap(),
-            wi: HourlySeries::from_fn(|h| 6.0 + 2.0 * (((h % 24) as f64 - 13.0) / 24.0 * core::f64::consts::TAU).cos()),
+            wi: HourlySeries::from_fn(|h| {
+                6.0 + 2.0 * (((h % 24) as f64 - 13.0) / 24.0 * core::f64::consts::TAU).cos()
+            }),
             effective_ci: HourlySeries::constant(350.0),
         };
         let b = SiteSeries {

@@ -72,12 +72,10 @@ impl<T> ParetoPoint<T> {
     /// True if `self` dominates `other` (no worse on all metrics, better
     /// on at least one).
     pub fn dominates(&self, other: &Self) -> bool {
-        let no_worse = self.energy <= other.energy
-            && self.water <= other.water
-            && self.carbon <= other.carbon;
-        let better = self.energy < other.energy
-            || self.water < other.water
-            || self.carbon < other.carbon;
+        let no_worse =
+            self.energy <= other.energy && self.water <= other.water && self.carbon <= other.carbon;
+        let better =
+            self.energy < other.energy || self.water < other.water || self.carbon < other.carbon;
         no_worse && better
     }
 }
@@ -85,7 +83,12 @@ impl<T> ParetoPoint<T> {
 /// Extracts the Pareto-efficient subset (indices into `points`).
 pub fn pareto_front<T>(points: &[ParetoPoint<T>]) -> Vec<usize> {
     (0..points.len())
-        .filter(|&i| !points.iter().enumerate().any(|(j, p)| j != i && p.dominates(&points[i])))
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, p)| j != i && p.dominates(&points[i]))
+        })
         .collect()
 }
 
@@ -119,10 +122,30 @@ mod tests {
     #[test]
     fn dominance_and_front() {
         let points = vec![
-            ParetoPoint { candidate: "a", energy: 1.0, water: 5.0, carbon: 3.0 },
-            ParetoPoint { candidate: "b", energy: 2.0, water: 2.0, carbon: 2.0 },
-            ParetoPoint { candidate: "c", energy: 3.0, water: 3.0, carbon: 3.0 }, // dominated by b
-            ParetoPoint { candidate: "d", energy: 0.5, water: 9.0, carbon: 9.0 },
+            ParetoPoint {
+                candidate: "a",
+                energy: 1.0,
+                water: 5.0,
+                carbon: 3.0,
+            },
+            ParetoPoint {
+                candidate: "b",
+                energy: 2.0,
+                water: 2.0,
+                carbon: 2.0,
+            },
+            ParetoPoint {
+                candidate: "c",
+                energy: 3.0,
+                water: 3.0,
+                carbon: 3.0,
+            }, // dominated by b
+            ParetoPoint {
+                candidate: "d",
+                energy: 0.5,
+                water: 9.0,
+                carbon: 9.0,
+            },
         ];
         assert!(points[1].dominates(&points[2]));
         assert!(!points[0].dominates(&points[1]));
@@ -132,8 +155,18 @@ mod tests {
 
     #[test]
     fn identical_points_do_not_dominate_each_other() {
-        let a = ParetoPoint { candidate: 1, energy: 1.0, water: 1.0, carbon: 1.0 };
-        let b = ParetoPoint { candidate: 2, energy: 1.0, water: 1.0, carbon: 1.0 };
+        let a = ParetoPoint {
+            candidate: 1,
+            energy: 1.0,
+            water: 1.0,
+            carbon: 1.0,
+        };
+        let b = ParetoPoint {
+            candidate: 2,
+            energy: 1.0,
+            water: 1.0,
+            carbon: 1.0,
+        };
         assert!(!a.dominates(&b));
         assert!(!b.dominates(&a));
         let front = pareto_front(&[a, b]);

@@ -18,7 +18,9 @@ pub const MONTHS_PER_YEAR: usize = 12;
 const DAYS_IN_MONTH: [usize; MONTHS_PER_YEAR] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
 
 /// A calendar month, numbered 1–12 like the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[allow(missing_docs)]
 pub enum Month {
     January,

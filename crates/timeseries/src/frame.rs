@@ -34,10 +34,7 @@ impl core::fmt::Display for FrameError {
                 column,
                 got,
                 expected,
-            } => write!(
-                f,
-                "column {column:?} has {got} rows, frame has {expected}"
-            ),
+            } => write!(f, "column {column:?} has {got} rows, frame has {expected}"),
             FrameError::NoSuchColumn(c) => write!(f, "no column {c:?}"),
             FrameError::TypeMismatch(c) => write!(f, "column {c:?} has the wrong type"),
         }
@@ -176,7 +173,11 @@ impl Frame {
     /// Group-by: sums `value_col` per distinct key in `key_col`, returning
     /// keys in sorted order. (Enough for the Fig. 1(c) per-state power
     /// aggregation.)
-    pub fn group_sum(&self, key_col: &str, value_col: &str) -> Result<Vec<(String, f64)>, FrameError> {
+    pub fn group_sum(
+        &self,
+        key_col: &str,
+        value_col: &str,
+    ) -> Result<Vec<(String, f64)>, FrameError> {
         let keys = self.texts(key_col)?;
         let values = self.numbers(value_col)?;
         let mut acc: BTreeMap<&str, f64> = BTreeMap::new();
@@ -275,18 +276,12 @@ mod tests {
             f.push_number("short", vec![1.0]),
             Err(FrameError::LengthMismatch { .. })
         ));
-        assert!(matches!(
-            f.column("nope"),
-            Err(FrameError::NoSuchColumn(_))
-        ));
+        assert!(matches!(f.column("nope"), Err(FrameError::NoSuchColumn(_))));
         assert!(matches!(
             f.numbers("system"),
             Err(FrameError::TypeMismatch(_))
         ));
-        assert!(matches!(
-            f.texts("water"),
-            Err(FrameError::TypeMismatch(_))
-        ));
+        assert!(matches!(f.texts("water"), Err(FrameError::TypeMismatch(_))));
     }
 
     #[test]

@@ -131,7 +131,11 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
 /// Mean ranks (1-based) with ties averaged.
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("samples must not contain NaN"));
+    order.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .expect("samples must not contain NaN")
+    });
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < order.len() {

@@ -1,7 +1,9 @@
 //! Property-based tests for the timeseries substrate invariants.
 
 use proptest::prelude::*;
-use thirstyflops_timeseries::{stats, HourlySeries, Month, MonthlySeries, SimCalendar, HOURS_PER_YEAR};
+use thirstyflops_timeseries::{
+    stats, HourlySeries, Month, MonthlySeries, SimCalendar, HOURS_PER_YEAR,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -103,7 +103,9 @@ impl core::fmt::Display for FabYield {
 
 /// A generic fraction in `[0, 1]` (energy-mix shares, reuse rates ρ,
 /// potable splits β, plant energy shares).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct Fraction(f64);
 

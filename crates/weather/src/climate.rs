@@ -105,8 +105,7 @@ impl SiteClimate {
             let day = cal.day_of_year(hour) as f64;
             let hod = cal.hour_of_day(hour) as f64;
 
-            let seasonal_phase =
-                (day - config.hottest_day as f64) / 365.0 * core::f64::consts::TAU;
+            let seasonal_phase = (day - config.hottest_day as f64) / 365.0 * core::f64::consts::TAU;
             let seasonal = config.seasonal_amp_c * seasonal_phase.cos();
             // Diurnal peak at 15:00 local.
             let diurnal_phase = (hod - 15.0) / 24.0 * core::f64::consts::TAU;

@@ -129,8 +129,7 @@ impl ClimatePreset {
 
     /// Generates the simulated year for this preset.
     pub fn generate(self) -> SiteClimate {
-        SiteClimate::generate(self.climate_config())
-            .expect("presets are valid by construction")
+        SiteClimate::generate(self.climate_config()).expect("presets are valid by construction")
     }
 
     /// Short site name.

@@ -62,7 +62,10 @@ impl WueModel {
             return Err(format!("WUE floor must be non-negative: {}", self.floor));
         }
         if self.slope_per_c < 0.0 {
-            return Err(format!("WUE slope must be non-negative: {}", self.slope_per_c));
+            return Err(format!(
+                "WUE slope must be non-negative: {}",
+                self.slope_per_c
+            ));
         }
         if self.ceiling < self.floor {
             return Err(format!(
@@ -99,7 +102,10 @@ impl WueModel {
         if samples.len() < 8 {
             return Err(format!("need at least 8 samples, got {}", samples.len()));
         }
-        if samples.iter().any(|&(t, w)| !t.is_finite() || !w.is_finite() || w < 0.0) {
+        if samples
+            .iter()
+            .any(|&(t, w)| !t.is_finite() || !w.is_finite() || w < 0.0)
+        {
             return Err("samples must be finite with non-negative WUE".into());
         }
         // Floor: median WUE of the coldest decile.
@@ -110,7 +116,11 @@ impl WueModel {
         cold.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let floor = cold[cold.len() / 2].max(0.0);
 
-        let ceiling = samples.iter().map(|&(_, w)| w).fold(0.0, f64::max).max(floor);
+        let ceiling = samples
+            .iter()
+            .map(|&(_, w)| w)
+            .fold(0.0, f64::max)
+            .max(floor);
 
         // Grid-search the threshold; least-squares slope at each.
         let t_min = by_temp.first().expect("non-empty").0;
@@ -204,11 +214,20 @@ mod tests {
     #[test]
     fn validation() {
         assert!(WueModel::default().validate().is_ok());
-        let low_ceiling = WueModel { ceiling: 0.01, ..WueModel::default() };
+        let low_ceiling = WueModel {
+            ceiling: 0.01,
+            ..WueModel::default()
+        };
         assert!(low_ceiling.validate().is_err());
-        let negative_slope = WueModel { slope_per_c: -1.0, ..WueModel::default() };
+        let negative_slope = WueModel {
+            slope_per_c: -1.0,
+            ..WueModel::default()
+        };
         assert!(negative_slope.validate().is_err());
-        let negative_floor = WueModel { floor: -0.1, ..WueModel::default() };
+        let negative_floor = WueModel {
+            floor: -0.1,
+            ..WueModel::default()
+        };
         assert!(negative_floor.validate().is_err());
     }
 
@@ -230,8 +249,16 @@ mod tests {
             .collect();
         let (fitted, r2) = WueModel::fit(&samples).unwrap();
         assert!(r2 > 0.98, "R² {r2}");
-        assert!((fitted.slope_per_c - 0.4).abs() < 0.05, "slope {}", fitted.slope_per_c);
-        assert!((fitted.free_cooling_twb_c - 5.0).abs() < 2.0, "t0 {}", fitted.free_cooling_twb_c);
+        assert!(
+            (fitted.slope_per_c - 0.4).abs() < 0.05,
+            "slope {}",
+            fitted.slope_per_c
+        );
+        assert!(
+            (fitted.free_cooling_twb_c - 5.0).abs() < 2.0,
+            "t0 {}",
+            fitted.free_cooling_twb_c
+        );
         assert!(fitted.floor < 0.3, "floor {}", fitted.floor);
     }
 
@@ -253,7 +280,12 @@ mod tests {
         let model = preset.wue_model();
         let samples: Vec<(f64, f64)> = (0..8760)
             .step_by(7)
-            .map(|h| (climate.wet_bulb().get(h), model.wue(Celsius::new(climate.wet_bulb().get(h))).value()))
+            .map(|h| {
+                (
+                    climate.wet_bulb().get(h),
+                    model.wue(Celsius::new(climate.wet_bulb().get(h))).value(),
+                )
+            })
             .collect();
         let (fitted, r2) = WueModel::fit(&samples).unwrap();
         assert!(r2 > 0.99, "noise-free fit R² {r2}");

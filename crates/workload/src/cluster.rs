@@ -340,11 +340,7 @@ mod tests {
         // Same workload as `backfill_slips_a_short_job_ahead`, but FCFS:
         // J2 must wait behind the blocked head.
         let sim = ClusterSim::with_backfill(4, false).unwrap();
-        let (util, stats) = sim.simulate_year(&[
-            job(0, 0, 2, 4),
-            job(1, 1, 4, 2),
-            job(2, 1, 1, 2),
-        ]);
+        let (util, stats) = sim.simulate_year(&[job(0, 0, 2, 4), job(1, 1, 4, 2), job(2, 1, 1, 2)]);
         // Hour 1: only J0's 2 nodes busy — the hole goes unused.
         assert_eq!(util.get(1), 0.5);
         assert_eq!(stats.started_jobs, 3);

@@ -29,6 +29,6 @@ pub mod swf;
 mod trace;
 
 pub use cluster::{ClusterSim, ClusterStats};
-pub use swf::{parse_swf, to_swf, SwfImport};
 pub use power::PowerModel;
+pub use swf::{parse_swf, to_swf, SwfImport};
 pub use trace::{Job, TraceConfig, TraceGenerator};

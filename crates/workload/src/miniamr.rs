@@ -65,7 +65,10 @@ impl MiniAmrConfig {
             return Err("regrid cadence must be positive".into());
         }
         if !(0.0..=0.5).contains(&self.alpha) {
-            return Err(format!("alpha {} outside stable range [0, 0.5]", self.alpha));
+            return Err(format!(
+                "alpha {} outside stable range [0, 0.5]",
+                self.alpha
+            ));
         }
         if self.max_level > 4 {
             return Err("max_level > 4 explodes memory; refuse".into());
@@ -227,11 +230,7 @@ impl MiniAmr {
     /// the cube's mid-plane.
     fn sphere_center(&self, t: f64) -> [f64; 3] {
         let angle = t * self.config.sphere_orbits * core::f64::consts::TAU;
-        [
-            0.5 + 0.25 * angle.cos(),
-            0.5 + 0.25 * angle.sin(),
-            0.5,
-        ]
+        [0.5 + 0.25 * angle.cos(), 0.5 + 0.25 * angle.sin(), 0.5]
     }
 
     fn push_block(&mut self, block: Block) {
@@ -374,7 +373,11 @@ impl MiniAmr {
             b.idx[1] as f64 * n as f64 * h,
             b.idx[2] as f64 * n as f64 * h,
         ];
-        let hi = [lo[0] + n as f64 * h, lo[1] + n as f64 * h, lo[2] + n as f64 * h];
+        let hi = [
+            lo[0] + n as f64 * h,
+            lo[1] + n as f64 * h,
+            lo[2] + n as f64 * h,
+        ];
 
         let mut faces: [Vec<f64>; 6] = [
             vec![0.0; n * n],
@@ -552,7 +555,12 @@ mod tests {
         let b = run_with_threads(small(), 4).unwrap();
         assert_eq!(a.cell_updates, b.cell_updates);
         assert_eq!(a.final_blocks, b.final_blocks);
-        assert!((a.checksum - b.checksum).abs() < 1e-9, "{} vs {}", a.checksum, b.checksum);
+        assert!(
+            (a.checksum - b.checksum).abs() < 1e-9,
+            "{} vs {}",
+            a.checksum,
+            b.checksum
+        );
     }
 
     #[test]

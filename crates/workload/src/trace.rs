@@ -113,8 +113,7 @@ impl TraceGenerator {
         // target node-hours per hour.
         let mean_width = (cfg.mean_width_fraction * cfg.cluster_nodes as f64).max(1.0);
         let node_hours_per_job = mean_width * cfg.mean_duration_hours;
-        let lambda_base =
-            cfg.target_utilization * cfg.cluster_nodes as f64 / node_hours_per_job;
+        let lambda_base = cfg.target_utilization * cfg.cluster_nodes as f64 / node_hours_per_job;
 
         let mut jobs = Vec::new();
         let mut id = 0u64;

@@ -2,6 +2,12 @@
 //! spike) coinciding with a drought-curtailed hydro grid (EWF/carbon
 //! shift) — the failure-injection surface of the framework.
 //!
+//! Exercises the paper's temporal-variation claims (Fig. 11–12: WUE and
+//! EWF move with season and grid mix, so WI is a moving target) and the
+//! Takeaway 5 water-capping coordination under the stressed peak: the
+//! Eq. 8 identity `WI = WUE + PUE * EWF` is re-evaluated inside the
+//! 10-day event window to show which effect dominates.
+//!
 //! ```sh
 //! cargo run --release -p thirstyflops --example heat_wave_stress
 //! ```
@@ -76,10 +82,22 @@ fn main() {
     println!("\n=== Water-cap dispatch at the event peak ===\n");
     let planner = WaterCapPlanner::new(spec.pue);
     let offers = vec![
-        SourceOffer { source: EnergySource::Hydro, capacity_kwh: 400.0 }, // curtailed
-        SourceOffer { source: EnergySource::Nuclear, capacity_kwh: 900.0 },
-        SourceOffer { source: EnergySource::Gas, capacity_kwh: 1500.0 },
-        SourceOffer { source: EnergySource::Wind, capacity_kwh: 200.0 },
+        SourceOffer {
+            source: EnergySource::Hydro,
+            capacity_kwh: 400.0,
+        }, // curtailed
+        SourceOffer {
+            source: EnergySource::Nuclear,
+            capacity_kwh: 900.0,
+        },
+        SourceOffer {
+            source: EnergySource::Gas,
+            capacity_kwh: 1500.0,
+        },
+        SourceOffer {
+            source: EnergySource::Wind,
+            capacity_kwh: 200.0,
+        },
     ];
     let peak_wue = LitersPerKilowattHour::new(hot_wue.monthly_mean().get(Month::July));
     for budget_l in [12_000.0, 8_000.0, 5_500.0] {

@@ -10,7 +10,9 @@
 
 use thirstyflops::catalog::SystemId;
 use thirstyflops::core::SystemYear;
-use thirstyflops::scheduler::{GeoBalancer, MultiObjective, Policy, SiteSeries, StartTimeOptimizer};
+use thirstyflops::scheduler::{
+    GeoBalancer, MultiObjective, Policy, SiteSeries, StartTimeOptimizer,
+};
 use thirstyflops::units::KilowattHours;
 use thirstyflops::workload::miniamr::{MiniAmr, MiniAmrConfig};
 
@@ -31,7 +33,10 @@ fn main() {
     let node_energy = report.simulated_energy(&frontier.spec.node);
     // Scale the single-node kernel to a 512-node, 3-hour allocation.
     let job_energy = KilowattHours::new(node_energy.value().max(0.01) * 512.0 * 100.0);
-    println!("job energy (identical at every start time): {:.1}\n", job_energy);
+    println!(
+        "job energy (identical at every start time): {:.1}\n",
+        job_energy
+    );
 
     let optimizer = StartTimeOptimizer::new(
         frontier.water_intensity(),
@@ -43,7 +48,10 @@ fn main() {
     let impacts = optimizer
         .evaluate(&candidates, 3, job_energy)
         .expect("candidates valid");
-    println!("{:>6} {:>12} {:>11} {:>11} {:>12}", "start", "water (L)", "carbon (kg)", "water rank", "carbon rank");
+    println!(
+        "{:>6} {:>12} {:>11} {:>11} {:>12}",
+        "start", "water (L)", "carbon (kg)", "water rank", "carbon rank"
+    );
     for i in &impacts {
         println!(
             "{:>5}h {:>12.0} {:>11.1} {:>11} {:>12}",
@@ -64,7 +72,10 @@ fn main() {
 
     println!("=== Part 2: which site should run the load? (Takeaway 7) ===\n");
     let polaris = SystemYear::simulate(SystemId::Polaris, 2023);
-    let sites = vec![SiteSeries::from_year(&frontier), SiteSeries::from_year(&polaris)];
+    let sites = vec![
+        SiteSeries::from_year(&frontier),
+        SiteSeries::from_year(&polaris),
+    ];
     let balancer = GeoBalancer::new(sites).expect("two sites");
     println!(
         "{:<14} {:>14} {:>14} {:>16}",
@@ -88,5 +99,7 @@ fn main() {
             p.facility_energy.value() / 1e6
         );
     }
-    println!("\nEnergy-optimal placement is not water-optimal; the co-optimizer trades between them.");
+    println!(
+        "\nEnergy-optimal placement is not water-optimal; the co-optimizer trades between them."
+    );
 }

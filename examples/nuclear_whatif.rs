@@ -47,14 +47,24 @@ fn main() {
     // Takeaway 5: on a hot day, a shared water budget forces the grid to
     // back off water-hungry generation.
     println!("=== Water capping: cooling vs generation (Takeaway 5) ===\n");
-    let planner = WaterCapPlanner::new(
-        thirstyflops::units::Pue::new(1.2).expect("static PUE"),
-    );
+    let planner = WaterCapPlanner::new(thirstyflops::units::Pue::new(1.2).expect("static PUE"));
     let offers = vec![
-        SourceOffer { source: EnergySource::Hydro, capacity_kwh: 800.0 },
-        SourceOffer { source: EnergySource::Nuclear, capacity_kwh: 800.0 },
-        SourceOffer { source: EnergySource::Gas, capacity_kwh: 800.0 },
-        SourceOffer { source: EnergySource::Wind, capacity_kwh: 150.0 },
+        SourceOffer {
+            source: EnergySource::Hydro,
+            capacity_kwh: 800.0,
+        },
+        SourceOffer {
+            source: EnergySource::Nuclear,
+            capacity_kwh: 800.0,
+        },
+        SourceOffer {
+            source: EnergySource::Gas,
+            capacity_kwh: 800.0,
+        },
+        SourceOffer {
+            source: EnergySource::Wind,
+            capacity_kwh: 150.0,
+        },
     ];
     let demand = KilowattHours::new(1000.0);
     let budget = Liters::new(6000.0);

@@ -41,7 +41,10 @@ fn main() {
     println!("  TOTAL      {:>10.2} ML", ml(e.total()));
 
     println!("\n-- Operational water (simulated year, Eq. 6-7) --");
-    println!("  IT energy        {:>12.1} GWh", report.energy.value() / 1e6);
+    println!(
+        "  IT energy        {:>12.1} GWh",
+        report.energy.value() / 1e6
+    );
     println!(
         "  direct (cooling) {:>12.2} ML  ({:.0}%)",
         ml(report.operational.direct),

@@ -25,11 +25,36 @@ struct Candidate {
 fn main() {
     let pue = Pue::new(1.1).expect("modern facility PUE");
     let candidates = [
-        Candidate { label: "Bologna (IT grid)", climate: ClimatePreset::Bologna, region: RegionId::EmiliaRomagna, wsi: 0.35 },
-        Candidate { label: "Kobe (Kansai grid)", climate: ClimatePreset::Kobe, region: RegionId::Kansai, wsi: 0.13 },
-        Candidate { label: "Lemont (N-IL grid)", climate: ClimatePreset::Lemont, region: RegionId::NorthernIllinois, wsi: 0.55 },
-        Candidate { label: "Oak Ridge (TVA grid)", climate: ClimatePreset::OakRidge, region: RegionId::Tennessee, wsi: 0.10 },
-        Candidate { label: "Livermore (CA grid)", climate: ClimatePreset::Livermore, region: RegionId::California, wsi: 0.70 },
+        Candidate {
+            label: "Bologna (IT grid)",
+            climate: ClimatePreset::Bologna,
+            region: RegionId::EmiliaRomagna,
+            wsi: 0.35,
+        },
+        Candidate {
+            label: "Kobe (Kansai grid)",
+            climate: ClimatePreset::Kobe,
+            region: RegionId::Kansai,
+            wsi: 0.13,
+        },
+        Candidate {
+            label: "Lemont (N-IL grid)",
+            climate: ClimatePreset::Lemont,
+            region: RegionId::NorthernIllinois,
+            wsi: 0.55,
+        },
+        Candidate {
+            label: "Oak Ridge (TVA grid)",
+            climate: ClimatePreset::OakRidge,
+            region: RegionId::Tennessee,
+            wsi: 0.10,
+        },
+        Candidate {
+            label: "Livermore (CA grid)",
+            climate: ClimatePreset::Livermore,
+            region: RegionId::California,
+            wsi: 0.70,
+        },
     ];
 
     println!("=== Water-aware site selection for a new HPC center ===\n");

@@ -39,14 +39,19 @@ fn main() {
         );
     }
 
-    println!("\n-- By scarcity-adjusted water intensity (who strains their basin most per kWh) --\n");
+    println!(
+        "\n-- By scarcity-adjusted water intensity (who strains their basin most per kWh) --\n"
+    );
     reports.sort_by(|a, b| {
         b.adjusted_wi
             .value()
             .partial_cmp(&a.adjusted_wi.value())
             .unwrap()
     });
-    println!("{:<4} {:<12} {:>14} {:>10}", "#", "system", "adjusted WI", "raw WI");
+    println!(
+        "{:<4} {:<12} {:>14} {:>10}",
+        "#", "system", "adjusted WI", "raw WI"
+    );
     for (i, r) in reports.iter().enumerate() {
         println!(
             "{:<4} {:<12} {:>14.2} {:>10.2}",
@@ -56,5 +61,7 @@ fn main() {
             r.mean_wi.value()
         );
     }
-    println!("\nThe two orderings differ: volume and scarcity-weighted impact are different questions.");
+    println!(
+        "\nThe two orderings differ: volume and scarcity-weighted impact are different questions."
+    );
 }

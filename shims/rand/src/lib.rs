@@ -1,0 +1,244 @@
+//! A minimal, vendored stand-in for the `rand` crate (offline build shim).
+//!
+//! Unlike the other shims, this one must be *bit-compatible* with the real
+//! thing: the workspace's golden-value tests pin numbers produced by
+//! seeded RNG streams, so `StdRng::seed_from_u64(s)` followed by
+//! `rng.random::<f64>()` has to yield the same sequence as rand 0.9.
+//! Three pieces reproduce that:
+//!
+//! 1. `seed_from_u64` expands the `u64` into a 32-byte seed with PCG32,
+//!    exactly as `rand_core`'s default implementation does;
+//! 2. `StdRng` is the ChaCha12 block cipher in counter mode
+//!    (`rand_chacha`'s `ChaCha12Rng`), emitting the same `u32` word
+//!    stream, with `next_u64` composing two consecutive words
+//!    little-endian-first;
+//! 3. `random::<f64>()` uses the 53-bit multiply conversion and
+//!    `random_range` the `[1, 2)`-mantissa / widening-multiply methods of
+//!    rand's `StandardUniform`/`UniformSampler` implementations.
+//!
+//! Only the API surface this workspace uses is provided: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::random`, and `Rng::random_range`
+//! over `f64`/integer ranges.
+
+use std::ops::Range;
+
+/// Low-level source of random `u32`/`u64` words (mirrors `rand_core`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable RNGs (only the `seed_from_u64` entry point is shimmed).
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 32-byte seed.
+    fn from_seed(seed: [u8; 32]) -> Self;
+
+    /// Expands a `u64` into a full seed with PCG32, byte-compatible with
+    /// `rand_core::SeedableRng::seed_from_u64`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Samples a value from the standard distribution (for `f64`: uniform
+    /// in `[0, 1)` using 53 random bits, matching rand's `StandardUniform`).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open), matching rand's
+    /// `sample_single` implementations.
+    fn random_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        T::uniform_sample(self, range)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Types samplable from the standard distribution.
+pub trait StandardSample: Sized {
+    /// Draws one standard sample.
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        // rand: 53 significant bits, multiply method.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait UniformSample: Sized {
+    /// Draws one sample from `[range.start, range.end)`.
+    fn uniform_sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl UniformSample for f64 {
+    fn uniform_sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+        // rand's UniformFloat::sample_single: mantissa bits into [1, 2),
+        // scale into the target range, reject the (rare) hit on `end`.
+        assert!(range.start < range.end, "empty f64 sample range");
+        let scale = range.end - range.start;
+        loop {
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let res = (value1_2 - 1.0) * scale + range.start;
+            if res < range.end {
+                return res;
+            }
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn uniform_sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                // rand's UniformInt::sample_single: widening multiply with
+                // a bitmask-derived rejection zone.
+                assert!(range.start < range.end, "empty integer sample range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                let zone = (span << span.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let m = (v as u128) * (span as u128);
+                    let hi = (m >> 64) as u64;
+                    let lo = m as u64;
+                    if lo <= zone {
+                        return range.start.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete RNG types (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard RNG: ChaCha12 in counter mode, the same algorithm
+    /// (and word stream) as rand 0.9's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        /// ChaCha state words 4..12 (the key).
+        key: [u32; 8],
+        /// 64-bit block counter (state words 12..14).
+        counter: u64,
+        /// Buffered output block.
+        block: [u32; 16],
+        /// Next unread word in `block`; 16 means exhausted.
+        index: usize,
+    }
+
+    const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    const ROUNDS: usize = 12;
+
+    impl StdRng {
+        fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(16);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(12);
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(8);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(7);
+        }
+
+        fn refill(&mut self) {
+            let mut state = [0u32; 16];
+            state[..4].copy_from_slice(&CHACHA_CONST);
+            state[4..12].copy_from_slice(&self.key);
+            state[12] = self.counter as u32;
+            state[13] = (self.counter >> 32) as u32;
+            // Words 14/15 are the stream id, fixed at 0 for seed_from_u64.
+            let initial = state;
+            for _ in 0..ROUNDS / 2 {
+                // Column round.
+                Self::quarter_round(&mut state, 0, 4, 8, 12);
+                Self::quarter_round(&mut state, 1, 5, 9, 13);
+                Self::quarter_round(&mut state, 2, 6, 10, 14);
+                Self::quarter_round(&mut state, 3, 7, 11, 15);
+                // Diagonal round.
+                Self::quarter_round(&mut state, 0, 5, 10, 15);
+                Self::quarter_round(&mut state, 1, 6, 11, 12);
+                Self::quarter_round(&mut state, 2, 7, 8, 13);
+                Self::quarter_round(&mut state, 3, 4, 9, 14);
+            }
+            for (word, init) in state.iter_mut().zip(initial.iter()) {
+                *word = word.wrapping_add(*init);
+            }
+            self.block = state;
+            self.counter = self.counter.wrapping_add(1);
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (word, chunk) in key.iter_mut().zip(seed.chunks(4)) {
+                *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            StdRng {
+                key,
+                counter: 0,
+                block: [0; 16],
+                index: 16,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= 16 {
+                self.refill();
+            }
+            let word = self.block[self.index];
+            self.index += 1;
+            word
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // rand_core's BlockRng: two consecutive words, low word first.
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+    }
+}

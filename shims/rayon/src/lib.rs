@@ -1,0 +1,76 @@
+//! A minimal, vendored stand-in for `rayon` (offline build shim).
+//!
+//! `par_iter()` returns the plain sequential slice iterator, which supports
+//! the same `map`/`zip`/`collect` chains the workspace uses — results are
+//! identical, only the parallel speedup is absent. Replacing this shim with
+//! a real work-stealing pool (or a `std::thread::scope` chunked bridge) is
+//! a known open item in ROADMAP.md.
+
+use std::fmt;
+
+/// Import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    /// Adds `par_iter` to slices and anything that derefs to a slice
+    /// (`Vec`, arrays). Sequential in this shim.
+    pub trait ParallelSliceExt<T> {
+        /// Iterates "in parallel" (sequentially here) over shared items.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+}
+
+/// Builder for a scoped thread pool (mirrors `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a worker count (recorded but unused in this shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            _num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "thread pool" that runs closures inline.
+#[derive(Debug)]
+pub struct ThreadPool {
+    _num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` within the pool (directly, in this shim).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+/// Error building a thread pool (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}

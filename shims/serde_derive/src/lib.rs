@@ -1,0 +1,509 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! vendored serde shim, written against `proc_macro` directly (no
+//! syn/quote — those would themselves need the network to fetch).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * `#[serde(transparent)]` single-field structs (serialize as the inner
+//!   value, like serde);
+//! * enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged: unit variants as a bare string, payload variants as a
+//!   one-entry object, like serde's default representation);
+//! * plain type generics (`struct ParetoPoint<T> { ... }`).
+//!
+//! Generated code calls the `to_value`/`from_value` methods of the shim's
+//! concrete [`Value`](../serde/struct.Value.html) data model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item the derive is attached to.
+enum Kind {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parsed derive input.
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    transparent: bool,
+    kind: Kind,
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("derive(Serialize): generated code parses")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("derive(Deserialize): generated code parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Outer attributes (doc comments, #[allow], #[serde(transparent)], ...).
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if inner.len() == 2
+                && is_ident(&inner[0], "serde")
+                && matches!(&inner[1], TokenTree::Group(args)
+                    if args.stream().to_string().contains("transparent"))
+            {
+                transparent = true;
+            }
+        }
+        i += 2;
+    }
+
+    // Visibility.
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("derive: expected `struct` or `enum`, got {:?}", tokens[i]);
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    // Generic parameters: only plain `<T, U>` type parameters are supported.
+    let mut generics = Vec::new();
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while depth > 0 {
+            let t = &tokens[i];
+            if is_punct(t, '<') {
+                depth += 1;
+            } else if is_punct(t, '>') {
+                depth -= 1;
+            } else if is_punct(t, ',') && depth == 1 {
+                expect_param = true;
+            } else if depth == 1 && expect_param {
+                if let TokenTree::Ident(id) = t {
+                    generics.push(id.to_string());
+                }
+                expect_param = false;
+            }
+            i += 1;
+        }
+    }
+
+    let kind = if is_enum {
+        let body = match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("derive: expected enum body, got {other:?}"),
+        };
+        Kind::Enum(parse_variants(body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(split_top_level(g.stream()).len())
+            }
+            Some(t) if is_punct(t, ';') => Kind::UnitStruct,
+            other => panic!("derive: expected struct body, got {other:?}"),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        transparent,
+        kind,
+    }
+}
+
+/// Splits a token stream at top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments (e.g. `BTreeMap<K, V>`) don't split.
+/// `->` arrows are skipped so their `>` doesn't unbalance the count.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut depth = 0usize;
+    let mut k = 0;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if is_punct(t, '-') && k + 1 < tokens.len() && is_punct(&tokens[k + 1], '>') {
+            current.push(tokens[k].clone());
+            current.push(tokens[k + 1].clone());
+            k += 2;
+            continue;
+        }
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth = depth.saturating_sub(1);
+        } else if is_punct(t, ',') && depth == 0 {
+            chunks.push(std::mem::take(&mut current));
+            k += 1;
+            continue;
+        }
+        current.push(t.clone());
+        k += 1;
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts field names from a named-struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| field_name(&chunk))
+        .collect()
+}
+
+/// First identifier after attributes and visibility: the field name.
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut i = 0;
+    while i < chunk.len() && is_punct(&chunk[i], '#') {
+        i += 2;
+    }
+    if i < chunk.len() && is_ident(&chunk[i], "pub") {
+        i += 1;
+        if matches!(&chunk[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+    match &chunk[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected field name, got {other:?}"),
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            while i < chunk.len() && is_punct(&chunk[i], '#') {
+                i += 2;
+            }
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("derive: expected variant name, got {other:?}"),
+            };
+            i += 1;
+            // Anything after a `=` is an explicit discriminant; ignore it.
+            let fields = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantFields::Tuple(split_top_level(g.stream()).len())
+                }
+                _ => VariantFields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- generation
+
+/// `Name` or `Name<T, U>` plus the `impl<...>` header for a given bound.
+fn headers(item: &Input, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", item.name, item.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let (impl_generics, ty) = headers(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            if item.transparent {
+                assert!(
+                    fields.len() == 1,
+                    "#[serde(transparent)] requires exactly one field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                )
+            }
+        }
+        Kind::TupleStruct(n) => {
+            if item.transparent || *n == 1 {
+                assert!(*n == 1, "#[serde(transparent)] requires exactly one field");
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let entries: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+            }
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![\
+                             ({vname:?}.to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![\
+                                 ({vname:?}.to_string(), ::serde::Value::Array(::std::vec![{vals}]))]),",
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {fields} }} => ::serde::Value::Object(::std::vec![\
+                                 ({vname:?}.to_string(), ::serde::Value::Object(::std::vec![{entries}]))]),",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let (impl_generics, ty) = headers(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            if item.transparent {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0]
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::__get_field(__obj, {f:?})?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected object for \", {name:?})))?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        }
+        Kind::TupleStruct(n) => {
+            if item.transparent || *n == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                    .collect();
+                format!(
+                    "let __arr = __v.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected array for \", {name:?})))?;\n\
+                     if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::custom(concat!(\"wrong tuple length for \", {name:?}))); }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                )
+            }
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __arr = __payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array payload\"))?;\n\
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"wrong tuple variant length\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::__get_field(__fobj, {f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __fobj = __payload.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected object payload\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(concat!(\"unknown \", {name:?}, \" variant {{}}\"), __other))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n\
+                 {payload_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(concat!(\"unknown \", {name:?}, \" variant {{}}\"), __other))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 concat!(\"expected \", {name:?}, \" as string or single-entry object\"))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                payload_arms = payload_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

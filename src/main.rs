@@ -196,7 +196,12 @@ fn cmd_rank(args: &[String]) -> i32 {
         .map(|&id| FootprintModel::reference(id).annual_report(seed))
         .collect();
     if adjusted {
-        reports.sort_by(|x, y| y.adjusted_wi.value().partial_cmp(&x.adjusted_wi.value()).unwrap());
+        reports.sort_by(|x, y| {
+            y.adjusted_wi
+                .value()
+                .partial_cmp(&x.adjusted_wi.value())
+                .unwrap()
+        });
         println!("rank by scarcity-adjusted water intensity:");
         for (i, r) in reports.iter().enumerate() {
             println!(
@@ -251,7 +256,12 @@ fn cmd_scenario(args: &[String]) -> i32 {
         let d_c = 100.0 * (ci_mix.value() - s.carbon_intensity(ci_mix).value()) / ci_mix.value();
         let wi_s = wue + pue * s.ewf(ewf_mix).value();
         let d_w = 100.0 * (wi_mix - wi_s) / wi_mix;
-        println!("  {:<40} carbon {:>+7.0}%  water {:>+7.0}%", s.label(), d_c, d_w);
+        println!(
+            "  {:<40} carbon {:>+7.0}%  water {:>+7.0}%",
+            s.label(),
+            d_c,
+            d_w
+        );
     }
     0
 }
@@ -295,7 +305,10 @@ fn cmd_lifecycle(args: &[String]) -> i32 {
     println!("{id}: {years}-year lifecycle");
     println!("  embodied            {:>10.2} ML", ml(report.embodied));
     println!("  operational (total) {:>10.2} ML", ml(report.operational));
-    println!("  embodied share      {:>10.1} %", 100.0 * report.embodied_share());
+    println!(
+        "  embodied share      {:>10.1} %",
+        100.0 * report.embodied_share()
+    );
     println!(
         "  amortized intensity {:>10.3} L/kWh",
         report.amortized_intensity().value()

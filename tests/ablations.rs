@@ -14,14 +14,10 @@ use thirstyflops::workload::{ClusterSim, TraceConfig, TraceGenerator};
 fn accounting_granularity_error_ordering() {
     for id in [SystemId::Marconi, SystemId::Frontier] {
         let year = SystemYear::simulate(id, 11);
-        let hourly = OperationalBreakdown::from_series(
-            &year.energy,
-            &year.wue,
-            year.spec.pue,
-            &year.ewf,
-        )
-        .total()
-        .value();
+        let hourly =
+            OperationalBreakdown::from_series(&year.energy, &year.wue, year.spec.pue, &year.ewf)
+                .total()
+                .value();
 
         let e_m = year.energy.monthly_sum();
         let wue_m = year.wue.monthly_mean();
@@ -48,7 +44,10 @@ fn accounting_granularity_error_ordering() {
             err_monthly <= err_annual + 1e-9,
             "{id}: monthly {err_monthly} vs annual {err_annual}"
         );
-        assert!(err_annual < 0.2, "{id}: annual error {err_annual} too large to trust the sim");
+        assert!(
+            err_annual < 0.2,
+            "{id}: annual error {err_annual} too large to trust the sim"
+        );
         assert!(err_monthly < 0.05, "{id}: monthly error {err_monthly}");
     }
 }

@@ -26,7 +26,14 @@ fn no_args_prints_usage_and_fails() {
 fn systems_lists_all_six() {
     let (code, out, _) = run(&["systems"]);
     assert_eq!(code, 0);
-    for name in ["Marconi100", "Fugaku", "Polaris", "Frontier", "Aurora", "El Capitan"] {
+    for name in [
+        "Marconi100",
+        "Fugaku",
+        "Polaris",
+        "Frontier",
+        "Aurora",
+        "El Capitan",
+    ] {
         assert!(out.contains(name), "missing {name}");
     }
 }

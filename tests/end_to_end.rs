@@ -13,7 +13,10 @@ fn every_cataloged_system_produces_a_sane_report() {
     for id in SystemId::ALL {
         let report = FootprintModel::reference(id).annual_report(42);
         assert!(report.embodied_total().value() > 1e5, "{id} embodied tiny");
-        assert!(report.operational_total().value() > 1e6, "{id} operational tiny");
+        assert!(
+            report.operational_total().value() > 1e6,
+            "{id} operational tiny"
+        );
         assert!(report.mean_wue.value() > 0.0, "{id}");
         assert!(report.mean_ewf.value() > 0.0, "{id}");
         // Eq. 8 identity at annual means.

@@ -31,12 +31,20 @@ fn golden_fig07_direct_shares() {
 fn golden_fig08_intensities() {
     let e = exp::fig08();
     let wi = e.frame.numbers("water_intensity_l_per_kwh").unwrap();
-    let adj = e.frame.numbers("adjusted_water_intensity_l_per_kwh").unwrap();
+    let adj = e
+        .frame
+        .numbers("adjusted_water_intensity_l_per_kwh")
+        .unwrap();
     let golden_wi = [9.9466, 8.1164, 6.6330, 9.0420];
     let golden_adj = [3.4624, 1.0620, 3.6718, 0.9628];
     for i in 0..4 {
         assert_close(wi[i], golden_wi[i], 0.001, &format!("fig08 wi[{i}]"));
-        assert_close(adj[i], golden_adj[i], 0.001, &format!("fig08 adjusted[{i}]"));
+        assert_close(
+            adj[i],
+            golden_adj[i],
+            0.001,
+            &format!("fig08 adjusted[{i}]"),
+        );
     }
 }
 

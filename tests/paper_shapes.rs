@@ -46,7 +46,9 @@ fn table01_reproduces_paper_rows() {
 fn table02_checklist_covers_embodied_and_operational() {
     let e = exp::table02();
     let params = e.frame.texts("parameter").unwrap();
-    for required in ["N_IC", "A_die", "Yield", "UPW", "PCW", "WPA", "WPC", "E", "PUE", "mix%"] {
+    for required in [
+        "N_IC", "A_die", "Yield", "UPW", "PCW", "WPA", "WPC", "E", "PUE", "mix%",
+    ] {
         assert!(
             params.iter().any(|p| p == required),
             "missing parameter {required}"
@@ -77,19 +79,26 @@ fn fig03_gpu_rich_systems_are_gpu_dominated() {
 fn fig03_frontier_memory_storage_exceed_processors() {
     let e = exp::fig03();
     let i = find_row(&e, "system", "Frontier");
-    let procs =
-        e.frame.numbers("cpu_pct").unwrap()[i] + e.frame.numbers("gpu_pct").unwrap()[i];
+    let procs = e.frame.numbers("cpu_pct").unwrap()[i] + e.frame.numbers("gpu_pct").unwrap()[i];
     let mem = e.frame.numbers("dram_pct").unwrap()[i]
         + e.frame.numbers("hdd_pct").unwrap()[i]
         + e.frame.numbers("ssd_pct").unwrap()[i];
-    assert!(mem > procs, "Frontier mem+storage {mem} vs processors {procs}");
+    assert!(
+        mem > procs,
+        "Frontier mem+storage {mem} vs processors {procs}"
+    );
 }
 
 #[test]
 fn fig04_low_intensity_case_expands_embodied_dominance() {
     let e = exp::fig04();
     let fracs = e.frame.numbers("embodied_dominant_area_fraction").unwrap();
-    assert!(fracs[1] > 1.5 * fracs[0], "case b {} vs case a {}", fracs[1], fracs[0]);
+    assert!(
+        fracs[1] > 1.5 * fracs[0],
+        "case b {} vs case a {}",
+        fracs[1],
+        fracs[0]
+    );
 }
 
 #[test]
@@ -148,7 +157,10 @@ fn fig07_direct_indirect_split_matches_paper_bands() {
 fn fig08_scarcity_flips_the_ranking() {
     let e = exp::fig08();
     let raw = e.frame.numbers("water_intensity_l_per_kwh").unwrap();
-    let adj = e.frame.numbers("adjusted_water_intensity_l_per_kwh").unwrap();
+    let adj = e
+        .frame
+        .numbers("adjusted_water_intensity_l_per_kwh")
+        .unwrap();
     let polaris = find_row(&e, "system", "Polaris");
     // Polaris: lowest raw WI.
     for i in 0..4 {
@@ -202,7 +214,10 @@ fn fig11_power_and_water_correlate_imperfectly() {
         let w = &water[sys * 12..(sys + 1) * 12];
         let corr = stats::pearson(p, w).unwrap();
         assert!(corr < 0.995, "system {sys}: water ≡ power (corr {corr})");
-        assert!(corr > -0.9, "system {sys}: wildly anti-correlated (corr {corr})");
+        assert!(
+            corr > -0.9,
+            "system {sys}: wildly anti-correlated (corr {corr})"
+        );
     }
 }
 
@@ -265,10 +280,12 @@ fn table03_withdrawal_identity_holds() {
     let vals = e.frame.numbers("megaliters").unwrap();
     let get = |n: &str| vals[names.iter().position(|x| x == n).unwrap()];
     assert!(
-        (get("withdrawal") - (get("consumption") + get("adjusted_discharge") - get("reuse")))
-            .abs()
+        (get("withdrawal") - (get("consumption") + get("adjusted_discharge") - get("reuse"))).abs()
             < 1e-6 * get("withdrawal")
     );
     assert!(get("scarcity_weighted") <= get("withdrawal"));
-    assert!(get("withdrawal") > get("consumption"), "discharge adds withdrawal");
+    assert!(
+        get("withdrawal") > get("consumption"),
+        "discharge adds withdrawal"
+    );
 }

@@ -64,9 +64,7 @@ fn series_and_frames_round_trip() {
     let monthly = MonthlySeries::from_fn(|m| m.number() as f64);
     roundtrip(&monthly);
     let mut frame = Frame::new();
-    frame
-        .push_text("k", vec!["a".into(), "b".into()])
-        .unwrap();
+    frame.push_text("k", vec!["a".into(), "b".into()]).unwrap();
     frame.push_number("v", vec![1.0, 2.5]).unwrap();
     roundtrip(&frame);
 }

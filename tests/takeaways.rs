@@ -84,16 +84,35 @@ fn takeaway_04_indirect_water_is_material() {
 fn takeaway_05_water_capping_couples_cooling_and_generation() {
     let planner = WaterCapPlanner::new(Pue::new(1.2).unwrap());
     let offers = vec![
-        SourceOffer { source: EnergySource::Hydro, capacity_kwh: 1000.0 },
-        SourceOffer { source: EnergySource::Nuclear, capacity_kwh: 1000.0 },
-        SourceOffer { source: EnergySource::Gas, capacity_kwh: 1000.0 },
+        SourceOffer {
+            source: EnergySource::Hydro,
+            capacity_kwh: 1000.0,
+        },
+        SourceOffer {
+            source: EnergySource::Nuclear,
+            capacity_kwh: 1000.0,
+        },
+        SourceOffer {
+            source: EnergySource::Gas,
+            capacity_kwh: 1000.0,
+        },
     ];
     let budget = Liters::new(6000.0);
     let mild = planner
-        .dispatch(KilowattHours::new(1000.0), LitersPerKilowattHour::new(1.0), &offers, budget)
+        .dispatch(
+            KilowattHours::new(1000.0),
+            LitersPerKilowattHour::new(1.0),
+            &offers,
+            budget,
+        )
         .unwrap();
     let hot = planner
-        .dispatch(KilowattHours::new(1000.0), LitersPerKilowattHour::new(3.5), &offers, budget)
+        .dispatch(
+            KilowattHours::new(1000.0),
+            LitersPerKilowattHour::new(3.5),
+            &offers,
+            budget,
+        )
         .unwrap();
     assert!(hot.carbon_g > mild.carbon_g);
     assert!(hot.generation_water.value() < mild.generation_water.value());
