@@ -1,15 +1,33 @@
 #!/usr/bin/env bash
 # Local CI gate for the ThirstyFLOPS workspace. Run from the repo root.
 #
-#   ./ci.sh          # full gate: fmt, clippy, release build, tests, docs
-#   ./ci.sh quick    # skip the release build (fastest signal)
+#   ./ci.sh                # full gate: fmt, clippy, release build, tests
+#                          # at two thread counts, docs
+#   ./ci.sh quick          # skip the release build and the sequential
+#                          # test pass (fastest signal)
+#   ./ci.sh regen-goldens  # regenerate the golden-pinned artifacts for a
+#                          # deliberate recalibration (see docs/GOLDENS.md)
 #
 # The same commands gate merges; keep them green.
 set -euo pipefail
 
-quick="${1:-}"
+mode="${1:-}"
 
 step() { printf '\n== %s\n' "$*"; }
+
+if [[ "$mode" == "regen-goldens" ]]; then
+  # One-command recalibration diff: regenerate the artifacts whose numbers
+  # tests/golden.rs pins (plus the full set for context) and leave the
+  # report under target/ for comparison against the pinned constants.
+  out="target/golden-report.md"
+  step "cargo run --release -p thirstyflops_experiments --bin report"
+  mkdir -p target
+  cargo run --release -p thirstyflops_experiments --bin report > "$out"
+  step "golden-pinned sections (fig03 fig06 fig07 fig08) from $out"
+  grep -A 12 -E '^## (fig03|fig06|fig07|fig08) ' "$out" || true
+  printf '\nFull report: %s\nUpdate the constants in tests/golden.rs, then re-run ./ci.sh\n' "$out"
+  exit 0
+fi
 
 step "cargo fmt --check"
 cargo fmt --all --check
@@ -17,12 +35,22 @@ cargo fmt --all --check
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-if [[ "$quick" != "quick" ]]; then
+if [[ "$mode" != "quick" ]]; then
   step "cargo build --release"
   cargo build --release
 fi
 
-step "cargo test -q --workspace"
+# The determinism contract (docs/CONCURRENCY.md) promises bit-identical
+# results at every thread count: the full gate runs the whole suite
+# sequentially *and* at the default (auto-detected) worker count so any
+# divergence — including golden drift — fails it. Quick mode keeps its
+# fastest-signal promise with a single default-count pass.
+if [[ "$mode" != "quick" ]]; then
+  step "cargo test -q (THIRSTYFLOPS_THREADS=1, sequential)"
+  THIRSTYFLOPS_THREADS=1 cargo test -q --workspace
+fi
+
+step "cargo test -q (default thread count)"
 cargo test -q --workspace
 
 step "cargo doc --workspace --no-deps (warnings are errors)"

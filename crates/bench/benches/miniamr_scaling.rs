@@ -1,5 +1,11 @@
 //! Strong scaling of the miniAMR-like kernel across rayon thread counts
 //! (the Fig. 13 workload).
+//!
+//! With the chunked scoped-thread executor behind the rayon shim, the
+//! per-block ghost-gather and stencil-update phases genuinely fan out,
+//! so wall-clock time should drop with the thread count (up to the
+//! machine's core count) while every reported checksum stays
+//! bit-identical — compare the 1-thread and 4-thread rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -21,11 +27,9 @@ fn config() -> MiniAmrConfig {
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("miniamr_strong_scaling");
     group.sample_size(10);
-    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    // Measure 1/2/4/8 workers everywhere (oversubscribed counts on small
+    // machines are still informative: they bound the scheduling overhead).
     for threads in [1usize, 2, 4, 8] {
-        if threads > max * 2 {
-            continue;
-        }
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),
             &threads,

@@ -35,6 +35,28 @@ artifact_bench!(bench_fig13, fig13);
 artifact_bench!(bench_fig14, fig14);
 artifact_bench!(bench_table03, table03);
 
+/// The batch sweep (`experiments --all`): all 21 regenerators through the
+/// parallel fan-out, at one worker and at the machine's parallelism.
+fn bench_batch_sweep(c: &mut Criterion) {
+    exp::context::paper_years();
+    let mut group = c.benchmark_group("experiments_batch");
+    group.sample_size(10);
+    let machine = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for threads in [1, machine] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| pool.install(|| black_box(exp::all())))
+        });
+        if machine == 1 {
+            break;
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = artifacts;
     config = Criterion::default().sample_size(10);
@@ -42,6 +64,6 @@ criterion_group! {
         bench_fig01, bench_table01, bench_table02, bench_fig03, bench_fig04,
         bench_fig05, bench_fig06, bench_fig07, bench_fig08, bench_fig09,
         bench_fig10, bench_fig11, bench_fig12, bench_fig13, bench_fig14,
-        bench_table03
+        bench_table03, bench_batch_sweep
 }
 criterion_main!(artifacts);

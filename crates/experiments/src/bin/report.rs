@@ -15,22 +15,22 @@ fn main() {
     let csv = args.iter().any(|a| a == "--csv");
     let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
-    let all = experiments::all();
-    let selected: Vec<_> = if filter.is_empty() {
-        all
-    } else {
-        all.into_iter()
-            .filter(|e| filter.iter().any(|f| e.id == f.as_str()))
-            .collect()
-    };
-
-    if selected.is_empty() {
-        eprintln!("no matching experiment; known ids:");
-        for e in experiments::all() {
-            eprintln!("  {}", e.id);
+    // One parallel sweep; a filter regenerates only the named artifacts.
+    let ids: Vec<&str> = filter.iter().map(|f| f.as_str()).collect();
+    let known = experiments::ids();
+    let unknown: Vec<&&str> = ids.iter().filter(|id| !known.contains(id)).collect();
+    if !unknown.is_empty() {
+        eprintln!("no matching experiment: {unknown:?}; known ids:");
+        for id in known {
+            eprintln!("  {id}");
         }
         std::process::exit(1);
     }
+    let selected: Vec<_> = if ids.is_empty() {
+        experiments::all()
+    } else {
+        experiments::select(&ids)
+    };
 
     if json {
         println!(

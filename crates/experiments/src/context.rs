@@ -4,6 +4,7 @@
 
 use std::sync::OnceLock;
 
+use rayon::prelude::*;
 use thirstyflops_catalog::SystemId;
 use thirstyflops_core::SystemYear;
 
@@ -13,10 +14,15 @@ static YEARS: OnceLock<Vec<SystemYear>> = OnceLock::new();
 
 /// The simulated telemetry year for each of the paper's four systems,
 /// Table 1 order, computed once per process.
+///
+/// The four 8760-hour simulations are independent (each seeds its own
+/// ChaCha12 stream from `(system, SEED)`), so they fan out across the
+/// configured worker threads; the result vector is merged in Table 1
+/// order, keeping the contract of `docs/CONCURRENCY.md`.
 pub fn paper_years() -> &'static [SystemYear] {
     YEARS.get_or_init(|| {
         SystemId::PAPER
-            .iter()
+            .par_iter()
             .map(|&id| SystemYear::simulate(id, SEED))
             .collect()
     })

@@ -53,8 +53,12 @@ pub fn fig01() -> Experiment {
 /// Fig. 10: direct and indirect WSIs vary strongly within Illinois and
 /// Tennessee (county level), and across the whole US.
 pub fn fig10() -> Experiment {
-    let il = CountyWsiField::generate("IL", 102, SEED).expect("IL is cataloged");
-    let tn = CountyWsiField::generate("TN", 95, SEED).expect("TN is cataloged");
+    // The two county fields are independent seeded generations; run them
+    // on two workers when a pool is configured.
+    let (il, tn) = rayon::join(
+        || CountyWsiField::generate("IL", 102, SEED).expect("IL is cataloged"),
+        || CountyWsiField::generate("TN", 95, SEED).expect("TN is cataloged"),
+    );
 
     // US-wide state-level extremes for the third panel.
     let mut us_min = f64::INFINITY;

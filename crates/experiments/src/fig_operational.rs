@@ -1,6 +1,7 @@
 //! Fig. 5–9: energy sources, EWF/WUE distributions, direct/indirect
 //! split, WSI-adjusted intensity, and the multi-plant indirect WSI.
 
+use rayon::prelude::*;
 use thirstyflops_core::{ScarcityAdjustment, WaterIntensity};
 use thirstyflops_grid::EnergySource;
 use thirstyflops_timeseries::Frame;
@@ -74,8 +75,9 @@ pub fn fig06() -> Experiment {
         )
         .unwrap();
     for (name, series) in [("ewf", true), ("wue", false)] {
+        // Each summary scans an 8760-hour series; fan the four systems out.
         let summaries: Vec<_> = years
-            .iter()
+            .par_iter()
             .map(|y| {
                 if series {
                     y.ewf.summary()
@@ -127,7 +129,7 @@ pub fn fig07() -> Experiment {
             years.iter().map(|y| y.spec.id.to_string()).collect(),
         )
         .unwrap();
-    let ops: Vec<_> = years.iter().map(|y| y.operational()).collect();
+    let ops: Vec<_> = years.par_iter().map(|y| y.operational()).collect();
     frame
         .push_number(
             "direct_pct",
@@ -162,10 +164,13 @@ pub fn fig08() -> Experiment {
             years.iter().map(|y| y.spec.id.to_string()).collect(),
         )
         .unwrap();
-    let wis: Vec<f64> = years.iter().map(|y| y.water_intensity().mean()).collect();
+    let wis: Vec<f64> = years
+        .par_iter()
+        .map(|y| y.water_intensity().mean())
+        .collect();
     let wsis: Vec<f64> = years.iter().map(|y| y.spec.site_wsi.value()).collect();
     let adjusted: Vec<f64> = years
-        .iter()
+        .par_iter()
         .map(|y| {
             let wi = WaterIntensity::new(
                 LitersPerKilowattHour::new(y.wue.mean()),

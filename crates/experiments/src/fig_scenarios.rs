@@ -1,6 +1,7 @@
 //! Fig. 14 (nuclear and renewable what-if scenarios) and Table 3 (water
 //! withdrawal parameters).
 
+use rayon::prelude::*;
 use thirstyflops_core::withdrawal::{withdrawal_report, WithdrawalParams};
 use thirstyflops_grid::Scenario;
 use thirstyflops_timeseries::Frame;
@@ -21,26 +22,42 @@ pub fn fig14() -> Experiment {
         Scenario::WaterIntensiveRenewable,
     ];
 
+    // Per-system what-if evaluation fans out; each worker returns its
+    // system's four scenario rows, merged back in Table 1 order.
+    let per_system: Vec<Vec<(String, String, f64, f64)>> = years
+        .par_iter()
+        .map(|y| {
+            let ci_mix = GramsCo2PerKwh::new(y.carbon.mean());
+            let ewf_mix = LitersPerKilowattHour::new(y.ewf.mean());
+            let wue = y.wue.mean();
+            let pue = y.spec.pue.value();
+            let wi_mix = wue + pue * ewf_mix.value();
+            scenarios
+                .iter()
+                .map(|s| {
+                    let ci_s = s.carbon_intensity(ci_mix).value();
+                    let ewf_s = s.ewf(ewf_mix).value();
+                    let wi_s = wue + pue * ewf_s;
+                    (
+                        y.spec.id.to_string(),
+                        s.label().to_string(),
+                        100.0 * (ci_mix.value() - ci_s) / ci_mix.value(),
+                        100.0 * (wi_mix - wi_s) / wi_mix,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
     let mut system_col = Vec::new();
     let mut scenario_col = Vec::new();
     let mut carbon_saving = Vec::new();
     let mut water_saving = Vec::new();
-
-    for y in years {
-        let ci_mix = GramsCo2PerKwh::new(y.carbon.mean());
-        let ewf_mix = LitersPerKilowattHour::new(y.ewf.mean());
-        let wue = y.wue.mean();
-        let pue = y.spec.pue.value();
-        let wi_mix = wue + pue * ewf_mix.value();
-        for s in scenarios {
-            let ci_s = s.carbon_intensity(ci_mix).value();
-            let ewf_s = s.ewf(ewf_mix).value();
-            let wi_s = wue + pue * ewf_s;
-            system_col.push(y.spec.id.to_string());
-            scenario_col.push(s.label().to_string());
-            carbon_saving.push(100.0 * (ci_mix.value() - ci_s) / ci_mix.value());
-            water_saving.push(100.0 * (wi_mix - wi_s) / wi_mix);
-        }
+    for (system, scenario, carbon, water) in per_system.into_iter().flatten() {
+        system_col.push(system);
+        scenario_col.push(scenario);
+        carbon_saving.push(carbon);
+        water_saving.push(water);
     }
 
     let mut frame = Frame::new();

@@ -7,9 +7,14 @@
 //! thirstyflops scenario <system> [--seed N]     Fig. 14 energy-source what-ifs
 //! thirstyflops sensitivity <system> [--seed N]  which parameters move the answer
 //! thirstyflops lifecycle <system> --years N     break-even & amortized intensity
-//! thirstyflops experiments [id ...]             regenerate paper tables/figures
+//! thirstyflops experiments [id ...] [--all] [--json]  regenerate paper tables/figures
 //! thirstyflops systems                          list cataloged systems
 //! ```
+//!
+//! Every command accepts a global `--threads N` flag; without it the
+//! worker count comes from `THIRSTYFLOPS_THREADS`, then
+//! `RAYON_NUM_THREADS`, then the machine's available parallelism. Output
+//! is bit-identical at every thread count (see `docs/CONCURRENCY.md`).
 
 use thirstyflops::catalog::{SystemId, SystemSpec};
 use thirstyflops::core::sensitivity::{embodied_elasticities, operational_elasticities};
@@ -24,7 +29,28 @@ fn main() {
     std::process::exit(code);
 }
 
-fn run(args: &[String]) -> i32 {
+fn run(raw_args: &[String]) -> i32 {
+    // `--threads N` is a global flag: extract it wherever it appears
+    // (before or after the subcommand) so positional parsing below never
+    // sees it.
+    let args = match extract_threads(raw_args) {
+        Ok((args, threads)) => {
+            if let Some(n) = threads {
+                // First-wins like rayon: the CLI flag runs before any
+                // parallel work, so it takes precedence over the
+                // environment defaults.
+                let _ = rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build_global();
+            }
+            args
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let args = args.as_slice();
     let Some(cmd) = args.first() else {
         usage();
         return 2;
@@ -60,10 +86,40 @@ fn usage() {
          thirstyflops scenario <system> [--seed N]\n  \
          thirstyflops sensitivity <system> [--seed N]\n  \
          thirstyflops lifecycle <system> --years N [--seed N]\n  \
-         thirstyflops experiments [id ...]\n  \
+         thirstyflops experiments [id ...] [--all] [--json]\n  \
          thirstyflops systems\n\n\
+         Every command also accepts --threads N (worker threads for the\n\
+         parallel sweeps; defaults to THIRSTYFLOPS_THREADS, then the CPU\n\
+         count). Results are identical at every thread count.\n\n\
          Systems: marconi, fugaku, polaris, frontier, aurora, elcapitan"
     );
+}
+
+/// Splits a global `--threads N` flag (any position) out of the argument
+/// list, returning the remaining args and the parsed count (`None` when
+/// the flag is absent).
+fn extract_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut threads = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg != "--threads" {
+            rest.push(arg.clone());
+            continue;
+        }
+        let Some(value) = iter.next() else {
+            return Err("--threads needs a value, e.g. --threads 4".into());
+        };
+        match value.parse::<usize>() {
+            Ok(n) if n > 0 => threads = Some(n),
+            _ => {
+                return Err(format!(
+                    "--threads expects a positive integer, got {value:?}"
+                ))
+            }
+        }
+    }
+    Ok((rest, threads))
 }
 
 fn parse_system(name: &str) -> Option<SystemId> {
@@ -321,18 +377,49 @@ fn cmd_lifecycle(args: &[String]) -> i32 {
 }
 
 fn cmd_experiments(args: &[String]) -> i32 {
-    let filter: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
-    let all = thirstyflops::experiments::all();
-    let selected: Vec<_> = if filter.is_empty() {
-        all
-    } else {
-        all.into_iter()
-            .filter(|e| filter.iter().any(|f| e.id == f.as_str()))
-            .collect()
-    };
-    if selected.is_empty() {
-        eprintln!("no matching experiment id");
+    let mut json = false;
+    let mut all_flag = false;
+    let mut ids: Vec<&str> = Vec::new();
+    for arg in &args[1..] {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--all" => all_flag = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown experiments flag {flag:?}");
+                return 2;
+            }
+            id => ids.push(id),
+        }
+    }
+
+    if all_flag && !ids.is_empty() {
+        eprintln!("pass either experiment ids or --all, not both");
         return 2;
+    }
+    let known = thirstyflops::experiments::ids();
+    let unknown: Vec<&&str> = ids.iter().filter(|id| !known.contains(id)).collect();
+    if !unknown.is_empty() {
+        eprintln!("no matching experiment id: {unknown:?} (try one of {known:?})");
+        return 2;
+    }
+
+    // One parallel sweep either way: the full batch for `--all` (or no
+    // filter), or only the named artifacts — unselected figures are
+    // never regenerated.
+    let selected = if all_flag || ids.is_empty() {
+        thirstyflops::experiments::all()
+    } else {
+        thirstyflops::experiments::select(&ids)
+    };
+    if json {
+        match serde_json::to_string_pretty(&selected) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("experiments failed to serialize: {e}");
+                return 1;
+            }
+        }
+        return 0;
     }
     for e in &selected {
         println!("## {} — {}\n", e.id, e.title);

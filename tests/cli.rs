@@ -103,6 +103,78 @@ fn experiments_filter_works() {
 }
 
 #[test]
+fn experiments_all_json_emits_every_artifact() {
+    let (code, out, _) = run(&["experiments", "--all", "--json", "--threads", "2"]);
+    assert_eq!(code, 0);
+    let parsed: serde::Value = serde_json::from_str(&out).expect("output is valid JSON");
+    let experiments = parsed.as_array().expect("top level is an array");
+    assert_eq!(experiments.len(), 21, "21 paper + extension artifacts");
+    for e in experiments {
+        let fields = e.as_object().expect("each experiment is an object");
+        for key in ["id", "title", "frame", "notes"] {
+            assert!(
+                fields.iter().any(|(name, _)| name == key),
+                "experiment missing {key:?}"
+            );
+        }
+    }
+    // Paper order is preserved in batch mode.
+    let first = experiments[0].as_object().unwrap();
+    assert!(first
+        .iter()
+        .any(|(name, v)| name == "id" && *v == serde::Value::Str("fig01".into())));
+}
+
+#[test]
+fn experiments_rejects_ids_combined_with_all() {
+    let (code, _, err) = run(&["experiments", "fig05", "--all"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("not both"));
+}
+
+#[test]
+fn experiments_rejects_misspelled_id_even_next_to_valid_ones() {
+    // A typo must not silently drop an artifact from the batch output.
+    let (code, _, err) = run(&["experiments", "fig05", "fgi06", "--json"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("fgi06"), "{err}");
+}
+
+#[test]
+fn experiments_json_respects_id_filter() {
+    let (code, out, _) = run(&["experiments", "fig05", "--json"]);
+    assert_eq!(code, 0);
+    let parsed: serde::Value = serde_json::from_str(&out).expect("output is valid JSON");
+    assert_eq!(parsed.as_array().map(<[serde::Value]>::len), Some(1));
+    assert!(out.contains("\"fig05\""));
+    assert!(!out.contains("\"fig03\""));
+}
+
+#[test]
+fn threads_flag_is_position_independent() {
+    // The docs promise a *global* flag: before the subcommand, between
+    // positionals, or trailing — all equivalent.
+    let (code, before, _) = run(&["--threads", "2", "systems"]);
+    assert_eq!(code, 0);
+    let (code, after, _) = run(&["systems", "--threads", "2"]);
+    assert_eq!(code, 0);
+    assert_eq!(before, after);
+    let (code, out, _) = run(&["footprint", "--threads", "2", "polaris", "--seed", "7"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("Lemont"));
+}
+
+#[test]
+fn threads_flag_rejects_garbage() {
+    let (code, _, err) = run(&["rank", "--threads", "zero"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--threads"));
+    let (code, _, err) = run(&["rank", "--threads"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--threads"));
+}
+
+#[test]
 fn compare_emits_uncertainty_verdict() {
     let (code, out, _) = run(&["compare", "polaris", "frontier"]);
     assert_eq!(code, 0);
