@@ -2,9 +2,11 @@
 # Local CI gate for the ThirstyFLOPS workspace. Run from the repo root.
 #
 #   ./ci.sh                # full gate: fmt, clippy, release build, tests
-#                          # at two thread counts, docs
+#                          # at two thread counts, serve smoke, docs
 #   ./ci.sh quick          # skip the release build and the sequential
 #                          # test pass (fastest signal)
+#   ./ci.sh serve-smoke    # just the HTTP serving-layer smoke probe
+#                          # (ephemeral port, std-only TcpStream client)
 #   ./ci.sh regen-goldens  # regenerate the golden-pinned artifacts for a
 #                          # deliberate recalibration (see docs/GOLDENS.md)
 #
@@ -26,6 +28,19 @@ if [[ "$mode" == "regen-goldens" ]]; then
   step "golden-pinned sections (fig03 fig06 fig07 fig08) from $out"
   grep -A 12 -E '^## (fig03|fig06|fig07|fig08) ' "$out" || true
   printf '\nFull report: %s\nUpdate the constants in tests/golden.rs, then re-run ./ci.sh\n' "$out"
+  exit 0
+fi
+
+serve_smoke() {
+  # Starts the server on an ephemeral port, probes /healthz and a
+  # /v1/footprint query (twice — the repeat must hit the result cache)
+  # via std::net::TcpStream, and shuts down cleanly. No curl involved.
+  step "serve smoke (cargo run --release --example serve_smoke)"
+  cargo run --release --example serve_smoke
+}
+
+if [[ "$mode" == "serve-smoke" ]]; then
+  serve_smoke
   exit 0
 fi
 
@@ -52,6 +67,10 @@ fi
 
 step "cargo test -q (default thread count)"
 cargo test -q --workspace
+
+if [[ "$mode" != "quick" ]]; then
+  serve_smoke
+fi
 
 step "cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

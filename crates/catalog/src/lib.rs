@@ -25,4 +25,4 @@ pub mod wsi;
 
 pub use fleet::synthesize_fleet;
 pub use hardware::{FabSite, NodeConfig, ProcessorSpec, StorageConfig};
-pub use systems::{SystemId, SystemSpec};
+pub use systems::{ParseSystemIdError, SystemId, SystemSpec};

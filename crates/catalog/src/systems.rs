@@ -58,6 +58,56 @@ impl SystemId {
             SystemId::ElCapitan => "El Capitan",
         }
     }
+
+    /// Canonical lowercase token, used as the CLI argument and in API
+    /// URL paths (`/v1/footprint/{slug}`). Every slug parses back via
+    /// [`FromStr`](core::str::FromStr).
+    pub fn slug(self) -> &'static str {
+        match self {
+            SystemId::Marconi => "marconi",
+            SystemId::Fugaku => "fugaku",
+            SystemId::Polaris => "polaris",
+            SystemId::Frontier => "frontier",
+            SystemId::Aurora => "aurora",
+            SystemId::ElCapitan => "elcapitan",
+        }
+    }
+}
+
+/// Error for [`SystemId::from_str`](core::str::FromStr): the input named
+/// no cataloged system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSystemIdError {
+    input: String,
+}
+
+impl core::fmt::Display for ParseSystemIdError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unknown system {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseSystemIdError {}
+
+impl core::str::FromStr for SystemId {
+    type Err = ParseSystemIdError;
+
+    /// Parses a system name: the canonical slug, the display name, or a
+    /// historical alias — case-insensitive. This is the one alias table
+    /// shared by the CLI and the HTTP API.
+    fn from_str(s: &str) -> Result<SystemId, ParseSystemIdError> {
+        match s.to_ascii_lowercase().as_str() {
+            "marconi" | "marconi100" => Ok(SystemId::Marconi),
+            "fugaku" => Ok(SystemId::Fugaku),
+            "polaris" => Ok(SystemId::Polaris),
+            "frontier" => Ok(SystemId::Frontier),
+            "aurora" => Ok(SystemId::Aurora),
+            "elcapitan" | "el-capitan" | "el_capitan" | "el capitan" => Ok(SystemId::ElCapitan),
+            _ => Err(ParseSystemIdError {
+                input: s.to_string(),
+            }),
+        }
+    }
 }
 
 impl core::fmt::Display for SystemId {
@@ -493,5 +543,36 @@ mod tests {
         assert_eq!(SystemId::Marconi.to_string(), "Marconi100");
         assert_eq!(SystemId::ALL.len(), 6);
         assert_eq!(SystemId::PAPER.len(), 4);
+    }
+
+    #[test]
+    fn every_slug_and_name_round_trips_through_from_str() {
+        for id in SystemId::ALL {
+            assert_eq!(id.slug().parse::<SystemId>(), Ok(id));
+            assert_eq!(id.name().parse::<SystemId>(), Ok(id), "{}", id.name());
+            assert_eq!(
+                id.slug(),
+                id.slug().to_ascii_lowercase(),
+                "slug is lowercase"
+            );
+        }
+    }
+
+    #[test]
+    fn historical_aliases_still_parse() {
+        assert_eq!("Marconi100".parse::<SystemId>(), Ok(SystemId::Marconi));
+        for alias in ["elcapitan", "el-capitan", "el_capitan", "El Capitan"] {
+            assert_eq!(
+                alias.parse::<SystemId>(),
+                Ok(SystemId::ElCapitan),
+                "{alias}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_with_the_input() {
+        let err = "colossus".parse::<SystemId>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown system \"colossus\"");
     }
 }

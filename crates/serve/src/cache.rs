@@ -1,0 +1,162 @@
+//! A sharded in-memory result cache for rendered JSON bodies.
+//!
+//! Keys are canonical request descriptors (`"footprint/polaris?seed=7"`
+//! — normalized, so a defaulted and an explicit `seed=2023` share one
+//! entry; see `docs/SERVING.md` for the scheme). Values are the exact
+//! response bodies, shared via `Arc` so a hit costs one clone of a
+//! pointer, not a re-simulation of an 8760-hour year.
+//!
+//! Determinism contract: handlers are pure functions of the canonical
+//! key, so a cached body and a freshly computed body are byte-identical
+//! by construction. Under concurrent misses on the same key two workers
+//! may both compute; both produce the same bytes and the first insert
+//! wins, so responses never depend on the race (the hit/miss counters
+//! may, which is why they are documented as monotonic, not exact, under
+//! concurrency).
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// `DefaultHasher::default()` is SipHash with fixed keys — deterministic
+/// across processes, unlike `RandomState`.
+type FixedState = BuildHasherDefault<DefaultHasher>;
+
+type Shard = Mutex<HashMap<String, Arc<str>, FixedState>>;
+
+/// Sharded `(canonical request) → (response body)` cache with hit/miss
+/// counters.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Counters exposed by `GET /v1/cache/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Requests answered from the cache (no simulation ran).
+    pub hits: u64,
+    /// Requests that had to compute and insert their body.
+    pub misses: u64,
+    /// Distinct cached bodies across all shards.
+    pub entries: u64,
+    /// Number of shards (fixed at construction).
+    pub shards: u64,
+}
+
+impl ResultCache {
+    /// A cache with `shards` independent locks (clamped to ≥ 1).
+    pub fn new(shards: usize) -> ResultCache {
+        ResultCache {
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Shard {
+        let mut hasher = DefaultHasher::default();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Returns the cached body for `key`, or computes, caches, and
+    /// returns it. The compute closure runs outside the shard lock so a
+    /// slow simulation never blocks unrelated keys in the same shard.
+    pub fn get_or_compute(&self, key: &str, compute: impl FnOnce() -> String) -> Arc<str> {
+        let shard = self.shard(key);
+        if let Some(found) = shard.lock().expect("cache shard poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed: Arc<str> = Arc::from(compute());
+        match shard
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key.to_string())
+        {
+            // A concurrent miss beat us to the insert; its bytes are
+            // identical (pure handlers), keep the incumbent.
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(e) => Arc::clone(e.insert(computed)),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len() as u64)
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            shards: self.shards.len() as u64,
+        }
+    }
+}
+
+impl Default for ResultCache {
+    /// Eight shards: enough to keep worker threads off each other's
+    /// locks at any worker count this server realistically runs.
+    fn default() -> ResultCache {
+        ResultCache::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_and_skips_compute() {
+        let cache = ResultCache::default();
+        let first = cache.get_or_compute("k", || "body".into());
+        let second = cache.get_or_compute("k", || panic!("must not recompute"));
+        assert_eq!(&*first, "body");
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.shards, 8);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_entries() {
+        let cache = ResultCache::new(2);
+        for i in 0..10 {
+            cache.get_or_compute(&format!("k{i}"), || format!("v{i}"));
+        }
+        assert_eq!(cache.stats().entries, 10);
+        assert_eq!(cache.stats().misses, 10);
+        assert_eq!(&*cache.get_or_compute("k3", || unreachable!()), "v3");
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(ResultCache::new(0).stats().shards, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_misses_agree() {
+        let cache = std::sync::Arc::new(ResultCache::default());
+        let bodies: Vec<Arc<str>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = std::sync::Arc::clone(&cache);
+                    scope.spawn(move || cache.get_or_compute("hot", || "same".into()))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(bodies.iter().all(|b| &**b == "same"));
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().hits + cache.stats().misses, 8);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error taxonomy for the serving layer and its JSON rendering.
+//!
+//! Every failure a handler can produce maps onto one HTTP status plus a
+//! small JSON body, so clients never have to parse free-text errors. The
+//! bodies go through the same canonical renderer
+//! ([`crate::api::to_json`]) as successful responses, which keeps error
+//! output byte-deterministic too.
+
+use crate::api;
+use crate::http::Response;
+
+/// A request that could not be answered with a `200 OK`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The path or a path parameter named something that does not exist.
+    NotFound(String),
+    /// A query parameter or the request itself was malformed.
+    BadRequest(String),
+    /// The method is not `GET` (the API is read-only).
+    MethodNotAllowed(String),
+}
+
+/// The JSON shape of every error response.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ErrorBody {
+    /// Numeric HTTP status, duplicated into the body for log scraping.
+    pub status: u16,
+    /// Human-readable description of what went wrong.
+    pub error: String,
+}
+
+impl ServeError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::NotFound(_) => 404,
+            ServeError::BadRequest(_) => 400,
+            ServeError::MethodNotAllowed(_) => 405,
+        }
+    }
+
+    /// The error message carried in the JSON body.
+    pub fn message(&self) -> &str {
+        match self {
+            ServeError::NotFound(m)
+            | ServeError::BadRequest(m)
+            | ServeError::MethodNotAllowed(m) => m,
+        }
+    }
+
+    /// Renders the error as a full HTTP response with a JSON body.
+    pub fn to_response(&self) -> Response {
+        let body = ErrorBody {
+            status: self.status(),
+            error: self.message().to_string(),
+        };
+        Response::json(self.status(), api::to_json(&body))
+    }
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} {}", self.status(), self.message())
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_match_variants() {
+        assert_eq!(ServeError::NotFound("x".into()).status(), 404);
+        assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
+        assert_eq!(ServeError::MethodNotAllowed("x".into()).status(), 405);
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        let resp = ServeError::BadRequest("bad seed".into()).to_response();
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("\"error\": \"bad seed\""));
+        assert!(resp.body.contains("\"status\": 400"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Request handlers: route dispatch, cache lookups, and payload builds.
+//!
+//! Every cacheable endpoint follows the same shape: normalize the
+//! request into a canonical cache key (defaults filled in, parameters in
+//! fixed order), then `get_or_compute` the rendered body. The compute
+//! closures call the same [`api`] builders the CLI's `--json` flags use,
+//! which is what makes cached, uncached, and CLI output byte-identical.
+
+use thirstyflops_catalog::SystemId;
+
+use crate::api;
+use crate::cache::ResultCache;
+use crate::error::ServeError;
+use crate::http::{Request, Response};
+use crate::router::{route, Query, Route};
+
+/// Shared state behind all workers: today just the result cache.
+#[derive(Debug, Default)]
+pub struct AppState {
+    /// The sharded body cache (see `docs/SERVING.md` for the key scheme).
+    pub cache: ResultCache,
+}
+
+/// Dispatches one parsed request to its handler. Never panics; every
+/// failure becomes a JSON error response.
+pub fn handle(req: &Request, state: &AppState) -> Response {
+    match try_handle(req, state) {
+        Ok(resp) => resp,
+        Err(e) => e.to_response(),
+    }
+}
+
+fn try_handle(req: &Request, state: &AppState) -> Result<Response, ServeError> {
+    if req.method != "GET" {
+        return Err(ServeError::MethodNotAllowed(format!(
+            "{} not supported — the API is read-only, use GET",
+            req.method
+        )));
+    }
+    let query = Query::parse(&req.query)?;
+    match route(&req.path)? {
+        Route::Healthz => {
+            query.expect_only(&[])?;
+            Ok(Response::json(200, api::to_json(&HealthBody::ok())))
+        }
+        Route::CacheStats => {
+            query.expect_only(&[])?;
+            Ok(Response::json(200, api::to_json(&state.cache.stats())))
+        }
+        Route::Systems => {
+            query.expect_only(&[])?;
+            let body = state
+                .cache
+                .get_or_compute("systems", || api::to_json(&api::systems_payload()));
+            Ok(Response::json(200, body))
+        }
+        Route::Footprint(system) => {
+            query.expect_only(&["seed"])?;
+            let id = parse_system(&system)?;
+            let seed = query.seed()?;
+            let key = format!("footprint/{}?seed={seed}", id.slug());
+            let body = state
+                .cache
+                .get_or_compute(&key, || api::to_json(&api::footprint_payload(id, seed)));
+            Ok(Response::json(200, body))
+        }
+        Route::Rank => {
+            query.expect_only(&["seed", "adjusted"])?;
+            let seed = query.seed()?;
+            let adjusted = query.flag("adjusted")?;
+            let key = format!("rank?adjusted={adjusted}&seed={seed}");
+            let body = state
+                .cache
+                .get_or_compute(&key, || api::to_json(&api::rank_payload(adjusted, seed)));
+            Ok(Response::json(200, body))
+        }
+        Route::Scenario(system) => {
+            query.expect_only(&["seed"])?;
+            let id = parse_system(&system)?;
+            let seed = query.seed()?;
+            let key = format!("scenario/{}?seed={seed}", id.slug());
+            let body = state
+                .cache
+                .get_or_compute(&key, || api::to_json(&api::scenario_payload(id, seed)));
+            Ok(Response::json(200, body))
+        }
+        Route::ExperimentIndex => {
+            query.expect_only(&[])?;
+            let body = state.cache.get_or_compute("experiments", || {
+                api::to_json(&api::experiment_index_payload())
+            });
+            Ok(Response::json(200, body))
+        }
+        Route::Experiment(id) => {
+            query.expect_only(&[])?;
+            if !thirstyflops_experiments::ids().contains(&id.as_str()) {
+                return Err(ServeError::NotFound(format!(
+                    "no experiment {id:?} — GET /v1/experiments lists the known ids"
+                )));
+            }
+            let key = format!("experiments/{id}");
+            let body = state.cache.get_or_compute(&key, || {
+                api::to_json(&thirstyflops_experiments::select(&[id.as_str()]))
+            });
+            Ok(Response::json(200, body))
+        }
+    }
+}
+
+fn parse_system(name: &str) -> Result<SystemId, ServeError> {
+    name.parse::<SystemId>().map_err(|e| {
+        ServeError::NotFound(format!("{e} — GET /v1/systems lists the cataloged systems"))
+    })
+}
+
+/// `GET /healthz` body.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HealthBody {
+    /// Always `"ok"` while the process is serving.
+    pub status: String,
+}
+
+impl HealthBody {
+    /// The healthy answer.
+    pub fn ok() -> HealthBody {
+        HealthBody {
+            status: "ok".to_string(),
+        }
+    }
+}
+
+/// Serves one connection end-to-end: parse, dispatch, write, close.
+/// I/O errors (client hung up, timeout) are swallowed — there is nobody
+/// left to answer.
+pub fn serve_connection(mut stream: std::net::TcpStream, state: &AppState) {
+    // A stuck client must not pin a worker forever.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let response = match crate::http::read_request(&mut stream) {
+        Ok(req) => handle(&req, state),
+        Err(e) => match parse_error_response(e) {
+            Some(resp) => resp,
+            None => return, // nothing arrived; likely a probe
+        },
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+/// Maps a request-parse failure to its response; `None` when the socket
+/// died before a request arrived (there is nobody left to answer).
+pub fn parse_error_response(e: crate::http::ParseError) -> Option<Response> {
+    match e {
+        crate::http::ParseError::Io(_) => None,
+        crate::http::ParseError::TooLarge => Some(Response::json(
+            431,
+            api::to_json(&crate::error::ErrorBody {
+                status: 431,
+                error: format!("request head exceeds {} bytes", crate::http::MAX_HEAD_BYTES),
+            }),
+        )),
+        crate::http::ParseError::Malformed(m) => Some(ServeError::BadRequest(m).to_response()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path_and_query: &str, state: &AppState) -> Response {
+        let (path, query) = match path_and_query.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path_and_query, ""),
+        };
+        handle(
+            &Request {
+                method: "GET".into(),
+                path: path.into(),
+                query: query.into(),
+            },
+            state,
+        )
+    }
+
+    #[test]
+    fn healthz_answers_ok() {
+        let resp = get("/healthz", &AppState::default());
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"status\": \"ok\""));
+    }
+
+    #[test]
+    fn footprint_caches_by_normalized_key() {
+        let state = AppState::default();
+        let first = get("/v1/footprint/polaris?seed=2023", &state);
+        assert_eq!(first.status, 200);
+        // Defaulted seed normalizes onto the same key ⇒ cache hit.
+        let second = get("/v1/footprint/polaris", &state);
+        assert_eq!(first.body, second.body);
+        let stats = state.cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn unknown_system_and_experiment_are_404() {
+        let state = AppState::default();
+        assert_eq!(get("/v1/footprint/colossus", &state).status, 404);
+        assert_eq!(get("/v1/scenario/colossus", &state).status, 404);
+        assert_eq!(get("/v1/experiments/fig99", &state).status, 404);
+        assert_eq!(get("/nope", &state).status, 404);
+    }
+
+    #[test]
+    fn parameter_typos_are_400_not_silent_defaults() {
+        let state = AppState::default();
+        assert_eq!(get("/v1/footprint/polaris?sed=7", &state).status, 400);
+        assert_eq!(get("/v1/rank?seed=abc", &state).status, 400);
+        assert_eq!(get("/v1/rank?adjusted=maybe", &state).status, 400);
+        assert_eq!(get("/healthz?x=1", &state).status, 400);
+    }
+
+    #[test]
+    fn non_get_is_405() {
+        let resp = handle(
+            &Request {
+                method: "POST".into(),
+                path: "/healthz".into(),
+                query: String::new(),
+            },
+            &AppState::default(),
+        );
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn rank_body_matches_api_builder_bytes() {
+        let state = AppState::default();
+        let resp = get("/v1/rank?seed=7&adjusted=true", &state);
+        assert_eq!(&*resp.body, api::to_json(&api::rank_payload(true, 7)));
+    }
+
+    #[test]
+    fn experiment_index_lists_ids() {
+        let resp = get("/v1/experiments", &AppState::default());
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"fig01\""));
+        assert!(resp.body.contains("\"table03\""));
+    }
+
+    #[test]
+    fn parse_errors_map_to_their_statuses() {
+        use crate::http::ParseError;
+        assert!(parse_error_response(ParseError::Io("reset".into())).is_none());
+        let too_large = parse_error_response(ParseError::TooLarge).unwrap();
+        assert_eq!(too_large.status, 431);
+        assert!(too_large.body.contains("\"status\": 431"));
+        let malformed = parse_error_response(ParseError::Malformed("bad line".into())).unwrap();
+        assert_eq!(malformed.status, 400);
+        assert!(malformed.body.contains("bad line"));
+    }
+
+    #[test]
+    fn cache_stats_endpoint_is_not_itself_cached() {
+        let state = AppState::default();
+        let before = get("/v1/cache/stats", &state);
+        get("/v1/systems", &state);
+        let after = get("/v1/cache/stats", &state);
+        assert_ne!(before.body, after.body, "stats must reflect the new miss");
+    }
+}

@@ -1,0 +1,260 @@
+//! A minimal HTTP/1.1 request parser and response writer over `std::io`.
+//!
+//! Only what a read-only JSON API needs: `GET` request lines, header
+//! skipping, a bounded read (8 KiB of head), and `Connection: close`
+//! responses with an explicit `Content-Length`. No keep-alive, no
+//! chunked transfer, no TLS — the serving layer is an internal tool and
+//! the simplicity is what keeps it deterministic and std-only.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Maximum bytes of request head (request line + headers) we accept.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed HTTP request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token, e.g. `GET`.
+    pub method: String,
+    /// Decoded path component, e.g. `/v1/footprint/polaris`.
+    pub path: String,
+    /// Raw query string without the leading `?` (empty when absent).
+    pub query: String,
+}
+
+/// A response ready to be written: status plus JSON body.
+///
+/// The body is an `Arc<str>` so a cache hit serves the stored rendering
+/// without copying it — the hot path costs a pointer clone, as the
+/// cache module promises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always JSON in this API).
+    pub body: Arc<str>,
+}
+
+impl Response {
+    /// Builds a JSON response from an owned rendering or a shared cache
+    /// entry alike.
+    pub fn json(status: u16, body: impl Into<Arc<str>>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// The standard reason phrase for the statuses this API emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            431 => "Request Header Fields Too Large",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serializes the full response (status line, headers, body) to a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.body.len()
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Errors from reading or parsing a request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The socket closed or errored before a full head arrived.
+    Io(String),
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    TooLarge,
+    /// The request line was not `METHOD TARGET HTTP/1.x`.
+    Malformed(String),
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::TooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+/// Reads one request head from a stream and parses it.
+///
+/// Reads until the blank line ending the headers; any body bytes are
+/// ignored (the API is `GET`-only). Fails closed on oversized or
+/// malformed heads.
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        if find_head_end(&head).is_some() {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge);
+        }
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| ParseError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ParseError::Io("connection closed mid-request".into()));
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let end = find_head_end(&head).expect("loop exits only with a full head");
+    let text = std::str::from_utf8(&head[..end])
+        .map_err(|_| ParseError::Malformed("request head is not UTF-8".into()))?;
+    parse_head(text)
+}
+
+/// Index of the byte just past the first `\r\n\r\n` (or `None`).
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+}
+
+/// Parses the request line out of a full (header-terminated) head.
+fn parse_head(text: &str) -> Result<Request, ParseError> {
+    let request_line = text
+        .lines()
+        .next()
+        .ok_or_else(|| ParseError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(ParseError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(raw_path)
+        .ok_or_else(|| ParseError::Malformed(format!("bad percent-escape in path {raw_path:?}")))?;
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query: raw_query.to_string(),
+    })
+}
+
+/// Decodes `%XX` escapes; returns `None` on truncated or non-hex escapes
+/// or when the decoded bytes are not UTF-8.
+pub fn percent_decode(s: &str) -> Option<String> {
+    if !s.contains('%') {
+        return Some(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = char::from(*bytes.get(i + 1)?).to_digit(16)?;
+            let lo = char::from(*bytes.get(i + 2)?).to_digit(16)?;
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query, "");
+    }
+
+    #[test]
+    fn splits_query_and_decodes_path() {
+        let req = parse("GET /v1/footprint/el%2Dcapitan?seed=7&x=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/v1/footprint/el-capitan");
+        assert_eq!(req.query, "seed=7&x=1");
+    }
+
+    #[test]
+    fn rejects_bad_request_lines() {
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x SPDY/3\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /%zz HTTP/1.1\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_heads() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(2 * MAX_HEAD_BYTES));
+        assert_eq!(parse(&raw), Err(ParseError::TooLarge));
+    }
+
+    #[test]
+    fn rejects_truncated_streams() {
+        assert!(matches!(
+            parse("GET /healthz HTTP/1.1\r\n"),
+            Err(ParseError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format_is_exact() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}"
+        );
+    }
+
+    #[test]
+    fn percent_decode_handles_escapes() {
+        assert_eq!(percent_decode("a%20b").as_deref(), Some("a b"));
+        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
+        assert_eq!(percent_decode("bad%2"), None);
+        assert_eq!(percent_decode("bad%zz"), None);
+    }
+}

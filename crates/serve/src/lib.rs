@@ -1,0 +1,253 @@
+//! `thirstyflops_serve` — a std-only HTTP/JSON serving layer with a
+//! deterministic result cache.
+//!
+//! The first step toward the ROADMAP's heavy-traffic north star: expose
+//! the footprint/rank/scenario/experiment queries as a JSON API without
+//! pulling in any async runtime or HTTP dependency. The stack is five
+//! small layers:
+//!
+//! * [`http`] — minimal HTTP/1.1 request parsing and response writing;
+//! * [`router`] — path → endpoint resolution and query parsing;
+//! * [`api`] — the typed payloads, shared with the CLI's `--json` flags
+//!   so server and CLI output are byte-identical;
+//! * [`cache`] — a sharded `(canonical request) → (rendered body)` cache
+//!   that lets repeated queries skip `SystemYear::simulate` entirely;
+//! * [`pool`] — a fixed worker pool in the spirit of the workspace's
+//!   rayon shim executor.
+//!
+//! Determinism contract (see `docs/SERVING.md` and `docs/CONCURRENCY.md`):
+//! handlers are pure functions of the canonical request, so identical
+//! requests produce byte-identical bodies at any worker count, cached or
+//! not. That property — not latency — is what the 1-CPU CI container
+//! validates.
+//!
+//! ```no_run
+//! use thirstyflops_serve::{Server, ServerConfig};
+//!
+//! let server = Server::bind(&ServerConfig {
+//!     addr: "127.0.0.1:0".to_string(), // port 0: ephemeral, for tests
+//!     workers: 4,
+//! })
+//! .expect("bind");
+//! println!("listening on http://{}", server.local_addr());
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod error;
+pub mod handlers;
+pub mod http;
+pub mod pool;
+pub mod router;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+pub use cache::{CacheStats, ResultCache};
+pub use error::ServeError;
+pub use handlers::AppState;
+
+/// How to run the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address, `HOST:PORT`. Port 0 asks the OS for an ephemeral
+    /// port (read it back via [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads answering requests (clamped to ≥ 1).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    /// Loopback on the project's default port with one worker per
+    /// available CPU.
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7979".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// A running server: an accept thread feeding a fixed worker pool.
+///
+/// Shutdown semantics: [`shutdown`](Server::shutdown) flips a flag,
+/// nudges the blocking `accept` with a loopback connection, stops
+/// accepting, lets the workers drain every already-accepted connection,
+/// and joins all threads — no connection is abandoned mid-response.
+/// Dropping a `Server` without calling `shutdown` leaves the threads
+/// serving until the process exits (what the CLI's `serve` command
+/// wants).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    pool: Option<pool::WorkerPool>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the worker pool and the accept thread,
+    /// and starts serving immediately.
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(AppState::default());
+        let worker_state = Arc::clone(&state);
+        let (pool, sender) = pool::WorkerPool::spawn(config.workers, move |stream| {
+            handlers::serve_connection(stream, &worker_state);
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &sender, &accept_stop))?;
+        Ok(Server {
+            addr,
+            state,
+            stop,
+            accept_thread: Some(accept_thread),
+            pool: Some(pool),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, pool::WorkerPool::len)
+    }
+
+    /// Snapshot of the result-cache counters (also served at
+    /// `GET /v1/cache/stats`).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.cache.stats()
+    }
+
+    /// Stops accepting, drains in-flight connections, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call; the accept loop sees the flag before
+        // queueing this nudge connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // The accept thread owned the queue sender; with it gone the
+        // workers drain the queue and exit.
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+
+    /// Blocks forever serving requests (the CLI foreground mode).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, sender: &Sender<TcpStream>, stop: &AtomicBool) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stop.load(Ordering::SeqCst) {
+                    // The shutdown nudge (or a late client): drop it and
+                    // stop accepting.
+                    drop(stream);
+                    return;
+                }
+                if sender.send(stream).is_err() {
+                    return; // workers are gone; nothing can be served
+                }
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept errors (EMFILE, aborted handshake):
+                // keep serving.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn binds_port_zero_serves_and_shuts_down() {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+        })
+        .unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        assert_eq!(server.workers(), 2);
+        let response = get(server.local_addr(), "/healthz");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("\"status\": \"ok\""));
+        let addr = server.local_addr();
+        server.shutdown();
+        // After shutdown nothing is listening any more.
+        assert!(TcpStream::connect(addr).is_err() || get_is_dead(addr));
+    }
+
+    fn get_is_dead(addr: SocketAddr) -> bool {
+        // A connect may still succeed briefly on some kernels (backlog),
+        // but no response bytes can ever arrive.
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(_) => return true,
+        };
+        let _ = write!(stream, "GET /healthz HTTP/1.1\r\n\r\n");
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+        let mut buf = [0u8; 1];
+        !matches!(stream.read(&mut buf), Ok(n) if n > 0)
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let config = ServerConfig::default();
+        assert!(config.workers >= 1);
+        assert!(config.addr.starts_with("127.0.0.1:"));
+    }
+
+    #[test]
+    fn cache_stats_visible_in_process() {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+        })
+        .unwrap();
+        assert_eq!(server.cache_stats().misses, 0);
+        get(server.local_addr(), "/v1/systems");
+        get(server.local_addr(), "/v1/systems");
+        let stats = server.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        server.shutdown();
+    }
+}

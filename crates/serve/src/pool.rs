@@ -1,0 +1,172 @@
+//! A fixed pool of worker threads consuming accepted connections.
+//!
+//! Same philosophy as the workspace's rayon shim executor
+//! (`docs/CONCURRENCY.md`): plain `std::thread` workers pulling work
+//! items off one shared queue, with the worker count fixed up front.
+//! Here the work items are `TcpStream`s and ordering does not matter —
+//! handlers are pure, so which worker answers a request can never change
+//! the bytes on the wire.
+
+use std::net::TcpStream;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// The worker threads. Dropping the matching [`Sender`] (returned by
+/// [`WorkerPool::spawn`]) is the shutdown signal: each worker exits once
+/// the queue is drained and disconnected, and [`WorkerPool::join`] waits
+/// for them.
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (clamped to ≥ 1) that each loop over the
+    /// queue and run `handle` on every connection. A panic in `handle`
+    /// is caught per connection: the client whose request panicked gets
+    /// a dropped connection, the worker stays alive and keeps serving.
+    pub fn spawn(
+        workers: usize,
+        handle: impl Fn(TcpStream) + Send + Sync + 'static,
+    ) -> (WorkerPool, Sender<TcpStream>) {
+        let (sender, receiver) = std::sync::mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handle = Arc::new(handle);
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let handle = Arc::clone(&handle);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, &*handle))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        (WorkerPool { handles }, sender)
+    }
+
+    /// Number of worker threads.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Always false — the pool clamps to at least one worker.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker to drain the queue and exit. Call after
+    /// dropping the `Sender`; joining with it alive would deadlock.
+    pub fn join(self) {
+        for handle in self.handles {
+            // A worker that panicked already lost its connection; the
+            // pool itself shuts down regardless.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, handle: &(impl Fn(TcpStream) + ?Sized)) {
+    loop {
+        // Hold the queue lock only for the pop, never during handling.
+        let next = receiver.lock().expect("queue lock poisoned").recv();
+        match next {
+            Ok(stream) => {
+                // A panicking handler must not take the worker down with
+                // it — with --workers 1 that would turn one bad request
+                // into a silent total outage (accepted but never
+                // answered connections).
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(stream)));
+            }
+            Err(_) => return, // sender dropped ⇒ shutdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_handle_jobs_then_join_on_sender_drop() {
+        let served = Arc::new(AtomicUsize::new(0));
+        let served_in_pool = Arc::clone(&served);
+        let (pool, sender) = WorkerPool::spawn(4, move |mut stream| {
+            let mut byte = [0u8; 1];
+            let _ = stream.read(&mut byte);
+            let _ = stream.write_all(&byte);
+            served_in_pool.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(pool.len(), 4);
+        assert!(!pool.is_empty());
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let clients: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = TcpStream::connect(addr).unwrap();
+                    c.write_all(&[i]).unwrap();
+                    let mut echo = [0u8; 1];
+                    c.read_exact(&mut echo).unwrap();
+                    assert_eq!(echo[0], i);
+                })
+            })
+            .collect();
+        for _ in 0..8 {
+            let (stream, _) = listener.accept().unwrap();
+            sender.send(stream).unwrap();
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        drop(sender);
+        pool.join();
+        assert_eq!(served.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn a_panicking_handler_does_not_kill_the_worker() {
+        let served = Arc::new(AtomicUsize::new(0));
+        let served_in_pool = Arc::clone(&served);
+        let (pool, sender) = WorkerPool::spawn(1, move |mut stream| {
+            let mut byte = [0u8; 1];
+            let _ = stream.read(&mut byte);
+            if byte[0] == b'!' {
+                panic!("poisoned request");
+            }
+            let _ = stream.write_all(&byte);
+            served_in_pool.fetch_add(1, Ordering::SeqCst);
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // First connection panics the handler; the second must still be
+        // served by the same (sole) worker.
+        for payload in [b'!', b'x'] {
+            let client = std::thread::spawn(move || {
+                let mut c = TcpStream::connect(addr).unwrap();
+                c.write_all(&[payload]).unwrap();
+                let mut echo = [0u8; 1];
+                let _ = c.read(&mut echo);
+            });
+            let (stream, _) = listener.accept().unwrap();
+            sender.send(stream).unwrap();
+            client.join().unwrap();
+        }
+        drop(sender);
+        pool.join();
+        assert_eq!(served.load(Ordering::SeqCst), 1, "the clean request served");
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let (pool, sender) = WorkerPool::spawn(0, |_| {});
+        assert_eq!(pool.len(), 1);
+        drop(sender);
+        pool.join();
+    }
+}

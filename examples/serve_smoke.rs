@@ -1,0 +1,60 @@
+//! The CI `serve-smoke` probe: start the HTTP server on an ephemeral
+//! port, exercise `/healthz`, a footprint query (twice, to prove the
+//! cache), and `/v1/cache/stats`, then shut down cleanly — all through
+//! `std::net::TcpStream`, no curl required.
+//!
+//! Run via `./ci.sh serve-smoke` or directly:
+//!
+//! ```sh
+//! cargo run --release --example serve_smoke
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use thirstyflops::serve::{CacheStats, Server, ServerConfig};
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n").expect("request writes");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response reads");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("well-formed response");
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, body.to_string())
+}
+
+fn main() {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+    })
+    .expect("ephemeral bind");
+    let addr = server.local_addr();
+
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "healthz status");
+    assert!(body.contains("\"status\": \"ok\""), "healthz body: {body}");
+
+    let (status, first) = http_get(addr, "/v1/footprint/polaris?seed=7");
+    assert_eq!(status, 200, "footprint status");
+    assert!(first.contains("\"system\": \"polaris\""), "footprint body");
+    let (_, second) = http_get(addr, "/v1/footprint/polaris?seed=7");
+    assert_eq!(first, second, "cached response is byte-identical");
+
+    let (status, stats_body) = http_get(addr, "/v1/cache/stats");
+    assert_eq!(status, 200, "stats status");
+    let stats: CacheStats = serde_json::from_str(&stats_body).expect("stats parse");
+    assert_eq!(stats.hits, 1, "second footprint query hit the cache");
+    assert_eq!(stats.misses, 1, "first footprint query was the only miss");
+
+    server.shutdown();
+    println!(
+        "serve smoke OK: healthz + footprint (cache hits {}, misses {}) on http://{addr}, clean shutdown",
+        stats.hits, stats.misses
+    );
+}

@@ -21,7 +21,9 @@
 //! * [`carbon`] — the ACT-style carbon comparator;
 //! * [`scheduler`] — water-aware operations: start-time ranking,
 //!   multi-objective scheduling, geo load balancing, water capping;
-//! * [`experiments`] — one regenerator per paper figure/table.
+//! * [`experiments`] — one regenerator per paper figure/table;
+//! * [`serve`] — the std-only HTTP/JSON serving layer with its
+//!   deterministic result cache (`thirstyflops serve`).
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@ pub use thirstyflops_core as core;
 pub use thirstyflops_experiments as experiments;
 pub use thirstyflops_grid as grid;
 pub use thirstyflops_scheduler as scheduler;
+pub use thirstyflops_serve as serve;
 pub use thirstyflops_timeseries as timeseries;
 pub use thirstyflops_units as units;
 pub use thirstyflops_weather as weather;

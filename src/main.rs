@@ -1,27 +1,31 @@
 //! `thirstyflops` — the command-line water-footprint estimation tool.
 //!
 //! ```text
-//! thirstyflops footprint <system> [--seed N]    full annual footprint report
-//! thirstyflops compare <a> <b> [--seed N]       two systems side by side (+ uncertainty overlap)
-//! thirstyflops rank [--adjusted] [--seed N]     Water500-style ranking of all systems
-//! thirstyflops scenario <system> [--seed N]     Fig. 14 energy-source what-ifs
-//! thirstyflops sensitivity <system> [--seed N]  which parameters move the answer
-//! thirstyflops lifecycle <system> --years N     break-even & amortized intensity
-//! thirstyflops experiments [id ...] [--all] [--json]  regenerate paper tables/figures
-//! thirstyflops systems                          list cataloged systems
+//! thirstyflops footprint <system> [--seed N] [--json]   full annual footprint report
+//! thirstyflops compare <a> <b> [--seed N] [--json]      two systems side by side (+ uncertainty overlap)
+//! thirstyflops rank [--adjusted] [--seed N] [--json]    Water500-style ranking of all systems
+//! thirstyflops scenario <system> [--seed N] [--json]    Fig. 14 energy-source what-ifs
+//! thirstyflops sensitivity <system> [--seed N]          which parameters move the answer
+//! thirstyflops lifecycle <system> --years N             break-even & amortized intensity
+//! thirstyflops experiments [id ...] [--all] [--json]    regenerate paper tables/figures
+//! thirstyflops systems [--json]                         list cataloged systems
+//! thirstyflops serve [--addr HOST:PORT] [--workers N]   HTTP/JSON API (docs/SERVING.md)
 //! ```
 //!
 //! Every command accepts a global `--threads N` flag; without it the
 //! worker count comes from `THIRSTYFLOPS_THREADS`, then
 //! `RAYON_NUM_THREADS`, then the machine's available parallelism. Output
 //! is bit-identical at every thread count (see `docs/CONCURRENCY.md`).
+//!
+//! `--json` output is shaped by `thirstyflops::serve::api` — the same
+//! module the HTTP server renders through — so a CLI invocation and the
+//! corresponding `GET /v1/...` response are byte-identical.
 
 use thirstyflops::catalog::{SystemId, SystemSpec};
 use thirstyflops::core::sensitivity::{embodied_elasticities, operational_elasticities};
-use thirstyflops::core::uncertainty::{mix_ewf_interval, operational_interval, Interval};
-use thirstyflops::core::{AnnualReport, FootprintModel, LifecycleModel, SystemYear};
-use thirstyflops::grid::{GridRegion, Scenario};
-use thirstyflops::units::{GramsCo2PerKwh, LitersPerKilowattHour};
+use thirstyflops::core::{AnnualReport, FootprintModel, LifecycleModel};
+use thirstyflops::serve::api;
+use thirstyflops::serve::{Server, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,7 +67,8 @@ fn run(raw_args: &[String]) -> i32 {
         "sensitivity" => cmd_sensitivity(args),
         "lifecycle" => cmd_lifecycle(args),
         "experiments" => cmd_experiments(args),
-        "systems" => cmd_systems(),
+        "systems" => cmd_systems(args),
+        "serve" => cmd_serve(args),
         "help" | "--help" | "-h" => {
             usage();
             0
@@ -80,17 +85,19 @@ fn usage() {
     eprintln!(
         "thirstyflops — water footprint modeling for HPC systems (SC'25 reproduction)\n\n\
          USAGE:\n  \
-         thirstyflops footprint <system> [--seed N]\n  \
-         thirstyflops compare <a> <b> [--seed N]\n  \
-         thirstyflops rank [--adjusted] [--seed N]\n  \
-         thirstyflops scenario <system> [--seed N]\n  \
+         thirstyflops footprint <system> [--seed N] [--json]\n  \
+         thirstyflops compare <a> <b> [--seed N] [--json]\n  \
+         thirstyflops rank [--adjusted] [--seed N] [--json]\n  \
+         thirstyflops scenario <system> [--seed N] [--json]\n  \
          thirstyflops sensitivity <system> [--seed N]\n  \
          thirstyflops lifecycle <system> --years N [--seed N]\n  \
          thirstyflops experiments [id ...] [--all] [--json]\n  \
-         thirstyflops systems\n\n\
+         thirstyflops systems [--json]\n  \
+         thirstyflops serve [--addr HOST:PORT] [--workers N]\n\n\
          Every command also accepts --threads N (worker threads for the\n\
          parallel sweeps; defaults to THIRSTYFLOPS_THREADS, then the CPU\n\
-         count). Results are identical at every thread count.\n\n\
+         count). Results are identical at every thread count, and --json\n\
+         output is byte-identical to the HTTP API's (docs/SERVING.md).\n\n\
          Systems: marconi, fugaku, polaris, frontier, aurora, elcapitan"
     );
 }
@@ -122,27 +129,21 @@ fn extract_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), Stri
     Ok((rest, threads))
 }
 
-fn parse_system(name: &str) -> Option<SystemId> {
-    match name.to_ascii_lowercase().as_str() {
-        "marconi" | "marconi100" => Some(SystemId::Marconi),
-        "fugaku" => Some(SystemId::Fugaku),
-        "polaris" => Some(SystemId::Polaris),
-        "frontier" => Some(SystemId::Frontier),
-        "aurora" => Some(SystemId::Aurora),
-        "elcapitan" | "el-capitan" | "el_capitan" => Some(SystemId::ElCapitan),
-        _ => None,
-    }
-}
-
 fn require_system(args: &[String], idx: usize) -> Result<SystemId, i32> {
     let Some(name) = args.get(idx) else {
         eprintln!("missing <system> argument");
         return Err(2);
     };
-    parse_system(name).ok_or_else(|| {
-        eprintln!("unknown system {name:?} — try `thirstyflops systems`");
+    // One alias table for CLI and server: SystemId::from_str in
+    // crates/catalog.
+    name.parse().map_err(|e| {
+        eprintln!("{e} — try `thirstyflops systems`");
         2
     })
+}
+
+fn json_flag(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--json")
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -151,10 +152,16 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn seed_of(args: &[String]) -> u64 {
-    flag_value(args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2023)
+fn seed_of(args: &[String]) -> Result<u64, i32> {
+    // Strict like the HTTP API's `?seed=` (router::Query::seed): a typo
+    // must fail loudly, not silently serve the default year.
+    match flag_value(args, "--seed") {
+        None => Ok(2023),
+        Some(raw) => raw.parse().map_err(|_| {
+            eprintln!("--seed expects a non-negative integer, got {raw:?}");
+            2
+        }),
+    }
 }
 
 fn ml(l: thirstyflops::units::Liters) -> f64 {
@@ -166,7 +173,14 @@ fn cmd_footprint(args: &[String]) -> i32 {
         Ok(id) => id,
         Err(c) => return c,
     };
-    let seed = seed_of(args);
+    let seed = match seed_of(args) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    if json_flag(args) {
+        print!("{}", api::to_json(&api::footprint_payload(id, seed)));
+        return 0;
+    }
     let report = FootprintModel::reference(id).annual_report(seed);
     print_report(&report);
     0
@@ -207,7 +221,14 @@ fn cmd_compare(args: &[String]) -> i32 {
         Ok(id) => id,
         Err(c) => return c,
     };
-    let seed = seed_of(args);
+    let seed = match seed_of(args) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    if json_flag(args) {
+        print!("{}", api::to_json(&api::compare_payload(a, b, seed)));
+        return 0;
+    }
     let ra = FootprintModel::reference(a).annual_report(seed);
     let rb = FootprintModel::reference(b).annual_report(seed);
     print_report(&ra);
@@ -216,16 +237,8 @@ fn cmd_compare(args: &[String]) -> i32 {
 
     // Uncertainty overlap: can we actually rank these two on operational
     // water, given the per-source EWF bands?
-    let band = |id: SystemId, r: &AnnualReport| -> Interval {
-        let spec = SystemSpec::reference(id);
-        let mix = GridRegion::preset(spec.region).annual_mix();
-        let ewf = mix_ewf_interval(&mix);
-        let wue = Interval::with_tolerance(r.mean_wue.value(), 0.15).expect("static tolerance");
-        let energy = Interval::exact(r.energy.value());
-        operational_interval(energy, wue, spec.pue, ewf)
-    };
-    let ia = band(a, &ra);
-    let ib = band(b, &rb);
+    let ia = api::operational_band(a, &ra);
+    let ib = api::operational_band(b, &rb);
     println!();
     println!(
         "operational bands: {a} [{:.0}, {:.0}, {:.0}] ML vs {b} [{:.0}, {:.0}, {:.0}] ML",
@@ -246,44 +259,30 @@ fn cmd_compare(args: &[String]) -> i32 {
 
 fn cmd_rank(args: &[String]) -> i32 {
     let adjusted = args.iter().any(|a| a == "--adjusted");
-    let seed = seed_of(args);
-    let mut reports: Vec<AnnualReport> = SystemId::ALL
-        .iter()
-        .map(|&id| FootprintModel::reference(id).annual_report(seed))
-        .collect();
+    let seed = match seed_of(args) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    // Text and JSON render the same payload — one ranking logic.
+    let payload = api::rank_payload(adjusted, seed);
+    if json_flag(args) {
+        print!("{}", api::to_json(&payload));
+        return 0;
+    }
     if adjusted {
-        reports.sort_by(|x, y| {
-            y.adjusted_wi
-                .value()
-                .partial_cmp(&x.adjusted_wi.value())
-                .unwrap()
-        });
         println!("rank by scarcity-adjusted water intensity:");
-        for (i, r) in reports.iter().enumerate() {
+        for e in &payload.entries {
             println!(
                 "  {}. {:<12} adjusted WI {:>6.2} (raw {:.2}) L/kWh",
-                i + 1,
-                r.id.to_string(),
-                r.adjusted_wi.value(),
-                r.mean_wi.value()
+                e.rank, e.name, e.adjusted_wi, e.mean_wi
             );
         }
     } else {
-        reports.sort_by(|x, y| {
-            y.operational_total()
-                .value()
-                .partial_cmp(&x.operational_total().value())
-                .unwrap()
-        });
         println!("rank by annual operational water:");
-        for (i, r) in reports.iter().enumerate() {
+        for e in &payload.entries {
             println!(
                 "  {}. {:<12} {:>9.1} ML  ({:.1} GWh, WI {:.2})",
-                i + 1,
-                r.id.to_string(),
-                ml(r.operational_total()),
-                r.energy.value() / 1e6,
-                r.mean_wi.value()
+                e.rank, e.name, e.operational_ml, e.energy_gwh, e.mean_wi
             );
         }
     }
@@ -295,28 +294,21 @@ fn cmd_scenario(args: &[String]) -> i32 {
         Ok(id) => id,
         Err(c) => return c,
     };
-    let seed = seed_of(args);
-    let year = SystemYear::simulate(id, seed);
-    let ci_mix = GramsCo2PerKwh::new(year.carbon.mean());
-    let ewf_mix = LitersPerKilowattHour::new(year.ewf.mean());
-    let wue = year.wue.mean();
-    let pue = year.spec.pue.value();
-    let wi_mix = wue + pue * ewf_mix.value();
+    let seed = match seed_of(args) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    // Text and JSON render the same payload — one what-if computation.
+    let payload = api::scenario_payload(id, seed);
+    if json_flag(args) {
+        print!("{}", api::to_json(&payload));
+        return 0;
+    }
     println!("{id}: energy-source what-ifs vs current mix");
-    for s in [
-        Scenario::AllCoal,
-        Scenario::AllNuclear,
-        Scenario::OtherRenewable,
-        Scenario::WaterIntensiveRenewable,
-    ] {
-        let d_c = 100.0 * (ci_mix.value() - s.carbon_intensity(ci_mix).value()) / ci_mix.value();
-        let wi_s = wue + pue * s.ewf(ewf_mix).value();
-        let d_w = 100.0 * (wi_mix - wi_s) / wi_mix;
+    for row in &payload.scenarios {
         println!(
             "  {:<40} carbon {:>+7.0}%  water {:>+7.0}%",
-            s.label(),
-            d_c,
-            d_w
+            row.scenario, row.carbon_delta_percent, row.water_delta_percent
         );
     }
     0
@@ -327,7 +319,10 @@ fn cmd_sensitivity(args: &[String]) -> i32 {
         Ok(id) => id,
         Err(c) => return c,
     };
-    let seed = seed_of(args);
+    let seed = match seed_of(args) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
     let report = FootprintModel::reference(id).annual_report(seed);
     println!("{id}: a 1% change in each parameter moves the total by…");
     println!("  operational water:");
@@ -349,7 +344,10 @@ fn cmd_lifecycle(args: &[String]) -> i32 {
     let years: f64 = flag_value(args, "--years")
         .and_then(|s| s.parse().ok())
         .unwrap_or(5.0);
-    let seed = seed_of(args);
+    let seed = match seed_of(args) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
     let model = LifecycleModel::new(FootprintModel::reference(id).annual_report(seed));
     let report = match model.project(years) {
         Ok(r) => r,
@@ -412,13 +410,8 @@ fn cmd_experiments(args: &[String]) -> i32 {
         thirstyflops::experiments::select(&ids)
     };
     if json {
-        match serde_json::to_string_pretty(&selected) {
-            Ok(text) => println!("{text}"),
-            Err(e) => {
-                eprintln!("experiments failed to serialize: {e}");
-                return 1;
-            }
-        }
+        // Same canonical rendering as `GET /v1/experiments/{id}`.
+        print!("{}", api::to_json(&selected));
         return 0;
     }
     for e in &selected {
@@ -432,7 +425,11 @@ fn cmd_experiments(args: &[String]) -> i32 {
     0
 }
 
-fn cmd_systems() -> i32 {
+fn cmd_systems(args: &[String]) -> i32 {
+    if json_flag(args) {
+        print!("{}", api::to_json(&api::systems_payload()));
+        return 0;
+    }
     println!("cataloged systems:");
     for id in SystemId::ALL {
         let s = SystemSpec::reference(id);
@@ -445,5 +442,45 @@ fn cmd_systems() -> i32 {
             if s.has_gpus() { "GPU" } else { "CPU-only" }
         );
     }
+    0
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let mut config = ServerConfig::default();
+    if let Some(addr) = flag_value(args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(raw) = flag_value(args, "--workers") {
+        match raw.parse::<usize>() {
+            Ok(n) if n > 0 => config.workers = n,
+            _ => {
+                eprintln!("--workers expects a positive integer, got {raw:?}");
+                return 2;
+            }
+        }
+    }
+    for arg in &args[1..] {
+        if arg.starts_with("--") && arg != "--addr" && arg != "--workers" {
+            eprintln!("unknown serve flag {arg:?}");
+            return 2;
+        }
+    }
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", config.addr);
+            return 1;
+        }
+    };
+    // One parseable line so scripts (and the serve-smoke CI step) can
+    // discover an ephemeral port; then serve until the process is killed.
+    println!(
+        "listening on http://{} ({} workers) — endpoints in docs/SERVING.md",
+        server.local_addr(),
+        server.workers()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
     0
 }

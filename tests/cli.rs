@@ -175,6 +175,75 @@ fn threads_flag_rejects_garbage() {
 }
 
 #[test]
+fn footprint_json_parses_and_carries_the_report() {
+    let (code, out, _) = run(&["footprint", "polaris", "--seed", "7", "--json"]);
+    assert_eq!(code, 0);
+    let parsed: serde::Value = serde_json::from_str(&out).expect("output is valid JSON");
+    let fields = parsed.as_object().expect("top level is an object");
+    for key in ["system", "name", "operator", "location", "seed", "report"] {
+        assert!(
+            fields.iter().any(|(name, _)| name == key),
+            "missing {key:?}"
+        );
+    }
+    assert!(out.contains("\"system\": \"polaris\""));
+    // Determinism: a second run emits the same bytes.
+    let (_, again, _) = run(&["footprint", "polaris", "--seed", "7", "--json"]);
+    assert_eq!(out, again);
+}
+
+#[test]
+fn rank_json_has_six_ranked_entries() {
+    let (code, out, _) = run(&["rank", "--adjusted", "--json"]);
+    assert_eq!(code, 0);
+    let parsed: serde::Value = serde_json::from_str(&out).expect("valid JSON");
+    let fields = parsed.as_object().unwrap();
+    assert!(fields
+        .iter()
+        .any(|(name, v)| name == "adjusted" && *v == serde::Value::Bool(true)));
+    let entries = fields
+        .iter()
+        .find(|(name, _)| name == "entries")
+        .and_then(|(_, v)| v.as_array())
+        .expect("entries array");
+    assert_eq!(entries.len(), 6);
+}
+
+#[test]
+fn compare_and_scenario_and_systems_emit_json() {
+    let (code, out, _) = run(&["compare", "polaris", "frontier", "--json"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("\"bands_overlap\""));
+    let (code, out, _) = run(&["scenario", "fugaku", "--json"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("\"100% Coal Usage\""));
+    let (code, out, _) = run(&["systems", "--json"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("\"elcapitan\""));
+}
+
+#[test]
+fn seed_rejects_garbage_like_the_http_api() {
+    // `?seed=20x3` is a 400 on the server; the CLI twin must not
+    // silently serve the default year instead.
+    let (code, _, err) = run(&["footprint", "polaris", "--seed", "20x3"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--seed"), "{err}");
+    let (code, _, _) = run(&["rank", "--seed", "7"]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn serve_rejects_bad_flags_without_binding() {
+    let (code, _, err) = run(&["serve", "--workers", "zero"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--workers"));
+    let (code, _, err) = run(&["serve", "--port", "80"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown serve flag"));
+}
+
+#[test]
 fn compare_emits_uncertainty_verdict() {
     let (code, out, _) = run(&["compare", "polaris", "frontier"]);
     assert_eq!(code, 0);

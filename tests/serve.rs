@@ -1,0 +1,233 @@
+//! Integration tests of the HTTP serving layer: real TCP sockets against
+//! an in-process server on an ephemeral port.
+//!
+//! The contract under test (docs/SERVING.md):
+//! * every endpoint family answers with JSON byte-identical to the
+//!   corresponding CLI `--json` invocation;
+//! * identical requests return byte-identical bodies at any worker
+//!   count, from any mix of concurrent clients, cached or uncached;
+//! * a repeated query is answered from the cache (visible in
+//!   `/v1/cache/stats`) — the 8760-hour simulation never re-runs.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::Command;
+
+use thirstyflops::serve::{Server, ServerConfig};
+
+fn start(workers: usize) -> Server {
+    Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+    })
+    .expect("binding port 0 always succeeds")
+}
+
+/// Issues one GET over a real socket; returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request writes");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response reads");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("response has a blank line");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line has a code");
+    // Content-Length must frame the body exactly.
+    let declared: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.parse().ok())
+        .expect("Content-Length header present");
+    assert_eq!(declared, body.len(), "Content-Length frames the body");
+    (status, body.to_string())
+}
+
+fn cli_stdout(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_thirstyflops"))
+        .args(args)
+        .output()
+        .expect("CLI binary runs");
+    assert!(out.status.success(), "CLI {args:?} failed: {out:?}");
+    String::from_utf8(out.stdout).expect("CLI emits UTF-8")
+}
+
+#[test]
+fn healthz_and_404_shapes() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"ok\""));
+    let (status, body) = http_get(addr, "/v2/nothing");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"status\": 404"));
+    let (status, _) = http_get(addr, "/v1/footprint/polaris?seed=abc");
+    assert_eq!(status, 400);
+    server.shutdown();
+}
+
+/// The six endpoint families vs their CLI `--json` twins, byte for byte.
+#[test]
+fn endpoint_bodies_match_cli_json_bytes() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let cases: [(&str, &[&str]); 6] = [
+        ("/v1/systems", &["systems", "--json"]),
+        (
+            "/v1/footprint/polaris?seed=7",
+            &["footprint", "polaris", "--seed", "7", "--json"],
+        ),
+        ("/v1/rank?seed=7", &["rank", "--seed", "7", "--json"]),
+        (
+            "/v1/rank?adjusted=true&seed=7",
+            &["rank", "--adjusted", "--seed", "7", "--json"],
+        ),
+        (
+            "/v1/scenario/fugaku?seed=7",
+            &["scenario", "fugaku", "--seed", "7", "--json"],
+        ),
+        ("/v1/experiments/fig05", &["experiments", "fig05", "--json"]),
+    ];
+    for (path, cli_args) in cases {
+        let (status, body) = http_get(addr, path);
+        assert_eq!(status, 200, "{path}");
+        let cli = cli_stdout(cli_args);
+        assert_eq!(body, cli, "{path} vs thirstyflops {cli_args:?}");
+        assert!(body.ends_with('\n'), "{path} body keeps the CLI newline");
+    }
+    server.shutdown();
+}
+
+/// Eight client threads hammering a mixed path set: within one server
+/// every path's responses agree, and a 1-worker server serves the exact
+/// same bytes as an 8-worker server.
+#[test]
+fn concurrent_bodies_identical_across_worker_counts() {
+    let paths = [
+        "/v1/footprint/marconi?seed=11",
+        "/v1/rank?seed=11",
+        "/v1/scenario/polaris?seed=11",
+        "/v1/systems",
+    ];
+
+    // path → the one body every request of that path produced.
+    let mut per_worker_count: Vec<BTreeMap<String, String>> = Vec::new();
+    for workers in [1usize, 8] {
+        let server = start(workers);
+        assert_eq!(server.workers(), workers);
+        let addr = server.local_addr();
+        let responses: Vec<(String, String)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|client| {
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        // Stagger which path each client starts with so
+                        // cold-cache computes genuinely race.
+                        for turn in 0..paths.len() {
+                            let path = paths[(client + turn) % paths.len()];
+                            let (status, body) = http_get(addr, path);
+                            assert_eq!(status, 200, "{path}");
+                            seen.push((path.to_string(), body));
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let mut agreed: BTreeMap<String, String> = BTreeMap::new();
+        for (path, body) in responses {
+            match agreed.get(&path) {
+                None => {
+                    agreed.insert(path, body);
+                }
+                Some(first) => assert_eq!(
+                    first, &body,
+                    "{path} answered differently across concurrent clients ({workers} workers)"
+                ),
+            }
+        }
+        assert_eq!(agreed.len(), paths.len());
+        server.shutdown();
+        per_worker_count.push(agreed);
+    }
+    assert_eq!(
+        per_worker_count[0], per_worker_count[1],
+        "bodies must not depend on the worker count"
+    );
+}
+
+/// A repeated footprint query must be a cache hit — the second request
+/// skips SystemYear::simulate, observable through /v1/cache/stats.
+#[test]
+fn repeated_query_hits_the_cache() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let (_, first) = http_get(addr, "/v1/footprint/frontier?seed=3");
+    let (_, second) = http_get(addr, "/v1/footprint/frontier?seed=3");
+    assert_eq!(first, second, "cached body is byte-identical");
+
+    let (status, stats_body) = http_get(addr, "/v1/cache/stats");
+    assert_eq!(status, 200);
+    let stats: thirstyflops::serve::CacheStats =
+        serde_json::from_str(&stats_body).expect("stats parse");
+    assert_eq!(stats.misses, 1, "one cold compute");
+    assert_eq!(stats.hits, 1, "one cache hit — simulate was skipped");
+    assert_eq!(stats.entries, 1);
+    // The in-process view agrees with the endpoint.
+    assert_eq!(server.cache_stats(), stats);
+    server.shutdown();
+}
+
+/// Distinct parameters must never share a cache entry.
+#[test]
+fn different_params_get_different_bodies() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let (_, seed3) = http_get(addr, "/v1/footprint/aurora?seed=3");
+    let (_, seed4) = http_get(addr, "/v1/footprint/aurora?seed=4");
+    assert_ne!(seed3, seed4, "seeds decorrelate years");
+    let (_, plain) = http_get(addr, "/v1/rank");
+    let (_, adjusted) = http_get(addr, "/v1/rank?adjusted=true");
+    assert_ne!(plain, adjusted);
+    assert_eq!(server.cache_stats().entries, 4);
+    server.shutdown();
+}
+
+/// `serve` on the CLI prints the bound ephemeral address and serves.
+#[test]
+fn cli_serve_reports_ephemeral_port_and_answers() {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_thirstyflops"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("serve prints a banner")
+        .expect("banner reads");
+    let addr: SocketAddr = banner
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("http://"))
+        .expect("banner names the address")
+        .parse()
+        .expect("address parses");
+    assert_ne!(addr.port(), 0, "port 0 resolves to a real port");
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"ok\""));
+    child.kill().expect("serve stops on signal");
+    let _ = child.wait();
+}
