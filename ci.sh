@@ -7,6 +7,9 @@
 #                          # test pass (fastest signal)
 #   ./ci.sh serve-smoke    # just the HTTP serving-layer smoke probe
 #                          # (ephemeral port, std-only TcpStream client)
+#   ./ci.sh bench-json     # quick cold-vs-warm SystemYear::simulate and
+#                          # grid-kernel measurement -> BENCH_simulate.json
+#                          # (docs/PERFORMANCE.md; baseline is preserved)
 #   ./ci.sh regen-goldens  # regenerate the golden-pinned artifacts for a
 #                          # deliberate recalibration (see docs/GOLDENS.md)
 #
@@ -41,6 +44,15 @@ serve_smoke() {
 
 if [[ "$mode" == "serve-smoke" ]]; then
   serve_smoke
+  exit 0
+fi
+
+if [[ "$mode" == "bench-json" ]]; then
+  # The tracked bench trajectory: medians of the serial instruction path
+  # (1-CPU container — compare medians across PRs, not parallel
+  # speedup). Preserves the recorded baseline, rewrites `current`.
+  step "cargo run --release -p thirstyflops_bench --bin bench_json"
+  cargo run --release -p thirstyflops_bench --bin bench_json
   exit 0
 fi
 

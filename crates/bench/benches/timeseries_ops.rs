@@ -19,6 +19,19 @@ fn bench_pointwise(c: &mut Criterion) {
     c.bench_function("hourly_add_scale_year", |bch| {
         bch.iter(|| black_box(a.add(&b.scale(1.65))))
     });
+    // The fused/buffer-reuse kernels the WI/operational hot paths use
+    // (docs/PERFORMANCE.md) vs their unfused pairs above.
+    c.bench_function("hourly_add_scaled_fused_year", |bch| {
+        bch.iter(|| black_box(a.add_scaled(&b, 1.65)))
+    });
+    c.bench_function("hourly_dot_year", |bch| bch.iter(|| black_box(a.dot(&b))));
+    let mut scratch = a.clone();
+    c.bench_function("hourly_add_scaled_into_reused_buffer", |bch| {
+        bch.iter(|| {
+            a.add_scaled_into(&b, 1.65, &mut scratch);
+            black_box(scratch.get(0));
+        })
+    });
 }
 
 fn bench_resample(c: &mut Criterion) {

@@ -1,0 +1,127 @@
+//! `bench_json` — the tracked micro-benchmark behind `./ci.sh bench-json`.
+//!
+//! Measures the instruction-path cost of the simulation hot loops and
+//! the effectiveness of the `core::simcache` memo layers, then writes
+//! `BENCH_simulate.json` at the repo root for successive PRs to track:
+//!
+//! * `cold_simulate_ns` — median of a fully uncached
+//!   `SystemYear::simulate_uncached` (the pre-cache workload);
+//! * `warm_simulate_ns` — median of a repeated memoized
+//!   `SystemYear::simulate` (an `Arc` clone);
+//! * `grid_year_ns` — median of the `GridRegion::simulate_year` kernel;
+//! * hit ratios after a paper-shaped warmup (four systems + repeats).
+//!
+//! This container has **one CPU**: compare medians of the serial
+//! instruction path across PRs, never parallel speedup. The `baseline`
+//! section of an existing `BENCH_simulate.json` is preserved verbatim —
+//! it records the pre-optimization tree — and only `current` is
+//! rewritten, so `current` vs `baseline` is the tracked trajectory.
+
+use std::time::Instant;
+
+use thirstyflops_catalog::{SystemId, SystemSpec};
+use thirstyflops_core::{simcache, SystemYear};
+use thirstyflops_grid::{GridRegion, RegionId};
+
+/// Median wall-clock nanoseconds per iteration of `f`.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Extracts the `"baseline": { ... }` object from a previous
+/// `BENCH_simulate.json`, if the file exists and has one.
+fn previous_baseline(path: &std::path::Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde::Value = serde_json::from_str(&text).ok()?;
+    value
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == "baseline")
+        .map(|(_, v)| serde_json::to_string(v).expect("re-render parsed JSON"))
+}
+
+fn main() {
+    let iters = 9;
+    let spec = SystemSpec::reference(SystemId::Polaris);
+
+    // Cold path: the full uncached simulation (what every caller paid
+    // before the memo substrate, and what a cache-disabled run pays).
+    let spec_cold = spec.clone();
+    let cold_ns = median_ns(iters, move || {
+        std::hint::black_box(SystemYear::simulate_uncached(spec_cold.clone(), 77));
+    });
+
+    // Grid kernel alone (the formerly mix-allocating 8760-hour loop).
+    let grid_ns = median_ns(iters, || {
+        std::hint::black_box(GridRegion::preset(RegionId::NorthernIllinois).simulate_year());
+    });
+
+    // Warm path: prime once, then every repeat must be an Arc clone.
+    simcache::set_enabled(true);
+    let _prime = SystemYear::simulate(SystemId::Polaris, 77);
+    let warm_ns = median_ns(iters.max(101), || {
+        std::hint::black_box(SystemYear::simulate(SystemId::Polaris, 77));
+    });
+
+    // A paper-shaped warmup for the hit ratios: the four Table 1 systems
+    // plus one repeat each (rank-endpoint shape).
+    let before = simcache::stats();
+    for id in SystemId::PAPER {
+        std::hint::black_box(SystemYear::simulate(id, 4242));
+    }
+    for id in SystemId::PAPER {
+        std::hint::black_box(SystemYear::simulate(id, 4242));
+    }
+    let after = simcache::stats();
+    let year_hits = after.system_years.hits - before.system_years.hits;
+    let year_misses = after.system_years.misses - before.system_years.misses;
+    let grid_hits = after.grid_years.hits - before.grid_years.hits;
+    let grid_misses = after.grid_years.misses - before.grid_years.misses;
+    let ratio = |h: u64, m: u64| {
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    };
+
+    let current = format!(
+        "{{\"cold_simulate_ns\": {cold_ns}, \"warm_simulate_ns\": {warm_ns}, \
+         \"grid_year_ns\": {grid_ns}, \"warmup_year_hit_ratio\": {:.4}, \
+         \"warmup_grid_hit_ratio\": {:.4}, \"cold_over_warm\": {:.1}}}",
+        ratio(year_hits, year_misses),
+        ratio(grid_hits, grid_misses),
+        cold_ns as f64 / warm_ns.max(1) as f64,
+    );
+
+    // Repo root: two levels above this crate's manifest.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels under the repo root")
+        .to_path_buf();
+    let out_path = root.join("BENCH_simulate.json");
+    // First ever run: today's numbers become the baseline too.
+    let baseline = previous_baseline(&out_path).unwrap_or_else(|| current.clone());
+
+    let report = format!(
+        "{{\n  \"note\": \"medians of the serial instruction path (1-CPU container); \
+         see docs/PERFORMANCE.md\",\n  \"unit\": \"nanoseconds\",\n  \"baseline\": \
+         {baseline},\n  \"current\": {current}\n}}\n"
+    );
+    // Validate before writing so a formatting bug can't corrupt the
+    // tracked file.
+    let parsed: serde::Value = serde_json::from_str(&report).expect("report is valid JSON");
+    drop(parsed);
+    std::fs::write(&out_path, &report).expect("BENCH_simulate.json writes");
+    println!("{report}");
+    println!("wrote {}", out_path.display());
+}

@@ -17,7 +17,8 @@ use thirstyflops_catalog::SystemId;
 use thirstyflops_core::SystemYear;
 
 /// A cheap-but-realistic simulated year (Polaris is the smallest paper
-/// system, so its trace/cluster simulation is the fastest).
-pub fn small_system_year() -> SystemYear {
+/// system, so its trace/cluster simulation is the fastest). Memoized —
+/// every bench suite in the process shares one `Arc`d copy.
+pub fn small_system_year() -> std::sync::Arc<SystemYear> {
     SystemYear::simulate(SystemId::Polaris, 77)
 }

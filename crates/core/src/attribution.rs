@@ -94,7 +94,7 @@ mod tests {
     use super::*;
     use thirstyflops_catalog::SystemId;
 
-    fn year() -> SystemYear {
+    fn year() -> std::sync::Arc<SystemYear> {
         SystemYear::simulate(SystemId::Polaris, 8)
     }
 

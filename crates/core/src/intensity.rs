@@ -31,9 +31,11 @@ impl WaterIntensity {
     }
 }
 
-/// Hourly WI series from hourly WUE/EWF and a facility PUE.
+/// Hourly WI series from hourly WUE/EWF and a facility PUE. Uses the
+/// fused [`HourlySeries::add_scaled`] kernel — one pass, one allocation,
+/// bit-identical to `wue.add(&ewf.scale(pue))`.
 pub fn hourly_water_intensity(wue: &HourlySeries, pue: Pue, ewf: &HourlySeries) -> HourlySeries {
-    wue.add(&ewf.scale(pue.value()))
+    wue.add_scaled(ewf, pue.value())
 }
 
 /// Hourly indirect WI (`PUE·EWF`) alone — Fig. 12's middle column.

@@ -13,6 +13,9 @@
 //! * [`simulate`] — glue: a [`SystemYear`] bundles one simulated year of
 //!   utilization, energy, WUE, EWF and carbon intensity for a cataloged
 //!   system, and [`FootprintModel`] turns it into an [`AnnualReport`];
+//! * [`simcache`] — the process-wide memoized simulation substrate:
+//!   sharded single-flight caches for grid years, climate → WUE series,
+//!   and whole `Arc<SystemYear>`s (see `docs/PERFORMANCE.md`);
 //! * [`params`] — the Table 2 parameter checklist as data.
 
 #![forbid(unsafe_code)]
@@ -26,6 +29,7 @@ pub mod operational;
 pub mod params;
 pub mod scarcity;
 pub mod sensitivity;
+pub mod simcache;
 pub mod simulate;
 pub mod tradeoff;
 pub mod uncertainty;

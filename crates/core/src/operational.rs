@@ -34,15 +34,17 @@ impl OperationalBreakdown {
 
     /// Series evaluation: hourly IT energy (kWh per hour) against hourly
     /// WUE and EWF. This is the faithful path — the paper stresses that
-    /// WUE and EWF move hour by hour.
+    /// WUE and EWF move hour by hour. The single-pass
+    /// [`HourlySeries::dot`] kernel replaces the two intermediate
+    /// year-long product series, bit-identically.
     pub fn from_series(
         energy: &HourlySeries,
         wue: &HourlySeries,
         pue: Pue,
         ewf: &HourlySeries,
     ) -> Self {
-        let direct = energy.mul(wue).total();
-        let indirect = energy.mul(ewf).total() * pue.value();
+        let direct = energy.dot(wue);
+        let indirect = energy.dot(ewf) * pue.value();
         Self {
             direct: Liters::new(direct),
             indirect: Liters::new(indirect),
@@ -77,7 +79,7 @@ pub fn monthly_operational_water(
     pue: Pue,
     ewf: &HourlySeries,
 ) -> MonthlySeries {
-    let hourly = energy.zip_with(&wue.add(&ewf.scale(pue.value())), |e, wi| e * wi);
+    let hourly = energy.zip_with(&wue.add_scaled(ewf, pue.value()), |e, wi| e * wi);
     hourly.monthly_sum()
 }
 

@@ -1,0 +1,450 @@
+//! The process-wide memoized simulation substrate.
+//!
+//! Every footprint report, figure, scenario sweep, and cold HTTP request
+//! bottoms out in [`SystemYear::simulate`] — an 8760-hour telemetry
+//! simulation. Two of its three sub-simulations are *deterministic per
+//! configuration and independent of the caller's seed*:
+//!
+//! * the grid year ([`GridRegion::simulate_year`]) depends only on the
+//!   region preset;
+//! * the climate → WUE series depends only on the
+//!   [`ClimatePreset`].
+//!
+//! This module memoizes both, plus whole simulated years keyed by
+//! `(spec fingerprint, seed)`, in sharded process-wide caches:
+//!
+//! * **Single-flight first touch** — concurrent misses on one key block
+//!   on a shared [`OnceLock`] slot, so each key is computed exactly once
+//!   no matter how many threads race (see the unit test below and
+//!   `tests/simcache.rs`).
+//! * **Determinism** — a cache hit returns a value produced by the same
+//!   pure function a miss would run, so cached and uncached outputs are
+//!   byte-identical at every thread count (`docs/CONCURRENCY.md`).
+//! * **Observability** — per-layer hit/miss/entry/eviction counters,
+//!   exposed via [`stats`] and served at `GET /v1/cache/stats`.
+//! * **Escape hatch** — `thirstyflops --no-sim-cache` or
+//!   `THIRSTYFLOPS_NO_SIM_CACHE=1` disables every layer via
+//!   [`set_enabled`]; `tests/simcache.rs` uses it to prove bit-identity.
+//!
+//! The whole-year layer is bounded (LRU on whole entries) because seeds
+//! are caller-controlled and therefore unbounded; the grid and WUE
+//! layers are keyed by small closed enums and need no bound.
+//!
+//! [`SystemYear::simulate`]: crate::SystemYear::simulate
+//! [`GridRegion::simulate_year`]: thirstyflops_grid::GridRegion::simulate_year
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use thirstyflops_catalog::SystemSpec;
+use thirstyflops_grid::{GridRegion, GridYear, RegionId};
+use thirstyflops_timeseries::HourlySeries;
+use thirstyflops_weather::ClimatePreset;
+
+use crate::simulate::SystemYear;
+
+/// `DefaultHasher::default()` is SipHash with fixed keys — deterministic
+/// across processes, unlike `RandomState`.
+type FixedState = BuildHasherDefault<DefaultHasher>;
+
+/// One cache entry: the shared compute slot plus its LRU stamp.
+#[derive(Debug)]
+struct Slot<V> {
+    /// Single-flight cell: the first toucher computes into it, racing
+    /// threads block on `get_or_init` and share the one `Arc`.
+    cell: Arc<OnceLock<Arc<V>>>,
+    last_used: u64,
+}
+
+/// A sharded, single-flight memo cache from `K` to `Arc<V>`.
+///
+/// The compute closure runs outside the shard lock (only the slot
+/// lookup/insert holds it), so a slow simulation never blocks unrelated
+/// keys in the same shard; concurrent misses on the *same* key block on
+/// the slot's `OnceLock` and share the winner's value.
+#[derive(Debug)]
+pub struct MemoCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, Slot<V>, FixedState>>>,
+    /// Per-shard entry bound; `0` = unbounded.
+    capacity_per_shard: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Counters for one cache layer, as served by `GET /v1/cache/stats`.
+///
+/// `hits` counts lookups that found an existing slot — including racers
+/// that blocked on an in-flight first touch (they did not compute).
+/// `misses` counts first touches, i.e. actual computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LayerStats {
+    /// Lookups served from an existing entry (no simulation ran).
+    pub hits: u64,
+    /// First touches that computed and inserted the value.
+    pub misses: u64,
+    /// Live entries across all shards.
+    pub entries: u64,
+    /// Entries dropped by the LRU bound (0 for unbounded layers).
+    pub evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> MemoCache<K, V> {
+    /// A cache with `shards` independent locks (clamped to ≥ 1) and an
+    /// approximate `capacity` bound spread across them (`0` =
+    /// unbounded). The real bound is per shard, so the total can sit
+    /// slightly under `capacity` when keys hash unevenly.
+    pub fn new(shards: usize, capacity: usize) -> MemoCache<K, V> {
+        let shards = shards.max(1);
+        MemoCache {
+            capacity_per_shard: if capacity == 0 {
+                0
+            } else {
+                capacity.div_ceil(shards).max(1)
+            },
+            shards: (0..shards).map(|_| Mutex::default()).collect(),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Slot<V>, FixedState>> {
+        let mut hasher = DefaultHasher::default();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Returns the cached value for `key`, or computes, caches, and
+    /// returns it. Single-flight: under concurrent misses on one key,
+    /// exactly one caller runs `compute`; the rest block and share the
+    /// resulting `Arc`.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let cell = {
+            let mut map = self.shard(&key).lock().expect("simcache shard poisoned");
+            if let Some(slot) = map.get_mut(&key) {
+                slot.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(&slot.cell)
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if self.capacity_per_shard > 0 {
+                    // Evict least-recently-used *completed* entries until
+                    // the insert below fits the bound; in-flight slots are
+                    // never dropped from under their computing thread, so
+                    // a burst of concurrent cold keys can transiently
+                    // overfill a shard — the loop (not a single eviction)
+                    // is what drains it back under the bound afterwards.
+                    while map.len() >= self.capacity_per_shard {
+                        let victim = map
+                            .iter()
+                            .filter(|(_, s)| s.cell.get().is_some())
+                            .min_by_key(|(_, s)| s.last_used)
+                            .map(|(k, _)| k.clone());
+                        match victim {
+                            Some(victim) => {
+                                map.remove(&victim);
+                                self.evictions.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                let cell = Arc::new(OnceLock::new());
+                map.insert(
+                    key,
+                    Slot {
+                        cell: Arc::clone(&cell),
+                        last_used: tick,
+                    },
+                );
+                cell
+            }
+        };
+        Arc::clone(cell.get_or_init(|| Arc::new(compute())))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> LayerStats {
+        LayerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("simcache shard poisoned").len() as u64)
+                .sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counters for every simulation-cache layer (`GET /v1/cache/stats`,
+/// `docs/PERFORMANCE.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SimCacheStats {
+    /// False when `--no-sim-cache` / `THIRSTYFLOPS_NO_SIM_CACHE` turned
+    /// the substrate off.
+    pub enabled: bool,
+    /// Whole `Arc<SystemYear>`s keyed by `(spec fingerprint, seed)`.
+    pub system_years: LayerStats,
+    /// `GridYear`s keyed by region preset.
+    pub grid_years: LayerStats,
+    /// Climate → WUE hourly series keyed by climate preset.
+    pub wue_series: LayerStats,
+}
+
+fn disabled_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let raw = std::env::var("THIRSTYFLOPS_NO_SIM_CACHE").unwrap_or_default();
+        AtomicBool::new(matches!(raw.as_str(), "1" | "true" | "yes"))
+    })
+}
+
+/// True when the memo layers are active (the default).
+pub fn enabled() -> bool {
+    !disabled_flag().load(Ordering::Relaxed)
+}
+
+/// Turns the whole substrate on or off at runtime — the CLI's
+/// `--no-sim-cache` escape hatch. Already-cached entries are kept but
+/// not consulted while disabled.
+pub fn set_enabled(on: bool) {
+    disabled_flag().store(!on, Ordering::Relaxed);
+}
+
+fn year_cache() -> &'static MemoCache<(String, u64), SystemYear> {
+    static CACHE: OnceLock<MemoCache<(String, u64), SystemYear>> = OnceLock::new();
+    // ~350 KB per cached year ⇒ the 256-entry bound caps the layer near
+    // 90 MB even under an adversarial seed sweep.
+    CACHE.get_or_init(|| MemoCache::new(8, 256))
+}
+
+fn grid_cache() -> &'static MemoCache<RegionId, GridYear> {
+    static CACHE: OnceLock<MemoCache<RegionId, GridYear>> = OnceLock::new();
+    CACHE.get_or_init(|| MemoCache::new(2, 0))
+}
+
+fn wue_cache() -> &'static MemoCache<ClimatePreset, HourlySeries> {
+    static CACHE: OnceLock<MemoCache<ClimatePreset, HourlySeries>> = OnceLock::new();
+    CACHE.get_or_init(|| MemoCache::new(2, 0))
+}
+
+/// The cache key of a spec: its canonical JSON rendering. Collision-free
+/// by construction (distinct specs render distinctly), deterministic
+/// across processes, and cheap next to an 8760-hour simulation.
+pub fn spec_fingerprint(spec: &SystemSpec) -> String {
+    serde_json::to_string(spec).expect("catalog specs always serialize")
+}
+
+/// The memoized simulated year for `(spec, seed)` — the engine behind
+/// [`SystemYear::simulate`](crate::SystemYear::simulate). A repeat call
+/// is an `Arc` clone; a miss computes once (single-flight) through the
+/// shared grid/WUE layers so that cold-but-related specs still reuse
+/// sub-simulations.
+pub fn system_year(spec: SystemSpec, seed: u64) -> Arc<SystemYear> {
+    if !enabled() {
+        return Arc::new(SystemYear::compute(spec, seed, false));
+    }
+    let key = (spec_fingerprint(&spec), seed);
+    year_cache().get_or_compute(key, move || SystemYear::compute(spec, seed, true))
+}
+
+/// The memoized grid year for a region preset. Seed-independent: every
+/// system in `region` shares one computation.
+pub fn grid_year(region: RegionId) -> Arc<GridYear> {
+    let compute = move || GridRegion::preset(region).simulate_year();
+    if !enabled() {
+        return Arc::new(compute());
+    }
+    grid_cache().get_or_compute(region, compute)
+}
+
+/// The memoized climate → WUE hourly series for a climate preset.
+/// Seed-independent: every system with `preset`'s climate shares one
+/// weather + WUE computation.
+pub fn wue_series(preset: ClimatePreset) -> Arc<HourlySeries> {
+    let compute = move || {
+        let climate = preset.generate();
+        preset.wue_model().hourly_series(&climate)
+    };
+    if !enabled() {
+        return Arc::new(compute());
+    }
+    wue_cache().get_or_compute(preset, compute)
+}
+
+/// Counters for all layers.
+pub fn stats() -> SimCacheStats {
+    SimCacheStats {
+        enabled: enabled(),
+        system_years: year_cache().stats(),
+        grid_years: grid_cache().stats(),
+        wue_series: wue_cache().stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Tests touching the global layers / enabled flag serialize on this
+    /// lock so the harness's test threads don't race each other's
+    /// assertions.
+    fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn repeat_lookup_is_a_hit_and_shares_the_arc() {
+        let cache: MemoCache<u32, String> = MemoCache::new(4, 0);
+        let first = cache.get_or_compute(7, || "value".to_string());
+        let second = cache.get_or_compute(7, || panic!("must not recompute"));
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn racing_first_touches_compute_exactly_once() {
+        let cache: MemoCache<u32, u64> = MemoCache::new(4, 0);
+        let computed = AtomicUsize::new(0);
+        let values: Vec<Arc<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        cache.get_or_compute(42, || {
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so late arrivals
+                            // genuinely block on the in-flight compute.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            4242
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "single-flight");
+        assert!(values.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn lru_bound_evicts_the_least_recent_entry() {
+        // capacity 3 over 1 shard ⇒ per-shard bound 3.
+        let cache: MemoCache<u32, u32> = MemoCache::new(1, 3);
+        for k in 0..3 {
+            cache.get_or_compute(k, move || k);
+        }
+        // Touch 0 so 1 becomes the LRU victim.
+        cache.get_or_compute(0, || unreachable!("hit"));
+        cache.get_or_compute(3, || 3);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 1);
+        // 1 was evicted and recomputes; 0 and 2 survived.
+        let recomputed = AtomicUsize::new(0);
+        cache.get_or_compute(1, || {
+            recomputed.fetch_add(1, Ordering::SeqCst);
+            1
+        });
+        assert_eq!(recomputed.load(Ordering::SeqCst), 1);
+        cache.get_or_compute(0, || unreachable!("0 was touched, must survive"));
+    }
+
+    #[test]
+    fn overfilled_shard_drains_back_under_the_bound() {
+        // In-flight slots are never evicted, so a burst of concurrent
+        // cold keys can transiently exceed the bound; the next miss must
+        // drain the shard back under it (eviction loops, it doesn't stop
+        // after one victim).
+        let cache: MemoCache<u32, u32> = MemoCache::new(1, 2);
+        let barrier = std::sync::Barrier::new(3);
+        std::thread::scope(|scope| {
+            for k in 0..3u32 {
+                let barrier = &barrier;
+                let cache = &cache;
+                scope.spawn(move || {
+                    cache.get_or_compute(k, move || {
+                        // Hold all three slots in flight at once.
+                        barrier.wait();
+                        k
+                    })
+                });
+            }
+        });
+        assert_eq!(cache.stats().entries, 3, "burst overfills transiently");
+        cache.get_or_compute(9, || 9);
+        let stats = cache.stats();
+        assert!(
+            stats.entries <= 2,
+            "next miss drains the overfill, got {} entries",
+            stats.entries
+        );
+    }
+
+    #[test]
+    fn disabling_bypasses_the_layers_without_clearing_them() {
+        let _guard = global_lock();
+        // Uses the global flag, so restore it even on panic-free exit.
+        assert!(enabled(), "tests start with the cache on");
+        set_enabled(false);
+        let off = stats();
+        assert!(!off.enabled);
+        let a = grid_year(RegionId::Kansai);
+        let b = grid_year(RegionId::Kansai);
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "disabled layer must compute fresh values"
+        );
+        assert_eq!(a.ewf().values(), b.ewf().values());
+        set_enabled(true);
+        assert!(stats().enabled);
+    }
+
+    #[test]
+    fn grid_layer_shares_one_computation_per_region() {
+        let _guard = global_lock();
+        let a = grid_year(RegionId::Tennessee);
+        let b = grid_year(RegionId::Tennessee);
+        assert!(Arc::ptr_eq(&a, &b), "repeat is an Arc clone");
+        assert_eq!(a.region(), RegionId::Tennessee);
+    }
+
+    #[test]
+    fn wue_layer_shares_one_computation_per_preset() {
+        let _guard = global_lock();
+        let a = wue_series(ClimatePreset::Kobe);
+        let b = wue_series(ClimatePreset::Kobe);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Same bytes as the direct computation.
+        let direct = ClimatePreset::Kobe
+            .wue_model()
+            .hourly_series(&ClimatePreset::Kobe.generate());
+        assert_eq!(a.values(), direct.values());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_specs() {
+        use thirstyflops_catalog::SystemId;
+        let a = SystemSpec::reference(SystemId::Polaris);
+        let mut b = SystemSpec::reference(SystemId::Polaris);
+        b.nodes += 1;
+        assert_ne!(spec_fingerprint(&a), spec_fingerprint(&b));
+        assert_eq!(spec_fingerprint(&a), spec_fingerprint(&a.clone()));
+    }
+}

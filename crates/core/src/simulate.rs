@@ -1,5 +1,14 @@
 //! End-to-end glue: simulate a year of telemetry for a cataloged system
 //! and evaluate the full footprint models over it.
+//!
+//! Simulation goes through the memoized substrate in [`crate::simcache`]:
+//! [`SystemYear::simulate`] returns an `Arc<SystemYear>` so a repeated
+//! `(system, seed)` is a pointer clone, and even a cold year reuses the
+//! seed-independent grid and climate → WUE sub-simulations. The
+//! uncached path ([`SystemYear::simulate_uncached`]) produces
+//! byte-identical telemetry — `tests/simcache.rs` enforces it.
+
+use std::sync::Arc;
 
 use thirstyflops_catalog::{SystemId, SystemSpec};
 use thirstyflops_grid::GridRegion;
@@ -48,20 +57,55 @@ impl SystemYear {
     /// Simulates a year for a cataloged reference system. `seed`
     /// decorrelates years (use the calendar year, e.g. 2023); all
     /// sub-simulators stay deterministic.
-    pub fn simulate(id: SystemId, seed: u64) -> SystemYear {
+    ///
+    /// Memoized: a repeated `(system, seed)` call returns an `Arc` clone
+    /// of the first result — no re-simulation (observable through
+    /// [`crate::simcache::stats`]). Disable with the CLI's
+    /// `--no-sim-cache` or `THIRSTYFLOPS_NO_SIM_CACHE=1`; cached and
+    /// uncached telemetry are byte-identical.
+    pub fn simulate(id: SystemId, seed: u64) -> Arc<SystemYear> {
         Self::simulate_spec(SystemSpec::reference(id), seed)
     }
 
     /// Simulates a year for an arbitrary specification — custom node
     /// counts, regions, climates (e.g. synthetic fleet members or
-    /// what-if variants of a reference system).
-    pub fn simulate_spec(spec: SystemSpec, seed: u64) -> SystemYear {
+    /// what-if variants of a reference system). Memoized by
+    /// `(spec fingerprint, seed)` like [`SystemYear::simulate`].
+    pub fn simulate_spec(spec: SystemSpec, seed: u64) -> Arc<SystemYear> {
+        crate::simcache::system_year(spec, seed)
+    }
+
+    /// The fully uncached simulation: recomputes every sub-simulation and
+    /// touches no process-wide state. This is the reference
+    /// implementation the cached path must match byte for byte
+    /// (`tests/simcache.rs`) and the cold-path workload
+    /// `./ci.sh bench-json` tracks.
+    pub fn simulate_uncached(spec: SystemSpec, seed: u64) -> SystemYear {
+        Self::compute(spec, seed, false)
+    }
+
+    /// The actual simulation. With `shared_parts` the seed-independent
+    /// grid and climate → WUE series come from [`crate::simcache`]'s
+    /// sub-caches (values are byte-identical either way — each
+    /// sub-simulator owns an independent RNG stream seeded from its own
+    /// config, so sharing cannot perturb anything).
+    pub(crate) fn compute(spec: SystemSpec, seed: u64, shared_parts: bool) -> SystemYear {
         // Weather → WUE.
-        let climate = spec.climate.generate();
-        let wue = spec.climate.wue_model().hourly_series(&climate);
+        let wue = if shared_parts {
+            (*crate::simcache::wue_series(spec.climate)).clone()
+        } else {
+            let climate = spec.climate.generate();
+            spec.climate.wue_model().hourly_series(&climate)
+        };
 
         // Grid → EWF + carbon intensity.
-        let grid_year = GridRegion::preset(spec.region).simulate_year();
+        let (ewf, carbon) = if shared_parts {
+            let grid_year = crate::simcache::grid_year(spec.region);
+            (grid_year.ewf().clone(), grid_year.carbon().clone())
+        } else {
+            let grid_year = GridRegion::preset(spec.region).simulate_year();
+            (grid_year.ewf().clone(), grid_year.carbon().clone())
+        };
 
         // Jobs → utilization → energy.
         let (duration, width) = trace_shape(spec.id);
@@ -84,8 +128,8 @@ impl SystemYear {
             utilization,
             energy,
             wue,
-            ewf: grid_year.ewf().clone(),
-            carbon: grid_year.carbon().clone(),
+            ewf,
+            carbon,
         }
     }
 
@@ -104,6 +148,14 @@ impl SystemYear {
         self.energy.mul(&self.water_intensity())
     }
 
+    /// Hourly operational water against a water-intensity series the
+    /// caller already derived — the reuse path for exports that need
+    /// both WI and water (deriving WI twice costs two year-long
+    /// allocations and 8760 fused multiply-adds).
+    fn hourly_water_with(&self, water_intensity: &HourlySeries) -> HourlySeries {
+        self.energy.mul(water_intensity)
+    }
+
     /// Annual IT energy.
     pub fn annual_energy(&self) -> KilowattHours {
         KilowattHours::new(self.energy.total())
@@ -118,6 +170,8 @@ impl SystemYear {
     /// energy, WUE, EWF, WI, carbon) — the dump downstream plotting
     /// pipelines consume via `Frame::to_csv`.
     pub fn hourly_frame(&self) -> thirstyflops_timeseries::Frame {
+        // One WI derivation feeds the whole export.
+        let wi = self.water_intensity();
         let mut frame = thirstyflops_timeseries::Frame::new();
         let hours: Vec<f64> = (0..self.energy.len()).map(|h| h as f64).collect();
         frame.push_number("hour", hours).expect("first column");
@@ -134,7 +188,7 @@ impl SystemYear {
             .push_number("ewf_l_per_kwh", self.ewf.values().to_vec())
             .expect("same length");
         frame
-            .push_number("wi_l_per_kwh", self.water_intensity().values().to_vec())
+            .push_number("wi_l_per_kwh", wi.values().to_vec())
             .expect("same length");
         frame
             .push_number("carbon_g_per_kwh", self.carbon.values().to_vec())
@@ -146,11 +200,14 @@ impl SystemYear {
     /// mean WUE/EWF/WI/CI) — the Fig. 11/12 input table.
     pub fn monthly_frame(&self) -> thirstyflops_timeseries::Frame {
         use thirstyflops_timeseries::Month;
+        // One WI derivation feeds both the water totals and the WI means
+        // (this used to re-derive the series per column).
+        let hourly_wi = self.water_intensity();
         let energy = self.energy.monthly_sum();
-        let water = self.hourly_water().monthly_sum();
+        let water = self.hourly_water_with(&hourly_wi).monthly_sum();
         let wue = self.wue.monthly_mean();
         let ewf = self.ewf.monthly_mean();
-        let wi = self.water_intensity().monthly_mean();
+        let wi = hourly_wi.monthly_mean();
         let ci = self.carbon.monthly_mean();
         let mut frame = thirstyflops_timeseries::Frame::new();
         frame
@@ -198,8 +255,9 @@ impl FootprintModel {
         &self.spec
     }
 
-    /// Simulates a telemetry year (see [`SystemYear::simulate`]).
-    pub fn simulate_year(&self, seed: u64) -> SystemYear {
+    /// Simulates a telemetry year (see [`SystemYear::simulate`]) —
+    /// memoized, so repeated reports on one `(spec, seed)` share a year.
+    pub fn simulate_year(&self, seed: u64) -> Arc<SystemYear> {
         SystemYear::simulate_spec(self.spec.clone(), seed)
     }
 

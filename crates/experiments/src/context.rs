@@ -2,7 +2,7 @@
 //! telemetry years are expensive enough (trace + cluster + grid + weather
 //! simulation) that the experiments share one copy.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use rayon::prelude::*;
 use thirstyflops_catalog::SystemId;
@@ -10,7 +10,7 @@ use thirstyflops_core::SystemYear;
 
 use crate::SEED;
 
-static YEARS: OnceLock<Vec<SystemYear>> = OnceLock::new();
+static YEARS: OnceLock<Vec<Arc<SystemYear>>> = OnceLock::new();
 
 /// The simulated telemetry year for each of the paper's four systems,
 /// Table 1 order, computed once per process.
@@ -18,8 +18,10 @@ static YEARS: OnceLock<Vec<SystemYear>> = OnceLock::new();
 /// The four 8760-hour simulations are independent (each seeds its own
 /// ChaCha12 stream from `(system, SEED)`), so they fan out across the
 /// configured worker threads; the result vector is merged in Table 1
-/// order, keeping the contract of `docs/CONCURRENCY.md`.
-pub fn paper_years() -> &'static [SystemYear] {
+/// order, keeping the contract of `docs/CONCURRENCY.md`. The years are
+/// `Arc`s straight out of `core::simcache`, so this context shares
+/// storage with every other consumer of the same `(system, SEED)` pair.
+pub fn paper_years() -> &'static [Arc<SystemYear>] {
     YEARS.get_or_init(|| {
         SystemId::PAPER
             .par_iter()

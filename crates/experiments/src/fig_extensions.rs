@@ -207,7 +207,7 @@ pub fn ext05_policy_frontier() -> Experiment {
 
     let sites: Vec<SiteSeries> = crate::context::paper_years()
         .iter()
-        .map(SiteSeries::from_year)
+        .map(|year| SiteSeries::from_year(year))
         .collect();
     let balancer = GeoBalancer::new(sites).expect("four sites");
 

@@ -325,54 +325,122 @@ impl GridRegion {
         Ok(self.simulate_inner(Some((source, start_hour, end_hour))))
     }
 
+    /// The hot loop behind every `SystemYear`: 8760 hours × every source.
+    ///
+    /// The mix math is hoisted out of the hour loop: the modulated base
+    /// weight of a source depends only on `(month, hour-of-day)`, so a
+    /// 12×24 table per source is precomputed **with the exact original
+    /// expression order**, and the per-hour normalization + weighted
+    /// EWF/CI sums run over flat reused buffers instead of building an
+    /// [`EnergyMix`] (a `BTreeMap` plus two allocations) per hour. The
+    /// weighted sums accumulate in `EnergySource` order — the order the
+    /// `BTreeMap` iterated — so the output stays bit-identical to the
+    /// unhoisted loop (`docs/CONCURRENCY.md` determinism contract).
     fn simulate_inner(&self, outage: Option<(EnergySource, usize, usize)>) -> GridYear {
         let cal = SimCalendar;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut ewf = Vec::with_capacity(HOURS_PER_YEAR);
         let mut carbon = Vec::with_capacity(HOURS_PER_YEAR);
+        let n = self.profile.len();
+
+        // Per-source modulated base weight by (month, hour-of-day). Each
+        // entry evaluates the original per-hour expression verbatim, so
+        // hoisting cannot change a single bit.
+        let modulation: Vec<[[f64; 24]; 12]> = self
+            .profile
+            .iter()
+            .map(|(source, shares)| {
+                let mut table = [[0.0; 24]; 12];
+                for (m, row) in table.iter_mut().enumerate() {
+                    let base = shares[m];
+                    for (h, slot) in row.iter_mut().enumerate() {
+                        let hod = h as f64;
+                        let daylight = (core::f64::consts::PI * (hod - 6.0) / 12.0).sin().max(0.0);
+                        *slot = match source {
+                            // Solar produces only in daylight; monthly share is the
+                            // daily mean, so scale so the daylight integral matches.
+                            EnergySource::Solar => base * daylight * core::f64::consts::PI / 2.0,
+                            // Hydro peaks with evening demand.
+                            EnergySource::Hydro => {
+                                base * (1.0
+                                    + 0.15 * ((hod - 19.0) / 24.0 * core::f64::consts::TAU).cos())
+                            }
+                            // Gas follows the demand curve (morning/evening ramps).
+                            EnergySource::Gas => {
+                                base * (1.0
+                                    + 0.10 * ((hod - 18.0) / 24.0 * core::f64::consts::TAU).cos())
+                            }
+                            _ => base,
+                        };
+                    }
+                }
+                table
+            })
+            .collect();
+
+        // Per-source factor constants and the hydro evaporation scaling,
+        // both formerly re-fetched per hour.
+        let ewf_of: Vec<f64> = self.profile.iter().map(|(s, _)| s.ewf().value()).collect();
+        let ci_of: Vec<f64> = self
+            .profile
+            .iter()
+            .map(|(s, _)| s.carbon_intensity().value())
+            .collect();
+        let evap_of: [f64; 12] =
+            core::array::from_fn(|m| hydro_evaporation_multiplier(Month::ALL[m]));
+        // The weighted sums must accumulate in the order the old
+        // `EnergyMix`'s `BTreeMap` iterated: sorted by source.
+        let mut sum_order: Vec<usize> = (0..n).collect();
+        sum_order.sort_by_key(|&i| self.profile[i].0);
+
+        // Month index per hour, precomputed from the month boundaries.
+        let mut month_of: [u8; HOURS_PER_YEAR] = [0; HOURS_PER_YEAR];
+        for month in Month::ALL {
+            for h in cal.month_hours(month) {
+                month_of[h] = month.index() as u8;
+            }
+        }
 
         // Slow per-source availability noise (AR(1), ~2-day correlation).
         let alpha = 1.0 - 1.0 / 48.0;
-        let mut noise: Vec<f64> = vec![0.0; self.profile.len()];
+        let mut noise: Vec<f64> = vec![0.0; n];
+        let mut weights: Vec<f64> = vec![0.0; n];
 
-        for hour in 0..HOURS_PER_YEAR {
-            let month = cal.month_of_hour(hour);
-            let hod = cal.hour_of_day(hour) as f64;
-            let daylight = (core::f64::consts::PI * (hod - 6.0) / 12.0).sin().max(0.0);
+        for (hour, &month_idx) in month_of.iter().enumerate() {
+            let m = month_idx as usize;
+            let hod = cal.hour_of_day(hour);
 
-            let mut pairs: Vec<(EnergySource, f64)> = Vec::with_capacity(self.profile.len());
-            for (i, (source, shares)) in self.profile.iter().enumerate() {
+            for (i, (source, _)) in self.profile.iter().enumerate() {
                 noise[i] = alpha * noise[i] + (rng.random::<f64>() - 0.5) * 0.02;
-                let base = shares[month.index()];
-                let modulated = match source {
-                    // Solar produces only in daylight; monthly share is the
-                    // daily mean, so scale so the daylight integral matches.
-                    EnergySource::Solar => base * daylight * core::f64::consts::PI / 2.0,
-                    // Hydro peaks with evening demand.
-                    EnergySource::Hydro => {
-                        base * (1.0 + 0.15 * ((hod - 19.0) / 24.0 * core::f64::consts::TAU).cos())
-                    }
-                    // Gas follows the demand curve (morning/evening ramps).
-                    EnergySource::Gas => {
-                        base * (1.0 + 0.10 * ((hod - 18.0) / 24.0 * core::f64::consts::TAU).cos())
-                    }
-                    _ => base,
-                };
-                let mut weight = (modulated * (1.0 + noise[i])).max(0.0);
+                let mut weight = (modulation[i][m][hod] * (1.0 + noise[i])).max(0.0);
                 if let Some((out_source, lo, hi)) = outage {
                     if *source == out_source && (lo..hi).contains(&hour) {
                         weight = 0.0;
                     }
                 }
-                pairs.push((*source, weight));
+                weights[i] = weight;
             }
-            let mix = EnergyMix::normalized(&pairs).expect("modulated weights stay positive");
-            let evap = hydro_evaporation_multiplier(month);
-            ewf.push(
-                mix.ewf_with(|s| if s == EnergySource::Hydro { evap } else { 1.0 })
-                    .value(),
-            );
-            carbon.push(mix.carbon_intensity().value());
+
+            // Inline of `EnergyMix::normalized(..).ewf_with(..)` /
+            // `.carbon_intensity()`: normalize in profile order, sum in
+            // source order, same elementary operations.
+            let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+            assert!(total > 0.0, "modulated weights stay positive");
+            let evap = evap_of[m];
+            let mut ewf_v = 0.0;
+            let mut ci_v = 0.0;
+            for &i in &sum_order {
+                let share = weights[i].max(0.0) / total;
+                let factor = if self.profile[i].0 == EnergySource::Hydro {
+                    evap
+                } else {
+                    1.0
+                };
+                ewf_v += share * ewf_of[i] * factor;
+                ci_v += share * ci_of[i];
+            }
+            ewf.push(ewf_v);
+            carbon.push(ci_v);
         }
 
         GridYear {

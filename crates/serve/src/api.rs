@@ -308,6 +308,27 @@ pub fn scenario_payload(id: SystemId, seed: u64) -> ScenarioPayload {
     }
 }
 
+/// `GET /v1/cache/stats` payload: the serving layer's body cache in
+/// front, the process-wide simulation caches (`core::simcache`) behind
+/// it. Warm-path behavior — which layer absorbed a request — is fully
+/// observable over HTTP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStatsPayload {
+    /// Rendered-body cache counters (per server process).
+    pub body: crate::cache::CacheStats,
+    /// Simulation memo-cache counters (grid years, WUE series, whole
+    /// system years; process-wide).
+    pub simulation: thirstyflops_core::simcache::SimCacheStats,
+}
+
+/// Builds the cache observability payload from a body-cache snapshot.
+pub fn cache_stats_payload(body: crate::cache::CacheStats) -> CacheStatsPayload {
+    CacheStatsPayload {
+        body,
+        simulation: thirstyflops_core::simcache::stats(),
+    }
+}
+
 /// `GET /v1/experiments` payload: the known artifact ids, paper order.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ExperimentIndexPayload {

@@ -1,4 +1,4 @@
-//! A sharded in-memory result cache for rendered JSON bodies.
+//! A sharded, bounded in-memory result cache for rendered JSON bodies.
 //!
 //! Keys are canonical request descriptors (`"footprint/polaris?seed=7"`
 //! — normalized, so a defaulted and an explicit `seed=2023` share one
@@ -6,36 +6,60 @@
 //! response bodies, shared via `Arc` so a hit costs one clone of a
 //! pointer, not a re-simulation of an 8760-hour year.
 //!
+//! The key space is caller-controlled (`?seed=` is a free `u64`), so the
+//! cache is **bounded**: each shard holds at most its slice of the
+//! configured capacity and evicts its least-recently-used entry on
+//! overflow, counted in [`CacheStats::evictions`]. An optional TTL lets
+//! operators bound staleness too; an expired entry is dropped on lookup
+//! (also counted as an eviction) and recomputed.
+//!
 //! Determinism contract: handlers are pure functions of the canonical
 //! key, so a cached body and a freshly computed body are byte-identical
-//! by construction. Under concurrent misses on the same key two workers
-//! may both compute; both produce the same bytes and the first insert
-//! wins, so responses never depend on the race (the hit/miss counters
-//! may, which is why they are documented as monotonic, not exact, under
-//! concurrency).
+//! by construction — eviction and expiry affect only *when* a body is
+//! recomputed, never its bytes. Under concurrent misses on the same key
+//! two workers may both compute; both produce the same bytes and the
+//! first insert wins, so responses never depend on the race (the
+//! hit/miss counters may, which is why they are documented as monotonic,
+//! not exact, under concurrency).
 
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// `DefaultHasher::default()` is SipHash with fixed keys — deterministic
 /// across processes, unlike `RandomState`.
 type FixedState = BuildHasherDefault<DefaultHasher>;
 
-type Shard = Mutex<HashMap<String, Arc<str>, FixedState>>;
+/// One cached body with its freshness and recency metadata.
+#[derive(Debug)]
+struct CachedBody {
+    body: Arc<str>,
+    inserted: Instant,
+    last_used: u64,
+}
 
-/// Sharded `(canonical request) → (response body)` cache with hit/miss
-/// counters.
+type Shard = Mutex<HashMap<String, CachedBody, FixedState>>;
+
+/// Sharded `(canonical request) → (response body)` cache with LRU
+/// eviction, optional TTL, and hit/miss/eviction counters.
 #[derive(Debug)]
 pub struct ResultCache {
     shards: Vec<Shard>,
+    /// Per-shard entry bound; `0` = unbounded.
+    capacity_per_shard: usize,
+    /// Configured total capacity as reported in stats (`0` = unbounded).
+    capacity: u64,
+    ttl: Option<Duration>,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
-/// Counters exposed by `GET /v1/cache/stats`.
+/// Body-cache counters exposed by `GET /v1/cache/stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
     /// Requests answered from the cache (no simulation ran).
@@ -44,18 +68,47 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct cached bodies across all shards.
     pub entries: u64,
+    /// Bodies dropped by the LRU bound or the TTL.
+    pub evictions: u64,
+    /// Effective entry bound: the configured `--cache-entries` rounded
+    /// up to a full shard multiple (`0` = unbounded).
+    pub capacity: u64,
+    /// Configured TTL in seconds (`0` = entries never expire).
+    pub ttl_seconds: u64,
     /// Number of shards (fixed at construction).
     pub shards: u64,
 }
 
 impl ResultCache {
-    /// A cache with `shards` independent locks (clamped to ≥ 1).
-    pub fn new(shards: usize) -> ResultCache {
+    /// A cache with `shards` independent locks (clamped to ≥ 1), bounded
+    /// entries (`capacity` = `0` means unbounded), and an optional
+    /// time-to-live. The bound is enforced per shard (at least one entry
+    /// each), so the effective total — what [`CacheStats::capacity`]
+    /// reports — is `capacity` rounded up to a full shard multiple, and
+    /// the live total can sit under it when keys hash unevenly.
+    pub fn with_limits(shards: usize, capacity: usize, ttl: Option<Duration>) -> ResultCache {
+        let shards = shards.max(1);
+        let capacity_per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards).max(1)
+        };
         ResultCache {
-            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+            capacity_per_shard,
+            capacity: (capacity_per_shard * shards) as u64,
+            ttl,
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// An unbounded, never-expiring cache with `shards` locks — the
+    /// pre-eviction behavior, kept for tests and embedders.
+    pub fn new(shards: usize) -> ResultCache {
+        Self::with_limits(shards, 0, None)
     }
 
     fn shard(&self, key: &str) -> &Shard {
@@ -64,27 +117,71 @@ impl ResultCache {
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
+    fn expired(&self, entry: &CachedBody) -> bool {
+        self.ttl.is_some_and(|ttl| entry.inserted.elapsed() > ttl)
+    }
+
     /// Returns the cached body for `key`, or computes, caches, and
     /// returns it. The compute closure runs outside the shard lock so a
     /// slow simulation never blocks unrelated keys in the same shard.
     pub fn get_or_compute(&self, key: &str, compute: impl FnOnce() -> String) -> Arc<str> {
         let shard = self.shard(key);
-        if let Some(found) = shard.lock().expect("cache shard poisoned").get(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(found);
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut map = shard.lock().expect("cache shard poisoned");
+            match map.get_mut(key) {
+                Some(entry) if !self.expired(entry) => {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(&entry.body);
+                }
+                Some(_) => {
+                    // Past its TTL: drop and recompute below.
+                    map.remove(key);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {}
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let computed: Arc<str> = Arc::from(compute());
-        match shard
-            .lock()
-            .expect("cache shard poisoned")
-            .entry(key.to_string())
-        {
+        let mut map = shard.lock().expect("cache shard poisoned");
+        let body = match map.entry(key.to_string()) {
             // A concurrent miss beat us to the insert; its bytes are
             // identical (pure handlers), keep the incumbent.
-            Entry::Occupied(e) => Arc::clone(e.get()),
-            Entry::Vacant(e) => Arc::clone(e.insert(computed)),
+            Entry::Occupied(mut e) => {
+                e.get_mut().last_used = tick;
+                Arc::clone(&e.get().body)
+            }
+            Entry::Vacant(e) => {
+                let body = Arc::clone(&computed);
+                e.insert(CachedBody {
+                    body: computed,
+                    inserted: Instant::now(),
+                    last_used: tick,
+                });
+                body
+            }
+        };
+        if self.capacity_per_shard > 0 {
+            while map.len() > self.capacity_per_shard {
+                // Evict the least-recently-used entry that is not the
+                // body we are about to serve.
+                let victim = map
+                    .iter()
+                    .filter(|(_, e)| !Arc::ptr_eq(&e.body, &body))
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(victim) => {
+                        map.remove(&victim);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
         }
+        body
     }
 
     /// Current counters.
@@ -98,16 +195,20 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity,
+            ttl_seconds: self.ttl.map_or(0, |t| t.as_secs()),
             shards: self.shards.len() as u64,
         }
     }
 }
 
 impl Default for ResultCache {
-    /// Eight shards: enough to keep worker threads off each other's
-    /// locks at any worker count this server realistically runs.
+    /// Eight shards (enough to keep worker threads off each other's
+    /// locks at any realistic worker count), bounded at 4096 entries,
+    /// no TTL — the `thirstyflops serve` defaults.
     fn default() -> ResultCache {
-        ResultCache::new(8)
+        ResultCache::with_limits(8, 4096, None)
     }
 }
 
@@ -125,6 +226,9 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert_eq!(stats.shards, 8);
+        assert_eq!(stats.capacity, 4096);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.ttl_seconds, 0);
     }
 
     #[test]
@@ -141,6 +245,53 @@ mod tests {
     #[test]
     fn shard_count_is_clamped() {
         assert_eq!(ResultCache::new(0).stats().shards, 1);
+    }
+
+    #[test]
+    fn lru_bound_evicts_the_least_recent_body() {
+        // One shard, capacity 3 ⇒ per-shard bound 3.
+        let cache = ResultCache::with_limits(1, 3, None);
+        for k in ["a", "b", "c"] {
+            cache.get_or_compute(k, || k.to_uppercase());
+        }
+        // Touch "a" so "b" is the LRU victim for the next insert.
+        cache.get_or_compute("a", || unreachable!("hit"));
+        cache.get_or_compute("d", || "D".into());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 1);
+        // "b" recomputes (it was evicted) — which in turn evicts "c",
+        // by then the least-recently-used survivor.
+        let mut recomputed = false;
+        cache.get_or_compute("b", || {
+            recomputed = true;
+            "B".into()
+        });
+        assert!(recomputed, "b must have been evicted");
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(cache.stats().entries, 3);
+        // "a" was touched most recently of the original trio: it outlives
+        // both eviction rounds.
+        cache.get_or_compute("a", || unreachable!("a survived"));
+    }
+
+    #[test]
+    fn ttl_expires_entries_and_counts_evictions() {
+        let cache = ResultCache::with_limits(1, 0, Some(Duration::from_millis(25)));
+        cache.get_or_compute("k", || "v1".into());
+        assert_eq!(&*cache.get_or_compute("k", || unreachable!()), "v1");
+        std::thread::sleep(Duration::from_millis(40));
+        let mut recomputed = false;
+        let body = cache.get_or_compute("k", || {
+            recomputed = true;
+            "v1".into() // pure handlers: same bytes after expiry
+        });
+        assert!(recomputed, "expired entry must recompute");
+        assert_eq!(&*body, "v1");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.ttl_seconds, 0, "sub-second TTL rounds down");
+        assert_eq!((stats.hits, stats.misses), (1, 2));
     }
 
     #[test]

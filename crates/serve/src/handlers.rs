@@ -45,7 +45,10 @@ fn try_handle(req: &Request, state: &AppState) -> Result<Response, ServeError> {
         }
         Route::CacheStats => {
             query.expect_only(&[])?;
-            Ok(Response::json(200, api::to_json(&state.cache.stats())))
+            Ok(Response::json(
+                200,
+                api::to_json(&api::cache_stats_payload(state.cache.stats())),
+            ))
         }
         Route::Systems => {
             query.expect_only(&[])?;

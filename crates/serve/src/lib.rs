@@ -10,8 +10,10 @@
 //! * [`router`] — path → endpoint resolution and query parsing;
 //! * [`api`] — the typed payloads, shared with the CLI's `--json` flags
 //!   so server and CLI output are byte-identical;
-//! * [`cache`] — a sharded `(canonical request) → (rendered body)` cache
-//!   that lets repeated queries skip `SystemYear::simulate` entirely;
+//! * [`cache`] — a sharded, bounded (LRU + optional TTL)
+//!   `(canonical request) → (rendered body)` cache that lets repeated
+//!   queries skip `SystemYear::simulate` entirely (cold queries still
+//!   reuse sub-simulations via `core::simcache`);
 //! * [`pool`] — a fixed worker pool in the spirit of the workspace's
 //!   rayon shim executor.
 //!
@@ -27,6 +29,7 @@
 //! let server = Server::bind(&ServerConfig {
 //!     addr: "127.0.0.1:0".to_string(), // port 0: ephemeral, for tests
 //!     workers: 4,
+//!     ..ServerConfig::default()
 //! })
 //! .expect("bind");
 //! println!("listening on http://{}", server.local_addr());
@@ -62,17 +65,25 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads answering requests (clamped to ≥ 1).
     pub workers: usize,
+    /// Body-cache entry bound (`serve --cache-entries N`; `0` =
+    /// unbounded). Overflow evicts least-recently-used bodies.
+    pub cache_entries: usize,
+    /// Optional body-cache TTL (`serve --cache-ttl SECS`; `None` =
+    /// entries never expire).
+    pub cache_ttl: Option<std::time::Duration>,
 }
 
 impl Default for ServerConfig {
     /// Loopback on the project's default port with one worker per
-    /// available CPU.
+    /// available CPU and a 4096-entry, never-expiring body cache.
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7979".to_string(),
             workers: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            cache_entries: 4096,
+            cache_ttl: None,
         }
     }
 }
@@ -101,7 +112,9 @@ impl Server {
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(AppState::default());
+        let state = Arc::new(AppState {
+            cache: cache::ResultCache::with_limits(8, config.cache_entries, config.cache_ttl),
+        });
         let worker_state = Arc::clone(&state);
         let (pool, sender) = pool::WorkerPool::spawn(config.workers, move |stream| {
             handlers::serve_connection(stream, &worker_state);
@@ -201,8 +214,9 @@ mod tests {
     #[test]
     fn binds_port_zero_serves_and_shuts_down() {
         let server = Server::bind(&ServerConfig {
-            addr: "127.0.0.1:0".into(),
             workers: 2,
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
         })
         .unwrap();
         assert_ne!(server.local_addr().port(), 0);
@@ -239,8 +253,9 @@ mod tests {
     #[test]
     fn cache_stats_visible_in_process() {
         let server = Server::bind(&ServerConfig {
-            addr: "127.0.0.1:0".into(),
             workers: 1,
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
         })
         .unwrap();
         assert_eq!(server.cache_stats().misses, 0);

@@ -98,6 +98,45 @@ impl HourlySeries {
         self.zip_with(other, |a, b| a * b)
     }
 
+    /// Fused `self + k·other` in one pass and one allocation — the
+    /// `WI = WUE + PUE·EWF` kernel without the intermediate scaled
+    /// series. Bit-identical to `self.add(&other.scale(k))`: each
+    /// element is computed as `a + (b * k)`, the exact operation order
+    /// of the unfused pair.
+    pub fn add_scaled(&self, other: &Self, k: f64) -> Self {
+        self.zip_with(other, |a, b| a + b * k)
+    }
+
+    /// Buffer-reuse variant of [`add_scaled`](Self::add_scaled): writes
+    /// `self + k·other` into `out` without allocating. `out` keeps its
+    /// year-long length invariant, so any existing series can serve as
+    /// the scratch buffer in a hot loop.
+    pub fn add_scaled_into(&self, other: &Self, k: f64, out: &mut Self) {
+        for ((o, &a), &b) in out.values.iter_mut().zip(&self.values).zip(&other.values) {
+            *o = a + b * k;
+        }
+    }
+
+    /// Buffer-reuse variant of [`mul`](Self::mul): writes the pointwise
+    /// product into `out` without allocating.
+    pub fn mul_into(&self, other: &Self, out: &mut Self) {
+        for ((o, &a), &b) in out.values.iter_mut().zip(&self.values).zip(&other.values) {
+            *o = a * b;
+        }
+    }
+
+    /// Single-pass product-sum `Σ self·other` with no intermediate
+    /// series — the Eq. 6/7 `E·WUE` / `E·EWF` totals. Bit-identical to
+    /// `self.mul(other).total()`: the products accumulate left to right
+    /// exactly as the unfused pair sums them.
+    pub fn dot(&self, other: &Self) -> f64 {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
     /// Scales every sample by `k`.
     pub fn scale(&self, k: f64) -> Self {
         self.map(|v| v * k)
@@ -237,6 +276,24 @@ mod tests {
         assert_eq!(a.scale(10.0).get(17), 20.0);
         assert_eq!(a.map(|v| v * v).get(17), 4.0);
         assert_eq!(a.zip_with(&b, |x, y| y - x).get(17), 1.0);
+    }
+
+    #[test]
+    fn fused_kernels_match_their_unfused_pairs() {
+        let a = HourlySeries::from_fn(|h| ((h * 13) % 29) as f64 * 0.37);
+        let b = HourlySeries::from_fn(|h| ((h * 7) % 31) as f64 * 0.11);
+        let k = 1.6180339887;
+        // add_scaled ≡ add(scale) bit for bit.
+        assert_eq!(a.add_scaled(&b, k), a.add(&b.scale(k)));
+        // dot ≡ mul().total() bit for bit.
+        assert_eq!(a.dot(&b), a.mul(&b).total());
+        // The *_into variants reuse a buffer and agree with the
+        // allocating kernels.
+        let mut out = HourlySeries::constant(f64::NAN);
+        a.add_scaled_into(&b, k, &mut out);
+        assert_eq!(out, a.add_scaled(&b, k));
+        a.mul_into(&b, &mut out);
+        assert_eq!(out, a.mul(&b));
     }
 
     #[test]

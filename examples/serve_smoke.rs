@@ -12,7 +12,7 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
-use thirstyflops::serve::{CacheStats, Server, ServerConfig};
+use thirstyflops::serve::{api::CacheStatsPayload, Server, ServerConfig};
 
 fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("server is listening");
@@ -32,6 +32,7 @@ fn main() {
     let server = Server::bind(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
+        ..ServerConfig::default()
     })
     .expect("ephemeral bind");
     let addr = server.local_addr();
@@ -48,13 +49,20 @@ fn main() {
 
     let (status, stats_body) = http_get(addr, "/v1/cache/stats");
     assert_eq!(status, 200, "stats status");
-    let stats: CacheStats = serde_json::from_str(&stats_body).expect("stats parse");
-    assert_eq!(stats.hits, 1, "second footprint query hit the cache");
-    assert_eq!(stats.misses, 1, "first footprint query was the only miss");
+    let stats: CacheStatsPayload = serde_json::from_str(&stats_body).expect("stats parse");
+    assert_eq!(stats.body.hits, 1, "second footprint query hit the cache");
+    assert_eq!(
+        stats.body.misses, 1,
+        "first footprint query was the only miss"
+    );
+    assert!(
+        stats.simulation.system_years.misses >= 1,
+        "the cold body computed through the simulation cache"
+    );
 
     server.shutdown();
     println!(
-        "serve smoke OK: healthz + footprint (cache hits {}, misses {}) on http://{addr}, clean shutdown",
-        stats.hits, stats.misses
+        "serve smoke OK: healthz + footprint (body cache hits {}, misses {}; sim-cache year misses {}) on http://{addr}, clean shutdown",
+        stats.body.hits, stats.body.misses, stats.simulation.system_years.misses
     );
 }

@@ -34,12 +34,12 @@ fn main() {
 }
 
 fn run(raw_args: &[String]) -> i32 {
-    // `--threads N` is a global flag: extract it wherever it appears
-    // (before or after the subcommand) so positional parsing below never
-    // sees it.
-    let args = match extract_threads(raw_args) {
-        Ok((args, threads)) => {
-            if let Some(n) = threads {
+    // `--threads N` and `--no-sim-cache` are global flags: extract them
+    // wherever they appear (before or after the subcommand) so
+    // positional parsing below never sees them.
+    let args = match extract_global_flags(raw_args) {
+        Ok(global) => {
+            if let Some(n) = global.threads {
                 // First-wins like rayon: the CLI flag runs before any
                 // parallel work, so it takes precedence over the
                 // environment defaults.
@@ -47,7 +47,13 @@ fn run(raw_args: &[String]) -> i32 {
                     .num_threads(n)
                     .build_global();
             }
-            args
+            if global.no_sim_cache {
+                // The escape hatch around core::simcache — every
+                // simulation recomputes from scratch. Output is
+                // byte-identical either way (tests/simcache.rs).
+                thirstyflops::core::simcache::set_enabled(false);
+            }
+            global.args
         }
         Err(msg) => {
             eprintln!("{msg}");
@@ -93,23 +99,41 @@ fn usage() {
          thirstyflops lifecycle <system> --years N [--seed N]\n  \
          thirstyflops experiments [id ...] [--all] [--json]\n  \
          thirstyflops systems [--json]\n  \
-         thirstyflops serve [--addr HOST:PORT] [--workers N]\n\n\
+         thirstyflops serve [--addr HOST:PORT] [--workers N]\n  \
+         \u{20}                  [--cache-entries N] [--cache-ttl SECS]\n\n\
          Every command also accepts --threads N (worker threads for the\n\
          parallel sweeps; defaults to THIRSTYFLOPS_THREADS, then the CPU\n\
-         count). Results are identical at every thread count, and --json\n\
+         count) and --no-sim-cache (recompute every simulation instead\n\
+         of using the memoized substrate — docs/PERFORMANCE.md). Results\n\
+         are identical at every thread count, cached or not, and --json\n\
          output is byte-identical to the HTTP API's (docs/SERVING.md).\n\n\
          Systems: marconi, fugaku, polaris, frontier, aurora, elcapitan"
     );
 }
 
-/// Splits a global `--threads N` flag (any position) out of the argument
-/// list, returning the remaining args and the parsed count (`None` when
-/// the flag is absent).
-fn extract_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), String> {
+/// The global flags every subcommand accepts, split out of the raw
+/// argument list.
+struct GlobalFlags {
+    /// Arguments with the global flags removed.
+    args: Vec<String>,
+    /// `--threads N` worker-count override.
+    threads: Option<usize>,
+    /// `--no-sim-cache`: disable the memoized simulation substrate.
+    no_sim_cache: bool,
+}
+
+/// Splits the global `--threads N` / `--no-sim-cache` flags (any
+/// position) out of the argument list.
+fn extract_global_flags(args: &[String]) -> Result<GlobalFlags, String> {
     let mut rest = Vec::with_capacity(args.len());
     let mut threads = None;
+    let mut no_sim_cache = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
+        if arg == "--no-sim-cache" {
+            no_sim_cache = true;
+            continue;
+        }
         if arg != "--threads" {
             rest.push(arg.clone());
             continue;
@@ -126,7 +150,11 @@ fn extract_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), Stri
             }
         }
     }
-    Ok((rest, threads))
+    Ok(GlobalFlags {
+        args: rest,
+        threads,
+        no_sim_cache,
+    })
 }
 
 fn require_system(args: &[String], idx: usize) -> Result<SystemId, i32> {
@@ -459,8 +487,29 @@ fn cmd_serve(args: &[String]) -> i32 {
             }
         }
     }
+    if let Some(raw) = flag_value(args, "--cache-entries") {
+        match raw.parse::<usize>() {
+            // 0 = unbounded, any positive N = LRU bound.
+            Ok(n) => config.cache_entries = n,
+            _ => {
+                eprintln!("--cache-entries expects a non-negative integer, got {raw:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(raw) = flag_value(args, "--cache-ttl") {
+        match raw.parse::<u64>() {
+            Ok(0) => config.cache_ttl = None,
+            Ok(secs) => config.cache_ttl = Some(std::time::Duration::from_secs(secs)),
+            _ => {
+                eprintln!("--cache-ttl expects a whole number of seconds, got {raw:?}");
+                return 2;
+            }
+        }
+    }
+    const SERVE_FLAGS: [&str; 4] = ["--addr", "--workers", "--cache-entries", "--cache-ttl"];
     for arg in &args[1..] {
-        if arg.starts_with("--") && arg != "--addr" && arg != "--workers" {
+        if arg.starts_with("--") && !SERVE_FLAGS.contains(&arg.as_str()) {
             eprintln!("unknown serve flag {arg:?}");
             return 2;
         }

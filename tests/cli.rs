@@ -175,6 +175,30 @@ fn threads_flag_rejects_garbage() {
 }
 
 #[test]
+fn no_sim_cache_flag_is_position_independent() {
+    // Like --threads, --no-sim-cache is global (tests/simcache.rs pins
+    // the byte-identity of its output; this pins the arg parsing).
+    let (code, before, _) = run(&["--no-sim-cache", "systems"]);
+    assert_eq!(code, 0);
+    let (code, after, _) = run(&["systems", "--no-sim-cache"]);
+    assert_eq!(code, 0);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn serve_cache_flags_reject_garbage() {
+    let (code, _, err) = run(&["serve", "--cache-entries", "many"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--cache-entries"));
+    let (code, _, err) = run(&["serve", "--cache-ttl", "-5"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--cache-ttl"));
+    let (code, _, err) = run(&["serve", "--cache-sizes", "7"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown serve flag"));
+}
+
+#[test]
 fn footprint_json_parses_and_carries_the_report() {
     let (code, out, _) = run(&["footprint", "polaris", "--seed", "7", "--json"]);
     assert_eq!(code, 0);

@@ -20,6 +20,7 @@ fn start(workers: usize) -> Server {
     Server::bind(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
+        ..ServerConfig::default()
     })
     .expect("binding port 0 always succeeds")
 }
@@ -178,13 +179,22 @@ fn repeated_query_hits_the_cache() {
 
     let (status, stats_body) = http_get(addr, "/v1/cache/stats");
     assert_eq!(status, 200);
-    let stats: thirstyflops::serve::CacheStats =
+    let stats: thirstyflops::serve::api::CacheStatsPayload =
         serde_json::from_str(&stats_body).expect("stats parse");
-    assert_eq!(stats.misses, 1, "one cold compute");
-    assert_eq!(stats.hits, 1, "one cache hit — simulate was skipped");
-    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.body.misses, 1, "one cold compute");
+    assert_eq!(stats.body.hits, 1, "one cache hit — simulate was skipped");
+    assert_eq!(stats.body.entries, 1);
+    assert_eq!(stats.body.capacity, 4096, "default bound is in place");
+    assert_eq!(stats.body.evictions, 0);
+    // The simulation cache is observable through the same endpoint: the
+    // one cold body computed exactly one system year, and its grid/WUE
+    // sub-simulations ran at most once each.
+    assert!(stats.simulation.enabled);
+    assert!(stats.simulation.system_years.misses >= 1);
+    assert!(stats.simulation.grid_years.entries >= 1);
+    assert!(stats.simulation.wue_series.entries >= 1);
     // The in-process view agrees with the endpoint.
-    assert_eq!(server.cache_stats(), stats);
+    assert_eq!(server.cache_stats(), stats.body);
     server.shutdown();
 }
 

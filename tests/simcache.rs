@@ -1,0 +1,185 @@
+//! Correctness tests for the memoized simulation substrate
+//! (`core::simcache`): the cached paths must be *observably faster*
+//! (Arc sharing, counters) while producing *byte-identical* results to
+//! the fully uncached reference path, at every thread count.
+//!
+//! Counter-sensitive tests serialize on [`lock`] because the caches are
+//! process-wide and the test harness runs `#[test]`s concurrently.
+
+use std::process::Command;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use thirstyflops::catalog::{SystemId, SystemSpec};
+use thirstyflops::core::{simcache, AnnualReport, SystemYear};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs the CLI with the given args and env, returning stdout bytes.
+fn cli_stdout(args: &[&str], envs: &[(&str, &str)]) -> Vec<u8> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_thirstyflops"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("CLI binary runs");
+    assert!(out.status.success(), "CLI {args:?} failed: {out:?}");
+    out.stdout
+}
+
+/// A repeated `SystemYear::simulate(id, seed)` is an `Arc` clone of the
+/// first result — no re-simulation — asserted via both pointer identity
+/// and the cache counters.
+#[test]
+fn repeated_simulate_is_an_arc_clone() {
+    let _guard = lock();
+    let seed = 990_001; // unique to this test ⇒ guaranteed cold
+    let before = simcache::stats();
+    let first = SystemYear::simulate(SystemId::Fugaku, seed);
+    let second = SystemYear::simulate(SystemId::Fugaku, seed);
+    assert!(Arc::ptr_eq(&first, &second), "repeat must share storage");
+    let after = simcache::stats();
+    assert_eq!(
+        after.system_years.misses - before.system_years.misses,
+        1,
+        "exactly one simulation ran"
+    );
+    assert_eq!(
+        after.system_years.hits - before.system_years.hits,
+        1,
+        "the repeat was a cache hit"
+    );
+}
+
+/// Two systems in the same grid region share one `GridYear`
+/// computation: simulating both consults the grid layer twice but
+/// computes at most once (Polaris and Aurora are both Northern
+/// Illinois).
+#[test]
+fn same_region_systems_share_one_grid_computation() {
+    let _guard = lock();
+    let seed = 990_002;
+    let before = simcache::stats();
+    let polaris = SystemYear::simulate(SystemId::Polaris, seed);
+    let aurora = SystemYear::simulate(SystemId::Aurora, seed);
+    assert_eq!(polaris.spec.region, aurora.spec.region);
+    let after = simcache::stats();
+    let hits = after.grid_years.hits - before.grid_years.hits;
+    let misses = after.grid_years.misses - before.grid_years.misses;
+    assert_eq!(hits + misses, 2, "both cold years consulted the layer");
+    assert!(misses <= 1, "the region simulated at most once");
+    assert!(hits >= 1, "the second system reused the first's grid year");
+    // And the shared series are byte-identical across the two systems.
+    assert_eq!(polaris.ewf.values(), aurora.ewf.values());
+    assert_eq!(polaris.carbon.values(), aurora.carbon.values());
+}
+
+/// Single-flight: eight threads racing on one cold key compute it
+/// exactly once and all share the winner's `Arc`.
+#[test]
+fn racing_first_touches_compute_once() {
+    let _guard = lock();
+    let seed = 990_003;
+    let before = simcache::stats();
+    let years: Vec<Arc<SystemYear>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| scope.spawn(move || SystemYear::simulate(SystemId::Marconi, seed)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(years.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    let after = simcache::stats();
+    assert_eq!(
+        after.system_years.misses - before.system_years.misses,
+        1,
+        "single-flight: one compute under 8 racing threads"
+    );
+    assert_eq!(after.system_years.hits - before.system_years.hits, 7);
+}
+
+/// The cached path and the fully uncached reference path produce
+/// byte-identical telemetry, reports, and figure frames.
+#[test]
+fn cached_and_uncached_results_are_bit_identical() {
+    let _guard = lock();
+    let seed = 990_004;
+    for id in [SystemId::Polaris, SystemId::ElCapitan] {
+        let cached = SystemYear::simulate(id, seed);
+        let uncached = SystemYear::simulate_uncached(SystemSpec::reference(id), seed);
+        assert_eq!(cached.utilization.values(), uncached.utilization.values());
+        assert_eq!(cached.energy.values(), uncached.energy.values());
+        assert_eq!(cached.wue.values(), uncached.wue.values());
+        assert_eq!(cached.ewf.values(), uncached.ewf.values());
+        assert_eq!(cached.carbon.values(), uncached.carbon.values());
+        // Reports and frame exports (the figure inputs) agree exactly.
+        assert_eq!(
+            AnnualReport::from_year(&cached),
+            AnnualReport::from_year(&uncached)
+        );
+        assert_eq!(
+            cached.hourly_frame().to_csv(),
+            uncached.hourly_frame().to_csv()
+        );
+        assert_eq!(
+            cached.monthly_frame().to_csv(),
+            uncached.monthly_frame().to_csv()
+        );
+    }
+}
+
+/// CLI `--json` bodies are byte-identical with and without
+/// `--no-sim-cache` (and with the env-var spelling), at
+/// `THIRSTYFLOPS_THREADS=1` and `8`. This is the end-to-end determinism
+/// contract: caching is invisible in the bytes.
+#[test]
+fn cli_json_bodies_identical_with_and_without_cache() {
+    let cases: [&[&str]; 3] = [
+        &["footprint", "polaris", "--seed", "7", "--json"],
+        &["scenario", "fugaku", "--seed", "7", "--json"],
+        &["experiments", "fig07", "--json"],
+    ];
+    for args in cases {
+        let mut bodies: Vec<Vec<u8>> = Vec::new();
+        for threads in ["1", "8"] {
+            let env = [("THIRSTYFLOPS_THREADS", threads)];
+            let cached = cli_stdout(args, &env);
+            let uncached = {
+                let mut flagged = args.to_vec();
+                flagged.push("--no-sim-cache");
+                cli_stdout(&flagged, &env)
+            };
+            let env_disabled = cli_stdout(
+                args,
+                &[
+                    ("THIRSTYFLOPS_THREADS", threads),
+                    ("THIRSTYFLOPS_NO_SIM_CACHE", "1"),
+                ],
+            );
+            assert_eq!(cached, uncached, "{args:?} at {threads} threads");
+            assert_eq!(cached, env_disabled, "{args:?} env spelling");
+            assert!(!cached.is_empty());
+            bodies.push(cached);
+        }
+        assert_eq!(
+            bodies[0], bodies[1],
+            "{args:?} must not depend on the thread count"
+        );
+    }
+}
+
+/// `--no-sim-cache` really bypasses the memo layers: repeated simulates
+/// allocate fresh storage (still identical bytes).
+#[test]
+fn disabled_cache_recomputes() {
+    let _guard = lock();
+    simcache::set_enabled(false);
+    let a = SystemYear::simulate(SystemId::Frontier, 990_005);
+    let b = SystemYear::simulate(SystemId::Frontier, 990_005);
+    simcache::set_enabled(true);
+    assert!(!Arc::ptr_eq(&a, &b), "disabled cache must compute twice");
+    assert_eq!(a.energy.values(), b.energy.values());
+    assert_eq!(a.ewf.values(), b.ewf.values());
+}

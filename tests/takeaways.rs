@@ -15,7 +15,7 @@ use thirstyflops::units::{
     Gigabytes, KilowattHours, Liters, LitersPerKilowattHour, Petabytes, Pue, WaterScarcityIndex,
 };
 
-fn years() -> Vec<SystemYear> {
+fn years() -> Vec<std::sync::Arc<SystemYear>> {
     SystemId::PAPER
         .iter()
         .map(|&id| SystemYear::simulate(id, 2023))
@@ -148,7 +148,7 @@ fn takeaway_06_kilometer_scale_wsi_matters() {
 fn takeaway_07_energy_optimal_is_not_water_optimal() {
     use thirstyflops::scheduler::{GeoBalancer, Policy, SiteSeries};
     let ys = years();
-    let sites: Vec<SiteSeries> = ys.iter().map(SiteSeries::from_year).collect();
+    let sites: Vec<SiteSeries> = ys.iter().map(|y| SiteSeries::from_year(y)).collect();
     let balancer = GeoBalancer::new(sites).unwrap();
     let energy = balancer.run_year(1000.0, Policy::EnergyOnly);
     let water = balancer.run_year(1000.0, Policy::WaterOnly);
