@@ -7,9 +7,12 @@
 #                          # test pass (fastest signal)
 #   ./ci.sh serve-smoke    # just the HTTP serving-layer smoke probe
 #                          # (ephemeral port, std-only TcpStream client)
-#   ./ci.sh bench-json     # quick cold-vs-warm SystemYear::simulate and
-#                          # grid-kernel measurement -> BENCH_simulate.json
-#                          # (docs/PERFORMANCE.md; baseline is preserved)
+#   ./ci.sh scenario-smoke # run every spec in examples/scenarios/ through
+#                          # the scenario engine (run or sweep by name)
+#   ./ci.sh bench-json     # quick cold-vs-warm SystemYear::simulate,
+#                          # grid-kernel, and scenario-sweep measurement
+#                          # -> BENCH_simulate.json (docs/PERFORMANCE.md;
+#                          # baseline is preserved)
 #   ./ci.sh regen-goldens  # regenerate the golden-pinned artifacts for a
 #                          # deliberate recalibration (see docs/GOLDENS.md)
 #
@@ -44,6 +47,34 @@ serve_smoke() {
 
 if [[ "$mode" == "serve-smoke" ]]; then
   serve_smoke
+  exit 0
+fi
+
+scenario_smoke() {
+  # Every spec in the shipped library must evaluate: sweep_* files go
+  # through `scenario sweep`, everything else through `scenario run`.
+  # JSON output is rendered (and discarded) so the full engine +
+  # serialization path runs, not just validation.
+  step "scenario smoke (every spec in examples/scenarios/)"
+  cargo build --release -q
+  local bin=target/release/thirstyflops
+  local count=0
+  for spec in examples/scenarios/*.json; do
+    case "$(basename "$spec")" in
+      sweep_*) "$bin" scenario sweep "$spec" --json > /dev/null ;;
+      *)       "$bin" scenario run   "$spec" --json > /dev/null ;;
+    esac
+    count=$((count + 1))
+    printf '  ok %s\n' "$spec"
+  done
+  if [[ "$count" -lt 9 ]]; then
+    echo "expected at least 9 scenario specs, found $count" >&2
+    exit 1
+  fi
+}
+
+if [[ "$mode" == "scenario-smoke" ]]; then
+  scenario_smoke
   exit 0
 fi
 
@@ -82,6 +113,7 @@ cargo test -q --workspace
 
 if [[ "$mode" != "quick" ]]; then
   serve_smoke
+  scenario_smoke
 fi
 
 step "cargo doc --workspace --no-deps (warnings are errors)"

@@ -9,6 +9,10 @@
 //! * `warm_simulate_ns` — median of a repeated memoized
 //!   `SystemYear::simulate` (an `Arc` clone);
 //! * `grid_year_ns` — median of the `GridRegion::simulate_year` kernel;
+//! * `scenario_sweep_ns` — median of the 25-scenario siting sweep
+//!   through the declarative engine (first iteration is cold, the rest
+//!   ride the memo substrate — the median tracks the steady-state sweep
+//!   path a `POST /v1/scenarios/sweep` burst pays);
 //! * hit ratios after a paper-shaped warmup (four systems + repeats).
 //!
 //! This container has **one CPU**: compare medians of the serial
@@ -71,6 +75,24 @@ fn main() {
         std::hint::black_box(SystemYear::simulate(SystemId::Polaris, 77));
     });
 
+    // The scenario-engine sweep path: the shipped 25-combination siting
+    // sweep (5 climates × 5 regions), expansion + parallel evaluation.
+    let sweep_text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/bench sits two levels under the repo root")
+            .join("examples/scenarios/sweep_siting.json"),
+    )
+    .expect("the shipped siting sweep exists");
+    let sweep =
+        thirstyflops_scenario::SweepSpec::from_json(&sweep_text).expect("shipped sweep parses");
+    let sweep_ns = median_ns(5, || {
+        std::hint::black_box(
+            thirstyflops_scenario::evaluate_sweep(&sweep).expect("shipped sweep evaluates"),
+        );
+    });
+
     // A paper-shaped warmup for the hit ratios: the four Table 1 systems
     // plus one repeat each (rank-endpoint shape).
     let before = simcache::stats();
@@ -95,7 +117,8 @@ fn main() {
 
     let current = format!(
         "{{\"cold_simulate_ns\": {cold_ns}, \"warm_simulate_ns\": {warm_ns}, \
-         \"grid_year_ns\": {grid_ns}, \"warmup_year_hit_ratio\": {:.4}, \
+         \"grid_year_ns\": {grid_ns}, \"scenario_sweep_ns\": {sweep_ns}, \
+         \"warmup_year_hit_ratio\": {:.4}, \
          \"warmup_grid_hit_ratio\": {:.4}, \"cold_over_warm\": {:.1}}}",
         ratio(year_hits, year_misses),
         ratio(grid_hits, grid_misses),

@@ -1,20 +1,50 @@
 //! Fig. 14 (nuclear and renewable what-if scenarios) and Table 3 (water
 //! withdrawal parameters).
+//!
+//! Fig. 14 regenerates **on top of the declarative scenario engine**
+//! (`thirstyflops_scenario`): each what-if is a spec with a `grid.mix`
+//! replacement override, and the savings come from the engine's
+//! baseline-vs-scenario mean intensities. The engine pins the scenario's
+//! annual-mean EWF/CI to the replacement mix's factors, so the numbers
+//! match the original closed-form computation to float precision while
+//! exercising the same path `scenario run` and `POST /v1/scenarios/run`
+//! serve.
+
+use std::collections::BTreeMap;
 
 use rayon::prelude::*;
+use thirstyflops_catalog::SystemId;
 use thirstyflops_core::withdrawal::{withdrawal_report, WithdrawalParams};
 use thirstyflops_grid::Scenario;
+use thirstyflops_scenario::{GridOverride, ScenarioSpec};
 use thirstyflops_timeseries::Frame;
-use thirstyflops_units::{Fraction, GramsCo2PerKwh, Liters, LitersPerKilowattHour};
+use thirstyflops_units::{Fraction, Liters};
 
 use crate::context::paper_years;
-use crate::Experiment;
+use crate::{Experiment, SEED};
+
+/// The engine spec of one Fig. 14 what-if: the paper system with its
+/// grid mix replaced by the scenario's single-class supply.
+fn fig14_spec(id: SystemId, scenario: Scenario) -> ScenarioSpec {
+    let mix: BTreeMap<String, f64> = scenario
+        .replacement_mix()
+        .expect("fig14 never evaluates CurrentMix")
+        .iter()
+        .map(|(source, share)| (source.slug().to_string(), share.value()))
+        .collect();
+    let mut spec = ScenarioSpec::new(scenario.label(), id, SEED);
+    spec.overrides.grid = Some(GridOverride {
+        region: None,
+        mix: Some(mix),
+        mix_delta: None,
+    });
+    spec
+}
 
 /// Fig. 14: carbon and water footprint savings (%) of 100 % coal /
 /// nuclear / other-renewable / water-intensive-renewable supply vs the
 /// current energy mix, per system.
 pub fn fig14() -> Experiment {
-    let years = paper_years();
     let scenarios = [
         Scenario::AllCoal,
         Scenario::AllNuclear,
@@ -22,27 +52,27 @@ pub fn fig14() -> Experiment {
         Scenario::WaterIntensiveRenewable,
     ];
 
-    // Per-system what-if evaluation fans out; each worker returns its
-    // system's four scenario rows, merged back in Table 1 order.
-    let per_system: Vec<Vec<(String, String, f64, f64)>> = years
+    // Per-system what-if evaluation fans out; each worker runs its
+    // system's four scenarios through the engine (the simulated year is
+    // shared with the rest of the experiments via core::simcache),
+    // merged back in Table 1 order.
+    let per_system: Vec<Vec<(String, String, f64, f64)>> = SystemId::PAPER
         .par_iter()
-        .map(|y| {
-            let ci_mix = GramsCo2PerKwh::new(y.carbon.mean());
-            let ewf_mix = LitersPerKilowattHour::new(y.ewf.mean());
-            let wue = y.wue.mean();
-            let pue = y.spec.pue.value();
-            let wi_mix = wue + pue * ewf_mix.value();
+        .map(|&id| {
             scenarios
                 .iter()
-                .map(|s| {
-                    let ci_s = s.carbon_intensity(ci_mix).value();
-                    let ewf_s = s.ewf(ewf_mix).value();
-                    let wi_s = wue + pue * ewf_s;
+                .map(|&s| {
+                    let outcome = thirstyflops_scenario::evaluate(&fig14_spec(id, s))
+                        .expect("static fig14 specs are valid");
+                    let base = &outcome.baseline;
+                    let scen = &outcome.scenario;
                     (
-                        y.spec.id.to_string(),
+                        id.to_string(),
                         s.label().to_string(),
-                        100.0 * (ci_mix.value() - ci_s) / ci_mix.value(),
-                        100.0 * (wi_mix - wi_s) / wi_mix,
+                        100.0 * (base.mean_ci_g_per_kwh - scen.mean_ci_g_per_kwh)
+                            / base.mean_ci_g_per_kwh,
+                        100.0 * (base.mean_wi_l_per_kwh - scen.mean_wi_l_per_kwh)
+                            / base.mean_wi_l_per_kwh,
                     )
                 })
                 .collect()

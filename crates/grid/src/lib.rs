@@ -28,6 +28,6 @@ mod sources;
 
 pub use mix::{EnergyMix, MixError};
 pub use plants::{PlantFleet, PowerPlant};
-pub use region::{GridRegion, GridYear, RegionId};
+pub use region::{GridRegion, GridYear, ParseRegionIdError, RegionId};
 pub use scenario::Scenario;
-pub use sources::EnergySource;
+pub use sources::{EnergySource, ParseEnergySourceError};

@@ -69,6 +69,65 @@ impl RegionId {
             RegionId::Custom => "Custom region",
         }
     }
+
+    /// Canonical lowercase token, used in scenario spec files
+    /// (`"grid": {"region": "california"}` — see `docs/SCENARIOS.md`).
+    /// Every preset slug parses back via
+    /// [`FromStr`](core::str::FromStr); [`RegionId::Custom`] has a slug
+    /// for display but is rejected by the parser (custom regions are
+    /// built with [`GridRegion::custom`], not named).
+    pub fn slug(self) -> &'static str {
+        match self {
+            RegionId::EmiliaRomagna => "emilia-romagna",
+            RegionId::Kansai => "kansai",
+            RegionId::NorthernIllinois => "northern-illinois",
+            RegionId::Tennessee => "tennessee",
+            RegionId::California => "california",
+            RegionId::Custom => "custom",
+        }
+    }
+}
+
+/// Error for [`RegionId::from_str`](core::str::FromStr): the input named
+/// no preset grid region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegionIdError {
+    input: String,
+}
+
+impl core::fmt::Display for ParseRegionIdError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown grid region {:?} (known: emilia-romagna, kansai, northern-illinois, \
+             tennessee, california)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseRegionIdError {}
+
+impl core::str::FromStr for RegionId {
+    type Err = ParseRegionIdError;
+
+    /// Parses a preset region name, case-insensitive, accepting the
+    /// canonical slug and common spellings.
+    fn from_str(s: &str) -> Result<RegionId, ParseRegionIdError> {
+        match s.to_ascii_lowercase().as_str() {
+            "emilia-romagna" | "emilia_romagna" | "emilia romagna" | "emiliaromagna" => {
+                Ok(RegionId::EmiliaRomagna)
+            }
+            "kansai" => Ok(RegionId::Kansai),
+            "northern-illinois" | "northern_illinois" | "northern illinois"
+            | "northernillinois" => Ok(RegionId::NorthernIllinois),
+            "tennessee" => Ok(RegionId::Tennessee),
+            "california" => Ok(RegionId::California),
+            _ => Err(ParseRegionIdError {
+                input: s.to_string(),
+            }),
+        }
+    }
 }
 
 impl core::fmt::Display for RegionId {
@@ -676,6 +735,19 @@ mod tests {
         assert!(region
             .simulate_year_with_outage(EnergySource::Gas, 0, HOURS_PER_YEAR + 1)
             .is_err());
+    }
+
+    #[test]
+    fn preset_slugs_round_trip_and_custom_is_rejected() {
+        for id in RegionId::ALL_WITH_EXTENSIONS {
+            assert_eq!(id.slug().parse::<RegionId>(), Ok(id));
+        }
+        assert_eq!(
+            "Northern Illinois".parse::<RegionId>(),
+            Ok(RegionId::NorthernIllinois)
+        );
+        assert!("custom".parse::<RegionId>().is_err());
+        assert!("atlantis".parse::<RegionId>().is_err());
     }
 
     #[test]

@@ -259,6 +259,58 @@ impl EnergySource {
             EnergySource::Geothermal => "Geothermal",
         }
     }
+
+    /// Canonical lowercase token, used as the key of scenario-spec mix
+    /// maps (`"mix_delta": {"hydro": -0.2}` — see `docs/SCENARIOS.md`).
+    /// Every slug parses back via [`FromStr`](core::str::FromStr).
+    pub fn slug(self) -> &'static str {
+        match self {
+            EnergySource::Solar => "solar",
+            EnergySource::Biomass => "biomass",
+            EnergySource::Nuclear => "nuclear",
+            EnergySource::Coal => "coal",
+            EnergySource::Wind => "wind",
+            EnergySource::Hydro => "hydro",
+            EnergySource::Gas => "gas",
+            EnergySource::Oil => "oil",
+            EnergySource::Geothermal => "geothermal",
+        }
+    }
+}
+
+/// Error for [`EnergySource::from_str`](core::str::FromStr): the input
+/// named no generation technology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEnergySourceError {
+    input: String,
+}
+
+impl core::fmt::Display for ParseEnergySourceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown energy source {:?} (known: solar, biomass, nuclear, coal, wind, hydro, \
+             gas, oil, geothermal)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseEnergySourceError {}
+
+impl core::str::FromStr for EnergySource {
+    type Err = ParseEnergySourceError;
+
+    /// Parses a source slug, case-insensitive.
+    fn from_str(s: &str) -> Result<EnergySource, ParseEnergySourceError> {
+        EnergySource::ALL
+            .iter()
+            .find(|src| src.slug().eq_ignore_ascii_case(s))
+            .copied()
+            .ok_or_else(|| ParseEnergySourceError {
+                input: s.to_string(),
+            })
+    }
 }
 
 impl core::fmt::Display for EnergySource {
@@ -270,6 +322,15 @@ impl core::fmt::Display for EnergySource {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn source_slugs_round_trip_through_from_str() {
+        for s in EnergySource::ALL {
+            assert_eq!(s.slug().parse::<EnergySource>(), Ok(s));
+            assert_eq!(s.name().parse::<EnergySource>(), Ok(s), "{}", s.name());
+        }
+        assert!("fusion".parse::<EnergySource>().is_err());
+    }
 
     #[test]
     fn ranges_are_ordered() {

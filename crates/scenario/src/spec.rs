@@ -1,0 +1,1042 @@
+//! Scenario specifications: the declarative JSON schema, its strict
+//! parser, and validation.
+//!
+//! A spec is a named set of **composable overrides** on a cataloged base
+//! system. Parsing is deliberately strict — unknown keys and
+//! out-of-range values are hard errors, never silently ignored — because
+//! a typo in a what-if file (`"wue_scal": 0.8`) would otherwise produce
+//! a perfectly plausible wrong answer. The full schema and override
+//! semantics live in `docs/SCENARIOS.md`.
+//!
+//! The parser is hand-rolled over the serde shim's [`Value`] tree rather
+//! than derived: the derive fills missing fields and drops unknown ones,
+//! which is exactly the leniency a spec language must not have.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+use thirstyflops_catalog::{wsi, SystemId};
+use thirstyflops_grid::{EnergySource, RegionId};
+use thirstyflops_units::Pue;
+use thirstyflops_weather::ClimatePreset;
+
+/// Telemetry seed used when a spec omits `"seed"` (the evaluation year —
+/// same default as the CLI and the HTTP API).
+pub const DEFAULT_SEED: u64 = 2023;
+
+/// Potable water price assumed when a spec has no `water_price`
+/// override, USD per kiloliter (order of US industrial rates).
+pub const DEFAULT_POTABLE_USD_PER_KL: f64 = 1.5;
+
+/// Reclaimed (non-potable) water price assumed when a `reclaimed`
+/// override omits `usd_per_kl`, USD per kiloliter.
+pub const DEFAULT_RECLAIMED_USD_PER_KL: f64 = 0.6;
+
+/// Why a spec could not be parsed or evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The text was not valid JSON.
+    Json(String),
+    /// The JSON was structurally or semantically invalid: unknown keys,
+    /// missing required fields, out-of-range values, unknown names.
+    Invalid(String),
+}
+
+impl ScenarioError {
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            ScenarioError::Json(m) | ScenarioError::Invalid(m) => m,
+        }
+    }
+}
+
+impl core::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScenarioError::Json(m) => write!(f, "invalid JSON: {m}"),
+            ScenarioError::Invalid(m) => write!(f, "invalid scenario spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn invalid(msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::Invalid(msg.into())
+}
+
+/// A named scenario: a base system plus composable overrides.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (free text, used in payloads and sweep rows).
+    pub name: String,
+    /// Optional free-text description.
+    pub description: Option<String>,
+    /// Canonical slug of the base system (`SystemId::slug`).
+    pub base: String,
+    /// Telemetry seed (default [`DEFAULT_SEED`]).
+    pub seed: u64,
+    /// The overrides applied on top of the base system.
+    pub overrides: Overrides,
+}
+
+/// Every override a spec may apply. All fields compose: a spec may move
+/// a system to another climate *and* re-price its water *and* schedule a
+/// fleet upgrade.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize)]
+pub struct Overrides {
+    /// Site climate: preset relocation and/or WUE scaling.
+    pub climate: Option<ClimateOverride>,
+    /// Electricity grid: region relocation and/or mix change.
+    pub grid: Option<GridOverride>,
+    /// Facility PUE replacement (≥ 1).
+    pub pue: Option<f64>,
+    /// Compute node count replacement (≥ 1).
+    pub nodes: Option<u32>,
+    /// Direct (site) water-scarcity index selection.
+    pub wsi: Option<WsiOverride>,
+    /// Reclaimed-water supply curve for the direct (cooling) demand.
+    pub reclaimed: Option<ReclaimedOverride>,
+    /// Seasonal water-price schedule for potable supply.
+    pub water_price: Option<WaterPriceOverride>,
+    /// Multi-year fleet-upgrade schedule (lifecycle view).
+    pub fleet_upgrade: Option<FleetUpgradeOverride>,
+}
+
+/// `"climate"` override: relocate the site climate and/or scale the
+/// cooling WUE series (retrofit what-ifs).
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize)]
+pub struct ClimateOverride {
+    /// Canonical climate-preset slug (`ClimatePreset::slug`).
+    pub preset: Option<String>,
+    /// Multiplier on the hourly WUE series, in `(0, 10]`.
+    pub wue_scale: Option<f64>,
+}
+
+/// `"grid"` override: relocate the grid region and/or change the energy
+/// mix. `mix` (absolute replacement) and `mix_delta` (additive share
+/// shifts) are mutually exclusive; see `docs/SCENARIOS.md` for the exact
+/// scaling semantics.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize)]
+pub struct GridOverride {
+    /// Canonical grid-region slug (`RegionId::slug`).
+    pub region: Option<String>,
+    /// Absolute replacement mix: source slug → share, summing to 1.
+    pub mix: Option<BTreeMap<String, f64>>,
+    /// Additive share deltas: source slug → delta in `[-1, 1]`, applied
+    /// to the region's annual mix and renormalized.
+    pub mix_delta: Option<BTreeMap<String, f64>>,
+}
+
+/// `"wsi"` override: pick the direct water-scarcity index, either as a
+/// literal value or from the embedded AWARE-like fields (US states and
+/// non-US countries).
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize)]
+pub struct WsiOverride {
+    /// Literal site WSI in `[0, 1]`.
+    pub site: Option<f64>,
+    /// Named field lookup: `"state:AZ"` (AWARE-US state table) or
+    /// `"country:India"` (AWARE-global country table).
+    pub field: Option<String>,
+}
+
+/// `"reclaimed"` override: a fraction of the direct (cooling) water
+/// demand met by reclaimed, non-potable supply with its own scarcity
+/// index and price.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ReclaimedOverride {
+    /// Fraction of direct demand met by reclaimed supply, `[0, 1]`.
+    pub fraction: f64,
+    /// WSI of the reclaimed source, `[0, 1]` (reclaimed water typically
+    /// carries a much lower scarcity weight than potable).
+    pub wsi: f64,
+    /// Flat reclaimed-water price, USD/kL (default
+    /// [`DEFAULT_RECLAIMED_USD_PER_KL`]).
+    pub usd_per_kl: Option<f64>,
+}
+
+/// `"water_price"` override: a seasonal potable-water price schedule.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct WaterPriceOverride {
+    /// Base potable price, USD per kiloliter (≥ 0).
+    pub base_usd_per_kl: f64,
+    /// Twelve monthly multipliers (January first, each in `(0, 100)`);
+    /// omitted = flat pricing.
+    pub monthly_multiplier: Option<Vec<f64>>,
+}
+
+/// `"fleet_upgrade"` override: a service life with mid-life accelerator
+/// swaps, projected through `core::lifecycle::project_with_upgrade`
+/// semantics (retired silicon is sunk; new silicon adds embodied water).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct FleetUpgradeOverride {
+    /// Service life in years, `(0, 50]`.
+    pub lifetime_years: f64,
+    /// The upgrade steps (at least one, at most 16).
+    pub upgrades: Vec<UpgradeStep>,
+}
+
+/// One fleet-upgrade step: in `year`, every GPU is swapped for `gpu`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct UpgradeStep {
+    /// Year of the swap, strictly inside `(0, lifetime_years)`.
+    pub year: f64,
+    /// The replacement accelerator package.
+    pub gpu: GpuSpec,
+}
+
+/// Replacement-GPU silicon for an upgrade step (the Eq. 4 inputs).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct GpuSpec {
+    /// Marketing name (free text).
+    pub name: String,
+    /// Aggregate die area per package, mm², `(0, 5000]`.
+    pub die_mm2: f64,
+    /// Process node, nm, `[2, 90]`.
+    pub process_nm: u32,
+    /// Package TDP, watts, `(0, 5000]`.
+    pub tdp_watts: f64,
+    /// Fab yield in `(0, 1]` (default 0.7, the catalog's GPU yield).
+    pub yield_rate: Option<f64>,
+    /// Fab site slug: `tsmc-taiwan` (default), `globalfoundries-us`,
+    /// `samsung-korea`, `intel-oregon`.
+    pub fab: Option<String>,
+}
+
+impl GpuSpec {
+    /// The resolved fab site.
+    pub fn fab_site(&self) -> Result<thirstyflops_catalog::hardware::FabSite, ScenarioError> {
+        use thirstyflops_catalog::hardware::FabSite;
+        match self.fab.as_deref() {
+            None | Some("tsmc-taiwan") => Ok(FabSite::TsmcTaiwan),
+            Some("globalfoundries-us") => Ok(FabSite::GlobalFoundriesUs),
+            Some("samsung-korea") => Ok(FabSite::SamsungKorea),
+            Some("intel-oregon") => Ok(FabSite::IntelOregon),
+            Some(other) => Err(invalid(format!(
+                "unknown fab site {other:?} (known: tsmc-taiwan, globalfoundries-us, \
+                 samsung-korea, intel-oregon)"
+            ))),
+        }
+    }
+
+    /// The catalog processor spec this GPU prices as.
+    pub fn to_processor_spec(&self) -> Result<thirstyflops_catalog::ProcessorSpec, ScenarioError> {
+        Ok(thirstyflops_catalog::ProcessorSpec::with_yield(
+            &self.name,
+            self.die_mm2,
+            self.process_nm,
+            self.fab_site()?,
+            self.tdp_watts,
+            self.yield_rate.unwrap_or(0.7),
+        ))
+    }
+}
+
+/// Resolves a `"state:XX"` / `"country:Name"` WSI field reference to a
+/// scarcity index value.
+pub fn resolve_wsi_field(field: &str) -> Result<f64, ScenarioError> {
+    if let Some(state) = field.strip_prefix("state:") {
+        let state = state.trim().to_ascii_uppercase();
+        return wsi::state_wsi(&state)
+            .map(|w| w.value())
+            .ok_or_else(|| invalid(format!("unknown US state {state:?} in wsi field")));
+    }
+    if let Some(country) = field.strip_prefix("country:") {
+        let country = country.trim();
+        return wsi::country_wsi(country).map(|w| w.value()).ok_or_else(|| {
+            invalid(format!(
+                "unknown country {country:?} in wsi field (names are case-sensitive, \
+                 e.g. \"country:India\")"
+            ))
+        });
+    }
+    Err(invalid(format!(
+        "wsi field must be \"state:XX\" or \"country:Name\", got {field:?}"
+    )))
+}
+
+impl ScenarioSpec {
+    /// A spec with no overrides (evaluates to zero deltas).
+    pub fn new(name: impl Into<String>, base: SystemId, seed: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            description: None,
+            base: base.slug().to_string(),
+            seed,
+            overrides: Overrides::default(),
+        }
+    }
+
+    /// The base system.
+    pub fn base_id(&self) -> Result<SystemId, ScenarioError> {
+        self.base
+            .parse()
+            .map_err(|e| invalid(format!("{e} — `thirstyflops systems` lists the catalog")))
+    }
+
+    /// Parses and validates a spec from JSON text. Strict: unknown keys
+    /// and out-of-range values are hard errors.
+    pub fn from_json(text: &str) -> Result<ScenarioSpec, ScenarioError> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| ScenarioError::Json(e.to_string()))?;
+        Self::from_value(&value)
+    }
+
+    /// Parses and validates a spec from an already-parsed JSON tree
+    /// (the sweep expander's entry point).
+    pub fn from_value(value: &Value) -> Result<ScenarioSpec, ScenarioError> {
+        let pairs = as_obj(value, "spec")?;
+        if field(pairs, "axes").is_some() {
+            return Err(invalid(
+                "\"axes\" makes this a sweep spec — run it with `thirstyflops scenario sweep` \
+                 (or POST /v1/scenarios/sweep)",
+            ));
+        }
+        check_keys(
+            pairs,
+            &["name", "description", "base", "seed", "overrides"],
+            "spec",
+        )?;
+        let name = parse_string(require(pairs, "name", "spec")?, "name")?;
+        if name.is_empty() {
+            return Err(invalid("\"name\" must not be empty"));
+        }
+        let description = match field(pairs, "description") {
+            None => None,
+            Some(v) => Some(parse_string(v, "description")?),
+        };
+        let base_raw = parse_string(require(pairs, "base", "spec")?, "base")?;
+        let base: SystemId = base_raw
+            .parse()
+            .map_err(|e| invalid(format!("{e} — `thirstyflops systems` lists the catalog")))?;
+        let seed = match field(pairs, "seed") {
+            None => DEFAULT_SEED,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| invalid("\"seed\" must be a non-negative integer"))?,
+        };
+        let overrides = match field(pairs, "overrides") {
+            None => Overrides::default(),
+            Some(v) => parse_overrides(v)?,
+        };
+        let spec = ScenarioSpec {
+            name,
+            description,
+            base: base.slug().to_string(),
+            seed,
+            overrides,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Re-validates the spec (used on code-built specs too; `from_json`
+    /// always returns validated specs).
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let base = self.base_id()?;
+        let base_spec = thirstyflops_catalog::SystemSpec::reference(base);
+        let o = &self.overrides;
+        if let Some(c) = &o.climate {
+            if c.preset.is_none() && c.wue_scale.is_none() {
+                return Err(invalid("\"climate\" override is empty"));
+            }
+            if let Some(p) = &c.preset {
+                p.parse::<ClimatePreset>()
+                    .map_err(|e| invalid(e.to_string()))?;
+            }
+            if let Some(k) = c.wue_scale {
+                if !(k.is_finite() && k > 0.0 && k <= 10.0) {
+                    return Err(invalid(format!(
+                        "\"climate.wue_scale\" must be in (0, 10], got {k}"
+                    )));
+                }
+            }
+        }
+        if let Some(g) = &o.grid {
+            if g.region.is_none() && g.mix.is_none() && g.mix_delta.is_none() {
+                return Err(invalid("\"grid\" override is empty"));
+            }
+            if let Some(r) = &g.region {
+                r.parse::<RegionId>().map_err(|e| invalid(e.to_string()))?;
+            }
+            if g.mix.is_some() && g.mix_delta.is_some() {
+                return Err(invalid(
+                    "\"grid.mix\" (replacement) and \"grid.mix_delta\" (shift) are mutually \
+                     exclusive",
+                ));
+            }
+            if let Some(mix) = &g.mix {
+                if mix.is_empty() {
+                    return Err(invalid("\"grid.mix\" must name at least one source"));
+                }
+                let typed = parse_source_map(mix, "grid.mix")?;
+                let mut total = 0.0;
+                for (source, share) in &typed {
+                    if !(share.is_finite() && (0.0..=1.0).contains(share)) {
+                        return Err(invalid(format!(
+                            "\"grid.mix\" share for {:?} must be in [0, 1], got {share}",
+                            source.slug()
+                        )));
+                    }
+                    total += share;
+                }
+                if (total - 1.0).abs() > 1e-6 {
+                    return Err(invalid(format!(
+                        "\"grid.mix\" shares must sum to 1, got {total}"
+                    )));
+                }
+            }
+            if let Some(delta) = &g.mix_delta {
+                if delta.is_empty() {
+                    return Err(invalid("\"grid.mix_delta\" must name at least one source"));
+                }
+                let typed = parse_source_map(delta, "grid.mix_delta")?;
+                for (source, d) in &typed {
+                    if !(d.is_finite() && (-1.0..=1.0).contains(d)) {
+                        return Err(invalid(format!(
+                            "\"grid.mix_delta\" for {:?} must be in [-1, 1], got {d}",
+                            source.slug()
+                        )));
+                    }
+                }
+                // The shifted mix must keep a positive total share.
+                let region = effective_region(&base_spec, g)?;
+                shifted_mix(region, delta)?;
+            }
+        }
+        if let Some(p) = o.pue {
+            Pue::new(p).map_err(|e| invalid(format!("\"pue\": {e}")))?;
+            if p > 5.0 {
+                return Err(invalid(format!("\"pue\" above 5 is not a datacenter: {p}")));
+            }
+        }
+        if let Some(n) = o.nodes {
+            if n == 0 {
+                return Err(invalid("\"nodes\" must be at least 1"));
+            }
+        }
+        if let Some(w) = &o.wsi {
+            match (&w.site, &w.field) {
+                (Some(_), Some(_)) | (None, None) => {
+                    return Err(invalid(
+                        "\"wsi\" needs exactly one of \"site\" (literal) or \"field\" (lookup)",
+                    ))
+                }
+                (Some(v), None) => {
+                    if !(v.is_finite() && (0.0..=1.0).contains(v)) {
+                        return Err(invalid(format!("\"wsi.site\" must be in [0, 1], got {v}")));
+                    }
+                }
+                (None, Some(f)) => {
+                    resolve_wsi_field(f)?;
+                }
+            }
+        }
+        if let Some(r) = &o.reclaimed {
+            for (label, v, lo, hi) in [
+                ("reclaimed.fraction", r.fraction, 0.0, 1.0),
+                ("reclaimed.wsi", r.wsi, 0.0, 1.0),
+            ] {
+                if !(v.is_finite() && (lo..=hi).contains(&v)) {
+                    return Err(invalid(format!(
+                        "\"{label}\" must be in [{lo}, {hi}], got {v}"
+                    )));
+                }
+            }
+            if let Some(p) = r.usd_per_kl {
+                if !(p.is_finite() && p >= 0.0) {
+                    return Err(invalid(format!(
+                        "\"reclaimed.usd_per_kl\" must be non-negative, got {p}"
+                    )));
+                }
+            }
+        }
+        if let Some(wp) = &o.water_price {
+            if !(wp.base_usd_per_kl.is_finite() && wp.base_usd_per_kl >= 0.0) {
+                return Err(invalid(format!(
+                    "\"water_price.base_usd_per_kl\" must be non-negative, got {}",
+                    wp.base_usd_per_kl
+                )));
+            }
+            if let Some(mult) = &wp.monthly_multiplier {
+                if mult.len() != 12 {
+                    return Err(invalid(format!(
+                        "\"water_price.monthly_multiplier\" needs 12 values (January first), \
+                         got {}",
+                        mult.len()
+                    )));
+                }
+                for (i, m) in mult.iter().enumerate() {
+                    if !(m.is_finite() && *m > 0.0 && *m < 100.0) {
+                        return Err(invalid(format!(
+                            "\"water_price.monthly_multiplier\"[{i}] must be in (0, 100), got {m}"
+                        )));
+                    }
+                }
+            }
+        }
+        if let Some(fu) = &o.fleet_upgrade {
+            if !(fu.lifetime_years.is_finite()
+                && fu.lifetime_years > 0.0
+                && fu.lifetime_years <= 50.0)
+            {
+                return Err(invalid(format!(
+                    "\"fleet_upgrade.lifetime_years\" must be in (0, 50], got {}",
+                    fu.lifetime_years
+                )));
+            }
+            if fu.upgrades.is_empty() || fu.upgrades.len() > 16 {
+                return Err(invalid(
+                    "\"fleet_upgrade.upgrades\" needs between 1 and 16 steps",
+                ));
+            }
+            if !base_spec.has_gpus() {
+                return Err(invalid(format!(
+                    "\"fleet_upgrade\" swaps GPUs, but {} has none",
+                    base.name()
+                )));
+            }
+            for (i, step) in fu.upgrades.iter().enumerate() {
+                if !(step.year.is_finite() && step.year > 0.0 && step.year < fu.lifetime_years) {
+                    return Err(invalid(format!(
+                        "\"fleet_upgrade.upgrades\"[{i}].year must sit inside (0, {}), got {}",
+                        fu.lifetime_years, step.year
+                    )));
+                }
+                let gpu = &step.gpu;
+                if gpu.name.is_empty() {
+                    return Err(invalid(format!(
+                        "\"fleet_upgrade.upgrades\"[{i}].gpu.name must not be empty"
+                    )));
+                }
+                if !(gpu.die_mm2.is_finite() && gpu.die_mm2 > 0.0 && gpu.die_mm2 <= 5000.0) {
+                    return Err(invalid(format!(
+                        "gpu.die_mm2 must be in (0, 5000], got {}",
+                        gpu.die_mm2
+                    )));
+                }
+                if !(2..=90).contains(&gpu.process_nm) {
+                    return Err(invalid(format!(
+                        "gpu.process_nm must be in [2, 90], got {}",
+                        gpu.process_nm
+                    )));
+                }
+                if !(gpu.tdp_watts.is_finite() && gpu.tdp_watts > 0.0 && gpu.tdp_watts <= 5000.0) {
+                    return Err(invalid(format!(
+                        "gpu.tdp_watts must be in (0, 5000], got {}",
+                        gpu.tdp_watts
+                    )));
+                }
+                if let Some(y) = gpu.yield_rate {
+                    if !(y.is_finite() && y > 0.0 && y <= 1.0) {
+                        return Err(invalid(format!(
+                            "gpu.yield_rate must be in (0, 1], got {y}"
+                        )));
+                    }
+                }
+                gpu.fab_site()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical compact JSON rendering of the validated spec:
+    /// defaults filled in, aliases collapsed to slugs, fields in schema
+    /// order. Two spec files that mean the same thing render to the same
+    /// canonical bytes — this is the HTTP body-cache key and the input
+    /// of [`ScenarioSpec::fingerprint`].
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("spec structs always serialize")
+    }
+
+    /// A short stable fingerprint of the canonical spec (16 hex digits),
+    /// carried in payloads so clients can tell identical scenarios apart
+    /// from merely identically-named ones.
+    pub fn fingerprint(&self) -> String {
+        fingerprint_of(&self.canonical_json())
+    }
+}
+
+/// 16-hex-digit SipHash fingerprint of a canonical rendering
+/// (deterministic across processes — fixed-key hasher).
+pub(crate) fn fingerprint_of(canonical: &str) -> String {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::default();
+    canonical.hash(&mut hasher);
+    format!("{:016x}", hasher.finish())
+}
+
+/// The grid region a spec evaluates against: the override if present,
+/// else the base system's.
+pub(crate) fn effective_region(
+    base: &thirstyflops_catalog::SystemSpec,
+    g: &GridOverride,
+) -> Result<RegionId, ScenarioError> {
+    match &g.region {
+        Some(r) => r.parse::<RegionId>().map_err(|e| invalid(e.to_string())),
+        None => Ok(base.region),
+    }
+}
+
+/// Parses a mix / mix-delta map into typed sources, collapsing name
+/// spellings onto the canonical source. Two keys that name one source
+/// (`"Hydro"` and `"hydro"`) are a hard error — never a silently
+/// dropped entry.
+pub(crate) fn parse_source_map(
+    map: &BTreeMap<String, f64>,
+    ctx: &str,
+) -> Result<BTreeMap<EnergySource, f64>, ScenarioError> {
+    let mut out = BTreeMap::new();
+    for (name, value) in map {
+        let source: EnergySource =
+            name.parse()
+                .map_err(|e: thirstyflops_grid::ParseEnergySourceError| {
+                    invalid(format!("{ctx}: {e}"))
+                })?;
+        if out.insert(source, *value).is_some() {
+            return Err(invalid(format!(
+                "duplicate source {:?} in {ctx} (source names collapse case-insensitively)",
+                source.slug()
+            )));
+        }
+    }
+    Ok(out)
+}
+
+/// Applies `mix_delta` to a region's annual mix: shares shift by their
+/// deltas (clamped at zero), then renormalize. Errors when every share
+/// lands at zero.
+pub(crate) fn shifted_mix(
+    region: RegionId,
+    delta: &BTreeMap<String, f64>,
+) -> Result<thirstyflops_grid::EnergyMix, ScenarioError> {
+    let typed = parse_source_map(delta, "grid.mix_delta")?;
+    let base = thirstyflops_grid::GridRegion::preset(region).annual_mix();
+    let mut pairs: Vec<(EnergySource, f64)> = Vec::new();
+    for source in EnergySource::ALL {
+        let shifted = base.share(source).value() + typed.get(&source).copied().unwrap_or(0.0);
+        let shifted = shifted.max(0.0);
+        if shifted > 0.0 {
+            pairs.push((source, shifted));
+        }
+    }
+    thirstyflops_grid::EnergyMix::normalized(&pairs).map_err(|e| {
+        invalid(format!(
+            "\"grid.mix_delta\" drives every share to zero on {region}: {e}"
+        ))
+    })
+}
+
+// ------------------------------------------------------------- parsing
+
+fn as_obj<'a>(v: &'a Value, ctx: &str) -> Result<&'a [(String, Value)], ScenarioError> {
+    v.as_object()
+        .ok_or_else(|| invalid(format!("{ctx} must be a JSON object")))
+}
+
+/// Field lookup treating an explicit `null` as absent (so canonical
+/// re-renderings, which spell defaults as `null`, re-parse cleanly).
+fn field<'a>(pairs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .filter(|v| !matches!(v, Value::Null))
+}
+
+fn require<'a>(
+    pairs: &'a [(String, Value)],
+    key: &str,
+    ctx: &str,
+) -> Result<&'a Value, ScenarioError> {
+    field(pairs, key).ok_or_else(|| invalid(format!("{ctx} is missing required key {key:?}")))
+}
+
+/// The strictness core: every key must be known.
+fn check_keys(pairs: &[(String, Value)], allowed: &[&str], ctx: &str) -> Result<(), ScenarioError> {
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(invalid(format!(
+                "unknown key {k:?} in {ctx} (allowed: {allowed:?})"
+            )));
+        }
+    }
+    let mut seen: Vec<&str> = Vec::with_capacity(pairs.len());
+    for (k, _) in pairs {
+        if seen.contains(&k.as_str()) {
+            return Err(invalid(format!("duplicate key {k:?} in {ctx}")));
+        }
+        seen.push(k.as_str());
+    }
+    Ok(())
+}
+
+fn parse_string(v: &Value, ctx: &str) -> Result<String, ScenarioError> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(invalid(format!("\"{ctx}\" must be a string"))),
+    }
+}
+
+fn parse_f64(v: &Value, ctx: &str) -> Result<f64, ScenarioError> {
+    v.as_f64()
+        .filter(|x| x.is_finite())
+        .ok_or_else(|| invalid(format!("\"{ctx}\" must be a finite number")))
+}
+
+/// Re-keys a parsed mix map onto canonical source slugs, so the
+/// canonical spec rendering — and therefore the HTTP body-cache key —
+/// does not depend on how the file spelled the sources. Duplicates
+/// after collapsing are rejected by [`parse_source_map`].
+fn canonical_source_keys(
+    map: BTreeMap<String, f64>,
+    ctx: &str,
+) -> Result<BTreeMap<String, f64>, ScenarioError> {
+    Ok(parse_source_map(&map, ctx)?
+        .into_iter()
+        .map(|(source, value)| (source.slug().to_string(), value))
+        .collect())
+}
+
+fn parse_map(v: &Value, ctx: &str) -> Result<BTreeMap<String, f64>, ScenarioError> {
+    let pairs = as_obj(v, ctx)?;
+    let mut map = BTreeMap::new();
+    for (k, val) in pairs {
+        let parsed = parse_f64(val, &format!("{ctx}.{k}"))?;
+        if map.insert(k.clone(), parsed).is_some() {
+            return Err(invalid(format!("duplicate key {k:?} in {ctx}")));
+        }
+    }
+    Ok(map)
+}
+
+/// Parses the `"overrides"` object (strict).
+pub(crate) fn parse_overrides(v: &Value) -> Result<Overrides, ScenarioError> {
+    let pairs = as_obj(v, "\"overrides\"")?;
+    check_keys(
+        pairs,
+        &[
+            "climate",
+            "grid",
+            "pue",
+            "nodes",
+            "wsi",
+            "reclaimed",
+            "water_price",
+            "fleet_upgrade",
+        ],
+        "\"overrides\"",
+    )?;
+    let mut out = Overrides::default();
+    if let Some(v) = field(pairs, "climate") {
+        let p = as_obj(v, "\"climate\"")?;
+        check_keys(p, &["preset", "wue_scale"], "\"climate\"")?;
+        out.climate = Some(ClimateOverride {
+            preset: field(p, "preset")
+                .map(|v| {
+                    let raw = parse_string(v, "climate.preset")?;
+                    let preset: ClimatePreset = raw.parse().map_err(
+                        |e: thirstyflops_weather::ParseClimatePresetError| invalid(e.to_string()),
+                    )?;
+                    Ok::<String, ScenarioError>(preset.slug().to_string())
+                })
+                .transpose()?,
+            wue_scale: field(p, "wue_scale")
+                .map(|v| parse_f64(v, "climate.wue_scale"))
+                .transpose()?,
+        });
+    }
+    if let Some(v) = field(pairs, "grid") {
+        let p = as_obj(v, "\"grid\"")?;
+        check_keys(p, &["region", "mix", "mix_delta"], "\"grid\"")?;
+        out.grid = Some(GridOverride {
+            region: field(p, "region")
+                .map(|v| {
+                    let raw = parse_string(v, "grid.region")?;
+                    let region: RegionId =
+                        raw.parse()
+                            .map_err(|e: thirstyflops_grid::ParseRegionIdError| {
+                                invalid(e.to_string())
+                            })?;
+                    Ok::<String, ScenarioError>(region.slug().to_string())
+                })
+                .transpose()?,
+            mix: field(p, "mix")
+                .map(|v| canonical_source_keys(parse_map(v, "grid.mix")?, "grid.mix"))
+                .transpose()?,
+            mix_delta: field(p, "mix_delta")
+                .map(|v| canonical_source_keys(parse_map(v, "grid.mix_delta")?, "grid.mix_delta"))
+                .transpose()?,
+        });
+    }
+    if let Some(v) = field(pairs, "pue") {
+        out.pue = Some(parse_f64(v, "pue")?);
+    }
+    if let Some(v) = field(pairs, "nodes") {
+        let n = v
+            .as_u64()
+            .ok_or_else(|| invalid("\"nodes\" must be a positive integer"))?;
+        out.nodes =
+            Some(u32::try_from(n).map_err(|_| invalid(format!("\"nodes\" is out of range: {n}")))?);
+    }
+    if let Some(v) = field(pairs, "wsi") {
+        let p = as_obj(v, "\"wsi\"")?;
+        check_keys(p, &["site", "field"], "\"wsi\"")?;
+        out.wsi = Some(WsiOverride {
+            site: field(p, "site")
+                .map(|v| parse_f64(v, "wsi.site"))
+                .transpose()?,
+            field: field(p, "field")
+                .map(|v| parse_string(v, "wsi.field"))
+                .transpose()?,
+        });
+    }
+    if let Some(v) = field(pairs, "reclaimed") {
+        let p = as_obj(v, "\"reclaimed\"")?;
+        check_keys(p, &["fraction", "wsi", "usd_per_kl"], "\"reclaimed\"")?;
+        out.reclaimed = Some(ReclaimedOverride {
+            fraction: parse_f64(
+                require(p, "fraction", "\"reclaimed\"")?,
+                "reclaimed.fraction",
+            )?,
+            wsi: parse_f64(require(p, "wsi", "\"reclaimed\"")?, "reclaimed.wsi")?,
+            usd_per_kl: field(p, "usd_per_kl")
+                .map(|v| parse_f64(v, "reclaimed.usd_per_kl"))
+                .transpose()?,
+        });
+    }
+    if let Some(v) = field(pairs, "water_price") {
+        let p = as_obj(v, "\"water_price\"")?;
+        check_keys(
+            p,
+            &["base_usd_per_kl", "monthly_multiplier"],
+            "\"water_price\"",
+        )?;
+        out.water_price = Some(WaterPriceOverride {
+            base_usd_per_kl: parse_f64(
+                require(p, "base_usd_per_kl", "\"water_price\"")?,
+                "water_price.base_usd_per_kl",
+            )?,
+            monthly_multiplier: field(p, "monthly_multiplier")
+                .map(|v| {
+                    v.as_array()
+                        .ok_or_else(|| {
+                            invalid("\"water_price.monthly_multiplier\" must be an array")
+                        })?
+                        .iter()
+                        .enumerate()
+                        .map(|(i, m)| parse_f64(m, &format!("water_price.monthly_multiplier[{i}]")))
+                        .collect::<Result<Vec<f64>, _>>()
+                })
+                .transpose()?,
+        });
+    }
+    if let Some(v) = field(pairs, "fleet_upgrade") {
+        let p = as_obj(v, "\"fleet_upgrade\"")?;
+        check_keys(p, &["lifetime_years", "upgrades"], "\"fleet_upgrade\"")?;
+        let steps = require(p, "upgrades", "\"fleet_upgrade\"")?
+            .as_array()
+            .ok_or_else(|| invalid("\"fleet_upgrade.upgrades\" must be an array"))?
+            .iter()
+            .map(parse_upgrade_step)
+            .collect::<Result<Vec<UpgradeStep>, _>>()?;
+        out.fleet_upgrade = Some(FleetUpgradeOverride {
+            lifetime_years: parse_f64(
+                require(p, "lifetime_years", "\"fleet_upgrade\"")?,
+                "fleet_upgrade.lifetime_years",
+            )?,
+            upgrades: steps,
+        });
+    }
+    Ok(out)
+}
+
+fn parse_upgrade_step(v: &Value) -> Result<UpgradeStep, ScenarioError> {
+    let p = as_obj(v, "an upgrade step")?;
+    check_keys(p, &["year", "gpu"], "an upgrade step")?;
+    let g = as_obj(require(p, "gpu", "an upgrade step")?, "\"gpu\"")?;
+    check_keys(
+        g,
+        &[
+            "name",
+            "die_mm2",
+            "process_nm",
+            "tdp_watts",
+            "yield_rate",
+            "fab",
+        ],
+        "\"gpu\"",
+    )?;
+    Ok(UpgradeStep {
+        year: parse_f64(require(p, "year", "an upgrade step")?, "year")?,
+        gpu: GpuSpec {
+            name: parse_string(require(g, "name", "\"gpu\"")?, "gpu.name")?,
+            die_mm2: parse_f64(require(g, "die_mm2", "\"gpu\"")?, "gpu.die_mm2")?,
+            process_nm: require(g, "process_nm", "\"gpu\"")?
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| invalid("\"gpu.process_nm\" must be a positive integer"))?,
+            tdp_watts: parse_f64(require(g, "tdp_watts", "\"gpu\"")?, "gpu.tdp_watts")?,
+            yield_rate: field(g, "yield_rate")
+                .map(|v| parse_f64(v, "gpu.yield_rate"))
+                .transpose()?,
+            fab: field(g, "fab")
+                .map(|v| parse_string(v, "gpu.fab"))
+                .transpose()?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_parses_with_defaults() {
+        let spec = ScenarioSpec::from_json(r#"{"name": "noop", "base": "polaris"}"#).unwrap();
+        assert_eq!(spec.name, "noop");
+        assert_eq!(spec.base, "polaris");
+        assert_eq!(spec.seed, DEFAULT_SEED);
+        assert_eq!(spec.overrides, Overrides::default());
+    }
+
+    #[test]
+    fn aliases_collapse_into_the_canonical_form() {
+        let a = ScenarioSpec::from_json(
+            r#"{"name": "x", "base": "Marconi100",
+                "overrides": {"climate": {"preset": "Oak Ridge"},
+                              "grid": {"region": "Northern Illinois"}}}"#,
+        )
+        .unwrap();
+        let b = ScenarioSpec::from_json(
+            r#"{"name": "x", "base": "marconi", "seed": 2023,
+                "overrides": {"climate": {"preset": "oakridge"},
+                              "grid": {"region": "northern-illinois"}}}"#,
+        )
+        .unwrap();
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn unknown_keys_are_hard_errors_at_every_level() {
+        for (text, needle) in [
+            (r#"{"name": "x", "base": "polaris", "extra": 1}"#, "extra"),
+            (
+                r#"{"name": "x", "base": "polaris", "overrides": {"climat": {}}}"#,
+                "climat",
+            ),
+            (
+                r#"{"name": "x", "base": "polaris",
+                    "overrides": {"climate": {"wue_scal": 0.8}}}"#,
+                "wue_scal",
+            ),
+            (
+                r#"{"name": "x", "base": "polaris",
+                    "overrides": {"reclaimed": {"fraction": 0.2, "wsi": 0.1, "price": 1}}}"#,
+                "price",
+            ),
+        ] {
+            let err = ScenarioSpec::from_json(text).unwrap_err();
+            assert!(err.message().contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        for text in [
+            r#"{"name": "x", "base": "polaris", "overrides": {"pue": 0.8}}"#,
+            r#"{"name": "x", "base": "polaris", "overrides": {"nodes": 0}}"#,
+            r#"{"name": "x", "base": "polaris", "overrides": {"climate": {"wue_scale": -1.0}}}"#,
+            r#"{"name": "x", "base": "polaris", "overrides": {"wsi": {"site": 1.5}}}"#,
+            r#"{"name": "x", "base": "polaris",
+                "overrides": {"reclaimed": {"fraction": 1.2, "wsi": 0.1}}}"#,
+            r#"{"name": "x", "base": "polaris",
+                "overrides": {"grid": {"mix": {"coal": 0.7}}}}"#,
+            r#"{"name": "x", "base": "polaris",
+                "overrides": {"grid": {"mix": {"plutonium": 1.0}}}}"#,
+            r#"{"name": "x", "base": "colossus"}"#,
+            r#"{"name": "x", "base": "polaris",
+                "overrides": {"water_price": {"base_usd_per_kl": 2.0,
+                                              "monthly_multiplier": [1, 2, 3]}}}"#,
+        ] {
+            assert!(ScenarioSpec::from_json(text).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn mix_keys_canonicalize_and_case_duplicates_are_rejected() {
+        // "Hydro" and "hydro" must mean the same thing everywhere: the
+        // canonical rendering (and so the HTTP cache key) collapses the
+        // spelling, and evaluation sees the canonical slug.
+        let spelled = ScenarioSpec::from_json(
+            r#"{"name": "d", "base": "marconi",
+                "overrides": {"grid": {"mix_delta": {"Hydro": -0.15, "Gas": 0.15}}}}"#,
+        )
+        .unwrap();
+        let canonical = ScenarioSpec::from_json(
+            r#"{"name": "d", "base": "marconi",
+                "overrides": {"grid": {"mix_delta": {"hydro": -0.15, "gas": 0.15}}}}"#,
+        )
+        .unwrap();
+        assert_eq!(spelled, canonical);
+        assert_eq!(spelled.canonical_json(), canonical.canonical_json());
+        // Case-variant duplicates of one source are a hard error, not a
+        // silently-last-one-wins map.
+        let err = ScenarioSpec::from_json(
+            r#"{"name": "d", "base": "fugaku",
+                "overrides": {"grid": {"mix": {"Coal": 0.5, "coal": 0.5}}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.message().contains("duplicate source"), "{err}");
+    }
+
+    #[test]
+    fn wsi_fields_resolve_including_non_us() {
+        assert!((resolve_wsi_field("state:AZ").unwrap() - 0.92).abs() < 1e-12);
+        assert!((resolve_wsi_field("country:India").unwrap() - 0.75).abs() < 1e-12);
+        assert!(resolve_wsi_field("state:ZZ").is_err());
+        assert!(resolve_wsi_field("planet:Mars").is_err());
+    }
+
+    #[test]
+    fn axes_in_a_run_spec_point_to_the_sweep_command() {
+        let err = ScenarioSpec::from_json(
+            r#"{"name": "x", "base": "polaris", "axes": {"pue": [1.1, 1.2]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.message().contains("sweep"), "{err}");
+    }
+
+    #[test]
+    fn fleet_upgrade_requires_gpus_and_inside_years() {
+        let fugaku = r#"{"name": "x", "base": "fugaku",
+            "overrides": {"fleet_upgrade": {"lifetime_years": 6,
+                "upgrades": [{"year": 3, "gpu": {"name": "G", "die_mm2": 800,
+                                                  "process_nm": 5, "tdp_watts": 500}}]}}}"#;
+        assert!(ScenarioSpec::from_json(fugaku)
+            .unwrap_err()
+            .message()
+            .contains("has none"));
+        let late = r#"{"name": "x", "base": "polaris",
+            "overrides": {"fleet_upgrade": {"lifetime_years": 4,
+                "upgrades": [{"year": 6, "gpu": {"name": "G", "die_mm2": 800,
+                                                  "process_nm": 5, "tdp_watts": 500}}]}}}"#;
+        assert!(ScenarioSpec::from_json(late).is_err());
+    }
+
+    #[test]
+    fn explicit_null_reads_as_absent() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"name": "x", "description": null, "base": "polaris",
+                "overrides": {"climate": {"preset": "kobe", "wue_scale": null}}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.description, None);
+        assert_eq!(spec.overrides.climate.as_ref().unwrap().wue_scale, None);
+        // The canonical rendering re-parses to the same spec.
+        let reparsed = ScenarioSpec::from_json(&spec.canonical_json()).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+}

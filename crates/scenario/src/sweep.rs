@@ -1,0 +1,454 @@
+//! Cartesian sweeps: an `"axes"` block expands one spec into the cross
+//! product of its axis values, evaluated in one rayon fan-out.
+//!
+//! A sweep file is a scenario spec plus `"axes": {"<override path>":
+//! [v1, v2, ...], ...}`. Each combination produces a full
+//! [`ScenarioSpec`] — the axis value is written into the (canonical)
+//! overrides tree at its path, and the result goes through the same
+//! strict validation as a hand-written spec. Expansion order is
+//! deterministic: axes iterate in file order, the first axis slowest,
+//! so row order never depends on thread count.
+
+use rayon::prelude::*;
+use serde::Serialize as _;
+use serde::Value;
+
+use crate::engine::{self, ScenarioDeltas, ScenarioMetrics, ScenarioOutcome};
+use crate::spec::{fingerprint_of, Overrides, ScenarioError, ScenarioSpec};
+
+/// Override paths an axis may set (the settable leaves of the override
+/// schema — anything else is a hard error).
+pub const AXIS_PATHS: [&str; 15] = [
+    "climate.preset",
+    "climate.wue_scale",
+    "grid.region",
+    "grid.mix",
+    "grid.mix_delta",
+    "pue",
+    "nodes",
+    "wsi.site",
+    "wsi.field",
+    "reclaimed.fraction",
+    "reclaimed.wsi",
+    "reclaimed.usd_per_kl",
+    "water_price.base_usd_per_kl",
+    "water_price.monthly_multiplier",
+    "fleet_upgrade.lifetime_years",
+];
+
+/// The expansion ceiling: a sweep may produce at most this many
+/// scenarios (guards against accidental combinatorial bombs).
+pub const MAX_SCENARIOS: usize = 4096;
+
+/// One sweep axis: an override path and the values it cycles through.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Axis {
+    /// Dotted override path, e.g. `"climate.preset"`.
+    pub path: String,
+    /// The values, tried in file order.
+    pub values: Vec<Value>,
+}
+
+/// A sweep specification: common spec fields plus the axes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SweepSpec {
+    /// Sweep name (rows are named `name[axis=value,...]`).
+    pub name: String,
+    /// Optional free-text description.
+    pub description: Option<String>,
+    /// Canonical slug of the base system.
+    pub base: String,
+    /// Telemetry seed.
+    pub seed: u64,
+    /// Overrides common to every combination (axes write on top).
+    pub overrides: Overrides,
+    /// The axes, file order.
+    pub axes: Vec<Axis>,
+}
+
+/// One row of a sweep report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepRow {
+    /// Expanded scenario name (`name[axis=value,...]`).
+    pub name: String,
+    /// The evaluated scenario metrics.
+    pub scenario: ScenarioMetrics,
+    /// Scenario minus the sweep's shared baseline.
+    pub deltas: ScenarioDeltas,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepReport {
+    /// Sweep name.
+    pub name: String,
+    /// Canonical base-system slug.
+    pub base: String,
+    /// Telemetry seed.
+    pub seed: u64,
+    /// Fingerprint of the canonical sweep spec.
+    pub fingerprint: String,
+    /// Number of expanded scenarios.
+    pub scenario_count: u64,
+    /// The shared baseline (base system, no overrides).
+    pub baseline: ScenarioMetrics,
+    /// One row per combination, expansion order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepSpec {
+    /// Parses and validates a sweep spec from JSON text. As strict as
+    /// [`ScenarioSpec::from_json`]; additionally requires `"axes"` and
+    /// validates every expanded combination.
+    pub fn from_json(text: &str) -> Result<SweepSpec, ScenarioError> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| ScenarioError::Json(e.to_string()))?;
+        let pairs = value
+            .as_object()
+            .ok_or_else(|| ScenarioError::Invalid("sweep spec must be a JSON object".into()))?;
+        // Reuse the run-spec parser for the shared fields by stripping
+        // the axes (it rejects them with a redirect message otherwise).
+        let without_axes =
+            Value::Object(pairs.iter().filter(|(k, _)| k != "axes").cloned().collect());
+        let common = ScenarioSpec::from_value(&without_axes)?;
+        let axes_value = pairs
+            .iter()
+            .find(|(k, _)| k == "axes")
+            .map(|(_, v)| v)
+            .ok_or_else(|| {
+                ScenarioError::Invalid(
+                    "sweep spec is missing \"axes\" — a plain scenario runs with \
+                     `thirstyflops scenario run`"
+                        .into(),
+                )
+            })?;
+        let axes_pairs = axes_value
+            .as_object()
+            .ok_or_else(|| ScenarioError::Invalid("\"axes\" must be an object".into()))?;
+        if axes_pairs.is_empty() {
+            return Err(ScenarioError::Invalid("\"axes\" must not be empty".into()));
+        }
+        let mut axes = Vec::with_capacity(axes_pairs.len());
+        let mut expansion: usize = 1;
+        for (path, values) in axes_pairs {
+            if !AXIS_PATHS.contains(&path.as_str()) {
+                return Err(ScenarioError::Invalid(format!(
+                    "unknown axis path {path:?} (settable: {AXIS_PATHS:?})"
+                )));
+            }
+            if axes.iter().any(|a: &Axis| &a.path == path) {
+                return Err(ScenarioError::Invalid(format!(
+                    "duplicate axis path {path:?}"
+                )));
+            }
+            let values = values
+                .as_array()
+                .ok_or_else(|| {
+                    ScenarioError::Invalid(format!("axis {path:?} must map to an array"))
+                })?
+                .to_vec();
+            if values.is_empty() {
+                return Err(ScenarioError::Invalid(format!(
+                    "axis {path:?} must have at least one value"
+                )));
+            }
+            expansion = expansion.saturating_mul(values.len());
+            axes.push(Axis {
+                path: path.clone(),
+                values,
+            });
+        }
+        if expansion > MAX_SCENARIOS {
+            return Err(ScenarioError::Invalid(format!(
+                "sweep expands to {expansion} scenarios — the ceiling is {MAX_SCENARIOS}"
+            )));
+        }
+        let sweep = SweepSpec {
+            name: common.name,
+            description: common.description,
+            base: common.base,
+            seed: common.seed,
+            overrides: common.overrides,
+            axes,
+        };
+        // Every combination must be a valid scenario spec. This makes
+        // the evaluate path expand twice (once here, once in
+        // `evaluate_sweep`), a deliberate trade: parse-time rejection of
+        // any bad combination costs ~60µs for a 25-combo sweep — noise
+        // next to one 8760-hour simulation.
+        sweep.expand()?;
+        Ok(sweep)
+    }
+
+    /// The canonical compact JSON rendering (the HTTP body-cache key;
+    /// axes are rendered as `{path, values}` records in file order).
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("sweep structs always serialize")
+    }
+
+    /// Fingerprint of the canonical rendering (16 hex digits).
+    pub fn fingerprint(&self) -> String {
+        fingerprint_of(&self.canonical_json())
+    }
+
+    /// Expands the cartesian product into one validated
+    /// [`ScenarioSpec`] per combination, first axis slowest.
+    pub fn expand(&self) -> Result<Vec<ScenarioSpec>, ScenarioError> {
+        let common_overrides = self.overrides.to_value();
+        let total: usize = self.axes.iter().map(|a| a.values.len()).product();
+        let mut specs = Vec::with_capacity(total);
+        let mut indices = vec![0usize; self.axes.len()];
+        loop {
+            let mut overrides = common_overrides.clone();
+            let mut label_parts = Vec::with_capacity(self.axes.len());
+            for (axis, &i) in self.axes.iter().zip(&indices) {
+                let value = &axis.values[i];
+                set_path(&mut overrides, &axis.path, value.clone())?;
+                label_parts.push(format!("{}={}", axis.path, label_of(value)));
+            }
+            let mut spec_pairs = vec![
+                (
+                    "name".to_string(),
+                    Value::Str(format!("{}[{}]", self.name, label_parts.join(","))),
+                ),
+                ("base".to_string(), Value::Str(self.base.clone())),
+                ("seed".to_string(), Value::UInt(self.seed)),
+                ("overrides".to_string(), overrides),
+            ];
+            if let Some(d) = &self.description {
+                spec_pairs.insert(1, ("description".to_string(), Value::Str(d.clone())));
+            }
+            specs.push(
+                ScenarioSpec::from_value(&Value::Object(spec_pairs)).map_err(|e| {
+                    ScenarioError::Invalid(format!(
+                        "combination [{}] is invalid: {}",
+                        label_parts.join(","),
+                        e.message()
+                    ))
+                })?,
+            );
+            // Odometer increment, last axis fastest.
+            let mut pos = self.axes.len();
+            loop {
+                if pos == 0 {
+                    return Ok(specs);
+                }
+                pos -= 1;
+                indices[pos] += 1;
+                if indices[pos] < self.axes[pos].values.len() {
+                    break;
+                }
+                indices[pos] = 0;
+            }
+        }
+    }
+}
+
+/// Compact axis-value label for expanded scenario names (strings bare,
+/// everything else as compact JSON).
+fn label_of(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => serde_json::to_string(other).expect("axis values re-render"),
+    }
+}
+
+/// Writes `value` at a dotted `path` inside an overrides tree, creating
+/// (or replacing `null`) intermediate objects along the way.
+fn set_path(tree: &mut Value, path: &str, value: Value) -> Result<(), ScenarioError> {
+    let mut current = tree;
+    let segments: Vec<&str> = path.split('.').collect();
+    for (depth, segment) in segments.iter().enumerate() {
+        let last = depth + 1 == segments.len();
+        if matches!(current, Value::Null) {
+            *current = Value::Object(Vec::new());
+        }
+        let Value::Object(pairs) = current else {
+            return Err(ScenarioError::Invalid(format!(
+                "axis path {path:?} crosses a non-object at {segment:?}"
+            )));
+        };
+        let idx = match pairs.iter().position(|(k, _)| k == segment) {
+            Some(i) => i,
+            None => {
+                pairs.push((
+                    segment.to_string(),
+                    if last {
+                        Value::Null
+                    } else {
+                        Value::Object(Vec::new())
+                    },
+                ));
+                pairs.len() - 1
+            }
+        };
+        if last {
+            pairs[idx].1 = value;
+            return Ok(());
+        }
+        current = &mut pairs[idx].1;
+    }
+    unreachable!("paths have at least one segment")
+}
+
+/// Evaluates a sweep: expand, fan the scenarios out across the rayon
+/// workers, merge rows back in expansion order (bit-identical at every
+/// thread count — `docs/CONCURRENCY.md`).
+pub fn evaluate_sweep(sweep: &SweepSpec) -> Result<SweepReport, ScenarioError> {
+    let specs = sweep.expand()?;
+    let outcomes: Vec<Result<ScenarioOutcome, ScenarioError>> =
+        specs.par_iter().map(engine::evaluate).collect();
+    let mut rows = Vec::with_capacity(outcomes.len());
+    let mut baseline = None;
+    for outcome in outcomes {
+        let outcome = outcome?;
+        baseline.get_or_insert(outcome.baseline);
+        rows.push(SweepRow {
+            name: outcome.name,
+            scenario: outcome.scenario,
+            deltas: outcome.deltas,
+        });
+    }
+    let baseline = baseline.expect("expand() yields at least one scenario");
+    Ok(SweepReport {
+        name: sweep.name.clone(),
+        base: sweep.base.clone(),
+        seed: sweep.seed,
+        fingerprint: sweep.fingerprint(),
+        scenario_count: rows.len() as u64,
+        baseline,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SITING: &str = r#"{
+        "name": "siting",
+        "base": "polaris",
+        "axes": {
+            "climate.preset": ["bologna", "kobe", "lemont"],
+            "pue": [1.1, 1.4]
+        }
+    }"#;
+
+    #[test]
+    fn expansion_is_the_cartesian_product_in_file_order() {
+        let sweep = SweepSpec::from_json(SITING).unwrap();
+        let specs = sweep.expand().unwrap();
+        assert_eq!(specs.len(), 6);
+        assert_eq!(specs[0].name, "siting[climate.preset=bologna,pue=1.1]");
+        assert_eq!(specs[1].name, "siting[climate.preset=bologna,pue=1.4]");
+        assert_eq!(specs[5].name, "siting[climate.preset=lemont,pue=1.4]");
+        // Axis values landed in the overrides.
+        assert_eq!(
+            specs[0]
+                .overrides
+                .climate
+                .as_ref()
+                .unwrap()
+                .preset
+                .as_deref(),
+            Some("bologna")
+        );
+        assert_eq!(specs[0].overrides.pue, Some(1.1));
+    }
+
+    #[test]
+    fn axes_compose_with_common_overrides() {
+        let sweep = SweepSpec::from_json(
+            r#"{"name": "s", "base": "polaris",
+                "overrides": {"climate": {"wue_scale": 0.9}},
+                "axes": {"climate.preset": ["kobe", "lemont"]}}"#,
+        )
+        .unwrap();
+        let specs = sweep.expand().unwrap();
+        for spec in &specs {
+            let climate = spec.overrides.climate.as_ref().unwrap();
+            assert_eq!(climate.wue_scale, Some(0.9), "common override kept");
+            assert!(climate.preset.is_some(), "axis value set");
+        }
+    }
+
+    #[test]
+    fn invalid_axes_are_rejected() {
+        for (text, needle) in [
+            (
+                r#"{"name": "s", "base": "polaris", "axes": {"pue": []}}"#,
+                "at least one value",
+            ),
+            (
+                r#"{"name": "s", "base": "polaris", "axes": {"color": ["red"]}}"#,
+                "unknown axis path",
+            ),
+            (
+                r#"{"name": "s", "base": "polaris", "axes": {"pue": [0.5]}}"#,
+                "pue",
+            ),
+            (r#"{"name": "s", "base": "polaris"}"#, "axes"),
+        ] {
+            let err = SweepSpec::from_json(text).unwrap_err();
+            assert!(
+                err.message().contains(needle),
+                "{text}: {err} missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_ceiling_guards_combinatorial_bombs() {
+        let values: Vec<String> = (0..80).map(|i| format!("{}.0", 1 + i)).collect();
+        let big = format!(
+            r#"{{"name": "s", "base": "polaris",
+                "axes": {{"climate.wue_scale": [{v}],
+                          "pue": [1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0],
+                          "reclaimed.fraction": [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]}}}}"#,
+            v = values.join(", ")
+        );
+        // 80 × 10 × 7 = 5600 > 4096. (reclaimed.fraction alone is not a
+        // full reclaimed override, but the ceiling trips before
+        // validation would.)
+        let err = SweepSpec::from_json(&big).unwrap_err();
+        assert!(err.message().contains("ceiling"), "{err}");
+    }
+
+    #[test]
+    fn sweep_evaluates_with_shared_baseline() {
+        let report = evaluate_sweep(&SweepSpec::from_json(SITING).unwrap()).unwrap();
+        assert_eq!(report.scenario_count, 6);
+        assert_eq!(report.rows.len(), 6);
+        assert_eq!(report.base, "polaris");
+        assert!(report.baseline.operational_water_l > 0.0);
+        // Rows with lower PUE use less indirect water than their 1.4
+        // siblings at the same climate.
+        for pair in report.rows.chunks(2) {
+            assert!(
+                pair[0].scenario.indirect_water_l < pair[1].scenario.indirect_water_l,
+                "{} vs {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_report_is_deterministic() {
+        let sweep = SweepSpec::from_json(SITING).unwrap();
+        let a = serde_json::to_string(&evaluate_sweep(&sweep).unwrap()).unwrap();
+        let b = serde_json::to_string(&evaluate_sweep(&sweep).unwrap()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incomplete_axis_combination_fails_validation() {
+        // reclaimed.fraction alone misses the required reclaimed.wsi.
+        let err = SweepSpec::from_json(
+            r#"{"name": "s", "base": "polaris",
+                "axes": {"reclaimed.fraction": [0.2]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.message().contains("combination"), "{err}");
+    }
+}

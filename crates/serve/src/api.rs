@@ -177,8 +177,7 @@ pub fn rank_payload(adjusted: bool, seed: u64) -> RankPayload {
     }
 }
 
-/// `thirstyflops compare --json` payload (no HTTP endpoint yet; the CLI
-/// and any future `/v1/compare` route shape through here).
+/// `GET /v1/compare` / `thirstyflops compare --json` payload.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ComparePayload {
     /// Telemetry seed.
@@ -308,24 +307,51 @@ pub fn scenario_payload(id: SystemId, seed: u64) -> ScenarioPayload {
     }
 }
 
-/// `GET /v1/cache/stats` payload: the serving layer's body cache in
-/// front, the process-wide simulation caches (`core::simcache`) behind
-/// it. Warm-path behavior — which layer absorbed a request — is fully
-/// observable over HTTP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+/// The scenario engine's run payload (`POST /v1/scenarios/run` /
+/// `thirstyflops scenario run <file> --json`): the engine's outcome,
+/// verbatim — both front ends render the same evaluation through
+/// [`to_json`].
+pub fn scenario_run_payload(
+    spec: &thirstyflops_scenario::ScenarioSpec,
+) -> Result<thirstyflops_scenario::ScenarioOutcome, thirstyflops_scenario::ScenarioError> {
+    thirstyflops_scenario::evaluate(spec)
+}
+
+/// The scenario engine's sweep payload (`POST /v1/scenarios/sweep` /
+/// `thirstyflops scenario sweep <file> --json`).
+pub fn scenario_sweep_payload(
+    sweep: &thirstyflops_scenario::SweepSpec,
+) -> Result<thirstyflops_scenario::SweepReport, thirstyflops_scenario::ScenarioError> {
+    thirstyflops_scenario::evaluate_sweep(sweep)
+}
+
+/// `GET /v1/cache/stats` payload — the serving layer's observability
+/// snapshot: the body cache in front, the process-wide simulation caches
+/// (`core::simcache`) behind it, and per-endpoint request/latency
+/// counters. Warm-path behavior — which layer absorbed a request — is
+/// fully observable over HTTP.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStatsPayload {
     /// Rendered-body cache counters (per server process).
     pub body: crate::cache::CacheStats,
     /// Simulation memo-cache counters (grid years, WUE series, whole
     /// system years; process-wide).
     pub simulation: thirstyflops_core::simcache::SimCacheStats,
+    /// Per-endpoint request/cache-hit/latency counters (per server
+    /// process; families with zero traffic included).
+    pub endpoints: Vec<crate::metrics::EndpointStats>,
 }
 
-/// Builds the cache observability payload from a body-cache snapshot.
-pub fn cache_stats_payload(body: crate::cache::CacheStats) -> CacheStatsPayload {
+/// Builds the observability payload from a body-cache snapshot and an
+/// endpoint-metrics snapshot.
+pub fn cache_stats_payload(
+    body: crate::cache::CacheStats,
+    endpoints: Vec<crate::metrics::EndpointStats>,
+) -> CacheStatsPayload {
     CacheStatsPayload {
         body,
         simulation: thirstyflops_core::simcache::stats(),
+        endpoints,
     }
 }
 

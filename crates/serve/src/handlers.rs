@@ -1,10 +1,12 @@
 //! Request handlers: route dispatch, cache lookups, and payload builds.
 //!
 //! Every cacheable endpoint follows the same shape: normalize the
-//! request into a canonical cache key (defaults filled in, parameters in
-//! fixed order), then `get_or_compute` the rendered body. The compute
-//! closures call the same [`api`] builders the CLI's `--json` flags use,
-//! which is what makes cached, uncached, and CLI output byte-identical.
+//! request into a canonical cache key (defaults filled in, aliases
+//! collapsed, parameters in fixed order — for the scenario POSTs the key
+//! is the spec's canonical rendering), then `get_or_compute` the
+//! rendered body. The compute closures call the same [`api`] builders
+//! the CLI's `--json` flags use, which is what makes cached, uncached,
+//! and CLI output byte-identical.
 
 use thirstyflops_catalog::SystemId;
 
@@ -12,33 +14,84 @@ use crate::api;
 use crate::cache::ResultCache;
 use crate::error::ServeError;
 use crate::http::{Request, Response};
+use crate::metrics::Metrics;
 use crate::router::{route, Query, Route};
 
-/// Shared state behind all workers: today just the result cache.
+/// Shared state behind all workers: the result cache, the per-endpoint
+/// counters, and the logging switch.
 #[derive(Debug, Default)]
 pub struct AppState {
     /// The sharded body cache (see `docs/SERVING.md` for the key scheme).
     pub cache: ResultCache,
+    /// Per-endpoint request/latency counters (`/v1/cache/stats`).
+    pub metrics: Metrics,
+    /// `serve --log`: one stderr line per request.
+    pub log_requests: bool,
+}
+
+/// What one dispatch did, for metrics and the `--log` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trace {
+    /// The metrics family that absorbed the request.
+    pub endpoint: &'static str,
+    /// True when the body came from the result cache.
+    pub cache_hit: bool,
 }
 
 /// Dispatches one parsed request to its handler. Never panics; every
 /// failure becomes a JSON error response.
 pub fn handle(req: &Request, state: &AppState) -> Response {
-    match try_handle(req, state) {
-        Ok(resp) => resp,
-        Err(e) => e.to_response(),
-    }
+    handle_traced(req, state).0
 }
 
-fn try_handle(req: &Request, state: &AppState) -> Result<Response, ServeError> {
-    if req.method != "GET" {
+/// Dispatch plus the trace the connection loop feeds into metrics and
+/// logging.
+pub fn handle_traced(req: &Request, state: &AppState) -> (Response, Trace) {
+    let mut trace = Trace {
+        endpoint: "other",
+        cache_hit: false,
+    };
+    let response = match try_handle(req, state, &mut trace) {
+        Ok(resp) => resp,
+        Err(e) => e.to_response(),
+    };
+    (response, trace)
+}
+
+/// `get_or_compute` that also reports whether the body was a cache hit.
+fn cached(
+    state: &AppState,
+    trace: &mut Trace,
+    key: &str,
+    compute: impl FnOnce() -> String,
+) -> std::sync::Arc<str> {
+    let mut computed = false;
+    let body = state.cache.get_or_compute(key, || {
+        computed = true;
+        compute()
+    });
+    trace.cache_hit = !computed;
+    body
+}
+
+fn try_handle(req: &Request, state: &AppState, trace: &mut Trace) -> Result<Response, ServeError> {
+    let resolved = route(&req.path)?;
+    trace.endpoint = resolved.metrics_label();
+    if resolved.takes_body() {
+        if req.method != "POST" {
+            return Err(ServeError::MethodNotAllowed(format!(
+                "{} not supported here — POST a scenario spec (docs/SCENARIOS.md)",
+                req.method
+            )));
+        }
+    } else if req.method != "GET" {
         return Err(ServeError::MethodNotAllowed(format!(
-            "{} not supported — the API is read-only, use GET",
+            "{} not supported — this endpoint is read-only, use GET",
             req.method
         )));
     }
     let query = Query::parse(&req.query)?;
-    match route(&req.path)? {
+    match resolved {
         Route::Healthz => {
             query.expect_only(&[])?;
             Ok(Response::json(200, api::to_json(&HealthBody::ok())))
@@ -47,14 +100,17 @@ fn try_handle(req: &Request, state: &AppState) -> Result<Response, ServeError> {
             query.expect_only(&[])?;
             Ok(Response::json(
                 200,
-                api::to_json(&api::cache_stats_payload(state.cache.stats())),
+                api::to_json(&api::cache_stats_payload(
+                    state.cache.stats(),
+                    state.metrics.snapshot(),
+                )),
             ))
         }
         Route::Systems => {
             query.expect_only(&[])?;
-            let body = state
-                .cache
-                .get_or_compute("systems", || api::to_json(&api::systems_payload()));
+            let body = cached(state, trace, "systems", || {
+                api::to_json(&api::systems_payload())
+            });
             Ok(Response::json(200, body))
         }
         Route::Footprint(system) => {
@@ -62,9 +118,23 @@ fn try_handle(req: &Request, state: &AppState) -> Result<Response, ServeError> {
             let id = parse_system(&system)?;
             let seed = query.seed()?;
             let key = format!("footprint/{}?seed={seed}", id.slug());
-            let body = state
-                .cache
-                .get_or_compute(&key, || api::to_json(&api::footprint_payload(id, seed)));
+            let body = cached(state, trace, &key, || {
+                api::to_json(&api::footprint_payload(id, seed))
+            });
+            Ok(Response::json(200, body))
+        }
+        Route::Compare => {
+            query.expect_only(&["a", "b", "seed"])?;
+            let a = parse_system(query.required("a")?)?;
+            let b = parse_system(query.required("b")?)?;
+            let seed = query.seed()?;
+            // Aliases collapse via the slugs, so ?a=Marconi100 and
+            // ?a=marconi share one entry; a/b order is preserved (the
+            // payload is ordered).
+            let key = format!("compare/{}/{}?seed={seed}", a.slug(), b.slug());
+            let body = cached(state, trace, &key, || {
+                api::to_json(&api::compare_payload(a, b, seed))
+            });
             Ok(Response::json(200, body))
         }
         Route::Rank => {
@@ -72,9 +142,9 @@ fn try_handle(req: &Request, state: &AppState) -> Result<Response, ServeError> {
             let seed = query.seed()?;
             let adjusted = query.flag("adjusted")?;
             let key = format!("rank?adjusted={adjusted}&seed={seed}");
-            let body = state
-                .cache
-                .get_or_compute(&key, || api::to_json(&api::rank_payload(adjusted, seed)));
+            let body = cached(state, trace, &key, || {
+                api::to_json(&api::rank_payload(adjusted, seed))
+            });
             Ok(Response::json(200, body))
         }
         Route::Scenario(system) => {
@@ -82,14 +152,35 @@ fn try_handle(req: &Request, state: &AppState) -> Result<Response, ServeError> {
             let id = parse_system(&system)?;
             let seed = query.seed()?;
             let key = format!("scenario/{}?seed={seed}", id.slug());
-            let body = state
-                .cache
-                .get_or_compute(&key, || api::to_json(&api::scenario_payload(id, seed)));
+            let body = cached(state, trace, &key, || {
+                api::to_json(&api::scenario_payload(id, seed))
+            });
+            Ok(Response::json(200, body))
+        }
+        Route::ScenarioRun => {
+            query.expect_only(&[])?;
+            let spec = parse_spec_body(&req.body, thirstyflops_scenario::ScenarioSpec::from_json)?;
+            // The canonical rendering *is* the cache key: two spec files
+            // that mean the same thing (aliases, defaults, whitespace,
+            // key order) share one entry.
+            let key = format!("scenarios/run:{}", spec.canonical_json());
+            let body = cached(state, trace, &key, || {
+                api::to_json(&api::scenario_run_payload(&spec).expect("spec was validated"))
+            });
+            Ok(Response::json(200, body))
+        }
+        Route::ScenarioSweep => {
+            query.expect_only(&[])?;
+            let sweep = parse_spec_body(&req.body, thirstyflops_scenario::SweepSpec::from_json)?;
+            let key = format!("scenarios/sweep:{}", sweep.canonical_json());
+            let body = cached(state, trace, &key, || {
+                api::to_json(&api::scenario_sweep_payload(&sweep).expect("sweep was validated"))
+            });
             Ok(Response::json(200, body))
         }
         Route::ExperimentIndex => {
             query.expect_only(&[])?;
-            let body = state.cache.get_or_compute("experiments", || {
+            let body = cached(state, trace, "experiments", || {
                 api::to_json(&api::experiment_index_payload())
             });
             Ok(Response::json(200, body))
@@ -102,7 +193,7 @@ fn try_handle(req: &Request, state: &AppState) -> Result<Response, ServeError> {
                 )));
             }
             let key = format!("experiments/{id}");
-            let body = state.cache.get_or_compute(&key, || {
+            let body = cached(state, trace, &key, || {
                 api::to_json(&thirstyflops_experiments::select(&[id.as_str()]))
             });
             Ok(Response::json(200, body))
@@ -114,6 +205,20 @@ fn parse_system(name: &str) -> Result<SystemId, ServeError> {
     name.parse::<SystemId>().map_err(|e| {
         ServeError::NotFound(format!("{e} — GET /v1/systems lists the cataloged systems"))
     })
+}
+
+/// Parses a POSTed spec body, mapping empty bodies and spec errors onto
+/// 400s with the parser's message.
+fn parse_spec_body<T>(
+    body: &str,
+    parse: impl FnOnce(&str) -> Result<T, thirstyflops_scenario::ScenarioError>,
+) -> Result<T, ServeError> {
+    if body.trim().is_empty() {
+        return Err(ServeError::BadRequest(
+            "request body must be a scenario spec (JSON; see docs/SCENARIOS.md)".into(),
+        ));
+    }
+    parse(body).map_err(|e| ServeError::BadRequest(e.to_string()))
 }
 
 /// `GET /healthz` body.
@@ -132,20 +237,43 @@ impl HealthBody {
     }
 }
 
-/// Serves one connection end-to-end: parse, dispatch, write, close.
-/// I/O errors (client hung up, timeout) are swallowed — there is nobody
-/// left to answer.
+/// Serves one connection end-to-end: parse, dispatch, record, write,
+/// close. I/O errors (client hung up, timeout) are swallowed — there is
+/// nobody left to answer.
 pub fn serve_connection(mut stream: std::net::TcpStream, state: &AppState) {
     // A stuck client must not pin a worker forever.
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
-    let response = match crate::http::read_request(&mut stream) {
-        Ok(req) => handle(&req, state),
+    let started = std::time::Instant::now();
+    let (response, request_line, trace) = match crate::http::read_request(&mut stream) {
+        Ok(req) => {
+            let (response, trace) = handle_traced(&req, state);
+            let line = format!("{} {}", req.method, req.path);
+            (response, line, Some(trace))
+        }
         Err(e) => match parse_error_response(e) {
-            Some(resp) => resp,
+            Some(resp) => (resp, "??? (unparsable request)".to_string(), None),
             None => return, // nothing arrived; likely a probe
         },
     };
     let _ = response.write_to(&mut stream);
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let trace = trace.unwrap_or(Trace {
+        endpoint: "other",
+        cache_hit: false,
+    });
+    state
+        .metrics
+        .record(trace.endpoint, trace.cache_hit, micros);
+    if state.log_requests {
+        // One parseable line per request: method+path, status, body
+        // bytes, wall-clock, cache verdict.
+        eprintln!(
+            "{request_line} {} {}B {micros}us {}",
+            response.status,
+            response.body.len(),
+            if trace.cache_hit { "hit" } else { "miss" }
+        );
+    }
 }
 
 /// Maps a request-parse failure to its response; `None` when the socket
@@ -158,6 +286,13 @@ pub fn parse_error_response(e: crate::http::ParseError) -> Option<Response> {
             api::to_json(&crate::error::ErrorBody {
                 status: 431,
                 error: format!("request head exceeds {} bytes", crate::http::MAX_HEAD_BYTES),
+            }),
+        )),
+        crate::http::ParseError::BodyTooLarge => Some(Response::json(
+            413,
+            api::to_json(&crate::error::ErrorBody {
+                status: 413,
+                error: format!("request body exceeds {} bytes", crate::http::MAX_BODY_BYTES),
             }),
         )),
         crate::http::ParseError::Malformed(m) => Some(ServeError::BadRequest(m).to_response()),
@@ -178,6 +313,19 @@ mod tests {
                 method: "GET".into(),
                 path: path.into(),
                 query: query.into(),
+                body: String::new(),
+            },
+            state,
+        )
+    }
+
+    fn post(path: &str, body: &str, state: &AppState) -> Response {
+        handle(
+            &Request {
+                method: "POST".into(),
+                path: path.into(),
+                query: String::new(),
+                body: body.into(),
             },
             state,
         )
@@ -203,6 +351,96 @@ mod tests {
     }
 
     #[test]
+    fn compare_normalizes_aliases_onto_one_entry() {
+        let state = AppState::default();
+        let canonical = get("/v1/compare?a=polaris&b=frontier&seed=7", &state);
+        assert_eq!(canonical.status, 200);
+        let aliased = get("/v1/compare?a=Polaris&b=Frontier&seed=7", &state);
+        assert_eq!(canonical.body, aliased.body);
+        let stats = state.cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "one entry, one hit");
+        // Body matches the shared api builder byte for byte.
+        assert_eq!(
+            &*canonical.body,
+            api::to_json(&api::compare_payload(
+                thirstyflops_catalog::SystemId::Polaris,
+                thirstyflops_catalog::SystemId::Frontier,
+                7
+            ))
+        );
+    }
+
+    #[test]
+    fn compare_requires_both_systems() {
+        let state = AppState::default();
+        assert_eq!(get("/v1/compare?a=polaris", &state).status, 400);
+        assert_eq!(get("/v1/compare", &state).status, 400);
+        assert_eq!(get("/v1/compare?a=polaris&b=colossus", &state).status, 404);
+    }
+
+    #[test]
+    fn scenario_run_posts_evaluate_and_cache_by_canonical_spec() {
+        let state = AppState::default();
+        let spec = r#"{"name": "dry", "base": "polaris",
+                       "overrides": {"climate": {"wue_scale": 0.5}}}"#;
+        let first = post("/v1/scenarios/run", spec, &state);
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert!(first.body.contains("\"deltas\""));
+        // Same meaning, different spelling (whitespace, explicit
+        // defaults) ⇒ same cache entry.
+        let respelled = r#"{
+            "name": "dry", "seed": 2023, "base": "Polaris",
+            "overrides": {"climate": {"wue_scale": 0.5, "preset": null}}
+        }"#;
+        let second = post("/v1/scenarios/run", respelled, &state);
+        assert_eq!(first.body, second.body);
+        let stats = state.cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn scenario_post_rejects_bad_bodies_and_wrong_methods() {
+        let state = AppState::default();
+        assert_eq!(post("/v1/scenarios/run", "", &state).status, 400);
+        assert_eq!(post("/v1/scenarios/run", "{not json", &state).status, 400);
+        let unknown_key = post(
+            "/v1/scenarios/run",
+            r#"{"name": "x", "base": "polaris", "pue": 2}"#,
+            &state,
+        );
+        assert_eq!(unknown_key.status, 400);
+        assert!(unknown_key.body.contains("pue"));
+        // Case-variant duplicate mix sources are a 400 at parse time —
+        // they must never reach the post-validation evaluate.
+        let dup_mix = post(
+            "/v1/scenarios/run",
+            r#"{"name": "x", "base": "fugaku",
+                "overrides": {"grid": {"mix": {"Coal": 0.5, "coal": 0.5}}}}"#,
+            &state,
+        );
+        assert_eq!(dup_mix.status, 400);
+        assert!(dup_mix.body.contains("duplicate source"));
+        // GET on a POST route is 405; POST on a GET route is 405.
+        assert_eq!(get("/v1/scenarios/run", &state).status, 405);
+        assert_eq!(post("/v1/rank", "{}", &state).status, 405);
+    }
+
+    #[test]
+    fn scenario_sweep_posts_expand_and_evaluate() {
+        let state = AppState::default();
+        let sweep = r#"{"name": "s", "base": "polaris",
+                        "axes": {"pue": [1.1, 1.3]}}"#;
+        let resp = post("/v1/scenarios/sweep", sweep, &state);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"scenario_count\": 2"));
+        // A run spec posted to the sweep route fails loudly.
+        let run_spec = r#"{"name": "x", "base": "polaris"}"#;
+        assert_eq!(post("/v1/scenarios/sweep", run_spec, &state).status, 400);
+        // And vice versa.
+        assert_eq!(post("/v1/scenarios/run", sweep, &state).status, 400);
+    }
+
+    #[test]
     fn unknown_system_and_experiment_are_404() {
         let state = AppState::default();
         assert_eq!(get("/v1/footprint/colossus", &state).status, 404);
@@ -218,18 +456,15 @@ mod tests {
         assert_eq!(get("/v1/rank?seed=abc", &state).status, 400);
         assert_eq!(get("/v1/rank?adjusted=maybe", &state).status, 400);
         assert_eq!(get("/healthz?x=1", &state).status, 400);
+        assert_eq!(
+            get("/v1/compare?a=polaris&b=frontier&sed=7", &state).status,
+            400
+        );
     }
 
     #[test]
     fn non_get_is_405() {
-        let resp = handle(
-            &Request {
-                method: "POST".into(),
-                path: "/healthz".into(),
-                query: String::new(),
-            },
-            &AppState::default(),
-        );
+        let resp = post("/healthz", "", &AppState::default());
         assert_eq!(resp.status, 405);
     }
 
@@ -255,6 +490,8 @@ mod tests {
         let too_large = parse_error_response(ParseError::TooLarge).unwrap();
         assert_eq!(too_large.status, 431);
         assert!(too_large.body.contains("\"status\": 431"));
+        let body_too_large = parse_error_response(ParseError::BodyTooLarge).unwrap();
+        assert_eq!(body_too_large.status, 413);
         let malformed = parse_error_response(ParseError::Malformed("bad line".into())).unwrap();
         assert_eq!(malformed.status, 400);
         assert!(malformed.body.contains("bad line"));
@@ -267,5 +504,32 @@ mod tests {
         get("/v1/systems", &state);
         let after = get("/v1/cache/stats", &state);
         assert_ne!(before.body, after.body, "stats must reflect the new miss");
+    }
+
+    #[test]
+    fn traces_name_the_endpoint_and_cache_verdict() {
+        let state = AppState::default();
+        let req = Request {
+            method: "GET".into(),
+            path: "/v1/rank".into(),
+            query: String::new(),
+            body: String::new(),
+        };
+        let (_, cold) = handle_traced(&req, &state);
+        assert_eq!(
+            cold,
+            Trace {
+                endpoint: "rank",
+                cache_hit: false
+            }
+        );
+        let (_, warm) = handle_traced(&req, &state);
+        assert_eq!(
+            warm,
+            Trace {
+                endpoint: "rank",
+                cache_hit: true
+            }
+        );
     }
 }

@@ -1,10 +1,11 @@
 //! A minimal HTTP/1.1 request parser and response writer over `std::io`.
 //!
-//! Only what a read-only JSON API needs: `GET` request lines, header
-//! skipping, a bounded read (8 KiB of head), and `Connection: close`
-//! responses with an explicit `Content-Length`. No keep-alive, no
-//! chunked transfer, no TLS — the serving layer is an internal tool and
-//! the simplicity is what keeps it deterministic and std-only.
+//! Only what a JSON API needs: request lines, `Content-Length`-framed
+//! bodies (for the `POST /v1/scenarios/*` spec uploads), bounded reads
+//! (8 KiB of head, 256 KiB of body), and `Connection: close` responses
+//! with an explicit `Content-Length`. No keep-alive, no chunked
+//! transfer, no TLS — the serving layer is an internal tool and the
+//! simplicity is what keeps it deterministic and std-only.
 
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -12,7 +13,11 @@ use std::sync::Arc;
 /// Maximum bytes of request head (request line + headers) we accept.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// A parsed HTTP request head.
+/// Maximum bytes of request body we accept (scenario specs are a few
+/// KiB; anything bigger is a mistake or an attack).
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Uppercase method token, e.g. `GET`.
@@ -21,6 +26,8 @@ pub struct Request {
     pub path: String,
     /// Raw query string without the leading `?` (empty when absent).
     pub query: String,
+    /// Request body as declared by `Content-Length` (empty when absent).
+    pub body: String,
 }
 
 /// A response ready to be written: status plus JSON body.
@@ -53,6 +60,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
             _ => "Internal Server Error",
         }
@@ -72,14 +80,16 @@ impl Response {
     }
 }
 
-/// Errors from reading or parsing a request head.
+/// Errors from reading or parsing a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
-    /// The socket closed or errored before a full head arrived.
+    /// The socket closed or errored before a full request arrived.
     Io(String),
     /// The head exceeded [`MAX_HEAD_BYTES`].
     TooLarge,
-    /// The request line was not `METHOD TARGET HTTP/1.x`.
+    /// The declared body exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// The request line, headers, or body framing were invalid.
     Malformed(String),
 }
 
@@ -88,16 +98,20 @@ impl core::fmt::Display for ParseError {
         match self {
             ParseError::Io(e) => write!(f, "i/o error: {e}"),
             ParseError::TooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ParseError::BodyTooLarge => {
+                write!(f, "request body exceeds {MAX_BODY_BYTES} bytes")
+            }
             ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
         }
     }
 }
 
-/// Reads one request head from a stream and parses it.
+/// Reads one request (head plus `Content-Length`-framed body) from a
+/// stream and parses it.
 ///
-/// Reads until the blank line ending the headers; any body bytes are
-/// ignored (the API is `GET`-only). Fails closed on oversized or
-/// malformed heads.
+/// Reads until the blank line ending the headers, then exactly
+/// `Content-Length` body bytes (no length header ⇒ empty body). Fails
+/// closed on oversized or malformed input.
 pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
@@ -119,7 +133,46 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
     let end = find_head_end(&head).expect("loop exits only with a full head");
     let text = std::str::from_utf8(&head[..end])
         .map_err(|_| ParseError::Malformed("request head is not UTF-8".into()))?;
-    parse_head(text)
+    let mut request = parse_head(text)?;
+    let declared = content_length(text)?;
+    if declared > MAX_BODY_BYTES {
+        return Err(ParseError::BodyTooLarge);
+    }
+    if declared > 0 {
+        // Body bytes that arrived with the head read, then the rest.
+        let mut body = head[end..].to_vec();
+        if body.len() > declared {
+            body.truncate(declared);
+        }
+        while body.len() < declared {
+            let n = stream
+                .read(&mut buf)
+                .map_err(|e| ParseError::Io(e.to_string()))?;
+            if n == 0 {
+                return Err(ParseError::Io("connection closed mid-body".into()));
+            }
+            let take = n.min(declared - body.len());
+            body.extend_from_slice(&buf[..take]);
+        }
+        request.body = String::from_utf8(body)
+            .map_err(|_| ParseError::Malformed("request body is not UTF-8".into()))?;
+    }
+    Ok(request)
+}
+
+/// The declared `Content-Length` (0 when the header is absent).
+fn content_length(head: &str) -> Result<usize, ParseError> {
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            return value.trim().parse().map_err(|_| {
+                ParseError::Malformed(format!("bad Content-Length {:?}", value.trim()))
+            });
+        }
+    }
+    Ok(0)
 }
 
 /// Index of the byte just past the first `\r\n\r\n` (or `None`).
@@ -160,6 +213,7 @@ fn parse_head(text: &str) -> Result<Request, ParseError> {
         method: method.to_string(),
         path,
         query: raw_query.to_string(),
+        body: String::new(),
     })
 }
 
@@ -200,6 +254,38 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert_eq!(req.query, "");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn reads_a_content_length_framed_body() {
+        let req = parse(
+            "POST /v1/scenarios/run HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, "hello world");
+        // Case-insensitive header name; extra bytes past the declared
+        // length are ignored.
+        let req = parse("POST /x HTTP/1.1\r\ncontent-length: 2\r\n\r\nabXTRA").unwrap();
+        assert_eq!(req.body, "ab");
+    }
+
+    #[test]
+    fn rejects_bad_bodies() {
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ParseError::Io(_))
+        ));
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(&huge), Err(ParseError::BodyTooLarge));
     }
 
     #[test]

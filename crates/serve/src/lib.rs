@@ -44,6 +44,7 @@ pub mod cache;
 pub mod error;
 pub mod handlers;
 pub mod http;
+pub mod metrics;
 pub mod pool;
 pub mod router;
 
@@ -71,11 +72,15 @@ pub struct ServerConfig {
     /// Optional body-cache TTL (`serve --cache-ttl SECS`; `None` =
     /// entries never expire).
     pub cache_ttl: Option<std::time::Duration>,
+    /// `serve --log`: one stderr line per request (method, path,
+    /// status, bytes, µs, cache hit/miss).
+    pub log_requests: bool,
 }
 
 impl Default for ServerConfig {
     /// Loopback on the project's default port with one worker per
-    /// available CPU and a 4096-entry, never-expiring body cache.
+    /// available CPU, a 4096-entry, never-expiring body cache, and
+    /// request logging off.
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7979".to_string(),
@@ -84,6 +89,7 @@ impl Default for ServerConfig {
                 .unwrap_or(1),
             cache_entries: 4096,
             cache_ttl: None,
+            log_requests: false,
         }
     }
 }
@@ -114,6 +120,8 @@ impl Server {
         let addr = listener.local_addr()?;
         let state = Arc::new(AppState {
             cache: cache::ResultCache::with_limits(8, config.cache_entries, config.cache_ttl),
+            metrics: metrics::Metrics::default(),
+            log_requests: config.log_requests,
         });
         let worker_state = Arc::clone(&state);
         let (pool, sender) = pool::WorkerPool::spawn(config.workers, move |stream| {

@@ -1,0 +1,105 @@
+//! Per-endpoint request and latency counters.
+//!
+//! One fixed-size table of atomic counters, indexed by endpoint family
+//! (the same families the router resolves). Counters are monotonic and
+//! lock-free; `GET /v1/cache/stats` serves a snapshot and `serve --log`
+//! prints one line per request from the same measurements.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The endpoint families metrics are kept for, stats order. `other`
+/// absorbs unroutable paths and unparsable requests.
+pub const ENDPOINTS: [&str; 11] = [
+    "healthz",
+    "cache_stats",
+    "systems",
+    "footprint",
+    "compare",
+    "rank",
+    "scenario",
+    "scenarios_run",
+    "scenarios_sweep",
+    "experiments",
+    "other",
+];
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+/// The per-endpoint counter table.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    table: [Counters; ENDPOINTS.len()],
+}
+
+/// One endpoint's snapshot as served by `GET /v1/cache/stats`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EndpointStats {
+    /// Endpoint family name (see [`ENDPOINTS`]).
+    pub endpoint: String,
+    /// Requests answered (any status).
+    pub requests: u64,
+    /// Requests answered from the body cache.
+    pub cache_hits: u64,
+    /// Total handler wall-clock across those requests, microseconds.
+    pub total_micros: u64,
+}
+
+impl Metrics {
+    /// Records one answered request. Unknown labels land in `other`.
+    pub fn record(&self, endpoint: &str, cache_hit: bool, micros: u64) {
+        let idx = ENDPOINTS
+            .iter()
+            .position(|e| *e == endpoint)
+            .unwrap_or(ENDPOINTS.len() - 1);
+        let counters = &self.table[idx];
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        counters.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// A snapshot of every family, stats order (families with zero
+    /// requests included, so the payload shape is stable).
+    pub fn snapshot(&self) -> Vec<EndpointStats> {
+        ENDPOINTS
+            .iter()
+            .zip(&self.table)
+            .map(|(endpoint, counters)| EndpointStats {
+                endpoint: (*endpoint).to_string(),
+                requests: counters.requests.load(Ordering::Relaxed),
+                cache_hits: counters.cache_hits.load(Ordering::Relaxed),
+                total_micros: counters.total_micros.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_the_right_family() {
+        let metrics = Metrics::default();
+        metrics.record("footprint", true, 120);
+        metrics.record("footprint", false, 80);
+        metrics.record("no-such-endpoint", false, 5);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.len(), ENDPOINTS.len());
+        let footprint = snap.iter().find(|s| s.endpoint == "footprint").unwrap();
+        assert_eq!(footprint.requests, 2);
+        assert_eq!(footprint.cache_hits, 1);
+        assert_eq!(footprint.total_micros, 200);
+        let other = snap.iter().find(|s| s.endpoint == "other").unwrap();
+        assert_eq!(other.requests, 1);
+        // Untouched families are present with zero counts.
+        let rank = snap.iter().find(|s| s.endpoint == "rank").unwrap();
+        assert_eq!(rank.requests, 0);
+    }
+}

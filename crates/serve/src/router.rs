@@ -13,20 +13,52 @@ use crate::http::percent_decode;
 pub enum Route {
     /// `GET /healthz` — liveness probe.
     Healthz,
-    /// `GET /v1/cache/stats` — result-cache counters.
+    /// `GET /v1/cache/stats` — cache and per-endpoint counters.
     CacheStats,
     /// `GET /v1/systems` — the catalog listing.
     Systems,
     /// `GET /v1/footprint/{system}` — one system's annual report.
     Footprint(String),
+    /// `GET /v1/compare?a=&b=` — two systems side by side.
+    Compare,
     /// `GET /v1/rank` — Water500-style ranking of all systems.
     Rank,
     /// `GET /v1/scenario/{system}` — Fig. 14 energy-source what-ifs.
     Scenario(String),
+    /// `POST /v1/scenarios/run` — evaluate a scenario spec (body =
+    /// spec JSON, `docs/SCENARIOS.md`).
+    ScenarioRun,
+    /// `POST /v1/scenarios/sweep` — expand and evaluate a sweep spec.
+    ScenarioSweep,
     /// `GET /v1/experiments` — the artifact id listing.
     ExperimentIndex,
     /// `GET /v1/experiments/{id}` — one regenerated paper artifact.
     Experiment(String),
+}
+
+impl Route {
+    /// The metrics family this route counts into
+    /// (`crate::metrics::ENDPOINTS`).
+    pub fn metrics_label(&self) -> &'static str {
+        match self {
+            Route::Healthz => "healthz",
+            Route::CacheStats => "cache_stats",
+            Route::Systems => "systems",
+            Route::Footprint(_) => "footprint",
+            Route::Compare => "compare",
+            Route::Rank => "rank",
+            Route::Scenario(_) => "scenario",
+            Route::ScenarioRun => "scenarios_run",
+            Route::ScenarioSweep => "scenarios_sweep",
+            Route::ExperimentIndex | Route::Experiment(_) => "experiments",
+        }
+    }
+
+    /// True for the routes that take a spec JSON body (and therefore
+    /// require `POST` — everything else is `GET`-only).
+    pub fn takes_body(&self) -> bool {
+        matches!(self, Route::ScenarioRun | Route::ScenarioSweep)
+    }
 }
 
 /// Resolves a decoded path to a route.
@@ -39,8 +71,11 @@ pub fn route(path: &str) -> Result<Route, ServeError> {
         ["v1", "footprint", system] if !system.is_empty() => {
             Ok(Route::Footprint(system.to_string()))
         }
+        ["v1", "compare"] => Ok(Route::Compare),
         ["v1", "rank"] => Ok(Route::Rank),
         ["v1", "scenario", system] if !system.is_empty() => Ok(Route::Scenario(system.to_string())),
+        ["v1", "scenarios", "run"] => Ok(Route::ScenarioRun),
+        ["v1", "scenarios", "sweep"] => Ok(Route::ScenarioSweep),
         ["v1", "experiments"] => Ok(Route::ExperimentIndex),
         ["v1", "experiments", id] if !id.is_empty() => Ok(Route::Experiment(id.to_string())),
         _ => Err(ServeError::NotFound(format!("no route for {path:?}"))),
@@ -75,6 +110,14 @@ impl Query {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// A required, non-empty string parameter (`/v1/compare`'s `a=` and
+    /// `b=`).
+    pub fn required(&self, key: &str) -> Result<&str, ServeError> {
+        self.get(key).filter(|v| !v.is_empty()).ok_or_else(|| {
+            ServeError::BadRequest(format!("missing required query parameter {key:?}"))
+        })
     }
 
     /// `seed` parameter with the CLI's default of 2023.
@@ -127,11 +170,14 @@ mod tests {
             route("/v1/footprint/polaris"),
             Ok(Route::Footprint("polaris".into()))
         );
+        assert_eq!(route("/v1/compare"), Ok(Route::Compare));
         assert_eq!(route("/v1/rank"), Ok(Route::Rank));
         assert_eq!(
             route("/v1/scenario/fugaku"),
             Ok(Route::Scenario("fugaku".into()))
         );
+        assert_eq!(route("/v1/scenarios/run"), Ok(Route::ScenarioRun));
+        assert_eq!(route("/v1/scenarios/sweep"), Ok(Route::ScenarioSweep));
         assert_eq!(route("/v1/experiments"), Ok(Route::ExperimentIndex));
         assert_eq!(
             route("/v1/experiments/fig05"),
@@ -139,6 +185,26 @@ mod tests {
         );
         // Trailing slash tolerated.
         assert_eq!(route("/v1/rank/"), Ok(Route::Rank));
+    }
+
+    #[test]
+    fn metrics_labels_cover_every_route() {
+        for (path, label) in [
+            ("/healthz", "healthz"),
+            ("/v1/compare", "compare"),
+            ("/v1/scenarios/run", "scenarios_run"),
+            ("/v1/scenarios/sweep", "scenarios_sweep"),
+            ("/v1/experiments/fig05", "experiments"),
+        ] {
+            let resolved = route(path).unwrap();
+            assert_eq!(resolved.metrics_label(), label);
+            assert!(
+                crate::metrics::ENDPOINTS.contains(&resolved.metrics_label()),
+                "{label} must be a metrics family"
+            );
+        }
+        assert!(route("/v1/scenarios/run").unwrap().takes_body());
+        assert!(!route("/v1/rank").unwrap().takes_body());
     }
 
     #[test]

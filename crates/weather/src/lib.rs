@@ -25,5 +25,5 @@ pub mod stull;
 mod wue;
 
 pub use climate::{HourlyWeather, SiteClimate, SiteClimateConfig};
-pub use presets::ClimatePreset;
+pub use presets::{ClimatePreset, ParseClimatePresetError};
 pub use wue::WueModel;

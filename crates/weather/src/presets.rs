@@ -142,6 +142,58 @@ impl ClimatePreset {
             ClimatePreset::Livermore => "Livermore",
         }
     }
+
+    /// Canonical lowercase token, used in scenario spec files
+    /// (`"climate": {"preset": "oakridge"}` — see `docs/SCENARIOS.md`).
+    /// Every slug parses back via [`FromStr`](core::str::FromStr).
+    pub fn slug(self) -> &'static str {
+        match self {
+            ClimatePreset::Bologna => "bologna",
+            ClimatePreset::Kobe => "kobe",
+            ClimatePreset::Lemont => "lemont",
+            ClimatePreset::OakRidge => "oakridge",
+            ClimatePreset::Livermore => "livermore",
+        }
+    }
+}
+
+/// Error for [`ClimatePreset::from_str`](core::str::FromStr): the input
+/// named no calibrated preset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseClimatePresetError {
+    input: String,
+}
+
+impl core::fmt::Display for ParseClimatePresetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown climate preset {:?} (known: bologna, kobe, lemont, oakridge, livermore)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseClimatePresetError {}
+
+impl core::str::FromStr for ClimatePreset {
+    type Err = ParseClimatePresetError;
+
+    /// Parses a preset name: the canonical slug or the city name,
+    /// case-insensitive (`"Oak Ridge"`, `"oak-ridge"`, and `"oakridge"`
+    /// all resolve).
+    fn from_str(s: &str) -> Result<ClimatePreset, ParseClimatePresetError> {
+        match s.to_ascii_lowercase().as_str() {
+            "bologna" => Ok(ClimatePreset::Bologna),
+            "kobe" => Ok(ClimatePreset::Kobe),
+            "lemont" => Ok(ClimatePreset::Lemont),
+            "oakridge" | "oak-ridge" | "oak_ridge" | "oak ridge" => Ok(ClimatePreset::OakRidge),
+            "livermore" => Ok(ClimatePreset::Livermore),
+            _ => Err(ParseClimatePresetError {
+                input: s.to_string(),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -209,5 +261,17 @@ mod tests {
     fn city_names() {
         assert_eq!(ClimatePreset::Bologna.city(), "Bologna");
         assert_eq!(ClimatePreset::OakRidge.city(), "Oak Ridge");
+    }
+
+    #[test]
+    fn every_slug_round_trips_through_from_str() {
+        for preset in ClimatePreset::ALL_WITH_EXTENSIONS {
+            assert_eq!(preset.slug().parse::<ClimatePreset>(), Ok(preset));
+        }
+        assert_eq!(
+            "Oak Ridge".parse::<ClimatePreset>(),
+            Ok(ClimatePreset::OakRidge)
+        );
+        assert!("atlantis".parse::<ClimatePreset>().is_err());
     }
 }

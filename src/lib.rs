@@ -19,6 +19,8 @@
 //!   operational (Eq. 6–7), water intensity (Eq. 8), scarcity adjustment
 //!   (Eq. 9), and water withdrawal (Table 3);
 //! * [`carbon`] — the ACT-style carbon comparator;
+//! * [`scenario`] — the declarative scenario engine: spec files,
+//!   composable overrides, A-vs-B comparisons, cartesian sweeps;
 //! * [`scheduler`] — water-aware operations: start-time ranking,
 //!   multi-objective scheduling, geo load balancing, water capping;
 //! * [`experiments`] — one regenerator per paper figure/table;
@@ -44,6 +46,7 @@ pub use thirstyflops_catalog as catalog;
 pub use thirstyflops_core as core;
 pub use thirstyflops_experiments as experiments;
 pub use thirstyflops_grid as grid;
+pub use thirstyflops_scenario as scenario;
 pub use thirstyflops_scheduler as scheduler;
 pub use thirstyflops_serve as serve;
 pub use thirstyflops_timeseries as timeseries;

@@ -5,6 +5,8 @@
 //! thirstyflops compare <a> <b> [--seed N] [--json]      two systems side by side (+ uncertainty overlap)
 //! thirstyflops rank [--adjusted] [--seed N] [--json]    Water500-style ranking of all systems
 //! thirstyflops scenario <system> [--seed N] [--json]    Fig. 14 energy-source what-ifs
+//! thirstyflops scenario run <file> [--json]             evaluate a scenario spec (docs/SCENARIOS.md)
+//! thirstyflops scenario sweep <file> [--json]           expand + evaluate a cartesian sweep spec
 //! thirstyflops sensitivity <system> [--seed N]          which parameters move the answer
 //! thirstyflops lifecycle <system> --years N             break-even & amortized intensity
 //! thirstyflops experiments [id ...] [--all] [--json]    regenerate paper tables/figures
@@ -95,12 +97,14 @@ fn usage() {
          thirstyflops compare <a> <b> [--seed N] [--json]\n  \
          thirstyflops rank [--adjusted] [--seed N] [--json]\n  \
          thirstyflops scenario <system> [--seed N] [--json]\n  \
+         thirstyflops scenario run <file> [--json]\n  \
+         thirstyflops scenario sweep <file> [--json]\n  \
          thirstyflops sensitivity <system> [--seed N]\n  \
          thirstyflops lifecycle <system> --years N [--seed N]\n  \
          thirstyflops experiments [id ...] [--all] [--json]\n  \
          thirstyflops systems [--json]\n  \
          thirstyflops serve [--addr HOST:PORT] [--workers N]\n  \
-         \u{20}                  [--cache-entries N] [--cache-ttl SECS]\n\n\
+         \u{20}                  [--cache-entries N] [--cache-ttl SECS] [--log]\n\n\
          Every command also accepts --threads N (worker threads for the\n\
          parallel sweeps; defaults to THIRSTYFLOPS_THREADS, then the CPU\n\
          count) and --no-sim-cache (recompute every simulation instead\n\
@@ -318,6 +322,14 @@ fn cmd_rank(args: &[String]) -> i32 {
 }
 
 fn cmd_scenario(args: &[String]) -> i32 {
+    // `scenario run <file>` / `scenario sweep <file>` drive the
+    // declarative engine; any other first argument is the original
+    // positional form — the built-in Fig. 14 what-if spec.
+    match args.get(1).map(String::as_str) {
+        Some("run") => return cmd_scenario_run(args),
+        Some("sweep") => return cmd_scenario_sweep(args),
+        _ => {}
+    }
     let id = match require_system(args, 1) {
         Ok(id) => id,
         Err(c) => return c,
@@ -337,6 +349,135 @@ fn cmd_scenario(args: &[String]) -> i32 {
         println!(
             "  {:<40} carbon {:>+7.0}%  water {:>+7.0}%",
             row.scenario, row.carbon_delta_percent, row.water_delta_percent
+        );
+    }
+    0
+}
+
+/// Reads the spec file of `scenario run <file>` / `scenario sweep <file>`.
+fn read_spec_file(args: &[String]) -> Result<String, i32> {
+    let Some(path) = args.get(2).filter(|a| !a.starts_with("--")) else {
+        eprintln!("missing <file> argument — a scenario spec JSON (docs/SCENARIOS.md)");
+        return Err(2);
+    };
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path:?}: {e}");
+        2
+    })
+}
+
+fn cmd_scenario_run(args: &[String]) -> i32 {
+    let text = match read_spec_file(args) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    let spec = match thirstyflops::scenario::ScenarioSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let outcome = match api::scenario_run_payload(&spec) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if json_flag(args) {
+        // Byte-identical to POST /v1/scenarios/run with this spec.
+        print!("{}", api::to_json(&outcome));
+        return 0;
+    }
+    println!(
+        "{} — base {} (seed {}, spec {})",
+        outcome.name, outcome.base, outcome.seed, outcome.fingerprint
+    );
+    print_deltas("  ", &outcome.scenario, &outcome.deltas);
+    if let Some(lc) = &outcome.scenario.lifecycle {
+        println!(
+            "  lifecycle ({:.0}y)     total {:>10.2} ML  (upgrades {:.2} ML, embodied share \
+             {:.1}%, amortized WI {:.3} L/kWh)",
+            lc.lifetime_years,
+            lc.lifetime_total_l / 1e6,
+            lc.upgrade_embodied_l / 1e6,
+            100.0 * lc.embodied_share,
+            lc.amortized_wi_l_per_kwh
+        );
+    }
+    0
+}
+
+fn print_deltas(
+    indent: &str,
+    scenario: &thirstyflops::scenario::ScenarioMetrics,
+    d: &thirstyflops::scenario::ScenarioDeltas,
+) {
+    println!(
+        "{indent}operational water   {:>10.2} ML  ({:>+6.1}% vs baseline)",
+        scenario.operational_water_l / 1e6,
+        d.operational_water_pct
+    );
+    println!(
+        "{indent}scarcity-adjusted   {:>10.2} ML  ({:>+6.1}%)",
+        scenario.scarcity_adjusted_water_l / 1e6,
+        d.scarcity_adjusted_water_pct
+    );
+    println!(
+        "{indent}carbon              {:>10.1} t   ({:>+6.1}%)",
+        scenario.carbon_kg / 1e3,
+        d.carbon_pct
+    );
+    println!(
+        "{indent}water bill          {:>10.0} USD ({:>+6.1}%)",
+        scenario.water_cost_usd, d.water_cost_pct
+    );
+}
+
+fn cmd_scenario_sweep(args: &[String]) -> i32 {
+    let text = match read_spec_file(args) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    let sweep = match thirstyflops::scenario::SweepSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let report = match api::scenario_sweep_payload(&sweep) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if json_flag(args) {
+        // Byte-identical to POST /v1/scenarios/sweep with this spec.
+        print!("{}", api::to_json(&report));
+        return 0;
+    }
+    println!(
+        "{} — base {} (seed {}, {} scenarios, spec {})",
+        report.name, report.base, report.seed, report.scenario_count, report.fingerprint
+    );
+    println!(
+        "  baseline: operational {:.2} ML, adjusted {:.2} ML, carbon {:.1} t, bill {:.0} USD",
+        report.baseline.operational_water_l / 1e6,
+        report.baseline.scarcity_adjusted_water_l / 1e6,
+        report.baseline.carbon_kg / 1e3,
+        report.baseline.water_cost_usd
+    );
+    for row in &report.rows {
+        println!(
+            "  {:<60} water {:>+7.1}%  adjusted {:>+7.1}%  carbon {:>+7.1}%  bill {:>+7.1}%",
+            row.name,
+            row.deltas.operational_water_pct,
+            row.deltas.scarcity_adjusted_water_pct,
+            row.deltas.carbon_pct,
+            row.deltas.water_cost_pct
         );
     }
     0
@@ -507,7 +648,16 @@ fn cmd_serve(args: &[String]) -> i32 {
             }
         }
     }
-    const SERVE_FLAGS: [&str; 4] = ["--addr", "--workers", "--cache-entries", "--cache-ttl"];
+    if args.iter().any(|a| a == "--log") {
+        config.log_requests = true;
+    }
+    const SERVE_FLAGS: [&str; 5] = [
+        "--addr",
+        "--workers",
+        "--cache-entries",
+        "--cache-ttl",
+        "--log",
+    ];
     for arg in &args[1..] {
         if arg.starts_with("--") && !SERVE_FLAGS.contains(&arg.as_str()) {
             eprintln!("unknown serve flag {arg:?}");

@@ -1,0 +1,205 @@
+//! Integration tests of the declarative scenario engine: the spec
+//! library evaluates, sweeps expand to their full cartesian product, and
+//! — the determinism contract — the same spec produces byte-identical
+//! JSON at every thread count and with the simulation cache on or off
+//! (the `tests/simcache.rs` pattern extended to the engine).
+
+use std::process::Command;
+
+use thirstyflops::scenario::{evaluate_sweep, ScenarioSpec, SweepSpec};
+
+fn spec_path(name: &str) -> String {
+    format!("{}/examples/scenarios/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Runs the CLI with the given args and env, returning stdout bytes.
+fn cli_stdout(args: &[&str], envs: &[(&str, &str)]) -> Vec<u8> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_thirstyflops"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("CLI binary runs");
+    assert!(out.status.success(), "CLI {args:?} failed: {out:?}");
+    out.stdout
+}
+
+/// The acceptance-criteria sweep: `sweep_siting.json` expands to 25
+/// scenarios (≥ 24) and evaluates them all.
+#[test]
+fn siting_sweep_expands_to_25_scenarios_and_evaluates() {
+    let text = std::fs::read_to_string(spec_path("sweep_siting.json")).expect("spec ships");
+    let sweep = SweepSpec::from_json(&text).expect("sweep parses");
+    let specs = sweep.expand().expect("sweep expands");
+    assert!(specs.len() >= 24, "{} scenarios", specs.len());
+    assert_eq!(specs.len(), 25, "5 climates x 5 regions");
+    let report = evaluate_sweep(&sweep).expect("sweep evaluates");
+    assert_eq!(report.scenario_count, 25);
+    assert_eq!(report.rows.len(), 25);
+    // Every row carries finite metrics and a real name.
+    for row in &report.rows {
+        assert!(
+            row.name.starts_with("polaris-siting-sweep["),
+            "{}",
+            row.name
+        );
+        assert!(row.scenario.operational_water_l.is_finite());
+        assert!(row.scenario.operational_water_l > 0.0);
+    }
+    // Rows are not all identical — the axes actually move the answer.
+    let first = &report.rows[0];
+    assert!(report
+        .rows
+        .iter()
+        .any(|r| r.scenario.operational_water_l != first.scenario.operational_water_l));
+}
+
+/// Every shipped run spec parses, validates, and evaluates.
+#[test]
+fn shipped_spec_library_evaluates() {
+    let dir = format!("{}/examples/scenarios", env!("CARGO_MANIFEST_DIR"));
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("examples/scenarios exists") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if !name.ends_with(".json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("spec reads");
+        if name.starts_with("sweep_") {
+            let sweep = SweepSpec::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!sweep.axes.is_empty());
+        } else {
+            let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let outcome =
+                thirstyflops::scenario::evaluate(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(outcome.scenario.operational_water_l > 0.0, "{name}");
+        }
+        seen += 1;
+    }
+    assert!(seen >= 9, "the spec library has ≥ 9 files, found {seen}");
+}
+
+/// The determinism contract end to end (acceptance criteria): `scenario
+/// run` and `scenario sweep` emit byte-identical JSON at
+/// `THIRSTYFLOPS_THREADS=1` vs `8`, and with the simulation cache
+/// disabled vs memoized.
+#[test]
+fn run_and_sweep_json_identical_across_threads_and_cache() {
+    let run_path = spec_path("drought_grid.json");
+    let sweep_path = spec_path("sweep_siting.json");
+    let cases: [&[&str]; 2] = [
+        &["scenario", "run", &run_path, "--json"],
+        &["scenario", "sweep", &sweep_path, "--json"],
+    ];
+    for args in cases {
+        let mut bodies: Vec<Vec<u8>> = Vec::new();
+        for threads in ["1", "8"] {
+            let env = [("THIRSTYFLOPS_THREADS", threads)];
+            let cached = cli_stdout(args, &env);
+            let uncached = {
+                let mut flagged = args.to_vec();
+                flagged.push("--no-sim-cache");
+                cli_stdout(&flagged, &env)
+            };
+            assert_eq!(
+                cached, uncached,
+                "{args:?} at {threads} threads: cache must be invisible in the bytes"
+            );
+            assert!(!cached.is_empty());
+            bodies.push(cached);
+        }
+        assert_eq!(
+            bodies[0], bodies[1],
+            "{args:?} must not depend on the thread count"
+        );
+    }
+}
+
+/// Library-level thread-count determinism: the same sweep evaluated
+/// under a 1-worker and an 8-worker pool serializes identically.
+#[test]
+fn sweep_report_identical_across_pool_sizes() {
+    let text = std::fs::read_to_string(spec_path("sweep_siting.json")).expect("spec ships");
+    let sweep = SweepSpec::from_json(&text).expect("sweep parses");
+    let reports: Vec<String> = [1usize, 8]
+        .iter()
+        .map(|&n| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool builds");
+            let report = pool.install(|| evaluate_sweep(&sweep).expect("sweep evaluates"));
+            serde_json::to_string(&report).expect("report renders")
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1]);
+}
+
+/// CLI error paths: missing files, invalid specs, and sweep/run
+/// mix-ups exit 2 with a message.
+#[test]
+fn cli_rejects_bad_specs_loudly() {
+    let run = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_thirstyflops"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        (
+            out.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (code, err) = run(&["scenario", "run", "/nonexistent/spec.json"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("cannot read"), "{err}");
+    let (code, err) = run(&["scenario", "run"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("missing <file>"), "{err}");
+    // A sweep spec through `run` points at the sweep command.
+    let (code, err) = run(&["scenario", "run", &spec_path("sweep_siting.json")]);
+    assert_eq!(code, 2);
+    assert!(err.contains("sweep"), "{err}");
+    // A run spec through `sweep` asks for axes.
+    let (code, err) = run(&["scenario", "sweep", &spec_path("all_nuclear.json")]);
+    assert_eq!(code, 2);
+    assert!(err.contains("axes"), "{err}");
+    // Unknown keys are hard errors end to end.
+    let bad = std::env::temp_dir().join("thirstyflops_bad_spec.json");
+    std::fs::write(&bad, r#"{"name": "x", "base": "polaris", "overides": {}}"#).unwrap();
+    let (code, err) = run(&["scenario", "run", bad.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    assert!(err.contains("overides"), "{err}");
+}
+
+/// The engine's headline physics, end to end through shipped specs:
+/// drought cuts water but costs carbon; the nuclear what-if saves
+/// carbon; reclaimed supply cuts the scarcity-adjusted footprint.
+#[test]
+fn shipped_specs_tell_the_papers_story() {
+    let eval = |name: &str| {
+        let text = std::fs::read_to_string(spec_path(name)).expect("spec ships");
+        thirstyflops::scenario::evaluate(&ScenarioSpec::from_json(&text).expect("parses"))
+            .expect("evaluates")
+    };
+    let drought = eval("drought_grid.json");
+    assert!(drought.deltas.operational_water_pct < -10.0);
+    assert!(drought.deltas.carbon_pct > 5.0);
+
+    let nuclear = eval("all_nuclear.json");
+    assert!(
+        nuclear.deltas.carbon_pct < -80.0,
+        "{}",
+        nuclear.deltas.carbon_pct
+    );
+
+    let reclaimed = eval("reclaimed_supply.json");
+    assert_eq!(reclaimed.deltas.operational_water_l, 0.0);
+    assert!(reclaimed.deltas.scarcity_adjusted_water_pct < -10.0);
+    assert!(reclaimed.deltas.water_cost_usd < 0.0);
+
+    let upgrade = eval("gpu_upgrade_path.json");
+    let lc = upgrade.scenario.lifecycle.expect("lifecycle view present");
+    assert!(lc.upgrade_embodied_l > 0.0);
+    assert!(lc.embodied_share > 0.0 && lc.embodied_share < 0.5);
+}

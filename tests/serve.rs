@@ -27,8 +27,25 @@ fn start(workers: usize) -> Server {
 
 /// Issues one GET over a real socket; returns (status, body).
 fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http_request(addr, "GET", path, None)
+}
+
+/// Issues one POST with a body; returns (status, body).
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    http_request(addr, "POST", path, Some(body))
+}
+
+fn http_request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("server is listening");
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request writes");
+    match body {
+        None => write!(stream, "{method} {path} HTTP/1.1\r\nHost: test\r\n\r\n"),
+        Some(b) => write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{b}",
+            b.len()
+        ),
+    }
+    .expect("request writes");
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("response reads");
     let (head, body) = raw
@@ -73,16 +90,21 @@ fn healthz_and_404_shapes() {
     server.shutdown();
 }
 
-/// The six endpoint families vs their CLI `--json` twins, byte for byte.
+/// The endpoint families vs their CLI `--json` twins, byte for byte
+/// (including the `/v1/compare` route over `api::compare_payload`).
 #[test]
 fn endpoint_bodies_match_cli_json_bytes() {
     let server = start(2);
     let addr = server.local_addr();
-    let cases: [(&str, &[&str]); 6] = [
+    let cases: [(&str, &[&str]); 7] = [
         ("/v1/systems", &["systems", "--json"]),
         (
             "/v1/footprint/polaris?seed=7",
             &["footprint", "polaris", "--seed", "7", "--json"],
+        ),
+        (
+            "/v1/compare?a=polaris&b=frontier&seed=7",
+            &["compare", "polaris", "frontier", "--seed", "7", "--json"],
         ),
         ("/v1/rank?seed=7", &["rank", "--seed", "7", "--json"]),
         (
@@ -102,6 +124,25 @@ fn endpoint_bodies_match_cli_json_bytes() {
         assert_eq!(body, cli, "{path} vs thirstyflops {cli_args:?}");
         assert!(body.ends_with('\n'), "{path} body keeps the CLI newline");
     }
+    server.shutdown();
+}
+
+/// `/v1/compare` canonicalizes its cache key through `SystemId::from_str`:
+/// aliases and a defaulted seed land on one entry.
+#[test]
+fn compare_aliases_share_one_cache_entry() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let (status, canonical) = http_get(addr, "/v1/compare?a=polaris&b=elcapitan&seed=2023");
+    assert_eq!(status, 200);
+    let (_, aliased) = http_get(addr, "/v1/compare?a=Polaris&b=el-capitan");
+    assert_eq!(canonical, aliased, "alias + defaulted seed hit the cache");
+    let stats = server.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    // Order matters: b-vs-a is a different (valid) comparison.
+    let (status, swapped) = http_get(addr, "/v1/compare?a=elcapitan&b=polaris");
+    assert_eq!(status, 200);
+    assert_ne!(canonical, swapped);
     server.shutdown();
 }
 
@@ -211,6 +252,129 @@ fn different_params_get_different_bodies() {
     assert_ne!(plain, adjusted);
     assert_eq!(server.cache_stats().entries, 4);
     server.shutdown();
+}
+
+/// The acceptance-criteria POST path: a scenario spec uploaded to
+/// `/v1/scenarios/run` is answered, byte-identical to the CLI, and a
+/// repeat is served from the body cache — observable in
+/// `/v1/cache/stats`, including the new per-endpoint counters.
+#[test]
+fn repeated_scenario_post_is_answered_from_the_body_cache() {
+    let spec_path = format!(
+        "{}/examples/scenarios/drought_grid.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let spec = std::fs::read_to_string(&spec_path).expect("spec ships");
+    let server = start(2);
+    let addr = server.local_addr();
+    let (status, first) = http_post(addr, "/v1/scenarios/run", &spec);
+    assert_eq!(status, 200, "{first}");
+    let (_, second) = http_post(addr, "/v1/scenarios/run", &spec);
+    assert_eq!(first, second, "cached body is byte-identical");
+    // Byte-identical to the CLI twin.
+    let cli = cli_stdout(&["scenario", "run", &spec_path, "--json"]);
+    assert_eq!(first, cli, "POST /v1/scenarios/run vs scenario run --json");
+
+    let (status, stats_body) = http_get(addr, "/v1/cache/stats");
+    assert_eq!(status, 200);
+    let stats: thirstyflops::serve::api::CacheStatsPayload =
+        serde_json::from_str(&stats_body).expect("stats parse");
+    assert_eq!(stats.body.misses, 1, "one cold evaluation");
+    assert_eq!(stats.body.hits, 1, "the repeat skipped the engine");
+    let run_stats = stats
+        .endpoints
+        .iter()
+        .find(|e| e.endpoint == "scenarios_run")
+        .expect("per-endpoint counters include scenarios_run");
+    assert_eq!(run_stats.requests, 2);
+    assert_eq!(run_stats.cache_hits, 1);
+    server.shutdown();
+}
+
+/// A reformatted but semantically identical spec shares the cache entry
+/// (the key is the canonical spec, not the body bytes), while a changed
+/// spec gets its own.
+#[test]
+fn scenario_cache_keys_are_canonical_not_textual() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let original = r#"{"name": "dry", "base": "polaris",
+                       "overrides": {"climate": {"wue_scale": 0.5}}}"#;
+    let respelled = r#"{
+        "seed": 2023,
+        "name": "dry",
+        "base": "Polaris",
+        "overrides": {"climate": {"preset": null, "wue_scale": 0.5}}
+    }"#;
+    let changed = r#"{"name": "dry", "base": "polaris",
+                      "overrides": {"climate": {"wue_scale": 0.6}}}"#;
+    let (_, a) = http_post(addr, "/v1/scenarios/run", original);
+    let (_, b) = http_post(addr, "/v1/scenarios/run", respelled);
+    let (_, c) = http_post(addr, "/v1/scenarios/run", changed);
+    assert_eq!(a, b, "respelling shares the canonical entry");
+    assert_ne!(a, c);
+    let stats = server.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+    // Bad specs are 400s with the parser's message.
+    let (status, err_body) = http_post(addr, "/v1/scenarios/run", "{\"nope\": 1}");
+    assert_eq!(status, 400);
+    assert!(err_body.contains("\"status\": 400"));
+    server.shutdown();
+}
+
+/// `serve --log` writes one line per request (method, path, status,
+/// bytes, µs, cache verdict) to stderr.
+#[test]
+fn serve_log_flag_emits_request_lines() {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_thirstyflops"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1", "--log"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let banner = std::io::BufReader::new(stdout)
+        .lines()
+        .next()
+        .expect("serve prints a banner")
+        .expect("banner reads");
+    let addr: SocketAddr = banner
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("http://"))
+        .expect("banner names the address")
+        .parse()
+        .expect("address parses");
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let (status, _) = http_get(addr, "/v1/systems");
+    assert_eq!(status, 200);
+    let (status, _) = http_get(addr, "/v1/systems");
+    assert_eq!(status, 200);
+    child.kill().expect("serve stops on signal");
+    let _ = child.wait();
+    let mut log = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut log)
+        .expect("stderr reads");
+    assert!(
+        log.contains("GET /healthz 200"),
+        "log line for healthz: {log:?}"
+    );
+    let systems_lines: Vec<&str> = log
+        .lines()
+        .filter(|l| l.contains("GET /v1/systems 200"))
+        .collect();
+    assert_eq!(systems_lines.len(), 2, "{log:?}");
+    assert!(systems_lines[0].contains("miss"), "{log:?}");
+    assert!(systems_lines[1].contains("hit"), "{log:?}");
+    for line in log.lines().filter(|l| l.starts_with("GET ")) {
+        assert!(line.contains("us "), "latency field present: {line:?}");
+        assert!(line.contains('B'), "byte count present: {line:?}");
+    }
 }
 
 /// `serve` on the CLI prints the bound ephemeral address and serves.
