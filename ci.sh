@@ -7,12 +7,17 @@
 #                          # test pass (fastest signal)
 #   ./ci.sh serve-smoke    # just the HTTP serving-layer smoke probe
 #                          # (ephemeral port, std-only TcpStream client)
+#   ./ci.sh load-smoke     # deterministic loadgen replay of the smoke
+#                          # mix at --workers 1 and 8: every response
+#                          # body byte-verified, zero mismatches required
 #   ./ci.sh scenario-smoke # run every spec in examples/scenarios/ through
 #                          # the scenario engine (run or sweep by name)
 #   ./ci.sh bench-json     # quick cold-vs-warm SystemYear::simulate,
 #                          # grid-kernel, and scenario-sweep measurement
-#                          # -> BENCH_simulate.json (docs/PERFORMANCE.md;
-#                          # baseline is preserved)
+#                          # -> BENCH_simulate.json, plus a one-shot-vs-
+#                          # keep-alive loadgen run -> BENCH_serve.json
+#                          # (docs/PERFORMANCE.md, docs/SERVING.md;
+#                          # baselines are preserved)
 #   ./ci.sh regen-goldens  # regenerate the golden-pinned artifacts for a
 #                          # deliberate recalibration (see docs/GOLDENS.md)
 #
@@ -50,6 +55,24 @@ if [[ "$mode" == "serve-smoke" ]]; then
   exit 0
 fi
 
+load_smoke() {
+  # Replays the recorded smoke mix against an in-process server at one
+  # worker and at eight, byte-comparing every response body against the
+  # precomputed expectation. ≥ 1000 verified requests total; any
+  # mismatch fails the run (docs/SERVING.md, docs/CONCURRENCY.md).
+  step "load smoke (loadgen replay at --workers 1 and 8)"
+  cargo build --release -q
+  local bin=target/release/thirstyflops
+  for workers in 1 8; do
+    "$bin" loadgen --mix examples/loadmix/smoke.json       --requests 500 --connections 2 --workers "$workers"
+  done
+}
+
+if [[ "$mode" == "load-smoke" ]]; then
+  load_smoke
+  exit 0
+fi
+
 scenario_smoke() {
   # Every spec in the shipped library must evaluate: sweep_* files go
   # through `scenario sweep`, everything else through `scenario run`.
@@ -84,6 +107,8 @@ if [[ "$mode" == "bench-json" ]]; then
   # speedup). Preserves the recorded baseline, rewrites `current`.
   step "cargo run --release -p thirstyflops_bench --bin bench_json"
   cargo run --release -p thirstyflops_bench --bin bench_json
+  step "loadgen bench (one-shot vs keep-alive -> BENCH_serve.json)"
+  cargo run --release -q -- loadgen --mix examples/loadmix/bench.json     --requests 1200 --connections 2 --workers 2 --bench-json
   exit 0
 fi
 
@@ -113,6 +138,7 @@ cargo test -q --workspace
 
 if [[ "$mode" != "quick" ]]; then
   serve_smoke
+  load_smoke
   scenario_smoke
 fi
 

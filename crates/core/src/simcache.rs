@@ -38,6 +38,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use thirstyflops_catalog::SystemSpec;
 use thirstyflops_grid::{GridRegion, GridYear, RegionId};
@@ -50,13 +51,16 @@ use crate::simulate::SystemYear;
 /// across processes, unlike `RandomState`.
 type FixedState = BuildHasherDefault<DefaultHasher>;
 
-/// One cache entry: the shared compute slot plus its LRU stamp.
+/// One cache entry: the shared compute slot plus its LRU/TTL stamps.
 #[derive(Debug)]
 struct Slot<V> {
     /// Single-flight cell: the first toucher computes into it, racing
     /// threads block on `get_or_init` and share the one `Arc`.
     cell: Arc<OnceLock<Arc<V>>>,
     last_used: u64,
+    /// When the slot was created, for the optional TTL. In-flight slots
+    /// never expire (their computing thread holds the cell).
+    inserted: Instant,
 }
 
 /// A sharded, single-flight memo cache from `K` to `Arc<V>`.
@@ -70,6 +74,9 @@ pub struct MemoCache<K, V> {
     shards: Vec<Mutex<HashMap<K, Slot<V>, FixedState>>>,
     /// Per-shard entry bound; `0` = unbounded.
     capacity_per_shard: usize,
+    /// Optional time-to-live; an expired completed slot is dropped on
+    /// lookup (counted as an eviction) and recomputed.
+    ttl: Option<Duration>,
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -99,6 +106,14 @@ impl<K: Eq + Hash + Clone, V> MemoCache<K, V> {
     /// unbounded). The real bound is per shard, so the total can sit
     /// slightly under `capacity` when keys hash unevenly.
     pub fn new(shards: usize, capacity: usize) -> MemoCache<K, V> {
+        Self::with_ttl(shards, capacity, None)
+    }
+
+    /// Like [`new`](MemoCache::new) with an additional time-to-live:
+    /// a completed entry older than `ttl` is dropped on lookup (counted
+    /// as an eviction) and recomputed. In-flight entries never expire.
+    /// `serve::ResultCache` builds on this for its `--cache-ttl` flag.
+    pub fn with_ttl(shards: usize, capacity: usize, ttl: Option<Duration>) -> MemoCache<K, V> {
         let shards = shards.max(1);
         MemoCache {
             capacity_per_shard: if capacity == 0 {
@@ -106,12 +121,29 @@ impl<K: Eq + Hash + Clone, V> MemoCache<K, V> {
             } else {
                 capacity.div_ceil(shards).max(1)
             },
+            ttl,
             shards: (0..shards).map(|_| Mutex::default()).collect(),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The effective total entry bound: the configured capacity rounded
+    /// up to a full shard multiple (`0` = unbounded).
+    pub fn capacity(&self) -> u64 {
+        (self.capacity_per_shard * self.shards.len()) as u64
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> u64 {
+        self.shards.len() as u64
+    }
+
+    /// The configured time-to-live, if any.
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
     }
 
     fn shard(&self, key: &K) -> &Mutex<HashMap<K, Slot<V>, FixedState>> {
@@ -128,6 +160,16 @@ impl<K: Eq + Hash + Clone, V> MemoCache<K, V> {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let cell = {
             let mut map = self.shard(&key).lock().expect("simcache shard poisoned");
+            if let (Some(ttl), Some(slot)) = (self.ttl, map.get(&key)) {
+                // An expired *completed* entry is dropped here and the
+                // lookup falls through to the miss path below; in-flight
+                // slots are left alone (their computing thread holds the
+                // cell and will complete it).
+                if slot.cell.get().is_some() && slot.inserted.elapsed() >= ttl {
+                    map.remove(&key);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             if let Some(slot) = map.get_mut(&key) {
                 slot.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -162,6 +204,7 @@ impl<K: Eq + Hash + Clone, V> MemoCache<K, V> {
                     Slot {
                         cell: Arc::clone(&cell),
                         last_used: tick,
+                        inserted: Instant::now(),
                     },
                 );
                 cell
@@ -364,6 +407,24 @@ mod tests {
         });
         assert_eq!(recomputed.load(Ordering::SeqCst), 1);
         cache.get_or_compute(0, || unreachable!("0 was touched, must survive"));
+    }
+
+    #[test]
+    fn ttl_expires_completed_entries_as_evictions() {
+        let cache: MemoCache<u32, u32> = MemoCache::with_ttl(1, 0, Some(Duration::from_millis(30)));
+        cache.get_or_compute(1, || 1);
+        cache.get_or_compute(1, || unreachable!("fresh entry is a hit"));
+        std::thread::sleep(Duration::from_millis(60));
+        let recomputed = AtomicUsize::new(0);
+        cache.get_or_compute(1, || {
+            recomputed.fetch_add(1, Ordering::SeqCst);
+            1
+        });
+        assert_eq!(recomputed.load(Ordering::SeqCst), 1, "expired ⇒ recompute");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 1, "the recomputed entry is live again");
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Rendering load reports: the human table and `BENCH_serve.json`.
+//!
+//! `BENCH_serve.json` follows the same convention as
+//! `BENCH_simulate.json` (see `crates/bench`): the `baseline` object of
+//! an existing file is preserved **verbatim** — it records the one-shot
+//! (pre-keep-alive) discipline the first time the bench ran — and only
+//! `current` (the keep-alive replay) is rewritten, so current-vs-baseline
+//! is the tracked trajectory across PRs. On a 1-CPU container the
+//! interesting columns are correctness (mismatches must be 0) and the
+//! connection-setup work keep-alive removes, never parallel speedup.
+
+use std::path::Path;
+
+use crate::run::LoadReport;
+use crate::LoadError;
+
+/// Renders the human-readable summary table for one run.
+pub fn human_table(report: &LoadReport) -> String {
+    let mut out = format!(
+        "loadgen: mix \"{}\" (seed {}), {} requests over {} {} connection{}{}\n\
+         {:.1} req/s, {:.1} ms elapsed, {} mismatch{}, {} error{}\n",
+        report.mix,
+        report.seed,
+        report.requests,
+        report.connections,
+        report.discipline,
+        if report.connections == 1 { "" } else { "s" },
+        if report.workers > 0 {
+            format!(", {} server workers", report.workers)
+        } else {
+            String::new()
+        },
+        report.requests_per_sec,
+        report.elapsed_micros as f64 / 1e3,
+        report.mismatches,
+        if report.mismatches == 1 { "" } else { "es" },
+        report.errors,
+        if report.errors == 1 { "" } else { "s" },
+    );
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>10} {:>10} {:>10}\n",
+        "endpoint", "requests", "p50 µs", "p90 µs", "p99 µs"
+    ));
+    for e in &report.endpoints {
+        out.push_str(&format!(
+            "{:<18} {:>9} {:>10} {:>10} {:>10}\n",
+            e.endpoint, e.requests, e.p50_micros, e.p90_micros, e.p99_micros
+        ));
+    }
+    for sample in &report.mismatch_samples {
+        out.push_str(&format!("  ! {sample}\n"));
+    }
+    out
+}
+
+/// One side (`baseline` or `current`) of `BENCH_serve.json`.
+#[derive(Debug, serde::Serialize)]
+struct BenchSide {
+    discipline: String,
+    requests: u64,
+    connections: u64,
+    workers: u64,
+    requests_per_sec: f64,
+    mismatches: u64,
+    endpoints: Vec<BenchEndpoint>,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct BenchEndpoint {
+    endpoint: String,
+    requests: u64,
+    p50_micros: u64,
+    p99_micros: u64,
+}
+
+fn side(report: &LoadReport) -> BenchSide {
+    BenchSide {
+        discipline: report.discipline.clone(),
+        requests: report.requests,
+        connections: report.connections,
+        workers: report.workers,
+        // One decimal is plenty for a tracked trajectory file.
+        requests_per_sec: (report.requests_per_sec * 10.0).round() / 10.0,
+        mismatches: report.mismatches,
+        endpoints: report
+            .endpoints
+            .iter()
+            .map(|e| BenchEndpoint {
+                endpoint: e.endpoint.clone(),
+                requests: e.requests,
+                p50_micros: e.p50_micros,
+                p99_micros: e.p99_micros,
+            })
+            .collect(),
+    }
+}
+
+/// Extracts the `"baseline"` object of an existing `BENCH_serve.json`.
+fn previous_baseline(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde::Value = serde_json::from_str(&text).ok()?;
+    value
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == "baseline")
+        .map(|(_, v)| serde_json::to_string(v).expect("re-render parsed JSON"))
+}
+
+/// Writes `BENCH_serve.json`: `baseline` = the recorded one-shot
+/// numbers (preserved verbatim once recorded; `oneshot` only seeds the
+/// very first file), `current` = this run's keep-alive numbers. Returns
+/// the rendered text.
+pub fn write_bench_json(
+    path: &Path,
+    oneshot: &LoadReport,
+    keepalive: &LoadReport,
+) -> Result<String, LoadError> {
+    let current = serde_json::to_string(&side(keepalive))
+        .map_err(|e| LoadError::Io(format!("render current: {e}")))?;
+    let fresh = serde_json::to_string(&side(oneshot))
+        .map_err(|e| LoadError::Io(format!("render baseline: {e}")))?;
+    let baseline = previous_baseline(path).unwrap_or(fresh);
+    let report = format!(
+        "{{\n  \"note\": \"deterministic mix replay against the serving layer (1-CPU \
+         container): mismatches must be 0 at any worker/connection count; baseline = \
+         one-shot connections, current = keep-alive (docs/SERVING.md)\",\n  \
+         \"unit\": \"microseconds (latency), requests/sec (throughput)\",\n  \
+         \"baseline\": {baseline},\n  \"current\": {current}\n}}\n"
+    );
+    // Validate before writing so a formatting bug can't corrupt the
+    // tracked file.
+    let parsed: serde::Value =
+        serde_json::from_str(&report).map_err(|e| LoadError::Io(format!("invalid report: {e}")))?;
+    drop(parsed);
+    std::fs::write(path, &report)
+        .map_err(|e| LoadError::Io(format!("write {}: {e}", path.display())))?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::EndpointLoad;
+
+    fn report(discipline: &str, rps: f64) -> LoadReport {
+        LoadReport {
+            mix: "smoke".into(),
+            seed: 2023,
+            discipline: discipline.into(),
+            requests: 100,
+            connections: 4,
+            workers: 2,
+            rate: 0.0,
+            elapsed_micros: 10_000,
+            requests_per_sec: rps,
+            mismatches: 0,
+            errors: 0,
+            endpoints: vec![EndpointLoad {
+                endpoint: "healthz".into(),
+                requests: 100,
+                p50_micros: 63,
+                p90_micros: 127,
+                p99_micros: 255,
+            }],
+            mismatch_samples: vec![],
+        }
+    }
+
+    #[test]
+    fn human_table_names_the_mix_and_endpoints() {
+        let text = human_table(&report("keep-alive", 123.4));
+        assert!(text.contains("mix \"smoke\""), "{text}");
+        assert!(text.contains("healthz"), "{text}");
+        assert!(text.contains("0 mismatches"), "{text}");
+    }
+
+    #[test]
+    fn bench_json_preserves_the_recorded_baseline() {
+        let path = std::env::temp_dir().join(format!(
+            "thirstyflops_bench_serve_test_{}_{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // First run: the one-shot numbers become the baseline.
+        let first = write_bench_json(
+            &path,
+            &report("one-shot", 50.0),
+            &report("keep-alive", 100.0),
+        )
+        .unwrap();
+        assert!(first.contains("\"one-shot\""), "{first}");
+        assert!(first.contains("\"keep-alive\""), "{first}");
+
+        // Second run with different numbers: baseline text survives
+        // verbatim, current is rewritten.
+        let second = write_bench_json(
+            &path,
+            &report("one-shot", 77.0),
+            &report("keep-alive", 200.0),
+        )
+        .unwrap();
+        assert!(second.contains("50"), "baseline preserved: {second}");
+        assert!(!second.contains("77"), "fresh one-shot discarded: {second}");
+        assert!(second.contains("200"), "current rewritten: {second}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,603 @@
+//! Plan building and load execution.
+//!
+//! A run has three deterministic inputs — the mix, the request count,
+//! and the connection count — and one deterministic output: the bytes
+//! of every response, which must equal the handler-computed expectation
+//! regardless of pacing, worker count, or connection discipline. Only
+//! the *latencies* vary run to run; the plan (request `i` uses template
+//! `plan[i]` and rides connection `i % connections`, in order) never
+//! does.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use thirstyflops_serve::handlers::{self, AppState};
+use thirstyflops_serve::http::{percent_decode, Request};
+use thirstyflops_serve::metrics::{LatencyHistogram, ENDPOINTS};
+use thirstyflops_serve::{router, Server, ServerConfig};
+
+use crate::{LoadError, MixSpec};
+
+/// How to execute a load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Total requests to replay (the plan length).
+    pub requests: usize,
+    /// Concurrent client connections (clamped to `1..=requests`).
+    pub connections: usize,
+    /// Target request rate in requests/second across all connections;
+    /// `0.0` = unpaced (each connection sends as fast as it can).
+    pub rate: f64,
+    /// `true` = keep-alive connections (the default discipline);
+    /// `false` = a fresh connection with `Connection: close` per
+    /// request (the pre-keep-alive baseline).
+    pub keep_alive: bool,
+    /// Worker threads for the in-process server (ignored with `addr`).
+    pub workers: usize,
+    /// Remote target `HOST:PORT`; `None` spawns an in-process server on
+    /// an ephemeral port.
+    pub addr: Option<String>,
+}
+
+impl Default for RunConfig {
+    /// 1000 unpaced requests over 4 keep-alive connections against an
+    /// in-process 2-worker server.
+    fn default() -> RunConfig {
+        RunConfig {
+            requests: 1000,
+            connections: 4,
+            rate: 0.0,
+            keep_alive: true,
+            workers: 2,
+            addr: None,
+        }
+    }
+}
+
+/// One endpoint family's client-side measurements.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EndpointLoad {
+    /// Endpoint family (`serve::metrics::ENDPOINTS`).
+    pub endpoint: String,
+    /// Requests replayed against this family.
+    pub requests: u64,
+    /// Client-side median round-trip, microseconds (log-bucket upper
+    /// bound, same edges as the server's histograms).
+    pub p50_micros: u64,
+    /// Client-side 90th-percentile round-trip, microseconds.
+    pub p90_micros: u64,
+    /// Client-side 99th-percentile round-trip, microseconds.
+    pub p99_micros: u64,
+}
+
+/// The outcome of one load run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadReport {
+    /// Mix name.
+    pub mix: String,
+    /// Plan seed.
+    pub seed: u64,
+    /// `"keep-alive"` or `"one-shot"`.
+    pub discipline: String,
+    /// Requests replayed.
+    pub requests: u64,
+    /// Client connections used.
+    pub connections: u64,
+    /// In-process server workers (0 for a remote target).
+    pub workers: u64,
+    /// Target pacing rate (0 = unpaced).
+    pub rate: f64,
+    /// Wall-clock for the whole replay, microseconds.
+    pub elapsed_micros: u64,
+    /// Achieved throughput.
+    pub requests_per_sec: f64,
+    /// Responses whose status or body differed from the
+    /// handler-computed expectation. Must be 0 on a healthy run — this
+    /// is the determinism contract measured on the wire.
+    pub mismatches: u64,
+    /// Requests that failed at the transport level (connect/read).
+    pub errors: u64,
+    /// Per-endpoint measurements (families with traffic only).
+    pub endpoints: Vec<EndpointLoad>,
+    /// Up to [`MAX_SAMPLES`] human-readable mismatch/error descriptions.
+    pub mismatch_samples: Vec<String>,
+}
+
+/// Cap on retained mismatch/error sample messages.
+pub const MAX_SAMPLES: usize = 5;
+
+/// A template compiled for the wire: prerendered request bytes plus the
+/// expected response, computed by the server's own pure handler.
+#[derive(Debug)]
+struct Prepared {
+    wire: Vec<u8>,
+    method: String,
+    target: String,
+    expected_status: u16,
+    expected_body: Arc<str>,
+    label_idx: usize,
+    verify: bool,
+}
+
+/// Everything the client threads share.
+struct Shared {
+    plan: Vec<usize>,
+    templates: Vec<Prepared>,
+    connections: usize,
+    rate: f64,
+    keep_alive: bool,
+    addr: String,
+    start: Instant,
+    hist: [LatencyHistogram; ENDPOINTS.len()],
+    mismatches: AtomicU64,
+    errors: AtomicU64,
+    samples: Mutex<Vec<String>>,
+}
+
+/// Builds the deterministic request plan: `requests` template indices
+/// drawn by weight from the mix's seeded `StdRng`. Same mix + count ⇒
+/// same plan, every run, every machine (the RNG shim is bit-stable).
+pub fn build_plan(mix: &MixSpec, requests: usize) -> Vec<usize> {
+    let total = mix.total_weight();
+    let mut rng = StdRng::seed_from_u64(mix.seed);
+    (0..requests)
+        .map(|_| {
+            let mut draw = rng.random_range(0..total);
+            for (idx, t) in mix.templates.iter().enumerate() {
+                if draw < t.weight {
+                    return idx;
+                }
+                draw -= t.weight;
+            }
+            mix.templates.len() - 1 // unreachable: draw < total
+        })
+        .collect()
+}
+
+/// Compiles each template: request bytes for the chosen discipline plus
+/// the expected response from an in-process call to the pure handler.
+fn prepare(mix: &MixSpec, keep_alive: bool) -> Result<Vec<Prepared>, LoadError> {
+    // A private state just for computing expectations — its caches never
+    // touch the target server's.
+    let verify_state = AppState::default();
+    mix.templates
+        .iter()
+        .map(|t| {
+            let (path_raw, query) = match t.target.split_once('?') {
+                Some((p, q)) => (p, q),
+                None => (t.target.as_str(), ""),
+            };
+            let path = percent_decode(path_raw).ok_or_else(|| {
+                LoadError::Mix(format!("target {:?}: invalid percent-encoding", t.target))
+            })?;
+            let request = Request {
+                method: t.method.clone(),
+                path: path.clone(),
+                query: query.to_string(),
+                body: t.body.clone(),
+                close: false,
+            };
+            let expected = handlers::handle(&request, &verify_state);
+            let label = router::route(&path)
+                .map(|r| r.metrics_label())
+                .unwrap_or("other");
+            let label_idx = ENDPOINTS
+                .iter()
+                .position(|e| *e == label)
+                .unwrap_or(ENDPOINTS.len() - 1);
+
+            let mut head = format!("{} {} HTTP/1.1\r\nHost: loadgen\r\n", t.method, t.target);
+            if !t.body.is_empty() {
+                head.push_str(&format!("Content-Length: {}\r\n", t.body.len()));
+            }
+            if !keep_alive {
+                head.push_str("Connection: close\r\n");
+            }
+            head.push_str("\r\n");
+            let mut wire = head.into_bytes();
+            wire.extend_from_slice(t.body.as_bytes());
+
+            Ok(Prepared {
+                wire,
+                method: t.method.clone(),
+                target: t.target.clone(),
+                expected_status: expected.status,
+                expected_body: expected.body,
+                label_idx,
+                verify: t.verify,
+            })
+        })
+        .collect()
+}
+
+/// Executes a load run and reports throughput, tail latencies, and —
+/// the part that must never be nonzero — body mismatches.
+pub fn run(mix: &MixSpec, config: &RunConfig) -> Result<LoadReport, LoadError> {
+    if config.requests == 0 {
+        return Err(LoadError::Mix("requests must be ≥ 1".into()));
+    }
+    let templates = prepare(mix, config.keep_alive)?;
+    let plan = build_plan(mix, config.requests);
+
+    // In-process target unless an address was given. No connection
+    // limit: the harness controls its own concurrency, and a shed 503
+    // would count as a mismatch rather than measuring anything.
+    let server = match &config.addr {
+        Some(_) => None,
+        None => Some(
+            Server::bind(&ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: config.workers,
+                max_connections: 0,
+                ..ServerConfig::default()
+            })
+            .map_err(|e| LoadError::Io(format!("cannot start in-process server: {e}")))?,
+        ),
+    };
+    let addr = match &config.addr {
+        Some(a) => a.clone(),
+        None => server
+            .as_ref()
+            .expect("in-process server")
+            .local_addr()
+            .to_string(),
+    };
+
+    let connections = config.connections.clamp(1, plan.len());
+    let shared = Arc::new(Shared {
+        plan,
+        templates,
+        connections,
+        rate: config.rate,
+        keep_alive: config.keep_alive,
+        addr,
+        start: Instant::now(),
+        hist: std::array::from_fn(|_| LatencyHistogram::default()),
+        mismatches: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        samples: Mutex::new(Vec::new()),
+    });
+    let threads: Vec<_> = (0..connections)
+        .map(|t| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("loadgen-conn-{t}"))
+                .spawn(move || client_thread(&shared, t))
+                .expect("spawning a client thread")
+        })
+        .collect();
+    for handle in threads {
+        let _ = handle.join();
+    }
+    let elapsed = shared.start.elapsed();
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
+    let endpoints = ENDPOINTS
+        .iter()
+        .zip(&shared.hist)
+        .filter(|(_, h)| h.count() > 0)
+        .map(|(endpoint, h)| EndpointLoad {
+            endpoint: (*endpoint).to_string(),
+            requests: h.count(),
+            p50_micros: h.quantile(0.50),
+            p90_micros: h.quantile(0.90),
+            p99_micros: h.quantile(0.99),
+        })
+        .collect();
+    let elapsed_micros = elapsed.as_micros().max(1) as u64;
+    let mismatch_samples = shared.samples.lock().expect("samples lock").clone();
+    Ok(LoadReport {
+        mix: mix.name.clone(),
+        seed: mix.seed,
+        discipline: if config.keep_alive {
+            "keep-alive"
+        } else {
+            "one-shot"
+        }
+        .to_string(),
+        requests: config.requests as u64,
+        connections: connections as u64,
+        workers: if config.addr.is_some() {
+            0
+        } else {
+            config.workers as u64
+        },
+        rate: config.rate,
+        elapsed_micros,
+        requests_per_sec: config.requests as f64 / (elapsed_micros as f64 / 1e6),
+        mismatches: shared.mismatches.load(Ordering::Relaxed),
+        errors: shared.errors.load(Ordering::Relaxed),
+        endpoints,
+        mismatch_samples,
+    })
+}
+
+/// One connection's worth of the plan: indices `t, t + C, t + 2C, …`,
+/// in order, down one socket (keep-alive) or one socket each
+/// (one-shot).
+fn client_thread(shared: &Shared, thread_id: usize) {
+    let mut conn: Option<TcpStream> = None;
+    let mut i = thread_id;
+    while i < shared.plan.len() {
+        let tmpl = &shared.templates[shared.plan[i]];
+        if shared.rate > 0.0 {
+            // Global pacing: request i is due at start + i/rate, so the
+            // aggregate rate holds no matter how requests landed on
+            // connections.
+            let due = shared.start + Duration::from_secs_f64(i as f64 / shared.rate);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let started = Instant::now();
+        match exchange(&mut conn, shared, tmpl) {
+            Ok((status, body)) => {
+                shared.hist[tmpl.label_idx].record(started.elapsed().as_micros() as u64);
+                if tmpl.verify && (status != tmpl.expected_status || body != *tmpl.expected_body) {
+                    shared.mismatches.fetch_add(1, Ordering::Relaxed);
+                    push_sample(
+                        shared,
+                        format!(
+                            "request #{i} {} {}: status {status} (expected {}), body {} bytes \
+                             (expected {}), first difference at byte {}",
+                            tmpl.method,
+                            tmpl.target,
+                            tmpl.expected_status,
+                            body.len(),
+                            tmpl.expected_body.len(),
+                            body.bytes()
+                                .zip(tmpl.expected_body.bytes())
+                                .position(|(a, b)| a != b)
+                                .unwrap_or_else(|| body.len().min(tmpl.expected_body.len())),
+                        ),
+                    );
+                }
+            }
+            Err(e) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                push_sample(
+                    shared,
+                    format!("request #{i} {} {}: {e}", tmpl.method, tmpl.target),
+                );
+                conn = None;
+            }
+        }
+        if !shared.keep_alive {
+            conn = None;
+        }
+        i += shared.connections;
+    }
+}
+
+fn push_sample(shared: &Shared, msg: String) {
+    let mut samples = shared.samples.lock().expect("samples lock");
+    if samples.len() < MAX_SAMPLES {
+        samples.push(msg);
+    }
+}
+
+/// Sends one request and reads its response. A failure on a *reused*
+/// keep-alive socket retries once on a fresh one — the server may have
+/// idle-closed it during a pacing gap, which is protocol-legal and not
+/// an error.
+fn exchange(
+    conn: &mut Option<TcpStream>,
+    shared: &Shared,
+    tmpl: &Prepared,
+) -> Result<(u16, String), LoadError> {
+    let reused = conn.is_some();
+    match try_exchange(conn, shared, tmpl) {
+        Err(_) if reused => {
+            *conn = None;
+            try_exchange(conn, shared, tmpl)
+        }
+        other => other,
+    }
+}
+
+fn try_exchange(
+    conn: &mut Option<TcpStream>,
+    shared: &Shared,
+    tmpl: &Prepared,
+) -> Result<(u16, String), LoadError> {
+    if conn.is_none() {
+        let stream = TcpStream::connect(&shared.addr)
+            .map_err(|e| LoadError::Io(format!("connect {}: {e}", shared.addr)))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| LoadError::Io(format!("set_read_timeout: {e}")))?;
+        // Latency measurement must not include Nagle / delayed-ACK
+        // stalls on the request side of a persistent connection.
+        let _ = stream.set_nodelay(true);
+        *conn = Some(stream);
+    }
+    let stream = conn.as_mut().expect("connection just ensured");
+    stream
+        .write_all(&tmpl.wire)
+        .map_err(|e| LoadError::Io(format!("write: {e}")))?;
+    read_response(stream)
+}
+
+/// Reads one `Content-Length`-framed response off the stream (the only
+/// framing this API emits).
+fn read_response(stream: &mut TcpStream) -> Result<(u16, String), LoadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err(LoadError::Protocol("response head over 64 KiB".into()));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| LoadError::Io(format!("read head: {e}")))?;
+        if n == 0 {
+            return Err(LoadError::Protocol("connection closed mid-response".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| LoadError::Protocol("non-UTF-8 response head".into()))?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| LoadError::Protocol("malformed status line".into()))?;
+    let length: usize = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .ok_or_else(|| LoadError::Protocol("missing Content-Length".into()))?;
+    let body_start = head_end + 4;
+    while buf.len() < body_start + length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| LoadError::Io(format!("read body: {e}")))?;
+        if n == 0 {
+            return Err(LoadError::Protocol("connection closed mid-body".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8(buf[body_start..body_start + length].to_vec())
+        .map_err(|_| LoadError::Protocol("non-UTF-8 response body".into()))?;
+    Ok((status, body))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> MixSpec {
+        MixSpec::from_json(
+            r#"{"name": "t", "seed": 42, "templates": [
+                {"target": "/healthz", "weight": 2},
+                {"target": "/v1/systems", "weight": 1},
+                {"target": "/v1/footprint/polaris?seed=7", "weight": 1}
+            ]}"#,
+        )
+        .expect("test mix parses")
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_weighted() {
+        let m = mix();
+        let a = build_plan(&m, 400);
+        let b = build_plan(&m, 400);
+        assert_eq!(a, b, "same seed, same plan");
+        assert!(a.iter().all(|&i| i < 3));
+        // Weight 2 of 4 ⇒ roughly half the draws hit template 0.
+        let zeros = a.iter().filter(|&&i| i == 0).count();
+        assert!(
+            (120..=280).contains(&zeros),
+            "got {zeros}/400 for weight 2/4"
+        );
+    }
+
+    #[test]
+    fn keep_alive_run_replays_without_mismatches() {
+        let report = run(
+            &mix(),
+            &RunConfig {
+                requests: 60,
+                connections: 3,
+                workers: 2,
+                ..RunConfig::default()
+            },
+        )
+        .expect("run succeeds");
+        assert_eq!(
+            (report.mismatches, report.errors),
+            (0, 0),
+            "{:?}",
+            report.mismatch_samples
+        );
+        assert_eq!(report.requests, 60);
+        assert_eq!(report.discipline, "keep-alive");
+        let total: u64 = report.endpoints.iter().map(|e| e.requests).sum();
+        assert_eq!(total, 60, "every request lands in an endpoint family");
+        assert!(report.requests_per_sec > 0.0);
+    }
+
+    #[test]
+    fn one_shot_run_matches_the_same_expectations() {
+        let report = run(
+            &mix(),
+            &RunConfig {
+                requests: 30,
+                connections: 2,
+                keep_alive: false,
+                workers: 1,
+                ..RunConfig::default()
+            },
+        )
+        .expect("run succeeds");
+        assert_eq!(
+            (report.mismatches, report.errors),
+            (0, 0),
+            "{:?}",
+            report.mismatch_samples
+        );
+        assert_eq!(report.discipline, "one-shot");
+    }
+
+    #[test]
+    fn a_tampered_expectation_is_counted_as_mismatch() {
+        // Point a verified template at a nondeterministic body: the
+        // stats counters move between the expectation snapshot and the
+        // replay, so the comparison must fail — proving the comparator
+        // actually compares.
+        let m =
+            MixSpec::from_json(r#"{"name": "t", "templates": [{"target": "/v1/cache/stats"}]}"#)
+                .unwrap();
+        let report = run(
+            &m,
+            &RunConfig {
+                requests: 4,
+                connections: 1,
+                workers: 1,
+                ..RunConfig::default()
+            },
+        )
+        .expect("run completes");
+        assert!(
+            report.mismatches > 0,
+            "stats bodies drift and must be caught"
+        );
+        assert!(!report.mismatch_samples.is_empty());
+    }
+
+    #[test]
+    fn unroutable_targets_replay_their_404s() {
+        let m = MixSpec::from_json(r#"{"name": "t", "templates": [{"target": "/nope"}]}"#).unwrap();
+        let report = run(
+            &m,
+            &RunConfig {
+                requests: 6,
+                connections: 2,
+                workers: 1,
+                ..RunConfig::default()
+            },
+        )
+        .expect("run completes");
+        // The expected response is the handler's own 404 — replaying it
+        // byte-identically is still a pass.
+        assert_eq!((report.mismatches, report.errors), (0, 0));
+        assert_eq!(report.endpoints.len(), 1);
+        assert_eq!(report.endpoints[0].endpoint, "other");
+    }
+}

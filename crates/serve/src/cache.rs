@@ -6,65 +6,41 @@
 //! response bodies, shared via `Arc` so a hit costs one clone of a
 //! pointer, not a re-simulation of an 8760-hour year.
 //!
-//! The key space is caller-controlled (`?seed=` is a free `u64`), so the
-//! cache is **bounded**: each shard holds at most its slice of the
-//! configured capacity and evicts its least-recently-used entry on
-//! overflow, counted in [`CacheStats::evictions`]. An optional TTL lets
-//! operators bound staleness too; an expired entry is dropped on lookup
-//! (also counted as an eviction) and recomputed.
+//! The cache is a thin wrapper over [`MemoCache`] — the same sharded,
+//! single-flight memo structure the simulation substrate uses — so under
+//! concurrent misses on one hot key exactly one worker renders the body
+//! and the rest block and share it, instead of racing duplicate
+//! simulations. The key space is caller-controlled (`?seed=` is a free
+//! `u64`), so the cache is **bounded**: LRU eviction on overflow and an
+//! optional TTL, both counted in [`CacheStats::evictions`].
 //!
 //! Determinism contract: handlers are pure functions of the canonical
 //! key, so a cached body and a freshly computed body are byte-identical
 //! by construction — eviction and expiry affect only *when* a body is
-//! recomputed, never its bytes. Under concurrent misses on the same key
-//! two workers may both compute; both produce the same bytes and the
-//! first insert wins, so responses never depend on the race (the
-//! hit/miss counters may, which is why they are documented as monotonic,
-//! not exact, under concurrency).
+//! recomputed, never its bytes. Single-flight also makes the hit/miss
+//! counters exact: each key's first touch is the one miss, every other
+//! lookup (even a racer that blocked on the in-flight render) is a hit.
 
-use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
-/// `DefaultHasher::default()` is SipHash with fixed keys — deterministic
-/// across processes, unlike `RandomState`.
-type FixedState = BuildHasherDefault<DefaultHasher>;
+use thirstyflops_core::simcache::MemoCache;
 
-/// One cached body with its freshness and recency metadata.
-#[derive(Debug)]
-struct CachedBody {
-    body: Arc<str>,
-    inserted: Instant,
-    last_used: u64,
-}
-
-type Shard = Mutex<HashMap<String, CachedBody, FixedState>>;
-
-/// Sharded `(canonical request) → (response body)` cache with LRU
-/// eviction, optional TTL, and hit/miss/eviction counters.
+/// Sharded `(canonical request) → (response body)` cache with
+/// single-flight computes, LRU eviction, optional TTL, and
+/// hit/miss/eviction counters.
 #[derive(Debug)]
 pub struct ResultCache {
-    shards: Vec<Shard>,
-    /// Per-shard entry bound; `0` = unbounded.
-    capacity_per_shard: usize,
-    /// Configured total capacity as reported in stats (`0` = unbounded).
-    capacity: u64,
-    ttl: Option<Duration>,
-    tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    memo: MemoCache<String, Arc<str>>,
 }
 
 /// Body-cache counters exposed by `GET /v1/cache/stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
-    /// Requests answered from the cache (no simulation ran).
+    /// Requests answered from the cache (no simulation ran) — including
+    /// racers that blocked on an in-flight render.
     pub hits: u64,
-    /// Requests that had to compute and insert their body.
+    /// First touches that rendered and inserted their body.
     pub misses: u64,
     /// Distinct cached bodies across all shards.
     pub entries: u64,
@@ -87,21 +63,8 @@ impl ResultCache {
     /// reports — is `capacity` rounded up to a full shard multiple, and
     /// the live total can sit under it when keys hash unevenly.
     pub fn with_limits(shards: usize, capacity: usize, ttl: Option<Duration>) -> ResultCache {
-        let shards = shards.max(1);
-        let capacity_per_shard = if capacity == 0 {
-            0
-        } else {
-            capacity.div_ceil(shards).max(1)
-        };
         ResultCache {
-            capacity_per_shard,
-            capacity: (capacity_per_shard * shards) as u64,
-            ttl,
-            shards: (0..shards).map(|_| Shard::default()).collect(),
-            tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            memo: MemoCache::with_ttl(shards, capacity, ttl),
         }
     }
 
@@ -111,94 +74,29 @@ impl ResultCache {
         Self::with_limits(shards, 0, None)
     }
 
-    fn shard(&self, key: &str) -> &Shard {
-        let mut hasher = DefaultHasher::default();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
-    }
-
-    fn expired(&self, entry: &CachedBody) -> bool {
-        self.ttl.is_some_and(|ttl| entry.inserted.elapsed() > ttl)
-    }
-
     /// Returns the cached body for `key`, or computes, caches, and
-    /// returns it. The compute closure runs outside the shard lock so a
-    /// slow simulation never blocks unrelated keys in the same shard.
+    /// returns it. Single-flight: under concurrent misses on one key,
+    /// exactly one caller renders; the rest block and share the result.
+    /// The compute closure runs outside the shard lock, so a slow
+    /// simulation never blocks unrelated keys in the same shard.
     pub fn get_or_compute(&self, key: &str, compute: impl FnOnce() -> String) -> Arc<str> {
-        let shard = self.shard(key);
-        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-        {
-            let mut map = shard.lock().expect("cache shard poisoned");
-            match map.get_mut(key) {
-                Some(entry) if !self.expired(entry) => {
-                    entry.last_used = tick;
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Arc::clone(&entry.body);
-                }
-                Some(_) => {
-                    // Past its TTL: drop and recompute below.
-                    map.remove(key);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
-                None => {}
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let computed: Arc<str> = Arc::from(compute());
-        let mut map = shard.lock().expect("cache shard poisoned");
-        let body = match map.entry(key.to_string()) {
-            // A concurrent miss beat us to the insert; its bytes are
-            // identical (pure handlers), keep the incumbent.
-            Entry::Occupied(mut e) => {
-                e.get_mut().last_used = tick;
-                Arc::clone(&e.get().body)
-            }
-            Entry::Vacant(e) => {
-                let body = Arc::clone(&computed);
-                e.insert(CachedBody {
-                    body: computed,
-                    inserted: Instant::now(),
-                    last_used: tick,
-                });
-                body
-            }
-        };
-        if self.capacity_per_shard > 0 {
-            while map.len() > self.capacity_per_shard {
-                // Evict the least-recently-used entry that is not the
-                // body we are about to serve.
-                let victim = map
-                    .iter()
-                    .filter(|(_, e)| !Arc::ptr_eq(&e.body, &body))
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k.clone());
-                match victim {
-                    Some(victim) => {
-                        map.remove(&victim);
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
-                    }
-                    None => break,
-                }
-            }
-        }
-        body
+        let slot = self
+            .memo
+            .get_or_compute(key.to_string(), || Arc::from(compute()));
+        Arc::clone(&slot)
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        let entries = self
-            .shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len() as u64)
-            .sum();
+        let layer = self.memo.stats();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries,
-            evictions: self.evictions.load(Ordering::Relaxed),
-            capacity: self.capacity,
-            ttl_seconds: self.ttl.map_or(0, |t| t.as_secs()),
-            shards: self.shards.len() as u64,
+            hits: layer.hits,
+            misses: layer.misses,
+            entries: layer.entries,
+            evictions: layer.evictions,
+            capacity: self.memo.capacity(),
+            ttl_seconds: self.memo.ttl().map_or(0, |t| t.as_secs()),
+            shards: self.memo.shard_count(),
         }
     }
 }
@@ -295,19 +193,35 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_identical_misses_agree() {
+    fn concurrent_identical_misses_are_single_flight() {
         let cache = std::sync::Arc::new(ResultCache::default());
+        let rendered = std::sync::atomic::AtomicUsize::new(0);
         let bodies: Vec<Arc<str>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..8)
                 .map(|_| {
                     let cache = std::sync::Arc::clone(&cache);
-                    scope.spawn(move || cache.get_or_compute("hot", || "same".into()))
+                    let rendered = &rendered;
+                    scope.spawn(move || {
+                        cache.get_or_compute("hot", || {
+                            rendered.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            // Widen the race window so late arrivals
+                            // genuinely block on the in-flight render.
+                            std::thread::sleep(Duration::from_millis(20));
+                            "same".into()
+                        })
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         assert!(bodies.iter().all(|b| &**b == "same"));
+        assert_eq!(
+            rendered.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "hot key renders exactly once"
+        );
         assert_eq!(cache.stats().entries, 1);
-        assert_eq!(cache.stats().hits + cache.stats().misses, 8);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 7);
     }
 }

@@ -17,8 +17,31 @@ use crate::http::{Request, Response};
 use crate::metrics::Metrics;
 use crate::router::{route, Query, Route};
 
+/// Per-connection time limits (see `docs/SERVING.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it (and frees its worker).
+    pub idle_timeout: std::time::Duration,
+    /// How long a started request may take to arrive in full (slowloris
+    /// guard; exceeding it answers 408 and closes).
+    pub read_timeout: std::time::Duration,
+}
+
+impl Default for Limits {
+    /// 5 s idle, 10 s read — generous for an internal API, tight enough
+    /// that stuck clients cannot pin workers for long.
+    fn default() -> Limits {
+        Limits {
+            idle_timeout: std::time::Duration::from_secs(5),
+            read_timeout: std::time::Duration::from_secs(10),
+        }
+    }
+}
+
 /// Shared state behind all workers: the result cache, the per-endpoint
-/// counters, and the logging switch.
+/// counters, the logging switch, the connection limits, and the
+/// shutdown flag the connection loops poll.
 #[derive(Debug, Default)]
 pub struct AppState {
     /// The sharded body cache (see `docs/SERVING.md` for the key scheme).
@@ -27,6 +50,11 @@ pub struct AppState {
     pub metrics: Metrics,
     /// `serve --log`: one stderr line per request.
     pub log_requests: bool,
+    /// Idle/read timeouts applied to every connection.
+    pub limits: Limits,
+    /// Set by `Server::shutdown`: keep-alive loops finish the request in
+    /// flight, answer it with `Connection: close`, and exit.
+    pub stop: std::sync::atomic::AtomicBool,
 }
 
 /// What one dispatch did, for metrics and the `--log` line.
@@ -237,50 +265,121 @@ impl HealthBody {
     }
 }
 
-/// Serves one connection end-to-end: parse, dispatch, record, write,
-/// close. I/O errors (client hung up, timeout) are swallowed — there is
-/// nobody left to answer.
-pub fn serve_connection(mut stream: std::net::TcpStream, state: &AppState) {
-    // A stuck client must not pin a worker forever.
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
-    let started = std::time::Instant::now();
-    let (response, request_line, trace) = match crate::http::read_request(&mut stream) {
-        Ok(req) => {
-            let (response, trace) = handle_traced(&req, state);
-            let line = format!("{} {}", req.method, req.path);
-            (response, line, Some(trace))
+/// Serves one connection end-to-end as a keep-alive loop: wait for
+/// bytes (polling the shutdown flag), parse, dispatch, record, write —
+/// and repeat until the client asks to close, goes idle past the limit,
+/// errors, or the server shuts down. I/O errors mid-write are swallowed
+/// — there is nobody left to answer — but every parse failure that can
+/// still be answered gets its 400/408/413/431 before the close.
+pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
+    use std::sync::atomic::Ordering;
+    // `&TcpStream: Read`, so the reader borrows while the owned stream
+    // keeps `set_read_timeout` and the write half.
+    let mut reader = crate::http::RequestReader::new(&stream);
+    loop {
+        if !wait_for_request(&stream, &mut reader, state) {
+            return; // idle timeout, clean close, shutdown, or error
         }
-        Err(e) => match parse_error_response(e) {
-            Some(resp) => (resp, "??? (unparsable request)".to_string(), None),
-            None => return, // nothing arrived; likely a probe
-        },
-    };
-    let _ = response.write_to(&mut stream);
-    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-    let trace = trace.unwrap_or(Trace {
-        endpoint: "other",
-        cache_hit: false,
-    });
-    state
-        .metrics
-        .record(trace.endpoint, trace.cache_hit, micros);
-    if state.log_requests {
-        // One parseable line per request: method+path, status, body
-        // bytes, wall-clock, cache verdict.
-        eprintln!(
-            "{request_line} {} {}B {micros}us {}",
-            response.status,
-            response.body.len(),
-            if trace.cache_hit { "hit" } else { "miss" }
-        );
+        let _ = stream.set_read_timeout(Some(state.limits.read_timeout));
+        let started = std::time::Instant::now();
+        let (response, request_line, trace, close) = match reader.read_request() {
+            Ok(req) => {
+                let (response, trace) = handle_traced(&req, state);
+                let line = format!("{} {}", req.method, req.path);
+                // Shutdown mid-connection: answer the request in flight,
+                // then close instead of waiting for another.
+                let close = req.close || state.stop.load(Ordering::SeqCst);
+                (response, line, Some(trace), close)
+            }
+            Err(e) => match parse_error_response(e) {
+                // Parse failures poison the framing: always close after.
+                Some(resp) => (resp, "??? (unparsable request)".to_string(), None, true),
+                None => return, // nothing arrived; likely a probe
+            },
+        };
+        let wrote = response.write_to(&mut (&stream), close).is_ok();
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let trace = trace.unwrap_or(Trace {
+            endpoint: "other",
+            cache_hit: false,
+        });
+        state
+            .metrics
+            .record(trace.endpoint, trace.cache_hit, micros);
+        if state.log_requests {
+            // One parseable line per request: method+path, status, body
+            // bytes, wall-clock, cache verdict.
+            eprintln!(
+                "{request_line} {} {}B {micros}us {}",
+                response.status,
+                response.body.len(),
+                if trace.cache_hit { "hit" } else { "miss" }
+            );
+        }
+        if close || !wrote {
+            return;
+        }
+    }
+}
+
+/// The idle phase between requests: waits up to `idle_timeout` for the
+/// connection's next bytes, in short read slices so the shutdown flag is
+/// observed within ~100 ms even on an idle connection. Returns `true`
+/// when a request is ready to parse (bytes buffered or just arrived),
+/// `false` when the connection should close (peer EOF, idle timeout,
+/// shutdown, or socket error).
+fn wait_for_request(
+    stream: &std::net::TcpStream,
+    reader: &mut crate::http::RequestReader<&std::net::TcpStream>,
+    state: &AppState,
+) -> bool {
+    use std::sync::atomic::Ordering;
+    if reader.buffered() > 0 {
+        return true; // pipelined request already in hand
+    }
+    let deadline = std::time::Instant::now() + state.limits.idle_timeout;
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        let slice = (deadline - now).min(std::time::Duration::from_millis(100));
+        let _ = stream.set_read_timeout(Some(slice));
+        match reader.fill_once() {
+            Ok(0) => return false, // peer closed between requests
+            Ok(_) => return true,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return false,
+        }
     }
 }
 
 /// Maps a request-parse failure to its response; `None` when the socket
-/// died before a request arrived (there is nobody left to answer).
+/// died (or went idle) before a request arrived — there is nobody left
+/// to answer.
 pub fn parse_error_response(e: crate::http::ParseError) -> Option<Response> {
     match e {
-        crate::http::ParseError::Io(_) => None,
+        crate::http::ParseError::Idle | crate::http::ParseError::Io(_) => None,
+        crate::http::ParseError::UnexpectedEof => {
+            Some(ServeError::BadRequest("connection closed mid-request".into()).to_response())
+        }
+        crate::http::ParseError::Timeout => Some(Response::json(
+            408,
+            api::to_json(&crate::error::ErrorBody {
+                status: 408,
+                error: "request did not arrive in full within the read timeout".into(),
+            }),
+        )),
         crate::http::ParseError::TooLarge => Some(Response::json(
             431,
             api::to_json(&crate::error::ErrorBody {
@@ -314,6 +413,7 @@ mod tests {
                 path: path.into(),
                 query: query.into(),
                 body: String::new(),
+                close: false,
             },
             state,
         )
@@ -326,6 +426,7 @@ mod tests {
                 path: path.into(),
                 query: String::new(),
                 body: body.into(),
+                close: false,
             },
             state,
         )
@@ -487,6 +588,12 @@ mod tests {
     fn parse_errors_map_to_their_statuses() {
         use crate::http::ParseError;
         assert!(parse_error_response(ParseError::Io("reset".into())).is_none());
+        assert!(parse_error_response(ParseError::Idle).is_none());
+        let eof = parse_error_response(ParseError::UnexpectedEof).unwrap();
+        assert_eq!(eof.status, 400);
+        let timeout = parse_error_response(ParseError::Timeout).unwrap();
+        assert_eq!(timeout.status, 408);
+        assert!(timeout.body.contains("\"status\": 408"));
         let too_large = parse_error_response(ParseError::TooLarge).unwrap();
         assert_eq!(too_large.status, 431);
         assert!(too_large.body.contains("\"status\": 431"));
@@ -514,6 +621,7 @@ mod tests {
             path: "/v1/rank".into(),
             query: String::new(),
             body: String::new(),
+            close: false,
         };
         let (_, cold) = handle_traced(&req, &state);
         assert_eq!(

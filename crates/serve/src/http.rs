@@ -2,12 +2,15 @@
 //!
 //! Only what a JSON API needs: request lines, `Content-Length`-framed
 //! bodies (for the `POST /v1/scenarios/*` spec uploads), bounded reads
-//! (8 KiB of head, 256 KiB of body), and `Connection: close` responses
-//! with an explicit `Content-Length`. No keep-alive, no chunked
-//! transfer, no TLS — the serving layer is an internal tool and the
-//! simplicity is what keeps it deterministic and std-only.
+//! (8 KiB of head, 256 KiB of body), and persistent connections.
+//! [`RequestReader`] carries over-read bytes between requests, so
+//! pipelined requests on one keep-alive connection parse correctly;
+//! `Connection: close` / `keep-alive` request headers are honored and
+//! echoed (HTTP/1.0 defaults to close, HTTP/1.1 to keep-alive). No
+//! chunked transfer, no TLS — the serving layer is an internal tool and
+//! the simplicity is what keeps it deterministic and std-only.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::sync::Arc;
 
 /// Maximum bytes of request head (request line + headers) we accept.
@@ -28,6 +31,10 @@ pub struct Request {
     pub query: String,
     /// Request body as declared by `Content-Length` (empty when absent).
     pub body: String,
+    /// True when the client asked for the connection to close after this
+    /// response: an explicit `Connection: close`, or HTTP/1.0 without
+    /// `Connection: keep-alive`.
+    pub close: bool,
 }
 
 /// A response ready to be written: status plus JSON body.
@@ -60,22 +67,32 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
     }
 
-    /// Serializes the full response (status line, headers, body) to a writer.
-    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+    /// Serializes the full response (status line, headers, body) to a
+    /// writer. `close` selects the `Connection:` header; the caller must
+    /// actually close the stream afterwards when it says so.
+    pub fn write_to<W: Write>(&self, w: &mut W, close: bool) -> std::io::Result<()> {
+        // One buffered write for head + body: emitting them as separate
+        // small segments stalls keep-alive connections behind the
+        // Nagle / delayed-ACK interaction (~40 ms per response).
+        let mut out = Vec::with_capacity(160 + self.body.len());
         write!(
-            w,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             self.reason(),
-            self.body.len()
+            self.body.len(),
+            if close { "close" } else { "keep-alive" }
         )?;
-        w.write_all(self.body.as_bytes())?;
+        out.extend_from_slice(self.body.as_bytes());
+        w.write_all(&out)?;
         w.flush()
     }
 }
@@ -83,8 +100,16 @@ impl Response {
 /// Errors from reading or parsing a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
-    /// The socket closed or errored before a full request arrived.
+    /// The peer closed (or went silent past the idle window) *between*
+    /// requests, with no buffered bytes — the normal end of a keep-alive
+    /// connection, not a protocol error. No response is owed.
+    Idle,
+    /// The socket errored mid-request.
     Io(String),
+    /// The peer closed after a request had started arriving.
+    UnexpectedEof,
+    /// The read timeout elapsed mid-request (slowloris guard).
+    Timeout,
     /// The head exceeded [`MAX_HEAD_BYTES`].
     TooLarge,
     /// The declared body exceeded [`MAX_BODY_BYTES`].
@@ -96,7 +121,10 @@ pub enum ParseError {
 impl core::fmt::Display for ParseError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
+            ParseError::Idle => write!(f, "connection idle"),
             ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::UnexpectedEof => write!(f, "connection closed mid-request"),
+            ParseError::Timeout => write!(f, "read timed out mid-request"),
             ParseError::TooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
             ParseError::BodyTooLarge => {
                 write!(f, "request body exceeds {MAX_BODY_BYTES} bytes")
@@ -106,73 +134,125 @@ impl core::fmt::Display for ParseError {
     }
 }
 
-/// Reads one request (head plus `Content-Length`-framed body) from a
-/// stream and parses it.
+/// A buffered request parser over one connection.
 ///
-/// Reads until the blank line ending the headers, then exactly
-/// `Content-Length` body bytes (no length header ⇒ empty body). Fails
-/// closed on oversized or malformed input.
-pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
-    let mut head = Vec::with_capacity(512);
-    let mut buf = [0u8; 512];
-    loop {
-        if find_head_end(&head).is_some() {
-            break;
+/// Keep-alive needs carry-over: one `read` can return the tail of the
+/// current request *plus* the head of the next (pipelining). The reader
+/// owns that buffer, so [`read_request`](RequestReader::read_request)
+/// can be called repeatedly and each call consumes exactly one request.
+#[derive(Debug)]
+pub struct RequestReader<R> {
+    stream: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// Wraps a stream. `&TcpStream` implements `Read`, so the caller can
+    /// keep the owned stream for `set_read_timeout` and writing.
+    pub fn new(stream: R) -> RequestReader<R> {
+        RequestReader {
+            stream,
+            buf: Vec::with_capacity(512),
         }
-        if head.len() > MAX_HEAD_BYTES {
-            return Err(ParseError::TooLarge);
-        }
-        let n = stream
-            .read(&mut buf)
-            .map_err(|e| ParseError::Io(e.to_string()))?;
-        if n == 0 {
-            return Err(ParseError::Io("connection closed mid-request".into()));
-        }
-        head.extend_from_slice(&buf[..n]);
     }
-    let end = find_head_end(&head).expect("loop exits only with a full head");
-    let text = std::str::from_utf8(&head[..end])
-        .map_err(|_| ParseError::Malformed("request head is not UTF-8".into()))?;
-    let mut request = parse_head(text)?;
-    let declared = content_length(text)?;
-    if declared > MAX_BODY_BYTES {
-        return Err(ParseError::BodyTooLarge);
+
+    /// Bytes buffered but not yet consumed (pipelined data).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
     }
-    if declared > 0 {
-        // Body bytes that arrived with the head read, then the rest.
-        let mut body = head[end..].to_vec();
-        if body.len() > declared {
-            body.truncate(declared);
-        }
-        while body.len() < declared {
-            let n = stream
-                .read(&mut buf)
-                .map_err(|e| ParseError::Io(e.to_string()))?;
-            if n == 0 {
-                return Err(ParseError::Io("connection closed mid-body".into()));
+
+    /// One raw read appended to the carry-over buffer. `Ok(0)` means the
+    /// peer closed; timeout errors pass through as `WouldBlock` /
+    /// `TimedOut`. The connection loop uses this to wait for the first
+    /// byte in short slices so it can poll the shutdown flag.
+    pub fn fill_once(&mut self) -> std::io::Result<usize> {
+        let mut chunk = [0u8; 512];
+        let n = self.stream.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// One read, with EOF/timeout classified against the buffer state:
+    /// nothing buffered means the connection ended *between* requests
+    /// ([`ParseError::Idle`]); anything buffered means a request was cut
+    /// off mid-flight.
+    fn fill_more(&mut self) -> Result<(), ParseError> {
+        match self.fill_once() {
+            Ok(0) if self.buf.is_empty() => Err(ParseError::Idle),
+            Ok(0) => Err(ParseError::UnexpectedEof),
+            Ok(_) => Ok(()),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if self.buf.is_empty() {
+                    Err(ParseError::Idle)
+                } else {
+                    Err(ParseError::Timeout)
+                }
             }
-            let take = n.min(declared - body.len());
-            body.extend_from_slice(&buf[..take]);
+            Err(e) => Err(ParseError::Io(e.to_string())),
         }
-        request.body = String::from_utf8(body)
-            .map_err(|_| ParseError::Malformed("request body is not UTF-8".into()))?;
     }
-    Ok(request)
+
+    /// Reads and parses the next request (head plus `Content-Length`-
+    /// framed body), leaving any pipelined bytes after it buffered for
+    /// the next call. Fails closed on oversized or malformed input.
+    pub fn read_request(&mut self) -> Result<Request, ParseError> {
+        loop {
+            if find_head_end(&self.buf).is_some() {
+                break;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(ParseError::TooLarge);
+            }
+            self.fill_more()?;
+        }
+        let end = find_head_end(&self.buf).expect("loop exits only with a full head");
+        let text = std::str::from_utf8(&self.buf[..end])
+            .map_err(|_| ParseError::Malformed("request head is not UTF-8".into()))?;
+        let mut request = parse_head(text)?;
+        let declared = content_length(text)?;
+        if declared > MAX_BODY_BYTES {
+            return Err(ParseError::BodyTooLarge);
+        }
+        while self.buf.len() < end + declared {
+            self.fill_more()?;
+        }
+        if declared > 0 {
+            request.body = String::from_utf8(self.buf[end..end + declared].to_vec())
+                .map_err(|_| ParseError::Malformed("request body is not UTF-8".into()))?;
+        }
+        self.buf.drain(..end + declared);
+        Ok(request)
+    }
+}
+
+/// Reads one request from a stream — the one-shot entry point, shared by
+/// unit tests and anything that doesn't need keep-alive. Equivalent to
+/// one [`RequestReader::read_request`] call on a fresh reader.
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
+    RequestReader::new(stream).read_request()
+}
+
+/// The first matching header value (trimmed), or `None`.
+fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    for line in head.lines().skip(1) {
+        let Some((n, v)) = line.split_once(':') else {
+            continue;
+        };
+        if n.trim().eq_ignore_ascii_case(name) {
+            return Some(v.trim());
+        }
+    }
+    None
 }
 
 /// The declared `Content-Length` (0 when the header is absent).
 fn content_length(head: &str) -> Result<usize, ParseError> {
-    for line in head.lines().skip(1) {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            return value.trim().parse().map_err(|_| {
-                ParseError::Malformed(format!("bad Content-Length {:?}", value.trim()))
-            });
-        }
+    match header_value(head, "content-length") {
+        Some(value) => value
+            .parse()
+            .map_err(|_| ParseError::Malformed(format!("bad Content-Length {value:?}"))),
+        None => Ok(0),
     }
-    Ok(0)
 }
 
 /// Index of the byte just past the first `\r\n\r\n` (or `None`).
@@ -183,7 +263,8 @@ fn find_head_end(bytes: &[u8]) -> Option<usize> {
         .map(|i| i + 4)
 }
 
-/// Parses the request line out of a full (header-terminated) head.
+/// Parses the request line and connection semantics out of a full
+/// (header-terminated) head.
 fn parse_head(text: &str) -> Result<Request, ParseError> {
     let request_line = text
         .lines()
@@ -203,6 +284,19 @@ fn parse_head(text: &str) -> Result<Request, ParseError> {
             "unsupported version {version:?}"
         )));
     }
+    // HTTP/1.0 closes by default; 1.1 persists. An explicit Connection
+    // header (comma-separated token list, case-insensitive) overrides.
+    let mut close = version == "HTTP/1.0";
+    if let Some(value) = header_value(text, "connection") {
+        for token in value.split(',') {
+            let token = token.trim();
+            if token.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if token.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        }
+    }
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -214,6 +308,7 @@ fn parse_head(text: &str) -> Result<Request, ParseError> {
         path,
         query: raw_query.to_string(),
         body: String::new(),
+        close,
     })
 }
 
@@ -255,6 +350,19 @@ mod tests {
         assert_eq!(req.path, "/healthz");
         assert_eq!(req.query, "");
         assert_eq!(req.body, "");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_header_controls_close() {
+        let req = parse("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.close);
+        let req = parse("GET /x HTTP/1.1\r\nconnection:  Keep-Alive \r\n\r\n").unwrap();
+        assert!(!req.close, "token match is case-insensitive and trimmed");
+        let req = parse("GET /x HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.close, "HTTP/1.0 defaults to close");
+        let req = parse("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.close, "explicit keep-alive overrides the 1.0 default");
     }
 
     #[test]
@@ -266,9 +374,24 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.body, "hello world");
         // Case-insensitive header name; extra bytes past the declared
-        // length are ignored.
+        // length stay buffered for the next request (pipelining).
         let req = parse("POST /x HTTP/1.1\r\ncontent-length: 2\r\n\r\nabXTRA").unwrap();
         assert_eq!(req.body, "ab");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let wire = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut stream = wire.as_bytes();
+        let mut reader = RequestReader::new(&mut stream);
+        let a = reader.read_request().unwrap();
+        assert_eq!((a.path.as_str(), a.close), ("/a", false));
+        assert!(reader.buffered() > 0, "the next request is carried over");
+        let b = reader.read_request().unwrap();
+        assert_eq!((b.path.as_str(), b.body.as_str()), ("/b", "hi"));
+        let c = reader.read_request().unwrap();
+        assert_eq!((c.path.as_str(), c.close), ("/c", true));
+        assert_eq!(reader.read_request(), Err(ParseError::Idle));
     }
 
     #[test]
@@ -277,10 +400,10 @@ mod tests {
             parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
             Err(ParseError::Malformed(_))
         ));
-        assert!(matches!(
+        assert_eq!(
             parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
-            Err(ParseError::Io(_))
-        ));
+            Err(ParseError::UnexpectedEof)
+        );
         let huge = format!(
             "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
@@ -318,21 +441,29 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncated_streams() {
-        assert!(matches!(
+    fn truncation_is_eof_and_silence_is_idle() {
+        assert_eq!(
             parse("GET /healthz HTTP/1.1\r\n"),
-            Err(ParseError::Io(_))
-        ));
+            Err(ParseError::UnexpectedEof)
+        );
+        assert_eq!(parse(""), Err(ParseError::Idle));
     }
 
     #[test]
     fn response_wire_format_is_exact() {
         let mut out = Vec::new();
-        Response::json(200, "{}").write_to(&mut out).unwrap();
+        Response::json(200, "{}").write_to(&mut out, true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert_eq!(
             text,
             "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}"
+        );
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}"
         );
     }
 

@@ -17,11 +17,20 @@
 //! * [`pool`] — a fixed worker pool in the spirit of the workspace's
 //!   rayon shim executor.
 //!
+//! Connections are HTTP/1.1 keep-alive: each worker runs a
+//! per-connection request loop (`handlers::serve_connection`) until the
+//! client sends `Connection: close`, goes idle past the limit, or the
+//! server shuts down. A keep-alive connection pins its worker for its
+//! lifetime, so the accept loop enforces [`ServerConfig::max_connections`]
+//! and sheds anything beyond it with a well-formed JSON 503 instead of
+//! letting it queue unanswered.
+//!
 //! Determinism contract (see `docs/SERVING.md` and `docs/CONCURRENCY.md`):
 //! handlers are pure functions of the canonical request, so identical
-//! requests produce byte-identical bodies at any worker count, cached or
-//! not. That property — not latency — is what the 1-CPU CI container
-//! validates.
+//! requests produce byte-identical bodies at any worker count and over
+//! any connection discipline (keep-alive, pipelined, or one-shot),
+//! cached or not. That property — not latency — is what the 1-CPU CI
+//! container validates.
 //!
 //! ```no_run
 //! use thirstyflops_serve::{Server, ServerConfig};
@@ -49,14 +58,14 @@ pub mod pool;
 pub mod router;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 pub use cache::{CacheStats, ResultCache};
 pub use error::ServeError;
-pub use handlers::AppState;
+pub use handlers::{AppState, Limits};
 
 /// How to run the server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,12 +84,19 @@ pub struct ServerConfig {
     /// `serve --log`: one stderr line per request (method, path,
     /// status, bytes, µs, cache hit/miss).
     pub log_requests: bool,
+    /// Concurrent-connection limit (`serve --max-connections N`; `0` =
+    /// unlimited). Connections beyond it are shed with a JSON 503 at
+    /// accept time instead of queueing unanswered behind pinned workers.
+    pub max_connections: usize,
+    /// Idle/read timeouts applied to every connection.
+    pub limits: Limits,
 }
 
 impl Default for ServerConfig {
     /// Loopback on the project's default port with one worker per
-    /// available CPU, a 4096-entry, never-expiring body cache, and
-    /// request logging off.
+    /// available CPU, a 4096-entry, never-expiring body cache, request
+    /// logging off, a 256-connection limit, and the default 5 s idle /
+    /// 10 s read timeouts.
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7979".to_string(),
@@ -90,6 +106,8 @@ impl Default for ServerConfig {
             cache_entries: 4096,
             cache_ttl: None,
             log_requests: false,
+            max_connections: 256,
+            limits: Limits::default(),
         }
     }
 }
@@ -107,9 +125,28 @@ impl Default for ServerConfig {
 pub struct Server {
     addr: SocketAddr,
     state: Arc<AppState>,
-    stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     pool: Option<pool::WorkerPool>,
+}
+
+/// Decrements the live-connection counter when the connection's job is
+/// dropped — including when the handler panics, since the job is moved
+/// into the worker's `catch_unwind` scope.
+#[derive(Debug)]
+struct ConnPermit(Arc<AtomicUsize>);
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One accepted connection queued for a worker: the stream plus the
+/// permit that holds its slot under the connection limit.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    _permit: ConnPermit,
 }
 
 impl Server {
@@ -122,20 +159,21 @@ impl Server {
             cache: cache::ResultCache::with_limits(8, config.cache_entries, config.cache_ttl),
             metrics: metrics::Metrics::default(),
             log_requests: config.log_requests,
+            limits: config.limits,
+            stop: std::sync::atomic::AtomicBool::new(false),
         });
         let worker_state = Arc::clone(&state);
-        let (pool, sender) = pool::WorkerPool::spawn(config.workers, move |stream| {
-            handlers::serve_connection(stream, &worker_state);
+        let (pool, sender) = pool::WorkerPool::spawn(config.workers, move |conn: Conn| {
+            handlers::serve_connection(conn.stream, &worker_state);
         });
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_stop = Arc::clone(&stop);
+        let accept_state = Arc::clone(&state);
+        let max_connections = config.max_connections;
         let accept_thread = std::thread::Builder::new()
             .name("serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &sender, &accept_stop))?;
+            .spawn(move || accept_loop(&listener, &sender, &accept_state, max_connections))?;
         Ok(Server {
             addr,
             state,
-            stop,
             accept_thread: Some(accept_thread),
             pool: Some(pool),
         })
@@ -157,9 +195,12 @@ impl Server {
         self.state.cache.stats()
     }
 
-    /// Stops accepting, drains in-flight connections, joins all threads.
+    /// Stops accepting, drains in-flight connections (each keep-alive
+    /// loop answers its request in flight with `Connection: close` and
+    /// exits; idle connections close within one ~100 ms poll slice),
+    /// joins all threads.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.state.stop.store(true, Ordering::SeqCst);
         // Unblock the accept call; the accept loop sees the flag before
         // queueing this nudge connection.
         let _ = TcpStream::connect(self.addr);
@@ -181,22 +222,51 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, sender: &Sender<TcpStream>, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    sender: &Sender<Conn>,
+    state: &AppState,
+    max_connections: usize,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    // The 503 body is constant; render it once and share the Arc.
+    let shed_response = http::Response::json(
+        503,
+        api::to_json(&error::ErrorBody {
+            status: 503,
+            error: format!(
+                "server is at its connection limit ({max_connections}); retry shortly \
+                 or raise serve --max-connections"
+            ),
+        }),
+    );
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if stop.load(Ordering::SeqCst) {
+                if state.stop.load(Ordering::SeqCst) {
                     // The shutdown nudge (or a late client): drop it and
                     // stop accepting.
                     drop(stream);
                     return;
                 }
-                if sender.send(stream).is_err() {
+                // Small request/response exchanges must not sit behind
+                // Nagle's algorithm on a persistent connection.
+                let _ = stream.set_nodelay(true);
+                if max_connections > 0 && active.load(Ordering::SeqCst) >= max_connections {
+                    shed(stream, &shed_response);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let conn = Conn {
+                    stream,
+                    _permit: ConnPermit(Arc::clone(&active)),
+                };
+                if sender.send(conn).is_err() {
                     return; // workers are gone; nothing can be served
                 }
             }
             Err(_) => {
-                if stop.load(Ordering::SeqCst) {
+                if state.stop.load(Ordering::SeqCst) {
                     return;
                 }
                 // Transient accept errors (EMFILE, aborted handshake):
@@ -206,6 +276,14 @@ fn accept_loop(listener: &TcpListener, sender: &Sender<TcpStream>, stop: &Atomic
     }
 }
 
+/// Answers an over-limit connection with the prebuilt JSON 503 and
+/// closes it. Runs on the accept thread, so the write gets a short
+/// timeout — a slow or hostile client must not stall accepting.
+fn shed(stream: TcpStream, response: &http::Response) {
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(1)));
+    let _ = response.write_to(&mut (&stream), true);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,7 +291,12 @@ mod tests {
 
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        // One-shot client: ask for close so read_to_string terminates.
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         out

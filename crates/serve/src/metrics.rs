@@ -1,9 +1,12 @@
-//! Per-endpoint request and latency counters.
+//! Per-endpoint request counters and latency histograms.
 //!
 //! One fixed-size table of atomic counters, indexed by endpoint family
 //! (the same families the router resolves). Counters are monotonic and
-//! lock-free; `GET /v1/cache/stats` serves a snapshot and `serve --log`
-//! prints one line per request from the same measurements.
+//! lock-free; each family also keeps a [`LatencyHistogram`] — a fixed
+//! array of power-of-two microsecond buckets — so `GET /v1/cache/stats`
+//! can serve p50/p90/p99 tail latencies without ever taking a lock or
+//! storing individual samples. `serve --log` prints one line per request
+//! from the same measurements.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -23,11 +26,63 @@ pub const ENDPOINTS: [&str; 11] = [
     "other",
 ];
 
+/// Log₂ bucket count: bucket `i ≥ 1` holds samples in
+/// `[2^(i-1), 2^i)` microseconds, bucket 0 holds `0`. 24 buckets cover
+/// up to ~8.4 s — far past any handler this API runs.
+const BUCKETS: usize = 24;
+
+/// A fixed log-bucket latency histogram over atomic counters.
+///
+/// Recording is one `fetch_add` (no locks, no allocation), so it is safe
+/// on the per-request hot path at any worker count. Quantiles are read
+/// as the inclusive upper bound of the bucket where the cumulative count
+/// crosses the rank — an overestimate by at most 2× (one bucket width),
+/// which is the standard trade for O(1) recording. The same type backs
+/// the server's per-endpoint stats and `loadgen`'s client-side
+/// measurements, so both report quantiles on identical bucket edges.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one sample (microseconds).
+    pub fn record(&self, micros: u64) {
+        let idx = (64 - u64::leading_zeros(micros) as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds: the upper bound
+    /// of the bucket holding the sample of rank `⌈q·count⌉`. Returns 0
+    /// when nothing has been recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if idx == 0 { 0 } else { (1 << idx) - 1 };
+            }
+        }
+        (1 << (BUCKETS - 1)) - 1
+    }
+}
+
 #[derive(Debug, Default)]
 struct Counters {
     requests: AtomicU64,
     cache_hits: AtomicU64,
     total_micros: AtomicU64,
+    latency: LatencyHistogram,
 }
 
 /// The per-endpoint counter table.
@@ -47,6 +102,13 @@ pub struct EndpointStats {
     pub cache_hits: u64,
     /// Total handler wall-clock across those requests, microseconds.
     pub total_micros: u64,
+    /// Median latency, microseconds (log-bucket upper bound; 0 when no
+    /// requests recorded).
+    pub p50_micros: u64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_micros: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_micros: u64,
 }
 
 impl Metrics {
@@ -62,6 +124,7 @@ impl Metrics {
             counters.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
         counters.total_micros.fetch_add(micros, Ordering::Relaxed);
+        counters.latency.record(micros);
     }
 
     /// A snapshot of every family, stats order (families with zero
@@ -75,6 +138,9 @@ impl Metrics {
                 requests: counters.requests.load(Ordering::Relaxed),
                 cache_hits: counters.cache_hits.load(Ordering::Relaxed),
                 total_micros: counters.total_micros.load(Ordering::Relaxed),
+                p50_micros: counters.latency.quantile(0.50),
+                p90_micros: counters.latency.quantile(0.90),
+                p99_micros: counters.latency.quantile(0.99),
             })
             .collect()
     }
@@ -101,5 +167,58 @@ mod tests {
         // Untouched families are present with zero counts.
         let rank = snap.iter().find(|s| s.endpoint == "rank").unwrap();
         assert_eq!(rank.requests, 0);
+        assert_eq!((rank.p50_micros, rank.p99_micros), (0, 0));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_upper_bounds() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram reads 0");
+        h.record(0);
+        assert_eq!(h.quantile(1.0), 0, "zero lands in the zero bucket");
+        // 100 lands in [64, 128) ⇒ upper bound 127.
+        h.record(100);
+        assert_eq!(h.quantile(1.0), 127);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let h = LatencyHistogram::default();
+        // 90 fast samples in [64, 128), 10 slow in [4096, 8192).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(5000);
+        }
+        assert_eq!(h.quantile(0.50), 127);
+        assert_eq!(h.quantile(0.90), 127, "rank 90 is the last fast sample");
+        assert_eq!(h.quantile(0.99), 8191);
+        assert_eq!(h.quantile(1.0), 8191);
+    }
+
+    #[test]
+    fn oversized_samples_clamp_to_the_top_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), (1 << (BUCKETS - 1)) - 1);
+    }
+
+    #[test]
+    fn snapshot_reports_quantiles_per_family() {
+        let metrics = Metrics::default();
+        for _ in 0..99 {
+            metrics.record("rank", false, 10);
+        }
+        metrics.record("rank", false, 1_000_000);
+        let snap = metrics.snapshot();
+        let rank = snap.iter().find(|s| s.endpoint == "rank").unwrap();
+        assert_eq!(rank.p50_micros, 15, "10µs lands in [8,16)");
+        assert_eq!(rank.p90_micros, 15);
+        assert_eq!(
+            rank.p99_micros, 15,
+            "rank 99 of 100 is still the fast bucket"
+        );
     }
 }

@@ -3,11 +3,11 @@
 //! Same philosophy as the workspace's rayon shim executor
 //! (`docs/CONCURRENCY.md`): plain `std::thread` workers pulling work
 //! items off one shared queue, with the worker count fixed up front.
-//! Here the work items are `TcpStream`s and ordering does not matter —
-//! handlers are pure, so which worker answers a request can never change
-//! the bytes on the wire.
+//! The pool is generic over the job type — the server feeds it accepted
+//! connections (stream plus its connection-limit permit) — and ordering
+//! does not matter: handlers are pure, so which worker answers a request
+//! can never change the bytes on the wire.
 
-use std::net::TcpStream;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -23,14 +23,16 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` threads (clamped to ≥ 1) that each loop over the
-    /// queue and run `handle` on every connection. A panic in `handle`
-    /// is caught per connection: the client whose request panicked gets
-    /// a dropped connection, the worker stays alive and keeps serving.
-    pub fn spawn(
+    /// queue and run `handle` on every job. A panic in `handle` is
+    /// caught per job: the client whose request panicked gets a dropped
+    /// connection, the worker stays alive and keeps serving. The job is
+    /// moved into the handler, so its destructors (e.g. a connection
+    /// permit) run even when the handler panics.
+    pub fn spawn<T: Send + 'static>(
         workers: usize,
-        handle: impl Fn(TcpStream) + Send + Sync + 'static,
-    ) -> (WorkerPool, Sender<TcpStream>) {
-        let (sender, receiver) = std::sync::mpsc::channel::<TcpStream>();
+        handle: impl Fn(T) + Send + Sync + 'static,
+    ) -> (WorkerPool, Sender<T>) {
+        let (sender, receiver) = std::sync::mpsc::channel::<T>();
         let receiver = Arc::new(Mutex::new(receiver));
         let handle = Arc::new(handle);
         let handles = (0..workers.max(1))
@@ -67,17 +69,17 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, handle: &(impl Fn(TcpStream) + ?Sized)) {
+fn worker_loop<T>(receiver: &Mutex<Receiver<T>>, handle: &(impl Fn(T) + ?Sized)) {
     loop {
         // Hold the queue lock only for the pop, never during handling.
         let next = receiver.lock().expect("queue lock poisoned").recv();
         match next {
-            Ok(stream) => {
+            Ok(job) => {
                 // A panicking handler must not take the worker down with
                 // it — with --workers 1 that would turn one bad request
                 // into a silent total outage (accepted but never
                 // answered connections).
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(stream)));
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(job)));
             }
             Err(_) => return, // sender dropped ⇒ shutdown
         }
@@ -88,14 +90,14 @@ fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, handle: &(impl Fn(TcpStrea
 mod tests {
     use super::*;
     use std::io::{Read, Write};
-    use std::net::TcpListener;
+    use std::net::{TcpListener, TcpStream};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn workers_handle_jobs_then_join_on_sender_drop() {
         let served = Arc::new(AtomicUsize::new(0));
         let served_in_pool = Arc::clone(&served);
-        let (pool, sender) = WorkerPool::spawn(4, move |mut stream| {
+        let (pool, sender) = WorkerPool::spawn(4, move |mut stream: TcpStream| {
             let mut byte = [0u8; 1];
             let _ = stream.read(&mut byte);
             let _ = stream.write_all(&byte);
@@ -133,7 +135,7 @@ mod tests {
     fn a_panicking_handler_does_not_kill_the_worker() {
         let served = Arc::new(AtomicUsize::new(0));
         let served_in_pool = Arc::clone(&served);
-        let (pool, sender) = WorkerPool::spawn(1, move |mut stream| {
+        let (pool, sender) = WorkerPool::spawn(1, move |mut stream: TcpStream| {
             let mut byte = [0u8; 1];
             let _ = stream.read(&mut byte);
             if byte[0] == b'!' {
@@ -164,7 +166,7 @@ mod tests {
 
     #[test]
     fn zero_workers_clamps_to_one() {
-        let (pool, sender) = WorkerPool::spawn(0, |_| {});
+        let (pool, sender) = WorkerPool::spawn(0, |_: TcpStream| {});
         assert_eq!(pool.len(), 1);
         drop(sender);
         pool.join();

@@ -16,7 +16,11 @@ use thirstyflops::serve::{api::CacheStatsPayload, Server, ServerConfig};
 
 fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("server is listening");
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n").expect("request writes");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request writes");
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("response reads");
     let (head, body) = raw.split_once("\r\n\r\n").expect("well-formed response");

@@ -25,7 +25,11 @@
 //!   multi-objective scheduling, geo load balancing, water capping;
 //! * [`experiments`] — one regenerator per paper figure/table;
 //! * [`serve`] — the std-only HTTP/JSON serving layer with its
-//!   deterministic result cache (`thirstyflops serve`).
+//!   deterministic result cache and keep-alive connections
+//!   (`thirstyflops serve`);
+//! * [`loadgen`] — the deterministic load-test harness that replays
+//!   recorded request mixes against the server and verifies every
+//!   response body (`thirstyflops loadgen`).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +50,7 @@ pub use thirstyflops_catalog as catalog;
 pub use thirstyflops_core as core;
 pub use thirstyflops_experiments as experiments;
 pub use thirstyflops_grid as grid;
+pub use thirstyflops_loadgen as loadgen;
 pub use thirstyflops_scenario as scenario;
 pub use thirstyflops_scheduler as scheduler;
 pub use thirstyflops_serve as serve;

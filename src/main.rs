@@ -12,6 +12,7 @@
 //! thirstyflops experiments [id ...] [--all] [--json]    regenerate paper tables/figures
 //! thirstyflops systems [--json]                         list cataloged systems
 //! thirstyflops serve [--addr HOST:PORT] [--workers N]   HTTP/JSON API (docs/SERVING.md)
+//! thirstyflops loadgen --mix FILE [--requests N]        deterministic load replay + latency table
 //! ```
 //!
 //! Every command accepts a global `--threads N` flag; without it the
@@ -26,6 +27,7 @@
 use thirstyflops::catalog::{SystemId, SystemSpec};
 use thirstyflops::core::sensitivity::{embodied_elasticities, operational_elasticities};
 use thirstyflops::core::{AnnualReport, FootprintModel, LifecycleModel};
+use thirstyflops::loadgen;
 use thirstyflops::serve::api;
 use thirstyflops::serve::{Server, ServerConfig};
 
@@ -77,6 +79,7 @@ fn run(raw_args: &[String]) -> i32 {
         "experiments" => cmd_experiments(args),
         "systems" => cmd_systems(args),
         "serve" => cmd_serve(args),
+        "loadgen" => cmd_loadgen(args),
         "help" | "--help" | "-h" => {
             usage();
             0
@@ -104,7 +107,11 @@ fn usage() {
          thirstyflops experiments [id ...] [--all] [--json]\n  \
          thirstyflops systems [--json]\n  \
          thirstyflops serve [--addr HOST:PORT] [--workers N]\n  \
-         \u{20}                  [--cache-entries N] [--cache-ttl SECS] [--log]\n\n\
+         \u{20}                  [--cache-entries N] [--cache-ttl SECS] [--log]\n  \
+         \u{20}                  [--max-connections N]\n  \
+         thirstyflops loadgen --mix FILE [--requests N | --rate R --duration S]\n  \
+         \u{20}                  [--connections N] [--workers N] [--addr HOST:PORT]\n  \
+         \u{20}                  [--one-shot] [--bench-json] [--json]\n\n\
          Every command also accepts --threads N (worker threads for the\n\
          parallel sweeps; defaults to THIRSTYFLOPS_THREADS, then the CPU\n\
          count) and --no-sim-cache (recompute every simulation instead\n\
@@ -648,15 +655,27 @@ fn cmd_serve(args: &[String]) -> i32 {
             }
         }
     }
+    if let Some(raw) = flag_value(args, "--max-connections") {
+        match raw.parse::<usize>() {
+            // 0 = unlimited, any positive N sheds the (N+1)-th
+            // concurrent connection with a JSON 503.
+            Ok(n) => config.max_connections = n,
+            _ => {
+                eprintln!("--max-connections expects a non-negative integer, got {raw:?}");
+                return 2;
+            }
+        }
+    }
     if args.iter().any(|a| a == "--log") {
         config.log_requests = true;
     }
-    const SERVE_FLAGS: [&str; 5] = [
+    const SERVE_FLAGS: [&str; 6] = [
         "--addr",
         "--workers",
         "--cache-entries",
         "--cache-ttl",
         "--log",
+        "--max-connections",
     ];
     for arg in &args[1..] {
         if arg.starts_with("--") && !SERVE_FLAGS.contains(&arg.as_str()) {
@@ -682,4 +701,156 @@ fn cmd_serve(args: &[String]) -> i32 {
     let _ = std::io::stdout().flush();
     server.wait();
     0
+}
+
+fn cmd_loadgen(args: &[String]) -> i32 {
+    const LOADGEN_FLAGS: [&str; 10] = [
+        "--mix",
+        "--requests",
+        "--duration",
+        "--rate",
+        "--connections",
+        "--workers",
+        "--addr",
+        "--one-shot",
+        "--bench-json",
+        "--json",
+    ];
+    for arg in &args[1..] {
+        if arg.starts_with("--") && !LOADGEN_FLAGS.contains(&arg.as_str()) {
+            eprintln!("unknown loadgen flag {arg:?}");
+            return 2;
+        }
+    }
+    let Some(mix_path) = flag_value(args, "--mix") else {
+        eprintln!("loadgen needs --mix FILE (recorded mixes live in examples/loadmix/)");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(&mix_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {mix_path}: {e}");
+            return 2;
+        }
+    };
+    let mix = match loadgen::MixSpec::from_json(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{mix_path}: {e}");
+            return 2;
+        }
+    };
+
+    let mut config = loadgen::RunConfig::default();
+    if let Some(raw) = flag_value(args, "--connections") {
+        match raw.parse::<usize>() {
+            Ok(n) if n > 0 => config.connections = n,
+            _ => {
+                eprintln!("--connections expects a positive integer, got {raw:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(raw) = flag_value(args, "--workers") {
+        match raw.parse::<usize>() {
+            Ok(n) if n > 0 => config.workers = n,
+            _ => {
+                eprintln!("--workers expects a positive integer, got {raw:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(raw) = flag_value(args, "--rate") {
+        match raw.parse::<f64>() {
+            Ok(r) if r > 0.0 && r.is_finite() => config.rate = r,
+            _ => {
+                eprintln!("--rate expects a positive requests/second, got {raw:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(addr) = flag_value(args, "--addr") {
+        config.addr = Some(addr);
+    }
+    config.keep_alive = !args.iter().any(|a| a == "--one-shot");
+    // The plan length: explicit `--requests N`, or `--rate R --duration S`
+    // converted up front so the replay is a fixed, deterministic count
+    // either way (docs/CONCURRENCY.md).
+    config.requests = match (
+        flag_value(args, "--requests"),
+        flag_value(args, "--duration"),
+    ) {
+        (Some(raw), _) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--requests expects a positive integer, got {raw:?}");
+                return 2;
+            }
+        },
+        (None, Some(raw)) => {
+            if config.rate <= 0.0 {
+                eprintln!("--duration needs --rate R to fix the request count");
+                return 2;
+            }
+            match raw.parse::<f64>() {
+                Ok(s) if s > 0.0 && s.is_finite() => ((config.rate * s).round() as usize).max(1),
+                _ => {
+                    eprintln!("--duration expects a positive number of seconds, got {raw:?}");
+                    return 2;
+                }
+            }
+        }
+        (None, None) => config.requests,
+    };
+
+    if args.iter().any(|a| a == "--bench-json") {
+        // The tracked trajectory: replay the mix one-shot (the recorded
+        // baseline discipline) and keep-alive (current), then write
+        // BENCH_serve.json with the baseline preserved verbatim.
+        let mut failed = false;
+        let mut reports = Vec::new();
+        for keep_alive in [false, true] {
+            let pass = loadgen::RunConfig {
+                keep_alive,
+                ..config.clone()
+            };
+            match loadgen::run(&mix, &pass) {
+                Ok(report) => {
+                    print!("{}", loadgen::human_table(&report));
+                    failed |= report.mismatches > 0 || report.errors > 0;
+                    reports.push(report);
+                }
+                Err(e) => {
+                    eprintln!("loadgen: {e}");
+                    return 1;
+                }
+            }
+        }
+        let path = std::path::Path::new("BENCH_serve.json");
+        match loadgen::write_bench_json(path, &reports[0], &reports[1]) {
+            Ok(_) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                return 1;
+            }
+        }
+        return i32::from(failed);
+    }
+
+    match loadgen::run(&mix, &config) {
+        Ok(report) => {
+            if json_flag(args) {
+                print!("{}", api::to_json(&report));
+            } else {
+                print!("{}", loadgen::human_table(&report));
+            }
+            // Zero mismatches is the contract; a nonzero exit makes CI
+            // and scripts fail loudly on any drift.
+            i32::from(report.mismatches > 0 || report.errors > 0)
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            1
+        }
+    }
 }

@@ -37,11 +37,16 @@ fn http_post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
 
 fn http_request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("server is listening");
+    // One-shot client: `Connection: close` keeps read_to_string finite
+    // now that the server defaults to keep-alive.
     match body {
-        None => write!(stream, "{method} {path} HTTP/1.1\r\nHost: test\r\n\r\n"),
+        None => write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        ),
         Some(b) => write!(
             stream,
-            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{b}",
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{b}",
             b.len()
         ),
     }
@@ -404,4 +409,438 @@ fn cli_serve_reports_ephemeral_port_and_answers() {
     assert!(body.contains("\"status\": \"ok\""));
     child.kill().expect("serve stops on signal");
     let _ = child.wait();
+}
+
+// ---------------------------------------------------------------------
+// Keep-alive, pipelining, adversarial input, shedding, shutdown.
+// ---------------------------------------------------------------------
+
+/// A persistent-connection client: sends requests down one socket and
+/// reads `Content-Length`-framed responses, without closing in between.
+struct KeepAlive {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl KeepAlive {
+    fn connect(addr: SocketAddr) -> KeepAlive {
+        let stream = TcpStream::connect(addr).expect("server is listening");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+            .expect("read timeout sets");
+        KeepAlive {
+            stream,
+            carry: Vec::new(),
+        }
+    }
+
+    /// One request/response exchange; the connection stays open.
+    fn get(&mut self, path: &str) -> (u16, String) {
+        write!(
+            self.stream,
+            "GET {path} HTTP/1.1\r\nHost: keepalive\r\n\r\n"
+        )
+        .expect("request writes");
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> (u16, String) {
+        let (status, body, connection) = read_framed(&mut self.stream, &mut self.carry);
+        assert_eq!(
+            connection.as_deref(),
+            Some("keep-alive"),
+            "a keep-alive exchange advertises keep-alive"
+        );
+        (status, body)
+    }
+}
+
+/// Reads exactly one framed response off `stream`, using `carry` to
+/// hold bytes of any pipelined responses that arrived in the same read;
+/// returns (status, body, Connection header value).
+fn read_framed(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, Option<String>) {
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("response head reads");
+        assert!(n > 0, "connection closed before a full response head");
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(carry[..head_end].to_vec()).expect("UTF-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line has a code");
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.parse().ok())
+        .expect("Content-Length header present");
+    let connection = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Connection: "))
+        .map(str::to_string);
+    let body_start = head_end + 4;
+    while carry.len() < body_start + length {
+        let n = stream.read(&mut chunk).expect("response body reads");
+        assert!(n > 0, "connection closed mid-body");
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    let body =
+        String::from_utf8(carry[body_start..body_start + length].to_vec()).expect("UTF-8 body");
+    carry.drain(..body_start + length);
+    (status, body, connection)
+}
+
+/// True once the peer has closed: a read yields EOF — or a reset, for
+/// connections the server abandoned with unread request bytes — within
+/// the timeout, instead of blocking or yielding data.
+fn peer_closed(stream: &mut TcpStream) -> bool {
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .expect("read timeout sets");
+    let mut byte = [0u8; 1];
+    match stream.read(&mut byte) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) => !matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+    }
+}
+
+/// Satellite: N requests down one persistent connection produce the
+/// same bytes as N one-shot connections — at 1 worker and at 8.
+#[test]
+fn keep_alive_bodies_match_one_shot_bodies_across_worker_counts() {
+    let paths = [
+        "/healthz",
+        "/v1/footprint/polaris?seed=5",
+        "/v1/systems",
+        "/v1/footprint/polaris?seed=5", // repeat: served from cache
+        "/v1/rank?seed=5",
+        "/healthz",
+    ];
+    let mut per_worker_count: Vec<Vec<String>> = Vec::new();
+    for workers in [1usize, 8] {
+        let server = start(workers);
+        let addr = server.local_addr();
+        let mut conn = KeepAlive::connect(addr);
+        let persistent: Vec<String> = paths
+            .iter()
+            .map(|path| {
+                let (status, body) = conn.get(path);
+                assert_eq!(status, 200, "{path} ({workers} workers)");
+                body
+            })
+            .collect();
+        let one_shot: Vec<String> = paths
+            .iter()
+            .map(|path| {
+                let (status, body) = http_get(addr, path);
+                assert_eq!(status, 200, "{path} one-shot ({workers} workers)");
+                body
+            })
+            .collect();
+        assert_eq!(
+            persistent, one_shot,
+            "persistent and one-shot connections must serve identical bytes ({workers} workers)"
+        );
+        server.shutdown();
+        per_worker_count.push(persistent);
+    }
+    assert_eq!(
+        per_worker_count[0], per_worker_count[1],
+        "keep-alive bodies must not depend on the worker count"
+    );
+}
+
+/// Pipelined requests — several written before any response is read —
+/// are answered in order on one connection.
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let (_, healthz) = http_get(addr, "/healthz");
+    let (_, systems) = http_get(addr, "/v1/systems");
+
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .expect("read timeout sets");
+    // Three requests in one write; the last one asks to close.
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nHost: p\r\n\r\n\
+         GET /v1/systems HTTP/1.1\r\nHost: p\r\n\r\n\
+         GET /healthz HTTP/1.1\r\nHost: p\r\nConnection: close\r\n\r\n"
+    )
+    .expect("pipelined burst writes");
+    let expectations = [
+        (&healthz, "keep-alive"),
+        (&systems, "keep-alive"),
+        (&healthz, "close"),
+    ];
+    let mut carry = Vec::new();
+    for (i, (expected_body, expected_connection)) in expectations.iter().enumerate() {
+        let (status, body, connection) = read_framed(&mut stream, &mut carry);
+        assert_eq!(status, 200, "pipelined response #{i}");
+        assert_eq!(&&body, expected_body, "pipelined response #{i} bytes");
+        assert_eq!(connection.as_deref(), Some(*expected_connection), "#{i}");
+    }
+    assert!(carry.is_empty(), "no bytes beyond the three responses");
+    assert!(peer_closed(&mut stream), "close honored after the burst");
+    server.shutdown();
+}
+
+/// Satellite: adversarial requests get the right 4xx and a closed
+/// connection — never a panic, never a hang.
+#[test]
+fn adversarial_requests_get_4xx_and_close() {
+    let server = start(1);
+    let addr = server.local_addr();
+
+    // (raw bytes to send, expected status, label)
+    let cases: Vec<(Vec<u8>, u16, &str)> = vec![
+        (b"BLARGH\r\n\r\n".to_vec(), 400, "garbage request line"),
+        (
+            b"GET /healthz HTTP/4.0\r\n\r\n".to_vec(),
+            400,
+            "unsupported version",
+        ),
+        (
+            b"POST /v1/scenarios/run HTTP/1.1\r\nContent-Length: banana\r\n\r\n".to_vec(),
+            400,
+            "garbage Content-Length",
+        ),
+        (
+            b"POST /v1/scenarios/run HTTP/1.1\r\nContent-Length: 300000\r\n\r\n".to_vec(),
+            413,
+            "declared body over 256 KiB",
+        ),
+        (
+            {
+                // An actual body over the limit, declared honestly.
+                let body = vec![b'x'; 300_000];
+                let mut raw = format!(
+                    "POST /v1/scenarios/run HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                )
+                .into_bytes();
+                raw.extend_from_slice(&body);
+                raw
+            },
+            413,
+            "oversized body bytes",
+        ),
+        (
+            {
+                let mut raw = b"GET /".to_vec();
+                raw.extend(std::iter::repeat(b'a').take(9000));
+                raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+                raw
+            },
+            431,
+            "head over 8 KiB",
+        ),
+    ];
+    for (raw, expected_status, label) in cases {
+        let mut stream = TcpStream::connect(addr).expect("server is listening");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+            .expect("read timeout sets");
+        stream.write_all(&raw).expect("adversarial bytes write");
+        let (status, body, connection) = read_framed(&mut stream, &mut Vec::new());
+        assert_eq!(status, expected_status, "{label}");
+        assert!(
+            body.contains(&format!("\"status\": {expected_status}")),
+            "{label}: {body}"
+        );
+        assert_eq!(connection.as_deref(), Some("close"), "{label}");
+        assert!(peer_closed(&mut stream), "{label}: connection must close");
+    }
+
+    // A truncated head (client gives up mid-request) earns a 400.
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .expect("read timeout sets");
+    stream
+        .write_all(b"GET /healthz HTT")
+        .expect("partial head writes");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let (status, _, _) = read_framed(&mut stream, &mut Vec::new());
+    assert_eq!(status, 400, "truncated head");
+
+    // Pipelined garbage after a valid request: the first answer is
+    // normal, the garbage earns a 400, then the connection closes.
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .expect("read timeout sets");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: p\r\n\r\nNONSENSE\r\n\r\n")
+        .expect("valid-then-garbage writes");
+    let mut carry = Vec::new();
+    let (status, _, connection) = read_framed(&mut stream, &mut carry);
+    assert_eq!(status, 200, "the valid request is answered first");
+    assert_eq!(connection.as_deref(), Some("keep-alive"));
+    let (status, _, connection) = read_framed(&mut stream, &mut carry);
+    assert_eq!(status, 400, "the pipelined garbage earns a 400");
+    assert_eq!(connection.as_deref(), Some("close"));
+    assert!(peer_closed(&mut stream), "parse failure closes");
+
+    // The server is still healthy after all of it.
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "server survives adversarial clients");
+    server.shutdown();
+}
+
+/// A request whose declared body never arrives earns a 408 once the
+/// read timeout expires — the slowloris guard.
+#[test]
+fn stalled_body_gets_408_after_the_read_timeout() {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        limits: thirstyflops::serve::Limits {
+            idle_timeout: std::time::Duration::from_millis(400),
+            read_timeout: std::time::Duration::from_millis(400),
+        },
+        ..ServerConfig::default()
+    })
+    .expect("binding port 0 always succeeds");
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .expect("read timeout sets");
+    stream
+        .write_all(b"POST /v1/scenarios/run HTTP/1.1\r\nContent-Length: 50\r\n\r\n")
+        .expect("head writes");
+    // ... and never send the 50 body bytes.
+    let (status, body, connection) = read_framed(&mut stream, &mut Vec::new());
+    assert_eq!(status, 408, "{body}");
+    assert_eq!(connection.as_deref(), Some("close"));
+    assert!(peer_closed(&mut stream));
+    server.shutdown();
+}
+
+/// An idle keep-alive connection closes once the idle timeout passes,
+/// freeing its worker for the next connection.
+#[test]
+fn idle_keep_alive_connections_time_out() {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        limits: thirstyflops::serve::Limits {
+            idle_timeout: std::time::Duration::from_millis(300),
+            read_timeout: std::time::Duration::from_secs(10),
+        },
+        ..ServerConfig::default()
+    })
+    .expect("binding port 0 always succeeds");
+    let addr = server.local_addr();
+    let mut conn = KeepAlive::connect(addr);
+    let (status, _) = conn.get("/healthz");
+    assert_eq!(status, 200);
+    // Sit idle past the limit: the server closes without a response.
+    assert!(
+        peer_closed(&mut conn.stream),
+        "idle connection closes quietly"
+    );
+    // The freed worker serves the next client.
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+/// Satellite: over-limit connections are shed with a well-formed JSON
+/// 503 while an existing keep-alive connection keeps its slot; closing
+/// it frees the slot for the next client.
+#[test]
+fn over_limit_connections_get_json_503() {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        max_connections: 1,
+        ..ServerConfig::default()
+    })
+    .expect("binding port 0 always succeeds");
+    let addr = server.local_addr();
+
+    // The one allowed connection, held open.
+    let mut holder = KeepAlive::connect(addr);
+    let (status, _) = holder.get("/healthz");
+    assert_eq!(status, 200);
+
+    // The second concurrent connection is shed with a JSON 503.
+    let mut over = TcpStream::connect(addr).expect("connect still accepted");
+    over.set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .expect("read timeout sets");
+    over.write_all(b"GET /healthz HTTP/1.1\r\nHost: s\r\n\r\n")
+        .expect("request writes");
+    let (status, body, connection) = read_framed(&mut over, &mut Vec::new());
+    assert_eq!(status, 503);
+    assert!(body.contains("\"status\": 503"), "{body}");
+    assert!(body.contains("connection limit"), "{body}");
+    assert_eq!(connection.as_deref(), Some("close"));
+    assert!(peer_closed(&mut over), "shed connection closes");
+
+    // Releasing the held connection frees the slot (within the worker's
+    // ~100 ms poll slice); the next client is served normally.
+    drop(holder);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let mut probe = TcpStream::connect(addr).expect("connect");
+        probe
+            .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+            .expect("read timeout sets");
+        probe
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: s\r\nConnection: close\r\n\r\n")
+            .expect("request writes");
+        let (status, _, _) = read_framed(&mut probe, &mut Vec::new());
+        if status == 200 {
+            break;
+        }
+        assert_eq!(status, 503);
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never freed after the holder closed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.shutdown();
+}
+
+/// Satellite: shutdown drains keep-alive connections — the request in
+/// flight is answered (with `Connection: close`), idle connections are
+/// closed, and shutdown returns promptly instead of waiting out the
+/// idle timeout.
+#[test]
+fn shutdown_drains_keep_alive_connections_promptly() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let mut conn = KeepAlive::connect(addr);
+    let (status, _) = conn.get("/v1/systems");
+    assert_eq!(status, 200);
+
+    // The connection now sits idle (default idle timeout: 5 s).
+    let started = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(3),
+        "shutdown must not wait out the idle timeout, took {:?}",
+        started.elapsed()
+    );
+    assert!(
+        peer_closed(&mut conn.stream),
+        "the idle keep-alive connection was closed by shutdown"
+    );
 }
