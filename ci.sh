@@ -12,8 +12,13 @@
 #                          # body byte-verified, zero mismatches required
 #   ./ci.sh scenario-smoke # run every spec in examples/scenarios/ through
 #                          # the scenario engine (run or sweep by name)
+#   ./ci.sh batch-smoke    # the 101,250-cell streaming top-N sweep through
+#                          # the batched K-lane kernel at
+#                          # THIRSTYFLOPS_THREADS=1 and 8; the two JSON
+#                          # reports must be byte-identical
 #   ./ci.sh bench-json     # quick cold-vs-warm SystemYear::simulate,
-#                          # grid-kernel, and scenario-sweep measurement
+#                          # grid-kernel, and scalar-vs-batched
+#                          # scenario-sweep measurement
 #                          # -> BENCH_simulate.json, plus a one-shot-vs-
 #                          # keep-alive loadgen run -> BENCH_serve.json
 #                          # (docs/PERFORMANCE.md, docs/SERVING.md;
@@ -101,6 +106,34 @@ if [[ "$mode" == "scenario-smoke" ]]; then
   exit 0
 fi
 
+batch_smoke() {
+  # The tentpole determinism gate: the shipped 101,250-cell streaming
+  # top-N sweep runs through the batched K-lane kernel at one worker
+  # thread and at eight, and the two reports must match byte for byte
+  # (docs/CONCURRENCY.md; the scalar-vs-batched bit-identity itself is
+  # tests/batch.rs' job — the scalar oracle at this cell count is far
+  # too slow for a smoke target).
+  step "batch smoke (101,250-cell top-N sweep at THIRSTYFLOPS_THREADS=1 vs 8)"
+  cargo build --release -q
+  local bin=target/release/thirstyflops
+  local spec=examples/scenarios/sweep_siting_large.json
+  mkdir -p target
+  THIRSTYFLOPS_THREADS=1 "$bin" scenario sweep "$spec" --json > target/batch_smoke_t1.json
+  THIRSTYFLOPS_THREADS=8 "$bin" scenario sweep "$spec" --json > target/batch_smoke_t8.json
+  if ! cmp -s target/batch_smoke_t1.json target/batch_smoke_t8.json; then
+    echo "batch smoke: 1-thread and 8-thread sweep reports differ" >&2
+    exit 1
+  fi
+  grep -q '"scenario_count": 101250' target/batch_smoke_t1.json
+  grep -q '"top_n": 24' target/batch_smoke_t1.json
+  printf '  ok 101250 cells -> 24 rows, byte-identical at 1 and 8 threads\n'
+}
+
+if [[ "$mode" == "batch-smoke" ]]; then
+  batch_smoke
+  exit 0
+fi
+
 if [[ "$mode" == "bench-json" ]]; then
   # The tracked bench trajectory: medians of the serial instruction path
   # (1-CPU container — compare medians across PRs, not parallel
@@ -140,6 +173,7 @@ if [[ "$mode" != "quick" ]]; then
   serve_smoke
   load_smoke
   scenario_smoke
+  batch_smoke
 fi
 
 step "cargo doc --workspace --no-deps (warnings are errors)"

@@ -10,9 +10,12 @@
 //!   `SystemYear::simulate` (an `Arc` clone);
 //! * `grid_year_ns` — median of the `GridRegion::simulate_year` kernel;
 //! * `scenario_sweep_ns` — median of the 25-scenario siting sweep
-//!   through the declarative engine (first iteration is cold, the rest
-//!   ride the memo substrate — the median tracks the steady-state sweep
-//!   path a `POST /v1/scenarios/sweep` burst pays);
+//!   through the declarative engine with the batch kernel disabled (the
+//!   scalar reference path, per-row simulation and fused scalar
+//!   kernels);
+//! * `batched_sweep_ns` — the same sweep through the `core::batch`
+//!   K-lane kernel (the default path a `POST /v1/scenarios/sweep` burst
+//!   pays), plus `scalar_over_batched`, the tracked speedup ratio;
 //! * hit ratios after a paper-shaped warmup (four systems + repeats).
 //!
 //! This container has **one CPU**: compare medians of the serial
@@ -87,7 +90,17 @@ fn main() {
     .expect("the shipped siting sweep exists");
     let sweep =
         thirstyflops_scenario::SweepSpec::from_json(&sweep_text).expect("shipped sweep parses");
+    // Scalar reference first (batch kernel off), then the default
+    // batched K-lane path over the identical spec — the ratio is the
+    // tracked win of aggregate dedup + lane fusion.
+    thirstyflops_core::batch::set_enabled(false);
     let sweep_ns = median_ns(5, || {
+        std::hint::black_box(
+            thirstyflops_scenario::evaluate_sweep(&sweep).expect("shipped sweep evaluates"),
+        );
+    });
+    thirstyflops_core::batch::set_enabled(true);
+    let batched_sweep_ns = median_ns(5, || {
         std::hint::black_box(
             thirstyflops_scenario::evaluate_sweep(&sweep).expect("shipped sweep evaluates"),
         );
@@ -118,8 +131,11 @@ fn main() {
     let current = format!(
         "{{\"cold_simulate_ns\": {cold_ns}, \"warm_simulate_ns\": {warm_ns}, \
          \"grid_year_ns\": {grid_ns}, \"scenario_sweep_ns\": {sweep_ns}, \
+         \"batched_sweep_ns\": {batched_sweep_ns}, \
+         \"scalar_over_batched\": {:.2}, \
          \"warmup_year_hit_ratio\": {:.4}, \
          \"warmup_grid_hit_ratio\": {:.4}, \"cold_over_warm\": {:.1}}}",
+        sweep_ns as f64 / batched_sweep_ns.max(1) as f64,
         ratio(year_hits, year_misses),
         ratio(grid_hits, grid_misses),
         cold_ns as f64 / warm_ns.max(1) as f64,

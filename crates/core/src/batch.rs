@@ -1,0 +1,657 @@
+//! Batched K-lane evaluation: score K system configurations in one pass
+//! over the hour axis instead of K scalar walks.
+//!
+//! The scalar scenario path simulates a [`SystemYear`] per configuration
+//! and reduces it with the fused `timeseries` kernels. A sweep of 10⁵
+//! cells repeats those reductions cell by cell. This module recasts the
+//! loop as matrix-shaped batch computation: K lanes of hourly series are
+//! packed into hour-major [`LaneBuffer`]s and every annual reduction the
+//! scenario engine needs (`Σe`, `Σe·w`, `Σe·f`, `Σe·c`, means, monthly
+//! sums) runs once per batch via the K-lane kernels
+//! ([`thirstyflops_timeseries::lanes`]).
+//!
+//! **Bit-identity contract.** The batch path is *invisible*: per lane it
+//! performs the exact operation sequence of the scalar reference —
+//! the per-lane ChaCha12 workload stream comes from the same
+//! `workload_series` helper the scalar path uses (identical seeding:
+//! `seed ^ id·φ64`), packed scales materialize `v·k` exactly like
+//! [`HourlySeries::scale`], and every reduction folds hours in ascending
+//! order like the scalar kernels. `tests/batch.rs` proves the batched
+//! results bit-identical to the [`SystemYear::simulate_uncached`] oracle
+//! on proptest-random spec batches, across thread counts, cached or not.
+//!
+//! The scalar path stays available as the reference oracle: disable
+//! batching with `--no-batch` or `THIRSTYFLOPS_NO_BATCH=1` (mirrors the
+//! `--no-sim-cache` escape hatch).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use thirstyflops_catalog::SystemSpec;
+use thirstyflops_grid::{GridRegion, GridYear, RegionId};
+use thirstyflops_timeseries::lanes::{self, LaneBuffer};
+use thirstyflops_timeseries::{DistributionSummary, HourlySeries, MONTHS_PER_YEAR};
+use thirstyflops_units::Liters;
+use thirstyflops_weather::ClimatePreset;
+
+use crate::operational::OperationalBreakdown;
+use crate::simcache::{self, MemoCache};
+use crate::simulate::SystemYear;
+
+/// Lanes evaluated per kernel pass. Bounds the packed working set
+/// (5 buffers × 32 lanes × 8760 h ≈ 11 MB) — lanes are independent, so
+/// splitting a batch across passes cannot change any lane's bits.
+const LANES_PER_PASS: usize = 32;
+
+// ------------------------------------------------------------- enabling
+
+fn disabled_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let raw = std::env::var("THIRSTYFLOPS_NO_BATCH").unwrap_or_default();
+        AtomicBool::new(matches!(raw.as_str(), "1" | "true" | "yes"))
+    })
+}
+
+/// Whether the batched kernel is enabled (default yes; `--no-batch` /
+/// `THIRSTYFLOPS_NO_BATCH=1` routes sweeps through the scalar oracle).
+pub fn enabled() -> bool {
+    !disabled_flag().load(Ordering::Relaxed)
+}
+
+/// Enables or disables the batch path process-wide (the CLI's
+/// `--no-batch` hook; overrides the environment variable).
+pub fn set_enabled(on: bool) {
+    disabled_flag().store(!on, Ordering::Relaxed);
+}
+
+// ------------------------------------------------------------- counters
+
+static LANES_AGGREGATED: AtomicU64 = AtomicU64::new(0);
+static KERNEL_PASSES: AtomicU64 = AtomicU64::new(0);
+static TOPN_PUSHES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide batch counters, served in the `batch` section of
+/// `GET /v1/cache/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BatchStats {
+    /// False when `--no-batch` / `THIRSTYFLOPS_NO_BATCH` routed sweeps
+    /// through the scalar reference path.
+    pub enabled: bool,
+    /// Lanes aggregated by the K-lane kernel since process start.
+    pub lanes: u64,
+    /// Kernel passes (lane chunks) executed.
+    pub chunks: u64,
+    /// Rows offered to streaming top-N aggregators.
+    pub topn_rows: u64,
+}
+
+/// Current counters.
+pub fn stats() -> BatchStats {
+    BatchStats {
+        enabled: enabled(),
+        lanes: LANES_AGGREGATED.load(Ordering::Relaxed),
+        chunks: KERNEL_PASSES.load(Ordering::Relaxed),
+        topn_rows: TOPN_PUSHES.load(Ordering::Relaxed),
+    }
+}
+
+// ------------------------------------------------------------ the kernel
+
+/// One lane of a batch: a system configuration plus the series
+/// reinterpretation scales the scenario engine applies post-simulation.
+/// `None` means "use the raw series" — identity is decided by the
+/// *presence* of a scale, mirroring the scalar override branches.
+#[derive(Debug, Clone)]
+pub struct LaneRequest {
+    /// The (already transformed) system specification.
+    pub spec: SystemSpec,
+    /// Telemetry seed.
+    pub seed: u64,
+    /// WUE multiplier (`climate.wue_scale` override).
+    pub wue_scale: Option<f64>,
+    /// EWF multiplier (grid `mix` / `mix_delta` factor).
+    pub ewf_scale: Option<f64>,
+    /// Carbon-intensity multiplier (grid `mix` / `mix_delta` factor).
+    pub carbon_scale: Option<f64>,
+}
+
+/// Every annual reduction the scenario engine derives from one lane's
+/// hourly series, computed by the K-lane kernels. The remaining metric
+/// arithmetic (PUE application, scarcity weights, pricing, lifecycle)
+/// is cheap scalar post-processing on these.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneAggregates {
+    /// `Σ energy` — annual IT energy, kWh.
+    pub energy_kwh: f64,
+    /// `Σ energy·wue'` — annual direct water, liters.
+    pub direct_l: f64,
+    /// `Σ energy·ewf'` — annual indirect water *before* the PUE factor
+    /// (the scalar path multiplies the dot by `pue` afterwards).
+    pub indirect_per_pue_l: f64,
+    /// `Σ energy·carbon'` — annual operational carbon, grams.
+    pub carbon_g: f64,
+    /// Annual mean of the (scaled) WUE series, L/kWh.
+    pub mean_wue: f64,
+    /// Annual mean of the (scaled) EWF series, L/kWh.
+    pub mean_ewf: f64,
+    /// Annual mean of the (scaled) carbon series, gCO₂/kWh.
+    pub mean_carbon: f64,
+    /// Monthly `Σ energy·wue'` (January first), liters.
+    pub monthly_direct_l: [f64; MONTHS_PER_YEAR],
+}
+
+/// The memo key for one lane's seed-dependent workload simulation: the
+/// spec fields the jobs → utilization → energy path actually reads
+/// (identity, node count, target utilization, per-node hardware) plus
+/// the seed. Region/climate/PUE/WSI lanes share one energy series.
+pub fn energy_key(spec: &SystemSpec, seed: u64) -> String {
+    format!(
+        "{}|{}|{:016x}|{}|{seed}",
+        spec.id.slug(),
+        spec.nodes,
+        spec.mean_utilization.to_bits(),
+        serde_json::to_string(&spec.node).expect("node configs serialize"),
+    )
+}
+
+/// The process-wide workload-series cache behind [`BatchContext`]: keyed
+/// by [`energy_key`], so repeated sweeps (the server's
+/// `POST /v1/scenarios/sweep` burst shape) stop repaying the ChaCha12
+/// workload simulation once it is warm. LRU-bounded like the simcache
+/// layers; an evicted entry recomputes to identical bytes.
+fn global_energy() -> &'static MemoCache<String, (HourlySeries, HourlySeries)> {
+    static CACHE: OnceLock<MemoCache<String, (HourlySeries, HourlySeries)>> = OnceLock::new();
+    CACHE.get_or_init(|| MemoCache::new(8, 256))
+}
+
+/// Shared sub-simulation resolution for a batch evaluation: single-flight
+/// caches for the seed-dependent workload series plus the seed-independent
+/// grid / climate layers. When the process-wide [`crate::simcache`] is
+/// enabled all three layers are global (so sweeps keep warming the
+/// server's caches across requests); when it is disabled the context
+/// falls back to its own local layers — the sub-simulators are
+/// deterministic, so the values are byte-identical either way.
+#[derive(Debug)]
+pub struct BatchContext {
+    energy: MemoCache<String, (HourlySeries, HourlySeries)>,
+    wue_local: MemoCache<ClimatePreset, HourlySeries>,
+    grid_local: MemoCache<RegionId, GridYear>,
+}
+
+impl Default for BatchContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchContext {
+    /// A fresh context. The energy layer is LRU-bounded (a huge `nodes`
+    /// axis would otherwise pin one year-long series pair per value);
+    /// an evicted entry recomputes to identical bytes.
+    pub fn new() -> Self {
+        BatchContext {
+            energy: MemoCache::new(8, 256),
+            wue_local: MemoCache::new(4, 0),
+            grid_local: MemoCache::new(4, 0),
+        }
+    }
+
+    /// The (utilization, energy) pair for one lane, memoized by
+    /// [`energy_key`] (globally when the simcache is enabled, per
+    /// context otherwise). Single source of truth: the same
+    /// `workload_series` helper the scalar path calls.
+    pub fn energy_of(&self, spec: &SystemSpec, seed: u64) -> Arc<(HourlySeries, HourlySeries)> {
+        let cache = if simcache::enabled() {
+            global_energy()
+        } else {
+            &self.energy
+        };
+        cache.get_or_compute(energy_key(spec, seed), || {
+            crate::simulate::workload_series(spec, seed)
+        })
+    }
+
+    /// The climate → WUE series (global simcache layer when enabled).
+    pub fn wue_of(&self, climate: ClimatePreset) -> Arc<HourlySeries> {
+        if simcache::enabled() {
+            simcache::wue_series(climate)
+        } else {
+            self.wue_local.get_or_compute(climate, || {
+                let generated = climate.generate();
+                climate.wue_model().hourly_series(&generated)
+            })
+        }
+    }
+
+    /// The region's grid year (global simcache layer when enabled).
+    pub fn grid_of(&self, region: RegionId) -> Arc<GridYear> {
+        if simcache::enabled() {
+            simcache::grid_year(region)
+        } else {
+            self.grid_local
+                .get_or_compute(region, || GridRegion::preset(region).simulate_year())
+        }
+    }
+
+    /// Annual means of the region's *unscaled* EWF and carbon series —
+    /// what the scalar path reads as `year.ewf.mean()` /
+    /// `year.carbon.mean()` when pinning a grid-mix override.
+    pub fn region_means(&self, region: RegionId) -> (f64, f64) {
+        let grid = self.grid_of(region);
+        (grid.ewf().mean(), grid.carbon().mean())
+    }
+
+    /// Evaluates a batch of lanes: packs the (scaled) hourly series into
+    /// hour-major lane buffers and runs every annual reduction once per
+    /// `LANES_PER_PASS`-lane pass. Per lane the result is bit-identical
+    /// to the scalar expressions over [`SystemYear::simulate_uncached`]
+    /// telemetry (`tests/batch.rs`).
+    pub fn aggregate(&self, requests: &[LaneRequest]) -> Vec<LaneAggregates> {
+        let mut out = Vec::with_capacity(requests.len());
+        for block in requests.chunks(LANES_PER_PASS) {
+            self.aggregate_block(block, &mut out);
+        }
+        out
+    }
+
+    fn aggregate_block(&self, block: &[LaneRequest], out: &mut Vec<LaneAggregates>) {
+        if block.is_empty() {
+            return;
+        }
+        let k = block.len();
+        // Resolve shared sub-simulations. Lanes overwhelmingly alias a
+        // handful of unique series (energy per workload key, WUE per
+        // climate, EWF/carbon per region), so the zero-copy fused kernel
+        // reads the shared slices in place — the working set stays at
+        // the unique-series size instead of K copies of it.
+        let resolved: Vec<_> = block
+            .iter()
+            .map(|req| {
+                (
+                    self.energy_of(&req.spec, req.seed),
+                    self.wue_of(req.spec.climate),
+                    self.grid_of(req.spec.region),
+                )
+            })
+            .collect();
+        let sources: Vec<lanes::LaneSource<'_>> = resolved
+            .iter()
+            .zip(block)
+            .map(|((energy, wue, grid), req)| lanes::LaneSource {
+                energy: energy.1.values(),
+                wue: wue.values(),
+                ewf: grid.ewf().values(),
+                carbon: grid.carbon().values(),
+                wue_scale: req.wue_scale,
+                ewf_scale: req.ewf_scale,
+                carbon_scale: req.carbon_scale,
+            })
+            .collect();
+        // Every annual reduction in one fused pass over the hour axis —
+        // bit-identical to pack-then-reduce with the single-purpose
+        // K-lane kernels (see `annual_reductions_scaled`).
+        let red = lanes::annual_reductions_scaled(&sources);
+        LANES_AGGREGATED.fetch_add(k as u64, Ordering::Relaxed);
+        KERNEL_PASSES.fetch_add(1, Ordering::Relaxed);
+        for l in 0..k {
+            let mut monthly_direct_l = [0.0; MONTHS_PER_YEAR];
+            monthly_direct_l.copy_from_slice(
+                &red.monthly_direct[l * MONTHS_PER_YEAR..(l + 1) * MONTHS_PER_YEAR],
+            );
+            out.push(LaneAggregates {
+                energy_kwh: red.energy_total[l],
+                direct_l: red.direct[l],
+                indirect_per_pue_l: red.indirect[l],
+                carbon_g: red.carbon[l],
+                mean_wue: red.wue_mean[l],
+                mean_ewf: red.ewf_mean[l],
+                mean_carbon: red.carbon_mean[l],
+                monthly_direct_l,
+            });
+        }
+    }
+
+    /// Simulates K `(spec, seed)` pairs sharing sub-simulations within
+    /// the batch. Per lane the returned year is bit-identical to
+    /// [`SystemYear::simulate_uncached`] — the differential suite's
+    /// direct comparison target.
+    pub fn simulate_batch(&self, requests: &[(SystemSpec, u64)]) -> Vec<SystemYear> {
+        requests
+            .iter()
+            .map(|(spec, seed)| {
+                let workload = self.energy_of(spec, *seed);
+                let wue = self.wue_of(spec.climate);
+                let grid = self.grid_of(spec.region);
+                SystemYear {
+                    spec: spec.clone(),
+                    utilization: workload.0.clone(),
+                    energy: workload.1.clone(),
+                    wue: (*wue).clone(),
+                    ewf: grid.ewf().clone(),
+                    carbon: grid.carbon().clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+// ------------------------------------------------- experiment lane stats
+
+/// Per-lane derived statistics over a batch of simulated years — the
+/// fig06/07/08 inputs in one batched call instead of three per-system
+/// loops. Lane order matches the input order.
+#[derive(Debug, Clone)]
+pub struct YearLaneStats {
+    /// Eq. 6/7 operational breakdown per lane (fig07).
+    pub operational: Vec<OperationalBreakdown>,
+    /// Annual mean `WI = WUE + PUE·EWF` per lane (fig08).
+    pub wi_mean: Vec<f64>,
+    /// Annual mean WUE per lane.
+    pub wue_mean: Vec<f64>,
+    /// Annual mean EWF per lane.
+    pub ewf_mean: Vec<f64>,
+    /// WUE distribution summary per lane (fig06 box plots).
+    pub wue_summary: Vec<DistributionSummary>,
+    /// EWF distribution summary per lane (fig06 box plots).
+    pub ewf_summary: Vec<DistributionSummary>,
+}
+
+/// Computes [`YearLaneStats`] for a batch of years in one K-lane pass
+/// per reduction. Bit-identical to the scalar per-year expressions
+/// (`year.operational()`, `year.water_intensity().mean()`,
+/// `year.wue.mean()`, …) — the experiments' golden values pin this.
+pub fn year_lane_stats(years: &[Arc<SystemYear>]) -> YearLaneStats {
+    let k = years.len();
+    assert!(k > 0, "a lane batch needs at least one year");
+    let mut e = LaneBuffer::new(k);
+    let mut w = LaneBuffer::new(k);
+    let mut f = LaneBuffer::new(k);
+    let pue: Vec<f64> = years.iter().map(|y| y.spec.pue.value()).collect();
+    let energy_src: Vec<(&[f64], Option<f64>)> =
+        years.iter().map(|y| (y.energy.values(), None)).collect();
+    let wue_src: Vec<(&[f64], Option<f64>)> =
+        years.iter().map(|y| (y.wue.values(), None)).collect();
+    let ewf_src: Vec<(&[f64], Option<f64>)> =
+        years.iter().map(|y| (y.ewf.values(), None)).collect();
+    e.pack_scaled(&energy_src);
+    w.pack_scaled(&wue_src);
+    f.pack_scaled(&ewf_src);
+    let mut direct = vec![0.0; k];
+    let mut indirect = vec![0.0; k];
+    let mut wue_mean = vec![0.0; k];
+    let mut ewf_mean = vec![0.0; k];
+    let mut wi = LaneBuffer::new(k);
+    let mut wi_mean = vec![0.0; k];
+    lanes::dot_k(&e, &w, &mut direct);
+    lanes::dot_k(&e, &f, &mut indirect);
+    lanes::mean_k(&w, &mut wue_mean);
+    lanes::mean_k(&f, &mut ewf_mean);
+    lanes::add_scaled_k(&w, &f, &pue, &mut wi);
+    lanes::mean_k(&wi, &mut wi_mean);
+    LANES_AGGREGATED.fetch_add(k as u64, Ordering::Relaxed);
+    KERNEL_PASSES.fetch_add(1, Ordering::Relaxed);
+    let operational = (0..k)
+        .map(|l| OperationalBreakdown {
+            direct: Liters::new(direct[l]),
+            indirect: Liters::new(indirect[l] * pue[l]),
+        })
+        .collect();
+    YearLaneStats {
+        operational,
+        wi_mean,
+        wue_mean,
+        ewf_mean,
+        wue_summary: years.iter().map(|y| y.wue.summary()).collect(),
+        ewf_summary: years.iter().map(|y| y.ewf.summary()).collect(),
+    }
+}
+
+// --------------------------------------------------------- streaming topN
+
+/// One entry of a [`TopN`] result: the ranking key, the caller's item
+/// index (the deterministic tie-breaker), and the item.
+#[derive(Debug, Clone)]
+pub struct TopEntry<T> {
+    /// The ranking key (ascending = better).
+    pub key: f64,
+    /// The caller-assigned item index; smaller wins key ties.
+    pub index: u64,
+    /// The carried item.
+    pub item: T,
+}
+
+impl<T> TopEntry<T> {
+    fn cmp_rank(&self, other: &Self) -> CmpOrdering {
+        // IEEE total order on the key (NaN sorts after +inf — still a
+        // total, deterministic order), then the index tie-break.
+        self.key
+            .total_cmp(&other.key)
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl<T> PartialEq for TopEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_rank(other) == CmpOrdering::Equal
+    }
+}
+impl<T> Eq for TopEntry<T> {}
+impl<T> PartialOrd for TopEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for TopEntry<T> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.cmp_rank(other)
+    }
+}
+
+/// A streaming top-N aggregator: a bounded binary max-heap keeping the N
+/// smallest `(key, index)` entries seen so far, so a 10⁵–10⁶-cell sweep
+/// ranks candidates without materializing every row.
+///
+/// **Determinism.** The kept set is "the N smallest under the total
+/// order (key, then index)" — a property of the *set* of pushed entries,
+/// independent of push order, chunking, or merge shape. Ties on the key
+/// resolve by the caller-assigned index (expansion order), so results
+/// are byte-identical at every thread count and chunk size
+/// (`tests/batch.rs`).
+#[derive(Debug, Clone)]
+pub struct TopN<T> {
+    capacity: usize,
+    heap: BinaryHeap<TopEntry<T>>,
+}
+
+impl<T> TopN<T> {
+    /// An empty aggregator keeping the best `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "top-N needs room for at least one entry");
+        TopN {
+            capacity,
+            heap: BinaryHeap::with_capacity(capacity + 1),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently kept (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers one entry; it is kept iff it ranks among the N best seen.
+    pub fn push(&mut self, key: f64, index: u64, item: T) {
+        TOPN_PUSHES.fetch_add(1, Ordering::Relaxed);
+        let entry = TopEntry { key, index, item };
+        if self.heap.len() < self.capacity {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            if entry.cmp_rank(worst) == CmpOrdering::Less {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// Merges another aggregator's kept entries into this one (the
+    /// index-ordered chunk merge; already-counted entries are not
+    /// re-counted in [`stats`]).
+    pub fn merge(&mut self, other: TopN<T>) {
+        for entry in other.heap.into_vec() {
+            let entry: TopEntry<T> = entry;
+            if self.heap.len() < self.capacity {
+                self.heap.push(entry);
+            } else if let Some(worst) = self.heap.peek() {
+                if entry.cmp_rank(worst) == CmpOrdering::Less {
+                    self.heap.pop();
+                    self.heap.push(entry);
+                }
+            }
+        }
+    }
+
+    /// The kept entries in rank order (ascending key, index tie-break).
+    pub fn into_sorted(self) -> Vec<TopEntry<T>> {
+        self.heap.into_sorted_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thirstyflops_catalog::SystemId;
+
+    #[test]
+    fn aggregates_match_the_scalar_expressions_bit_for_bit() {
+        let ctx = BatchContext::new();
+        let mut warm = SystemSpec::reference(SystemId::Polaris);
+        warm.nodes = 180;
+        let mut scaled = SystemSpec::reference(SystemId::Fugaku);
+        scaled.nodes = 300;
+        let requests = vec![
+            LaneRequest {
+                spec: warm.clone(),
+                seed: 7,
+                wue_scale: None,
+                ewf_scale: None,
+                carbon_scale: None,
+            },
+            LaneRequest {
+                spec: scaled.clone(),
+                seed: 2023,
+                wue_scale: Some(0.8),
+                ewf_scale: Some(1.3),
+                carbon_scale: Some(0.9),
+            },
+        ];
+        let aggs = ctx.aggregate(&requests);
+        for (req, agg) in requests.iter().zip(&aggs) {
+            let year = SystemYear::simulate_uncached(req.spec.clone(), req.seed);
+            let wue = match req.wue_scale {
+                Some(k) => year.wue.scale(k),
+                None => year.wue.clone(),
+            };
+            let ewf = match req.ewf_scale {
+                Some(k) => year.ewf.scale(k),
+                None => year.ewf.clone(),
+            };
+            let carbon = match req.carbon_scale {
+                Some(k) => year.carbon.scale(k),
+                None => year.carbon.clone(),
+            };
+            assert_eq!(agg.energy_kwh, year.energy.total());
+            assert_eq!(agg.direct_l, year.energy.dot(&wue));
+            assert_eq!(agg.indirect_per_pue_l, year.energy.dot(&ewf));
+            assert_eq!(agg.carbon_g, year.energy.dot(&carbon));
+            assert_eq!(agg.mean_wue, wue.mean());
+            assert_eq!(agg.mean_ewf, ewf.mean());
+            assert_eq!(agg.mean_carbon, carbon.mean());
+            let monthly = year.energy.mul(&wue).monthly_sum();
+            for (m, &month) in thirstyflops_timeseries::Month::ALL.iter().enumerate() {
+                assert_eq!(agg.monthly_direct_l[m], monthly.get(month), "month {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_batch_matches_the_uncached_oracle() {
+        let ctx = BatchContext::new();
+        let mut a = SystemSpec::reference(SystemId::Marconi);
+        a.nodes = 150;
+        let requests = vec![(a.clone(), 11), (a, 12)];
+        let batched = ctx.simulate_batch(&requests);
+        for ((spec, seed), year) in requests.iter().zip(&batched) {
+            let oracle = SystemYear::simulate_uncached(spec.clone(), *seed);
+            assert_eq!(year.utilization, oracle.utilization);
+            assert_eq!(year.energy, oracle.energy);
+            assert_eq!(year.wue, oracle.wue);
+            assert_eq!(year.ewf, oracle.ewf);
+            assert_eq!(year.carbon, oracle.carbon);
+        }
+    }
+
+    #[test]
+    fn topn_keeps_the_n_best_with_index_tie_break() {
+        let mut top = TopN::new(3);
+        for (i, key) in [5.0, 1.0, 3.0, 1.0, 4.0, 2.0].iter().enumerate() {
+            top.push(*key, i as u64, i);
+        }
+        let kept = top.into_sorted();
+        let ranked: Vec<(f64, u64)> = kept.iter().map(|e| (e.key, e.index)).collect();
+        // Two 1.0 keys tie — the earlier index wins the first slot.
+        assert_eq!(ranked, vec![(1.0, 1), (1.0, 3), (2.0, 5)]);
+    }
+
+    #[test]
+    fn topn_merge_order_does_not_matter() {
+        let keys = [9.0, 2.0, 7.0, 2.0, 5.0, 1.0, 8.0, 3.0];
+        let full = {
+            let mut t = TopN::new(4);
+            for (i, &k) in keys.iter().enumerate() {
+                t.push(k, i as u64, ());
+            }
+            t.into_sorted()
+        };
+        let merged = {
+            let mut left = TopN::new(4);
+            let mut right = TopN::new(4);
+            for (i, &k) in keys.iter().enumerate() {
+                if i % 2 == 0 {
+                    left.push(k, i as u64, ());
+                } else {
+                    right.push(k, i as u64, ());
+                }
+            }
+            right.merge(left);
+            right.into_sorted()
+        };
+        let a: Vec<(u64, f64)> = full.iter().map(|e| (e.index, e.key)).collect();
+        let b: Vec<(u64, f64)> = merged.iter().map(|e| (e.index, e.key)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_toggle_round_trips() {
+        let before = enabled();
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(before);
+    }
+}

@@ -16,12 +16,17 @@
 //! * [`simcache`] — the process-wide memoized simulation substrate:
 //!   sharded single-flight caches for grid years, climate → WUE series,
 //!   and whole `Arc<SystemYear>`s (see `docs/PERFORMANCE.md`);
+//! * [`batch`] — the batched K-lane evaluation kernel: score K system
+//!   configurations per pass over the hour axis, bit-identical per lane
+//!   to the scalar path, plus the streaming top-N aggregator sweeps use
+//!   to rank 10⁵⁺ cells without materializing every row;
 //! * [`params`] — the Table 2 parameter checklist as data.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attribution;
+pub mod batch;
 pub mod embodied;
 pub mod intensity;
 pub mod lifecycle;

@@ -53,6 +53,29 @@ fn trace_shape(id: SystemId) -> (f64, f64) {
     }
 }
 
+/// The seed-dependent workload path: jobs → utilization → IT energy.
+/// This is the single source of truth for the per-lane ChaCha12 seeding
+/// (`seed ^ id·φ64`) — both the scalar [`SystemYear::compute`] path and
+/// the batched kernel ([`crate::batch`]) call it, so their RNG draws
+/// cannot drift apart.
+pub(crate) fn workload_series(spec: &SystemSpec, seed: u64) -> (HourlySeries, HourlySeries) {
+    let (duration, width) = trace_shape(spec.id);
+    let trace = TraceGenerator::new(TraceConfig {
+        cluster_nodes: spec.nodes,
+        target_utilization: spec.mean_utilization,
+        mean_duration_hours: duration,
+        mean_width_fraction: width,
+        seed: seed ^ (spec.id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    })
+    .expect("catalog trace configs are valid")
+    .generate_year();
+    let (utilization, _stats) = ClusterSim::new(spec.nodes)
+        .expect("catalog systems have nodes")
+        .simulate_year(&trace);
+    let energy = PowerModel::new(spec).energy_series(&utilization);
+    (utilization, energy)
+}
+
 impl SystemYear {
     /// Simulates a year for a cataloged reference system. `seed`
     /// decorrelates years (use the calendar year, e.g. 2023); all
@@ -107,21 +130,8 @@ impl SystemYear {
             (grid_year.ewf().clone(), grid_year.carbon().clone())
         };
 
-        // Jobs → utilization → energy.
-        let (duration, width) = trace_shape(spec.id);
-        let trace = TraceGenerator::new(TraceConfig {
-            cluster_nodes: spec.nodes,
-            target_utilization: spec.mean_utilization,
-            mean_duration_hours: duration,
-            mean_width_fraction: width,
-            seed: seed ^ (spec.id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        })
-        .expect("catalog trace configs are valid")
-        .generate_year();
-        let (utilization, _stats) = ClusterSim::new(spec.nodes)
-            .expect("catalog systems have nodes")
-            .simulate_year(&trace);
-        let energy = PowerModel::new(&spec).energy_series(&utilization);
+        // Jobs → utilization → energy (shared with the batched kernel).
+        let (utilization, energy) = workload_series(&spec, seed);
 
         SystemYear {
             spec,

@@ -6,11 +6,13 @@ use std::sync::{Arc, OnceLock};
 
 use rayon::prelude::*;
 use thirstyflops_catalog::SystemId;
+use thirstyflops_core::batch::{year_lane_stats, YearLaneStats};
 use thirstyflops_core::SystemYear;
 
 use crate::SEED;
 
 static YEARS: OnceLock<Vec<Arc<SystemYear>>> = OnceLock::new();
+static LANE_STATS: OnceLock<YearLaneStats> = OnceLock::new();
 
 /// The simulated telemetry year for each of the paper's four systems,
 /// Table 1 order, computed once per process.
@@ -30,6 +32,15 @@ pub fn paper_years() -> &'static [Arc<SystemYear>] {
     })
 }
 
+/// The K-lane annual statistics over [`paper_years`] (operational
+/// splits, WI/WUE/EWF means, distribution summaries), computed by one
+/// `core::batch` kernel pass per reduction and shared by fig06/07/08.
+/// Bit-identical to the per-year scalar expressions the figures used to
+/// evaluate — the golden tests pin both paths to the same values.
+pub fn paper_lane_stats() -> &'static YearLaneStats {
+    LANE_STATS.get_or_init(|| year_lane_stats(paper_years()))
+}
+
 /// The year for one of the paper systems.
 pub fn year_of(id: SystemId) -> &'static SystemYear {
     paper_years()
@@ -41,6 +52,18 @@ pub fn year_of(id: SystemId) -> &'static SystemYear {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lane_stats_match_the_scalar_expressions_bit_for_bit() {
+        let stats = paper_lane_stats();
+        for (lane, year) in paper_years().iter().enumerate() {
+            assert_eq!(stats.operational[lane], year.operational());
+            assert_eq!(stats.wi_mean[lane], year.water_intensity().mean());
+            assert_eq!(stats.wue_mean[lane], year.wue.mean());
+            assert_eq!(stats.ewf_mean[lane], year.ewf.mean());
+            assert_eq!(stats.wue_summary[lane], year.wue.summary());
+        }
+    }
 
     #[test]
     fn context_is_cached_and_complete() {

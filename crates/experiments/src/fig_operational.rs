@@ -1,13 +1,12 @@
 //! Fig. 5–9: energy sources, EWF/WUE distributions, direct/indirect
 //! split, WSI-adjusted intensity, and the multi-plant indirect WSI.
 
-use rayon::prelude::*;
 use thirstyflops_core::{ScarcityAdjustment, WaterIntensity};
 use thirstyflops_grid::EnergySource;
 use thirstyflops_timeseries::Frame;
 use thirstyflops_units::LitersPerKilowattHour;
 
-use crate::context::paper_years;
+use crate::context::{paper_lane_stats, paper_years};
 use crate::Experiment;
 
 /// Fig. 5: EWF and carbon intensity per energy source (median, min–max).
@@ -74,18 +73,10 @@ pub fn fig06() -> Experiment {
             years.iter().map(|y| y.spec.id.to_string()).collect(),
         )
         .unwrap();
-    for (name, series) in [("ewf", true), ("wue", false)] {
-        // Each summary scans an 8760-hour series; fan the four systems out.
-        let summaries: Vec<_> = years
-            .par_iter()
-            .map(|y| {
-                if series {
-                    y.ewf.summary()
-                } else {
-                    y.wue.summary()
-                }
-            })
-            .collect();
+    // One K-lane batch pass covers all four systems (shared with
+    // fig07/fig08 via the context cache).
+    let stats = paper_lane_stats();
+    for (name, summaries) in [("ewf", &stats.ewf_summary), ("wue", &stats.wue_summary)] {
         frame
             .push_number(
                 format!("{name}_min"),
@@ -129,7 +120,8 @@ pub fn fig07() -> Experiment {
             years.iter().map(|y| y.spec.id.to_string()).collect(),
         )
         .unwrap();
-    let ops: Vec<_> = years.par_iter().map(|y| y.operational()).collect();
+    // Eq. 6/7 per system out of the shared K-lane batch pass.
+    let ops = &paper_lane_stats().operational;
     frame
         .push_number(
             "direct_pct",
@@ -164,18 +156,19 @@ pub fn fig08() -> Experiment {
             years.iter().map(|y| y.spec.id.to_string()).collect(),
         )
         .unwrap();
-    let wis: Vec<f64> = years
-        .par_iter()
-        .map(|y| y.water_intensity().mean())
-        .collect();
+    // WI and the WUE/EWF annual means come straight out of the shared
+    // K-lane batch pass; the scarcity adjustment stays per system.
+    let stats = paper_lane_stats();
+    let wis: Vec<f64> = stats.wi_mean.clone();
     let wsis: Vec<f64> = years.iter().map(|y| y.spec.site_wsi.value()).collect();
     let adjusted: Vec<f64> = years
-        .par_iter()
-        .map(|y| {
+        .iter()
+        .enumerate()
+        .map(|(lane, y)| {
             let wi = WaterIntensity::new(
-                LitersPerKilowattHour::new(y.wue.mean()),
+                LitersPerKilowattHour::new(stats.wue_mean[lane]),
                 y.spec.pue,
-                LitersPerKilowattHour::new(y.ewf.mean()),
+                LitersPerKilowattHour::new(stats.ewf_mean[lane]),
             );
             ScarcityAdjustment::from_fleet(y.spec.site_wsi, &y.spec.fleet)
                 .adjust(wi)

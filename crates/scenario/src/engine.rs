@@ -203,19 +203,24 @@ pub fn apply_spec_overrides(base: &SystemSpec, o: &Overrides) -> Result<SystemSp
 /// EWF/carbon scale factors for a grid mix override (see
 /// `docs/SCENARIOS.md` for the semantics: `mix` pins the annual mean to
 /// the replacement mix's factors, `mix_delta` shifts the simulated level
-/// by the ratio of shifted-to-base annual-mix factors).
-fn grid_factors(
+/// by the ratio of shifted-to-base annual-mix factors). Takes the
+/// annual means of the *unscaled* region series — the scalar path reads
+/// them off the simulated year, the batched path off its per-region
+/// mean cache; the grid sub-simulation is deterministic, so the bits
+/// agree either way.
+pub(crate) fn grid_factors(
     g: &GridOverride,
     sys: &SystemSpec,
-    year: &SystemYear,
+    ewf_mean: f64,
+    carbon_mean: f64,
 ) -> Result<Option<(f64, f64)>, ScenarioError> {
     if let Some(mix) = &g.mix {
         let pairs = parse_mix_pairs(mix)?;
         let target = EnergyMix::normalized(&pairs)
             .map_err(|e| ScenarioError::Invalid(format!("\"grid.mix\": {e}")))?;
         return Ok(Some((
-            target.ewf().value() / year.ewf.mean(),
-            target.carbon_intensity().value() / year.carbon.mean(),
+            target.ewf().value() / ewf_mean,
+            target.carbon_intensity().value() / carbon_mean,
         )));
     }
     if let Some(delta) = &g.mix_delta {
@@ -240,10 +245,42 @@ fn parse_mix_pairs(
         .collect())
 }
 
+/// Every annual reduction a configuration's metrics derive from its
+/// hourly series. The scalar path fills this with the fused
+/// `HourlySeries` kernels over one simulated year; the batched path
+/// (`crate::batch`) fills it from a `core::batch` lane — bit-identical
+/// per the `tests/batch.rs` differential suite. Everything downstream
+/// ([`finish_metrics`]) is cheap scalar arithmetic shared verbatim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct AggregateInputs {
+    /// `Σ energy`, kWh.
+    pub energy_kwh: f64,
+    /// `Σ energy·wue'`, liters (post WUE scaling).
+    pub direct: f64,
+    /// `Σ energy·ewf' · PUE`, liters (post mix scaling).
+    pub indirect: f64,
+    /// `Σ energy·carbon'`, grams.
+    pub carbon_g: f64,
+    /// Annual mean of the (scaled) WUE series, L/kWh.
+    pub mean_wue: f64,
+    /// Annual mean of the (scaled) EWF series, L/kWh.
+    pub mean_ewf: f64,
+    /// Annual mean of the (scaled) carbon series, gCO₂/kWh.
+    pub mean_carbon: f64,
+    /// Monthly `Σ energy·wue'` (January first), liters.
+    pub monthly_direct: [f64; 12],
+}
+
 /// Measures one configuration: simulate (memoized), post-process the
 /// series per the overrides, and aggregate. Pure — identical inputs
-/// produce identical bytes at any thread count, cached or not.
-fn metrics(sys: &SystemSpec, seed: u64, o: &Overrides) -> Result<ScenarioMetrics, ScenarioError> {
+/// produce identical bytes at any thread count, cached or not. This is
+/// the scalar reference path; sweeps route through the batched kernel
+/// unless `--no-batch` pins them here.
+pub(crate) fn metrics(
+    sys: &SystemSpec,
+    seed: u64,
+    o: &Overrides,
+) -> Result<ScenarioMetrics, ScenarioError> {
     let year = SystemYear::simulate_spec(sys.clone(), seed);
     let pue = sys.pue;
 
@@ -253,7 +290,7 @@ fn metrics(sys: &SystemSpec, seed: u64, o: &Overrides) -> Result<ScenarioMetrics
         None => year.wue.clone(),
     };
     let (ewf, carbon) = match o.grid.as_ref() {
-        Some(g) => match grid_factors(g, sys, &year)? {
+        Some(g) => match grid_factors(g, sys, year.ewf.mean(), year.carbon.mean())? {
             Some((k_ewf, k_ci)) => (year.ewf.scale(k_ewf), year.carbon.scale(k_ci)),
             None => (year.ewf.clone(), year.carbon.clone()),
         },
@@ -261,11 +298,38 @@ fn metrics(sys: &SystemSpec, seed: u64, o: &Overrides) -> Result<ScenarioMetrics
     };
 
     let breakdown = OperationalBreakdown::from_series(&year.energy, &wue, pue, &ewf);
-    let direct = breakdown.direct.value();
-    let indirect = breakdown.indirect.value();
+    let monthly = year.energy.mul(&wue).monthly_sum();
+    let mut monthly_direct = [0.0; 12];
+    for (i, month) in Month::ALL.iter().enumerate() {
+        monthly_direct[i] = monthly.get(*month);
+    }
+    let agg = AggregateInputs {
+        energy_kwh: year.energy.total(),
+        direct: breakdown.direct.value(),
+        indirect: breakdown.indirect.value(),
+        carbon_g: year.energy.dot(&carbon),
+        mean_wue: wue.mean(),
+        mean_ewf: ewf.mean(),
+        mean_carbon: carbon.mean(),
+        monthly_direct,
+    };
+    Ok(finish_metrics(sys, o, &agg))
+}
+
+/// The shared metric arithmetic on top of the annual aggregates:
+/// scarcity weighting, seasonal pricing, the lifecycle projection.
+/// Scalar and batched evaluation both end here, so the two paths cannot
+/// diverge downstream of the kernels.
+pub(crate) fn finish_metrics(
+    sys: &SystemSpec,
+    o: &Overrides,
+    a: &AggregateInputs,
+) -> ScenarioMetrics {
+    let direct = a.direct;
+    let indirect = a.indirect;
     let operational = direct + indirect;
-    let energy_kwh = year.energy.total();
-    let carbon_kg = year.energy.dot(&carbon) / 1000.0;
+    let energy_kwh = a.energy_kwh;
+    let carbon_kg = a.carbon_g / 1000.0;
 
     // Scarcity weighting: the direct component sees the site WSI — or
     // its blend with the reclaimed source — the indirect component sees
@@ -291,22 +355,19 @@ fn metrics(sys: &SystemSpec, seed: u64, o: &Overrides) -> Result<ScenarioMetrics
         .as_ref()
         .and_then(|r| r.usd_per_kl)
         .unwrap_or(DEFAULT_RECLAIMED_USD_PER_KL);
-    let monthly_direct = year.energy.mul(&wue).monthly_sum();
     let mut cost = 0.0;
-    for (i, month) in Month::ALL.iter().enumerate() {
+    for (i, monthly_l) in a.monthly_direct.iter().enumerate() {
         let multiplier = o
             .water_price
             .as_ref()
             .and_then(|wp| wp.monthly_multiplier.as_ref())
             .map_or(1.0, |m| m[i]);
-        let kl = monthly_direct.get(*month) / 1000.0;
+        let kl = monthly_l / 1000.0;
         cost += kl
             * ((1.0 - reclaimed_fraction) * potable_base * multiplier
                 + reclaimed_fraction * reclaimed_price);
     }
 
-    let mean_wue = wue.mean();
-    let mean_ewf = ewf.mean();
     let lifecycle = o.fleet_upgrade.as_ref().map(|fu| {
         let embodied = EmbodiedBreakdown::for_system(sys).total().value();
         let upgrade: f64 = fu
@@ -333,7 +394,7 @@ fn metrics(sys: &SystemSpec, seed: u64, o: &Overrides) -> Result<ScenarioMetrics
         }
     });
 
-    Ok(ScenarioMetrics {
+    ScenarioMetrics {
         energy_kwh,
         direct_water_l: direct,
         indirect_water_l: indirect,
@@ -341,12 +402,12 @@ fn metrics(sys: &SystemSpec, seed: u64, o: &Overrides) -> Result<ScenarioMetrics
         scarcity_adjusted_water_l: adjusted,
         carbon_kg,
         water_cost_usd: cost,
-        mean_wue_l_per_kwh: mean_wue,
-        mean_ewf_l_per_kwh: mean_ewf,
-        mean_wi_l_per_kwh: mean_wue + pue.value() * mean_ewf,
-        mean_ci_g_per_kwh: carbon.mean(),
+        mean_wue_l_per_kwh: a.mean_wue,
+        mean_ewf_l_per_kwh: a.mean_ewf,
+        mean_wi_l_per_kwh: a.mean_wue + sys.pue.value() * a.mean_ewf,
+        mean_ci_g_per_kwh: a.mean_carbon,
         lifecycle,
-    })
+    }
 }
 
 fn pct(delta: f64, base: f64) -> f64 {

@@ -16,7 +16,10 @@
 //!   (water, scarcity-adjusted water, carbon, cost) and deltas against
 //!   the un-overridden baseline;
 //! * [`sweep`] — `"axes"` cartesian expansion and the parallel
-//!   [`evaluate_sweep`].
+//!   [`evaluate_sweep`], which streams combinations in chunks through
+//!   the batched K-lane kernel (`core::batch`); a `"top_n"` field keeps
+//!   only the best rows (ranked on `"rank_by"`, ascending) and lifts
+//!   the expansion ceiling from 4096 to 1 048 576 cells.
 //!
 //! Determinism contract (enforced by `tests/scenario.rs`): the same
 //! spec produces byte-identical JSON at every thread count and with the
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod engine;
 pub mod spec;
 pub mod sweep;
@@ -53,4 +57,7 @@ pub use spec::{
     ScenarioError, ScenarioSpec, UpgradeStep, WaterPriceOverride, WsiOverride,
     DEFAULT_POTABLE_USD_PER_KL, DEFAULT_RECLAIMED_USD_PER_KL, DEFAULT_SEED,
 };
-pub use sweep::{evaluate_sweep, Axis, SweepReport, SweepRow, SweepSpec, MAX_SCENARIOS};
+pub use sweep::{
+    evaluate_sweep, Axis, SweepReport, SweepRow, SweepSpec, DEFAULT_RANK_METRIC, MAX_SCENARIOS,
+    MAX_SCENARIOS_TOP_N, RANK_METRICS,
+};

@@ -1,5 +1,6 @@
 //! Cartesian sweeps: an `"axes"` block expands one spec into the cross
-//! product of its axis values, evaluated in one rayon fan-out.
+//! product of its axis values, evaluated through the batched K-lane
+//! kernel (`core::batch`) in one rayon fan-out.
 //!
 //! A sweep file is a scenario spec plus `"axes": {"<override path>":
 //! [v1, v2, ...], ...}`. Each combination produces a full
@@ -8,12 +9,18 @@
 //! strict validation as a hand-written spec. Expansion order is
 //! deterministic: axes iterate in file order, the first axis slowest,
 //! so row order never depends on thread count.
+//!
+//! Plain sweeps keep every row and are capped at [`MAX_SCENARIOS`]
+//! cells. A sweep with `"top_n"` streams instead: rows flow through a
+//! bounded [top-N aggregator](thirstyflops_core::batch::TopN) ranked on
+//! `"rank_by"` (ascending — smaller is better), which lifts the ceiling
+//! to [`MAX_SCENARIOS_TOP_N`] without ever materializing the full row
+//! set.
 
-use rayon::prelude::*;
 use serde::Serialize as _;
 use serde::Value;
 
-use crate::engine::{self, ScenarioDeltas, ScenarioMetrics, ScenarioOutcome};
+use crate::engine::{ScenarioDeltas, ScenarioMetrics};
 use crate::spec::{fingerprint_of, Overrides, ScenarioError, ScenarioSpec};
 
 /// Override paths an axis may set (the settable leaves of the override
@@ -36,9 +43,49 @@ pub const AXIS_PATHS: [&str; 15] = [
     "fleet_upgrade.lifetime_years",
 ];
 
-/// The expansion ceiling: a sweep may produce at most this many
-/// scenarios (guards against accidental combinatorial bombs).
+/// The expansion ceiling for plain (row-materializing) sweeps: at most
+/// this many scenarios (guards against accidental combinatorial bombs).
 pub const MAX_SCENARIOS: usize = 4096;
+
+/// The expansion ceiling for streaming `top_n` sweeps — rows flow
+/// through a bounded top-N heap instead of a materialized vector, so
+/// the cap is memory-safe at six orders of magnitude.
+pub const MAX_SCENARIOS_TOP_N: usize = 1_048_576;
+
+/// The metrics a `rank_by` field may name. Ranking is ascending —
+/// smaller is better — matching the siting question every metric here
+/// answers (less water, less carbon, lower bill, less energy).
+pub const RANK_METRICS: [&str; 7] = [
+    "operational_water_l",
+    "scarcity_adjusted_water_l",
+    "direct_water_l",
+    "indirect_water_l",
+    "carbon_kg",
+    "water_cost_usd",
+    "energy_kwh",
+];
+
+/// The rank metric used when `top_n` is given without `rank_by`.
+pub const DEFAULT_RANK_METRIC: &str = "operational_water_l";
+
+/// Reads the named rank metric off evaluated scenario metrics.
+///
+/// # Panics
+/// Panics on a metric outside [`RANK_METRICS`] — callers validate the
+/// name at parse time ([`SweepSpec::from_json`]) and again in
+/// [`evaluate_sweep`] for code-built sweeps.
+pub(crate) fn rank_key(m: &ScenarioMetrics, metric: &str) -> f64 {
+    match metric {
+        "operational_water_l" => m.operational_water_l,
+        "scarcity_adjusted_water_l" => m.scarcity_adjusted_water_l,
+        "direct_water_l" => m.direct_water_l,
+        "indirect_water_l" => m.indirect_water_l,
+        "carbon_kg" => m.carbon_kg,
+        "water_cost_usd" => m.water_cost_usd,
+        "energy_kwh" => m.energy_kwh,
+        other => unreachable!("rank metric {other:?} is rejected before evaluation"),
+    }
+}
 
 /// One sweep axis: an override path and the values it cycles through.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
@@ -64,6 +111,12 @@ pub struct SweepSpec {
     pub overrides: Overrides,
     /// The axes, file order.
     pub axes: Vec<Axis>,
+    /// Streaming mode: keep only the best N rows (by `rank_by`) and
+    /// raise the expansion ceiling to [`MAX_SCENARIOS_TOP_N`].
+    pub top_n: Option<u64>,
+    /// The ranking metric for `top_n` (one of [`RANK_METRICS`];
+    /// ascending, defaults to [`DEFAULT_RANK_METRIC`]).
+    pub rank_by: Option<String>,
 }
 
 /// One row of a sweep report.
@@ -88,29 +141,94 @@ pub struct SweepReport {
     pub seed: u64,
     /// Fingerprint of the canonical sweep spec.
     pub fingerprint: String,
-    /// Number of expanded scenarios.
+    /// Number of expanded scenarios (the full cross product — under
+    /// `top_n` this exceeds `rows.len()`).
     pub scenario_count: u64,
+    /// The `top_n` bound when the sweep streamed, else `null`.
+    pub top_n: Option<u64>,
+    /// The effective ranking metric when the sweep streamed, else
+    /// `null`.
+    pub rank_by: Option<String>,
     /// The shared baseline (base system, no overrides).
     pub baseline: ScenarioMetrics,
-    /// One row per combination, expansion order.
+    /// One row per combination in expansion order — or, under `top_n`,
+    /// the best N rows in rank order (ascending metric, expansion-index
+    /// tie-break).
     pub rows: Vec<SweepRow>,
 }
 
 impl SweepSpec {
     /// Parses and validates a sweep spec from JSON text. As strict as
     /// [`ScenarioSpec::from_json`]; additionally requires `"axes"` and
-    /// validates every expanded combination.
+    /// validates the expanded combinations (every one below
+    /// [`MAX_SCENARIOS`]; above it — reachable only with `top_n` —
+    /// every axis value is validated against the first value of every
+    /// other axis, and any bad *combination* of independently-valid
+    /// values still fails at evaluation time).
     pub fn from_json(text: &str) -> Result<SweepSpec, ScenarioError> {
+        SweepSpec::from_json_with_top(text, None)
+    }
+
+    /// [`SweepSpec::from_json`] with a caller-supplied `top_n` override
+    /// (the CLI's `--top N`), applied *before* the expansion-ceiling
+    /// check so `--top` unlocks the streaming ceiling exactly like an
+    /// in-file `"top_n"`.
+    pub fn from_json_with_top(
+        text: &str,
+        top_override: Option<u64>,
+    ) -> Result<SweepSpec, ScenarioError> {
         let value: Value =
             serde_json::from_str(text).map_err(|e| ScenarioError::Json(e.to_string()))?;
         let pairs = value
             .as_object()
             .ok_or_else(|| ScenarioError::Invalid("sweep spec must be a JSON object".into()))?;
         // Reuse the run-spec parser for the shared fields by stripping
-        // the axes (it rejects them with a redirect message otherwise).
-        let without_axes =
-            Value::Object(pairs.iter().filter(|(k, _)| k != "axes").cloned().collect());
+        // the sweep-only keys (it rejects them with a redirect message
+        // otherwise).
+        let sweep_keys = ["axes", "top_n", "rank_by"];
+        let without_axes = Value::Object(
+            pairs
+                .iter()
+                .filter(|(k, _)| !sweep_keys.contains(&k.as_str()))
+                .cloned()
+                .collect(),
+        );
         let common = ScenarioSpec::from_value(&without_axes)?;
+        let mut top_n = match pairs.iter().find(|(k, _)| k == "top_n").map(|(_, v)| v) {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                ScenarioError::Invalid("\"top_n\" must be a non-negative integer".into())
+            })?),
+        };
+        if let Some(n) = top_override {
+            top_n = Some(n);
+        }
+        if top_n == Some(0) {
+            return Err(ScenarioError::Invalid(
+                "\"top_n\" must be at least 1".into(),
+            ));
+        }
+        let rank_by = match pairs.iter().find(|(k, _)| k == "rank_by").map(|(_, v)| v) {
+            None | Some(Value::Null) => None,
+            Some(Value::Str(s)) => {
+                if !RANK_METRICS.contains(&s.as_str()) {
+                    return Err(ScenarioError::Invalid(format!(
+                        "unknown rank metric {s:?} (one of: {RANK_METRICS:?})"
+                    )));
+                }
+                Some(s.clone())
+            }
+            Some(_) => {
+                return Err(ScenarioError::Invalid(
+                    "\"rank_by\" must be a string".into(),
+                ))
+            }
+        };
+        if rank_by.is_some() && top_n.is_none() {
+            return Err(ScenarioError::Invalid(
+                "\"rank_by\" needs \"top_n\" — without a bound there is nothing to rank".into(),
+            ));
+        }
         let axes_value = pairs
             .iter()
             .find(|(k, _)| k == "axes")
@@ -158,10 +276,8 @@ impl SweepSpec {
                 values,
             });
         }
-        if expansion > MAX_SCENARIOS {
-            return Err(ScenarioError::Invalid(format!(
-                "sweep expands to {expansion} scenarios — the ceiling is {MAX_SCENARIOS}"
-            )));
+        if expansion > ceiling_for(top_n) {
+            return Err(ceiling_error(expansion, top_n));
         }
         let sweep = SweepSpec {
             name: common.name,
@@ -170,14 +286,36 @@ impl SweepSpec {
             seed: common.seed,
             overrides: common.overrides,
             axes,
+            top_n,
+            rank_by,
         };
         // Every combination must be a valid scenario spec. This makes
         // the evaluate path expand twice (once here, once in
         // `evaluate_sweep`), a deliberate trade: parse-time rejection of
         // any bad combination costs ~60µs for a 25-combo sweep — noise
-        // next to one 8760-hour simulation.
-        sweep.expand()?;
+        // next to one 8760-hour simulation. Above the plain ceiling
+        // (streaming sweeps only) full expansion would defeat the point
+        // of streaming, so validation samples: every axis value, with
+        // the other axes pinned to their first value.
+        if expansion <= MAX_SCENARIOS {
+            sweep.expand()?;
+        } else {
+            sweep.validate_sampled()?;
+        }
         Ok(sweep)
+    }
+
+    /// Total number of combinations (the full cross product).
+    pub fn combination_count(&self) -> usize {
+        self.axes
+            .iter()
+            .map(|a| a.values.len())
+            .fold(1, usize::saturating_mul)
+    }
+
+    /// The applicable expansion ceiling for this sweep's mode.
+    pub fn ceiling(&self) -> usize {
+        ceiling_for(self.top_n)
     }
 
     /// The canonical compact JSON rendering (the HTTP body-cache key;
@@ -192,55 +330,106 @@ impl SweepSpec {
     }
 
     /// Expands the cartesian product into one validated
-    /// [`ScenarioSpec`] per combination, first axis slowest.
+    /// [`ScenarioSpec`] per combination, first axis slowest. Only
+    /// sensible below [`MAX_SCENARIOS`] — streaming sweeps address
+    /// combinations individually via [`SweepSpec::combination`].
     pub fn expand(&self) -> Result<Vec<ScenarioSpec>, ScenarioError> {
-        let common_overrides = self.overrides.to_value();
-        let total: usize = self.axes.iter().map(|a| a.values.len()).product();
-        let mut specs = Vec::with_capacity(total);
+        (0..self.combination_count())
+            .map(|index| self.combination(index))
+            .collect()
+    }
+
+    /// Builds the validated [`ScenarioSpec`] for one combination index
+    /// without expanding anything else. The index ↔ combination map is
+    /// pure mixed-radix arithmetic (first axis slowest, matching
+    /// [`SweepSpec::expand`] order), so chunked streaming evaluation
+    /// addresses any cell in O(axes) — the memory floor of a 10⁶-cell
+    /// sweep is one chunk, not the cross product.
+    ///
+    /// # Panics
+    /// Panics if `index >= combination_count()`.
+    pub fn combination(&self, index: usize) -> Result<ScenarioSpec, ScenarioError> {
+        assert!(
+            index < self.combination_count(),
+            "combination index {index} out of range"
+        );
         let mut indices = vec![0usize; self.axes.len()];
-        loop {
-            let mut overrides = common_overrides.clone();
-            let mut label_parts = Vec::with_capacity(self.axes.len());
-            for (axis, &i) in self.axes.iter().zip(&indices) {
-                let value = &axis.values[i];
-                set_path(&mut overrides, &axis.path, value.clone())?;
-                label_parts.push(format!("{}={}", axis.path, label_of(value)));
-            }
-            let mut spec_pairs = vec![
-                (
-                    "name".to_string(),
-                    Value::Str(format!("{}[{}]", self.name, label_parts.join(","))),
-                ),
-                ("base".to_string(), Value::Str(self.base.clone())),
-                ("seed".to_string(), Value::UInt(self.seed)),
-                ("overrides".to_string(), overrides),
-            ];
-            if let Some(d) = &self.description {
-                spec_pairs.insert(1, ("description".to_string(), Value::Str(d.clone())));
-            }
-            specs.push(
-                ScenarioSpec::from_value(&Value::Object(spec_pairs)).map_err(|e| {
-                    ScenarioError::Invalid(format!(
-                        "combination [{}] is invalid: {}",
-                        label_parts.join(","),
-                        e.message()
-                    ))
-                })?,
-            );
-            // Odometer increment, last axis fastest.
-            let mut pos = self.axes.len();
-            loop {
-                if pos == 0 {
-                    return Ok(specs);
-                }
-                pos -= 1;
-                indices[pos] += 1;
-                if indices[pos] < self.axes[pos].values.len() {
-                    break;
-                }
-                indices[pos] = 0;
-            }
+        let mut rem = index;
+        for pos in (0..self.axes.len()).rev() {
+            let len = self.axes[pos].values.len();
+            indices[pos] = rem % len;
+            rem /= len;
         }
+        self.spec_for_indices(&indices)
+    }
+
+    /// Sampled validation for streaming sweeps too large to expand:
+    /// every axis value is checked once, with every other axis pinned
+    /// to its first value (Σ axis lengths combinations instead of their
+    /// product). An invalid *combination* of independently-valid values
+    /// still fails at evaluation time, per row.
+    fn validate_sampled(&self) -> Result<(), ScenarioError> {
+        let mut indices = vec![0usize; self.axes.len()];
+        self.spec_for_indices(&indices)?;
+        for pos in 0..self.axes.len() {
+            for i in 1..self.axes[pos].values.len() {
+                indices[pos] = i;
+                self.spec_for_indices(&indices)?;
+            }
+            indices[pos] = 0;
+        }
+        Ok(())
+    }
+
+    fn spec_for_indices(&self, indices: &[usize]) -> Result<ScenarioSpec, ScenarioError> {
+        let mut overrides = self.overrides.to_value();
+        let mut label_parts = Vec::with_capacity(self.axes.len());
+        for (axis, &i) in self.axes.iter().zip(indices) {
+            let value = &axis.values[i];
+            set_path(&mut overrides, &axis.path, value.clone())?;
+            label_parts.push(format!("{}={}", axis.path, label_of(value)));
+        }
+        let mut spec_pairs = vec![
+            (
+                "name".to_string(),
+                Value::Str(format!("{}[{}]", self.name, label_parts.join(","))),
+            ),
+            ("base".to_string(), Value::Str(self.base.clone())),
+            ("seed".to_string(), Value::UInt(self.seed)),
+            ("overrides".to_string(), overrides),
+        ];
+        if let Some(d) = &self.description {
+            spec_pairs.insert(1, ("description".to_string(), Value::Str(d.clone())));
+        }
+        ScenarioSpec::from_value(&Value::Object(spec_pairs)).map_err(|e| {
+            ScenarioError::Invalid(format!(
+                "combination [{}] is invalid: {}",
+                label_parts.join(","),
+                e.message()
+            ))
+        })
+    }
+}
+
+fn ceiling_for(top_n: Option<u64>) -> usize {
+    if top_n.is_some() {
+        MAX_SCENARIOS_TOP_N
+    } else {
+        MAX_SCENARIOS
+    }
+}
+
+fn ceiling_error(expansion: usize, top_n: Option<u64>) -> ScenarioError {
+    if top_n.is_some() {
+        ScenarioError::Invalid(format!(
+            "sweep expands to {expansion} scenarios — the streaming top-N ceiling is \
+             {MAX_SCENARIOS_TOP_N}"
+        ))
+    } else {
+        ScenarioError::Invalid(format!(
+            "sweep expands to {expansion} scenarios — the ceiling is {MAX_SCENARIOS} \
+             (set \"top_n\" to stream the best rows of up to {MAX_SCENARIOS_TOP_N} cells)"
+        ))
     }
 }
 
@@ -291,34 +480,33 @@ fn set_path(tree: &mut Value, path: &str, value: Value) -> Result<(), ScenarioEr
     unreachable!("paths have at least one segment")
 }
 
-/// Evaluates a sweep: expand, fan the scenarios out across the rayon
-/// workers, merge rows back in expansion order (bit-identical at every
-/// thread count — `docs/CONCURRENCY.md`).
+/// Evaluates a sweep: chunked streaming evaluation through the batched
+/// K-lane kernel (or the scalar reference path under `--no-batch`),
+/// rows merged back in expansion order — bit-identical at every thread
+/// count and chunk size (`docs/CONCURRENCY.md`).
+///
+/// The expansion ceiling is enforced *here as well as* in
+/// [`SweepSpec::from_json`]: code-built sweeps (and any future caller
+/// that skips the parser) hit the same guard, so no layer can stream an
+/// unbounded cross product by accident.
 pub fn evaluate_sweep(sweep: &SweepSpec) -> Result<SweepReport, ScenarioError> {
-    let specs = sweep.expand()?;
-    let outcomes: Vec<Result<ScenarioOutcome, ScenarioError>> =
-        specs.par_iter().map(engine::evaluate).collect();
-    let mut rows = Vec::with_capacity(outcomes.len());
-    let mut baseline = None;
-    for outcome in outcomes {
-        let outcome = outcome?;
-        baseline.get_or_insert(outcome.baseline);
-        rows.push(SweepRow {
-            name: outcome.name,
-            scenario: outcome.scenario,
-            deltas: outcome.deltas,
-        });
+    let expansion = sweep.combination_count();
+    if expansion > sweep.ceiling() {
+        return Err(ceiling_error(expansion, sweep.top_n));
     }
-    let baseline = baseline.expect("expand() yields at least one scenario");
-    Ok(SweepReport {
-        name: sweep.name.clone(),
-        base: sweep.base.clone(),
-        seed: sweep.seed,
-        fingerprint: sweep.fingerprint(),
-        scenario_count: rows.len() as u64,
-        baseline,
-        rows,
-    })
+    if sweep.top_n == Some(0) {
+        return Err(ScenarioError::Invalid(
+            "\"top_n\" must be at least 1".into(),
+        ));
+    }
+    if let Some(rank) = sweep.rank_by.as_deref() {
+        if !RANK_METRICS.contains(&rank) {
+            return Err(ScenarioError::Invalid(format!(
+                "unknown rank metric {rank:?} (one of: {RANK_METRICS:?})"
+            )));
+        }
+    }
+    crate::batch::evaluate_sweep_streaming(sweep)
 }
 
 #[cfg(test)]

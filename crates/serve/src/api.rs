@@ -337,6 +337,9 @@ pub struct CacheStatsPayload {
     /// Simulation memo-cache counters (grid years, WUE series, whole
     /// system years; process-wide).
     pub simulation: thirstyflops_core::simcache::SimCacheStats,
+    /// Batched K-lane kernel counters (lanes, kernel passes, streaming
+    /// top-N pushes; process-wide).
+    pub batch: thirstyflops_core::batch::BatchStats,
     /// Per-endpoint request/cache-hit/latency counters (per server
     /// process; families with zero traffic included).
     pub endpoints: Vec<crate::metrics::EndpointStats>,
@@ -351,6 +354,7 @@ pub fn cache_stats_payload(
     CacheStatsPayload {
         body,
         simulation: thirstyflops_core::simcache::stats(),
+        batch: thirstyflops_core::batch::stats(),
         endpoints,
     }
 }

@@ -1,0 +1,546 @@
+//! K-lane structure-of-arrays kernels: the fused [`HourlySeries`](crate::hourly::HourlySeries)
+//! kernels generalized to K series evaluated in one pass over the hour
+//! axis.
+//!
+//! A [`LaneBuffer`] packs K year-long series **hour-major** — sample
+//! `(hour, lane)` lives at `values[hour * lanes + lane]` — so one sweep
+//! over the 8760 hours touches every lane's sample for that hour in one
+//! cache line group. The batched evaluation kernel (`core::batch`)
+//! builds on these to score K sweep cells per pass instead of one.
+//!
+//! **Bit-identity contract.** Every scalar reduction these kernels
+//! replace is a left-to-right fold over the hour axis
+//! ([`HourlySeries::dot`](crate::hourly::HourlySeries::dot), [`HourlySeries::total`](crate::hourly::HourlySeries::total),
+//! [`HourlySeries::monthly_sum`](crate::hourly::HourlySeries::monthly_sum), `stats::mean`). The K-lane kernels
+//! keep one accumulator per lane and visit hours in the same ascending
+//! order, so each lane performs the exact scalar operation sequence —
+//! the batched result is bit-identical to the scalar one, not merely
+//! close. `tests/batch.rs` enforces this differentially.
+
+use crate::calendar::{Month, SimCalendar, HOURS_PER_YEAR, MONTHS_PER_YEAR};
+
+/// K year-long series packed hour-major for single-pass K-lane kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneBuffer {
+    lanes: usize,
+    values: Vec<f64>,
+}
+
+impl LaneBuffer {
+    /// A zeroed buffer with `lanes` lanes.
+    ///
+    /// # Panics
+    /// Panics if `lanes == 0` — an empty batch is a caller bug.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "a lane buffer needs at least one lane");
+        Self {
+            lanes,
+            values: vec![0.0; lanes * HOURS_PER_YEAR],
+        }
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Sample at `(hour, lane)`.
+    #[inline]
+    pub fn get(&self, hour: usize, lane: usize) -> f64 {
+        self.values[hour * self.lanes + lane]
+    }
+
+    /// Fills one lane from a year-long slice.
+    ///
+    /// # Panics
+    /// Panics if `src` is not exactly one year long.
+    pub fn set_lane(&mut self, lane: usize, src: &[f64]) {
+        assert_eq!(src.len(), HOURS_PER_YEAR, "lanes hold whole years");
+        for (h, &v) in src.iter().enumerate() {
+            self.values[h * self.lanes + lane] = v;
+        }
+    }
+
+    /// Fills one lane from a year-long slice, scaled by `k` when given.
+    ///
+    /// `Some(k)` materializes `v * k` per sample — the exact expression
+    /// [`HourlySeries::scale`](crate::hourly::HourlySeries::scale) materializes — and `None` copies the raw
+    /// samples, mirroring the scalar no-override branch (identity is
+    /// decided by the *presence* of a scale, never by its value, so a
+    /// literal `Some(1.0)` still multiplies).
+    pub fn set_lane_scaled(&mut self, lane: usize, src: &[f64], k: Option<f64>) {
+        assert_eq!(src.len(), HOURS_PER_YEAR, "lanes hold whole years");
+        match k {
+            Some(k) => {
+                for (h, &v) in src.iter().enumerate() {
+                    self.values[h * self.lanes + lane] = v * k;
+                }
+            }
+            None => self.set_lane(lane, src),
+        }
+    }
+
+    /// Fills every lane in one hour-outer pass — the cache-friendly
+    /// transpose of calling [`Self::set_lane_scaled`] per lane. The
+    /// per-lane writes stride by the lane count (a cache miss per sample
+    /// once K lanes span more than a line); packing hour-outer instead
+    /// streams the buffer sequentially while each source advances as its
+    /// own sequential read stream. Per sample the materialized value is
+    /// the identical expression (`v * k` when scaled, `v` raw), so the
+    /// write order cannot affect bit-identity.
+    ///
+    /// # Panics
+    /// Panics if the source count differs from the lane count or any
+    /// source is not exactly one year long.
+    pub fn pack_scaled(&mut self, sources: &[(&[f64], Option<f64>)]) {
+        assert_eq!(sources.len(), self.lanes, "one source per lane");
+        for (src, _) in sources {
+            assert_eq!(src.len(), HOURS_PER_YEAR, "lanes hold whole years");
+        }
+        for h in 0..HOURS_PER_YEAR {
+            let row = &mut self.values[h * self.lanes..(h + 1) * self.lanes];
+            for (slot, (src, k)) in row.iter_mut().zip(sources) {
+                *slot = match k {
+                    Some(k) => src[h] * k,
+                    None => src[h],
+                };
+            }
+        }
+    }
+
+    /// Copies one lane back out as a year-long vector (strided gather).
+    pub fn lane_values(&self, lane: usize) -> Vec<f64> {
+        (0..HOURS_PER_YEAR).map(|h| self.get(h, lane)).collect()
+    }
+}
+
+/// K-lane dot product: `acc[l] = Σ_h a[h,l]·b[h,l]`, one pass over the
+/// hour axis. Per lane this is bit-identical to [`HourlySeries::dot`](crate::hourly::HourlySeries::dot) —
+/// products accumulate from 0.0 in ascending hour order.
+///
+/// # Panics
+/// Panics if the buffers or `acc` disagree on the lane count.
+pub fn dot_k(a: &LaneBuffer, b: &LaneBuffer, acc: &mut [f64]) {
+    let lanes = a.lanes;
+    assert_eq!(b.lanes, lanes, "lane counts must match");
+    assert_eq!(acc.len(), lanes, "one accumulator per lane");
+    acc.fill(0.0);
+    for h in 0..HOURS_PER_YEAR {
+        let row_a = &a.values[h * lanes..(h + 1) * lanes];
+        let row_b = &b.values[h * lanes..(h + 1) * lanes];
+        for l in 0..lanes {
+            acc[l] += row_a[l] * row_b[l];
+        }
+    }
+}
+
+/// K-lane total: `acc[l] = Σ_h a[h,l]` — per lane bit-identical to
+/// [`HourlySeries::total`](crate::hourly::HourlySeries::total).
+pub fn sum_k(a: &LaneBuffer, acc: &mut [f64]) {
+    let lanes = a.lanes;
+    assert_eq!(acc.len(), lanes, "one accumulator per lane");
+    acc.fill(0.0);
+    for h in 0..HOURS_PER_YEAR {
+        let row = &a.values[h * lanes..(h + 1) * lanes];
+        for l in 0..lanes {
+            acc[l] += row[l];
+        }
+    }
+}
+
+/// K-lane annual mean: `acc[l] = (Σ_h a[h,l]) / 8760` — per lane
+/// bit-identical to [`HourlySeries::mean`](crate::hourly::HourlySeries::mean) (`stats::mean` is the same
+/// ordered sum divided by the length).
+pub fn mean_k(a: &LaneBuffer, acc: &mut [f64]) {
+    sum_k(a, acc);
+    for v in acc.iter_mut() {
+        *v /= HOURS_PER_YEAR as f64;
+    }
+}
+
+/// K-lane fused `out[h,l] = a[h,l] + b[h,l]·k[l]` — the
+/// `WI = WUE + PUE·EWF` kernel ([`HourlySeries::add_scaled`](crate::hourly::HourlySeries::add_scaled)) with a
+/// per-lane scale factor.
+///
+/// # Panics
+/// Panics if any buffer or `k` disagrees on the lane count.
+pub fn add_scaled_k(a: &LaneBuffer, b: &LaneBuffer, k: &[f64], out: &mut LaneBuffer) {
+    let lanes = a.lanes;
+    assert_eq!(b.lanes, lanes, "lane counts must match");
+    assert_eq!(out.lanes, lanes, "lane counts must match");
+    assert_eq!(k.len(), lanes, "one scale per lane");
+    for h in 0..HOURS_PER_YEAR {
+        let row_a = &a.values[h * lanes..(h + 1) * lanes];
+        let row_b = &b.values[h * lanes..(h + 1) * lanes];
+        let row_o = &mut out.values[h * lanes..(h + 1) * lanes];
+        for l in 0..lanes {
+            row_o[l] = row_a[l] + row_b[l] * k[l];
+        }
+    }
+}
+
+/// K-lane monthly product sums: `out[l * 12 + m] = Σ_{h∈month m}
+/// a[h,l]·b[h,l]`, lane-major. Months are contiguous hour ranges, so per
+/// `(lane, month)` the products accumulate from 0.0 in ascending hour
+/// order — bit-identical to `a.mul(&b).monthly_sum()` on that lane.
+///
+/// # Panics
+/// Panics if the buffers disagree on lanes or `out` is not
+/// `lanes * 12` long.
+pub fn monthly_dot_k(a: &LaneBuffer, b: &LaneBuffer, out: &mut [f64]) {
+    let lanes = a.lanes;
+    assert_eq!(b.lanes, lanes, "lane counts must match");
+    assert_eq!(out.len(), lanes * MONTHS_PER_YEAR, "12 slots per lane");
+    out.fill(0.0);
+    let cal = SimCalendar;
+    for (m, &month) in Month::ALL.iter().enumerate() {
+        for h in cal.month_hours(month) {
+            let row_a = &a.values[h * lanes..(h + 1) * lanes];
+            let row_b = &b.values[h * lanes..(h + 1) * lanes];
+            for l in 0..lanes {
+                out[l * MONTHS_PER_YEAR + m] += row_a[l] * row_b[l];
+            }
+        }
+    }
+}
+
+/// Every annual reduction the batched scenario evaluator needs, for K
+/// lanes, produced by [`annual_reductions_k`] in a single pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnualLaneReductions {
+    /// `Σ_h e[h,l]` per lane.
+    pub energy_total: Vec<f64>,
+    /// `Σ_h e[h,l]·w[h,l]` per lane.
+    pub direct: Vec<f64>,
+    /// `Σ_h e[h,l]·f[h,l]` per lane.
+    pub indirect: Vec<f64>,
+    /// `Σ_h e[h,l]·c[h,l]` per lane.
+    pub carbon: Vec<f64>,
+    /// `mean_h w[h,l]` per lane.
+    pub wue_mean: Vec<f64>,
+    /// `mean_h f[h,l]` per lane.
+    pub ewf_mean: Vec<f64>,
+    /// `mean_h c[h,l]` per lane.
+    pub carbon_mean: Vec<f64>,
+    /// Monthly `Σ e·w`, lane-major (`[l * 12 + m]`).
+    pub monthly_direct: Vec<f64>,
+}
+
+/// The fused K-lane reduction: every accumulator of
+/// [`AnnualLaneReductions`] filled in one pass over the hour axis,
+/// reading each buffer once instead of once per reduction.
+///
+/// **Bit-identity.** Each accumulator is an independent left-to-right
+/// fold; months are contiguous ascending hour ranges partitioning the
+/// year, so iterating months-outer/hours-inner visits hours 0..8760 in
+/// exactly the scalar order. Per step the expressions are the scalar
+/// ones (`acc += e`, `acc += e*w`, …), so every output is bit-identical
+/// to the corresponding single-purpose kernel ([`sum_k`], [`dot_k`],
+/// [`mean_k`], [`monthly_dot_k`]) — the fusion only removes redundant
+/// memory traffic.
+///
+/// # Panics
+/// Panics if the buffers disagree on the lane count.
+pub fn annual_reductions_k(
+    e: &LaneBuffer,
+    w: &LaneBuffer,
+    f: &LaneBuffer,
+    c: &LaneBuffer,
+) -> AnnualLaneReductions {
+    let lanes = e.lanes;
+    assert_eq!(w.lanes, lanes, "lane counts must match");
+    assert_eq!(f.lanes, lanes, "lane counts must match");
+    assert_eq!(c.lanes, lanes, "lane counts must match");
+    let mut out = AnnualLaneReductions {
+        energy_total: vec![0.0; lanes],
+        direct: vec![0.0; lanes],
+        indirect: vec![0.0; lanes],
+        carbon: vec![0.0; lanes],
+        wue_mean: vec![0.0; lanes],
+        ewf_mean: vec![0.0; lanes],
+        carbon_mean: vec![0.0; lanes],
+        monthly_direct: vec![0.0; lanes * MONTHS_PER_YEAR],
+    };
+    let cal = SimCalendar;
+    for (m, &month) in Month::ALL.iter().enumerate() {
+        for h in cal.month_hours(month) {
+            let row_e = &e.values[h * lanes..(h + 1) * lanes];
+            let row_w = &w.values[h * lanes..(h + 1) * lanes];
+            let row_f = &f.values[h * lanes..(h + 1) * lanes];
+            let row_c = &c.values[h * lanes..(h + 1) * lanes];
+            for l in 0..lanes {
+                let ew = row_e[l] * row_w[l];
+                out.energy_total[l] += row_e[l];
+                out.direct[l] += ew;
+                out.indirect[l] += row_e[l] * row_f[l];
+                out.carbon[l] += row_e[l] * row_c[l];
+                out.wue_mean[l] += row_w[l];
+                out.ewf_mean[l] += row_f[l];
+                out.carbon_mean[l] += row_c[l];
+                out.monthly_direct[l * MONTHS_PER_YEAR + m] += ew;
+            }
+        }
+    }
+    for l in 0..lanes {
+        out.wue_mean[l] /= HOURS_PER_YEAR as f64;
+        out.ewf_mean[l] /= HOURS_PER_YEAR as f64;
+        out.carbon_mean[l] /= HOURS_PER_YEAR as f64;
+    }
+    out
+}
+
+/// One lane's source series plus the post-simulation scales, for the
+/// zero-copy [`annual_reductions_scaled`] kernel. Scales follow the
+/// [`LaneBuffer::set_lane_scaled`] contract: identity is decided by the
+/// *presence* of a scale, never by its value.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneSource<'a> {
+    /// Hourly IT energy, kWh.
+    pub energy: &'a [f64],
+    /// Hourly WUE, L/kWh.
+    pub wue: &'a [f64],
+    /// Hourly EWF, L/kWh.
+    pub ewf: &'a [f64],
+    /// Hourly carbon intensity, gCO₂/kWh.
+    pub carbon: &'a [f64],
+    /// WUE multiplier.
+    pub wue_scale: Option<f64>,
+    /// EWF multiplier.
+    pub ewf_scale: Option<f64>,
+    /// Carbon multiplier.
+    pub carbon_scale: Option<f64>,
+}
+
+/// [`annual_reductions_k`] computed straight from the source slices —
+/// no lane buffers materialized. Sweeps share a handful of unique
+/// series across thousands of lanes (energy per system, WUE per
+/// climate, EWF/carbon per region); packing copies each of them once
+/// per lane, inflating a cache-resident working set by the lane count.
+/// Reading the shared slices in place keeps the working set at the
+/// *unique*-series size.
+///
+/// **Bit-identity.** Per hour and lane the evaluated expressions are
+/// exactly the pack-then-reduce ones — the scaled sample is `v * k`
+/// (or `v` raw), then the same fold steps in the same ascending hour
+/// order. `lanes::tests` pins equality against
+/// [`LaneBuffer::pack_scaled`] + [`annual_reductions_k`] bit for bit.
+///
+/// # Panics
+/// Panics if `sources` is empty or any slice is not a whole year.
+pub fn annual_reductions_scaled(sources: &[LaneSource<'_>]) -> AnnualLaneReductions {
+    let lanes = sources.len();
+    assert!(lanes > 0, "a lane batch needs at least one lane");
+    for s in sources {
+        assert_eq!(s.energy.len(), HOURS_PER_YEAR, "lanes hold whole years");
+        assert_eq!(s.wue.len(), HOURS_PER_YEAR, "lanes hold whole years");
+        assert_eq!(s.ewf.len(), HOURS_PER_YEAR, "lanes hold whole years");
+        assert_eq!(s.carbon.len(), HOURS_PER_YEAR, "lanes hold whole years");
+    }
+    let mut out = AnnualLaneReductions {
+        energy_total: vec![0.0; lanes],
+        direct: vec![0.0; lanes],
+        indirect: vec![0.0; lanes],
+        carbon: vec![0.0; lanes],
+        wue_mean: vec![0.0; lanes],
+        ewf_mean: vec![0.0; lanes],
+        carbon_mean: vec![0.0; lanes],
+        monthly_direct: vec![0.0; lanes * MONTHS_PER_YEAR],
+    };
+    let cal = SimCalendar;
+    for (m, &month) in Month::ALL.iter().enumerate() {
+        for h in cal.month_hours(month) {
+            for (l, s) in sources.iter().enumerate() {
+                let e = s.energy[h];
+                let w = match s.wue_scale {
+                    Some(k) => s.wue[h] * k,
+                    None => s.wue[h],
+                };
+                let f = match s.ewf_scale {
+                    Some(k) => s.ewf[h] * k,
+                    None => s.ewf[h],
+                };
+                let c = match s.carbon_scale {
+                    Some(k) => s.carbon[h] * k,
+                    None => s.carbon[h],
+                };
+                let ew = e * w;
+                out.energy_total[l] += e;
+                out.direct[l] += ew;
+                out.indirect[l] += e * f;
+                out.carbon[l] += e * c;
+                out.wue_mean[l] += w;
+                out.ewf_mean[l] += f;
+                out.carbon_mean[l] += c;
+                out.monthly_direct[l * MONTHS_PER_YEAR + m] += ew;
+            }
+        }
+    }
+    for l in 0..lanes {
+        out.wue_mean[l] /= HOURS_PER_YEAR as f64;
+        out.ewf_mean[l] /= HOURS_PER_YEAR as f64;
+        out.carbon_mean[l] /= HOURS_PER_YEAR as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hourly::HourlySeries;
+
+    fn series(phase: usize) -> HourlySeries {
+        HourlySeries::from_fn(|h| ((h * (13 + phase)) % 29) as f64 * 0.37 + phase as f64 * 0.01)
+    }
+
+    #[test]
+    fn lane_round_trip_and_scaling() {
+        let a = series(0);
+        let mut buf = LaneBuffer::new(3);
+        buf.set_lane(0, a.values());
+        buf.set_lane_scaled(1, a.values(), Some(1.75));
+        buf.set_lane_scaled(2, a.values(), None);
+        assert_eq!(buf.lane_values(0), a.values());
+        assert_eq!(buf.lane_values(1), a.scale(1.75).values());
+        assert_eq!(buf.lane_values(2), a.values());
+        // Some(1.0) multiplies — presence decides, not the value.
+        let mut one = LaneBuffer::new(1);
+        one.set_lane_scaled(0, a.values(), Some(1.0));
+        assert_eq!(one.lane_values(0), a.scale(1.0).values());
+    }
+
+    #[test]
+    fn k_lane_kernels_match_their_scalar_pairs_bit_for_bit() {
+        let series_a: Vec<HourlySeries> = (0..4).map(series).collect();
+        let series_b: Vec<HourlySeries> = (4..8).map(series).collect();
+        let scales = [1.618_033_988_7, 0.5, 2.25, 1.0];
+        let mut a = LaneBuffer::new(4);
+        let mut b = LaneBuffer::new(4);
+        for l in 0..4 {
+            a.set_lane(l, series_a[l].values());
+            b.set_lane(l, series_b[l].values());
+        }
+        let mut dots = [0.0; 4];
+        dot_k(&a, &b, &mut dots);
+        let mut sums = [0.0; 4];
+        sum_k(&a, &mut sums);
+        let mut means = [0.0; 4];
+        mean_k(&a, &mut means);
+        let mut fused = LaneBuffer::new(4);
+        add_scaled_k(&a, &b, &scales, &mut fused);
+        let mut monthly = vec![0.0; 4 * MONTHS_PER_YEAR];
+        monthly_dot_k(&a, &b, &mut monthly);
+        for l in 0..4 {
+            assert_eq!(dots[l], series_a[l].dot(&series_b[l]), "dot lane {l}");
+            assert_eq!(sums[l], series_a[l].total(), "total lane {l}");
+            assert_eq!(means[l], series_a[l].mean(), "mean lane {l}");
+            assert_eq!(
+                fused.lane_values(l),
+                series_a[l].add_scaled(&series_b[l], scales[l]).values(),
+                "add_scaled lane {l}"
+            );
+            let scalar_monthly = series_a[l].mul(&series_b[l]).monthly_sum();
+            for (m, &month) in Month::ALL.iter().enumerate() {
+                assert_eq!(
+                    monthly[l * MONTHS_PER_YEAR + m],
+                    scalar_monthly.get(month),
+                    "monthly lane {l} month {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_reductions_match_the_single_purpose_kernels_bit_for_bit() {
+        let mk = |phase: usize| -> LaneBuffer {
+            let mut buf = LaneBuffer::new(3);
+            for l in 0..3 {
+                buf.set_lane(l, series(phase + l).values());
+            }
+            buf
+        };
+        let (e, w, f, c) = (mk(0), mk(3), mk(6), mk(9));
+        let fused = annual_reductions_k(&e, &w, &f, &c);
+        let mut expect = vec![0.0; 3];
+        sum_k(&e, &mut expect);
+        assert_eq!(fused.energy_total, expect);
+        dot_k(&e, &w, &mut expect);
+        assert_eq!(fused.direct, expect);
+        dot_k(&e, &f, &mut expect);
+        assert_eq!(fused.indirect, expect);
+        dot_k(&e, &c, &mut expect);
+        assert_eq!(fused.carbon, expect);
+        mean_k(&w, &mut expect);
+        assert_eq!(fused.wue_mean, expect);
+        mean_k(&f, &mut expect);
+        assert_eq!(fused.ewf_mean, expect);
+        mean_k(&c, &mut expect);
+        assert_eq!(fused.carbon_mean, expect);
+        let mut monthly = vec![0.0; 3 * MONTHS_PER_YEAR];
+        monthly_dot_k(&e, &w, &mut monthly);
+        assert_eq!(fused.monthly_direct, monthly);
+    }
+
+    #[test]
+    fn zero_copy_reductions_match_pack_then_reduce_bit_for_bit() {
+        let srcs: Vec<HourlySeries> = (0..12).map(series).collect();
+        let scales = [None, Some(1.3), Some(1.0)];
+        let sources: Vec<LaneSource> = (0..3)
+            .map(|l| LaneSource {
+                energy: srcs[l].values(),
+                wue: srcs[l + 3].values(),
+                ewf: srcs[l + 6].values(),
+                carbon: srcs[l + 9].values(),
+                wue_scale: scales[l],
+                ewf_scale: scales[(l + 1) % 3],
+                carbon_scale: scales[(l + 2) % 3],
+            })
+            .collect();
+        let direct = annual_reductions_scaled(&sources);
+        let pack =
+            |pick: for<'a> fn(&'a LaneSource<'a>) -> (&'a [f64], Option<f64>)| -> LaneBuffer {
+                let mut buf = LaneBuffer::new(3);
+                let picked: Vec<(&[f64], Option<f64>)> = sources.iter().map(pick).collect();
+                buf.pack_scaled(&picked);
+                buf
+            };
+        let e = pack(|s| (s.energy, None));
+        let w = pack(|s| (s.wue, s.wue_scale));
+        let f = pack(|s| (s.ewf, s.ewf_scale));
+        let c = pack(|s| (s.carbon, s.carbon_scale));
+        assert_eq!(direct, annual_reductions_k(&e, &w, &f, &c));
+    }
+
+    #[test]
+    fn pack_scaled_is_the_exact_transpose_of_per_lane_packing() {
+        let srcs: Vec<HourlySeries> = (0..5).map(series).collect();
+        let scales = [None, Some(1.75), Some(1.0), None, Some(0.25)];
+        let mut per_lane = LaneBuffer::new(5);
+        for (l, src) in srcs.iter().enumerate() {
+            per_lane.set_lane_scaled(l, src.values(), scales[l]);
+        }
+        let mut packed = LaneBuffer::new(5);
+        let sources: Vec<(&[f64], Option<f64>)> = srcs
+            .iter()
+            .zip(scales)
+            .map(|(s, k)| (s.values(), k))
+            .collect();
+        packed.pack_scaled(&sources);
+        assert_eq!(packed, per_lane);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_is_a_bug() {
+        LaneBuffer::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane counts must match")]
+    fn mismatched_lanes_panic() {
+        let a = LaneBuffer::new(2);
+        let b = LaneBuffer::new(3);
+        let mut acc = [0.0; 2];
+        dot_k(&a, &b, &mut acc);
+    }
+}

@@ -6,7 +6,7 @@
 //! thirstyflops rank [--adjusted] [--seed N] [--json]    Water500-style ranking of all systems
 //! thirstyflops scenario <system> [--seed N] [--json]    Fig. 14 energy-source what-ifs
 //! thirstyflops scenario run <file> [--json]             evaluate a scenario spec (docs/SCENARIOS.md)
-//! thirstyflops scenario sweep <file> [--json]           expand + evaluate a cartesian sweep spec
+//! thirstyflops scenario sweep <file> [--top N] [--json] evaluate a cartesian sweep (batched; --top streams the best N rows)
 //! thirstyflops sensitivity <system> [--seed N]          which parameters move the answer
 //! thirstyflops lifecycle <system> --years N             break-even & amortized intensity
 //! thirstyflops experiments [id ...] [--all] [--json]    regenerate paper tables/figures
@@ -57,6 +57,12 @@ fn run(raw_args: &[String]) -> i32 {
                 // byte-identical either way (tests/simcache.rs).
                 thirstyflops::core::simcache::set_enabled(false);
             }
+            if global.no_batch {
+                // Pin sweeps to the scalar reference path instead of the
+                // batched K-lane kernel. Output is byte-identical either
+                // way (tests/batch.rs, ./ci.sh batch-smoke).
+                thirstyflops::core::batch::set_enabled(false);
+            }
             global.args
         }
         Err(msg) => {
@@ -101,7 +107,7 @@ fn usage() {
          thirstyflops rank [--adjusted] [--seed N] [--json]\n  \
          thirstyflops scenario <system> [--seed N] [--json]\n  \
          thirstyflops scenario run <file> [--json]\n  \
-         thirstyflops scenario sweep <file> [--json]\n  \
+         thirstyflops scenario sweep <file> [--top N] [--json]\n  \
          thirstyflops sensitivity <system> [--seed N]\n  \
          thirstyflops lifecycle <system> --years N [--seed N]\n  \
          thirstyflops experiments [id ...] [--all] [--json]\n  \
@@ -114,9 +120,11 @@ fn usage() {
          \u{20}                  [--one-shot] [--bench-json] [--json]\n\n\
          Every command also accepts --threads N (worker threads for the\n\
          parallel sweeps; defaults to THIRSTYFLOPS_THREADS, then the CPU\n\
-         count) and --no-sim-cache (recompute every simulation instead\n\
-         of using the memoized substrate — docs/PERFORMANCE.md). Results\n\
-         are identical at every thread count, cached or not, and --json\n\
+         count), --no-sim-cache (recompute every simulation instead of\n\
+         using the memoized substrate — docs/PERFORMANCE.md), and\n\
+         --no-batch (evaluate sweeps on the scalar reference path\n\
+         instead of the batched K-lane kernel). Results are identical at\n\
+         every thread count, cached or not, batched or not, and --json\n\
          output is byte-identical to the HTTP API's (docs/SERVING.md).\n\n\
          Systems: marconi, fugaku, polaris, frontier, aurora, elcapitan"
     );
@@ -131,18 +139,25 @@ struct GlobalFlags {
     threads: Option<usize>,
     /// `--no-sim-cache`: disable the memoized simulation substrate.
     no_sim_cache: bool,
+    /// `--no-batch`: evaluate sweeps on the scalar reference path.
+    no_batch: bool,
 }
 
-/// Splits the global `--threads N` / `--no-sim-cache` flags (any
-/// position) out of the argument list.
+/// Splits the global `--threads N` / `--no-sim-cache` / `--no-batch`
+/// flags (any position) out of the argument list.
 fn extract_global_flags(args: &[String]) -> Result<GlobalFlags, String> {
     let mut rest = Vec::with_capacity(args.len());
     let mut threads = None;
     let mut no_sim_cache = false;
+    let mut no_batch = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--no-sim-cache" {
             no_sim_cache = true;
+            continue;
+        }
+        if arg == "--no-batch" {
+            no_batch = true;
             continue;
         }
         if arg != "--threads" {
@@ -165,6 +180,7 @@ fn extract_global_flags(args: &[String]) -> Result<GlobalFlags, String> {
         args: rest,
         threads,
         no_sim_cache,
+        no_batch,
     })
 }
 
@@ -447,7 +463,21 @@ fn cmd_scenario_sweep(args: &[String]) -> i32 {
         Ok(t) => t,
         Err(c) => return c,
     };
-    let sweep = match thirstyflops::scenario::SweepSpec::from_json(&text) {
+    // `--top N` streams the sweep: only the best N rows (by the spec's
+    // `rank_by`, default operational water) are kept, and the expansion
+    // ceiling rises to the streaming limit. Applied before the ceiling
+    // check, exactly like an in-file `"top_n"`.
+    let top = match flag_value(args, "--top") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("--top expects a positive integer, got {raw:?}");
+                return 2;
+            }
+        },
+    };
+    let sweep = match thirstyflops::scenario::SweepSpec::from_json_with_top(&text, top) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
@@ -470,6 +500,13 @@ fn cmd_scenario_sweep(args: &[String]) -> i32 {
         "{} — base {} (seed {}, {} scenarios, spec {})",
         report.name, report.base, report.seed, report.scenario_count, report.fingerprint
     );
+    if let (Some(n), Some(rank)) = (report.top_n, report.rank_by.as_deref()) {
+        println!(
+            "  streaming top-{n}: best {} of {} rows by {rank} (ascending)",
+            report.rows.len(),
+            report.scenario_count
+        );
+    }
     println!(
         "  baseline: operational {:.2} ML, adjusted {:.2} ML, carbon {:.1} t, bill {:.0} USD",
         report.baseline.operational_water_l / 1e6,

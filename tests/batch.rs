@@ -1,0 +1,326 @@
+//! The scalar-vs-batched differential suite (acceptance criteria).
+//!
+//! The batched K-lane kernel (`core::batch`) promises *bit identity*
+//! with the scalar path, not approximate agreement: every lane of a
+//! batch must reproduce, to the last IEEE bit, what the scalar oracle
+//! `SystemYear::simulate_uncached` plus the fused scalar reductions
+//! produce for the same spec and seed. These tests enforce that with
+//! `assert_eq!` on raw `f64`s — no tolerances anywhere — across
+//! proptest-random spec batches, thread counts, chunkings, and the
+//! simulation cache on or off. The streaming top-N aggregator gets the
+//! same treatment: its kept set must equal full-sort-then-truncate
+//! under the (key, index) total order, independent of push or merge
+//! order (docs/CONCURRENCY.md).
+
+use std::process::Command;
+
+use proptest::prelude::*;
+use thirstyflops::catalog::{SystemId, SystemSpec};
+use thirstyflops::core::batch::{BatchContext, LaneRequest, TopN};
+use thirstyflops::core::SystemYear;
+use thirstyflops::timeseries::Month;
+
+/// A proptest-shaped spec perturbation: system pick, node count,
+/// utilization, and seed. Kept in valid catalog ranges.
+fn spec_for(pick: u64, nodes: u64, util: f64) -> SystemSpec {
+    let mut spec = SystemSpec::reference(SystemId::PAPER[pick as usize % SystemId::PAPER.len()]);
+    spec.nodes = 50 + (nodes % 2000) as u32;
+    spec.mean_utilization = util;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tentpole acceptance: random batches through `simulate_batch`
+    /// reproduce the uncached scalar oracle series-for-series,
+    /// bit-for-bit.
+    #[test]
+    fn batched_simulation_matches_the_uncached_oracle(
+        lanes in collection::vec((0u64..4, 0u64..10_000, 0.30f64..0.95, 0u64..1_000_000), 1..6)
+    ) {
+        let ctx = BatchContext::new();
+        let requests: Vec<(SystemSpec, u64)> = lanes
+            .iter()
+            .map(|&(pick, nodes, util, seed)| (spec_for(pick, nodes, util), seed))
+            .collect();
+        let batched = ctx.simulate_batch(&requests);
+        prop_assert_eq!(batched.len(), requests.len());
+        for ((spec, seed), year) in requests.iter().zip(&batched) {
+            let oracle = SystemYear::simulate_uncached(spec.clone(), *seed);
+            prop_assert_eq!(&year.utilization, &oracle.utilization);
+            prop_assert_eq!(&year.energy, &oracle.energy);
+            prop_assert_eq!(&year.wue, &oracle.wue);
+            prop_assert_eq!(&year.ewf, &oracle.ewf);
+            prop_assert_eq!(&year.carbon, &oracle.carbon);
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The K-lane annual reductions (totals, dots, means, monthly sums)
+    /// with per-lane scaling factors equal the scalar expressions the
+    /// engine's reference path computes — the exact `f64`s.
+    #[test]
+    fn batched_aggregates_match_the_scalar_reductions(
+        lanes in collection::vec(
+            (0u64..4, 0u64..10_000, 0.30f64..0.95, 0u64..1_000_000,
+             0.2f64..3.0, 0.2f64..3.0),
+            // Crossing 33 exercises the 32-lane per-pass block split.
+            1..34,
+        )
+    ) {
+        let ctx = BatchContext::new();
+        let requests: Vec<LaneRequest> = lanes
+            .iter()
+            .enumerate()
+            .map(|(i, &(pick, nodes, util, seed, wue_k, ewf_k))| LaneRequest {
+                spec: spec_for(pick, nodes, util),
+                seed,
+                // Mix scaled and unscaled lanes in one batch: the
+                // identity-vs-scaled decision is per lane.
+                wue_scale: (i % 2 == 0).then_some(wue_k),
+                ewf_scale: (i % 3 == 0).then_some(ewf_k),
+                carbon_scale: (i % 5 == 0).then_some(ewf_k * 0.5),
+            })
+            .collect();
+        let aggregates = ctx.aggregate(&requests);
+        prop_assert_eq!(aggregates.len(), requests.len());
+        for (req, agg) in requests.iter().zip(&aggregates) {
+            let year = SystemYear::simulate_uncached(req.spec.clone(), req.seed);
+            let wue = match req.wue_scale {
+                Some(k) => year.wue.scale(k),
+                None => year.wue.clone(),
+            };
+            let ewf = match req.ewf_scale {
+                Some(k) => year.ewf.scale(k),
+                None => year.ewf.clone(),
+            };
+            let carbon = match req.carbon_scale {
+                Some(k) => year.carbon.scale(k),
+                None => year.carbon.clone(),
+            };
+            prop_assert_eq!(agg.energy_kwh, year.energy.total());
+            prop_assert_eq!(agg.direct_l, year.energy.dot(&wue));
+            prop_assert_eq!(agg.indirect_per_pue_l, year.energy.dot(&ewf));
+            prop_assert_eq!(agg.carbon_g, year.energy.dot(&carbon));
+            prop_assert_eq!(agg.mean_wue, wue.mean());
+            prop_assert_eq!(agg.mean_ewf, ewf.mean());
+            prop_assert_eq!(agg.mean_carbon, carbon.mean());
+            let monthly = year.energy.mul(&wue).monthly_sum();
+            for (m, &month) in Month::ALL.iter().enumerate() {
+                prop_assert_eq!(agg.monthly_direct_l[m], monthly.get(month));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- top-N
+
+/// The reference semantics: sort every (key, index) pair under the
+/// same total order the heap uses, truncate to `n`.
+fn sort_then_truncate(entries: &[(f64, u64)], n: usize) -> Vec<(f64, u64)> {
+    let mut sorted = entries.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    sorted.truncate(n);
+    sorted
+}
+
+fn drain(top: TopN<()>) -> Vec<(f64, u64)> {
+    top.into_sorted()
+        .into_iter()
+        .map(|e| (e.key, e.index))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Satellite: the streaming top-N equals full-sort-then-truncate —
+    /// including duplicate keys, where the smaller index wins.
+    #[test]
+    fn topn_equals_full_sort_then_truncate(
+        keys in collection::vec(0u64..12, 1..200),
+        capacity in 1usize..24,
+    ) {
+        // Coarse integer keys force plenty of exact ties.
+        let entries: Vec<(f64, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k as f64 * 0.5, i as u64))
+            .collect();
+        let mut top = TopN::new(capacity);
+        for &(key, index) in &entries {
+            top.push(key, index, ());
+        }
+        prop_assert_eq!(drain(top), sort_then_truncate(&entries, capacity));
+    }
+
+    /// Satellite: the kept set is a property of the pushed set alone —
+    /// any chunking of the stream into per-chunk heaps, merged in any
+    /// order, yields identical results. This is the exact argument that
+    /// makes sweep reports independent of thread count and chunk size.
+    #[test]
+    fn topn_is_invariant_under_chunking_and_merge_order(
+        keys in collection::vec(0u64..9, 1..200),
+        capacity in 1usize..16,
+        chunk in 1usize..48,
+    ) {
+        let entries: Vec<(f64, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k as f64, i as u64))
+            .collect();
+        let mut single = TopN::new(capacity);
+        for &(key, index) in &entries {
+            single.push(key, index, ());
+        }
+        // Chunked, merged in *reverse* chunk order.
+        let mut chunked: Vec<TopN<()>> = entries
+            .chunks(chunk)
+            .map(|block| {
+                let mut heap = TopN::new(capacity);
+                for &(key, index) in block {
+                    heap.push(key, index, ());
+                }
+                heap
+            })
+            .collect();
+        let mut merged = chunked.pop().expect("at least one chunk");
+        while let Some(heap) = chunked.pop() {
+            merged.merge(heap);
+        }
+        prop_assert_eq!(drain(merged), drain(single));
+    }
+}
+
+// ------------------------------------------------- sweep-level identity
+
+fn spec_path(name: &str) -> String {
+    format!("{}/examples/scenarios/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// A `top_n` sweep report carries exactly the rows a full evaluation
+/// would keep after sorting on the rank metric (expansion order breaks
+/// ties, which a stable sort preserves).
+#[test]
+fn streaming_top_n_rows_equal_sort_then_truncate_of_the_full_report() {
+    let text = std::fs::read_to_string(spec_path("sweep_siting.json")).expect("spec ships");
+    let full = thirstyflops::scenario::evaluate_sweep(
+        &thirstyflops::scenario::SweepSpec::from_json(&text).expect("parses"),
+    )
+    .expect("full sweep evaluates");
+    let streamed = thirstyflops::scenario::evaluate_sweep(
+        &thirstyflops::scenario::SweepSpec::from_json_with_top(&text, Some(5)).expect("parses"),
+    )
+    .expect("streamed sweep evaluates");
+    assert_eq!(streamed.rows.len(), 5);
+    assert_eq!(streamed.top_n, Some(5));
+    assert_eq!(streamed.rank_by.as_deref(), Some("operational_water_l"));
+    let mut reference = full.rows.clone();
+    reference.sort_by(|a, b| {
+        a.scenario
+            .operational_water_l
+            .total_cmp(&b.scenario.operational_water_l)
+    });
+    reference.truncate(5);
+    let render = |rows: &[thirstyflops::scenario::SweepRow]| {
+        serde_json::to_string(&rows.to_vec()).expect("rows render")
+    };
+    assert_eq!(render(&streamed.rows), render(&reference));
+}
+
+/// CLI-level differential: `scenario sweep --json` emits byte-identical
+/// reports batched and scalar (`--no-batch`), at 1 and 8 threads, with
+/// the simulation cache on and off — every combination, one byte set.
+#[test]
+fn cli_sweep_bytes_identical_batched_vs_scalar_across_threads_and_cache() {
+    let path = spec_path("sweep_siting.json");
+    let mut bodies: Vec<Vec<u8>> = Vec::new();
+    for threads in ["1", "8"] {
+        for extra in [
+            &[][..],
+            &["--no-batch"][..],
+            &["--no-batch", "--no-sim-cache"][..],
+        ] {
+            let mut args = vec!["scenario", "sweep", path.as_str(), "--json"];
+            args.extend_from_slice(extra);
+            let out = Command::new(env!("CARGO_BIN_EXE_thirstyflops"))
+                .args(&args)
+                .env("THIRSTYFLOPS_THREADS", threads)
+                .output()
+                .expect("CLI binary runs");
+            assert!(out.status.success(), "{args:?} failed: {out:?}");
+            bodies.push(out.stdout);
+        }
+    }
+    for body in &bodies[1..] {
+        assert_eq!(
+            &bodies[0], body,
+            "sweep bytes must not depend on batching, threads, or the cache"
+        );
+    }
+}
+
+/// The same differential over a *streaming* (top-N) sweep: a 600-cell
+/// spec — more than one 512-row chunk, so chunked top-N merging runs —
+/// produces one byte set batched vs scalar at both thread counts. The
+/// scalar run is the expensive oracle; 600 cells keeps it tractable in
+/// a debug test (the 101,250-cell spec is `./ci.sh batch-smoke`'s job).
+#[test]
+fn cli_streaming_sweep_bytes_identical_batched_vs_scalar() {
+    let spec = r#"{
+        "name": "streaming-differential", "base": "polaris", "top_n": 7,
+        "rank_by": "scarcity_adjusted_water_l",
+        "axes": {
+            "climate.wue_scale": [0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4],
+            "pue": [1.06, 1.10, 1.14, 1.18, 1.22, 1.26, 1.30, 1.34, 1.38, 1.42],
+            "wsi.site": [0.05, 0.20, 0.35, 0.50, 0.65, 0.80]
+        }
+    }"#;
+    let path = std::env::temp_dir().join("thirstyflops_streaming_differential.json");
+    std::fs::write(&path, spec).expect("spec writes");
+    let path = path.to_str().expect("temp path is UTF-8");
+    let mut bodies: Vec<Vec<u8>> = Vec::new();
+    for (threads, extra) in [("1", None), ("8", None), ("1", Some("--no-batch"))] {
+        let mut args = vec!["scenario", "sweep", path, "--json"];
+        if let Some(flag) = extra {
+            args.push(flag);
+        }
+        let out = Command::new(env!("CARGO_BIN_EXE_thirstyflops"))
+            .args(&args)
+            .env("THIRSTYFLOPS_THREADS", threads)
+            .output()
+            .expect("CLI binary runs");
+        assert!(out.status.success(), "{args:?} failed: {out:?}");
+        bodies.push(out.stdout);
+    }
+    assert!(bodies[0].len() > 100, "report is non-trivial");
+    assert_eq!(bodies[0], bodies[1], "thread count leaked into the bytes");
+    assert_eq!(bodies[0], bodies[2], "batching leaked into the bytes");
+}
+
+/// The batch toggle round-trips through the environment: under
+/// `THIRSTYFLOPS_NO_BATCH=1` the sweep still answers (scalar path) and
+/// `/v1/cache/stats`' batch section reports the kernel disabled.
+#[test]
+fn no_batch_env_var_disables_the_kernel() {
+    let path = spec_path("sweep_siting.json");
+    let flagged = Command::new(env!("CARGO_BIN_EXE_thirstyflops"))
+        .args(["scenario", "sweep", &path, "--json"])
+        .env("THIRSTYFLOPS_NO_BATCH", "1")
+        .output()
+        .expect("CLI binary runs");
+    assert!(flagged.status.success());
+    let plain = Command::new(env!("CARGO_BIN_EXE_thirstyflops"))
+        .args(["scenario", "sweep", &path, "--json"])
+        .output()
+        .expect("CLI binary runs");
+    assert_eq!(
+        flagged.stdout, plain.stdout,
+        "the oracle agrees with the kernel"
+    );
+}

@@ -172,6 +172,109 @@ fn cli_rejects_bad_specs_loudly() {
     assert!(err.contains("overides"), "{err}");
 }
 
+/// Satellite: the expansion ceiling is enforced in BOTH layers. The CLI
+/// (parser layer) exits 2 with the limit in the message, and a sweep
+/// built in code — bypassing the parser — is still refused by
+/// `evaluate_sweep` (evaluation layer).
+#[test]
+fn sweep_ceiling_is_enforced_at_parse_and_at_evaluation() {
+    // Parser layer, through the CLI: 20^3 = 8000 > 4096, no top_n.
+    let oversized = r#"{"name": "big", "base": "polaris", "axes": {
+        "climate.wue_scale": [0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4,
+                              1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.1, 2.2, 2.3, 2.4],
+        "pue": [1.05, 1.06, 1.07, 1.08, 1.09, 1.10, 1.11, 1.12, 1.13, 1.14,
+                1.15, 1.16, 1.17, 1.18, 1.19, 1.20, 1.21, 1.22, 1.23, 1.24],
+        "wsi.site": [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+                     0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.82, 0.84, 0.86, 0.88]
+    }}"#;
+    let path = std::env::temp_dir().join("thirstyflops_oversized_sweep.json");
+    std::fs::write(&path, oversized).expect("spec writes");
+    let out = Command::new(env!("CARGO_BIN_EXE_thirstyflops"))
+        .args(["scenario", "sweep", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "oversized sweep must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("8000"), "{err}");
+    assert!(err.contains("4096"), "{err}");
+    assert!(err.contains("top_n"), "the fix is named: {err}");
+
+    // Evaluation layer, bypassing the parser: inflate a parsed axis in
+    // code and hand the spec straight to evaluate_sweep.
+    let text = std::fs::read_to_string(spec_path("sweep_siting.json")).expect("spec ships");
+    let mut sweep = SweepSpec::from_json(&text).expect("parses");
+    let clones: Vec<_> = std::iter::repeat(sweep.axes[0].values[0].clone())
+        .take(2048)
+        .collect();
+    sweep.axes[0].values = clones;
+    assert!(sweep.combination_count() > 4096);
+    let err = evaluate_sweep(&sweep).expect_err("second layer must refuse");
+    assert!(err.to_string().contains("4096"), "{err}");
+
+    // With top_n the streaming ceiling applies instead — and is also
+    // enforced at evaluation.
+    sweep.top_n = Some(10);
+    assert!(evaluate_sweep(&sweep).is_ok(), "10240 cells stream fine");
+    let clones: Vec<_> = std::iter::repeat(sweep.axes[1].values[0].clone())
+        .take(500_000)
+        .collect();
+    sweep.axes[1].values = clones;
+    let err = evaluate_sweep(&sweep).expect_err("over the streaming ceiling");
+    assert!(err.to_string().contains("1048576"), "{err}");
+}
+
+/// The HTTP twin of the CLI `--top` flag lives in the spec body; the
+/// parser front door is shared, so `from_json_with_top`'s override and
+/// the in-body field must agree.
+#[test]
+fn top_override_and_in_body_top_n_agree() {
+    let text = std::fs::read_to_string(spec_path("sweep_siting.json")).expect("spec ships");
+    let flagged = SweepSpec::from_json_with_top(&text, Some(4)).expect("parses");
+    let mut in_body = SweepSpec::from_json(&text).expect("parses");
+    in_body.top_n = Some(4);
+    assert_eq!(flagged, in_body);
+    let a = evaluate_sweep(&flagged).expect("evaluates");
+    assert_eq!(a.rows.len(), 4);
+    assert_eq!(a.rank_by.as_deref(), Some("operational_water_l"));
+    // Bad rank metrics and zero top_n are parse errors with the menu.
+    let with = |extra: &str| {
+        let patched = text.replacen('{', &format!("{{{extra}",), 1);
+        SweepSpec::from_json(&patched)
+    };
+    let err = with(r#""top_n": 3, "rank_by": "bogus","#).expect_err("unknown metric");
+    assert!(err.to_string().contains("operational_water_l"), "{err}");
+    let err = with(r#""top_n": 0,"#).expect_err("zero top_n");
+    assert!(err.to_string().contains("at least 1"), "{err}");
+    let err = with(r#""rank_by": "carbon_kg","#).expect_err("rank_by without top_n");
+    assert!(err.to_string().contains("top_n"), "{err}");
+}
+
+/// The shipped 101,250-cell siting sweep: parses, streams under its
+/// `top_n`, and the expansion arithmetic matches the axes. (Evaluation
+/// of the full spec is `./ci.sh batch-smoke`'s release-build job.)
+#[test]
+fn shipped_large_sweep_parses_and_counts_101250_cells() {
+    let text = std::fs::read_to_string(spec_path("sweep_siting_large.json")).expect("spec ships");
+    let sweep = SweepSpec::from_json(&text).expect("large sweep parses");
+    assert_eq!(sweep.combination_count(), 101_250, "50 x 45 x 45");
+    assert_eq!(sweep.top_n, Some(24));
+    assert_eq!(sweep.rank_by.as_deref(), Some("scarcity_adjusted_water_l"));
+    assert!(sweep.combination_count() <= sweep.ceiling());
+    // Without its top_n the same spec would be over the plain ceiling.
+    let mut capped = sweep.clone();
+    capped.top_n = None;
+    capped.rank_by = None;
+    assert!(capped.combination_count() > thirstyflops::scenario::MAX_SCENARIOS);
+    assert!(evaluate_sweep(&capped).is_err());
+    // Spot-check the mixed-radix indexing the streaming path uses: the
+    // last combination carries every axis's last value.
+    let last = sweep
+        .combination(sweep.combination_count() - 1)
+        .expect("last combination resolves");
+    assert!(last.name.contains("wue_scale=2.38"), "{}", last.name);
+    assert!(last.name.contains("pue=1.5"), "{}", last.name);
+}
+
 /// The engine's headline physics, end to end through shipped specs:
 /// drought cuts water but costs carbon; the nuclear what-if saves
 /// carbon; reclaimed supply cuts the scarcity-adjusted footprint.

@@ -327,6 +327,72 @@ fn scenario_cache_keys_are_canonical_not_textual() {
     server.shutdown();
 }
 
+/// Satellite: `POST /v1/scenarios/sweep` enforces the expansion ceiling
+/// with a structured JSON 400 naming the limit and the fix — never a
+/// hang, never an unstructured body.
+#[test]
+fn oversized_sweep_post_gets_structured_json_400() {
+    let server = start(1);
+    let addr = server.local_addr();
+    // 20^3 = 8000 cells, no top_n: over the 4096 materialization cap.
+    let oversized = r#"{"name": "big", "base": "polaris", "axes": {
+        "climate.wue_scale": [0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4,
+                              1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.1, 2.2, 2.3, 2.4],
+        "pue": [1.05, 1.06, 1.07, 1.08, 1.09, 1.10, 1.11, 1.12, 1.13, 1.14,
+                1.15, 1.16, 1.17, 1.18, 1.19, 1.20, 1.21, 1.22, 1.23, 1.24],
+        "wsi.site": [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+                     0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.82, 0.84, 0.86, 0.88]
+    }}"#;
+    let (status, body) = http_post(addr, "/v1/scenarios/sweep", oversized);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"status\": 400"), "structured: {body}");
+    assert!(body.contains("8000"), "names the expansion: {body}");
+    assert!(body.contains("4096"), "names the limit: {body}");
+    assert!(body.contains("top_n"), "names the fix: {body}");
+    // The server stays healthy and the error was never cached.
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(server.cache_stats().entries, 0);
+    server.shutdown();
+}
+
+/// An in-body `top_n` streams over HTTP: the report keeps N rows, is
+/// byte-identical to the CLI `--top` twin, and the batch kernel's
+/// counters surface in `/v1/cache/stats`.
+#[test]
+fn top_n_sweep_post_streams_and_batch_stats_surface() {
+    let spec_path = format!(
+        "{}/examples/scenarios/sweep_siting.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&spec_path).expect("spec ships");
+    let streaming = text.replacen('{', "{\"top_n\": 5,", 1);
+    let server = start(2);
+    let addr = server.local_addr();
+    let (status, body) = http_post(addr, "/v1/scenarios/sweep", &streaming);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"top_n\": 5"), "{body}");
+    assert!(
+        body.contains("\"rank_by\": \"operational_water_l\""),
+        "{body}"
+    );
+    assert!(body.contains("\"scenario_count\": 25"), "{body}");
+    assert_eq!(body.matches("\"deltas\"").count(), 5, "five kept rows");
+    // Byte-identical to the CLI twin (`--top` is the same override).
+    let cli = cli_stdout(&["scenario", "sweep", &spec_path, "--top", "5", "--json"]);
+    assert_eq!(body, cli, "POST with top_n vs scenario sweep --top 5");
+
+    let (status, stats_body) = http_get(addr, "/v1/cache/stats");
+    assert_eq!(status, 200);
+    let stats: thirstyflops::serve::api::CacheStatsPayload =
+        serde_json::from_str(&stats_body).expect("stats parse");
+    assert!(stats.batch.enabled, "the kernel defaults on");
+    assert!(stats.batch.lanes >= 1, "sweep lanes were aggregated");
+    assert!(stats.batch.chunks >= 1, "at least one kernel pass ran");
+    assert!(stats.batch.topn_rows >= 5, "top-N pushes were counted");
+    server.shutdown();
+}
+
 /// `serve --log` writes one line per request (method, path, status,
 /// bytes, µs, cache verdict) to stderr.
 #[test]
