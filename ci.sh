@@ -16,9 +16,15 @@
 #                          # the batched K-lane kernel at
 #                          # THIRSTYFLOPS_THREADS=1 and 8; the two JSON
 #                          # reports must be byte-identical
+#   ./ci.sh obs-smoke      # observability gate: the siting sweep with
+#                          # --profile --json at 1 and 8 threads — stdout
+#                          # untouched, profiled counts byte-identical —
+#                          # plus a /v1/metrics fetch over raw TCP that
+#                          # must be well-formed Prometheus text
 #   ./ci.sh bench-json     # quick cold-vs-warm SystemYear::simulate,
 #                          # grid-kernel, and scalar-vs-batched
-#                          # scenario-sweep measurement
+#                          # scenario-sweep measurement, with a
+#                          # per-stage span breakdown of the cold path
 #                          # -> BENCH_simulate.json, plus a one-shot-vs-
 #                          # keep-alive loadgen run -> BENCH_serve.json
 #                          # (docs/PERFORMANCE.md, docs/SERVING.md;
@@ -134,6 +140,90 @@ if [[ "$mode" == "batch-smoke" ]]; then
   exit 0
 fi
 
+obs_smoke() {
+  # The observability gate (docs/OBSERVABILITY.md): --profile must not
+  # touch stdout, profiled counts must be byte-identical across thread
+  # counts once wall-clock (*_ns) lines are stripped, the report must
+  # carry the expected schema, and GET /v1/metrics must serve
+  # well-formed Prometheus text over a real socket (bash /dev/tcp — no
+  # curl involved).
+  step "obs smoke (--profile determinism + /v1/metrics exposition)"
+  cargo build --release -q
+  local bin=target/release/thirstyflops
+  local spec=examples/scenarios/sweep_siting.json
+  mkdir -p target
+
+  "$bin" scenario sweep "$spec" --json > target/obs_plain.json
+  "$bin" scenario sweep "$spec" --json --profile --threads 1     > target/obs_t1.json 2> target/obs_profile_t1.json
+  "$bin" scenario sweep "$spec" --json --profile --threads 8     > target/obs_t8.json 2> target/obs_profile_t8.json
+  if ! cmp -s target/obs_plain.json target/obs_t1.json; then
+    echo "obs smoke: --profile changed stdout" >&2
+    exit 1
+  fi
+  if ! cmp -s target/obs_t1.json target/obs_t8.json; then
+    echo "obs smoke: sweep stdout differs across thread counts" >&2
+    exit 1
+  fi
+  grep -v '_ns"' target/obs_profile_t1.json > target/obs_counts_t1.json
+  grep -v '_ns"' target/obs_profile_t8.json > target/obs_counts_t8.json
+  if ! cmp -s target/obs_counts_t1.json target/obs_counts_t8.json; then
+    echo "obs smoke: profiled counts differ at 1 vs 8 threads" >&2
+    diff target/obs_counts_t1.json target/obs_counts_t8.json >&2 || true
+    exit 1
+  fi
+  # Schema spot-checks on the profile report.
+  for needle in '"stages"' '"counters"' '"invocations"' 'workload_sim'     'sweep_chunk' 'thirstyflops_sweep_cells_total'; do
+    if ! grep -q -- "$needle" target/obs_profile_t1.json; then
+      echo "obs smoke: profile report is missing $needle" >&2
+      exit 1
+    fi
+  done
+  printf '  ok --profile: stdout untouched, counts byte-identical at 1 and 8 threads\n'
+
+  # /v1/metrics over raw TCP against an ephemeral-port server.
+  "$bin" serve --addr 127.0.0.1:0 --workers 1 > target/obs_serve_banner.txt 2>/dev/null &
+  local server_pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's#^listening on http://\([0-9.:]*\) .*#\1#p' target/obs_serve_banner.txt)
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$addr" ]]; then
+    kill "$server_pid" 2>/dev/null || true
+    echo "obs smoke: server never printed its bound address" >&2
+    exit 1
+  fi
+  exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+  printf 'GET /v1/metrics HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+  cat <&3 > target/obs_metrics_raw.txt
+  exec 3<&- 3>&-
+  kill "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+
+  grep -q 'Content-Type: text/plain; version=0.0.4' target/obs_metrics_raw.txt
+  # The body starts after the CRLF blank line that ends the head.
+  awk 'body {print} /^\r?$/ {body=1}' target/obs_metrics_raw.txt > target/obs_metrics_body.txt
+  for family in '# TYPE thirstyflops_http_requests_total counter'     'thirstyflops_http_requests_total{endpoint="metrics"}'     'thirstyflops_simcache_hits_total' 'thirstyflops_batch_lanes_total'     'thirstyflops_http_request_duration_micros_bucket'; do
+    if ! grep -qF -- "$family" target/obs_metrics_body.txt; then
+      echo "obs smoke: /v1/metrics is missing $family" >&2
+      exit 1
+    fi
+  done
+  # Well-formedness: every non-comment line is `name[{labels}] value`.
+  if grep -vE '^(#.*)?$' target/obs_metrics_body.txt        | grep -qvE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$'; then
+    echo "obs smoke: /v1/metrics has malformed exposition lines:" >&2
+    grep -vE '^(#.*)?$' target/obs_metrics_body.txt          | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$' >&2
+    exit 1
+  fi
+  printf '  ok /v1/metrics: well-formed exposition with http, simcache, and batch families\n'
+}
+
+if [[ "$mode" == "obs-smoke" ]]; then
+  obs_smoke
+  exit 0
+fi
+
 if [[ "$mode" == "bench-json" ]]; then
   # The tracked bench trajectory: medians of the serial instruction path
   # (1-CPU container — compare medians across PRs, not parallel
@@ -174,6 +264,7 @@ if [[ "$mode" != "quick" ]]; then
   load_smoke
   scenario_smoke
   batch_smoke
+  obs_smoke
 fi
 
 step "cargo doc --workspace --no-deps (warnings are errors)"

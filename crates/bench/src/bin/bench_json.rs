@@ -6,6 +6,9 @@
 //!
 //! * `cold_simulate_ns` — median of a fully uncached
 //!   `SystemYear::simulate_uncached` (the pre-cache workload);
+//! * `cold_stages` — the per-stage span breakdown of one cold simulate
+//!   (invocations + exclusive self-time per instrumented stage,
+//!   `docs/OBSERVABILITY.md`) — where `cold_simulate_ns` actually goes;
 //! * `warm_simulate_ns` — median of a repeated memoized
 //!   `SystemYear::simulate` (an `Arc` clone);
 //! * `grid_year_ns` — median of the `GridRegion::simulate_year` kernel;
@@ -65,6 +68,27 @@ fn main() {
     let cold_ns = median_ns(iters, move || {
         std::hint::black_box(SystemYear::simulate_uncached(spec_cold.clone(), 77));
     });
+
+    // Per-stage breakdown of one cold simulate (docs/OBSERVABILITY.md):
+    // where cold_simulate_ns actually goes, tracked across PRs like the
+    // medians. Invocation counts are deterministic; self_ns shares are
+    // wall-clock and move with the medians.
+    thirstyflops_obs::span::reset();
+    thirstyflops_obs::span::set_enabled(true);
+    std::hint::black_box(SystemYear::simulate_uncached(spec.clone(), 77));
+    thirstyflops_obs::span::set_enabled(false);
+    let cold_stages: String = thirstyflops_obs::span::snapshot()
+        .iter()
+        .filter(|s| s.invocations > 0)
+        .map(|s| {
+            format!(
+                "\"{}\": {{\"invocations\": {}, \"self_ns\": {}}}",
+                s.stage, s.invocations, s.self_ns
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    thirstyflops_obs::span::reset();
 
     // Grid kernel alone (the formerly mix-allocating 8760-hour loop).
     let grid_ns = median_ns(iters, || {
@@ -129,7 +153,9 @@ fn main() {
     };
 
     let current = format!(
-        "{{\"cold_simulate_ns\": {cold_ns}, \"warm_simulate_ns\": {warm_ns}, \
+        "{{\"cold_simulate_ns\": {cold_ns}, \
+         \"cold_stages\": {{{cold_stages}}}, \
+         \"warm_simulate_ns\": {warm_ns}, \
          \"grid_year_ns\": {grid_ns}, \"scenario_sweep_ns\": {sweep_ns}, \
          \"batched_sweep_ns\": {batched_sweep_ns}, \
          \"scalar_over_batched\": {:.2}, \

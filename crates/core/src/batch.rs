@@ -26,8 +26,11 @@
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
+
+use thirstyflops_obs::span;
+use thirstyflops_obs::Counter;
 
 use thirstyflops_catalog::SystemSpec;
 use thirstyflops_grid::{GridRegion, GridYear, RegionId};
@@ -68,10 +71,63 @@ pub fn set_enabled(on: bool) {
 }
 
 // ------------------------------------------------------------- counters
+//
+// All three live in the workspace metrics registry (exposed both here
+// via [`stats`] and in Prometheus form at `GET /v1/metrics`). Their
+// values are deterministic: lanes/passes are pure functions of the
+// sweep expansion (each sweep chunk dedups and aggregates its own rows,
+// see `scenario::batch`), and top-N pushes count offered rows.
 
-static LANES_AGGREGATED: AtomicU64 = AtomicU64::new(0);
-static KERNEL_PASSES: AtomicU64 = AtomicU64::new(0);
-static TOPN_PUSHES: AtomicU64 = AtomicU64::new(0);
+fn lanes_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        thirstyflops_obs::registry::gauge(
+            "thirstyflops_batch_enabled",
+            "1 while the batched K-lane kernel is active, 0 under --no-batch.",
+            || {
+                if enabled() {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
+        thirstyflops_obs::registry::counter(
+            "thirstyflops_batch_lanes_total",
+            "Lanes aggregated by the K-lane kernel.",
+        )
+    })
+}
+
+fn passes_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        thirstyflops_obs::registry::counter(
+            "thirstyflops_batch_kernel_passes_total",
+            "Fused K-lane kernel passes executed.",
+        )
+    })
+}
+
+fn topn_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        thirstyflops_obs::registry::counter(
+            "thirstyflops_batch_topn_pushes_total",
+            "Rows offered to streaming top-N aggregators.",
+        )
+    })
+}
+
+fn lane_width_hist() -> &'static std::sync::Arc<thirstyflops_obs::LatencyHistogram> {
+    static H: OnceLock<std::sync::Arc<thirstyflops_obs::LatencyHistogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        thirstyflops_obs::registry::histogram(
+            "thirstyflops_batch_lane_width",
+            "Lanes per fused kernel pass (log2 buckets).",
+        )
+    })
+}
 
 /// Process-wide batch counters, served in the `batch` section of
 /// `GET /v1/cache/stats`.
@@ -92,9 +148,9 @@ pub struct BatchStats {
 pub fn stats() -> BatchStats {
     BatchStats {
         enabled: enabled(),
-        lanes: LANES_AGGREGATED.load(Ordering::Relaxed),
-        chunks: KERNEL_PASSES.load(Ordering::Relaxed),
-        topn_rows: TOPN_PUSHES.load(Ordering::Relaxed),
+        lanes: lanes_counter().get(),
+        chunks: passes_counter().get(),
+        topn_rows: topn_counter().get(),
     }
 }
 
@@ -164,7 +220,10 @@ pub fn energy_key(spec: &SystemSpec, seed: u64) -> String {
 /// layers; an evicted entry recomputes to identical bytes.
 fn global_energy() -> &'static MemoCache<String, (HourlySeries, HourlySeries)> {
     static CACHE: OnceLock<MemoCache<String, (HourlySeries, HourlySeries)>> = OnceLock::new();
-    CACHE.get_or_init(|| MemoCache::new(8, 256))
+    CACHE.get_or_init(|| {
+        let (hits, misses, evictions) = simcache::layer_counters("batch_energy");
+        MemoCache::new(8, 256).with_counters(hits, misses, evictions)
+    })
 }
 
 /// Shared sub-simulation resolution for a batch evaluation: single-flight
@@ -204,6 +263,9 @@ impl BatchContext {
     /// context otherwise). Single source of truth: the same
     /// `workload_series` helper the scalar path calls.
     pub fn energy_of(&self, spec: &SystemSpec, seed: u64) -> Arc<(HourlySeries, HourlySeries)> {
+        // Demand-level span: counts energy-series *requests*, which are
+        // identical whichever cache layer (global or local) serves them.
+        let _span = span::span(span::CACHE_LOOKUP);
         let cache = if simcache::enabled() {
             global_energy()
         } else {
@@ -293,9 +355,13 @@ impl BatchContext {
         // Every annual reduction in one fused pass over the hour axis —
         // bit-identical to pack-then-reduce with the single-purpose
         // K-lane kernels (see `annual_reductions_scaled`).
-        let red = lanes::annual_reductions_scaled(&sources);
-        LANES_AGGREGATED.fetch_add(k as u64, Ordering::Relaxed);
-        KERNEL_PASSES.fetch_add(1, Ordering::Relaxed);
+        let red = {
+            let _span = span::span(span::FUSED_REDUCTION);
+            lanes::annual_reductions_scaled(&sources)
+        };
+        lanes_counter().add(k as u64);
+        passes_counter().inc();
+        lane_width_hist().record(k as u64);
         for l in 0..k {
             let mut monthly_direct_l = [0.0; MONTHS_PER_YEAR];
             monthly_direct_l.copy_from_slice(
@@ -376,23 +442,30 @@ pub fn year_lane_stats(years: &[Arc<SystemYear>]) -> YearLaneStats {
         years.iter().map(|y| (y.wue.values(), None)).collect();
     let ewf_src: Vec<(&[f64], Option<f64>)> =
         years.iter().map(|y| (y.ewf.values(), None)).collect();
-    e.pack_scaled(&energy_src);
-    w.pack_scaled(&wue_src);
-    f.pack_scaled(&ewf_src);
+    {
+        let _span = span::span(span::LANE_PACK);
+        e.pack_scaled(&energy_src);
+        w.pack_scaled(&wue_src);
+        f.pack_scaled(&ewf_src);
+    }
     let mut direct = vec![0.0; k];
     let mut indirect = vec![0.0; k];
     let mut wue_mean = vec![0.0; k];
     let mut ewf_mean = vec![0.0; k];
     let mut wi = LaneBuffer::new(k);
     let mut wi_mean = vec![0.0; k];
-    lanes::dot_k(&e, &w, &mut direct);
-    lanes::dot_k(&e, &f, &mut indirect);
-    lanes::mean_k(&w, &mut wue_mean);
-    lanes::mean_k(&f, &mut ewf_mean);
-    lanes::add_scaled_k(&w, &f, &pue, &mut wi);
-    lanes::mean_k(&wi, &mut wi_mean);
-    LANES_AGGREGATED.fetch_add(k as u64, Ordering::Relaxed);
-    KERNEL_PASSES.fetch_add(1, Ordering::Relaxed);
+    {
+        let _span = span::span(span::FUSED_REDUCTION);
+        lanes::dot_k(&e, &w, &mut direct);
+        lanes::dot_k(&e, &f, &mut indirect);
+        lanes::mean_k(&w, &mut wue_mean);
+        lanes::mean_k(&f, &mut ewf_mean);
+        lanes::add_scaled_k(&w, &f, &pue, &mut wi);
+        lanes::mean_k(&wi, &mut wi_mean);
+    }
+    lanes_counter().add(k as u64);
+    passes_counter().inc();
+    lane_width_hist().record(k as u64);
     let operational = (0..k)
         .map(|l| OperationalBreakdown {
             direct: Liters::new(direct[l]),
@@ -496,7 +569,7 @@ impl<T> TopN<T> {
 
     /// Offers one entry; it is kept iff it ranks among the N best seen.
     pub fn push(&mut self, key: f64, index: u64, item: T) {
-        TOPN_PUSHES.fetch_add(1, Ordering::Relaxed);
+        topn_counter().inc();
         let entry = TopEntry { key, index, item };
         if self.heap.len() < self.capacity {
             self.heap.push(entry);

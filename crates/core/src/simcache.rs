@@ -42,6 +42,8 @@ use std::time::{Duration, Instant};
 
 use thirstyflops_catalog::SystemSpec;
 use thirstyflops_grid::{GridRegion, GridYear, RegionId};
+use thirstyflops_obs::span;
+use thirstyflops_obs::Counter;
 use thirstyflops_timeseries::HourlySeries;
 use thirstyflops_weather::ClimatePreset;
 
@@ -78,9 +80,13 @@ pub struct MemoCache<K, V> {
     /// lookup (counted as an eviction) and recomputed.
     ttl: Option<Duration>,
     tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    /// Hit/miss/eviction counters. Detached by default; the global
+    /// layers swap in registry-backed handles via
+    /// [`with_counters`](MemoCache::with_counters) so the same atomics
+    /// feed both `stats()` and `/v1/metrics`.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 /// Counters for one cache layer, as served by `GET /v1/cache/stats`.
@@ -124,10 +130,21 @@ impl<K: Eq + Hash + Clone, V> MemoCache<K, V> {
             ttl,
             shards: (0..shards).map(|_| Mutex::default()).collect(),
             tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            evictions: Counter::detached(),
         }
+    }
+
+    /// Replaces the detached counters with caller-provided handles —
+    /// the global layers pass registry-backed counters so one set of
+    /// atomics feeds `stats()`, `/v1/cache/stats`, and `/v1/metrics`.
+    /// Instance-local caches keep the detached defaults.
+    pub fn with_counters(mut self, hits: Counter, misses: Counter, evictions: Counter) -> Self {
+        self.hits = hits;
+        self.misses = misses;
+        self.evictions = evictions;
+        self
     }
 
     /// The effective total entry bound: the configured capacity rounded
@@ -167,15 +184,15 @@ impl<K: Eq + Hash + Clone, V> MemoCache<K, V> {
                 // cell and will complete it).
                 if slot.cell.get().is_some() && slot.inserted.elapsed() >= ttl {
                     map.remove(&key);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evictions.inc();
                 }
             }
             if let Some(slot) = map.get_mut(&key) {
                 slot.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Arc::clone(&slot.cell)
             } else {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 if self.capacity_per_shard > 0 {
                     // Evict least-recently-used *completed* entries until
                     // the insert below fits the bound; in-flight slots are
@@ -192,7 +209,7 @@ impl<K: Eq + Hash + Clone, V> MemoCache<K, V> {
                         match victim {
                             Some(victim) => {
                                 map.remove(&victim);
-                                self.evictions.fetch_add(1, Ordering::Relaxed);
+                                self.evictions.inc();
                             }
                             None => break,
                         }
@@ -216,14 +233,14 @@ impl<K: Eq + Hash + Clone, V> MemoCache<K, V> {
     /// Current counters.
     pub fn stats(&self) -> LayerStats {
         LayerStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries: self
                 .shards
                 .iter()
                 .map(|s| s.lock().expect("simcache shard poisoned").len() as u64)
                 .sum(),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            evictions: self.evictions.get(),
         }
     }
 }
@@ -263,21 +280,65 @@ pub fn set_enabled(on: bool) {
     disabled_flag().store(!on, Ordering::Relaxed);
 }
 
+/// Registry-backed hit/miss/eviction counters for one global layer,
+/// labeled `{cache="<layer>"}` (`docs/OBSERVABILITY.md`).
+pub(crate) fn layer_counters(layer: &'static str) -> (Counter, Counter, Counter) {
+    use thirstyflops_obs::registry::counter_labeled;
+    let labels = [("cache", layer)];
+    (
+        counter_labeled(
+            "thirstyflops_simcache_hits_total",
+            &labels,
+            "Simulation-cache lookups served from an existing entry.",
+        ),
+        counter_labeled(
+            "thirstyflops_simcache_misses_total",
+            &labels,
+            "Simulation-cache first touches that computed the value.",
+        ),
+        counter_labeled(
+            "thirstyflops_simcache_evictions_total",
+            &labels,
+            "Simulation-cache entries dropped by LRU bound or TTL.",
+        ),
+    )
+}
+
 fn year_cache() -> &'static MemoCache<(String, u64), SystemYear> {
     static CACHE: OnceLock<MemoCache<(String, u64), SystemYear>> = OnceLock::new();
     // ~350 KB per cached year ⇒ the 256-entry bound caps the layer near
     // 90 MB even under an adversarial seed sweep.
-    CACHE.get_or_init(|| MemoCache::new(8, 256))
+    CACHE.get_or_init(|| {
+        thirstyflops_obs::registry::gauge(
+            "thirstyflops_simcache_enabled",
+            "1 while the simulation-cache substrate is active, 0 under --no-sim-cache.",
+            || {
+                if enabled() {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
+        let (hits, misses, evictions) = layer_counters("system_years");
+        MemoCache::new(8, 256).with_counters(hits, misses, evictions)
+    })
 }
 
 fn grid_cache() -> &'static MemoCache<RegionId, GridYear> {
     static CACHE: OnceLock<MemoCache<RegionId, GridYear>> = OnceLock::new();
-    CACHE.get_or_init(|| MemoCache::new(2, 0))
+    CACHE.get_or_init(|| {
+        let (hits, misses, evictions) = layer_counters("grid_years");
+        MemoCache::new(2, 0).with_counters(hits, misses, evictions)
+    })
 }
 
 fn wue_cache() -> &'static MemoCache<ClimatePreset, HourlySeries> {
     static CACHE: OnceLock<MemoCache<ClimatePreset, HourlySeries>> = OnceLock::new();
-    CACHE.get_or_init(|| MemoCache::new(2, 0))
+    CACHE.get_or_init(|| {
+        let (hits, misses, evictions) = layer_counters("wue_series");
+        MemoCache::new(2, 0).with_counters(hits, misses, evictions)
+    })
 }
 
 /// The cache key of a spec: its canonical JSON rendering. Collision-free
@@ -293,6 +354,10 @@ pub fn spec_fingerprint(spec: &SystemSpec) -> String {
 /// shared grid/WUE layers so that cold-but-related specs still reuse
 /// sub-simulations.
 pub fn system_year(spec: SystemSpec, seed: u64) -> Arc<SystemYear> {
+    // The span covers the demand (hit or miss, cache on or off), so its
+    // invocation count is the number of system-years *asked for* — a
+    // pure function of the command, identical across cache modes.
+    let _span = span::span(span::CACHE_LOOKUP);
     if !enabled() {
         return Arc::new(SystemYear::compute(spec, seed, false));
     }

@@ -59,6 +59,10 @@ fn trace_shape(id: SystemId) -> (f64, f64) {
 /// the batched kernel ([`crate::batch`]) call it, so their RNG draws
 /// cannot drift apart.
 pub(crate) fn workload_series(spec: &SystemSpec, seed: u64) -> (HourlySeries, HourlySeries) {
+    // Spans the actual trace + scheduling + power simulation — the cold
+    // path's dominant stage. Invocations count simulations that truly
+    // ran (memoized repeats don't re-enter).
+    let _span = thirstyflops_obs::span::span(thirstyflops_obs::span::WORKLOAD_SIM);
     let (duration, width) = trace_shape(spec.id);
     let trace = TraceGenerator::new(TraceConfig {
         cluster_nodes: spec.nodes,
@@ -113,21 +117,29 @@ impl SystemYear {
     /// sub-simulator owns an independent RNG stream seeded from its own
     /// config, so sharing cannot perturb anything).
     pub(crate) fn compute(spec: SystemSpec, seed: u64, shared_parts: bool) -> SystemYear {
+        use thirstyflops_obs::span;
+
         // Weather → WUE.
-        let wue = if shared_parts {
-            (*crate::simcache::wue_series(spec.climate)).clone()
-        } else {
-            let climate = spec.climate.generate();
-            spec.climate.wue_model().hourly_series(&climate)
+        let wue = {
+            let _span = span::span(span::WUE_SERIES);
+            if shared_parts {
+                (*crate::simcache::wue_series(spec.climate)).clone()
+            } else {
+                let climate = spec.climate.generate();
+                spec.climate.wue_model().hourly_series(&climate)
+            }
         };
 
         // Grid → EWF + carbon intensity.
-        let (ewf, carbon) = if shared_parts {
-            let grid_year = crate::simcache::grid_year(spec.region);
-            (grid_year.ewf().clone(), grid_year.carbon().clone())
-        } else {
-            let grid_year = GridRegion::preset(spec.region).simulate_year();
-            (grid_year.ewf().clone(), grid_year.carbon().clone())
+        let (ewf, carbon) = {
+            let _span = span::span(span::GRID_KERNEL);
+            if shared_parts {
+                let grid_year = crate::simcache::grid_year(spec.region);
+                (grid_year.ewf().clone(), grid_year.carbon().clone())
+            } else {
+                let grid_year = GridRegion::preset(spec.region).simulate_year();
+                (grid_year.ewf().clone(), grid_year.carbon().clone())
+            }
         };
 
         // Jobs → utilization → energy (shared with the batched kernel).

@@ -7,7 +7,7 @@
 //!   "name": "smoke",
 //!   "seed": 2023,
 //!   "templates": [
-//!     {"target": "/healthz", "weight": 1},
+//!     {"target": "/healthz", "weight": 1, "verify": false},
 //!     {"target": "/v1/footprint/polaris?seed=7", "weight": 4},
 //!     {"target": "/v1/scenarios/run", "method": "POST",
 //!      "body": {"name": "noop", "base": "polaris"}, "weight": 2}
@@ -40,7 +40,8 @@ pub struct Template {
     /// Whether replayed responses are byte-compared against the
     /// precomputed expected response. Defaults to true; set `"verify":
     /// false` only for endpoints whose bodies are legitimately
-    /// non-deterministic (e.g. `/v1/cache/stats` counters).
+    /// non-deterministic (`/healthz` uptime/request counts,
+    /// `/v1/cache/stats` and `/v1/metrics` counters).
     pub verify: bool,
 }
 

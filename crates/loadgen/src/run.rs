@@ -485,7 +485,7 @@ mod tests {
     fn mix() -> MixSpec {
         MixSpec::from_json(
             r#"{"name": "t", "seed": 42, "templates": [
-                {"target": "/healthz", "weight": 2},
+                {"target": "/healthz", "weight": 2, "verify": false},
                 {"target": "/v1/systems", "weight": 1},
                 {"target": "/v1/footprint/polaris?seed=7", "weight": 1}
             ]}"#,

@@ -1,0 +1,154 @@
+//! The shared log₂-bucket histogram (originally `serve`'s latency
+//! histogram, generalized here so every crate records into the same
+//! shape).
+//!
+//! Values land in power-of-two buckets: bucket 0 holds exactly 0, bucket
+//! *i* ≥ 1 holds `[2^(i-1), 2^i)`. Recording is one relaxed `fetch_add`;
+//! quantiles read the whole table and return the bucket's inclusive upper
+//! bound, so reported values are exact to within 2× — plenty for p50/p99
+//! tables and cheap enough to leave on in production.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: values up to ~8.4e6 resolve to their own bucket
+/// (for latencies in µs that is ~8.4 s); everything larger clamps into
+/// the last bucket.
+pub const BUCKETS: usize = 24;
+
+/// A fixed-size log₂ histogram of `u64` samples.
+///
+/// `record` is wait-free (one relaxed atomic add); readers may observe a
+/// mid-update snapshot, which for monotone counters only ever
+/// under-reports momentarily.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    /// Running sum of recorded values (Prometheus `_sum`).
+    sum: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one sample.
+    pub fn record(&self, micros: u64) {
+        let idx = (64 - u64::leading_zeros(micros) as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded values (saturating only at `u64::MAX` wrap,
+    /// which at µs granularity is ~585k years of accumulated latency).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The q-quantile (`0 < q <= 1`) as the inclusive upper bound of the
+    /// bucket containing the rank-q sample; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::upper_bound(idx);
+            }
+        }
+        Self::upper_bound(BUCKETS - 1)
+    }
+
+    /// Snapshot of the raw per-bucket counts, in bucket order.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Inclusive upper bound of bucket `idx`: 0 for bucket 0, else
+    /// `2^idx - 1`. The last bucket clamps, so its true bound is +∞ —
+    /// exposition renders it as `+Inf`.
+    pub fn upper_bound(idx: usize) -> u64 {
+        if idx == 0 {
+            0
+        } else {
+            (1 << idx) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn buckets_round_up_to_power_of_two_bounds() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0);
+        let h = LatencyHistogram::default();
+        h.record(100);
+        assert_eq!(h.quantile(0.5), 127);
+        let h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.5), (1 << (BUCKETS - 1)) - 1);
+    }
+
+    #[test]
+    fn quantiles_split_a_bimodal_load() {
+        let h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(5_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 90 * 100 + 10 * 5_000);
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(0.9), 127);
+        assert_eq!(h.quantile(0.99), 8_191);
+    }
+
+    #[test]
+    fn single_outlier_moves_only_the_tail() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(0.9), 15);
+        assert_eq!(h.quantile(0.99), 15);
+    }
+
+    #[test]
+    fn bucket_counts_and_bounds_agree_with_record() {
+        let h = LatencyHistogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 2);
+        assert_eq!(LatencyHistogram::upper_bound(0), 0);
+        assert_eq!(LatencyHistogram::upper_bound(1), 1);
+        assert_eq!(LatencyHistogram::upper_bound(2), 3);
+        assert_eq!(LatencyHistogram::upper_bound(7), 127);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workspace-wide observability substrate: a global metrics registry, the
+//! shared log₂-bucket latency histogram, deterministic span profiling, and
+//! Prometheus text exposition.
+//!
+//! Three parts, all std-only and lock-free on the hot path:
+//!
+//! - **[`registry`]** — named counters, gauges, and histograms registered
+//!   once and updated through cloneable atomic handles. Producers (the
+//!   simulation cache, the batch kernel, the sweep evaluator, the cluster
+//!   simulator) register their counters here instead of keeping private
+//!   statics; consumers render everything in one stable-sorted Prometheus
+//!   text body.
+//! - **[`span`]** — scoped RAII spans over a fixed set of named hot
+//!   stages, aggregating `{invocations, total/self wall-time}` into flat
+//!   per-stage atomics. Invocation counts are bit-identical across thread
+//!   counts and cache modes (`docs/OBSERVABILITY.md`); durations are
+//!   wall-clock and explicitly exempt. Disabled spans cost one relaxed
+//!   atomic load and allocate nothing.
+//! - **[`prom`] / [`report`]** — the Prometheus text writer shared by the
+//!   registry and `serve`'s per-instance endpoint table, and the
+//!   `--profile` report (human table or JSON) the CLI prints to stderr.
+//!
+//! The one invariant everything here serves: observability must never
+//! change observed output. Every CLI `--json` body and HTTP response is
+//! byte-identical with the layer enabled, disabled, or absent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod prom;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use hist::LatencyHistogram;
+pub use registry::Counter;

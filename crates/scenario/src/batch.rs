@@ -19,12 +19,14 @@
 //! `./ci.sh batch-smoke`).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rayon::prelude::*;
 use thirstyflops_catalog::{SystemId, SystemSpec};
 use thirstyflops_core::batch::{self as kernel, BatchContext, LaneAggregates, LaneRequest, TopN};
 use thirstyflops_grid::RegionId;
+use thirstyflops_obs::span;
+use thirstyflops_obs::Counter;
 
 use crate::engine::{self, AggregateInputs};
 use crate::spec::{Overrides, ScenarioError, ScenarioSpec};
@@ -37,6 +39,29 @@ use crate::sweep::{rank_key, SweepReport, SweepRow, SweepSpec, DEFAULT_RANK_METR
 /// the scalar path, which chunks identically but never batches.
 const CHUNK: usize = 512;
 
+/// Sweep cells (combinations) streamed through chunk evaluation.
+/// Deterministic: the expansion size is a pure function of the spec.
+fn cells_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        thirstyflops_obs::registry::counter(
+            "thirstyflops_sweep_cells_total",
+            "Sweep combinations streamed through chunk evaluation.",
+        )
+    })
+}
+
+/// Sweep chunks evaluated (`⌈cells / 512⌉` per sweep).
+fn chunks_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        thirstyflops_obs::registry::counter(
+            "thirstyflops_sweep_chunks_total",
+            "Fixed-size sweep chunks evaluated.",
+        )
+    })
+}
+
 /// State shared by every chunk of one sweep evaluation.
 struct Shared<'a> {
     sweep: &'a SweepSpec,
@@ -44,10 +69,6 @@ struct Shared<'a> {
     baseline: engine::ScenarioMetrics,
     rank_metric: &'a str,
     ctx: BatchContext,
-    /// Aggregate-key → kernel result. Values are pure functions of the
-    /// key, so a racing duplicate insert is bit-identical — first
-    /// insert wins, the loser's work is discarded.
-    aggregates: Mutex<HashMap<String, Arc<LaneAggregates>>>,
     /// Region → annual (EWF mean, carbon mean) of the unscaled series.
     region_means: Mutex<HashMap<RegionId, (f64, f64)>>,
 }
@@ -128,34 +149,36 @@ fn evaluate_chunk(
     start: usize,
     end: usize,
 ) -> Result<ChunkOutput, ScenarioError> {
+    let _span = span::span(span::SWEEP_CHUNK);
+    chunks_counter().inc();
+    cells_counter().add((end - start) as u64);
     let mut prepared = Vec::with_capacity(end - start);
     for index in start..end {
         prepared.push(prepare(shared, index)?);
     }
 
+    // Each chunk dedups and resolves its own rows' aggregates in one
+    // kernel call, first-appearance order. Chunks used to share a
+    // cross-chunk memo map, but which chunk resolved a key first then
+    // depended on scheduling — making the kernel's lane/pass counters
+    // (and span invocation counts) thread-count-dependent. Per-chunk
+    // resolution makes them pure functions of the expansion; the cost is
+    // re-aggregating keys that span a chunk boundary, a few hundred
+    // cheap lane reductions on the flagship 10⁵-cell sweep (the
+    // expensive workload simulations stay deduplicated by the batch
+    // context's energy cache). See `docs/PERFORMANCE.md`.
+    let mut aggregates: HashMap<String, Arc<LaneAggregates>> = HashMap::new();
     if kernel::enabled() {
-        // Resolve this chunk's missing aggregates in one kernel call,
-        // first-appearance order.
         let mut missing: Vec<&PreparedRow> = Vec::new();
-        {
-            let cache = shared.aggregates.lock().expect("aggregate lock");
-            for row in &prepared {
-                if !cache.contains_key(&row.agg_key)
-                    && !missing.iter().any(|m| m.agg_key == row.agg_key)
-                {
-                    missing.push(row);
-                }
+        for row in &prepared {
+            if !missing.iter().any(|m| m.agg_key == row.agg_key) {
+                missing.push(row);
             }
         }
-        if !missing.is_empty() {
-            let requests: Vec<LaneRequest> = missing.iter().map(|m| m.request.clone()).collect();
-            let aggregates = shared.ctx.aggregate(&requests);
-            let mut cache = shared.aggregates.lock().expect("aggregate lock");
-            for (row, agg) in missing.iter().zip(aggregates) {
-                cache
-                    .entry(row.agg_key.clone())
-                    .or_insert_with(|| Arc::new(agg));
-            }
+        let requests: Vec<LaneRequest> = missing.iter().map(|m| m.request.clone()).collect();
+        let resolved = shared.ctx.aggregate(&requests);
+        for (row, agg) in missing.iter().zip(resolved) {
+            aggregates.insert(row.agg_key.clone(), Arc::new(agg));
         }
     }
 
@@ -171,10 +194,7 @@ fn evaluate_chunk(
     for (offset, row) in prepared.into_iter().enumerate() {
         let scenario = if kernel::enabled() {
             let agg = Arc::clone(
-                shared
-                    .aggregates
-                    .lock()
-                    .expect("aggregate lock")
+                aggregates
                     .get(&row.agg_key)
                     .expect("chunk resolved its aggregates"),
             );
@@ -232,7 +252,6 @@ pub(crate) fn evaluate_sweep_streaming(sweep: &SweepSpec) -> Result<SweepReport,
         baseline,
         rank_metric,
         ctx: BatchContext::new(),
-        aggregates: Mutex::new(HashMap::new()),
         region_means: Mutex::new(HashMap::new()),
     };
     let total = sweep.combination_count();

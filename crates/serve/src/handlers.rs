@@ -42,7 +42,7 @@ impl Default for Limits {
 /// Shared state behind all workers: the result cache, the per-endpoint
 /// counters, the logging switch, the connection limits, and the
 /// shutdown flag the connection loops poll.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AppState {
     /// The sharded body cache (see `docs/SERVING.md` for the key scheme).
     pub cache: ResultCache,
@@ -55,6 +55,21 @@ pub struct AppState {
     /// Set by `Server::shutdown`: keep-alive loops finish the request in
     /// flight, answer it with `Connection: close`, and exit.
     pub stop: std::sync::atomic::AtomicBool,
+    /// When this state was built (`/healthz`'s `uptime_seconds`).
+    pub started: std::time::Instant,
+}
+
+impl Default for AppState {
+    fn default() -> AppState {
+        AppState {
+            cache: ResultCache::default(),
+            metrics: Metrics::default(),
+            log_requests: false,
+            limits: Limits::default(),
+            stop: std::sync::atomic::AtomicBool::new(false),
+            started: std::time::Instant::now(),
+        }
+    }
 }
 
 /// What one dispatch did, for metrics and the `--log` line.
@@ -122,7 +137,10 @@ fn try_handle(req: &Request, state: &AppState, trace: &mut Trace) -> Result<Resp
     match resolved {
         Route::Healthz => {
             query.expect_only(&[])?;
-            Ok(Response::json(200, api::to_json(&HealthBody::ok())))
+            Ok(Response::json(
+                200,
+                api::to_json(&HealthBody::snapshot(state)),
+            ))
         }
         Route::CacheStats => {
             query.expect_only(&[])?;
@@ -226,6 +244,20 @@ fn try_handle(req: &Request, state: &AppState, trace: &mut Trace) -> Result<Resp
             });
             Ok(Response::json(200, body))
         }
+        Route::Metrics => {
+            query.expect_only(&[])?;
+            // Touch the lazily-registered core families so a fresh
+            // process still exposes them (with zero values) before the
+            // first simulation runs.
+            let _ = thirstyflops_core::simcache::stats();
+            let _ = thirstyflops_core::batch::stats();
+            // Never cached: the body is the live counter state. The
+            // global registry renders first (sorted by family name),
+            // then this server's per-endpoint table.
+            let mut body = thirstyflops_obs::registry::render_prometheus();
+            body.push_str(&state.metrics.render_prometheus());
+            Ok(Response::text(200, body))
+        }
     }
 }
 
@@ -249,18 +281,28 @@ fn parse_spec_body<T>(
     parse(body).map_err(|e| ServeError::BadRequest(e.to_string()))
 }
 
-/// `GET /healthz` body.
+/// `GET /healthz` body (documented in `docs/SERVING.md`).
+///
+/// `uptime_seconds` and `requests_total` let loadgen and external
+/// probes detect silent restarts: a restarted process reports a lower
+/// uptime and a reset request count than the previous poll saw.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct HealthBody {
     /// Always `"ok"` while the process is serving.
     pub status: String,
+    /// Whole seconds since the server state was built.
+    pub uptime_seconds: u64,
+    /// Requests answered so far across every endpoint family.
+    pub requests_total: u64,
 }
 
 impl HealthBody {
-    /// The healthy answer.
-    pub fn ok() -> HealthBody {
+    /// The healthy answer for the current server state.
+    pub fn snapshot(state: &AppState) -> HealthBody {
         HealthBody {
             status: "ok".to_string(),
+            uptime_seconds: state.started.elapsed().as_secs(),
+            requests_total: state.metrics.total_requests(),
         }
     }
 }
@@ -293,7 +335,26 @@ pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
             }
             Err(e) => match parse_error_response(e) {
                 // Parse failures poison the framing: always close after.
-                Some(resp) => (resp, "??? (unparsable request)".to_string(), None, true),
+                // Over-cap rejections (oversized head or body) count
+                // into the `shed` family with the connection sheds so
+                // capacity pressure is visible in `/v1/cache/stats`.
+                Some(resp) => {
+                    let endpoint = if matches!(resp.status, 413 | 431) {
+                        "shed"
+                    } else {
+                        "other"
+                    };
+                    let trace = Trace {
+                        endpoint,
+                        cache_hit: false,
+                    };
+                    (
+                        resp,
+                        "??? (unparsable request)".to_string(),
+                        Some(trace),
+                        true,
+                    )
+                }
                 None => return, // nothing arrived; likely a probe
             },
         };
@@ -437,6 +498,38 @@ mod tests {
         let resp = get("/healthz", &AppState::default());
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("\"status\": \"ok\""));
+        assert!(resp.body.contains("\"uptime_seconds\""));
+        assert!(resp.body.contains("\"requests_total\": 0"));
+    }
+
+    #[test]
+    fn healthz_reports_requests_answered_so_far() {
+        let state = AppState::default();
+        // The connection loop records into metrics after each response;
+        // simulate two answered requests.
+        state.metrics.record("rank", false, 10);
+        state.metrics.record("shed", false, 5);
+        let resp = get("/healthz", &state);
+        assert!(resp.body.contains("\"requests_total\": 2"), "{}", resp.body);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let state = AppState::default();
+        state.metrics.record("rank", false, 10);
+        let resp = get("/v1/metrics", &state);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4");
+        // The per-endpoint table...
+        assert!(resp
+            .body
+            .contains("thirstyflops_http_requests_total{endpoint=\"rank\"} 1\n"));
+        // ...and the global registry's core families, even before any
+        // simulation ran in this process.
+        assert!(resp.body.contains("thirstyflops_simcache_hits_total"));
+        assert!(resp.body.contains("thirstyflops_batch_lanes_total"));
+        // Unknown query parameters still fail loudly.
+        assert_eq!(get("/v1/metrics?x=1", &state).status, 400);
     }
 
     #[test]

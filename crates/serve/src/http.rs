@@ -37,16 +37,19 @@ pub struct Request {
     pub close: bool,
 }
 
-/// A response ready to be written: status plus JSON body.
+/// A response ready to be written: status, content type, and body.
 ///
 /// The body is an `Arc<str>` so a cache hit serves the stored rendering
 /// without copying it — the hot path costs a pointer clone, as the
-/// cache module promises.
+/// cache module promises. Everything in this API is JSON except
+/// `GET /v1/metrics`, which serves Prometheus text exposition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (always JSON in this API).
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
     pub body: Arc<str>,
 }
 
@@ -56,6 +59,16 @@ impl Response {
     pub fn json(status: u16, body: impl Into<Arc<str>>) -> Response {
         Response {
             status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// Builds a Prometheus text-exposition response (`/v1/metrics`).
+    pub fn text(status: u16, body: impl Into<Arc<str>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
             body: body.into(),
         }
     }
@@ -85,9 +98,10 @@ impl Response {
         let mut out = Vec::with_capacity(160 + self.body.len());
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             self.reason(),
+            self.content_type,
             self.body.len(),
             if close { "close" } else { "keep-alive" }
         )?;
@@ -464,6 +478,15 @@ mod tests {
         assert_eq!(
             text,
             "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}"
+        );
+        let mut out = Vec::new();
+        Response::text(200, "m 1\n")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: 4\r\nConnection: close\r\n\r\nm 1\n"
         );
     }
 

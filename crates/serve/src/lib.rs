@@ -161,6 +161,7 @@ impl Server {
             log_requests: config.log_requests,
             limits: config.limits,
             stop: std::sync::atomic::AtomicBool::new(false),
+            started: std::time::Instant::now(),
         });
         let worker_state = Arc::clone(&state);
         let (pool, sender) = pool::WorkerPool::spawn(config.workers, move |conn: Conn| {
@@ -253,7 +254,13 @@ fn accept_loop(
                 // Nagle's algorithm on a persistent connection.
                 let _ = stream.set_nodelay(true);
                 if max_connections > 0 && active.load(Ordering::SeqCst) >= max_connections {
+                    // Shed responses never reach a worker's connection
+                    // loop, so count them here or load-shedding stays
+                    // invisible in `/v1/cache/stats` and `/v1/metrics`.
+                    let started = std::time::Instant::now();
                     shed(stream, &shed_response);
+                    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    state.metrics.record("shed", false, micros);
                     continue;
                 }
                 active.fetch_add(1, Ordering::SeqCst);

@@ -2,17 +2,29 @@
 //!
 //! One fixed-size table of atomic counters, indexed by endpoint family
 //! (the same families the router resolves). Counters are monotonic and
-//! lock-free; each family also keeps a [`LatencyHistogram`] — a fixed
-//! array of power-of-two microsecond buckets — so `GET /v1/cache/stats`
-//! can serve p50/p90/p99 tail latencies without ever taking a lock or
-//! storing individual samples. `serve --log` prints one line per request
-//! from the same measurements.
+//! lock-free; each family also keeps a [`LatencyHistogram`] — the
+//! workspace-wide log₂-bucket histogram from `thirstyflops_obs`,
+//! re-exported here so `loadgen` and the server report quantiles on
+//! identical bucket edges — so `GET /v1/cache/stats` can serve
+//! p50/p90/p99 tail latencies without ever taking a lock or storing
+//! individual samples. `serve --log` prints one line per request from
+//! the same measurements, and `GET /v1/metrics` renders the table as
+//! Prometheus text via [`Metrics::render_prometheus`].
+//!
+//! Unlike the global `thirstyflops_obs::registry`, this table is
+//! instance-local (one per [`crate::AppState`]) so tests can spin up
+//! many servers in one process without sharing counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The endpoint families metrics are kept for, stats order. `other`
-/// absorbs unroutable paths and unparsable requests.
-pub const ENDPOINTS: [&str; 11] = [
+use thirstyflops_obs::prom::PromWriter;
+pub use thirstyflops_obs::LatencyHistogram;
+
+/// The endpoint families metrics are kept for, stats order. `shed`
+/// counts capacity rejections (503 connection sheds and 413/431
+/// over-cap requests — see `docs/SERVING.md`); `other` absorbs
+/// unroutable paths and the remaining unparsable requests.
+pub const ENDPOINTS: [&str; 13] = [
     "healthz",
     "cache_stats",
     "systems",
@@ -23,65 +35,15 @@ pub const ENDPOINTS: [&str; 11] = [
     "scenarios_run",
     "scenarios_sweep",
     "experiments",
+    "metrics",
+    "shed",
     "other",
 ];
-
-/// Log₂ bucket count: bucket `i ≥ 1` holds samples in
-/// `[2^(i-1), 2^i)` microseconds, bucket 0 holds `0`. 24 buckets cover
-/// up to ~8.4 s — far past any handler this API runs.
-const BUCKETS: usize = 24;
-
-/// A fixed log-bucket latency histogram over atomic counters.
-///
-/// Recording is one `fetch_add` (no locks, no allocation), so it is safe
-/// on the per-request hot path at any worker count. Quantiles are read
-/// as the inclusive upper bound of the bucket where the cumulative count
-/// crosses the rank — an overestimate by at most 2× (one bucket width),
-/// which is the standard trade for O(1) recording. The same type backs
-/// the server's per-endpoint stats and `loadgen`'s client-side
-/// measurements, so both report quantiles on identical bucket edges.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl LatencyHistogram {
-    /// Records one sample (microseconds).
-    pub fn record(&self, micros: u64) {
-        let idx = (64 - u64::leading_zeros(micros) as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total recorded samples.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds: the upper bound
-    /// of the bucket holding the sample of rank `⌈q·count⌉`. Returns 0
-    /// when nothing has been recorded.
-    pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0;
-        for (idx, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return if idx == 0 { 0 } else { (1 << idx) - 1 };
-            }
-        }
-        (1 << (BUCKETS - 1)) - 1
-    }
-}
 
 #[derive(Debug, Default)]
 struct Counters {
     requests: AtomicU64,
     cache_hits: AtomicU64,
-    total_micros: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -123,8 +85,16 @@ impl Metrics {
         if cache_hit {
             counters.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
-        counters.total_micros.fetch_add(micros, Ordering::Relaxed);
         counters.latency.record(micros);
+    }
+
+    /// Total requests answered across every family (`/healthz`'s
+    /// `requests_total`).
+    pub fn total_requests(&self) -> u64 {
+        self.table
+            .iter()
+            .map(|c| c.requests.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// A snapshot of every family, stats order (families with zero
@@ -137,12 +107,57 @@ impl Metrics {
                 endpoint: (*endpoint).to_string(),
                 requests: counters.requests.load(Ordering::Relaxed),
                 cache_hits: counters.cache_hits.load(Ordering::Relaxed),
-                total_micros: counters.total_micros.load(Ordering::Relaxed),
+                total_micros: counters.latency.sum(),
                 p50_micros: counters.latency.quantile(0.50),
                 p90_micros: counters.latency.quantile(0.90),
                 p99_micros: counters.latency.quantile(0.99),
             })
             .collect()
+    }
+
+    /// Renders the table as Prometheus text exposition: request and
+    /// cache-hit counters plus the full latency histogram, one series
+    /// per endpoint family in [`ENDPOINTS`] order. `/v1/metrics`
+    /// appends this to the global registry's rendering.
+    pub fn render_prometheus(&self) -> String {
+        let mut w = PromWriter::new();
+        w.header(
+            "thirstyflops_http_requests_total",
+            "requests answered per endpoint family (any status)",
+            "counter",
+        );
+        for (endpoint, counters) in ENDPOINTS.iter().zip(&self.table) {
+            w.sample_u64(
+                "thirstyflops_http_requests_total",
+                &format!("endpoint=\"{endpoint}\""),
+                counters.requests.load(Ordering::Relaxed),
+            );
+        }
+        w.header(
+            "thirstyflops_http_cache_hits_total",
+            "requests answered from the body cache per endpoint family",
+            "counter",
+        );
+        for (endpoint, counters) in ENDPOINTS.iter().zip(&self.table) {
+            w.sample_u64(
+                "thirstyflops_http_cache_hits_total",
+                &format!("endpoint=\"{endpoint}\""),
+                counters.cache_hits.load(Ordering::Relaxed),
+            );
+        }
+        w.header(
+            "thirstyflops_http_request_duration_micros",
+            "request wall-clock per endpoint family, microseconds",
+            "histogram",
+        );
+        for (endpoint, counters) in ENDPOINTS.iter().zip(&self.table) {
+            w.histogram(
+                "thirstyflops_http_request_duration_micros",
+                &format!("endpoint=\"{endpoint}\""),
+                &counters.latency,
+            );
+        }
+        w.into_string()
     }
 }
 
@@ -168,41 +183,18 @@ mod tests {
         let rank = snap.iter().find(|s| s.endpoint == "rank").unwrap();
         assert_eq!(rank.requests, 0);
         assert_eq!((rank.p50_micros, rank.p99_micros), (0, 0));
+        assert_eq!(metrics.total_requests(), 3);
     }
 
     #[test]
-    fn histogram_buckets_are_log2_upper_bounds() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile(0.5), 0, "empty histogram reads 0");
-        h.record(0);
-        assert_eq!(h.quantile(1.0), 0, "zero lands in the zero bucket");
-        // 100 lands in [64, 128) ⇒ upper bound 127.
-        h.record(100);
-        assert_eq!(h.quantile(1.0), 127);
-        assert_eq!(h.count(), 2);
-    }
-
-    #[test]
-    fn quantiles_walk_the_cumulative_counts() {
-        let h = LatencyHistogram::default();
-        // 90 fast samples in [64, 128), 10 slow in [4096, 8192).
-        for _ in 0..90 {
-            h.record(100);
-        }
-        for _ in 0..10 {
-            h.record(5000);
-        }
-        assert_eq!(h.quantile(0.50), 127);
-        assert_eq!(h.quantile(0.90), 127, "rank 90 is the last fast sample");
-        assert_eq!(h.quantile(0.99), 8191);
-        assert_eq!(h.quantile(1.0), 8191);
-    }
-
-    #[test]
-    fn oversized_samples_clamp_to_the_top_bucket() {
-        let h = LatencyHistogram::default();
-        h.record(u64::MAX);
-        assert_eq!(h.quantile(1.0), (1 << (BUCKETS - 1)) - 1);
+    fn shed_is_its_own_family() {
+        let metrics = Metrics::default();
+        metrics.record("shed", false, 40);
+        let snap = metrics.snapshot();
+        let shed = snap.iter().find(|s| s.endpoint == "shed").unwrap();
+        assert_eq!(shed.requests, 1);
+        let other = snap.iter().find(|s| s.endpoint == "other").unwrap();
+        assert_eq!(other.requests, 0, "sheds must not be lumped into other");
     }
 
     #[test]
@@ -220,5 +212,32 @@ mod tests {
             rank.p99_micros, 15,
             "rank 99 of 100 is still the fast bucket"
         );
+        assert_eq!(rank.total_micros, 99 * 10 + 1_000_000);
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_every_family() {
+        let metrics = Metrics::default();
+        metrics.record("rank", true, 100);
+        let text = metrics.render_prometheus();
+        assert!(text.contains("# TYPE thirstyflops_http_requests_total counter\n"));
+        assert!(text.contains("thirstyflops_http_requests_total{endpoint=\"rank\"} 1\n"));
+        assert!(text.contains("thirstyflops_http_cache_hits_total{endpoint=\"rank\"} 1\n"));
+        assert!(
+            text.contains("thirstyflops_http_request_duration_micros_count{endpoint=\"rank\"} 1\n")
+        );
+        assert!(
+            text.contains("thirstyflops_http_request_duration_micros_sum{endpoint=\"rank\"} 100\n")
+        );
+        for endpoint in ENDPOINTS {
+            assert!(
+                text.contains(&format!(
+                    "thirstyflops_http_requests_total{{endpoint=\"{endpoint}\"}} "
+                )),
+                "{endpoint} missing from exposition"
+            );
+        }
+        // Rendering is stable: two snapshots of the same state match.
+        assert_eq!(text, metrics.render_prometheus());
     }
 }

@@ -34,6 +34,9 @@ pub enum Route {
     ExperimentIndex,
     /// `GET /v1/experiments/{id}` — one regenerated paper artifact.
     Experiment(String),
+    /// `GET /v1/metrics` — Prometheus text exposition of the global
+    /// registry plus the per-endpoint table.
+    Metrics,
 }
 
 impl Route {
@@ -51,6 +54,7 @@ impl Route {
             Route::ScenarioRun => "scenarios_run",
             Route::ScenarioSweep => "scenarios_sweep",
             Route::ExperimentIndex | Route::Experiment(_) => "experiments",
+            Route::Metrics => "metrics",
         }
     }
 
@@ -78,6 +82,7 @@ pub fn route(path: &str) -> Result<Route, ServeError> {
         ["v1", "scenarios", "sweep"] => Ok(Route::ScenarioSweep),
         ["v1", "experiments"] => Ok(Route::ExperimentIndex),
         ["v1", "experiments", id] if !id.is_empty() => Ok(Route::Experiment(id.to_string())),
+        ["v1", "metrics"] => Ok(Route::Metrics),
         _ => Err(ServeError::NotFound(format!("no route for {path:?}"))),
     }
 }
@@ -183,6 +188,7 @@ mod tests {
             route("/v1/experiments/fig05"),
             Ok(Route::Experiment("fig05".into()))
         );
+        assert_eq!(route("/v1/metrics"), Ok(Route::Metrics));
         // Trailing slash tolerated.
         assert_eq!(route("/v1/rank/"), Ok(Route::Rank));
     }
@@ -195,6 +201,7 @@ mod tests {
             ("/v1/scenarios/run", "scenarios_run"),
             ("/v1/scenarios/sweep", "scenarios_sweep"),
             ("/v1/experiments/fig05", "experiments"),
+            ("/v1/metrics", "metrics"),
         ] {
             let resolved = route(path).unwrap();
             assert_eq!(resolved.metrics_label(), label);

@@ -8,10 +8,25 @@
 //! what the M100/Fugaku log studies report.
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
+use thirstyflops_obs::Counter;
 use thirstyflops_timeseries::{HourlySeries, HOURS_PER_YEAR};
 
 use crate::trace::Job;
+
+/// Jobs fed into cluster-year simulations, registered once in the
+/// workspace metrics registry. Deterministic: simulation demand is a
+/// pure function of the command (`docs/OBSERVABILITY.md`).
+fn jobs_simulated() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        thirstyflops_obs::registry::counter(
+            "thirstyflops_workload_jobs_simulated_total",
+            "Jobs fed into cluster-year scheduling simulations.",
+        )
+    })
+}
 
 /// A running job's remaining reservation.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +84,7 @@ impl ClusterSim {
     ///
     /// Jobs wider than the cluster are rejected (counted as unstarted).
     pub fn simulate_year(&self, jobs: &[Job]) -> (HourlySeries, ClusterStats) {
+        jobs_simulated().add(jobs.len() as u64);
         let mut sorted: Vec<Job> = jobs.to_vec();
         sorted.sort_by_key(|j| (j.submit_hour, j.id));
 

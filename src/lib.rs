@@ -29,7 +29,11 @@
 //!   (`thirstyflops serve`);
 //! * [`loadgen`] — the deterministic load-test harness that replays
 //!   recorded request mixes against the server and verifies every
-//!   response body (`thirstyflops loadgen`).
+//!   response body (`thirstyflops loadgen`);
+//! * [`obs`] — the workspace-wide observability layer: the global
+//!   metrics registry, deterministic span profiling (`--profile`), and
+//!   the Prometheus text exposition behind `GET /v1/metrics`
+//!   (`docs/OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@ pub use thirstyflops_core as core;
 pub use thirstyflops_experiments as experiments;
 pub use thirstyflops_grid as grid;
 pub use thirstyflops_loadgen as loadgen;
+pub use thirstyflops_obs as obs;
 pub use thirstyflops_scenario as scenario;
 pub use thirstyflops_scheduler as scheduler;
 pub use thirstyflops_serve as serve;

@@ -19,6 +19,8 @@
 //! worker count comes from `THIRSTYFLOPS_THREADS`, then
 //! `RAYON_NUM_THREADS`, then the machine's available parallelism. Output
 //! is bit-identical at every thread count (see `docs/CONCURRENCY.md`).
+//! A global `--profile` flag prints a per-stage span profile to stderr
+//! after any command (see `docs/OBSERVABILITY.md`); stdout is unchanged.
 //!
 //! `--json` output is shaped by `thirstyflops::serve::api` — the same
 //! module the HTTP server renders through — so a CLI invocation and the
@@ -38,10 +40,10 @@ fn main() {
 }
 
 fn run(raw_args: &[String]) -> i32 {
-    // `--threads N` and `--no-sim-cache` are global flags: extract them
-    // wherever they appear (before or after the subcommand) so
-    // positional parsing below never sees them.
-    let args = match extract_global_flags(raw_args) {
+    // `--threads N`, `--no-sim-cache`, `--no-batch`, and `--profile`
+    // are global flags: extract them wherever they appear (before or
+    // after the subcommand) so positional parsing below never sees them.
+    let (args, profile) = match extract_global_flags(raw_args) {
         Ok(global) => {
             if let Some(n) = global.threads {
                 // First-wins like rayon: the CLI flag runs before any
@@ -63,7 +65,13 @@ fn run(raw_args: &[String]) -> i32 {
                 // way (tests/batch.rs, ./ci.sh batch-smoke).
                 thirstyflops::core::batch::set_enabled(false);
             }
-            global.args
+            if global.profile {
+                // Span aggregation on the instrumented hot stages
+                // (docs/OBSERVABILITY.md). Stdout stays byte-identical
+                // either way; the report goes to stderr afterwards.
+                thirstyflops::obs::span::set_enabled(true);
+            }
+            (global.args, global.profile)
         }
         Err(msg) => {
             eprintln!("{msg}");
@@ -75,7 +83,7 @@ fn run(raw_args: &[String]) -> i32 {
         usage();
         return 2;
     };
-    match cmd.as_str() {
+    let code = match cmd.as_str() {
         "footprint" => cmd_footprint(args),
         "compare" => cmd_compare(args),
         "rank" => cmd_rank(args),
@@ -95,7 +103,17 @@ fn run(raw_args: &[String]) -> i32 {
             usage();
             2
         }
+    };
+    if profile {
+        // Stderr, after the command's own output: `--profile --json`
+        // pipelines can parse stdout and the profile independently.
+        if json_flag(args) {
+            eprint!("{}", thirstyflops::obs::report::profile_json());
+        } else {
+            eprint!("{}", thirstyflops::obs::report::profile_table());
+        }
     }
+    code
 }
 
 fn usage() {
@@ -121,11 +139,14 @@ fn usage() {
          Every command also accepts --threads N (worker threads for the\n\
          parallel sweeps; defaults to THIRSTYFLOPS_THREADS, then the CPU\n\
          count), --no-sim-cache (recompute every simulation instead of\n\
-         using the memoized substrate — docs/PERFORMANCE.md), and\n\
-         --no-batch (evaluate sweeps on the scalar reference path\n\
-         instead of the batched K-lane kernel). Results are identical at\n\
-         every thread count, cached or not, batched or not, and --json\n\
-         output is byte-identical to the HTTP API's (docs/SERVING.md).\n\n\
+         using the memoized substrate — docs/PERFORMANCE.md), --no-batch\n\
+         (evaluate sweeps on the scalar reference path instead of the\n\
+         batched K-lane kernel), and --profile (print a per-stage span\n\
+         profile and the registered counters to stderr afterwards —\n\
+         docs/OBSERVABILITY.md; as JSON when --json is set). Results are\n\
+         identical at every thread count, cached or not, batched or not,\n\
+         profiled or not, and --json output is byte-identical to the\n\
+         HTTP API's (docs/SERVING.md).\n\n\
          Systems: marconi, fugaku, polaris, frontier, aurora, elcapitan"
     );
 }
@@ -141,15 +162,18 @@ struct GlobalFlags {
     no_sim_cache: bool,
     /// `--no-batch`: evaluate sweeps on the scalar reference path.
     no_batch: bool,
+    /// `--profile`: print the span/counter profile to stderr afterwards.
+    profile: bool,
 }
 
-/// Splits the global `--threads N` / `--no-sim-cache` / `--no-batch`
-/// flags (any position) out of the argument list.
+/// Splits the global `--threads N` / `--no-sim-cache` / `--no-batch` /
+/// `--profile` flags (any position) out of the argument list.
 fn extract_global_flags(args: &[String]) -> Result<GlobalFlags, String> {
     let mut rest = Vec::with_capacity(args.len());
     let mut threads = None;
     let mut no_sim_cache = false;
     let mut no_batch = false;
+    let mut profile = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--no-sim-cache" {
@@ -158,6 +182,10 @@ fn extract_global_flags(args: &[String]) -> Result<GlobalFlags, String> {
         }
         if arg == "--no-batch" {
             no_batch = true;
+            continue;
+        }
+        if arg == "--profile" {
+            profile = true;
             continue;
         }
         if arg != "--threads" {
@@ -181,6 +209,7 @@ fn extract_global_flags(args: &[String]) -> Result<GlobalFlags, String> {
         threads,
         no_sim_cache,
         no_batch,
+        profile,
     })
 }
 

@@ -1,0 +1,129 @@
+//! Determinism tests for the observability layer (docs/OBSERVABILITY.md).
+//!
+//! The contract: profiling must never change a command's output, and the
+//! profiled *counts* — span invocations and registry counters — must be
+//! bit-identical across thread counts and cache modes. Durations
+//! (`*_ns` fields) are wall-clock and exempt. The simcache counter
+//! families are exempt across cache modes in a specific way: under
+//! `--no-sim-cache` they are never registered at all, so they are
+//! filtered by name prefix before comparing.
+
+use std::process::{Command, Output};
+
+use thirstyflops::obs::report::ProfileReport;
+
+const SWEEP: [&str; 3] = ["scenario", "sweep", "examples/scenarios/sweep_siting.json"];
+
+fn run(args: &[&str]) -> Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_thirstyflops"))
+        .args(args)
+        .output()
+        .expect("CLI binary runs");
+    assert!(out.status.success(), "CLI {args:?} failed: {out:?}");
+    out
+}
+
+/// Parses the `--profile --json` stderr payload.
+fn profile(out: &Output) -> ProfileReport {
+    let stderr = String::from_utf8(out.stderr.clone()).expect("stderr is UTF-8");
+    serde_json::from_str(&stderr).expect("stderr is a profile report")
+}
+
+/// A named count: a stage's invocations or a counter's value.
+type Counts = Vec<(String, u64)>;
+
+/// The deterministic half of a profile: per-stage invocation counts and
+/// counter values, durations dropped.
+fn counts(report: &ProfileReport) -> (Counts, Counts) {
+    (
+        report
+            .stages
+            .iter()
+            .map(|s| (s.stage.clone(), s.invocations))
+            .collect(),
+        report
+            .counters
+            .iter()
+            .map(|c| (c.name.clone(), c.value))
+            .collect(),
+    )
+}
+
+/// Tentpole acceptance: enabling `--profile` must not change command
+/// output by a single byte — the report goes to stderr, never stdout.
+#[test]
+fn stdout_is_byte_identical_with_profiling_on_and_off() {
+    let plain = run(&[&SWEEP[..], &["--json"]].concat());
+    let profiled = run(&[&SWEEP[..], &["--json", "--profile"]].concat());
+    assert_eq!(plain.stdout, profiled.stdout, "--profile altered stdout");
+    assert!(plain.stderr.is_empty(), "no stderr without --profile");
+    assert!(!profiled.stderr.is_empty(), "--profile reports on stderr");
+
+    // Same for the human-readable rendering.
+    let plain = run(&SWEEP);
+    let profiled = run(&[&SWEEP[..], &["--profile"]].concat());
+    assert_eq!(plain.stdout, profiled.stdout, "--profile altered stdout");
+}
+
+/// Span invocation counts and registry counters are identical at 1 and
+/// 8 threads — work is partitioned, never duplicated or dropped.
+#[test]
+fn profile_counts_are_identical_across_thread_counts() {
+    let one = run(&[&SWEEP[..], &["--json", "--profile", "--threads", "1"]].concat());
+    let eight = run(&[&SWEEP[..], &["--json", "--profile", "--threads", "8"]].concat());
+    assert_eq!(one.stdout, eight.stdout, "sweep output depends on threads");
+    let (stages_1, counters_1) = counts(&profile(&one));
+    let (stages_8, counters_8) = counts(&profile(&eight));
+    assert_eq!(stages_1, stages_8, "span counts depend on thread count");
+    assert_eq!(counters_1, counters_8, "counters depend on thread count");
+    // The sweep actually exercised the instrumented stages.
+    assert!(
+        stages_1
+            .iter()
+            .any(|(name, n)| name == "workload_sim" && *n > 0),
+        "{stages_1:?}"
+    );
+    assert!(
+        counters_1
+            .iter()
+            .any(|(name, n)| name == "thirstyflops_sweep_cells_total" && *n > 0),
+        "{counters_1:?}"
+    );
+}
+
+/// Span counts are identical with the simulation cache on and off; the
+/// only counter difference is the absence of the `thirstyflops_simcache_*`
+/// families (they are never registered when the cache is disabled).
+#[test]
+fn profile_counts_are_identical_across_cache_modes() {
+    let cached = run(&[&SWEEP[..], &["--json", "--profile"]].concat());
+    let uncached = run(&[&SWEEP[..], &["--json", "--profile", "--no-sim-cache"]].concat());
+    assert_eq!(cached.stdout, uncached.stdout, "cache mode altered output");
+    let (stages_c, counters_c) = counts(&profile(&cached));
+    let (stages_u, counters_u) = counts(&profile(&uncached));
+    assert_eq!(stages_c, stages_u, "span counts depend on cache mode");
+
+    let strip = |counters: Counts| -> Counts {
+        counters
+            .into_iter()
+            .filter(|(name, _)| !name.starts_with("thirstyflops_simcache_"))
+            .collect()
+    };
+    assert!(
+        counters_c
+            .iter()
+            .any(|(name, _)| name.starts_with("thirstyflops_simcache_")),
+        "cached run registers simcache counters: {counters_c:?}"
+    );
+    assert!(
+        counters_u
+            .iter()
+            .all(|(name, _)| !name.starts_with("thirstyflops_simcache_")),
+        "--no-sim-cache must not register simcache counters: {counters_u:?}"
+    );
+    assert_eq!(
+        strip(counters_c),
+        strip(counters_u),
+        "non-cache counters depend on cache mode"
+    );
+}

@@ -80,6 +80,27 @@ fn cli_stdout(args: &[&str]) -> String {
     String::from_utf8(out.stdout).expect("CLI emits UTF-8")
 }
 
+/// Extracts the "shed" family's request count from a `/v1/cache/stats`
+/// body. Relies on the documented field order of `EndpointStats`:
+/// `requests` is the field right after `endpoint`.
+fn shed_requests(stats: &str) -> u64 {
+    let family = stats
+        .find("\"endpoint\": \"shed\"")
+        .map(|i| &stats[i..])
+        .expect("stats lists the shed family");
+    family
+        .find("\"requests\": ")
+        .and_then(|i| {
+            family[i + 12..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .ok()
+        })
+        .expect("shed family has a requests count")
+}
+
 #[test]
 fn healthz_and_404_shapes() {
     let server = start(2);
@@ -87,11 +108,83 @@ fn healthz_and_404_shapes() {
     let (status, body) = http_get(addr, "/healthz");
     assert_eq!(status, 200);
     assert!(body.contains("\"status\": \"ok\""));
+    assert!(body.contains("\"uptime_seconds\""), "{body}");
+    assert!(body.contains("\"requests_total\""), "{body}");
     let (status, body) = http_get(addr, "/v2/nothing");
     assert_eq!(status, 404);
     assert!(body.contains("\"status\": 404"));
     let (status, _) = http_get(addr, "/v1/footprint/polaris?seed=abc");
     assert_eq!(status, 400);
+    server.shutdown();
+}
+
+/// Satellite: `/healthz` reports the request total so external probes
+/// can detect a silent restart (the count resets with the process).
+#[test]
+fn healthz_request_total_grows_between_polls() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let (_, first) = http_get(addr, "/healthz");
+    let (_, _) = http_get(addr, "/v1/systems");
+    let (_, second) = http_get(addr, "/healthz");
+    let health: thirstyflops::serve::handlers::HealthBody =
+        serde_json::from_str(&second).expect("healthz parses");
+    assert_eq!(health.status, "ok");
+    // The second poll has seen at least the first poll + the systems
+    // request (recording happens after each response is written, so the
+    // in-flight request itself may not be counted yet).
+    assert!(health.requests_total >= 2, "{second}");
+    let first: thirstyflops::serve::handlers::HealthBody =
+        serde_json::from_str(&first).expect("healthz parses");
+    assert!(health.requests_total > first.requests_total);
+    server.shutdown();
+}
+
+/// Tentpole: `GET /v1/metrics` serves Prometheus text exposition over
+/// real TCP — serve's per-endpoint table plus the global registry's
+/// simcache and batch families, with the right Content-Type.
+#[test]
+fn metrics_endpoint_serves_prometheus_text_over_tcp() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let (_, _) = http_get(addr, "/v1/rank?seed=9");
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    write!(
+        stream,
+        "GET /v1/metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request writes");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response reads");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("framed response");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+    // Per-endpoint table: the rank request above is visible.
+    assert!(body.contains("# TYPE thirstyflops_http_requests_total counter"));
+    assert!(body.contains("thirstyflops_http_requests_total{endpoint=\"rank\"} 1\n"));
+    assert!(body.contains("# TYPE thirstyflops_http_request_duration_micros histogram"));
+    assert!(body.contains(
+        "thirstyflops_http_request_duration_micros_bucket{endpoint=\"rank\",le=\"+Inf\"} 1\n"
+    ));
+    // Global registry families, exposed even in a fresh process.
+    assert!(body.contains("# TYPE thirstyflops_simcache_hits_total counter"));
+    assert!(body.contains("thirstyflops_simcache_hits_total{cache=\"system_years\"}"));
+    assert!(body.contains("# TYPE thirstyflops_batch_lanes_total counter"));
+    // Well-formed exposition: every non-comment line is `name[{labels}] value`.
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(!series.is_empty(), "{line}");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "sample value parses as a number: {line}"
+        );
+    }
     server.shutdown();
 }
 
@@ -581,15 +674,17 @@ fn peer_closed(stream: &mut TcpStream) -> bool {
 
 /// Satellite: N requests down one persistent connection produce the
 /// same bytes as N one-shot connections — at 1 worker and at 8.
+/// (`/healthz` is excluded: its uptime/request counters are
+/// legitimately volatile — see `docs/SERVING.md`.)
 #[test]
 fn keep_alive_bodies_match_one_shot_bodies_across_worker_counts() {
     let paths = [
-        "/healthz",
+        "/v1/experiments",
         "/v1/footprint/polaris?seed=5",
         "/v1/systems",
         "/v1/footprint/polaris?seed=5", // repeat: served from cache
         "/v1/rank?seed=5",
-        "/healthz",
+        "/v1/experiments", // repeat: served from cache
     ];
     let mut per_worker_count: Vec<Vec<String>> = Vec::new();
     for workers in [1usize, 8] {
@@ -631,7 +726,7 @@ fn keep_alive_bodies_match_one_shot_bodies_across_worker_counts() {
 fn pipelined_requests_are_answered_in_order() {
     let server = start(1);
     let addr = server.local_addr();
-    let (_, healthz) = http_get(addr, "/healthz");
+    let (_, rank) = http_get(addr, "/v1/rank?seed=2");
     let (_, systems) = http_get(addr, "/v1/systems");
 
     let mut stream = TcpStream::connect(addr).expect("server is listening");
@@ -641,15 +736,15 @@ fn pipelined_requests_are_answered_in_order() {
     // Three requests in one write; the last one asks to close.
     write!(
         stream,
-        "GET /healthz HTTP/1.1\r\nHost: p\r\n\r\n\
+        "GET /v1/rank?seed=2 HTTP/1.1\r\nHost: p\r\n\r\n\
          GET /v1/systems HTTP/1.1\r\nHost: p\r\n\r\n\
-         GET /healthz HTTP/1.1\r\nHost: p\r\nConnection: close\r\n\r\n"
+         GET /v1/rank?seed=2 HTTP/1.1\r\nHost: p\r\nConnection: close\r\n\r\n"
     )
     .expect("pipelined burst writes");
     let expectations = [
-        (&healthz, "keep-alive"),
+        (&rank, "keep-alive"),
         (&systems, "keep-alive"),
-        (&healthz, "close"),
+        (&rank, "close"),
     ];
     let mut carry = Vec::new();
     for (i, (expected_body, expected_connection)) in expectations.iter().enumerate() {
@@ -765,6 +860,13 @@ fn adversarial_requests_get_4xx_and_close() {
     // The server is still healthy after all of it.
     let (status, _) = http_get(addr, "/healthz");
     assert_eq!(status, 200, "server survives adversarial clients");
+
+    // Satellite: the two over-cap 413s and the 431 above all count into
+    // the "shed" metrics family (truncated heads and garbage stay in
+    // "other").
+    let (status, stats) = http_get(addr, "/v1/cache/stats");
+    assert_eq!(status, 200);
+    assert_eq!(shed_requests(&stats), 3, "{stats}");
     server.shutdown();
 }
 
@@ -858,6 +960,12 @@ fn over_limit_connections_get_json_503() {
     assert!(body.contains("connection limit"), "{body}");
     assert_eq!(connection.as_deref(), Some("close"));
     assert!(peer_closed(&mut over), "shed connection closes");
+
+    // Satellite: the shed is visible in the per-endpoint metrics — the
+    // 503 above landed in the dedicated "shed" family, not "other".
+    let (status, stats) = holder.get("/v1/cache/stats");
+    assert_eq!(status, 200);
+    assert!(shed_requests(&stats) >= 1, "{stats}");
 
     // Releasing the held connection frees the slot (within the worker's
     // ~100 ms poll slice); the next client is served normally.
