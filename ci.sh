@@ -21,6 +21,13 @@
 #                          # untouched, profiled counts byte-identical —
 #                          # plus a /v1/metrics fetch over raw TCP that
 #                          # must be well-formed Prometheus text
+#   ./ci.sh chaos-smoke    # deterministic chaos replay: the bench mix
+#                          # under examples/faults/smoke.json at
+#                          # --workers 1, 8, and 1 again — zero byte-
+#                          # verification failures, chaos accounting
+#                          # bit-identical across all three runs, stats
+#                          # recorded into BENCH_serve.json
+#                          # (docs/ROBUSTNESS.md)
 #   ./ci.sh bench-json     # quick cold-vs-warm SystemYear::simulate,
 #                          # grid-kernel, and scalar-vs-batched
 #                          # scenario-sweep measurement, with a
@@ -224,6 +231,58 @@ if [[ "$mode" == "obs-smoke" ]]; then
   exit 0
 fi
 
+chaos_smoke() {
+  # The robustness gate (docs/ROBUSTNESS.md): replay the recorded bench
+  # mix under the committed fault plan — injected panics, latency past
+  # the deadline, truncated and stalled writes, accept-time drops,
+  # simcache poisoning — at --workers 1, 8, and 1 again. Fail-closed:
+  # every 200 is byte-verified, every fault must be recovered by the
+  # client's bounded retries, and the chaos accounting (attempts,
+  # retries, per-site injected counts) must be bit-identical across all
+  # three runs: the fault schedule is a pure function of the plan seed
+  # and the visit counts, never of thread interleaving. The middle run
+  # also records the accounting into BENCH_serve.json ("chaos" key).
+  step "chaos smoke (loadgen --chaos at --workers 1, 8, 1)"
+  cargo build --release -q
+  local bin=target/release/thirstyflops
+  mkdir -p target
+  local runs=(1 8 1) workers extra
+  for i in "${!runs[@]}"; do
+    workers="${runs[$i]}"
+    extra=""
+    [[ "$i" == 1 ]] && extra="--bench-json"
+    # shellcheck disable=SC2086
+    "$bin" loadgen --mix examples/loadmix/bench.json       --requests 300 --connections 6 --workers "$workers"       --retries 32 --request-timeout 2000       --chaos examples/faults/smoke.json --json $extra       > "target/chaos_smoke_$i.json"
+    for needle in '"mismatches": 0' '"errors": 0' '"unrecovered": 0'; do
+      if ! grep -qF -- "$needle" "target/chaos_smoke_$i.json"; then
+        echo "chaos smoke: run $i (workers $workers) violated $needle" >&2
+        exit 1
+      fi
+    done
+    # The deterministic tail: everything from the chaos key on (the
+    # load section above it legitimately carries wall-clock numbers).
+    sed -n '/"chaos":/,$p' "target/chaos_smoke_$i.json" > "target/chaos_section_$i.json"
+    if ! grep -q '"injected"' "target/chaos_section_$i.json"; then
+      echo "chaos smoke: run $i has no per-site fault accounting" >&2
+      exit 1
+    fi
+  done
+  for i in 1 2; do
+    if ! cmp -s target/chaos_section_0.json "target/chaos_section_$i.json"; then
+      echo "chaos smoke: chaos accounting differs between run 0 and run $i:" >&2
+      diff target/chaos_section_0.json "target/chaos_section_$i.json" >&2 || true
+      exit 1
+    fi
+  done
+  grep -q '"chaos":' BENCH_serve.json
+  printf '  ok chaos replay: 0 mismatches, accounting bit-identical at workers 1, 8, 1\n'
+}
+
+if [[ "$mode" == "chaos-smoke" ]]; then
+  chaos_smoke
+  exit 0
+fi
+
 if [[ "$mode" == "bench-json" ]]; then
   # The tracked bench trajectory: medians of the serial instruction path
   # (1-CPU container — compare medians across PRs, not parallel
@@ -265,6 +324,7 @@ if [[ "$mode" != "quick" ]]; then
   scenario_smoke
   batch_smoke
   obs_smoke
+  chaos_smoke
 fi
 
 step "cargo doc --workspace --no-deps (warnings are errors)"

@@ -361,6 +361,17 @@ pub fn system_year(spec: SystemSpec, seed: u64) -> Arc<SystemYear> {
     if !enabled() {
         return Arc::new(SystemYear::compute(spec, seed, false));
     }
+    // Injected cache poisoning (`docs/ROBUSTNESS.md`): a fired
+    // `simcache_poison` fault forces this lookup down the uncached
+    // recompute path — exercising the miss machinery under load without
+    // ever storing a wrong value. Because hits and misses return
+    // byte-identical years (the determinism contract above), poisoning
+    // must never change any response body; chaos replays verify that.
+    // The site lives only here, on the whole-year layer — the grid/WUE
+    // layers below it are reached through this entry point.
+    if thirstyflops_faults::global_simcache_poisoned() {
+        return Arc::new(SystemYear::compute(spec, seed, false));
+    }
     let key = (spec_fingerprint(&spec), seed);
     year_cache().get_or_compute(key, move || SystemYear::compute(spec, seed, true))
 }

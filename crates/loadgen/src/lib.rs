@@ -37,8 +37,10 @@ pub mod report;
 pub mod run;
 
 pub use mix::{MixSpec, Template};
-pub use report::{human_table, write_bench_json};
-pub use run::{run, EndpointLoad, LoadReport, RunConfig};
+pub use report::{chaos_json, chaos_table, human_table, write_bench_json};
+pub use run::{
+    run, run_with_stats, ChaosStats, EndpointLoad, FaultSiteCount, LoadReport, RunConfig,
+};
 
 /// Errors from parsing a mix spec or executing a load run.
 #[derive(Debug, Clone, PartialEq, Eq)]

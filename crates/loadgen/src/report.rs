@@ -11,7 +11,7 @@
 
 use std::path::Path;
 
-use crate::run::LoadReport;
+use crate::run::{ChaosStats, LoadReport};
 use crate::LoadError;
 
 /// Renders the human-readable summary table for one run.
@@ -51,6 +51,64 @@ pub fn human_table(report: &LoadReport) -> String {
         out.push_str(&format!("  ! {sample}\n"));
     }
     out
+}
+
+/// Renders the chaos error/retry/recovery accounting as a
+/// human-readable block appended after [`human_table`]'s output.
+pub fn chaos_table(stats: &ChaosStats) -> String {
+    let mut out = format!(
+        "chaos: {} attempts, {} retried, {} faulted (500: {}, 503: {}, 504: {}), \
+         {} transport error{}, {} unrecovered\n",
+        stats.attempts,
+        stats.retried,
+        stats.faulted,
+        stats.status_500,
+        stats.status_503,
+        stats.status_504,
+        stats.transport_errors,
+        if stats.transport_errors == 1 { "" } else { "s" },
+        stats.unrecovered,
+    );
+    for site in &stats.fault_sites {
+        out.push_str(&format!("  fault {:<18} {:>6}\n", site.site, site.injected));
+    }
+    out
+}
+
+/// Renders the chaos accounting as pretty JSON. Every field is
+/// deterministic (no timings), so two same-seed replays — at any worker
+/// count — must render byte-identically; `./ci.sh chaos-smoke` diffs
+/// this exact text across runs.
+pub fn chaos_json(stats: &ChaosStats) -> Result<String, LoadError> {
+    serde_json::to_string_pretty(stats).map_err(|e| LoadError::Io(format!("render chaos: {e}")))
+}
+
+/// Merges a `"chaos"` section into an existing `BENCH_serve.json`,
+/// preserving every other top-level key (`note`, `unit`, `baseline`,
+/// `current`) verbatim. Returns the rendered text.
+pub fn write_chaos_bench(path: &Path, stats: &ChaosStats) -> Result<String, LoadError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| LoadError::Io(format!("read {}: {e}", path.display())))?;
+    let value: serde::Value = serde_json::from_str(&text)
+        .map_err(|e| LoadError::Io(format!("parse {}: {e}", path.display())))?;
+    let object = value
+        .as_object()
+        .ok_or_else(|| LoadError::Io(format!("{} is not a JSON object", path.display())))?;
+    let mut report = String::from("{\n");
+    for (key, val) in object.iter().filter(|(k, _)| k != "chaos") {
+        let rendered = serde_json::to_string(val).expect("re-render parsed JSON");
+        report.push_str(&format!("  \"{key}\": {rendered},\n"));
+    }
+    let chaos = serde_json::to_string(stats).map_err(|e| LoadError::Io(format!("render: {e}")))?;
+    report.push_str(&format!("  \"chaos\": {chaos}\n}}\n"));
+    // Validate before writing so a formatting bug can't corrupt the
+    // tracked file.
+    let parsed: serde::Value =
+        serde_json::from_str(&report).map_err(|e| LoadError::Io(format!("invalid report: {e}")))?;
+    drop(parsed);
+    std::fs::write(path, &report)
+        .map_err(|e| LoadError::Io(format!("write {}: {e}", path.display())))?;
+    Ok(report)
 }
 
 /// One side (`baseline` or `current`) of `BENCH_serve.json`.

@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use thirstyflops_serve::handlers::{self, AppState};
 use thirstyflops_serve::http::{percent_decode, Request};
 use thirstyflops_serve::metrics::{LatencyHistogram, ENDPOINTS};
-use thirstyflops_serve::{router, Server, ServerConfig};
+use thirstyflops_serve::{router, Limits, Server, ServerConfig};
 
 use crate::{LoadError, MixSpec};
 
@@ -42,11 +42,24 @@ pub struct RunConfig {
     /// Remote target `HOST:PORT`; `None` spawns an in-process server on
     /// an ephemeral port.
     pub addr: Option<String>,
+    /// Client-side retry budget per request (`loadgen --retries N`,
+    /// default 0 = off). With a budget, transport failures and
+    /// well-formed JSON 500/503/504 responses are retried with capped
+    /// exponential backoff, seeded jitter, and `Retry-After` honored —
+    /// see `docs/ROBUSTNESS.md`.
+    pub retries: u32,
+    /// Chaos replay mode (`loadgen --chaos plan.json`): a 5xx that is
+    /// well-formed JSON counts as an injected fault (not a mismatch),
+    /// and the run reports [`ChaosStats`] alongside the load report.
+    pub chaos: bool,
+    /// Per-request deadline for the in-process server
+    /// (`loadgen --request-timeout MS`; ignored with `addr`).
+    pub request_timeout: Option<Duration>,
 }
 
 impl Default for RunConfig {
     /// 1000 unpaced requests over 4 keep-alive connections against an
-    /// in-process 2-worker server.
+    /// in-process 2-worker server; no retries, no chaos, no deadline.
     fn default() -> RunConfig {
         RunConfig {
             requests: 1000,
@@ -55,6 +68,9 @@ impl Default for RunConfig {
             keep_alive: true,
             workers: 2,
             addr: None,
+            retries: 0,
+            chaos: false,
+            request_timeout: None,
         }
     }
 }
@@ -111,6 +127,46 @@ pub struct LoadReport {
 /// Cap on retained mismatch/error sample messages.
 pub const MAX_SAMPLES: usize = 5;
 
+/// One fault site's injection count, as reported by the installed
+/// [`thirstyflops_faults`] plan.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultSiteCount {
+    /// Site name (`thirstyflops_faults::SITE_NAMES`).
+    pub site: String,
+    /// Times the site fired during the run.
+    pub injected: u64,
+}
+
+/// Error/retry/recovery accounting for a chaos replay. Every field
+/// except the timings is a pure function of the fault plan and the
+/// request plan — bit-identical across worker counts and same-seed
+/// replays (`./ci.sh chaos-smoke` diffs them, `docs/ROBUSTNESS.md`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosStats {
+    /// Request attempts sent on the wire (requests + retries).
+    pub attempts: u64,
+    /// Attempts that were retried (after backoff).
+    pub retried: u64,
+    /// Responses classified as injected faults: well-formed JSON
+    /// 500/503/504.
+    pub faulted: u64,
+    /// Faulted responses with status 500 (injected handler panics).
+    pub status_500: u64,
+    /// Faulted responses with status 503 (sheds / draining).
+    pub status_503: u64,
+    /// Faulted responses with status 504 (deadline exceeded).
+    pub status_504: u64,
+    /// Attempts that failed at the transport level (injected accept
+    /// drops, truncated writes, resets).
+    pub transport_errors: u64,
+    /// Requests that exhausted the retry budget without a verifiable
+    /// response. Must be 0 for a chaos replay to pass.
+    pub unrecovered: u64,
+    /// Per-site injection counts from the installed fault plan (empty
+    /// when no plan is installed).
+    pub fault_sites: Vec<FaultSiteCount>,
+}
+
 /// A template compiled for the wire: prerendered request bytes plus the
 /// expected response, computed by the server's own pure handler.
 #[derive(Debug)]
@@ -137,6 +193,30 @@ struct Shared {
     mismatches: AtomicU64,
     errors: AtomicU64,
     samples: Mutex<Vec<String>>,
+    retries: u32,
+    chaos: bool,
+    /// Base for each thread's jitter RNG (`seed ^ thread_id`).
+    jitter_seed: u64,
+    attempts: AtomicU64,
+    retried: AtomicU64,
+    faulted: AtomicU64,
+    status_500: AtomicU64,
+    status_503: AtomicU64,
+    status_504: AtomicU64,
+    transport_errors: AtomicU64,
+    unrecovered: AtomicU64,
+}
+
+/// One parsed response off the wire.
+struct WireResponse {
+    status: u16,
+    body: String,
+    /// The server sent `Connection: close` — honor it by reconnecting
+    /// before the next request instead of racing a resend into a
+    /// half-closed socket.
+    close: bool,
+    /// `Retry-After` header value in seconds, if present.
+    retry_after: Option<u64>,
 }
 
 /// Builds the deterministic request plan: `requests` template indices
@@ -218,6 +298,15 @@ fn prepare(mix: &MixSpec, keep_alive: bool) -> Result<Vec<Prepared>, LoadError> 
 /// Executes a load run and reports throughput, tail latencies, and —
 /// the part that must never be nonzero — body mismatches.
 pub fn run(mix: &MixSpec, config: &RunConfig) -> Result<LoadReport, LoadError> {
+    run_with_stats(mix, config).map(|(report, _)| report)
+}
+
+/// [`run`], also returning the chaos error/retry/recovery accounting
+/// (all zeros on a fault-free, retry-free run).
+pub fn run_with_stats(
+    mix: &MixSpec,
+    config: &RunConfig,
+) -> Result<(LoadReport, ChaosStats), LoadError> {
     if config.requests == 0 {
         return Err(LoadError::Mix("requests must be ≥ 1".into()));
     }
@@ -234,6 +323,10 @@ pub fn run(mix: &MixSpec, config: &RunConfig) -> Result<LoadReport, LoadError> {
                 addr: "127.0.0.1:0".to_string(),
                 workers: config.workers,
                 max_connections: 0,
+                limits: Limits {
+                    request_timeout: config.request_timeout,
+                    ..Limits::default()
+                },
                 ..ServerConfig::default()
             })
             .map_err(|e| LoadError::Io(format!("cannot start in-process server: {e}")))?,
@@ -261,6 +354,17 @@ pub fn run(mix: &MixSpec, config: &RunConfig) -> Result<LoadReport, LoadError> {
         mismatches: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         samples: Mutex::new(Vec::new()),
+        retries: config.retries,
+        chaos: config.chaos,
+        jitter_seed: mix.seed,
+        attempts: AtomicU64::new(0),
+        retried: AtomicU64::new(0),
+        faulted: AtomicU64::new(0),
+        status_500: AtomicU64::new(0),
+        status_503: AtomicU64::new(0),
+        status_504: AtomicU64::new(0),
+        transport_errors: AtomicU64::new(0),
+        unrecovered: AtomicU64::new(0),
     });
     let threads: Vec<_> = (0..connections)
         .map(|t| {
@@ -293,7 +397,30 @@ pub fn run(mix: &MixSpec, config: &RunConfig) -> Result<LoadReport, LoadError> {
         .collect();
     let elapsed_micros = elapsed.as_micros().max(1) as u64;
     let mismatch_samples = shared.samples.lock().expect("samples lock").clone();
-    Ok(LoadReport {
+    let fault_sites = thirstyflops_faults::global()
+        .map(|injector| {
+            injector
+                .injected_snapshot()
+                .iter()
+                .map(|(site, injected)| FaultSiteCount {
+                    site: (*site).to_string(),
+                    injected: *injected,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let stats = ChaosStats {
+        attempts: shared.attempts.load(Ordering::Relaxed),
+        retried: shared.retried.load(Ordering::Relaxed),
+        faulted: shared.faulted.load(Ordering::Relaxed),
+        status_500: shared.status_500.load(Ordering::Relaxed),
+        status_503: shared.status_503.load(Ordering::Relaxed),
+        status_504: shared.status_504.load(Ordering::Relaxed),
+        transport_errors: shared.transport_errors.load(Ordering::Relaxed),
+        unrecovered: shared.unrecovered.load(Ordering::Relaxed),
+        fault_sites,
+    };
+    let report = LoadReport {
         mix: mix.name.clone(),
         seed: mix.seed,
         discipline: if config.keep_alive {
@@ -316,7 +443,8 @@ pub fn run(mix: &MixSpec, config: &RunConfig) -> Result<LoadReport, LoadError> {
         errors: shared.errors.load(Ordering::Relaxed),
         endpoints,
         mismatch_samples,
-    })
+    };
+    Ok((report, stats))
 }
 
 /// One connection's worth of the plan: indices `t, t + C, t + 2C, …`,
@@ -325,6 +453,11 @@ pub fn run(mix: &MixSpec, config: &RunConfig) -> Result<LoadReport, LoadError> {
 fn client_thread(shared: &Shared, thread_id: usize) {
     let mut conn: Option<TcpStream> = None;
     let mut i = thread_id;
+    // Backoff jitter: per-thread, derived from the mix seed, so two
+    // same-seed replays sleep identically (and so threads don't retry
+    // in lockstep).
+    let retrying = shared.chaos || shared.retries > 0;
+    let mut rng = StdRng::seed_from_u64(shared.jitter_seed ^ (thread_id as u64));
     while i < shared.plan.len() {
         let tmpl = &shared.templates[shared.plan[i]];
         if shared.rate > 0.0 {
@@ -338,36 +471,26 @@ fn client_thread(shared: &Shared, thread_id: usize) {
             }
         }
         let started = Instant::now();
-        match exchange(&mut conn, shared, tmpl) {
-            Ok((status, body)) => {
+        if retrying {
+            if let Some((status, body)) = perform_with_retries(&mut conn, shared, tmpl, i, &mut rng)
+            {
                 shared.hist[tmpl.label_idx].record(started.elapsed().as_micros() as u64);
-                if tmpl.verify && (status != tmpl.expected_status || body != *tmpl.expected_body) {
-                    shared.mismatches.fetch_add(1, Ordering::Relaxed);
+                verify_response(shared, tmpl, i, status, &body);
+            }
+        } else {
+            match exchange(&mut conn, shared, tmpl) {
+                Ok((status, body)) => {
+                    shared.hist[tmpl.label_idx].record(started.elapsed().as_micros() as u64);
+                    verify_response(shared, tmpl, i, status, &body);
+                }
+                Err(e) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
                     push_sample(
                         shared,
-                        format!(
-                            "request #{i} {} {}: status {status} (expected {}), body {} bytes \
-                             (expected {}), first difference at byte {}",
-                            tmpl.method,
-                            tmpl.target,
-                            tmpl.expected_status,
-                            body.len(),
-                            tmpl.expected_body.len(),
-                            body.bytes()
-                                .zip(tmpl.expected_body.bytes())
-                                .position(|(a, b)| a != b)
-                                .unwrap_or_else(|| body.len().min(tmpl.expected_body.len())),
-                        ),
+                        format!("request #{i} {} {}: {e}", tmpl.method, tmpl.target),
                     );
+                    conn = None;
                 }
-            }
-            Err(e) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-                push_sample(
-                    shared,
-                    format!("request #{i} {} {}: {e}", tmpl.method, tmpl.target),
-                );
-                conn = None;
             }
         }
         if !shared.keep_alive {
@@ -377,6 +500,123 @@ fn client_thread(shared: &Shared, thread_id: usize) {
     }
 }
 
+/// Compares one replayed response against the handler-computed
+/// expectation, counting and sampling a mismatch.
+fn verify_response(shared: &Shared, tmpl: &Prepared, i: usize, status: u16, body: &str) {
+    if tmpl.verify && (status != tmpl.expected_status || body != &*tmpl.expected_body) {
+        shared.mismatches.fetch_add(1, Ordering::Relaxed);
+        push_sample(
+            shared,
+            format!(
+                "request #{i} {} {}: status {status} (expected {}), body {} bytes \
+                 (expected {}), first difference at byte {}",
+                tmpl.method,
+                tmpl.target,
+                tmpl.expected_status,
+                body.len(),
+                tmpl.expected_body.len(),
+                body.bytes()
+                    .zip(tmpl.expected_body.bytes())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| body.len().min(tmpl.expected_body.len())),
+            ),
+        );
+    }
+}
+
+/// Drives one plan entry to a verifiable response under the retry
+/// policy: transport failures and injected-fault responses (well-formed
+/// JSON 500/503/504) are retried with capped exponential backoff,
+/// seeded jitter, and `Retry-After` honored. Returns `None` when the
+/// retry budget is exhausted (already counted as unrecovered) — the
+/// fail-closed invariant means everything the caller verifies is either
+/// a byte-identical 200 or a deliberate, well-formed error.
+fn perform_with_retries(
+    conn: &mut Option<TcpStream>,
+    shared: &Shared,
+    tmpl: &Prepared,
+    i: usize,
+    rng: &mut StdRng,
+) -> Option<(u16, String)> {
+    let mut attempt: u32 = 0;
+    loop {
+        shared.attempts.fetch_add(1, Ordering::Relaxed);
+        match try_exchange(conn, shared, tmpl) {
+            Ok(resp) => {
+                if resp.close {
+                    // The server asked for close (drain, deadline, or
+                    // post-panic): reconnect before the next send
+                    // rather than racing bytes into a dying socket.
+                    *conn = None;
+                }
+                let injected_fault = matches!(resp.status, 500 | 503 | 504)
+                    && serde_json::from_str::<serde::Value>(&resp.body).is_ok();
+                if injected_fault {
+                    shared.faulted.fetch_add(1, Ordering::Relaxed);
+                    match resp.status {
+                        500 => &shared.status_500,
+                        503 => &shared.status_503,
+                        _ => &shared.status_504,
+                    }
+                    .fetch_add(1, Ordering::Relaxed);
+                    if attempt < shared.retries {
+                        attempt += 1;
+                        shared.retried.fetch_add(1, Ordering::Relaxed);
+                        backoff_sleep(rng, attempt, resp.retry_after);
+                        continue;
+                    }
+                    shared.unrecovered.fetch_add(1, Ordering::Relaxed);
+                    push_sample(
+                        shared,
+                        format!(
+                            "request #{i} {} {}: still {} after {} retries",
+                            tmpl.method, tmpl.target, resp.status, shared.retries
+                        ),
+                    );
+                    return None;
+                }
+                return Some((resp.status, resp.body));
+            }
+            Err(e) => {
+                *conn = None;
+                shared.transport_errors.fetch_add(1, Ordering::Relaxed);
+                if attempt < shared.retries {
+                    attempt += 1;
+                    shared.retried.fetch_add(1, Ordering::Relaxed);
+                    backoff_sleep(rng, attempt, None);
+                    continue;
+                }
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.unrecovered.fetch_add(1, Ordering::Relaxed);
+                push_sample(
+                    shared,
+                    format!(
+                        "request #{i} {} {}: {e} (after {} retries)",
+                        tmpl.method, tmpl.target, shared.retries
+                    ),
+                );
+                return None;
+            }
+        }
+    }
+}
+
+/// Sleeps before a retry: `10ms · 2^(attempt-1)` capped at 640 ms,
+/// scaled by a seeded jitter factor in `[0.5, 1.0)`, raised to the
+/// server's `Retry-After` if it asked for longer.
+fn backoff_sleep(rng: &mut StdRng, attempt: u32, retry_after: Option<u64>) {
+    let exp = attempt.saturating_sub(1).min(6);
+    let base = Duration::from_millis(10 << exp);
+    let mut delay = base.mul_f64(0.5 + 0.5 * rng.random::<f64>());
+    if let Some(seconds) = retry_after {
+        let asked = Duration::from_secs(seconds);
+        if asked > delay {
+            delay = asked;
+        }
+    }
+    std::thread::sleep(delay);
+}
+
 fn push_sample(shared: &Shared, msg: String) {
     let mut samples = shared.samples.lock().expect("samples lock");
     if samples.len() < MAX_SAMPLES {
@@ -384,10 +624,12 @@ fn push_sample(shared: &Shared, msg: String) {
     }
 }
 
-/// Sends one request and reads its response. A failure on a *reused*
-/// keep-alive socket retries once on a fresh one — the server may have
-/// idle-closed it during a pacing gap, which is protocol-legal and not
-/// an error.
+/// Sends one request and reads its response (the legacy, retry-free
+/// path). A failure on a *reused* keep-alive socket retries once on a
+/// fresh one — the server may have idle-closed it during a pacing gap,
+/// which is protocol-legal and not an error. The retry policy
+/// ([`perform_with_retries`]) replaces this silent resend with explicit
+/// accounting plus `Connection: close` honoring.
 fn exchange(
     conn: &mut Option<TcpStream>,
     shared: &Shared,
@@ -401,13 +643,14 @@ fn exchange(
         }
         other => other,
     }
+    .map(|resp| (resp.status, resp.body))
 }
 
 fn try_exchange(
     conn: &mut Option<TcpStream>,
     shared: &Shared,
     tmpl: &Prepared,
-) -> Result<(u16, String), LoadError> {
+) -> Result<WireResponse, LoadError> {
     if conn.is_none() {
         let stream = TcpStream::connect(&shared.addr)
             .map_err(|e| LoadError::Io(format!("connect {}: {e}", shared.addr)))?;
@@ -427,8 +670,9 @@ fn try_exchange(
 }
 
 /// Reads one `Content-Length`-framed response off the stream (the only
-/// framing this API emits).
-fn read_response(stream: &mut TcpStream) -> Result<(u16, String), LoadError> {
+/// framing this API emits), including the connection disposition and
+/// any `Retry-After` advice.
+fn read_response(stream: &mut TcpStream) -> Result<WireResponse, LoadError> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let head_end = loop {
@@ -454,11 +698,20 @@ fn read_response(stream: &mut TcpStream) -> Result<(u16, String), LoadError> {
         .and_then(|l| l.split(' ').nth(1))
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| LoadError::Protocol("malformed status line".into()))?;
-    let length: usize = lines
-        .filter_map(|l| l.split_once(':'))
-        .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.trim().parse().ok())
-        .ok_or_else(|| LoadError::Protocol("missing Content-Length".into()))?;
+    let mut length: Option<usize> = None;
+    let mut close = false;
+    let mut retry_after = None;
+    for (name, value) in lines.filter_map(|l| l.split_once(':')) {
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            length = value.parse().ok();
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("retry-after") {
+            retry_after = value.parse().ok();
+        }
+    }
+    let length = length.ok_or_else(|| LoadError::Protocol("missing Content-Length".into()))?;
     let body_start = head_end + 4;
     while buf.len() < body_start + length {
         let n = stream
@@ -471,7 +724,12 @@ fn read_response(stream: &mut TcpStream) -> Result<(u16, String), LoadError> {
     }
     let body = String::from_utf8(buf[body_start..body_start + length].to_vec())
         .map_err(|_| LoadError::Protocol("non-UTF-8 response body".into()))?;
-    Ok((status, body))
+    Ok(WireResponse {
+        status,
+        body,
+        close,
+        retry_after,
+    })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {

@@ -26,15 +26,23 @@ pub struct Limits {
     /// How long a started request may take to arrive in full (slowloris
     /// guard; exceeding it answers 408 and closes).
     pub read_timeout: std::time::Duration,
+    /// Optional per-request deadline (`serve --request-timeout MS`),
+    /// measured from the first request byte through the handler.
+    /// Exceeding it replaces the response with a JSON 504 (+
+    /// `Retry-After`) and closes the connection; `None` disables the
+    /// check entirely.
+    pub request_timeout: Option<std::time::Duration>,
 }
 
 impl Default for Limits {
     /// 5 s idle, 10 s read — generous for an internal API, tight enough
-    /// that stuck clients cannot pin workers for long.
+    /// that stuck clients cannot pin workers for long. No per-request
+    /// deadline by default (handlers are compute-bound and bounded).
     fn default() -> Limits {
         Limits {
             idle_timeout: std::time::Duration::from_secs(5),
             read_timeout: std::time::Duration::from_secs(10),
+            request_timeout: None,
         }
     }
 }
@@ -52,11 +60,16 @@ pub struct AppState {
     pub log_requests: bool,
     /// Idle/read timeouts applied to every connection.
     pub limits: Limits,
-    /// Set by `Server::shutdown`: keep-alive loops finish the request in
-    /// flight, answer it with `Connection: close`, and exit.
+    /// Set by `Server::shutdown` / `Server::drain`: keep-alive loops
+    /// finish the request in flight, answer it with `Connection: close`,
+    /// and exit; `/readyz` flips to 503.
     pub stop: std::sync::atomic::AtomicBool,
     /// When this state was built (`/healthz`'s `uptime_seconds`).
     pub started: std::time::Instant,
+    /// Fault injector driving this server's instrumented sites
+    /// (`docs/ROBUSTNESS.md`). `None` — the default — means every site
+    /// short-circuits on this one check.
+    pub faults: Option<std::sync::Arc<thirstyflops_faults::FaultInjector>>,
 }
 
 impl Default for AppState {
@@ -68,6 +81,7 @@ impl Default for AppState {
             limits: Limits::default(),
             stop: std::sync::atomic::AtomicBool::new(false),
             started: std::time::Instant::now(),
+            faults: None,
         }
     }
 }
@@ -141,6 +155,24 @@ fn try_handle(req: &Request, state: &AppState, trace: &mut Trace) -> Result<Resp
                 200,
                 api::to_json(&HealthBody::snapshot(state)),
             ))
+        }
+        Route::Readyz => {
+            query.expect_only(&[])?;
+            if state.stop.load(std::sync::atomic::Ordering::SeqCst) {
+                Ok(Response::json(
+                    503,
+                    api::to_json(&crate::error::ErrorBody {
+                        status: 503,
+                        error: "server is draining; retry against another instance".into(),
+                    }),
+                )
+                .with_retry_after(1))
+            } else {
+                Ok(Response::json(
+                    200,
+                    api::to_json(&ReadyBody { ready: true }),
+                ))
+            }
         }
         Route::CacheStats => {
             query.expect_only(&[])?;
@@ -281,6 +313,17 @@ fn parse_spec_body<T>(
     parse(body).map_err(|e| ServeError::BadRequest(e.to_string()))
 }
 
+/// `GET /readyz` body while the server is accepting traffic. During a
+/// drain the endpoint answers a JSON 503 with `Retry-After` instead —
+/// liveness (`/healthz`) and readiness are distinct signals, so a
+/// process manager can pull a draining instance out of rotation without
+/// restarting it (`docs/ROBUSTNESS.md`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ReadyBody {
+    /// Always `true` in a 200 (draining readiness is a 503).
+    pub ready: bool,
+}
+
 /// `GET /healthz` body (documented in `docs/SERVING.md`).
 ///
 /// `uptime_seconds` and `requests_total` let loadgen and external
@@ -312,7 +355,12 @@ impl HealthBody {
 /// and repeat until the client asks to close, goes idle past the limit,
 /// errors, or the server shuts down. I/O errors mid-write are swallowed
 /// — there is nobody left to answer — but every parse failure that can
-/// still be answered gets its 400/408/413/431 before the close.
+/// still be answered gets its 400/408/413/431 before the close, and a
+/// panicking handler gets a structured JSON 500 instead of a silently
+/// dropped connection. When `state.faults` carries a plan, the
+/// handler-panic and response-write fault sites fire here
+/// (`docs/ROBUSTNESS.md`); write faults only ever target 200 responses,
+/// so error responses stay well-formed — the fail-closed invariant.
 pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
     use std::sync::atomic::Ordering;
     // `&TcpStream: Read`, so the reader borrows while the owned stream
@@ -324,14 +372,45 @@ pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
         }
         let _ = stream.set_read_timeout(Some(state.limits.read_timeout));
         let started = std::time::Instant::now();
-        let (response, request_line, trace, close) = match reader.read_request() {
+        let mut shed_reason: Option<&'static str> = None;
+        let (mut response, request_line, mut trace, mut close) = match reader.read_request() {
             Ok(req) => {
-                let (response, trace) = handle_traced(&req, state);
                 let line = format!("{} {}", req.method, req.path);
                 // Shutdown mid-connection: answer the request in flight,
                 // then close instead of waiting for another.
                 let close = req.close || state.stop.load(Ordering::SeqCst);
-                (response, line, Some(trace), close)
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(faults) = &state.faults {
+                        if faults.decide_handler_panic() {
+                            panic!("{}", thirstyflops_faults::PANIC_MARKER);
+                        }
+                    }
+                    handle_traced(&req, state)
+                }));
+                match outcome {
+                    Ok((response, trace)) => (response, line, trace, close),
+                    Err(_) => {
+                        // The handler (or the injector) panicked: the
+                        // client still gets a well-formed JSON 500, and
+                        // the connection closes cleanly afterwards —
+                        // never a silent drop that stalls a pipelined
+                        // peer until its read timeout.
+                        let trace = Trace {
+                            endpoint: route(&req.path).map_or("other", |r| r.metrics_label()),
+                            cache_hit: false,
+                        };
+                        let response = Response::json(
+                            500,
+                            api::to_json(&crate::error::ErrorBody {
+                                status: 500,
+                                error: "internal error: the request handler panicked; \
+                                        the connection closes after this response"
+                                    .into(),
+                            }),
+                        );
+                        (response, line, trace, true)
+                    }
+                }
             }
             Err(e) => match parse_error_response(e) {
                 // Parse failures poison the framing: always close after.
@@ -339,34 +418,74 @@ pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
                 // into the `shed` family with the connection sheds so
                 // capacity pressure is visible in `/v1/cache/stats`.
                 Some(resp) => {
-                    let endpoint = if matches!(resp.status, 413 | 431) {
-                        "shed"
-                    } else {
-                        "other"
+                    let endpoint = match resp.status {
+                        431 => {
+                            shed_reason = Some("head_too_large");
+                            "shed"
+                        }
+                        413 => {
+                            shed_reason = Some("body_too_large");
+                            "shed"
+                        }
+                        _ => "other",
                     };
                     let trace = Trace {
                         endpoint,
                         cache_hit: false,
                     };
-                    (
-                        resp,
-                        "??? (unparsable request)".to_string(),
-                        Some(trace),
-                        true,
-                    )
+                    (resp, "??? (unparsable request)".to_string(), trace, true)
                 }
                 None => return, // nothing arrived; likely a probe
             },
         };
-        let wrote = response.write_to(&mut (&stream), close).is_ok();
+        // The response-write fault site: one draw per 200 response
+        // decides latency / truncate / stall (mutually exclusive).
+        // Error responses never enter the site, so injected faults can
+        // corrupt data-path bytes but never the error contract.
+        let mut write_fault = None;
+        if response.status == 200 {
+            if let Some(faults) = &state.faults {
+                write_fault = faults.decide_write();
+            }
+        }
+        if let Some(thirstyflops_faults::WriteFault::Latency(delay)) = write_fault {
+            std::thread::sleep(delay);
+            write_fault = None;
+        }
+        // The per-request deadline, checked after the handler (and any
+        // injected latency): a 200 that took too long becomes a JSON
+        // 504 with retry guidance; the client never sees a stale body
+        // dribble out long after it gave up.
+        if let Some(limit) = state.limits.request_timeout {
+            if response.status == 200 && started.elapsed() >= limit {
+                response = Response::json(
+                    504,
+                    api::to_json(&crate::error::ErrorBody {
+                        status: 504,
+                        error: format!(
+                            "request exceeded the {} ms deadline (serve --request-timeout)",
+                            limit.as_millis()
+                        ),
+                    }),
+                )
+                .with_retry_after(1);
+                close = true;
+                shed_reason = Some("deadline");
+                trace = Trace {
+                    endpoint: "shed",
+                    cache_hit: false,
+                };
+                write_fault = None;
+            }
+        }
+        let wrote = write_response(&stream, &response, close, write_fault);
         let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let trace = trace.unwrap_or(Trace {
-            endpoint: "other",
-            cache_hit: false,
-        });
         state
             .metrics
             .record(trace.endpoint, trace.cache_hit, micros);
+        if let Some(reason) = shed_reason {
+            state.metrics.record_shed(reason);
+        }
         if state.log_requests {
             // One parseable line per request: method+path, status, body
             // bytes, wall-clock, cache verdict.
@@ -383,12 +502,54 @@ pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
     }
 }
 
+/// Writes one response, applying an injected truncate/stall fault when
+/// one fired. Returns `false` when the connection must close (write
+/// error or deliberate truncation).
+fn write_response(
+    stream: &std::net::TcpStream,
+    response: &Response,
+    close: bool,
+    fault: Option<thirstyflops_faults::WriteFault>,
+) -> bool {
+    use std::io::Write;
+    match fault {
+        None => response.write_to(&mut (&*stream), close).is_ok(),
+        Some(thirstyflops_faults::WriteFault::Truncate) => {
+            // Half the wire image, then close: the client sees a framing
+            // violation (truncated body), never silently-wrong bytes.
+            let bytes = response.to_bytes(close);
+            let half = bytes.len() / 2;
+            let _ = (&*stream).write_all(&bytes[..half]);
+            let _ = (&*stream).flush();
+            false
+        }
+        Some(thirstyflops_faults::WriteFault::Stall(delay)) => {
+            // Same bytes, split around a stall: slow but byte-correct.
+            let bytes = response.to_bytes(close);
+            let half = (bytes.len() / 2).max(1);
+            (&*stream).write_all(&bytes[..half]).is_ok() && {
+                std::thread::sleep(delay);
+                (&*stream).write_all(&bytes[half..]).is_ok() && (&*stream).flush().is_ok()
+            }
+        }
+        Some(thirstyflops_faults::WriteFault::Latency(_)) => {
+            unreachable!("latency faults are consumed before the write")
+        }
+    }
+}
+
 /// The idle phase between requests: waits up to `idle_timeout` for the
 /// connection's next bytes, in short read slices so the shutdown flag is
 /// observed within ~100 ms even on an idle connection. Returns `true`
 /// when a request is ready to parse (bytes buffered or just arrived),
 /// `false` when the connection should close (peer EOF, idle timeout,
 /// shutdown, or socket error).
+///
+/// Drain semantics: when the stop flag is set, one last short read
+/// drains any request the client already sent — a connection that was
+/// queued behind a pinned worker when the drain began still gets its
+/// in-flight request answered (with `Connection: close`) instead of a
+/// silent disconnect. Only then does the loop refuse further requests.
 fn wait_for_request(
     stream: &std::net::TcpStream,
     reader: &mut crate::http::RequestReader<&std::net::TcpStream>,
@@ -400,14 +561,18 @@ fn wait_for_request(
     }
     let deadline = std::time::Instant::now() + state.limits.idle_timeout;
     loop {
-        if state.stop.load(Ordering::SeqCst) {
-            return false;
-        }
+        let stopping = state.stop.load(Ordering::SeqCst);
         let now = std::time::Instant::now();
         if now >= deadline {
             return false;
         }
-        let slice = (deadline - now).min(std::time::Duration::from_millis(100));
+        let slice = if stopping {
+            // The final drain slice: long enough for bytes already in
+            // the socket buffer, short enough not to hold the drain.
+            std::time::Duration::from_millis(20)
+        } else {
+            (deadline - now).min(std::time::Duration::from_millis(100))
+        };
         let _ = stream.set_read_timeout(Some(slice));
         match reader.fill_once() {
             Ok(0) => return false, // peer closed between requests
@@ -418,7 +583,10 @@ fn wait_for_request(
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                continue
+                if stopping {
+                    return false; // draining and nothing pending: close
+                }
+                continue;
             }
             Err(_) => return false,
         }
@@ -441,20 +609,28 @@ pub fn parse_error_response(e: crate::http::ParseError) -> Option<Response> {
                 error: "request did not arrive in full within the read timeout".into(),
             }),
         )),
-        crate::http::ParseError::TooLarge => Some(Response::json(
-            431,
-            api::to_json(&crate::error::ErrorBody {
-                status: 431,
-                error: format!("request head exceeds {} bytes", crate::http::MAX_HEAD_BYTES),
-            }),
-        )),
-        crate::http::ParseError::BodyTooLarge => Some(Response::json(
-            413,
-            api::to_json(&crate::error::ErrorBody {
-                status: 413,
-                error: format!("request body exceeds {} bytes", crate::http::MAX_BODY_BYTES),
-            }),
-        )),
+        // Over-cap rejections carry Retry-After like the accept-time
+        // shed 503: a within-cap retry is welcome immediately.
+        crate::http::ParseError::TooLarge => Some(
+            Response::json(
+                431,
+                api::to_json(&crate::error::ErrorBody {
+                    status: 431,
+                    error: format!("request head exceeds {} bytes", crate::http::MAX_HEAD_BYTES),
+                }),
+            )
+            .with_retry_after(1),
+        ),
+        crate::http::ParseError::BodyTooLarge => Some(
+            Response::json(
+                413,
+                api::to_json(&crate::error::ErrorBody {
+                    status: 413,
+                    error: format!("request body exceeds {} bytes", crate::http::MAX_BODY_BYTES),
+                }),
+            )
+            .with_retry_after(1),
+        ),
         crate::http::ParseError::Malformed(m) => Some(ServeError::BadRequest(m).to_response()),
     }
 }
@@ -491,6 +667,29 @@ mod tests {
             },
             state,
         )
+    }
+
+    #[test]
+    fn readyz_flips_to_503_when_draining() {
+        let state = AppState::default();
+        let ready = get("/readyz", &state);
+        assert_eq!(ready.status, 200);
+        assert_eq!(&*ready.body, "{\n  \"ready\": true\n}\n");
+        assert_eq!(ready.retry_after, None);
+        // Readiness and liveness diverge during a drain: /healthz keeps
+        // answering 200 while /readyz pulls the instance from rotation.
+        state.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let draining = get("/readyz", &state);
+        assert_eq!(draining.status, 503);
+        assert_eq!(draining.retry_after, Some(1));
+        assert!(
+            draining.body.contains("\"status\": 503"),
+            "{}",
+            draining.body
+        );
+        assert_eq!(get("/healthz", &state).status, 200);
+        // Unknown query parameters still fail loudly.
+        assert_eq!(get("/readyz?x=1", &state).status, 400);
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: Arc<str>,
+    /// Optional `Retry-After` header, whole seconds. Shed 503s, deadline
+    /// 504s, and over-cap 413/431 rejections carry it so well-behaved
+    /// clients (loadgen's retry policy among them) know when to retry.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -61,6 +65,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -70,7 +75,14 @@ impl Response {
             status,
             content_type: "text/plain; version=0.0.4",
             body: body.into(),
+            retry_after: None,
         }
+    }
+
+    /// Adds a `Retry-After: seconds` header to the response.
+    pub fn with_retry_after(mut self, seconds: u32) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// The standard reason phrase for the statuses this API emits.
@@ -83,30 +95,46 @@ impl Response {
             408 => "Request Timeout",
             413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Internal Server Error",
         }
     }
 
-    /// Serializes the full response (status line, headers, body) to a
-    /// writer. `close` selects the `Connection:` header; the caller must
-    /// actually close the stream afterwards when it says so.
-    pub fn write_to<W: Write>(&self, w: &mut W, close: bool) -> std::io::Result<()> {
-        // One buffered write for head + body: emitting them as separate
-        // small segments stalls keep-alive connections behind the
-        // Nagle / delayed-ACK interaction (~40 ms per response).
+    /// The exact wire image (status line, headers, body) this response
+    /// serializes to. `close` selects the `Connection:` header; the
+    /// caller must actually close the stream afterwards when it says so.
+    /// The fault-injection write paths use this directly so truncated /
+    /// stalled writes operate on the same bytes a clean write emits.
+    pub fn to_bytes(&self, close: bool) -> Vec<u8> {
         let mut out = Vec::with_capacity(160 + self.body.len());
-        write!(
+        let _ = write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len(),
+        );
+        if let Some(seconds) = self.retry_after {
+            let _ = write!(out, "Retry-After: {seconds}\r\n");
+        }
+        let _ = write!(
+            out,
+            "Connection: {}\r\n\r\n",
             if close { "close" } else { "keep-alive" }
-        )?;
+        );
         out.extend_from_slice(self.body.as_bytes());
-        w.write_all(&out)?;
+        out
+    }
+
+    /// Serializes the full response to a writer as one buffered write:
+    /// emitting head and body as separate small segments stalls
+    /// keep-alive connections behind the Nagle / delayed-ACK
+    /// interaction (~40 ms per response).
+    pub fn write_to<W: Write>(&self, w: &mut W, close: bool) -> std::io::Result<()> {
+        w.write_all(&self.to_bytes(close))?;
         w.flush()
     }
 }
@@ -488,6 +516,19 @@ mod tests {
             text,
             "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: 4\r\nConnection: close\r\n\r\nm 1\n"
         );
+        // Retry-After slots between Content-Length and Connection.
+        let bytes = Response::json(503, "{}").with_retry_after(2).to_bytes(true);
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: 2\r\nRetry-After: 2\r\nConnection: close\r\n\r\n{}"
+        );
+    }
+
+    #[test]
+    fn hardened_statuses_have_exact_reasons() {
+        assert_eq!(Response::json(500, "{}").reason(), "Internal Server Error");
+        assert_eq!(Response::json(504, "{}").reason(), "Gateway Timeout");
+        assert_eq!(Response::json(503, "{}").reason(), "Service Unavailable");
     }
 
     #[test]

@@ -118,13 +118,16 @@ impl Default for ServerConfig {
 /// nudges the blocking `accept` with a loopback connection, stops
 /// accepting, lets the workers drain every already-accepted connection,
 /// and joins all threads — no connection is abandoned mid-response.
-/// Dropping a `Server` without calling `shutdown` leaves the threads
-/// serving until the process exits (what the CLI's `serve` command
-/// wants).
+/// [`drain`](Server::drain) is the bounded variant (the SIGTERM-style
+/// lifecycle, `docs/ROBUSTNESS.md`): same sequence, but gives up after
+/// a timeout instead of waiting forever. Dropping a `Server` without
+/// calling either leaves the threads serving until the process exits
+/// (what the CLI's `serve` command wants).
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     state: Arc<AppState>,
+    active: Arc<AtomicUsize>,
     accept_thread: Option<JoinHandle<()>>,
     pool: Option<pool::WorkerPool>,
 }
@@ -151,8 +154,26 @@ struct Conn {
 
 impl Server {
     /// Binds the listener, spawns the worker pool and the accept thread,
-    /// and starts serving immediately.
+    /// and starts serving immediately. Equivalent to
+    /// [`bind_with_faults`](Server::bind_with_faults) with the
+    /// process-globally installed fault injector (if any) — a server
+    /// bound with no plan installed pays nothing at the fault sites.
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        Server::bind_with_faults(config, thirstyflops_faults::global())
+    }
+
+    /// [`bind`](Server::bind), with an explicit per-instance fault
+    /// injector (tests use this to chaos one server without touching
+    /// the process-global slot).
+    pub fn bind_with_faults(
+        config: &ServerConfig,
+        faults: Option<Arc<thirstyflops_faults::FaultInjector>>,
+    ) -> std::io::Result<Server> {
+        if let Some(injector) = &faults {
+            if injector.plan().rates[thirstyflops_faults::SITE_HANDLER_PANIC] > 0.0 {
+                thirstyflops_faults::silence_injected_panics();
+            }
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(AppState {
@@ -162,19 +183,31 @@ impl Server {
             limits: config.limits,
             stop: std::sync::atomic::AtomicBool::new(false),
             started: std::time::Instant::now(),
+            faults,
         });
+        let active = Arc::new(AtomicUsize::new(0));
         let worker_state = Arc::clone(&state);
         let (pool, sender) = pool::WorkerPool::spawn(config.workers, move |conn: Conn| {
             handlers::serve_connection(conn.stream, &worker_state);
         });
         let accept_state = Arc::clone(&state);
+        let accept_active = Arc::clone(&active);
         let max_connections = config.max_connections;
         let accept_thread = std::thread::Builder::new()
             .name("serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &sender, &accept_state, max_connections))?;
+            .spawn(move || {
+                accept_loop(
+                    &listener,
+                    &sender,
+                    &accept_state,
+                    &accept_active,
+                    max_connections,
+                )
+            })?;
         Ok(Server {
             addr,
             state,
+            active,
             accept_thread: Some(accept_thread),
             pool: Some(pool),
         })
@@ -201,17 +234,50 @@ impl Server {
     /// exits; idle connections close within one ~100 ms poll slice),
     /// joins all threads.
     pub fn shutdown(mut self) {
+        self.begin_stop();
+        // The accept thread owned the queue sender; with it gone the
+        // workers drain the queue and exit.
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+
+    /// Graceful drain, bounded: stops accepting (late connects are
+    /// refused — the listener is closed, not left queueing), answers
+    /// every in-flight request with `Connection: close`, and waits up to
+    /// `timeout` for the live-connection count to hit zero. Returns
+    /// `true` when everything drained in time (all threads joined) and
+    /// `false` on timeout (worker threads are detached and die with the
+    /// process; their responses may still complete). This is the
+    /// SIGTERM-style lifecycle — see `docs/ROBUSTNESS.md`.
+    pub fn drain(mut self, timeout: std::time::Duration) -> bool {
+        self.begin_stop();
+        let deadline = std::time::Instant::now() + timeout;
+        while self.active.load(Ordering::SeqCst) > 0 {
+            if std::time::Instant::now() >= deadline {
+                // Detach: dropping the pool abandons the join handles
+                // without blocking on stuck connections.
+                self.pool.take();
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+        true
+    }
+
+    /// Flips the stop flag, unblocks `accept`, and joins the accept
+    /// thread — after this returns, the listener is closed and late
+    /// connects get a clean refusal.
+    fn begin_stop(&mut self) {
         self.state.stop.store(true, Ordering::SeqCst);
         // Unblock the accept call; the accept loop sees the flag before
         // queueing this nudge connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
-        }
-        // The accept thread owned the queue sender; with it gone the
-        // workers drain the queue and exit.
-        if let Some(pool) = self.pool.take() {
-            pool.join();
         }
     }
 
@@ -227,9 +293,9 @@ fn accept_loop(
     listener: &TcpListener,
     sender: &Sender<Conn>,
     state: &AppState,
+    active: &Arc<AtomicUsize>,
     max_connections: usize,
 ) {
-    let active = Arc::new(AtomicUsize::new(0));
     // The 503 body is constant; render it once and share the Arc.
     let shed_response = http::Response::json(
         503,
@@ -240,7 +306,8 @@ fn accept_loop(
                  or raise serve --max-connections"
             ),
         }),
-    );
+    )
+    .with_retry_after(1);
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -249,6 +316,14 @@ fn accept_loop(
                     // stop accepting.
                     drop(stream);
                     return;
+                }
+                if let Some(faults) = &state.faults {
+                    if faults.decide_accept_drop() {
+                        // Injected accept-time drop: the client sees a
+                        // connection reset with zero response bytes.
+                        drop(stream);
+                        continue;
+                    }
                 }
                 // Small request/response exchanges must not sit behind
                 // Nagle's algorithm on a persistent connection.
@@ -261,12 +336,13 @@ fn accept_loop(
                     shed(stream, &shed_response);
                     let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                     state.metrics.record("shed", false, micros);
+                    state.metrics.record_shed("connection_limit");
                     continue;
                 }
                 active.fetch_add(1, Ordering::SeqCst);
                 let conn = Conn {
                     stream,
-                    _permit: ConnPermit(Arc::clone(&active)),
+                    _permit: ConnPermit(Arc::clone(active)),
                 };
                 if sender.send(conn).is_err() {
                     return; // workers are gone; nothing can be served

@@ -24,8 +24,9 @@ pub use thirstyflops_obs::LatencyHistogram;
 /// counts capacity rejections (503 connection sheds and 413/431
 /// over-cap requests — see `docs/SERVING.md`); `other` absorbs
 /// unroutable paths and the remaining unparsable requests.
-pub const ENDPOINTS: [&str; 13] = [
+pub const ENDPOINTS: [&str; 14] = [
     "healthz",
+    "readyz",
     "cache_stats",
     "systems",
     "footprint",
@@ -40,6 +41,16 @@ pub const ENDPOINTS: [&str; 13] = [
     "other",
 ];
 
+/// Why a request was shed, `thirstyflops_shed_total`'s `reason` label
+/// values: accept-time connection-limit 503s, over-cap 431/413
+/// rejections, and per-request deadline 504s.
+pub const SHED_REASONS: [&str; 4] = [
+    "connection_limit",
+    "head_too_large",
+    "body_too_large",
+    "deadline",
+];
+
 #[derive(Debug, Default)]
 struct Counters {
     requests: AtomicU64,
@@ -51,6 +62,7 @@ struct Counters {
 #[derive(Debug, Default)]
 pub struct Metrics {
     table: [Counters; ENDPOINTS.len()],
+    shed: [AtomicU64; SHED_REASONS.len()],
 }
 
 /// One endpoint's snapshot as served by `GET /v1/cache/stats`.
@@ -86,6 +98,25 @@ impl Metrics {
             counters.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
         counters.latency.record(micros);
+    }
+
+    /// Records one shed request by reason (see [`SHED_REASONS`]).
+    /// Unknown reasons are ignored rather than miscounted — callers
+    /// pass compile-time constants, so a miss is a programming error
+    /// the tests catch.
+    pub fn record_shed(&self, reason: &str) {
+        if let Some(idx) = SHED_REASONS.iter().position(|r| *r == reason) {
+            self.shed[idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Shed counts by reason, [`SHED_REASONS`] order.
+    pub fn shed_snapshot(&self) -> [u64; SHED_REASONS.len()] {
+        let mut out = [0u64; SHED_REASONS.len()];
+        for (slot, counter) in out.iter_mut().zip(&self.shed) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Total requests answered across every family (`/healthz`'s
@@ -146,6 +177,18 @@ impl Metrics {
             );
         }
         w.header(
+            "thirstyflops_shed_total",
+            "requests shed by reason (connection limit, over-cap, deadline)",
+            "counter",
+        );
+        for (reason, counter) in SHED_REASONS.iter().zip(&self.shed) {
+            w.sample_u64(
+                "thirstyflops_shed_total",
+                &format!("reason=\"{reason}\""),
+                counter.load(Ordering::Relaxed),
+            );
+        }
+        w.header(
             "thirstyflops_http_request_duration_micros",
             "request wall-clock per endpoint family, microseconds",
             "histogram",
@@ -195,6 +238,26 @@ mod tests {
         assert_eq!(shed.requests, 1);
         let other = snap.iter().find(|s| s.endpoint == "other").unwrap();
         assert_eq!(other.requests, 0, "sheds must not be lumped into other");
+    }
+
+    #[test]
+    fn shed_reasons_count_and_render() {
+        let metrics = Metrics::default();
+        metrics.record_shed("connection_limit");
+        metrics.record_shed("connection_limit");
+        metrics.record_shed("deadline");
+        metrics.record_shed("not-a-reason");
+        assert_eq!(metrics.shed_snapshot(), [2, 0, 0, 1]);
+        let text = metrics.render_prometheus();
+        assert!(text.contains("# TYPE thirstyflops_shed_total counter\n"));
+        assert!(text.contains("thirstyflops_shed_total{reason=\"connection_limit\"} 2\n"));
+        assert!(text.contains("thirstyflops_shed_total{reason=\"deadline\"} 1\n"));
+        for reason in SHED_REASONS {
+            assert!(
+                text.contains(&format!("thirstyflops_shed_total{{reason=\"{reason}\"}} ")),
+                "{reason} missing from exposition"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@ use crate::http::percent_decode;
 pub enum Route {
     /// `GET /healthz` — liveness probe.
     Healthz,
+    /// `GET /readyz` — readiness probe: 200 while accepting traffic,
+    /// 503 (+ `Retry-After`) once the server is draining.
+    Readyz,
     /// `GET /v1/cache/stats` — cache and per-endpoint counters.
     CacheStats,
     /// `GET /v1/systems` — the catalog listing.
@@ -45,6 +48,7 @@ impl Route {
     pub fn metrics_label(&self) -> &'static str {
         match self {
             Route::Healthz => "healthz",
+            Route::Readyz => "readyz",
             Route::CacheStats => "cache_stats",
             Route::Systems => "systems",
             Route::Footprint(_) => "footprint",
@@ -70,6 +74,7 @@ pub fn route(path: &str) -> Result<Route, ServeError> {
     let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
     match segments.as_slice() {
         ["healthz"] => Ok(Route::Healthz),
+        ["readyz"] => Ok(Route::Readyz),
         ["v1", "cache", "stats"] => Ok(Route::CacheStats),
         ["v1", "systems"] => Ok(Route::Systems),
         ["v1", "footprint", system] if !system.is_empty() => {
@@ -169,6 +174,7 @@ mod tests {
     #[test]
     fn routes_resolve() {
         assert_eq!(route("/healthz"), Ok(Route::Healthz));
+        assert_eq!(route("/readyz"), Ok(Route::Readyz));
         assert_eq!(route("/v1/cache/stats"), Ok(Route::CacheStats));
         assert_eq!(route("/v1/systems"), Ok(Route::Systems));
         assert_eq!(
@@ -197,6 +203,7 @@ mod tests {
     fn metrics_labels_cover_every_route() {
         for (path, label) in [
             ("/healthz", "healthz"),
+            ("/readyz", "readyz"),
             ("/v1/compare", "compare"),
             ("/v1/scenarios/run", "scenarios_run"),
             ("/v1/scenarios/sweep", "scenarios_sweep"),

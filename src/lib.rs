@@ -30,6 +30,9 @@
 //! * [`loadgen`] — the deterministic load-test harness that replays
 //!   recorded request mixes against the server and verifies every
 //!   response body (`thirstyflops loadgen`);
+//! * [`faults`] — seeded, deterministic fault injection for chaos
+//!   replays against the hardened serving path (`serve --fault-plan`,
+//!   `loadgen --chaos`, `docs/ROBUSTNESS.md`);
 //! * [`obs`] — the workspace-wide observability layer: the global
 //!   metrics registry, deterministic span profiling (`--profile`), and
 //!   the Prometheus text exposition behind `GET /v1/metrics`
@@ -53,6 +56,7 @@ pub use thirstyflops_carbon as carbon;
 pub use thirstyflops_catalog as catalog;
 pub use thirstyflops_core as core;
 pub use thirstyflops_experiments as experiments;
+pub use thirstyflops_faults as faults;
 pub use thirstyflops_grid as grid;
 pub use thirstyflops_loadgen as loadgen;
 pub use thirstyflops_obs as obs;

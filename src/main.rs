@@ -78,6 +78,14 @@ fn run(raw_args: &[String]) -> i32 {
             return 2;
         }
     };
+    // `THIRSTYFLOPS_FAULTS=<plan.json|inline JSON>` arms the seeded
+    // fault-injection sites in any command (a no-op when unset — the
+    // sites cost one relaxed atomic load). `serve --fault-plan` and
+    // `loadgen --chaos` are the explicit spellings (docs/ROBUSTNESS.md).
+    if let Err(msg) = thirstyflops::faults::install_from_env() {
+        eprintln!("THIRSTYFLOPS_FAULTS: {msg}");
+        return 2;
+    }
     let args = args.as_slice();
     let Some(cmd) = args.first() else {
         usage();
@@ -132,10 +140,12 @@ fn usage() {
          thirstyflops systems [--json]\n  \
          thirstyflops serve [--addr HOST:PORT] [--workers N]\n  \
          \u{20}                  [--cache-entries N] [--cache-ttl SECS] [--log]\n  \
-         \u{20}                  [--max-connections N]\n  \
+         \u{20}                  [--max-connections N] [--request-timeout MS]\n  \
+         \u{20}                  [--drain-timeout SECS] [--fault-plan FILE]\n  \
          thirstyflops loadgen --mix FILE [--requests N | --rate R --duration S]\n  \
          \u{20}                  [--connections N] [--workers N] [--addr HOST:PORT]\n  \
-         \u{20}                  [--one-shot] [--bench-json] [--json]\n\n\
+         \u{20}                  [--one-shot] [--bench-json] [--json]\n  \
+         \u{20}                  [--retries N] [--request-timeout MS] [--chaos PLAN]\n\n\
          Every command also accepts --threads N (worker threads for the\n\
          parallel sweeps; defaults to THIRSTYFLOPS_THREADS, then the CPU\n\
          count), --no-sim-cache (recompute every simulation instead of\n\
@@ -735,13 +745,63 @@ fn cmd_serve(args: &[String]) -> i32 {
     if args.iter().any(|a| a == "--log") {
         config.log_requests = true;
     }
-    const SERVE_FLAGS: [&str; 6] = [
+    if let Some(raw) = flag_value(args, "--request-timeout") {
+        match raw.parse::<u64>() {
+            // 0 = no deadline (the default): a request may compute as
+            // long as it needs. N > 0 converts any 200 still unwritten
+            // after N ms into a JSON 504 with Retry-After.
+            Ok(0) => config.limits.request_timeout = None,
+            Ok(ms) => config.limits.request_timeout = Some(std::time::Duration::from_millis(ms)),
+            _ => {
+                eprintln!("--request-timeout expects a whole number of milliseconds, got {raw:?}");
+                return 2;
+            }
+        }
+    }
+    let drain_timeout = match flag_value(args, "--drain-timeout") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(secs) if secs > 0 => Some(std::time::Duration::from_secs(secs)),
+            _ => {
+                eprintln!("--drain-timeout expects a positive number of seconds, got {raw:?}");
+                return 2;
+            }
+        },
+    };
+    let faults = match flag_value(args, "--fault-plan") {
+        None => thirstyflops::faults::global(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return 2;
+                }
+            };
+            let plan = match thirstyflops::faults::FaultPlan::from_json(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return 2;
+                }
+            };
+            let injector = std::sync::Arc::new(thirstyflops::faults::FaultInjector::mirrored(plan));
+            // Install globally so the simcache-poison site (which lives
+            // in core, below the serving layer) sees the same plan.
+            thirstyflops::faults::install(std::sync::Arc::clone(&injector));
+            Some(injector)
+        }
+    };
+    const SERVE_FLAGS: [&str; 9] = [
         "--addr",
         "--workers",
         "--cache-entries",
         "--cache-ttl",
         "--log",
         "--max-connections",
+        "--request-timeout",
+        "--drain-timeout",
+        "--fault-plan",
     ];
     for arg in &args[1..] {
         if arg.starts_with("--") && !SERVE_FLAGS.contains(&arg.as_str()) {
@@ -749,7 +809,7 @@ fn cmd_serve(args: &[String]) -> i32 {
             return 2;
         }
     }
-    let server = match Server::bind(&config) {
+    let server = match Server::bind_with_faults(&config, faults) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {}: {e}", config.addr);
@@ -765,12 +825,36 @@ fn cmd_serve(args: &[String]) -> i32 {
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    server.wait();
-    0
+    match drain_timeout {
+        None => {
+            server.wait();
+            0
+        }
+        Some(timeout) => {
+            // SIGTERM-style lifecycle without signal handling (the
+            // workspace is std-only): stdin EOF is the drain trigger.
+            // An orchestrator holds stdin open while the server should
+            // run and closes it (or exits) to start the drain; /readyz
+            // flips to 503 immediately, in-flight responses complete,
+            // and the process exits once drained or at the timeout.
+            let mut sink = String::new();
+            while matches!(std::io::stdin().read_line(&mut sink), Ok(n) if n > 0) {
+                sink.clear();
+            }
+            eprintln!("stdin closed — draining (timeout {}s)", timeout.as_secs());
+            if server.drain(timeout) {
+                eprintln!("drained cleanly");
+                0
+            } else {
+                eprintln!("drain timed out with connections still in flight");
+                1
+            }
+        }
+    }
 }
 
 fn cmd_loadgen(args: &[String]) -> i32 {
-    const LOADGEN_FLAGS: [&str; 10] = [
+    const LOADGEN_FLAGS: [&str; 13] = [
         "--mix",
         "--requests",
         "--duration",
@@ -781,6 +865,9 @@ fn cmd_loadgen(args: &[String]) -> i32 {
         "--one-shot",
         "--bench-json",
         "--json",
+        "--chaos",
+        "--retries",
+        "--request-timeout",
     ];
     for arg in &args[1..] {
         if arg.starts_with("--") && !LOADGEN_FLAGS.contains(&arg.as_str()) {
@@ -838,6 +925,56 @@ fn cmd_loadgen(args: &[String]) -> i32 {
     if let Some(addr) = flag_value(args, "--addr") {
         config.addr = Some(addr);
     }
+    if let Some(raw) = flag_value(args, "--retries") {
+        match raw.parse::<u32>() {
+            Ok(n) => config.retries = n,
+            _ => {
+                eprintln!("--retries expects a non-negative integer, got {raw:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(raw) = flag_value(args, "--request-timeout") {
+        match raw.parse::<u64>() {
+            Ok(0) => config.request_timeout = None,
+            Ok(ms) => config.request_timeout = Some(std::time::Duration::from_millis(ms)),
+            _ => {
+                eprintln!("--request-timeout expects a whole number of milliseconds, got {raw:?}");
+                return 2;
+            }
+        }
+    }
+    // `--chaos plan.json`: install the fault plan process-globally (the
+    // in-process server and the core simcache both pick it up), replay
+    // the mix under it, and verify the fail-closed invariant — every
+    // 200 byte-identical, every error a deliberate, well-formed 5xx.
+    if let Some(plan_path) = flag_value(args, "--chaos") {
+        if config.addr.is_some() {
+            eprintln!(
+                "--chaos needs the in-process server (the plan cannot be installed into a \
+                 remote --addr target)"
+            );
+            return 2;
+        }
+        let text = match std::fs::read_to_string(&plan_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {plan_path}: {e}");
+                return 2;
+            }
+        };
+        let plan = match thirstyflops::faults::FaultPlan::from_json(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{plan_path}: {e}");
+                return 2;
+            }
+        };
+        thirstyflops::faults::install(std::sync::Arc::new(
+            thirstyflops::faults::FaultInjector::mirrored(plan),
+        ));
+        config.chaos = true;
+    }
     config.keep_alive = !args.iter().any(|a| a == "--one-shot");
     // The plan length: explicit `--requests N`, or `--rate R --duration S`
     // converted up front so the replay is a fixed, deterministic count
@@ -868,6 +1005,44 @@ fn cmd_loadgen(args: &[String]) -> i32 {
         }
         (None, None) => config.requests,
     };
+
+    if config.chaos {
+        return match loadgen::run_with_stats(&mix, &config) {
+            Ok((report, stats)) => {
+                // Fail closed: any byte mismatch or unrecovered request
+                // is a contract violation (docs/ROBUSTNESS.md).
+                let failed = report.mismatches > 0 || report.errors > 0 || stats.unrecovered > 0;
+                if json_flag(args) {
+                    use serde::Serialize as _;
+                    let combined = serde::Value::Object(vec![
+                        ("load".to_string(), report.to_value()),
+                        ("chaos".to_string(), stats.to_value()),
+                    ]);
+                    print!("{}", api::to_json(&combined));
+                } else {
+                    print!("{}", loadgen::human_table(&report));
+                    print!("{}", loadgen::chaos_table(&stats));
+                }
+                if args.iter().any(|a| a == "--bench-json") {
+                    let path = std::path::Path::new("BENCH_serve.json");
+                    match loadgen::report::write_chaos_bench(path, &stats) {
+                        // Stderr: chaos `--json --bench-json` pipelines
+                        // parse stdout as one JSON document.
+                        Ok(_) => eprintln!("wrote {}", path.display()),
+                        Err(e) => {
+                            eprintln!("loadgen: {e}");
+                            return 1;
+                        }
+                    }
+                }
+                i32::from(failed)
+            }
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                1
+            }
+        };
+    }
 
     if args.iter().any(|a| a == "--bench-json") {
         // The tracked trajectory: replay the mix one-shot (the recorded

@@ -618,6 +618,16 @@ impl KeepAlive {
 /// hold bytes of any pipelined responses that arrived in the same read;
 /// returns (status, body, Connection header value).
 fn read_framed(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, Option<String>) {
+    let (status, body, connection, _) = read_framed_full(stream, carry);
+    (status, body, connection)
+}
+
+/// [`read_framed`], additionally returning the `Retry-After` header
+/// value (for the shed/deadline assertions).
+fn read_framed_full(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+) -> (u16, String, Option<String>, Option<String>) {
     let mut chunk = [0u8; 2048];
     let head_end = loop {
         if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
@@ -642,6 +652,10 @@ fn read_framed(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, Opt
         .lines()
         .find_map(|l| l.strip_prefix("Connection: "))
         .map(str::to_string);
+    let retry_after = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Retry-After: "))
+        .map(str::to_string);
     let body_start = head_end + 4;
     while carry.len() < body_start + length {
         let n = stream.read(&mut chunk).expect("response body reads");
@@ -651,7 +665,7 @@ fn read_framed(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, Opt
     let body =
         String::from_utf8(carry[body_start..body_start + length].to_vec()).expect("UTF-8 body");
     carry.drain(..body_start + length);
-    (status, body, connection)
+    (status, body, connection, retry_after)
 }
 
 /// True once the peer has closed: a read yields EOF — or a reset, for
@@ -815,13 +829,18 @@ fn adversarial_requests_get_4xx_and_close() {
             .set_read_timeout(Some(std::time::Duration::from_secs(20)))
             .expect("read timeout sets");
         stream.write_all(&raw).expect("adversarial bytes write");
-        let (status, body, connection) = read_framed(&mut stream, &mut Vec::new());
+        let (status, body, connection, retry_after) =
+            read_framed_full(&mut stream, &mut Vec::new());
         assert_eq!(status, expected_status, "{label}");
         assert!(
             body.contains(&format!("\"status\": {expected_status}")),
             "{label}: {body}"
         );
         assert_eq!(connection.as_deref(), Some("close"), "{label}");
+        // Satellite: over-cap rejections invite a (within-cap) retry;
+        // plain parse failures do not.
+        let expected_retry = matches!(expected_status, 413 | 431).then(|| "1".to_string());
+        assert_eq!(retry_after, expected_retry, "{label}: Retry-After");
         assert!(peer_closed(&mut stream), "{label}: connection must close");
     }
 
@@ -880,6 +899,7 @@ fn stalled_body_gets_408_after_the_read_timeout() {
         limits: thirstyflops::serve::Limits {
             idle_timeout: std::time::Duration::from_millis(400),
             read_timeout: std::time::Duration::from_millis(400),
+            ..Default::default()
         },
         ..ServerConfig::default()
     })
@@ -910,6 +930,7 @@ fn idle_keep_alive_connections_time_out() {
         limits: thirstyflops::serve::Limits {
             idle_timeout: std::time::Duration::from_millis(300),
             read_timeout: std::time::Duration::from_secs(10),
+            ..Default::default()
         },
         ..ServerConfig::default()
     })
@@ -954,11 +975,14 @@ fn over_limit_connections_get_json_503() {
         .expect("read timeout sets");
     over.write_all(b"GET /healthz HTTP/1.1\r\nHost: s\r\n\r\n")
         .expect("request writes");
-    let (status, body, connection) = read_framed(&mut over, &mut Vec::new());
+    let (status, body, connection, retry_after) = read_framed_full(&mut over, &mut Vec::new());
     assert_eq!(status, 503);
     assert!(body.contains("\"status\": 503"), "{body}");
     assert!(body.contains("connection limit"), "{body}");
     assert_eq!(connection.as_deref(), Some("close"));
+    // Satellite: the shed 503 tells well-behaved clients when to come
+    // back instead of letting them hammer the limit.
+    assert_eq!(retry_after.as_deref(), Some("1"), "shed 503 Retry-After");
     assert!(peer_closed(&mut over), "shed connection closes");
 
     // Satellite: the shed is visible in the per-endpoint metrics — the
@@ -991,6 +1015,368 @@ fn over_limit_connections_get_json_503() {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Fault injection & hardened serving (docs/ROBUSTNESS.md)
+// ---------------------------------------------------------------------
+
+/// Builds a per-instance (non-global) injector from plan JSON, so each
+/// test chaoses its own server without touching the process-wide slot.
+fn injector(plan_json: &str) -> std::sync::Arc<thirstyflops::faults::FaultInjector> {
+    std::sync::Arc::new(thirstyflops::faults::FaultInjector::new(
+        thirstyflops::faults::FaultPlan::from_json(plan_json).expect("test plan parses"),
+    ))
+}
+
+/// `/readyz` answers readiness over a real socket, separately from
+/// `/healthz` (which keeps reporting liveness during a drain).
+#[test]
+fn readyz_reports_ready_over_tcp() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let (status, ready) = http_get(addr, "/readyz");
+    assert_eq!(status, 200);
+    assert_eq!(ready, "{\n  \"ready\": true\n}\n");
+    let (status, health) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_ne!(ready, health, "readiness and liveness are distinct probes");
+    server.shutdown();
+}
+
+/// Satellite: a panicking handler (here: an injected panic firing on
+/// every request) yields a well-formed JSON 500 and a clean close — and
+/// the server keeps serving new connections afterwards.
+#[test]
+fn injected_handler_panic_yields_json_500_and_the_server_survives() {
+    let server = Server::bind_with_faults(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        Some(injector(
+            r#"{"name": "always-panic", "seed": 7,
+                "faults": [{"site": "handler_panic", "rate": 1.0}]}"#,
+        )),
+    )
+    .expect("binding port 0 always succeeds");
+    let addr = server.local_addr();
+    for round in 0..2 {
+        let mut stream = TcpStream::connect(addr).expect("server is listening");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+            .expect("read timeout sets");
+        stream
+            .write_all(b"GET /v1/systems HTTP/1.1\r\nHost: chaos\r\n\r\n")
+            .expect("request writes");
+        let (status, body, connection, _) = read_framed_full(&mut stream, &mut Vec::new());
+        assert_eq!(status, 500, "round {round}");
+        assert!(body.contains("\"status\": 500"), "round {round}: {body}");
+        assert!(body.contains("panicked"), "round {round}: {body}");
+        assert_eq!(connection.as_deref(), Some("close"), "round {round}");
+        assert!(peer_closed(&mut stream), "round {round}: clean close");
+    }
+    server.shutdown();
+}
+
+/// Satellite: injected latency that blows the per-request deadline is
+/// converted into a JSON 504 with `Retry-After`, never a stale body.
+#[test]
+fn injected_latency_past_the_deadline_becomes_a_504() {
+    let server = Server::bind_with_faults(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            limits: thirstyflops::serve::Limits {
+                request_timeout: Some(std::time::Duration::from_millis(50)),
+                ..Default::default()
+            },
+            ..ServerConfig::default()
+        },
+        Some(injector(
+            r#"{"name": "always-slow", "seed": 7,
+                "faults": [{"site": "response_latency", "rate": 1.0, "delay_ms": 200}]}"#,
+        )),
+    )
+    .expect("binding port 0 always succeeds");
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .expect("read timeout sets");
+    stream
+        .write_all(b"GET /v1/systems HTTP/1.1\r\nHost: slow\r\n\r\n")
+        .expect("request writes");
+    let (status, body, connection, retry_after) = read_framed_full(&mut stream, &mut Vec::new());
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("\"status\": 504"), "{body}");
+    assert!(body.contains("deadline"), "{body}");
+    assert_eq!(retry_after.as_deref(), Some("1"), "504 carries Retry-After");
+    assert_eq!(connection.as_deref(), Some("close"));
+    assert!(peer_closed(&mut stream));
+    server.shutdown();
+}
+
+/// An injected truncate cuts the response visibly short (a framing
+/// violation the client detects), never silently-wrong bytes: the 200
+/// head declares more body than ever arrives, then the peer closes.
+#[test]
+fn injected_truncate_cuts_the_response_short_never_corrupts_it() {
+    let server = Server::bind_with_faults(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        Some(injector(
+            r#"{"name": "always-truncate", "seed": 7,
+                "faults": [{"site": "write_truncate", "rate": 1.0}]}"#,
+        )),
+    )
+    .expect("binding port 0 always succeeds");
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .expect("read timeout sets");
+    stream
+        .write_all(b"GET /v1/systems HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("request writes");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("reads until the close");
+    let raw = String::from_utf8(raw).expect("UTF-8 half-response");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("half the wire image still covers the head");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let declared: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.parse().ok())
+        .expect("Content-Length header present");
+    assert!(
+        body.len() < declared,
+        "truncation must be detectable: got {} of {declared} declared bytes",
+        body.len()
+    );
+    server.shutdown();
+}
+
+/// Satellite (slow clients): a client dribbling its request one byte at
+/// a time — well inside the read timeout — is served the exact same
+/// bytes as a normal client.
+#[test]
+fn byte_at_a_time_requests_are_served_in_full() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let (status, expected) = http_get(addr, "/v1/systems");
+    assert_eq!(status, 200);
+
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .expect("read timeout sets");
+    for byte in b"GET /v1/systems HTTP/1.1\r\nHost: drip\r\nConnection: close\r\n\r\n" {
+        stream.write_all(&[*byte]).expect("one byte writes");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let (status, body, connection, _) = read_framed_full(&mut stream, &mut Vec::new());
+    assert_eq!(status, 200);
+    assert_eq!(body, expected, "dribbled request gets identical bytes");
+    assert_eq!(connection.as_deref(), Some("close"));
+    server.shutdown();
+}
+
+/// Satellite (slow clients): a slowloris peer that starts a request
+/// head and then goes silent gets its 408 once the read timeout fires —
+/// and the worker slot is reclaimed for the next client.
+#[test]
+fn slow_header_trickle_gets_408_and_frees_the_worker() {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        limits: thirstyflops::serve::Limits {
+            read_timeout: std::time::Duration::from_millis(300),
+            ..Default::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("binding port 0 always succeeds");
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .expect("read timeout sets");
+    // An unfinished head, then silence: the read timeout must fire.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nX-Slow: ")
+        .expect("partial head writes");
+    let (status, body, connection, _) = read_framed_full(&mut stream, &mut Vec::new());
+    assert_eq!(status, 408, "{body}");
+    assert!(body.contains("\"status\": 408"), "{body}");
+    assert_eq!(connection.as_deref(), Some("close"));
+    assert!(peer_closed(&mut stream));
+    // The lone worker is free again.
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "worker slot reclaimed after the slowloris");
+    server.shutdown();
+}
+
+/// Satellite (slow clients): a client that disconnects mid-body gets a
+/// 400 for the half-request, and the worker slot is reclaimed.
+#[test]
+fn mid_body_disconnect_gets_400_and_frees_the_worker() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .expect("read timeout sets");
+    stream
+        .write_all(b"POST /v1/scenarios/run HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"name\"")
+        .expect("head and partial body write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let (status, body, connection) = read_framed(&mut stream, &mut Vec::new());
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(connection.as_deref(), Some("close"));
+    assert!(peer_closed(&mut stream));
+    // The lone worker is free again.
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "worker slot reclaimed after the disconnect");
+    server.shutdown();
+}
+
+/// Satellite: a bounded drain answers every request in flight — byte-
+/// identically at 1 worker and at 8 — and late connects are cleanly
+/// refused because the listener is closed, not left queueing.
+#[test]
+fn drain_answers_in_flight_requests_identically_across_worker_counts() {
+    let paths = [
+        "/v1/systems",
+        "/v1/rank?seed=7",
+        "/v1/footprint/polaris?seed=7",
+        "/v1/experiments",
+    ];
+    let mut per_worker_count: Vec<Vec<String>> = Vec::new();
+    for workers in [1usize, 8] {
+        // Injected latency on every response keeps the requests in
+        // flight when the drain begins.
+        let server = Server::bind_with_faults(
+            &ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers,
+                ..ServerConfig::default()
+            },
+            Some(injector(
+                r#"{"name": "drain-hold", "seed": 7,
+                    "faults": [{"site": "response_latency", "rate": 1.0, "delay_ms": 150}]}"#,
+            )),
+        )
+        .expect("binding port 0 always succeeds");
+        let addr = server.local_addr();
+        let mut streams: Vec<TcpStream> = paths
+            .iter()
+            .map(|path| {
+                let mut stream = TcpStream::connect(addr).expect("server is listening");
+                stream
+                    .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+                    .expect("read timeout sets");
+                write!(stream, "GET {path} HTTP/1.1\r\nHost: drain\r\n\r\n")
+                    .expect("request writes");
+                stream
+            })
+            .collect();
+        // Let the accept loop adopt all four connections before the
+        // drain closes the listener.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        assert!(
+            server.drain(std::time::Duration::from_secs(10)),
+            "drain must complete within the bound ({workers} workers)"
+        );
+        // Every in-flight request was answered before its close; the
+        // responses sit buffered in the sockets.
+        let bodies: Vec<String> = streams
+            .iter_mut()
+            .zip(paths)
+            .map(|(stream, path)| {
+                let (status, body, _) = read_framed(stream, &mut Vec::new());
+                assert_eq!(status, 200, "{path} during drain ({workers} workers)");
+                assert!(
+                    peer_closed(stream),
+                    "{path}: drained connection closes ({workers} workers)"
+                );
+                body
+            })
+            .collect();
+        // Late connects get a clean refusal: the listener is gone. (If
+        // the kernel still completes a handshake, no bytes ever come.)
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut late) => {
+                late.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+                    .expect("read timeout sets");
+                let _ = late.write_all(b"GET /healthz HTTP/1.1\r\nHost: late\r\n\r\n");
+                assert!(
+                    peer_closed(&mut late),
+                    "a late connection must be refused, not served or hung"
+                );
+            }
+        }
+        per_worker_count.push(bodies);
+    }
+    assert_eq!(
+        per_worker_count[0], per_worker_count[1],
+        "drained in-flight bodies must not depend on the worker count"
+    );
+}
+
+/// Acceptance: two `loadgen --chaos` replays of the same plan + seed
+/// produce bit-identical chaos accounting at different worker counts,
+/// with zero verification failures — the whole-stack determinism check
+/// (`./ci.sh chaos-smoke` runs the bigger version).
+#[test]
+fn cli_chaos_replays_are_bit_identical_across_worker_counts() {
+    let run = |workers: &str| {
+        cli_stdout(&[
+            "loadgen",
+            "--mix",
+            "examples/loadmix/bench.json",
+            "--requests",
+            "120",
+            "--connections",
+            "4",
+            "--workers",
+            workers,
+            "--retries",
+            "32",
+            "--request-timeout",
+            "2000",
+            "--chaos",
+            "examples/faults/smoke.json",
+            "--json",
+        ])
+    };
+    let one = run("1");
+    let eight = run("8");
+    for out in [&one, &eight] {
+        assert!(out.contains("\"mismatches\": 0"), "{out}");
+        assert!(out.contains("\"errors\": 0"), "{out}");
+        assert!(out.contains("\"unrecovered\": 0"), "{out}");
+    }
+    let chaos_of = |out: &str| {
+        out.split("\"chaos\"")
+            .nth(1)
+            .expect("combined JSON has a chaos section")
+            .to_string()
+    };
+    assert_eq!(
+        chaos_of(&one),
+        chaos_of(&eight),
+        "chaos accounting must be bit-identical across worker counts"
+    );
 }
 
 /// Satellite: shutdown drains keep-alive connections — the request in
