@@ -21,6 +21,13 @@
 #                          # untouched, profiled counts byte-identical —
 #                          # plus a /v1/metrics fetch over raw TCP that
 #                          # must be well-formed Prometheus text
+#   ./ci.sh trace-smoke    # causal-tracing gate: --trace-out leaves
+#                          # stdout untouched and exports valid Chrome
+#                          # trace_event JSON, the folded span-tree
+#                          # shape is byte-identical at 1 and 8 threads,
+#                          # and GET /v1/trace answers over raw TCP with
+#                          # the client's X-Request-Id echoed and the
+#                          # request access-logged as strict JSON
 #   ./ci.sh chaos-smoke    # deterministic chaos replay: the bench mix
 #                          # under examples/faults/smoke.json at
 #                          # --workers 1, 8, and 1 again — zero byte-
@@ -231,6 +238,119 @@ if [[ "$mode" == "obs-smoke" ]]; then
   exit 0
 fi
 
+trace_smoke() {
+  # The causal-tracing gate (docs/OBSERVABILITY.md): --trace-out and
+  # --trace-sample must not touch stdout, the exported file must be
+  # valid Chrome trace_event JSON whose only phases are complete spans
+  # ("X") and fault instants ("i"), the folded span-tree *shape*
+  # (paths and counts, never durations) must be byte-identical at 1
+  # and 8 worker threads, and GET /v1/trace must answer over a real
+  # socket with the client's X-Request-Id echoed back and the request
+  # access-logged as one strict-JSON line (serve --log-json).
+  step "trace smoke (--trace-out export + span-tree shape + /v1/trace)"
+  cargo build --release -q
+  local bin=target/release/thirstyflops
+  local spec=examples/scenarios/sweep_siting.json
+  mkdir -p target
+
+  # stdout byte-identity: tracing off, recording, and sampled.
+  "$bin" rank --json > target/trace_plain.json
+  "$bin" rank --json --trace-out target/trace_on.trace     > target/trace_on_stdout.json 2>/dev/null
+  "$bin" rank --json --trace-out target/trace_sampled.trace --trace-sample 1/4     > target/trace_sampled_stdout.json 2>/dev/null
+  for mode in on sampled; do
+    if ! cmp -s target/trace_plain.json "target/trace_${mode}_stdout.json"; then
+      echo "trace smoke: --trace-out ($mode) changed stdout" >&2
+      exit 1
+    fi
+  done
+
+  # The export is valid Chrome trace_event JSON attributing the
+  # workload sub-stages (python3 when available, grep otherwise).
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - target/trace_on.trace <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "trace has no events"
+bad = [e["ph"] for e in events if e["ph"] not in ("X", "i")]
+assert not bad, f"unexpected phases: {bad}"
+names = {e["name"] for e in events}
+missing = {"trace_gen", "cluster_sim", "power_model"} - names
+assert not missing, f"trace missing stages: {missing}"
+PY
+  else
+    for needle in '"traceEvents"' '"name":"trace_gen"' '"name":"cluster_sim"'; do
+      if ! grep -q -- "$needle" target/trace_on.trace; then
+        echo "trace smoke: export is missing $needle" >&2
+        exit 1
+      fi
+    done
+    if grep -o '"ph":"[^"]*"' target/trace_on.trace | grep -vq '"ph":"[Xi]"'; then
+      echo "trace smoke: export has phases other than X and i" >&2
+      exit 1
+    fi
+  fi
+  printf '  ok --trace-out: stdout untouched, valid Chrome JSON with workload stages\n'
+
+  # Span-tree shape: the folded rollup (paths + counts; *_ns stripped)
+  # is byte-identical across thread counts (docs/CONCURRENCY.md rule 7).
+  THIRSTYFLOPS_THREADS=1 "$bin" scenario sweep "$spec" --json --profile     > /dev/null 2> target/trace_profile_t1.json
+  THIRSTYFLOPS_THREADS=8 "$bin" scenario sweep "$spec" --json --profile     > /dev/null 2> target/trace_profile_t8.json
+  for needle in '"folded"' '"stack"' 'workload_sim;trace_gen'; do
+    if ! grep -q -- "$needle" target/trace_profile_t1.json; then
+      echo "trace smoke: profile report is missing $needle" >&2
+      exit 1
+    fi
+  done
+  grep -v '_ns"' target/trace_profile_t1.json > target/trace_shape_t1.json
+  grep -v '_ns"' target/trace_profile_t8.json > target/trace_shape_t8.json
+  if ! cmp -s target/trace_shape_t1.json target/trace_shape_t8.json; then
+    echo "trace smoke: span-tree shape differs at 1 vs 8 threads" >&2
+    diff target/trace_shape_t1.json target/trace_shape_t8.json >&2 || true
+    exit 1
+  fi
+  printf '  ok folded span-tree shape byte-identical at 1 and 8 threads\n'
+
+  # /v1/trace + X-Request-Id echo + --log-json over raw TCP.
+  "$bin" serve --addr 127.0.0.1:0 --workers 1 --log-json     > target/trace_serve_banner.txt 2> target/trace_access_log.txt &
+  local server_pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's#^listening on http://\([0-9.:]*\) .*#\1#p' target/trace_serve_banner.txt)
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$addr" ]]; then
+    kill "$server_pid" 2>/dev/null || true
+    echo "trace smoke: server never printed its bound address" >&2
+    exit 1
+  fi
+  exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+  printf 'GET /v1/trace?last=32 HTTP/1.1\r\nHost: ci\r\nX-Request-Id: ci-trace-1\r\nConnection: close\r\n\r\n' >&3
+  cat <&3 > target/trace_endpoint_raw.txt
+  exec 3<&- 3>&-
+  kill "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+
+  for needle in 'HTTP/1.1 200' 'Content-Type: application/json'     'X-Request-Id: ci-trace-1' '"traceEvents"'; do
+    if ! grep -qF -- "$needle" target/trace_endpoint_raw.txt; then
+      echo "trace smoke: /v1/trace response is missing $needle" >&2
+      exit 1
+    fi
+  done
+  if ! grep -qF '"trace":"ci-trace-1","endpoint":"trace","status":200' target/trace_access_log.txt; then
+    echo "trace smoke: --log-json never logged the traced request:" >&2
+    cat target/trace_access_log.txt >&2
+    exit 1
+  fi
+  printf '  ok /v1/trace: 200 Chrome JSON, id echoed, request access-logged\n'
+}
+
+if [[ "$mode" == "trace-smoke" ]]; then
+  trace_smoke
+  exit 0
+fi
+
 chaos_smoke() {
   # The robustness gate (docs/ROBUSTNESS.md): replay the recorded bench
   # mix under the committed fault plan — injected panics, latency past
@@ -324,6 +444,7 @@ if [[ "$mode" != "quick" ]]; then
   scenario_smoke
   batch_smoke
   obs_smoke
+  trace_smoke
   chaos_smoke
 fi
 

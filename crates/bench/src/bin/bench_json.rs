@@ -19,6 +19,10 @@
 //! * `batched_sweep_ns` — the same sweep through the `core::batch`
 //!   K-lane kernel (the default path a `POST /v1/scenarios/sweep` burst
 //!   pays), plus `scalar_over_batched`, the tracked speedup ratio;
+//! * `trace_overhead` — the cold simulate re-measured with the causal
+//!   trace recorder off, recording, and sampled out (context active but
+//!   ring writes skipped) — the tracked cost of `--trace-out` /
+//!   `serve`'s always-on recorder (`docs/OBSERVABILITY.md`);
 //! * hit ratios after a paper-shaped warmup (four systems + repeats).
 //!
 //! This container has **one CPU**: compare medians of the serial
@@ -90,6 +94,30 @@ fn main() {
         .join(", ");
     thirstyflops_obs::span::reset();
 
+    // Trace-recorder overhead on the identical cold workload: off (the
+    // measurement above repeated, as the in-run control), on (spans
+    // recorded to the ring), and sampled out (request context active,
+    // ring writes skipped — what a `--trace-sample`-thinned serve
+    // request pays).
+    let spec_trace = spec.clone();
+    let trace_off_ns = median_ns(iters, move || {
+        std::hint::black_box(SystemYear::simulate_uncached(spec_trace.clone(), 77));
+    });
+    thirstyflops_obs::trace::set_enabled(true);
+    thirstyflops_obs::trace::reset();
+    let spec_trace = spec.clone();
+    let trace_on_ns = median_ns(iters, move || {
+        let _ctx = thirstyflops_obs::trace::begin(1, true);
+        std::hint::black_box(SystemYear::simulate_uncached(spec_trace.clone(), 77));
+    });
+    let spec_trace = spec.clone();
+    let trace_sampled_ns = median_ns(iters, move || {
+        let _ctx = thirstyflops_obs::trace::begin(2, false);
+        std::hint::black_box(SystemYear::simulate_uncached(spec_trace.clone(), 77));
+    });
+    thirstyflops_obs::trace::set_enabled(false);
+    thirstyflops_obs::trace::reset();
+
     // Grid kernel alone (the formerly mix-allocating 8760-hour loop).
     let grid_ns = median_ns(iters, || {
         std::hint::black_box(GridRegion::preset(RegionId::NorthernIllinois).simulate_year());
@@ -158,6 +186,8 @@ fn main() {
          \"warm_simulate_ns\": {warm_ns}, \
          \"grid_year_ns\": {grid_ns}, \"scenario_sweep_ns\": {sweep_ns}, \
          \"batched_sweep_ns\": {batched_sweep_ns}, \
+         \"trace_overhead\": {{\"off_ns\": {trace_off_ns}, \"on_ns\": {trace_on_ns}, \
+         \"sampled_ns\": {trace_sampled_ns}}}, \
          \"scalar_over_batched\": {:.2}, \
          \"warmup_year_hit_ratio\": {:.4}, \
          \"warmup_grid_hit_ratio\": {:.4}, \"cold_over_warm\": {:.1}}}",

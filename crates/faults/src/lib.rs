@@ -313,6 +313,10 @@ impl FaultInjector {
         if let Some(mirror) = &self.mirror {
             mirror[site].inc();
         }
+        // Annotate the active causal trace (if any) so "which request
+        // did that injected fault land on?" is answerable from
+        // `/v1/trace`, `--trace-out`, and the structured access log.
+        thirstyflops_obs::trace::mark(SITE_NAMES[site]);
     }
 
     fn decide_single(&self, class: usize, site: usize) -> bool {
@@ -413,6 +417,21 @@ pub fn global() -> Option<Arc<FaultInjector>> {
         return None;
     }
     slot().lock().expect("fault slot lock").clone()
+}
+
+/// Force-registers the `thirstyflops_faults_injected_total` family
+/// (every site, zero-valued) in the global observability registry.
+/// Idempotent. `serve`'s `/v1/metrics` handler calls this whenever a
+/// fault plan is installed, so a fresh chaos server exposes the family
+/// before the first injection instead of it being silently absent.
+pub fn register_injected_family() {
+    for site in SITE_NAMES {
+        let _ = thirstyflops_obs::registry::counter_labeled(
+            "thirstyflops_faults_injected_total",
+            &[("site", site)],
+            "faults fired per injection site (chaos plans only)",
+        );
+    }
 }
 
 /// One global simulation-cache poison decision; `false` (one relaxed

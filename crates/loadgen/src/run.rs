@@ -167,17 +167,32 @@ pub struct ChaosStats {
     pub fault_sites: Vec<FaultSiteCount>,
 }
 
-/// A template compiled for the wire: prerendered request bytes plus the
-/// expected response, computed by the server's own pure handler.
+/// A template compiled for the wire: prerendered request head/body plus
+/// the expected response, computed by the server's own pure handler.
+/// The head stops before the terminating blank line so each send can
+/// append its per-request `X-Request-Id: lg-{i}` header — the id the
+/// server must echo back (`docs/SERVING.md`).
 #[derive(Debug)]
 struct Prepared {
-    wire: Vec<u8>,
+    head: String,
+    body: Vec<u8>,
     method: String,
     target: String,
     expected_status: u16,
     expected_body: Arc<str>,
     label_idx: usize,
     verify: bool,
+}
+
+impl Prepared {
+    /// Renders the wire bytes for plan entry `i`, injecting its trace id.
+    fn wire(&self, i: usize) -> Vec<u8> {
+        let mut wire = Vec::with_capacity(self.head.len() + 40 + self.body.len());
+        wire.extend_from_slice(self.head.as_bytes());
+        wire.extend_from_slice(format!("X-Request-Id: lg-{i}\r\n\r\n").as_bytes());
+        wire.extend_from_slice(&self.body);
+        wire
+    }
 }
 
 /// Everything the client threads share.
@@ -217,6 +232,9 @@ struct WireResponse {
     close: bool,
     /// `Retry-After` header value in seconds, if present.
     retry_after: Option<u64>,
+    /// The echoed `X-Request-Id`, if present. Must equal the id the
+    /// request carried — a missing or wrong echo is a mismatch.
+    request_id: Option<String>,
 }
 
 /// Builds the deterministic request plan: `requests` template indices
@@ -261,6 +279,7 @@ fn prepare(mix: &MixSpec, keep_alive: bool) -> Result<Vec<Prepared>, LoadError> 
                 query: query.to_string(),
                 body: t.body.clone(),
                 close: false,
+                request_id: None,
             };
             let expected = handlers::handle(&request, &verify_state);
             let label = router::route(&path)
@@ -278,12 +297,12 @@ fn prepare(mix: &MixSpec, keep_alive: bool) -> Result<Vec<Prepared>, LoadError> 
             if !keep_alive {
                 head.push_str("Connection: close\r\n");
             }
-            head.push_str("\r\n");
-            let mut wire = head.into_bytes();
-            wire.extend_from_slice(t.body.as_bytes());
+            // The blank line is appended per send, after the
+            // per-request `X-Request-Id` header (`Prepared::wire`).
 
             Ok(Prepared {
-                wire,
+                head,
+                body: t.body.clone().into_bytes(),
                 method: t.method.clone(),
                 target: t.target.clone(),
                 expected_status: expected.status,
@@ -472,16 +491,15 @@ fn client_thread(shared: &Shared, thread_id: usize) {
         }
         let started = Instant::now();
         if retrying {
-            if let Some((status, body)) = perform_with_retries(&mut conn, shared, tmpl, i, &mut rng)
-            {
+            if let Some(resp) = perform_with_retries(&mut conn, shared, tmpl, i, &mut rng) {
                 shared.hist[tmpl.label_idx].record(started.elapsed().as_micros() as u64);
-                verify_response(shared, tmpl, i, status, &body);
+                verify_response(shared, tmpl, i, &resp);
             }
         } else {
-            match exchange(&mut conn, shared, tmpl) {
-                Ok((status, body)) => {
+            match exchange(&mut conn, shared, tmpl, i) {
+                Ok(resp) => {
                     shared.hist[tmpl.label_idx].record(started.elapsed().as_micros() as u64);
-                    verify_response(shared, tmpl, i, status, &body);
+                    verify_response(shared, tmpl, i, &resp);
                 }
                 Err(e) => {
                     shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -501,24 +519,41 @@ fn client_thread(shared: &Shared, thread_id: usize) {
 }
 
 /// Compares one replayed response against the handler-computed
-/// expectation, counting and sampling a mismatch.
-fn verify_response(shared: &Shared, tmpl: &Prepared, i: usize, status: u16, body: &str) {
-    if tmpl.verify && (status != tmpl.expected_status || body != &*tmpl.expected_body) {
+/// expectation, counting and sampling a mismatch. The `X-Request-Id`
+/// echo is checked on every response — verified template or not — since
+/// the echo is a transport-level contract, independent of whether the
+/// body is deterministic. Samples name the trace id so a wire mismatch
+/// can be joined against `/v1/trace` spans and `--log-json` lines.
+fn verify_response(shared: &Shared, tmpl: &Prepared, i: usize, resp: &WireResponse) {
+    let trace_id = format!("lg-{i}");
+    if resp.request_id.as_deref() != Some(trace_id.as_str()) {
         shared.mismatches.fetch_add(1, Ordering::Relaxed);
         push_sample(
             shared,
             format!(
-                "request #{i} {} {}: status {status} (expected {}), body {} bytes \
+                "request #{i} {} {} trace={trace_id}: X-Request-Id echo {:?}, expected {trace_id:?}",
+                tmpl.method, tmpl.target, resp.request_id,
+            ),
+        );
+    }
+    if tmpl.verify && (resp.status != tmpl.expected_status || resp.body != *tmpl.expected_body) {
+        shared.mismatches.fetch_add(1, Ordering::Relaxed);
+        push_sample(
+            shared,
+            format!(
+                "request #{i} {} {} trace={trace_id}: status {} (expected {}), body {} bytes \
                  (expected {}), first difference at byte {}",
                 tmpl.method,
                 tmpl.target,
+                resp.status,
                 tmpl.expected_status,
-                body.len(),
+                resp.body.len(),
                 tmpl.expected_body.len(),
-                body.bytes()
+                resp.body
+                    .bytes()
                     .zip(tmpl.expected_body.bytes())
                     .position(|(a, b)| a != b)
-                    .unwrap_or_else(|| body.len().min(tmpl.expected_body.len())),
+                    .unwrap_or_else(|| resp.body.len().min(tmpl.expected_body.len())),
             ),
         );
     }
@@ -537,11 +572,11 @@ fn perform_with_retries(
     tmpl: &Prepared,
     i: usize,
     rng: &mut StdRng,
-) -> Option<(u16, String)> {
+) -> Option<WireResponse> {
     let mut attempt: u32 = 0;
     loop {
         shared.attempts.fetch_add(1, Ordering::Relaxed);
-        match try_exchange(conn, shared, tmpl) {
+        match try_exchange(conn, shared, tmpl, i) {
             Ok(resp) => {
                 if resp.close {
                     // The server asked for close (drain, deadline, or
@@ -575,7 +610,7 @@ fn perform_with_retries(
                     );
                     return None;
                 }
-                return Some((resp.status, resp.body));
+                return Some(resp);
             }
             Err(e) => {
                 *conn = None;
@@ -634,22 +669,23 @@ fn exchange(
     conn: &mut Option<TcpStream>,
     shared: &Shared,
     tmpl: &Prepared,
-) -> Result<(u16, String), LoadError> {
+    i: usize,
+) -> Result<WireResponse, LoadError> {
     let reused = conn.is_some();
-    match try_exchange(conn, shared, tmpl) {
+    match try_exchange(conn, shared, tmpl, i) {
         Err(_) if reused => {
             *conn = None;
-            try_exchange(conn, shared, tmpl)
+            try_exchange(conn, shared, tmpl, i)
         }
         other => other,
     }
-    .map(|resp| (resp.status, resp.body))
 }
 
 fn try_exchange(
     conn: &mut Option<TcpStream>,
     shared: &Shared,
     tmpl: &Prepared,
+    i: usize,
 ) -> Result<WireResponse, LoadError> {
     if conn.is_none() {
         let stream = TcpStream::connect(&shared.addr)
@@ -664,7 +700,7 @@ fn try_exchange(
     }
     let stream = conn.as_mut().expect("connection just ensured");
     stream
-        .write_all(&tmpl.wire)
+        .write_all(&tmpl.wire(i))
         .map_err(|e| LoadError::Io(format!("write: {e}")))?;
     read_response(stream)
 }
@@ -701,6 +737,7 @@ fn read_response(stream: &mut TcpStream) -> Result<WireResponse, LoadError> {
     let mut length: Option<usize> = None;
     let mut close = false;
     let mut retry_after = None;
+    let mut request_id = None;
     for (name, value) in lines.filter_map(|l| l.split_once(':')) {
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
@@ -709,6 +746,8 @@ fn read_response(stream: &mut TcpStream) -> Result<WireResponse, LoadError> {
             close = value.eq_ignore_ascii_case("close");
         } else if name.eq_ignore_ascii_case("retry-after") {
             retry_after = value.parse().ok();
+        } else if name.eq_ignore_ascii_case("x-request-id") {
+            request_id = Some(value.to_string());
         }
     }
     let length = length.ok_or_else(|| LoadError::Protocol("missing Content-Length".into()))?;
@@ -729,6 +768,7 @@ fn read_response(stream: &mut TcpStream) -> Result<WireResponse, LoadError> {
         body,
         close,
         retry_after,
+        request_id,
     })
 }
 

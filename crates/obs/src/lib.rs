@@ -16,6 +16,11 @@
 //!   counts and cache modes (`docs/OBSERVABILITY.md`); durations are
 //!   wall-clock and explicitly exempt. Disabled spans cost one relaxed
 //!   atomic load and allocate nothing.
+//! - **[`trace`]** — a bounded causal trace recorder: per-request span
+//!   trees with parent links in a fixed-capacity ring, exported as
+//!   Chrome `trace_event` JSON, a folded-stacks rollup, and fault
+//!   annotations for structured access logs. Tree *shape* is
+//!   deterministic; timestamps are not.
 //! - **[`prom`] / [`report`]** — the Prometheus text writer shared by the
 //!   registry and `serve`'s per-instance endpoint table, and the
 //!   `--profile` report (human table or JSON) the CLI prints to stderr.
@@ -32,6 +37,7 @@ pub mod prom;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use hist::LatencyHistogram;
 pub use registry::Counter;

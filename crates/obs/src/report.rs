@@ -9,6 +9,7 @@
 
 use crate::registry;
 use crate::span::{self, StageProfile};
+use crate::trace::{self, FoldedStack};
 
 /// One registered counter's value at report time.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -27,6 +28,10 @@ pub struct ProfileReport {
     /// Registered counters in exposition order (gauges and histograms
     /// excluded — counts are what the determinism contract covers).
     pub counters: Vec<CounterSample>,
+    /// Flamegraph-style folded stacks from the trace recorder, sorted
+    /// by path. Empty unless tracing was on (`--trace-out`); `count`
+    /// is deterministic, `self_ns` is wall-clock.
+    pub folded: Vec<FoldedStack>,
 }
 
 /// Captures the current profile.
@@ -37,6 +42,7 @@ pub fn profile_report() -> ProfileReport {
             .into_iter()
             .map(|(name, value)| CounterSample { name, value })
             .collect(),
+        folded: trace::folded_snapshot(),
     }
 }
 
@@ -73,6 +79,17 @@ pub fn profile_table() -> String {
         out.push_str("\ncounter                                                       value\n");
         for c in &report.counters {
             out.push_str(&format!("{:<57} {:>11}\n", c.name, c.value));
+        }
+    }
+    if !report.folded.is_empty() {
+        out.push_str("\nfolded stack                                        count     self_ms\n");
+        for f in &report.folded {
+            out.push_str(&format!(
+                "{:<48} {:>8} {:>11.3}\n",
+                f.stack,
+                f.count,
+                f.self_ns as f64 / 1e6,
+            ));
         }
     }
     out

@@ -41,8 +41,17 @@ pub const LANE_PACK: usize = 4;
 pub const FUSED_REDUCTION: usize = 5;
 /// One sweep chunk: prepare, aggregate, fold (batched or scalar).
 pub const SWEEP_CHUNK: usize = 6;
+/// Synthetic job-trace generation (`workload::TraceGenerator`), nested
+/// inside [`WORKLOAD_SIM`].
+pub const TRACE_GEN: usize = 7;
+/// FCFS + EASY-backfill cluster-year scheduling
+/// (`workload::ClusterSim`), nested inside [`WORKLOAD_SIM`].
+pub const CLUSTER_SIM: usize = 8;
+/// Utilization → hourly power/energy conversion
+/// (`workload::PowerModel`), nested inside [`WORKLOAD_SIM`].
+pub const POWER_MODEL: usize = 9;
 /// Number of profiled stages.
-pub const STAGE_COUNT: usize = 7;
+pub const STAGE_COUNT: usize = 10;
 
 /// Stage names, indexed by the stage constants.
 pub const STAGE_NAMES: [&str; STAGE_COUNT] = [
@@ -53,6 +62,9 @@ pub const STAGE_NAMES: [&str; STAGE_COUNT] = [
     "lane_pack",
     "fused_reduction",
     "sweep_chunk",
+    "trace_gen",
+    "cluster_sim",
+    "power_model",
 ];
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -90,20 +102,35 @@ pub fn reset() {
 
 /// Opens a span over `stage` (one of the stage constants). The returned
 /// guard records on drop; hold it for exactly the stage's extent.
+///
+/// Two independent sinks see the span: the flat per-stage atomics
+/// (when profiling is enabled) and the causal trace recorder (when
+/// [`crate::trace`] is enabled *and* this thread is inside a trace
+/// context). Either may be on without the other.
 #[must_use]
 pub fn span(stage: usize) -> SpanGuard {
-    if !ENABLED.load(Ordering::Relaxed) {
+    let profiled = ENABLED.load(Ordering::Relaxed);
+    let trace = crate::trace::open_span();
+    if !profiled && trace.is_none() {
         return SpanGuard {
             stage,
             start: None,
             prev: 0,
+            profiled: false,
+            trace: None,
         };
     }
-    let prev = CURRENT.with(|c| c.replace(stage + 1));
+    let prev = if profiled {
+        CURRENT.with(|c| c.replace(stage + 1))
+    } else {
+        0
+    };
     SpanGuard {
         stage,
         start: Some(Instant::now()),
         prev,
+        profiled,
+        trace,
     }
 }
 
@@ -111,20 +138,30 @@ pub fn span(stage: usize) -> SpanGuard {
 #[derive(Debug)]
 pub struct SpanGuard {
     stage: usize,
-    /// `None` when profiling was disabled at open — the drop is a no-op.
+    /// `None` when both sinks were off at open — the drop is a no-op.
     start: Option<Instant>,
     prev: usize,
+    /// Whether the flat profiling atomics record this span (profiling
+    /// was enabled at open).
+    profiled: bool,
+    /// The span's slot in the active trace, if one was recording.
+    trace: Option<crate::trace::OpenSpan>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let dt = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        INVOCATIONS[self.stage].fetch_add(1, Ordering::Relaxed);
-        TOTAL_NS[self.stage].fetch_add(dt, Ordering::Relaxed);
-        CURRENT.with(|c| c.set(self.prev));
-        if self.prev > 0 {
-            CHILD_NS[self.prev - 1].fetch_add(dt, Ordering::Relaxed);
+        if self.profiled {
+            INVOCATIONS[self.stage].fetch_add(1, Ordering::Relaxed);
+            TOTAL_NS[self.stage].fetch_add(dt, Ordering::Relaxed);
+            CURRENT.with(|c| c.set(self.prev));
+            if self.prev > 0 {
+                CHILD_NS[self.prev - 1].fetch_add(dt, Ordering::Relaxed);
+            }
+        }
+        if let Some(open) = self.trace.take() {
+            crate::trace::close_span(open, self.stage, dt);
         }
     }
 }

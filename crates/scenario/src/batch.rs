@@ -256,9 +256,19 @@ pub(crate) fn evaluate_sweep_streaming(sweep: &SweepSpec) -> Result<SweepReport,
     };
     let total = sweep.combination_count();
     let starts: Vec<usize> = (0..total).step_by(CHUNK).collect();
+    // Capture the active trace (if any) before fanning out: worker
+    // threads have no trace context of their own, so each chunk
+    // re-attaches under the span open at this capture point. The
+    // parent edge is fixed here, not by scheduling, which is what
+    // keeps the span-tree shape thread-count-independent
+    // (`docs/CONCURRENCY.md` rule seven).
+    let trace_handle = thirstyflops_obs::trace::handle();
     let outputs: Vec<Result<ChunkOutput, ScenarioError>> = starts
         .par_iter()
-        .map(|&start| evaluate_chunk(&shared, start, (start + CHUNK).min(total)))
+        .map(|&start| {
+            let _trace = trace_handle.as_ref().map(|h| h.attach());
+            evaluate_chunk(&shared, start, (start + CHUNK).min(total))
+        })
         .collect();
 
     // Merge in chunk (= expansion) order; the first error in expansion

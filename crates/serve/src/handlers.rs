@@ -58,6 +58,14 @@ pub struct AppState {
     pub metrics: Metrics,
     /// `serve --log`: one stderr line per request.
     pub log_requests: bool,
+    /// `serve --log-json`: one structured JSON object per request on
+    /// stderr (see [`access_log_line`] for the stable key order).
+    pub log_json: bool,
+    /// Deterministic request ordinal, incremented once per parsed (or
+    /// answerable-parse-error) request across the whole server. It is
+    /// the trace id for requests that do not supply `X-Request-Id`, and
+    /// the value `--trace-sample 1/N` keys off — never wall-clock.
+    pub ordinal: std::sync::atomic::AtomicU64,
     /// Idle/read timeouts applied to every connection.
     pub limits: Limits,
     /// Set by `Server::shutdown` / `Server::drain`: keep-alive loops
@@ -78,6 +86,8 @@ impl Default for AppState {
             cache: ResultCache::default(),
             metrics: Metrics::default(),
             log_requests: false,
+            log_json: false,
+            ordinal: std::sync::atomic::AtomicU64::new(0),
             limits: Limits::default(),
             stop: std::sync::atomic::AtomicBool::new(false),
             started: std::time::Instant::now(),
@@ -283,12 +293,37 @@ fn try_handle(req: &Request, state: &AppState, trace: &mut Trace) -> Result<Resp
             // first simulation runs.
             let _ = thirstyflops_core::simcache::stats();
             let _ = thirstyflops_core::batch::stats();
+            // Chaos runs additionally force-register the injected-fault
+            // family: a plan that has not fired yet still exposes its
+            // zeroed per-site counters, so dashboards can tell "plan
+            // installed, quiet" from "no plan at all".
+            if state.faults.is_some() || thirstyflops_faults::global().is_some() {
+                thirstyflops_faults::register_injected_family();
+            }
             // Never cached: the body is the live counter state. The
             // global registry renders first (sorted by family name),
             // then this server's per-endpoint table.
             let mut body = thirstyflops_obs::registry::render_prometheus();
             body.push_str(&state.metrics.render_prometheus());
             Ok(Response::text(200, body))
+        }
+        Route::Trace => {
+            query.expect_only(&["last"])?;
+            let last = match query.get("last") {
+                None => 256,
+                Some(raw) => raw.parse::<usize>().map_err(|_| {
+                    ServeError::BadRequest(format!(
+                        "last must be a non-negative integer, got {raw:?}"
+                    ))
+                })?,
+            };
+            // Never cached: the body is the live recorder ring. `last`
+            // bounds the payload (default 256 events) so a polling
+            // client cannot pull the full 65k-event ring by accident.
+            Ok(Response::json(
+                200,
+                thirstyflops_obs::trace::chrome_trace_json(Some(last)),
+            ))
         }
     }
 }
@@ -373,8 +408,27 @@ pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
         let _ = stream.set_read_timeout(Some(state.limits.read_timeout));
         let started = std::time::Instant::now();
         let mut shed_reason: Option<&'static str> = None;
-        let (mut response, request_line, mut trace, mut close) = match reader.read_request() {
+        // The request-scoped trace context: every span the handler opens
+        // (directly or on re-attached sweep workers) and every fault that
+        // fires below parents under this request's trace id. Created for
+        // every answerable request; whether span events actually land in
+        // the ring is the recorder's `enabled && sampled` decision, keyed
+        // off the deterministic ordinal so sampling never consults a
+        // clock or RNG (`docs/OBSERVABILITY.md`).
+        let mut trace_ctx: Option<thirstyflops_obs::trace::TraceGuard> = None;
+        let (mut response, request_line, mut trace, mut close, request_id) = match reader
+            .read_request()
+        {
             Ok(req) => {
+                let ordinal = state.ordinal.fetch_add(1, Ordering::Relaxed);
+                let request_id = req
+                    .request_id
+                    .clone()
+                    .unwrap_or_else(|| format!("tf-{ordinal:016x}"));
+                trace_ctx = Some(thirstyflops_obs::trace::begin(
+                    ordinal,
+                    thirstyflops_obs::trace::enabled() && thirstyflops_obs::trace::sampled(ordinal),
+                ));
                 let line = format!("{} {}", req.method, req.path);
                 // Shutdown mid-connection: answer the request in flight,
                 // then close instead of waiting for another.
@@ -388,7 +442,7 @@ pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
                     handle_traced(&req, state)
                 }));
                 match outcome {
-                    Ok((response, trace)) => (response, line, trace, close),
+                    Ok((response, trace)) => (response, line, trace, close, request_id),
                     Err(_) => {
                         // The handler (or the injector) panicked: the
                         // client still gets a well-formed JSON 500, and
@@ -408,7 +462,7 @@ pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
                                     .into(),
                             }),
                         );
-                        (response, line, trace, true)
+                        (response, line, trace, true, request_id)
                     }
                 }
             }
@@ -433,7 +487,18 @@ pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
                         endpoint,
                         cache_hit: false,
                     };
-                    (resp, "??? (unparsable request)".to_string(), trace, true)
+                    // Unparsable requests cannot carry a usable
+                    // `X-Request-Id`, so they get a server-assigned one;
+                    // the ordinal still advances so ids stay unique.
+                    let ordinal = state.ordinal.fetch_add(1, Ordering::Relaxed);
+                    let request_id = format!("tf-{ordinal:016x}");
+                    (
+                        resp,
+                        "??? (unparsable request)".to_string(),
+                        trace,
+                        true,
+                        request_id,
+                    )
                 }
                 None => return, // nothing arrived; likely a probe
             },
@@ -478,6 +543,10 @@ pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
                 write_fault = None;
             }
         }
+        // Every response — including error and shed responses — echoes
+        // the trace id so clients can correlate wire exchanges with
+        // `/v1/trace` spans and `--log-json` lines.
+        response.request_id = Some(request_id.clone());
         let wrote = write_response(&stream, &response, close, write_fault);
         let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         state
@@ -496,10 +565,87 @@ pub fn serve_connection(stream: std::net::TcpStream, state: &AppState) {
                 if trace.cache_hit { "hit" } else { "miss" }
             );
         }
+        if state.log_json {
+            let faults = trace_ctx
+                .as_ref()
+                .map(|t| t.fault_marks())
+                .unwrap_or_default();
+            eprintln!(
+                "{}",
+                access_log_line(
+                    &request_id,
+                    trace.endpoint,
+                    response.status,
+                    response.body.len(),
+                    micros,
+                    trace.cache_hit,
+                    shed_reason,
+                    &faults,
+                )
+            );
+        }
+        drop(trace_ctx);
         if close || !wrote {
             return;
         }
     }
+}
+
+/// Formats one `serve --log-json` access-log line: a single strict-JSON
+/// object per request with a stable key order — `trace`, `endpoint`,
+/// `status`, `bytes`, `micros`, `cache`, `shed`, `faults` — so log
+/// pipelines can parse every line with one schema. `trace` is the
+/// echoed `X-Request-Id`; `shed` is `null` unless the request was shed;
+/// `faults` lists the injected-fault sites that fired inside this
+/// request (empty outside chaos runs).
+#[allow(clippy::too_many_arguments)]
+pub fn access_log_line(
+    trace_id: &str,
+    endpoint: &str,
+    status: u16,
+    bytes: usize,
+    micros: u64,
+    cache_hit: bool,
+    shed: Option<&str>,
+    faults: &[&'static str],
+) -> String {
+    fn push_json_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    let mut out = String::with_capacity(160);
+    out.push_str("{\"trace\":");
+    push_json_str(&mut out, trace_id);
+    out.push_str(",\"endpoint\":");
+    push_json_str(&mut out, endpoint);
+    out.push_str(&format!(
+        ",\"status\":{status},\"bytes\":{bytes},\"micros\":{micros},\"cache\":"
+    ));
+    push_json_str(&mut out, if cache_hit { "hit" } else { "miss" });
+    out.push_str(",\"shed\":");
+    match shed {
+        None => out.push_str("null"),
+        Some(reason) => push_json_str(&mut out, reason),
+    }
+    out.push_str(",\"faults\":[");
+    for (i, site) in faults.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, site);
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Writes one response, applying an injected truncate/stall fault when
@@ -651,6 +797,7 @@ mod tests {
                 query: query.into(),
                 body: String::new(),
                 close: false,
+                request_id: None,
             },
             state,
         )
@@ -664,6 +811,7 @@ mod tests {
                 query: String::new(),
                 body: body.into(),
                 close: false,
+                request_id: None,
             },
             state,
         )
@@ -914,6 +1062,7 @@ mod tests {
             query: String::new(),
             body: String::new(),
             close: false,
+            request_id: None,
         };
         let (_, cold) = handle_traced(&req, &state);
         assert_eq!(
@@ -931,5 +1080,63 @@ mod tests {
                 cache_hit: true
             }
         );
+    }
+
+    #[test]
+    fn trace_endpoint_serves_chrome_json() {
+        let state = AppState::default();
+        let resp = get("/v1/trace", &state);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/json");
+        assert!(resp.body.contains("\"traceEvents\""), "{}", resp.body);
+        assert!(resp.body.contains("\"displayTimeUnit\":\"ms\""));
+        // Bounded payload: `last` must parse; typos fail loudly.
+        assert_eq!(get("/v1/trace?last=8", &state).status, 200);
+        assert_eq!(get("/v1/trace?last=abc", &state).status, 400);
+        assert_eq!(get("/v1/trace?lsat=8", &state).status, 400);
+    }
+
+    #[test]
+    fn access_log_lines_are_strict_json_with_stable_keys() {
+        let line = access_log_line(
+            "tf-0000000000000007",
+            "rank",
+            200,
+            123,
+            456,
+            true,
+            None,
+            &[],
+        );
+        assert_eq!(
+            line,
+            "{\"trace\":\"tf-0000000000000007\",\"endpoint\":\"rank\",\
+             \"status\":200,\"bytes\":123,\"micros\":456,\"cache\":\"hit\",\
+             \"shed\":null,\"faults\":[]}"
+        );
+        // Every line parses as strict JSON, whatever the fields hold —
+        // including a hostile client-supplied trace id.
+        let hostile = access_log_line(
+            "x\"\\\u{1}",
+            "shed",
+            504,
+            0,
+            9,
+            false,
+            Some("deadline"),
+            &["response_latency", "write_stall"],
+        );
+        let parsed: serde::Value = serde_json::from_str(&hostile).expect("strict JSON");
+        let obj = match parsed {
+            serde::Value::Object(pairs) => pairs,
+            other => panic!("expected object, got {other:?}"),
+        };
+        let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            ["trace", "endpoint", "status", "bytes", "micros", "cache", "shed", "faults"]
+        );
+        assert_eq!(obj[0].1, serde::Value::Str("x\"\\\u{1}".into()));
+        assert_eq!(obj[6].1, serde::Value::Str("deadline".into()));
     }
 }

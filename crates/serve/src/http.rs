@@ -35,6 +35,11 @@ pub struct Request {
     /// response: an explicit `Connection: close`, or HTTP/1.0 without
     /// `Connection: keep-alive`.
     pub close: bool,
+    /// The client's `X-Request-Id` header, if sent. The serving loop
+    /// echoes it (or a generated id) on the response so a client can
+    /// correlate byte-verify failures with `/v1/trace` and the access
+    /// log.
+    pub request_id: Option<String>,
 }
 
 /// A response ready to be written: status, content type, and body.
@@ -55,6 +60,10 @@ pub struct Response {
     /// 504s, and over-cap 413/431 rejections carry it so well-behaved
     /// clients (loadgen's retry policy among them) know when to retry.
     pub retry_after: Option<u32>,
+    /// Optional `X-Request-Id` echo. `None` (handler-level responses,
+    /// cached renderings) omits the header; the serving loop sets it
+    /// per request just before writing.
+    pub request_id: Option<String>,
 }
 
 impl Response {
@@ -66,6 +75,7 @@ impl Response {
             content_type: "application/json",
             body: body.into(),
             retry_after: None,
+            request_id: None,
         }
     }
 
@@ -76,12 +86,19 @@ impl Response {
             content_type: "text/plain; version=0.0.4",
             body: body.into(),
             retry_after: None,
+            request_id: None,
         }
     }
 
     /// Adds a `Retry-After: seconds` header to the response.
     pub fn with_retry_after(mut self, seconds: u32) -> Response {
         self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Sets the `X-Request-Id` echo header.
+    pub fn with_request_id(mut self, id: impl Into<String>) -> Response {
+        self.request_id = Some(id.into());
         self
     }
 
@@ -117,6 +134,9 @@ impl Response {
             self.content_type,
             self.body.len(),
         );
+        if let Some(id) = &self.request_id {
+            let _ = write!(out, "X-Request-Id: {id}\r\n");
+        }
         if let Some(seconds) = self.retry_after {
             let _ = write!(out, "Retry-After: {seconds}\r\n");
         }
@@ -351,6 +371,7 @@ fn parse_head(text: &str) -> Result<Request, ParseError> {
         query: raw_query.to_string(),
         body: String::new(),
         close,
+        request_id: header_value(text, "x-request-id").map(str::to_string),
     })
 }
 
@@ -522,6 +543,23 @@ mod tests {
             String::from_utf8(bytes).unwrap(),
             "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: 2\r\nRetry-After: 2\r\nConnection: close\r\n\r\n{}"
         );
+        // X-Request-Id slots between Content-Length and Retry-After.
+        let bytes = Response::json(503, "{}")
+            .with_request_id("lg-7")
+            .with_retry_after(2)
+            .to_bytes(true);
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: 2\r\nX-Request-Id: lg-7\r\nRetry-After: 2\r\nConnection: close\r\n\r\n{}"
+        );
+    }
+
+    #[test]
+    fn request_id_header_is_captured() {
+        let req = parse("GET /healthz HTTP/1.1\r\nX-Request-Id:  abc-123 \r\n\r\n").unwrap();
+        assert_eq!(req.request_id.as_deref(), Some("abc-123"));
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.request_id, None);
     }
 
     #[test]

@@ -84,6 +84,11 @@ pub struct ServerConfig {
     /// `serve --log`: one stderr line per request (method, path,
     /// status, bytes, µs, cache hit/miss).
     pub log_requests: bool,
+    /// `serve --log-json`: one structured JSON access-log object per
+    /// request on stderr (trace id, endpoint family, status, bytes, µs,
+    /// cache verdict, shed reason, injected-fault sites — see
+    /// [`handlers::access_log_line`]).
+    pub log_json: bool,
     /// Concurrent-connection limit (`serve --max-connections N`; `0` =
     /// unlimited). Connections beyond it are shed with a JSON 503 at
     /// accept time instead of queueing unanswered behind pinned workers.
@@ -106,6 +111,7 @@ impl Default for ServerConfig {
             cache_entries: 4096,
             cache_ttl: None,
             log_requests: false,
+            log_json: false,
             max_connections: 256,
             limits: Limits::default(),
         }
@@ -180,6 +186,8 @@ impl Server {
             cache: cache::ResultCache::with_limits(8, config.cache_entries, config.cache_ttl),
             metrics: metrics::Metrics::default(),
             log_requests: config.log_requests,
+            log_json: config.log_json,
+            ordinal: std::sync::atomic::AtomicU64::new(0),
             limits: config.limits,
             stop: std::sync::atomic::AtomicBool::new(false),
             started: std::time::Instant::now(),

@@ -24,7 +24,7 @@ pub use thirstyflops_obs::LatencyHistogram;
 /// counts capacity rejections (503 connection sheds and 413/431
 /// over-cap requests — see `docs/SERVING.md`); `other` absorbs
 /// unroutable paths and the remaining unparsable requests.
-pub const ENDPOINTS: [&str; 14] = [
+pub const ENDPOINTS: [&str; 15] = [
     "healthz",
     "readyz",
     "cache_stats",
@@ -37,6 +37,7 @@ pub const ENDPOINTS: [&str; 14] = [
     "scenarios_sweep",
     "experiments",
     "metrics",
+    "trace",
     "shed",
     "other",
 ];

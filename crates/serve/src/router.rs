@@ -40,6 +40,9 @@ pub enum Route {
     /// `GET /v1/metrics` — Prometheus text exposition of the global
     /// registry plus the per-endpoint table.
     Metrics,
+    /// `GET /v1/trace?last=N` — the trace recorder's most recent span
+    /// events as Chrome `trace_event` JSON.
+    Trace,
 }
 
 impl Route {
@@ -59,6 +62,7 @@ impl Route {
             Route::ScenarioSweep => "scenarios_sweep",
             Route::ExperimentIndex | Route::Experiment(_) => "experiments",
             Route::Metrics => "metrics",
+            Route::Trace => "trace",
         }
     }
 
@@ -88,6 +92,7 @@ pub fn route(path: &str) -> Result<Route, ServeError> {
         ["v1", "experiments"] => Ok(Route::ExperimentIndex),
         ["v1", "experiments", id] if !id.is_empty() => Ok(Route::Experiment(id.to_string())),
         ["v1", "metrics"] => Ok(Route::Metrics),
+        ["v1", "trace"] => Ok(Route::Trace),
         _ => Err(ServeError::NotFound(format!("no route for {path:?}"))),
     }
 }
@@ -195,6 +200,7 @@ mod tests {
             Ok(Route::Experiment("fig05".into()))
         );
         assert_eq!(route("/v1/metrics"), Ok(Route::Metrics));
+        assert_eq!(route("/v1/trace"), Ok(Route::Trace));
         // Trailing slash tolerated.
         assert_eq!(route("/v1/rank/"), Ok(Route::Rank));
     }
@@ -209,6 +215,7 @@ mod tests {
             ("/v1/scenarios/sweep", "scenarios_sweep"),
             ("/v1/experiments/fig05", "experiments"),
             ("/v1/metrics", "metrics"),
+            ("/v1/trace", "trace"),
         ] {
             let resolved = route(path).unwrap();
             assert_eq!(resolved.metrics_label(), label);

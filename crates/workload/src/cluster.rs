@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 use std::sync::OnceLock;
 
+use thirstyflops_obs::span;
 use thirstyflops_obs::Counter;
 use thirstyflops_timeseries::{HourlySeries, HOURS_PER_YEAR};
 
@@ -84,6 +85,7 @@ impl ClusterSim {
     ///
     /// Jobs wider than the cluster are rejected (counted as unstarted).
     pub fn simulate_year(&self, jobs: &[Job]) -> (HourlySeries, ClusterStats) {
+        let _span = span::span(span::CLUSTER_SIM);
         jobs_simulated().add(jobs.len() as u64);
         let mut sorted: Vec<Job> = jobs.to_vec();
         sorted.sort_by_key(|j| (j.submit_hour, j.id));

@@ -1,6 +1,7 @@
 //! Utilization → power → energy, the paper's TDP-based estimation path.
 
 use thirstyflops_catalog::SystemSpec;
+use thirstyflops_obs::span;
 use thirstyflops_timeseries::{HourlySeries, MonthlySeries};
 use thirstyflops_units::{KilowattHours, Kilowatts};
 
@@ -31,6 +32,7 @@ impl<'a> PowerModel<'a> {
     /// Hourly IT energy series, kWh (numerically equal to power over
     /// 1-hour steps).
     pub fn energy_series(&self, utilization: &HourlySeries) -> HourlySeries {
+        let _span = span::span(span::POWER_MODEL);
         self.power_series(utilization)
     }
 

@@ -7,6 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use thirstyflops_obs::span;
 use thirstyflops_timeseries::{SimCalendar, HOURS_PER_YEAR};
 
 /// One batch job in a trace.
@@ -106,6 +107,7 @@ impl TraceGenerator {
 
     /// Generates one year of jobs.
     pub fn generate_year(&self) -> Vec<Job> {
+        let _span = span::span(span::TRACE_GEN);
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 

@@ -20,7 +20,9 @@
 //! `RAYON_NUM_THREADS`, then the machine's available parallelism. Output
 //! is bit-identical at every thread count (see `docs/CONCURRENCY.md`).
 //! A global `--profile` flag prints a per-stage span profile to stderr
-//! after any command (see `docs/OBSERVABILITY.md`); stdout is unchanged.
+//! after any command, and `--trace-out FILE` exports the run's causal
+//! span tree as Chrome `trace_event` JSON (see `docs/OBSERVABILITY.md`);
+//! stdout is unchanged either way.
 //!
 //! `--json` output is shaped by `thirstyflops::serve::api` — the same
 //! module the HTTP server renders through — so a CLI invocation and the
@@ -40,10 +42,11 @@ fn main() {
 }
 
 fn run(raw_args: &[String]) -> i32 {
-    // `--threads N`, `--no-sim-cache`, `--no-batch`, and `--profile`
-    // are global flags: extract them wherever they appear (before or
-    // after the subcommand) so positional parsing below never sees them.
-    let (args, profile) = match extract_global_flags(raw_args) {
+    // `--threads N`, `--no-sim-cache`, `--no-batch`, `--profile`,
+    // `--trace-out FILE`, and `--trace-sample N` are global flags:
+    // extract them wherever they appear (before or after the
+    // subcommand) so positional parsing below never sees them.
+    let (args, profile, trace_out) = match extract_global_flags(raw_args) {
         Ok(global) => {
             if let Some(n) = global.threads {
                 // First-wins like rayon: the CLI flag runs before any
@@ -71,13 +74,29 @@ fn run(raw_args: &[String]) -> i32 {
                 // either way; the report goes to stderr afterwards.
                 thirstyflops::obs::span::set_enabled(true);
             }
-            (global.args, global.profile)
+            if global.profile || global.trace_out.is_some() {
+                // The causal trace recorder rides along with either
+                // sink: `--profile` wants the folded self-time rollup,
+                // `--trace-out` the Chrome trace_event export. Stdout
+                // stays byte-identical either way.
+                thirstyflops::obs::trace::set_enabled(true);
+            }
+            if let Some(divisor) = global.trace_sample {
+                thirstyflops::obs::trace::set_sample(divisor);
+            }
+            (global.args, global.profile, global.trace_out)
         }
         Err(msg) => {
             eprintln!("{msg}");
             return 2;
         }
     };
+    // The CLI root trace context (trace id 0). Ordinal 0 always
+    // satisfies the sampling rule (0 % N == 0), so `--trace-sample`
+    // thins only `serve`'s per-request recording, never a CLI run's
+    // own trace.
+    let root_trace =
+        thirstyflops::obs::trace::enabled().then(|| thirstyflops::obs::trace::begin(0, true));
     // `THIRSTYFLOPS_FAULTS=<plan.json|inline JSON>` arms the seeded
     // fault-injection sites in any command (a no-op when unset — the
     // sites cost one relaxed atomic load). `serve --fault-plan` and
@@ -112,6 +131,9 @@ fn run(raw_args: &[String]) -> i32 {
             2
         }
     };
+    // Close the root context before snapshotting so its stack is not
+    // live while the report/export reads the ring.
+    drop(root_trace);
     if profile {
         // Stderr, after the command's own output: `--profile --json`
         // pipelines can parse stdout and the profile independently.
@@ -119,6 +141,21 @@ fn run(raw_args: &[String]) -> i32 {
             eprint!("{}", thirstyflops::obs::report::profile_json());
         } else {
             eprint!("{}", thirstyflops::obs::report::profile_table());
+        }
+    }
+    if let Some(path) = trace_out {
+        // Stderr for the confirmation: stdout stays byte-identical with
+        // tracing on or off (the determinism contract,
+        // docs/OBSERVABILITY.md).
+        let json = thirstyflops::obs::trace::chrome_trace_json(None);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("--trace-out {path}: {e}");
+                if code == 0 {
+                    return 1;
+                }
+            }
         }
     }
     code
@@ -140,8 +177,9 @@ fn usage() {
          thirstyflops systems [--json]\n  \
          thirstyflops serve [--addr HOST:PORT] [--workers N]\n  \
          \u{20}                  [--cache-entries N] [--cache-ttl SECS] [--log]\n  \
-         \u{20}                  [--max-connections N] [--request-timeout MS]\n  \
-         \u{20}                  [--drain-timeout SECS] [--fault-plan FILE]\n  \
+         \u{20}                  [--log-json] [--max-connections N]\n  \
+         \u{20}                  [--request-timeout MS] [--drain-timeout SECS]\n  \
+         \u{20}                  [--fault-plan FILE]\n  \
          thirstyflops loadgen --mix FILE [--requests N | --rate R --duration S]\n  \
          \u{20}                  [--connections N] [--workers N] [--addr HOST:PORT]\n  \
          \u{20}                  [--one-shot] [--bench-json] [--json]\n  \
@@ -151,12 +189,16 @@ fn usage() {
          count), --no-sim-cache (recompute every simulation instead of\n\
          using the memoized substrate — docs/PERFORMANCE.md), --no-batch\n\
          (evaluate sweeps on the scalar reference path instead of the\n\
-         batched K-lane kernel), and --profile (print a per-stage span\n\
-         profile and the registered counters to stderr afterwards —\n\
-         docs/OBSERVABILITY.md; as JSON when --json is set). Results are\n\
-         identical at every thread count, cached or not, batched or not,\n\
-         profiled or not, and --json output is byte-identical to the\n\
-         HTTP API's (docs/SERVING.md).\n\n\
+         batched K-lane kernel), --profile (print a per-stage span\n\
+         profile, the registered counters, and the folded-stack rollup\n\
+         to stderr afterwards — docs/OBSERVABILITY.md; as JSON when\n\
+         --json is set), --trace-out FILE (write the run's span tree as\n\
+         Chrome trace_event JSON, viewable in about://tracing or\n\
+         Perfetto), and --trace-sample N|1/N (record every N-th serve\n\
+         request, keyed off the deterministic request ordinal). Results\n\
+         are identical at every thread count, cached or not, batched or\n\
+         not, profiled or traced or not, and --json output is\n\
+         byte-identical to the HTTP API's (docs/SERVING.md).\n\n\
          Systems: marconi, fugaku, polaris, frontier, aurora, elcapitan"
     );
 }
@@ -174,16 +216,25 @@ struct GlobalFlags {
     no_batch: bool,
     /// `--profile`: print the span/counter profile to stderr afterwards.
     profile: bool,
+    /// `--trace-out FILE`: write the Chrome `trace_event` JSON export
+    /// of the run's span tree to `FILE` afterwards.
+    trace_out: Option<String>,
+    /// `--trace-sample N` (or `1/N`): record every N-th request's spans
+    /// in `serve`, keyed off the deterministic request ordinal.
+    trace_sample: Option<u64>,
 }
 
 /// Splits the global `--threads N` / `--no-sim-cache` / `--no-batch` /
-/// `--profile` flags (any position) out of the argument list.
+/// `--profile` / `--trace-out FILE` / `--trace-sample N` flags (any
+/// position) out of the argument list.
 fn extract_global_flags(args: &[String]) -> Result<GlobalFlags, String> {
     let mut rest = Vec::with_capacity(args.len());
     let mut threads = None;
     let mut no_sim_cache = false;
     let mut no_batch = false;
     let mut profile = false;
+    let mut trace_out = None;
+    let mut trace_sample = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--no-sim-cache" {
@@ -196,6 +247,29 @@ fn extract_global_flags(args: &[String]) -> Result<GlobalFlags, String> {
         }
         if arg == "--profile" {
             profile = true;
+            continue;
+        }
+        if arg == "--trace-out" {
+            let Some(value) = iter.next() else {
+                return Err("--trace-out needs a file path, e.g. --trace-out trace.json".into());
+            };
+            trace_out = Some(value.clone());
+            continue;
+        }
+        if arg == "--trace-sample" {
+            let Some(value) = iter.next() else {
+                return Err("--trace-sample needs a value, e.g. --trace-sample 1/8".into());
+            };
+            // `1/8` and `8` both mean "every 8th request".
+            let divisor = value.strip_prefix("1/").unwrap_or(value);
+            match divisor.parse::<u64>() {
+                Ok(n) if n > 0 => trace_sample = Some(n),
+                _ => {
+                    return Err(format!(
+                        "--trace-sample expects N or 1/N with positive N, got {value:?}"
+                    ))
+                }
+            }
             continue;
         }
         if arg != "--threads" {
@@ -220,6 +294,8 @@ fn extract_global_flags(args: &[String]) -> Result<GlobalFlags, String> {
         no_sim_cache,
         no_batch,
         profile,
+        trace_out,
+        trace_sample,
     })
 }
 
@@ -745,6 +821,15 @@ fn cmd_serve(args: &[String]) -> i32 {
     if args.iter().any(|a| a == "--log") {
         config.log_requests = true;
     }
+    if args.iter().any(|a| a == "--log-json") {
+        config.log_json = true;
+    }
+    // The serving path always runs with the trace recorder on: the ring
+    // is bounded, recording is lock-minimal, and `GET /v1/trace` is only
+    // useful when spans actually land. `--trace-sample 1/N` (global
+    // flag) thins which requests record; ids echo on every response
+    // regardless.
+    thirstyflops::obs::trace::set_enabled(true);
     if let Some(raw) = flag_value(args, "--request-timeout") {
         match raw.parse::<u64>() {
             // 0 = no deadline (the default): a request may compute as
@@ -792,12 +877,13 @@ fn cmd_serve(args: &[String]) -> i32 {
             Some(injector)
         }
     };
-    const SERVE_FLAGS: [&str; 9] = [
+    const SERVE_FLAGS: [&str; 10] = [
         "--addr",
         "--workers",
         "--cache-entries",
         "--cache-ttl",
         "--log",
+        "--log-json",
         "--max-connections",
         "--request-timeout",
         "--drain-timeout",
